@@ -1,0 +1,47 @@
+//! Criterion: SPF and routing-matrix construction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nws_routing::{OdPair, RoutingMatrix, Spf};
+use nws_topo::random::ring_with_chords;
+use nws_topo::geant;
+use std::hint::black_box;
+
+fn bench_spf_geant(c: &mut Criterion) {
+    let topo = geant();
+    let uk = topo.require_node("UK").expect("UK");
+    c.bench_function("spf/geant_from_uk", |b| {
+        b.iter(|| Spf::compute(black_box(&topo), uk))
+    });
+}
+
+fn bench_spf_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spf/scaling");
+    for &n in &[50usize, 100, 200, 400] {
+        let topo = ring_with_chords(n, n, 3);
+        let src = topo.node_ids().next().expect("nodes");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| Spf::compute(black_box(topo), src))
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_matrix(c: &mut Criterion) {
+    let topo = geant();
+    let janet = topo.require_node("JANET").expect("JANET");
+    let ods: Vec<OdPair> = topo
+        .node_ids()
+        .filter(|&d| d != janet)
+        .map(|d| OdPair::new(janet, d))
+        .collect();
+    c.bench_function("routing_matrix/geant_all_dsts", |b| {
+        b.iter(|| RoutingMatrix::build(black_box(&topo), black_box(&ods)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spf_geant, bench_spf_scaling, bench_routing_matrix
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion: sampling-simulation throughput (Binomial variates, flow-level
+//! monitors, Monte-Carlo accuracy evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nws_core::scenarios::janet_task;
+use nws_core::{evaluate_accuracy, solve_placement, PlacementConfig};
+use nws_traffic::dist::Binomial;
+use nws_traffic::flows::{generate_flows, FlowMixParams};
+use nws_traffic::netflow::Monitor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sample");
+    // BINV regime and normal-approximation regime.
+    for (label, n, p) in [("binv_n1e3", 1_000u64, 0.01), ("normal_n1e7", 10_000_000, 0.001)]
+    {
+        let b = Binomial::new(n, p);
+        group.bench_function(label, |bench| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bench.iter(|| black_box(b.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_monitor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let flows =
+        generate_flows(&mut rng, 0, 1_000_000, 0.0, 300.0, &FlowMixParams::default());
+    let monitor = Monitor::new(0.01);
+    c.bench_function("netflow_monitor/sample_1M_pkts", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(monitor.sample_flows(&mut rng, &flows).len()))
+    });
+}
+
+fn bench_accuracy_eval(c: &mut Criterion) {
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default()).expect("feasible");
+    let mut group = c.benchmark_group("evaluate_accuracy");
+    for &runs in &[20usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(runs), &runs, |b, &runs| {
+            b.iter(|| black_box(evaluate_accuracy(&task, &sol, runs, 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_binomial, bench_flow_monitor, bench_accuracy_eval
+}
+criterion_main!(benches);

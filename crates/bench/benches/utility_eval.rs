@@ -1,0 +1,45 @@
+//! Criterion: utility and objective evaluation — the solver's inner-loop
+//! cost drivers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nws_core::scenarios::janet_task;
+use nws_core::{build_problem, PlacementObjective, RateModel, ReducedIndex, SreUtility, Utility};
+use nws_solver::Objective;
+use std::hint::black_box;
+
+fn bench_utility(c: &mut Criterion) {
+    let u = SreUtility::from_mean_size(150_000.0);
+    c.bench_function("sre_utility/value_d1_d2", |b| {
+        b.iter(|| {
+            let rho = black_box(0.0031);
+            black_box((u.value(rho), u.d1(rho), u.d2(rho)))
+        })
+    });
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let task = janet_task();
+    let index = ReducedIndex::new(&task);
+    let problem = build_problem(&task, &index).expect("feasible");
+    let p = problem.feasible_start();
+    let mut group = c.benchmark_group("placement_objective");
+    for (label, model) in
+        [("approx", RateModel::Approximate), ("exact", RateModel::Exact)]
+    {
+        let obj = PlacementObjective::new(&task, &index, model);
+        group.bench_function(format!("gradient/{label}"), |b| {
+            b.iter(|| black_box(obj.gradient(black_box(&p))))
+        });
+        group.bench_function(format!("value/{label}"), |b| {
+            b.iter(|| black_box(obj.value(black_box(&p))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_utility, bench_objective
+}
+criterion_main!(benches);

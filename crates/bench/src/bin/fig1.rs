@@ -1,0 +1,39 @@
+//! Figure 1 — the utility function `M(ρ)`.
+//!
+//! The paper plots `M` for two OD-size regimes, "average size S = 500" and
+//! "S = 5000" (packets), marking the splice points `x₀` where the quadratic
+//! expansion hands over to the exact mean-squared-relative-accuracy branch,
+//! with utility labels 0.668 and 0.666 respectively.
+
+use nws_bench::{banner, footer};
+use nws_core::report::render_csv;
+use nws_core::{SreUtility, Utility};
+
+fn main() {
+    let t0 = banner("fig1", "utility function M(rho) for two E[1/S] values");
+
+    let sizes = [500.0, 5000.0];
+    let utils: Vec<SreUtility> =
+        sizes.iter().map(|&s| SreUtility::from_mean_size(s)).collect();
+
+    for (s, u) in sizes.iter().zip(&utils) {
+        println!(
+            "S = {s:>6}: c = E[1/S] = {:.6e}, x0 = {:.6e}, M(x0) = {:.4}",
+            u.c(),
+            u.x0(),
+            u.value(u.x0())
+        );
+    }
+    println!();
+
+    // Log-spaced curve over [1e-5, 1] plus rho = 0.
+    let mut rows = vec![vec![0.0, 0.0, 0.0]];
+    let points = 200;
+    for i in 0..=points {
+        let rho = 10f64.powf(-5.0 + 5.0 * i as f64 / points as f64);
+        rows.push(vec![rho, utils[0].value(rho), utils[1].value(rho)]);
+    }
+    print!("{}", render_csv(&["rho", "M_S500", "M_S5000"], &rows));
+
+    footer(t0);
+}

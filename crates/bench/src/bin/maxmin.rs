@@ -1,0 +1,57 @@
+//! §III — sum-of-utilities vs the max–min alternative objective.
+//!
+//! The paper chooses `max Σ M(ρ_k)` and discusses `max min_k M(ρ_k)` as the
+//! fairness-oriented alternative it leaves to future work (non-differentiable
+//! as stated; we smooth it with a soft-min homotopy). This experiment
+//! quantifies the trade: max–min raises the worst-served OD pair at the
+//! cost of total utility, and shifts capacity toward the links carrying
+//! small OD pairs — the behaviour §III predicts.
+
+use nws_bench::{banner, footer};
+use nws_core::maxmin::solve_maxmin;
+use nws_core::report::render_csv;
+use nws_core::scenarios::janet_task;
+use nws_core::{solve_placement, PlacementConfig};
+use nws_solver::SolverOptions;
+
+fn main() {
+    let t0 = banner("maxmin", "sum-of-utilities vs max-min fairness objective");
+
+    let task = janet_task();
+    let sum = solve_placement(&task, &PlacementConfig::default()).expect("feasible");
+    let mm = solve_maxmin(&task, SolverOptions::default(), &[50.0, 200.0, 1000.0])
+        .expect("feasible");
+
+    let min = |u: &[f64]| u.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = |u: &[f64]| u.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    println!(
+        "sum-objective : total {:.4} | worst OD {:.4} | best OD {:.4}",
+        sum.utilities.iter().sum::<f64>(),
+        min(&sum.utilities),
+        max(&sum.utilities)
+    );
+    println!(
+        "max-min       : total {:.4} | worst OD {:.4} | best OD {:.4}  (beta -> {})",
+        mm.utilities.iter().sum::<f64>(),
+        mm.min_utility,
+        max(&mm.utilities),
+        mm.final_beta
+    );
+    println!(
+        "fairness gain on worst OD: {:+.4}; total-utility cost: {:+.4}",
+        mm.min_utility - min(&sum.utilities),
+        mm.utilities.iter().sum::<f64>() - sum.utilities.iter().sum::<f64>()
+    );
+    println!();
+
+    let rows: Vec<Vec<f64>> = task
+        .ods()
+        .iter()
+        .enumerate()
+        .map(|(k, od)| vec![od.size / 300.0, sum.utilities[k], mm.utilities[k]])
+        .collect();
+    print!("{}", render_csv(&["od_pkts_per_sec", "sum_utility", "maxmin_utility"], &rows));
+
+    footer(t0);
+}

@@ -1,0 +1,386 @@
+//! `nws` — command-line front end for optimal network-wide sampling.
+//!
+//! ```text
+//! nws solve <topology.topo> <task.nws>      solve a placement problem
+//! nws solve --builtin geant <task.nws>      ... on a bundled topology
+//! nws solve ... --dot out.dot               also write a Graphviz rendering
+//! nws sweep <topology.topo> <task.nws> T..  re-solve across capacities
+//! nws plan <topo> <task.nws> <target>       minimal theta for a target
+//! nws topo validate <topology.topo>         parse + connectivity check
+//! nws topo stats <topology.topo>            size/degree/capacity summary
+//! nws topo export geant|abilene             print a bundled topology
+//! nws topo dot geant|abilene                print a Graphviz rendering
+//! nws demo                                  run the paper's Table I task
+//! ```
+//!
+//! Topology files use the `nws-topo` plain-text format; task files use the
+//! `nws-core::taskfile` format (see crate docs for both).
+
+use nws_core::report::render_table1;
+use nws_core::scenarios::janet_task;
+use nws_core::taskfile::parse_task;
+use nws_core::{evaluate_accuracy, solve_placement, summarize, PlacementConfig};
+use nws_topo::{abilene, format, geant, Topology};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("nws: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  nws solve <topology.topo|--builtin NAME> <task.nws> [--dot FILE]
+  nws sweep <topology.topo|--builtin NAME> <task.nws> <theta1> [theta2 ...]
+  nws plan <topology.topo|--builtin NAME> <task.nws> <target-utility>
+  nws topo validate <topology.topo>
+  nws topo stats <topology.topo|geant|abilene>
+  nws topo export <geant|abilene>
+  nws topo dot <geant|abilene>
+  nws demo";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("topo") => cmd_topo(&args[1..]),
+        Some("demo") => cmd_demo(),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".into()),
+    }
+}
+
+/// Loads a topology from a file path or `--builtin NAME`; returns the
+/// topology and how many leading arguments were consumed.
+fn load_topology(args: &[String]) -> Result<(Topology, usize), String> {
+    match args.first().map(String::as_str) {
+        Some("--builtin") => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| "--builtin requires a name".to_string())?;
+            match name.as_str() {
+                "geant" => Ok((geant(), 2)),
+                "abilene" => Ok((abilene(), 2)),
+                other => Err(format!("unknown builtin topology '{other}'")),
+            }
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read topology '{path}': {e}"))?;
+            let topo =
+                format::from_text(&text).map_err(|e| format!("topology '{path}': {e}"))?;
+            Ok((topo, 1))
+        }
+        None => Err("missing topology argument".into()),
+    }
+}
+
+fn load_task(
+    topo: Topology,
+    path: &str,
+) -> Result<nws_core::MeasurementTask, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read task '{path}': {e}"))?;
+    parse_task(topo, &text).map_err(|e| format!("task '{path}': {e}"))
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let (topo, used) = load_topology(args)?;
+    let task_path = args
+        .get(used)
+        .ok_or_else(|| "solve requires a task file".to_string())?;
+    let dot_path = match (args.get(used + 1).map(String::as_str), args.get(used + 2)) {
+        (Some("--dot"), Some(path)) => Some(path.clone()),
+        (Some("--dot"), None) => return Err("--dot requires a file path".into()),
+        (Some(other), _) => return Err(format!("unexpected argument '{other}'")),
+        (None, _) => None,
+    };
+    let task = load_task(topo, task_path)?;
+    let sol = solve_placement(&task, &PlacementConfig::default())
+        .map_err(|e| format!("solve failed: {e}"))?;
+    let accs = evaluate_accuracy(&task, &sol, 20, 1);
+    print!("{}", render_table1(&task, &sol, &accs));
+    if let Some(path) = dot_path {
+        let highlights: Vec<(nws_topo::LinkId, f64)> = sol
+            .active_monitors
+            .iter()
+            .map(|&l| (l, sol.rates[l.index()]))
+            .collect();
+        let dot = format::to_dot(task.topology(), &highlights);
+        std::fs::write(&path, dot).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!();
+        println!("Graphviz rendering with activated monitors written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let (topo, used) = load_topology(args)?;
+    let task_path = args
+        .get(used)
+        .ok_or_else(|| "plan requires a task file".to_string())?;
+    let target: f64 = args
+        .get(used + 1)
+        .ok_or_else(|| "plan requires a target utility (e.g. 0.95)".to_string())?
+        .parse()
+        .map_err(|_| "target must be a number".to_string())?;
+    let task = load_task(topo, task_path)?;
+    // Bracket: 0.01% to 120% of total candidate load.
+    let ceiling: f64 = task
+        .candidate_links()
+        .iter()
+        .map(|&l| task.link_loads()[l.index()] * task.alpha()[l.index()])
+        .sum();
+    let plan = nws_core::planning::theta_for_target_utility(
+        &task,
+        target,
+        ceiling * 1e-5,
+        ceiling * 0.99,
+        0.01,
+        &PlacementConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "minimal capacity for worst-OD utility >= {target}: theta = {:.0} sampled          packets/interval (achieved {:.4}, {} solves)",
+        plan.theta, plan.achieved_worst_utility, plan.solves
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (topo, used) = load_topology(args)?;
+    let task_path = args
+        .get(used)
+        .ok_or_else(|| "sweep requires a task file".to_string())?;
+    let thetas: Vec<f64> = args[used + 1..]
+        .iter()
+        .map(|s| s.parse().map_err(|_| format!("bad theta '{s}'")))
+        .collect::<Result<_, _>>()?;
+    if thetas.is_empty() {
+        return Err("sweep requires at least one theta".into());
+    }
+    let base = load_task(topo, task_path)?;
+    println!("theta,objective,lambda,active_monitors,acc_mean,acc_worst");
+    for theta in thetas {
+        let task = base.with_theta(theta).map_err(|e| e.to_string())?;
+        let sol = solve_placement(&task, &PlacementConfig::default())
+            .map_err(|e| format!("theta {theta}: {e}"))?;
+        let acc = summarize(&evaluate_accuracy(&task, &sol, 20, 1));
+        println!(
+            "{theta},{:.6},{:.6e},{},{:.4},{:.4}",
+            sol.objective,
+            sol.lambda,
+            sol.active_monitors.len(),
+            acc.mean,
+            acc.worst
+        );
+    }
+    Ok(())
+}
+
+fn cmd_topo(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("validate") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| "validate requires a topology file".to_string())?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read '{path}': {e}"))?;
+            let topo = format::from_text(&text).map_err(|e| e.to_string())?;
+            topo.validate_connected().map_err(|e| e.to_string())?;
+            println!(
+                "ok: {} nodes, {} links ({} monitorable), connected",
+                topo.num_nodes(),
+                topo.num_links(),
+                topo.monitorable_links().len()
+            );
+            Ok(())
+        }
+        Some("stats") => {
+            let arg = args
+                .get(1)
+                .ok_or_else(|| "stats requires a topology".to_string())?;
+            let topo = match builtin(arg) {
+                Ok(t) => t,
+                Err(_) => {
+                    let text = std::fs::read_to_string(arg)
+                        .map_err(|e| format!("cannot read '{arg}': {e}"))?;
+                    format::from_text(&text).map_err(|e| e.to_string())?
+                }
+            };
+            let degrees: Vec<usize> =
+                topo.node_ids().map(|n| topo.out_links(n).count()).collect();
+            let caps: Vec<f64> =
+                topo.link_ids().map(|l| topo.link(l).capacity_mbps()).collect();
+            println!("nodes: {}", topo.num_nodes());
+            println!(
+                "links: {} ({} monitorable)",
+                topo.num_links(),
+                topo.monitorable_links().len()
+            );
+            println!(
+                "out-degree: min {} / max {}",
+                degrees.iter().min().expect("nodes exist"),
+                degrees.iter().max().expect("nodes exist")
+            );
+            println!(
+                "capacity (Mbps): min {:.0} / max {:.0}",
+                caps.iter().cloned().fold(f64::INFINITY, f64::min),
+                caps.iter().cloned().fold(0.0, f64::max)
+            );
+            println!(
+                "connected: {}",
+                if topo.validate_connected().is_ok() { "yes" } else { "NO" }
+            );
+            Ok(())
+        }
+        Some("export") => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| "export requires a topology name".to_string())?;
+            let topo = builtin(name)?;
+            print!("{}", format::to_text(&topo));
+            Ok(())
+        }
+        Some("dot") => {
+            let name = args
+                .get(1)
+                .ok_or_else(|| "dot requires a topology name".to_string())?;
+            let topo = builtin(name)?;
+            print!("{}", format::to_dot(&topo, &[]));
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown topo subcommand '{other}'")),
+        None => Err("topo requires a subcommand".into()),
+    }
+}
+
+fn builtin(name: &str) -> Result<Topology, String> {
+    match name {
+        "geant" => Ok(geant()),
+        "abilene" => Ok(abilene()),
+        other => Err(format!("unknown builtin topology '{other}'")),
+    }
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default())
+        .map_err(|e| e.to_string())?;
+    let accs = evaluate_accuracy(&task, &sol, 20, 1);
+    print!("{}", render_table1(&task, &sol, &accs));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(run(&["bogus".into()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn builtin_topologies_load() {
+        let (g, used) = load_topology(&["--builtin".into(), "geant".into()]).unwrap();
+        assert_eq!(used, 2);
+        assert_eq!(g.num_nodes(), 23);
+        let (a, _) = load_topology(&["--builtin".into(), "abilene".into()]).unwrap();
+        assert_eq!(a.num_nodes(), 12);
+        assert!(load_topology(&["--builtin".into(), "mars".into()]).is_err());
+    }
+
+    #[test]
+    fn demo_runs() {
+        cmd_demo().unwrap();
+    }
+
+    #[test]
+    fn topo_export_roundtrip_through_tempfile() {
+        let dir = std::env::temp_dir().join("nws_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("geant.topo");
+        std::fs::write(&path, nws_topo::format::to_text(&geant())).unwrap();
+        cmd_topo(&["validate".into(), path.to_string_lossy().into_owned()]).unwrap();
+    }
+
+
+    #[test]
+    fn topo_stats_builtin() {
+        cmd_topo(&["stats".into(), "geant".into()]).unwrap();
+        assert!(cmd_topo(&["stats".into()]).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_bad_flags() {
+        let dir = std::env::temp_dir().join("nws_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let task_path = dir.join("task2.nws");
+        std::fs::write(&task_path, "theta 1000\nod JANET NL 30000\n").unwrap();
+        let err = cmd_solve(&[
+            "--builtin".into(),
+            "geant".into(),
+            task_path.to_string_lossy().into_owned(),
+            "--bogus".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unexpected argument"));
+        let err = cmd_solve(&[
+            "--builtin".into(),
+            "geant".into(),
+            task_path.to_string_lossy().into_owned(),
+            "--dot".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--dot requires"));
+    }
+
+    #[test]
+    fn solve_writes_dot_file() {
+        let dir = std::env::temp_dir().join("nws_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let task_path = dir.join("task3.nws");
+        std::fs::write(&task_path, "theta 1000\nod JANET NL 30000\nod JANET LU 20\n")
+            .unwrap();
+        let dot_path = dir.join("sol.dot");
+        cmd_solve(&[
+            "--builtin".into(),
+            "geant".into(),
+            task_path.to_string_lossy().into_owned(),
+            "--dot".into(),
+            dot_path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let dot = std::fs::read_to_string(&dot_path).unwrap();
+        assert!(dot.contains("color=red"), "activated monitors highlighted");
+    }
+
+    #[test]
+    fn solve_from_files() {
+        let dir = std::env::temp_dir().join("nws_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let task_path = dir.join("task.nws");
+        std::fs::write(
+            &task_path,
+            "theta 20000\nod JANET NL 30000\nod JANET LU 20\nbackground gravity 400000 0.5 7\n",
+        )
+        .unwrap();
+        cmd_solve(&[
+            "--builtin".into(),
+            "geant".into(),
+            task_path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type of the core placement API.
+
+use std::fmt;
+
+/// Errors produced by task construction and placement optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The measurement task is malformed (described in the message).
+    InvalidTask(String),
+    /// The underlying optimization failed or was infeasible.
+    Solver(nws_solver::SolverError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidTask(m) => write!(f, "invalid measurement task: {m}"),
+            CoreError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nws_solver::SolverError> for CoreError {
+    fn from(e: nws_solver::SolverError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidTask("oops".into());
+        assert_eq!(e.to_string(), "invalid measurement task: oops");
+        use std::error::Error;
+        assert!(e.source().is_none());
+
+        let s: CoreError = nws_solver::SolverError::InvalidProblem("bad".into()).into();
+        assert!(s.to_string().contains("solver error"));
+        assert!(s.source().is_some());
+    }
+}

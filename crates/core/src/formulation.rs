@@ -1,0 +1,392 @@
+//! Translation of a [`MeasurementTask`] into a solver problem.
+
+use crate::{CoreError, MeasurementTask, SreUtility, Utility};
+use nws_linalg::Vector;
+use nws_solver::{BoxLinearProblem, Objective};
+use nws_topo::LinkId;
+use std::collections::HashMap;
+
+/// How the effective sampling rate `ρ_k(p)` is modelled inside the objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateModel {
+    /// The paper's working approximation `ρ_k = Σ_i r_{k,i}·p_i` (eq. (7)) —
+    /// linear, keeps the objective strictly concave, and accurate in the
+    /// low-rate/few-monitors regime the solution lives in (§IV-B).
+    #[default]
+    Approximate,
+    /// The exact union probability `ρ_k = 1 − Π_i (1 − p_i)^{r_{k,i}}`
+    /// (eq. (1)). Exact for unique paths (binary `r`); under ECMP the
+    /// fractional exponent is a geometric-interpolation approximation.
+    ///
+    /// Note: composed with the utility this is *not* guaranteed concave over
+    /// the whole box, so KKT certification only attests stationarity; in the
+    /// low-rate regime the curvature from `M''` dominates and the solver
+    /// behaves identically. Provided for the §V-B validation ablation.
+    Exact,
+}
+
+/// Mapping between the task's candidate links and dense variable indices.
+#[derive(Debug, Clone)]
+pub struct ReducedIndex {
+    links: Vec<LinkId>,
+    pos: HashMap<LinkId, usize>,
+}
+
+impl ReducedIndex {
+    /// Builds the index over the task's candidate links.
+    pub fn new(task: &MeasurementTask) -> Self {
+        let links = task.candidate_links().to_vec();
+        let pos = links.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        ReducedIndex { links, pos }
+    }
+
+    /// Number of optimization variables.
+    pub fn dim(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link of variable `v`.
+    pub fn link(&self, v: usize) -> LinkId {
+        self.links[v]
+    }
+
+    /// The variable of `link`, if it is a candidate.
+    pub fn var(&self, link: LinkId) -> Option<usize> {
+        self.pos.get(&link).copied()
+    }
+
+    /// Expands a reduced rate vector to a full per-topology-link vector
+    /// (zero on non-candidate links).
+    pub fn expand(&self, reduced: &Vector, num_links: usize) -> Vec<f64> {
+        let mut full = vec![0.0; num_links];
+        for (v, &l) in self.links.iter().enumerate() {
+            full[l.index()] = reduced[v];
+        }
+        full
+    }
+}
+
+/// The paper's objective `Σ_k w_k·M_k(ρ_k(p))` over the reduced variables,
+/// generic over the per-OD utility type (the paper's [`SreUtility`] by
+/// default; any [`Utility`] works — §VI anticipates anomaly-detection and
+/// performance-analysis utilities).
+pub struct PlacementObjective<U: Utility = SreUtility> {
+    utilities: Vec<U>,
+    /// Per-OD nonnegative weights (1 for the paper's formulation; composite
+    /// multi-task problems weight their sub-tasks).
+    weights: Vec<f64>,
+    /// Per OD `k`: the `(variable, r_{k,i})` pairs of candidate links it
+    /// traverses.
+    rows: Vec<Vec<(usize, f64)>>,
+    rate_model: RateModel,
+    dim: usize,
+}
+
+impl PlacementObjective<SreUtility> {
+    /// Builds the paper's objective for `task` under the given rate model.
+    pub fn new(task: &MeasurementTask, index: &ReducedIndex, rate_model: RateModel) -> Self {
+        let utilities: Vec<SreUtility> =
+            task.ods().iter().map(|o| SreUtility::new(o.inv_mean_size)).collect();
+        let rows = task_rows(task, index);
+        let weights = vec![1.0; utilities.len()];
+        PlacementObjective { utilities, weights, rows, rate_model, dim: index.dim() }
+    }
+}
+
+/// The sparse `(variable, r_{k,i})` rows of a task against an index.
+pub(crate) fn task_rows(
+    task: &MeasurementTask,
+    index: &ReducedIndex,
+) -> Vec<Vec<(usize, f64)>> {
+    (0..task.ods().len())
+        .map(|k| {
+            task.routing()
+                .links_of_od(k)
+                .into_iter()
+                .filter_map(|l| index.var(l).map(|v| (v, task.routing().entry(k, l))))
+                .collect()
+        })
+        .collect()
+}
+
+impl<U: Utility> PlacementObjective<U> {
+    /// Builds an objective from explicit parts: per-OD utilities, weights,
+    /// sparse routing rows and the variable count. Used by composite
+    /// multi-task problems and custom measurement tasks.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree, a weight is negative, or a row references
+    /// a variable ≥ `dim`.
+    pub fn from_parts(
+        utilities: Vec<U>,
+        weights: Vec<f64>,
+        rows: Vec<Vec<(usize, f64)>>,
+        rate_model: RateModel,
+        dim: usize,
+    ) -> Self {
+        assert_eq!(utilities.len(), rows.len(), "utilities/rows length mismatch");
+        assert_eq!(utilities.len(), weights.len(), "utilities/weights length mismatch");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be ≥ 0");
+        for row in &rows {
+            for &(v, r) in row {
+                assert!(v < dim, "row references variable {v} ≥ dim {dim}");
+                assert!((0.0..=1.0).contains(&r), "routing fraction {r} out of [0,1]");
+            }
+        }
+        PlacementObjective { utilities, weights, rows, rate_model, dim }
+    }
+
+    /// The per-OD utilities.
+    pub fn utilities(&self) -> &[U] {
+        &self.utilities
+    }
+
+    /// The per-OD weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The sparse routing row of OD `k`: `(variable, r_{k,i})` pairs over
+    /// the candidate links it traverses.
+    pub fn row(&self, k: usize) -> &[(usize, f64)] {
+        &self.rows[k]
+    }
+
+    /// Effective sampling rate of OD `k` at rates `p` under this objective's
+    /// rate model, clamped into `[0, 1]`.
+    pub fn effective_rate(&self, k: usize, p: &Vector) -> f64 {
+        match self.rate_model {
+            RateModel::Approximate => self.rows[k]
+                .iter()
+                .map(|&(v, r)| r * p[v])
+                .sum::<f64>()
+                .clamp(0.0, 1.0),
+            RateModel::Exact => {
+                let miss: f64 =
+                    self.rows[k].iter().map(|&(v, r)| (1.0 - p[v]).powf(r)).product();
+                (1.0 - miss).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// All per-OD effective rates at `p`.
+    pub fn effective_rates(&self, p: &Vector) -> Vec<f64> {
+        (0..self.rows.len()).map(|k| self.effective_rate(k, p)).collect()
+    }
+}
+
+impl<U: Utility> Objective for PlacementObjective<U> {
+    fn value(&self, p: &Vector) -> f64 {
+        (0..self.rows.len())
+            .map(|k| self.weights[k] * self.utilities[k].value(self.effective_rate(k, p)))
+            .sum()
+    }
+
+    fn gradient(&self, p: &Vector) -> Vector {
+        let mut g = Vector::zeros(self.dim);
+        for (k, row) in self.rows.iter().enumerate() {
+            let rho = self.effective_rate(k, p);
+            let m1 = self.weights[k] * self.utilities[k].d1(rho);
+            match self.rate_model {
+                RateModel::Approximate => {
+                    for &(v, r) in row {
+                        g[v] += m1 * r;
+                    }
+                }
+                RateModel::Exact => {
+                    // ∂ρ/∂p_v = r·(1−ρ)/(1−p_v)
+                    let miss = 1.0 - rho;
+                    for &(v, r) in row {
+                        let denom = (1.0 - p[v]).max(1e-12);
+                        g[v] += m1 * r * miss / denom;
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn curvature_along(&self, p: &Vector, s: &Vector) -> f64 {
+        let mut total = 0.0;
+        for (k, row) in self.rows.iter().enumerate() {
+            let rho = self.effective_rate(k, p);
+            let w = self.weights[k];
+            let (m1, m2) = (w * self.utilities[k].d1(rho), w * self.utilities[k].d2(rho));
+            match self.rate_model {
+                RateModel::Approximate => {
+                    let drho: f64 = row.iter().map(|&(v, r)| r * s[v]).sum();
+                    total += m2 * drho * drho;
+                }
+                RateModel::Exact => {
+                    // With m(t) = Π(1−p_v−t·s_v)^r = 1−ρ(t):
+                    //   ρ'  = m·σ₁,   ρ'' = m·(σ₂ − σ₁²)
+                    // where σ₁ = Σ r·s_v/(1−p_v), σ₂ = Σ r·s_v²/(1−p_v)².
+                    let miss = 1.0 - rho;
+                    let mut s1 = 0.0;
+                    let mut s2 = 0.0;
+                    for &(v, r) in row {
+                        let q = (1.0 - p[v]).max(1e-12);
+                        s1 += r * s[v] / q;
+                        s2 += r * s[v] * s[v] / (q * q);
+                    }
+                    let drho = miss * s1;
+                    let ddrho = miss * (s2 - s1 * s1);
+                    total += m2 * drho * drho + m1 * ddrho;
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Builds the reduced [`BoxLinearProblem`] (bounds `α`, loads `U`, capacity
+/// `θ`) for `task`.
+///
+/// # Errors
+/// Propagates [`nws_solver::SolverError`] — notably `Infeasible` when
+/// `θ > Σ α_i·U_i` over the candidate links, i.e. the capacity exceeds what
+/// the candidate monitors could ever sample.
+pub fn build_problem(
+    task: &MeasurementTask,
+    index: &ReducedIndex,
+) -> Result<BoxLinearProblem, CoreError> {
+    let upper: Vector =
+        (0..index.dim()).map(|v| task.alpha()[index.link(v).index()]).collect();
+    let loads: Vector =
+        (0..index.dim()).map(|v| task.link_loads()[index.link(v).index()]).collect();
+    Ok(BoxLinearProblem::new(upper, loads, task.theta())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nws_routing::OdPair;
+    use nws_topo::geant;
+
+    fn small_task() -> MeasurementTask {
+        let topo = geant();
+        let janet = topo.require_node("JANET").unwrap();
+        let nl = topo.require_node("NL").unwrap();
+        let lu = topo.require_node("LU").unwrap();
+        MeasurementTask::builder(topo)
+            .track("JANET-NL", OdPair::new(janet, nl), 9e6)
+            .track("JANET-LU", OdPair::new(janet, lu), 6e3)
+            .theta(50_000.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reduced_index_roundtrip() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        assert_eq!(idx.dim(), task.candidate_links().len());
+        for v in 0..idx.dim() {
+            assert_eq!(idx.var(idx.link(v)), Some(v));
+        }
+        // Access link is not in the index.
+        let access = nws_topo::janet_access_link(task.topology());
+        assert_eq!(idx.var(access), None);
+
+        let reduced: Vector = (0..idx.dim()).map(|v| v as f64 + 1.0).collect();
+        let full = idx.expand(&reduced, task.topology().num_links());
+        assert_eq!(full.len(), task.topology().num_links());
+        for v in 0..idx.dim() {
+            assert_eq!(full[idx.link(v).index()], v as f64 + 1.0);
+        }
+        assert_eq!(full[access.index()], 0.0);
+    }
+
+    #[test]
+    fn effective_rates_models_agree_at_low_rates() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        let approx = PlacementObjective::new(&task, &idx, RateModel::Approximate);
+        let exact = PlacementObjective::new(&task, &idx, RateModel::Exact);
+        let p = Vector::filled(idx.dim(), 1e-3);
+        for k in 0..2 {
+            let ra = approx.effective_rate(k, &p);
+            let re = exact.effective_rate(k, &p);
+            // Union bound, modulo one-ulp float noise on single-link paths.
+            assert!(ra >= re - 1e-12, "union bound: {ra} < {re}");
+            assert!((ra - re) / re < 1e-2, "k={k}: {ra} vs {re}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_both_models() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let obj = PlacementObjective::new(&task, &idx, model);
+            let p: Vector = (0..idx.dim()).map(|v| 1e-3 * (v as f64 + 1.0)).collect();
+            let g = obj.gradient(&p);
+            for v in 0..idx.dim() {
+                let h = 1e-9;
+                let mut pp = p.clone();
+                pp[v] += h;
+                let mut pm = p.clone();
+                pm[v] -= h;
+                let fd = (obj.value(&pp) - obj.value(&pm)) / (2.0 * h);
+                assert!(
+                    (fd - g[v]).abs() <= 1e-4 * g[v].abs().max(1.0),
+                    "{model:?} var {v}: fd {fd} vs g {}",
+                    g[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn curvature_matches_finite_differences_both_models() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let obj = PlacementObjective::new(&task, &idx, model);
+            let p: Vector = (0..idx.dim()).map(|v| 2e-3 * (v as f64 + 1.0)).collect();
+            let s: Vector = (0..idx.dim())
+                .map(|v| if v % 2 == 0 { 1e-3 } else { -5e-4 })
+                .collect();
+            let c = obj.curvature_along(&p, &s);
+            let h = 1e-3;
+            let at = |t: f64| {
+                let mut x = p.clone();
+                x.axpy(t, &s);
+                obj.value(&x)
+            };
+            let fd = (at(h) - 2.0 * at(0.0) + at(-h)) / (h * h);
+            assert!(
+                (fd - c).abs() <= 1e-3 * c.abs().max(1e-9),
+                "{model:?}: fd {fd} vs curvature {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn curvature_negative_in_operating_regime() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let obj = PlacementObjective::new(&task, &idx, model);
+            let p = Vector::filled(idx.dim(), 5e-3);
+            let s = Vector::filled(idx.dim(), 1.0);
+            assert!(obj.curvature_along(&p, &s) < 0.0, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn problem_construction_and_infeasibility() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        let pb = build_problem(&task, &idx).unwrap();
+        assert_eq!(pb.dim(), idx.dim());
+        assert_eq!(pb.eq_rhs(), 50_000.0);
+
+        // θ larger than all candidate loads combined → infeasible.
+        let total: f64 =
+            task.candidate_links().iter().map(|l| task.link_loads()[l.index()]).sum();
+        let too_big = task.with_theta(total * 1.01).unwrap();
+        let err = build_problem(&too_big, &ReducedIndex::new(&too_big)).unwrap_err();
+        assert!(matches!(err, CoreError::Solver(nws_solver::SolverError::Infeasible { .. })));
+    }
+}

@@ -1,0 +1,446 @@
+//! The joint monitor-activation and sampling-rate optimizer.
+
+use crate::{
+    build_problem, CoreError, MeasurementTask, PlacementObjective, RateModel, ReducedIndex,
+    Utility,
+};
+use nws_linalg::Vector;
+use nws_solver::{Diagnostics, Solver, SolverOptions, TerminationReason};
+use nws_topo::LinkId;
+
+/// Rates below this threshold count as "monitor not activated" when
+/// reporting the active set (the optimizer drives them to exactly 0 up to
+/// float fuzz).
+pub const ACTIVATION_THRESHOLD: f64 = 1e-9;
+
+/// Configuration of a placement run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlacementConfig {
+    /// Effective-rate model inside the objective (paper default:
+    /// [`RateModel::Approximate`]).
+    pub rate_model: RateModel,
+    /// Underlying solver options (iteration cap 2000 etc.).
+    pub solver: SolverOptions,
+}
+
+/// The optimizer's answer: which monitors to activate and at what rates,
+/// plus everything needed to audit the run.
+#[derive(Debug, Clone)]
+pub struct PlacementSolution {
+    /// Sampling rate per topology link (0 on non-candidates).
+    pub rates: Vec<f64>,
+    /// Links whose monitor is activated (rate above
+    /// [`ACTIVATION_THRESHOLD`]), in link-id order.
+    pub active_monitors: Vec<LinkId>,
+    /// Per-OD effective rate under the approximation `ρ = Σ r·p` (eq. (7)) —
+    /// what the estimator divides by.
+    pub effective_rates_approx: Vec<f64>,
+    /// Per-OD exact effective rate `1 − Π(1−p)^r` (eq. (1)) — what sampling
+    /// actually delivers.
+    pub effective_rates_exact: Vec<f64>,
+    /// Per-OD utility values `M(ρ_k)` at the solution (approximate-rate ρ).
+    pub utilities: Vec<f64>,
+    /// Objective value `Σ_k M(ρ_k)`.
+    pub objective: f64,
+    /// Marginal utility of sampling capacity (`∂ objective/∂θ`).
+    pub lambda: f64,
+    /// Whether the KKT conditions were verified (global optimum certified).
+    pub kkt_verified: bool,
+    /// Why the solver stopped.
+    pub reason: TerminationReason,
+    /// Solver diagnostics (iterations, constraint releases — §IV-D metrics).
+    pub diagnostics: Diagnostics,
+    /// Objective per iteration, populated when
+    /// [`nws_solver::SolverOptions::record_objective`] is set (empty
+    /// otherwise). See the `convergence_trace` experiment.
+    pub objective_trajectory: Vec<f64>,
+}
+
+impl PlacementSolution {
+    /// Sampled packets per interval each link contributes: `p_i·U_i`.
+    pub fn capacity_usage(&self, task: &MeasurementTask) -> Vec<f64> {
+        self.rates
+            .iter()
+            .zip(task.link_loads())
+            .map(|(&p, &u)| p * u)
+            .collect()
+    }
+
+    /// The sampling rates on the links traversed by OD `k`, restricted to
+    /// activated monitors: `(link, rate)` pairs.
+    pub fn monitors_of_od(&self, task: &MeasurementTask, k: usize) -> Vec<(LinkId, f64)> {
+        task.routing()
+            .links_of_od(k)
+            .into_iter()
+            .filter(|&l| self.rates[l.index()] > ACTIVATION_THRESHOLD)
+            .map(|l| (l, self.rates[l.index()]))
+            .collect()
+    }
+}
+
+/// Solves the joint activation + rate problem for `task`.
+///
+/// This is the paper's method end to end: build the reduced convex program
+/// over the candidate links, run gradient projection with KKT verification,
+/// and report rates with `p_i = 0` meaning "monitor i stays off".
+///
+/// # Errors
+/// [`CoreError::Solver`] for infeasible capacity or solver failures.
+pub fn solve_placement(
+    task: &MeasurementTask,
+    config: &PlacementConfig,
+) -> Result<PlacementSolution, CoreError> {
+    let index = ReducedIndex::new(task);
+    let objective = PlacementObjective::new(task, &index, config.rate_model);
+    let problem = build_problem(task, &index)?;
+    let solver = Solver::new(config.solver);
+    let sol = solver.maximize(&objective, &problem)?;
+    Ok(finish_solution(task, &index, sol))
+}
+
+/// Converts a raw solver solution over the reduced variables into the full
+/// reporting structure (rates expanded to topology links, both effective-rate
+/// models evaluated).
+fn finish_solution(
+    task: &MeasurementTask,
+    index: &ReducedIndex,
+    sol: nws_solver::Solution,
+) -> PlacementSolution {
+    let exact_obj = PlacementObjective::new(task, index, RateModel::Exact);
+    let approx_obj = PlacementObjective::new(task, index, RateModel::Approximate);
+    let effective_rates_approx = approx_obj.effective_rates(&sol.p);
+    let effective_rates_exact = exact_obj.effective_rates(&sol.p);
+    let utilities: Vec<f64> = effective_rates_approx
+        .iter()
+        .enumerate()
+        .map(|(k, &rho)| approx_obj.utilities()[k].value(rho))
+        .collect();
+
+    let rates = index.expand(&sol.p, task.topology().num_links());
+    let active_monitors: Vec<LinkId> = task
+        .candidate_links()
+        .iter()
+        .copied()
+        .filter(|&l| rates[l.index()] > ACTIVATION_THRESHOLD)
+        .collect();
+
+    PlacementSolution {
+        rates,
+        active_monitors,
+        effective_rates_approx,
+        effective_rates_exact,
+        utilities,
+        objective: sol.value,
+        lambda: sol.lambda,
+        kkt_verified: sol.kkt_verified,
+        reason: sol.reason,
+        diagnostics: sol.diagnostics,
+        objective_trajectory: sol.objective_trajectory,
+    }
+}
+
+/// Solves the placement problem warm-started from a previous rate vector —
+/// the operational re-optimization path after a re-routing event or traffic
+/// shift (paper §I), where yesterday's configuration is usually close to
+/// today's optimum.
+///
+/// `previous_rates` is indexed by topology link (as in
+/// [`PlacementSolution::rates`], possibly from a *different* topology epoch —
+/// entries for links absent from this task's candidate set are ignored). The
+/// vector is projected onto the feasible set (clamped into the box, then
+/// scaled onto the capacity equality by monotone bisection) before the
+/// solve.
+///
+/// # Errors
+/// Same conditions as [`solve_placement`].
+///
+/// # Panics
+/// Panics if `previous_rates` length differs from the topology's link count.
+pub fn solve_placement_warm(
+    task: &MeasurementTask,
+    config: &PlacementConfig,
+    previous_rates: &[f64],
+) -> Result<PlacementSolution, CoreError> {
+    assert_eq!(
+        previous_rates.len(),
+        task.topology().num_links(),
+        "previous rate vector length mismatch"
+    );
+    let index = ReducedIndex::new(task);
+    let problem = build_problem(task, &index)?;
+
+    // Reduce + clamp into the box.
+    let mut start: Vector = (0..index.dim())
+        .map(|v| {
+            previous_rates[index.link(v).index()]
+                .clamp(0.0, task.alpha()[index.link(v).index()])
+        })
+        .collect();
+    // Scale onto the equality a·(c·p ∧ upper) = θ. The left side is
+    // continuous and nondecreasing in c, 0 at c = 0 and ≥ θ at the ceiling,
+    // so bisection converges; degenerate all-zero starts fall back to the
+    // canonical start.
+    let a = problem.eq_normal();
+    let theta = problem.eq_rhs();
+    let consumed = |c: f64, p: &Vector| -> f64 {
+        (0..p.len())
+            .map(|i| a[i] * (c * p[i]).min(problem.upper()[i]))
+            .sum()
+    };
+    if start.iter().all(|&p| p <= 0.0) || consumed(1e12, &start) < theta {
+        start = problem.feasible_start();
+    } else {
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        while consumed(hi, &start) < theta {
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if consumed(mid, &start) < theta {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let c = 0.5 * (lo + hi);
+        for i in 0..start.len() {
+            start[i] = (c * start[i]).min(problem.upper()[i]);
+        }
+        // Absorb the residual bisection error along the unclamped coords.
+        if !problem.is_feasible(&start, 1e-9) {
+            start = problem.feasible_start();
+        }
+    }
+
+    let objective = PlacementObjective::new(task, &index, config.rate_model);
+    let solver = Solver::new(config.solver);
+    let sol = solver.maximize_from(&objective, &problem, start)?;
+    Ok(finish_solution(task, &index, sol))
+}
+
+/// Evaluates the reporting quantities of an externally chosen rate vector
+/// (baselines, stale configurations) against a task, without optimizing.
+///
+/// # Panics
+/// Panics if `rates` length differs from the topology's link count.
+pub fn evaluate_rates(task: &MeasurementTask, rates: &[f64]) -> PlacementSolution {
+    assert_eq!(
+        rates.len(),
+        task.topology().num_links(),
+        "rate vector length mismatch"
+    );
+    let index = ReducedIndex::new(task);
+    let reduced: Vector = (0..index.dim()).map(|v| rates[index.link(v).index()]).collect();
+    let approx_obj = PlacementObjective::new(task, &index, RateModel::Approximate);
+    let exact_obj = PlacementObjective::new(task, &index, RateModel::Exact);
+    let effective_rates_approx = approx_obj.effective_rates(&reduced);
+    let effective_rates_exact = exact_obj.effective_rates(&reduced);
+    let utilities: Vec<f64> = effective_rates_approx
+        .iter()
+        .enumerate()
+        .map(|(k, &rho)| approx_obj.utilities()[k].value(rho))
+        .collect();
+    let objective = utilities.iter().sum();
+    let active_monitors: Vec<LinkId> = task
+        .candidate_links()
+        .iter()
+        .copied()
+        .filter(|&l| rates[l.index()] > ACTIVATION_THRESHOLD)
+        .collect();
+    PlacementSolution {
+        rates: rates.to_vec(),
+        active_monitors,
+        effective_rates_approx,
+        effective_rates_exact,
+        utilities,
+        objective,
+        lambda: f64::NAN,
+        kkt_verified: false,
+        reason: TerminationReason::IterationLimit,
+        diagnostics: Diagnostics {
+            iterations: 0,
+            constraint_releases: 0,
+            bounds_hit: 0,
+            final_projected_gradient: f64::NAN,
+            stationarity_residual: f64::NAN,
+        },
+        objective_trajectory: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::placement::solve_placement_warm;
+    use nws_routing::OdPair;
+    use nws_topo::geant;
+
+    /// Two-OD task: one elephant (NL), one mouse (LU), no background.
+    fn two_od_task(theta: f64) -> MeasurementTask {
+        let topo = geant();
+        let janet = topo.require_node("JANET").unwrap();
+        let nl = topo.require_node("NL").unwrap();
+        let lu = topo.require_node("LU").unwrap();
+        MeasurementTask::builder(topo)
+            .track("JANET-NL", OdPair::new(janet, nl), 9e6)
+            .track("JANET-LU", OdPair::new(janet, lu), 6e3)
+            .theta(theta)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn solves_and_certifies() {
+        let task = two_od_task(20_000.0);
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        assert!(sol.kkt_verified, "diagnostics: {:?}", sol.diagnostics);
+        assert_eq!(sol.reason, TerminationReason::KktSatisfied);
+        // Capacity fully used.
+        let used: f64 = sol.capacity_usage(&task).iter().sum();
+        assert!((used / 20_000.0 - 1.0).abs() < 1e-6, "used {used}");
+        // All rates within [0, 1].
+        assert!(sol.rates.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn mouse_sampled_on_quiet_link() {
+        // The optimizer should sample JANET-LU on the lightly loaded FR-LU
+        // link at a much higher rate than anything on the busy UK links.
+        let task = two_od_task(20_000.0);
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        let topo = task.topology();
+        let fr = topo.require_node("FR").unwrap();
+        let lu = topo.require_node("LU").unwrap();
+        let uk = topo.require_node("UK").unwrap();
+        let nl = topo.require_node("NL").unwrap();
+        let fr_lu = topo.link_between(fr, lu).unwrap();
+        let uk_nl = topo.link_between(uk, nl).unwrap();
+        assert!(
+            sol.rates[fr_lu.index()] > sol.rates[uk_nl.index()],
+            "FR-LU {} vs UK-NL {}",
+            sol.rates[fr_lu.index()],
+            sol.rates[uk_nl.index()]
+        );
+        // Both ODs get nonzero effective rates.
+        assert!(sol.effective_rates_approx.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn rates_low_and_models_agree() {
+        // §V-B claim: optimal rates are low, so approx ≈ exact.
+        let task = two_od_task(20_000.0);
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        for k in 0..task.ods().len() {
+            let (a, e) = (sol.effective_rates_approx[k], sol.effective_rates_exact[k]);
+            assert!(a >= e - 1e-15, "union bound violated");
+            assert!((a - e) / e.max(1e-12) < 0.02, "OD {k}: {a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn more_capacity_more_utility() {
+        let lo = solve_placement(&two_od_task(5_000.0), &PlacementConfig::default()).unwrap();
+        let hi = solve_placement(&two_od_task(50_000.0), &PlacementConfig::default()).unwrap();
+        assert!(hi.objective > lo.objective);
+        // λ (marginal utility of capacity) decreases with capacity.
+        assert!(hi.lambda < lo.lambda, "λ {} !< {}", hi.lambda, lo.lambda);
+    }
+
+    #[test]
+    fn exact_model_solves_too() {
+        let task = two_od_task(20_000.0);
+        let cfg =
+            PlacementConfig { rate_model: RateModel::Exact, ..PlacementConfig::default() };
+        let sol = solve_placement(&task, &cfg).unwrap();
+        let approx_sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        // In the low-rate regime the two solutions essentially coincide.
+        assert!((sol.objective - approx_sol.objective).abs() < 1e-4);
+    }
+
+    #[test]
+    fn monitors_of_od_reports_active_links() {
+        let task = two_od_task(20_000.0);
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        for k in 0..task.ods().len() {
+            let monitors = sol.monitors_of_od(&task, k);
+            // Every OD is observed somewhere at this capacity.
+            assert!(!monitors.is_empty(), "OD {k} unobserved");
+            for (l, p) in monitors {
+                assert!(task.routing().traverses(k, l));
+                assert!(p > ACTIVATION_THRESHOLD);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_rates_roundtrip() {
+        let task = two_od_task(20_000.0);
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        let eval = evaluate_rates(&task, &sol.rates);
+        assert!((eval.objective - sol.objective).abs() < 1e-9);
+        assert_eq!(eval.active_monitors, sol.active_monitors);
+        for k in 0..task.ods().len() {
+            assert!(
+                (eval.effective_rates_exact[k] - sol.effective_rates_exact[k]).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+
+    #[test]
+    fn warm_start_matches_cold_solution() {
+        let task = two_od_task(20_000.0);
+        let cold = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        let warm =
+            solve_placement_warm(&task, &PlacementConfig::default(), &cold.rates).unwrap();
+        assert!(warm.kkt_verified);
+        assert!((warm.objective - cold.objective).abs() < 1e-8);
+        // Starting at the optimum, the warm solve certifies almost instantly.
+        assert!(
+            warm.diagnostics.iterations <= cold.diagnostics.iterations,
+            "warm {} vs cold {}",
+            warm.diagnostics.iterations,
+            cold.diagnostics.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_from_perturbed_theta() {
+        // Yesterday's rates for a different theta still warm-start cleanly.
+        let yesterday = two_od_task(15_000.0);
+        let today = two_od_task(25_000.0);
+        let prev = solve_placement(&yesterday, &PlacementConfig::default()).unwrap();
+        let warm =
+            solve_placement_warm(&today, &PlacementConfig::default(), &prev.rates).unwrap();
+        let cold = solve_placement(&today, &PlacementConfig::default()).unwrap();
+        assert!(warm.kkt_verified);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_from_zeros_falls_back() {
+        let task = two_od_task(20_000.0);
+        let zeros = vec![0.0; task.topology().num_links()];
+        let warm = solve_placement_warm(&task, &PlacementConfig::default(), &zeros).unwrap();
+        let cold = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous rate vector length mismatch")]
+    fn warm_start_length_checked() {
+        let task = two_od_task(20_000.0);
+        let _ = solve_placement_warm(&task, &PlacementConfig::default(), &[0.5]);
+    }
+
+    #[test]
+    fn infeasible_theta_surfaces() {
+        let task = two_od_task(20_000.0);
+        let total: f64 =
+            task.candidate_links().iter().map(|l| task.link_loads()[l.index()]).sum();
+        let bad = task.with_theta(total * 2.0).unwrap();
+        let err = solve_placement(&bad, &PlacementConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Solver(nws_solver::SolverError::Infeasible { .. })));
+    }
+}

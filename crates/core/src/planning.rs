@@ -1,0 +1,160 @@
+//! Capacity planning: sizing `θ` for a target measurement quality.
+//!
+//! The operator-facing inverse of the placement problem. The paper gives the
+//! forward direction (θ in → accuracy out, Figure 2); operationally one asks
+//! the other way: *how much sampling capacity do I need so that even the
+//! worst-tracked OD pair reaches utility `u*`?* Because the optimal
+//! worst-OD utility is nondecreasing in θ (more budget can only help —
+//! verified by a dedicated test), bisection on θ answers this with a handful
+//! of solves.
+
+use crate::{solve_placement, CoreError, MeasurementTask, PlacementConfig};
+
+/// Outcome of a capacity-planning query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanningResult {
+    /// The smallest capacity found meeting the target (within tolerance).
+    pub theta: f64,
+    /// The achieved worst-OD utility at that capacity.
+    pub achieved_worst_utility: f64,
+    /// Number of optimizer solves spent.
+    pub solves: usize,
+}
+
+/// Finds the (approximately) minimal `θ` whose optimal placement gives every
+/// tracked OD pair at least `target_utility`.
+///
+/// Searches `[theta_min, theta_max]` by bisection to a relative width of
+/// `rel_tol` (e.g. `0.01` = size the budget to 1 %).
+///
+/// # Errors
+/// [`CoreError::InvalidTask`] if the target is unreachable even at
+/// `theta_max`, if it is already met at `theta_min` (widen the bracket), or
+/// for nonsensical parameters. Solver errors propagate.
+pub fn theta_for_target_utility(
+    task: &MeasurementTask,
+    target_utility: f64,
+    theta_min: f64,
+    theta_max: f64,
+    rel_tol: f64,
+    config: &PlacementConfig,
+) -> Result<PlanningResult, CoreError> {
+    if !(target_utility.is_finite() && (0.0..1.0).contains(&target_utility)) {
+        return Err(CoreError::InvalidTask(format!(
+            "target utility must be in [0,1), got {target_utility}"
+        )));
+    }
+    if !(theta_min > 0.0 && theta_max > theta_min && rel_tol > 0.0) {
+        return Err(CoreError::InvalidTask(
+            "need 0 < theta_min < theta_max and rel_tol > 0".into(),
+        ));
+    }
+    let mut solves = 0usize;
+    let mut worst_at = |theta: f64| -> Result<f64, CoreError> {
+        solves += 1;
+        let sol = solve_placement(&task.with_theta(theta)?, config)?;
+        Ok(sol.utilities.iter().cloned().fold(f64::INFINITY, f64::min))
+    };
+
+    let at_max = worst_at(theta_max)?;
+    if at_max < target_utility {
+        return Err(CoreError::InvalidTask(format!(
+            "target {target_utility} unreachable: worst utility at theta_max is {at_max}"
+        )));
+    }
+    let at_min = worst_at(theta_min)?;
+    if at_min >= target_utility {
+        return Ok(PlanningResult {
+            theta: theta_min,
+            achieved_worst_utility: at_min,
+            solves,
+        });
+    }
+
+    let (mut lo, mut hi) = (theta_min, theta_max);
+    let mut achieved = at_max;
+    while hi / lo > 1.0 + rel_tol {
+        let mid = (lo * hi).sqrt(); // geometric midpoint: θ spans decades
+        let w = worst_at(mid)?;
+        if w >= target_utility {
+            hi = mid;
+            achieved = w;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(PlanningResult { theta: hi, achieved_worst_utility: achieved, solves })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::janet_task_with;
+
+    fn base() -> MeasurementTask {
+        janet_task_with(100_000.0, 1).unwrap()
+    }
+
+    #[test]
+    fn finds_minimal_theta_for_target() {
+        let task = base();
+        let cfg = PlacementConfig::default();
+        let plan =
+            theta_for_target_utility(&task, 0.95, 1_000.0, 5_000_000.0, 0.02, &cfg)
+                .unwrap();
+        assert!(plan.achieved_worst_utility >= 0.95);
+        // Minimality: 5% less capacity misses the target.
+        let sol = solve_placement(
+            &task.with_theta(plan.theta / 1.05).unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        let worst = sol.utilities.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            worst < 0.95,
+            "theta {} is not near-minimal (worst at -5%: {worst})",
+            plan.theta
+        );
+        assert!(plan.solves < 40, "too many solves: {}", plan.solves);
+    }
+
+    #[test]
+    fn target_already_met_at_min() {
+        let task = base();
+        let cfg = PlacementConfig::default();
+        let plan =
+            theta_for_target_utility(&task, 0.1, 50_000.0, 1_000_000.0, 0.05, &cfg)
+                .unwrap();
+        assert_eq!(plan.theta, 50_000.0);
+    }
+
+    #[test]
+    fn unreachable_target_reported() {
+        let task = base();
+        let cfg = PlacementConfig::default();
+        let err =
+            theta_for_target_utility(&task, 0.99999, 1_000.0, 20_000.0, 0.05, &cfg)
+                .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidTask(_)));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let task = base();
+        let cfg = PlacementConfig::default();
+        assert!(theta_for_target_utility(&task, 1.5, 1.0, 2.0, 0.1, &cfg).is_err());
+        assert!(theta_for_target_utility(&task, 0.5, 2.0, 1.0, 0.1, &cfg).is_err());
+        assert!(theta_for_target_utility(&task, 0.5, 1.0, 2.0, 0.0, &cfg).is_err());
+    }
+
+    #[test]
+    fn higher_targets_need_more_capacity() {
+        let task = base();
+        let cfg = PlacementConfig::default();
+        let lo = theta_for_target_utility(&task, 0.90, 1_000.0, 5_000_000.0, 0.02, &cfg)
+            .unwrap();
+        let hi = theta_for_target_utility(&task, 0.98, 1_000.0, 5_000_000.0, 0.02, &cfg)
+            .unwrap();
+        assert!(hi.theta > lo.theta, "{} !> {}", hi.theta, lo.theta);
+    }
+}

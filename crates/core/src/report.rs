@@ -1,0 +1,137 @@
+//! Text rendering of experiment outputs (Table I / Figure 2 style).
+
+use crate::{MeasurementTask, OdAccuracy, PlacementSolution};
+use nws_traffic::MEASUREMENT_INTERVAL_SECS;
+
+/// Renders a Table-I-style report: one section for the activated monitors
+/// (rate, load, contribution to θ) and one for the tracked OD pairs (size,
+/// monitoring links, utility, accuracy).
+///
+/// `accuracies` must be the output of [`crate::evaluate_accuracy`] for the
+/// same task and solution (same OD order).
+///
+/// # Panics
+/// Panics if `accuracies` length differs from the task's OD count.
+pub fn render_table1(
+    task: &MeasurementTask,
+    solution: &PlacementSolution,
+    accuracies: &[OdAccuracy],
+) -> String {
+    assert_eq!(accuracies.len(), task.ods().len(), "accuracy vector mismatch");
+    let topo = task.topology();
+    let mut out = String::new();
+
+    out.push_str(&format!(
+        "Optimal sampling configuration (theta = {} sampled pkts / {}s interval)\n",
+        task.theta(),
+        MEASUREMENT_INTERVAL_SECS
+    ));
+    out.push_str(&format!(
+        "KKT verified: {} | iterations: {} | constraint releases: {}\n\n",
+        solution.kkt_verified,
+        solution.diagnostics.iterations,
+        solution.diagnostics.constraint_releases
+    ));
+
+    out.push_str("Activated monitors (all other links have zero sampling rate):\n");
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>16} {:>14}\n",
+        "link", "rate", "load (pkt/s)", "contrib to θ"
+    ));
+    let usage = solution.capacity_usage(task);
+    for &l in &solution.active_monitors {
+        let load_pps = task.link_loads()[l.index()] / MEASUREMENT_INTERVAL_SECS;
+        out.push_str(&format!(
+            "{:<10} {:>12.6} {:>16.0} {:>13.1}%\n",
+            topo.link_label(l),
+            solution.rates[l.index()],
+            load_pps,
+            100.0 * usage[l.index()] / task.theta()
+        ));
+    }
+    let total_usage: f64 = usage.iter().sum();
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>16} {:>13.1}%\n\n",
+        "total", "", "", 100.0 * total_usage / task.theta()
+    ));
+
+    out.push_str("Tracked OD pairs:\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>9} {:>9} {:>9}  {}\n",
+        "OD pair", "pkt/s", "ρ (eff.)", "utility", "accuracy", "monitored on"
+    ));
+    for (k, od) in task.ods().iter().enumerate() {
+        let monitors = solution.monitors_of_od(task, k);
+        let where_str: Vec<String> =
+            monitors.iter().map(|&(l, _)| topo.link_label(l)).collect();
+        out.push_str(&format!(
+            "{:<12} {:>10.0} {:>9.6} {:>9.4} {:>9.4}  {}\n",
+            od.name,
+            od.size / MEASUREMENT_INTERVAL_SECS,
+            solution.effective_rates_approx[k],
+            solution.utilities[k],
+            accuracies[k].stats.mean,
+            where_str.join(", ")
+        ));
+    }
+    out
+}
+
+/// Renders a CSV block: a header row then one row per record. All
+/// experiment binaries print their figure series through this, so the
+/// output is directly plottable.
+pub fn render_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::janet_task_with;
+    use crate::{evaluate_accuracy, solve_placement, PlacementConfig};
+
+    #[test]
+    fn table1_contains_key_sections() {
+        let task = janet_task_with(50_000.0, 1).unwrap();
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        let accs = evaluate_accuracy(&task, &sol, 5, 3);
+        let text = render_table1(&task, &sol, &accs);
+        assert!(text.contains("Activated monitors"));
+        assert!(text.contains("Tracked OD pairs"));
+        assert!(text.contains("JANET-NL"));
+        assert!(text.contains("JANET-LU"));
+        assert!(text.contains("KKT verified: true"));
+        // Every active monitor appears with its label.
+        for &l in &sol.active_monitors {
+            assert!(text.contains(&task.topology().link_label(l)));
+        }
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let text = render_csv(
+            &["theta", "mean", "worst"],
+            &[vec![1000.0, 0.9, 0.5], vec![2000.0, 0.95, 0.7]],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "theta,mean,worst");
+        assert_eq!(lines[1], "1000,0.9,0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy vector mismatch")]
+    fn table1_length_check() {
+        let task = janet_task_with(50_000.0, 1).unwrap();
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        let _ = render_table1(&task, &sol, &[]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Plain-text measurement-task specification files.
+//!
+//! Lets operators drive the optimizer from the command line without writing
+//! Rust: a task file names the OD pairs of interest, the capacity, and the
+//! background-traffic model. Paired with the topology format of
+//! [`nws_topo::format`], a complete problem instance is two small text
+//! files.
+//!
+//! ```text
+//! # task file
+//! theta 100000                     # sampled packets per interval
+//! alpha 1.0                        # optional per-link rate cap (default 1)
+//! od JANET NL 30000                # origin destination rate_pkts_per_sec
+//! od JANET LU 20
+//! background gravity 400000 0.5 7  # total_pkts_per_sec mass_cv seed
+//! restrict UK FR                   # optional: only monitor links between
+//! restrict UK NL                   #   the named node pairs (one per line)
+//! ```
+//!
+//! Rates are packets/second; they are converted to packets per 5-minute
+//! measurement interval internally, matching the paper's units.
+
+use crate::{CoreError, MeasurementTask};
+use nws_routing::OdPair;
+use nws_topo::{LinkId, Topology};
+use nws_traffic::demand::DemandMatrix;
+use nws_traffic::MEASUREMENT_INTERVAL_SECS;
+
+/// Background-traffic model named in a task file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Background {
+    /// No background traffic.
+    None,
+    /// Capacity-weighted gravity matrix: `(total pkt/s, mass cv, seed)`.
+    Gravity(f64, f64, u64),
+}
+
+/// Parses a task file against `topo` and builds the measurement task.
+///
+/// # Errors
+/// [`CoreError::InvalidTask`] with a line-numbered message for syntax
+/// problems, unknown nodes, or semantic errors (missing `theta`, no ODs).
+pub fn parse_task(topo: Topology, text: &str) -> Result<MeasurementTask, CoreError> {
+    let err = |line: usize, msg: &str| {
+        CoreError::InvalidTask(format!("task file line {line}: {msg}"))
+    };
+
+    let mut theta: Option<f64> = None;
+    let mut alpha = 1.0;
+    let mut ods: Vec<(String, OdPair, f64)> = Vec::new();
+    let mut background = Background::None;
+    let mut restrict_pairs: Vec<(String, String)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        // Strip trailing comments.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("theta") => {
+                let v: f64 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "theta requires a value"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "theta must be a number"))?;
+                theta = Some(v);
+            }
+            Some("alpha") => {
+                alpha = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "alpha requires a value"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "alpha must be a number"))?;
+            }
+            Some("od") => {
+                let src = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "od requires ORIGIN"))?;
+                let dst = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "od requires DESTINATION"))?;
+                let rate: f64 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "od requires RATE (pkt/s)"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "RATE must be a number"))?;
+                let s = topo
+                    .node_by_name(src)
+                    .ok_or_else(|| err(lineno, &format!("unknown node '{src}'")))?;
+                let d = topo
+                    .node_by_name(dst)
+                    .ok_or_else(|| err(lineno, &format!("unknown node '{dst}'")))?;
+                ods.push((
+                    format!("{src}-{dst}"),
+                    OdPair::new(s, d),
+                    rate * MEASUREMENT_INTERVAL_SECS,
+                ));
+            }
+            Some("background") => match parts.next() {
+                Some("gravity") => {
+                    let total: f64 = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "gravity requires TOTAL (pkt/s)"))?
+                        .parse()
+                        .map_err(|_| err(lineno, "TOTAL must be a number"))?;
+                    let cv: f64 = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "gravity requires MASS_CV"))?
+                        .parse()
+                        .map_err(|_| err(lineno, "MASS_CV must be a number"))?;
+                    let seed: u64 = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "gravity requires SEED"))?
+                        .parse()
+                        .map_err(|_| err(lineno, "SEED must be an integer"))?;
+                    background = Background::Gravity(total, cv, seed);
+                }
+                Some("none") => background = Background::None,
+                other => {
+                    return Err(err(
+                        lineno,
+                        &format!("unknown background model {other:?}"),
+                    ))
+                }
+            },
+            Some("restrict") => {
+                let a = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "restrict requires NODE_A"))?;
+                let b = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "restrict requires NODE_B"))?;
+                restrict_pairs.push((a.to_string(), b.to_string()));
+            }
+            Some(other) => {
+                return Err(err(lineno, &format!("unknown directive '{other}'")))
+            }
+            None => unreachable!("blank lines filtered"),
+        }
+    }
+
+    let theta =
+        theta.ok_or_else(|| CoreError::InvalidTask("task file sets no theta".into()))?;
+    if ods.is_empty() {
+        return Err(CoreError::InvalidTask("task file defines no OD pairs".into()));
+    }
+
+    let bg_loads = match background {
+        Background::None => vec![0.0; topo.num_links()],
+        Background::Gravity(total, cv, seed) => DemandMatrix::gravity_capacity_weighted(
+            &topo,
+            total * MEASUREMENT_INTERVAL_SECS,
+            cv,
+            seed,
+        )
+        .link_loads(&topo),
+    };
+
+    // Resolve restrictions against the topology (both directions per pair).
+    let restriction: Option<Vec<LinkId>> = if restrict_pairs.is_empty() {
+        None
+    } else {
+        let mut links = Vec::new();
+        for (a, b) in &restrict_pairs {
+            let na = topo
+                .node_by_name(a)
+                .ok_or_else(|| CoreError::InvalidTask(format!("unknown node '{a}'")))?;
+            let nb = topo
+                .node_by_name(b)
+                .ok_or_else(|| CoreError::InvalidTask(format!("unknown node '{b}'")))?;
+            for l in [topo.link_between(na, nb), topo.link_between(nb, na)]
+                .into_iter()
+                .flatten()
+            {
+                links.push(l);
+            }
+        }
+        if links.is_empty() {
+            return Err(CoreError::InvalidTask(
+                "restrict lines match no links in the topology".into(),
+            ));
+        }
+        Some(links)
+    };
+
+    let mut builder = MeasurementTask::builder(topo);
+    for (name, od, size) in ods {
+        builder = builder.track(name, od, size);
+    }
+    builder = builder.background_loads(&bg_loads).theta(theta).alpha(alpha);
+    if let Some(links) = restriction {
+        builder = builder.restrict_links(links);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nws_topo::geant;
+
+    const GOOD: &str = "\
+# JANET mini task
+theta 50000
+alpha 0.5
+od JANET NL 30000   # elephant
+od JANET LU 20      # mouse
+background gravity 400000 0.5 7
+";
+
+    #[test]
+    fn parse_good_file() {
+        let task = parse_task(geant(), GOOD).unwrap();
+        assert_eq!(task.theta(), 50_000.0);
+        assert_eq!(task.ods().len(), 2);
+        assert_eq!(task.ods()[0].name, "JANET-NL");
+        assert_eq!(task.ods()[0].size, 30_000.0 * 300.0);
+        assert_eq!(task.alpha()[0], 0.5);
+        // Background present: loads exceed the tracked-only level somewhere.
+        assert!(task.link_loads().iter().any(|&u| u > 0.0));
+    }
+
+    #[test]
+    fn restrict_lines_limit_candidates() {
+        let text = "\
+theta 10000
+od JANET NL 30000
+od JANET LU 20
+restrict UK NL
+restrict UK FR
+";
+        let task = parse_task(geant(), text).unwrap();
+        assert_eq!(task.candidate_links().len(), 2); // UK->NL and UK->FR only
+    }
+
+    #[test]
+    fn missing_theta_rejected() {
+        let e = parse_task(geant(), "od JANET NL 100\n").unwrap_err();
+        assert!(e.to_string().contains("no theta"), "{e}");
+    }
+
+    #[test]
+    fn no_ods_rejected() {
+        let e = parse_task(geant(), "theta 100\n").unwrap_err();
+        assert!(e.to_string().contains("no OD pairs"), "{e}");
+    }
+
+    #[test]
+    fn unknown_node_rejected_with_line() {
+        let e = parse_task(geant(), "theta 100\nod JANET MARS 5\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"), "{e}");
+        assert!(e.to_string().contains("MARS"), "{e}");
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let e = parse_task(geant(), "theta lots\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let e = parse_task(geant(), "frobnicate 1\n").unwrap_err();
+        assert!(e.to_string().contains("unknown directive"), "{e}");
+    }
+
+    #[test]
+    fn background_none_explicit() {
+        let text = "theta 1000\nod JANET NL 30000\nbackground none\n";
+        let task = parse_task(geant(), text).unwrap();
+        // Loads are exactly the tracked traffic on its path.
+        let total: f64 = task.link_loads().iter().sum();
+        // JANET->NL: access + UK-NL = 2 links × 9e6 pkts.
+        assert!((total - 2.0 * 30_000.0 * 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parsed_task_solves() {
+        let task = parse_task(geant(), GOOD).unwrap();
+        let sol = crate::solve_placement(&task, &crate::PlacementConfig::default()).unwrap();
+        assert!(sol.kkt_verified);
+    }
+}

@@ -1,0 +1,297 @@
+//! Measurement-utility functions (paper §IV-C).
+
+/// A per-OD utility `M(ρ)` of the effective sampling rate, as required by
+/// the optimization framework (§III): strictly increasing, strictly concave,
+/// twice continuously differentiable, with `M(0) = 0`.
+pub trait Utility {
+    /// `M(ρ)` for `ρ ∈ [0, 1]`.
+    fn value(&self, rho: f64) -> f64;
+    /// First derivative `M'(ρ)`.
+    fn d1(&self, rho: f64) -> f64;
+    /// Second derivative `M''(ρ)`.
+    fn d2(&self, rho: f64) -> f64;
+}
+
+/// The paper's utility: mean squared relative accuracy of the inverted
+/// binomial size estimator, spliced with its quadratic expansion near zero.
+///
+/// With `c = E[1/S]` (S the OD size in packets per interval):
+///
+/// ```text
+/// A(ρ)  = 1 − E[SRE](ρ) = 1 − c·(1−ρ)/ρ
+/// A'(ρ) = c/ρ²,     A''(ρ) = −2c/ρ³
+/// ```
+///
+/// `A` diverges at `ρ = 0`, so on `[0, x₀]` the utility uses the quadratic
+/// expansion `A*` of `A` at `x₀`, where `x₀` is chosen such that `A*(0) = 0`.
+/// Working out the condition `A(x₀) − x₀A'(x₀) + x₀²A''(x₀)/2 = 0` gives the
+/// closed form
+///
+/// ```text
+/// x₀ = 3c / (1 + c),        M(x₀) = A(x₀) = (2/3)·(1 + c)
+/// ```
+///
+/// — matching the paper's Figure 1, whose two splice points are labelled
+/// `0.666` and `0.668`: `(2/3)(1+c)` for its two `E[1/S]` values. The
+/// splice is C²: value, first and second derivative agree at `x₀` by
+/// construction, and `M` is strictly increasing and strictly concave on all
+/// of `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SreUtility {
+    c: f64,
+    x0: f64,
+}
+
+impl SreUtility {
+    /// Creates the utility for `c = E[1/S]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < c < 1` (an OD of expected size ≤ 1 packet has no
+    /// meaningful relative-error target).
+    pub fn new(c: f64) -> Self {
+        assert!(
+            c.is_finite() && c > 0.0 && c < 1.0,
+            "E[1/S] must be in (0,1), got {c}"
+        );
+        SreUtility { c, x0: 3.0 * c / (1.0 + c) }
+    }
+
+    /// Convenience constructor from a (deterministic) expected OD size in
+    /// packets per interval: `c = 1/size`.
+    ///
+    /// # Panics
+    /// Panics unless `size > 1`.
+    pub fn from_mean_size(size: f64) -> Self {
+        assert!(size.is_finite() && size > 1.0, "size must exceed 1 packet, got {size}");
+        Self::new(1.0 / size)
+    }
+
+    /// `c = E[1/S]`.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The splice point `x₀ = 3c/(1+c)`.
+    pub fn x0(&self) -> f64 {
+        self.x0
+    }
+
+    /// The accuracy branch `A(ρ) = 1 − c(1−ρ)/ρ` (valid for `ρ ≥ x₀`).
+    pub fn accuracy(&self, rho: f64) -> f64 {
+        1.0 - self.c * (1.0 - rho) / rho
+    }
+}
+
+impl Utility for SreUtility {
+    fn value(&self, rho: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&rho), "rho {rho} out of [0,1]");
+        let (c, x0) = (self.c, self.x0);
+        if rho >= x0 {
+            self.accuracy(rho)
+        } else {
+            // Quadratic expansion of A at x0:
+            // A*(ρ) = A(x0) + (ρ−x0)·c/x0² − (ρ−x0)²·c/x0³
+            let a = self.accuracy(x0);
+            let d = rho - x0;
+            a + d * c / (x0 * x0) - d * d * c / (x0 * x0 * x0)
+        }
+    }
+
+    fn d1(&self, rho: f64) -> f64 {
+        let (c, x0) = (self.c, self.x0);
+        if rho >= x0 {
+            c / (rho * rho)
+        } else {
+            c / (x0 * x0) - 2.0 * (rho - x0) * c / (x0 * x0 * x0)
+        }
+    }
+
+    fn d2(&self, rho: f64) -> f64 {
+        let (c, x0) = (self.c, self.x0);
+        if rho >= x0 {
+            -2.0 * c / (rho * rho * rho)
+        } else {
+            -2.0 * c / (x0 * x0 * x0)
+        }
+    }
+}
+
+/// A logarithmic utility `M(ρ) = ln(1 + ρ/ε)/ln(1 + 1/ε)`, normalized to
+/// `M(0) = 0`, `M(1) = 1`.
+///
+/// Not from the paper's evaluation — provided for the measurement tasks its
+/// conclusion anticipates (anomaly detection: diminishing returns on raw
+/// visibility rather than size-estimation accuracy), and as a second utility
+/// exercising the framework's generality (§VI).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogUtility {
+    eps: f64,
+    norm: f64,
+}
+
+impl LogUtility {
+    /// Creates a log utility with curvature scale `eps` (smaller = more
+    /// reward concentrated at small rates).
+    ///
+    /// # Panics
+    /// Panics unless `eps > 0`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps.is_finite() && eps > 0.0, "eps must be positive, got {eps}");
+        LogUtility { eps, norm: (1.0 + 1.0 / eps).ln() }
+    }
+}
+
+impl Utility for LogUtility {
+    fn value(&self, rho: f64) -> f64 {
+        (1.0 + rho / self.eps).ln() / self.norm
+    }
+
+    fn d1(&self, rho: f64) -> f64 {
+        1.0 / ((self.eps + rho) * self.norm)
+    }
+
+    fn d2(&self, rho: f64) -> f64 {
+        -1.0 / ((self.eps + rho) * (self.eps + rho) * self.norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C_VALUES: [f64; 4] = [1e-5, 4.69e-4, 2e-3, 0.1];
+
+    #[test]
+    fn x0_closed_form_and_two_thirds() {
+        for c in C_VALUES {
+            let u = SreUtility::new(c);
+            assert!((u.x0() - 3.0 * c / (1.0 + c)).abs() < 1e-15);
+            // The Figure 1 landmark: M(x0) = (2/3)(1+c) ≈ 2/3 for small c.
+            assert!(
+                (u.value(u.x0()) - 2.0 / 3.0 * (1.0 + c)).abs() < 1e-12,
+                "c={c}: M(x0) = {}",
+                u.value(u.x0())
+            );
+        }
+        // The paper's Figure 1 labels: E[1/S] pairs giving 0.666 and 0.668.
+        let small = SreUtility::new(1e-4);
+        assert!((small.value(small.x0()) - 0.6667).abs() < 1e-3);
+        let larger = SreUtility::new(2e-3);
+        assert!((larger.value(larger.x0()) - 0.668).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_at_origin_and_near_one_at_full_sampling() {
+        for c in C_VALUES {
+            let u = SreUtility::new(c);
+            assert!(u.value(0.0).abs() < 1e-12, "M(0) = {}", u.value(0.0));
+            assert!((u.value(1.0) - 1.0).abs() < 1e-12, "M(1) = {}", u.value(1.0));
+        }
+    }
+
+    #[test]
+    fn c2_continuity_at_splice() {
+        for c in C_VALUES {
+            let u = SreUtility::new(c);
+            let x0 = u.x0();
+            let below = x0 * (1.0 - 1e-9);
+            let above = x0 * (1.0 + 1e-9);
+            assert!((u.value(below) - u.value(above)).abs() < 1e-9);
+            assert!((u.d1(below) - u.d1(above)).abs() < 1e-6 * u.d1(x0));
+            assert!((u.d2(below) - u.d2(above)).abs() < 1e-6 * u.d2(x0).abs());
+        }
+    }
+
+    #[test]
+    fn strictly_increasing_and_concave() {
+        for c in C_VALUES {
+            let u = SreUtility::new(c);
+            let mut last = -f64::INFINITY;
+            let mut last_d1 = f64::INFINITY;
+            for i in 0..=1000 {
+                let rho = i as f64 / 1000.0;
+                let v = u.value(rho);
+                let d1 = u.d1(rho);
+                assert!(v > last || i == 0, "not increasing at rho={rho} (c={c})");
+                assert!(d1 > 0.0, "derivative non-positive at rho={rho}");
+                assert!(d1 <= last_d1 + 1e-12, "derivative rising at rho={rho}");
+                assert!(u.d2(rho) < 0.0, "not strictly concave at rho={rho}");
+                last = v;
+                last_d1 = d1;
+            }
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let u = SreUtility::new(4.69e-4);
+        for &rho in &[1e-4, 7e-4, 2e-3, 0.05, 0.5, 0.9] {
+            let h1 = rho * 1e-6;
+            let fd1 = (u.value(rho + h1) - u.value(rho - h1)) / (2.0 * h1);
+            assert!(
+                (fd1 / u.d1(rho) - 1.0).abs() < 1e-5,
+                "d1 mismatch at rho={rho}: {fd1} vs {}",
+                u.d1(rho)
+            );
+            // Second differences need a larger step to beat cancellation:
+            // the truncation error is O(h²) while round-off grows as 1/h².
+            let h2 = rho * 1e-3;
+            let fd2 =
+                (u.value(rho + h2) - 2.0 * u.value(rho) + u.value(rho - h2)) / (h2 * h2);
+            assert!(
+                (fd2 / u.d2(rho) - 1.0).abs() < 1e-2,
+                "d2 mismatch at rho={rho}: {fd2} vs {}",
+                u.d2(rho)
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_branch_equals_one_minus_sre() {
+        let c = 2e-3;
+        let u = SreUtility::new(c);
+        for &rho in &[0.01, 0.1, 1.0] {
+            let expected = 1.0 - nws_traffic::estimate::expected_sre(rho, c);
+            assert!((u.value(rho) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_flows_need_lower_rates() {
+        // For the same utility level, a larger OD (smaller c) reaches it at
+        // a smaller effective rate.
+        let small = SreUtility::from_mean_size(500.0 * 300.0);
+        let large = SreUtility::from_mean_size(30_000.0 * 300.0);
+        let rho = 1e-3;
+        assert!(large.value(rho) > small.value(rho));
+    }
+
+    #[test]
+    #[should_panic(expected = "E[1/S] must be in (0,1)")]
+    fn invalid_c_rejected() {
+        let _ = SreUtility::new(1.5);
+    }
+
+    #[test]
+    fn log_utility_properties() {
+        let u = LogUtility::new(1e-3);
+        assert!(u.value(0.0).abs() < 1e-15);
+        assert!((u.value(1.0) - 1.0).abs() < 1e-12);
+        for i in 1..100 {
+            let rho = i as f64 / 100.0;
+            assert!(u.d1(rho) > 0.0);
+            assert!(u.d2(rho) < 0.0);
+        }
+        // Finite-difference check.
+        let rho = 0.2;
+        let h = 1e-7;
+        let fd = (u.value(rho + h) - u.value(rho - h)) / (2.0 * h);
+        assert!((fd / u.d1(rho) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn log_utility_invalid_eps() {
+        let _ = LogUtility::new(0.0);
+    }
+}

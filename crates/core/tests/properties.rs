@@ -1,0 +1,148 @@
+//! Property-based tests for the core placement machinery: utility-function
+//! invariants, formulation consistency, and optimizer sanity over random
+//! task parameters.
+
+use nws_core::scenarios::janet_task_with;
+use nws_core::{
+    solve_placement, MeasurementTask, PlacementConfig, SreUtility, Utility,
+};
+use nws_routing::OdPair;
+use nws_topo::geant;
+use proptest::prelude::*;
+
+fn random_c() -> impl Strategy<Value = f64> {
+    // E[1/S] across seven orders of magnitude.
+    (-7.0..-0.5f64).prop_map(|e| 10f64.powf(e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn utility_shape_invariants(c in random_c()) {
+        let u = SreUtility::new(c);
+        // Splice point and anchor values.
+        prop_assert!((u.x0() - 3.0 * c / (1.0 + c)).abs() < 1e-15);
+        prop_assert!(u.value(0.0).abs() < 1e-12);
+        prop_assert!((u.value(1.0) - 1.0).abs() < 1e-12);
+        prop_assert!((u.value(u.x0()) - 2.0 / 3.0 * (1.0 + c)).abs() < 1e-9);
+        // Monotone increasing, concave, C1 at the splice.
+        let mut last_v = -1.0;
+        let mut last_d = f64::INFINITY;
+        for i in 0..=500 {
+            let rho = i as f64 / 500.0;
+            let v = u.value(rho);
+            let d = u.d1(rho);
+            prop_assert!(v >= last_v, "not increasing at {rho}");
+            prop_assert!(d > 0.0);
+            prop_assert!(d <= last_d * (1.0 + 1e-12), "derivative rising at {rho}");
+            prop_assert!(u.d2(rho) < 0.0);
+            last_v = v;
+            last_d = d;
+        }
+    }
+
+    #[test]
+    fn utility_dominance_in_size(c_small in random_c(), factor in 1.5..100.0f64, rho in 0.0001..1.0f64) {
+        // Larger ODs (smaller c) always have at least the utility of smaller
+        // ones at the same effective rate.
+        let c_big_od = c_small / factor;
+        let small_od = SreUtility::new(c_small);
+        let big_od = SreUtility::new(c_big_od);
+        prop_assert!(big_od.value(rho) >= small_od.value(rho) - 1e-12);
+    }
+}
+
+/// Builds a random two-to-five OD task on GEANT with random sizes/θ.
+fn random_task(sizes: &[f64], theta_frac: f64) -> MeasurementTask {
+    let topo = geant();
+    let janet = topo.require_node("JANET").unwrap();
+    let dests = ["NL", "LU", "SK", "GR", "NY"];
+    let mut builder = MeasurementTask::builder(topo.clone());
+    let mut total = 0.0;
+    for (i, &s) in sizes.iter().enumerate() {
+        let dst = topo.require_node(dests[i]).unwrap();
+        builder = builder.track(format!("F{i}"), OdPair::new(janet, dst), s);
+        total += s;
+    }
+    builder.theta(total * theta_frac).build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimizer_invariants_over_random_tasks(
+        sizes in proptest::collection::vec(1_000.0..1e7f64, 2..=5),
+        theta_frac in 0.001..0.2f64,
+    ) {
+        let task = random_task(&sizes, theta_frac);
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        // Feasibility.
+        prop_assert!(sol.rates.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let used: f64 = sol.capacity_usage(&task).iter().sum();
+        prop_assert!((used / task.theta() - 1.0).abs() < 1e-6);
+        // Effective rates consistent with utilities.
+        for k in 0..task.ods().len() {
+            let u = SreUtility::new(task.ods()[k].inv_mean_size);
+            prop_assert!(
+                (sol.utilities[k] - u.value(sol.effective_rates_approx[k])).abs() < 1e-9
+            );
+        }
+        // Objective equals the utility sum.
+        let sum: f64 = sol.utilities.iter().sum();
+        prop_assert!((sol.objective - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_random_feasible_point_beats_optimum(
+        sizes in proptest::collection::vec(10_000.0..1e6f64, 3..=4),
+        theta_frac in 0.01..0.1f64,
+        seed_rates in proptest::collection::vec(0.0..1.0f64, 32),
+    ) {
+        use nws_core::evaluate_rates;
+        let task = random_task(&sizes, theta_frac);
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        prop_assume!(sol.kkt_verified);
+
+        // Construct a random feasible comparison: random mass on candidate
+        // links, scaled to consume exactly theta (skip if scaling overflows
+        // a bound).
+        let mut rates = vec![0.0; task.topology().num_links()];
+        let mut consumed = 0.0;
+        for (j, &l) in task.candidate_links().iter().enumerate() {
+            let r = seed_rates[j % seed_rates.len()];
+            rates[l.index()] = r;
+            consumed += r * task.link_loads()[l.index()];
+        }
+        prop_assume!(consumed > 0.0);
+        let scale = task.theta() / consumed;
+        let mut ok = true;
+        for &l in task.candidate_links() {
+            rates[l.index()] *= scale;
+            if rates[l.index()] > 1.0 {
+                ok = false;
+            }
+        }
+        prop_assume!(ok);
+
+        let candidate = evaluate_rates(&task, &rates);
+        prop_assert!(
+            candidate.objective <= sol.objective + 1e-7 * (1.0 + sol.objective.abs()),
+            "random point {} beats optimum {}",
+            candidate.objective,
+            sol.objective
+        );
+    }
+}
+
+#[test]
+fn janet_objective_upper_bounded_by_od_count() {
+    // M(ρ) < 1, so the objective of 20 ODs is < 20 for any theta.
+    for theta in [1_000.0, 100_000.0, 5_000_000.0] {
+        let task = janet_task_with(theta, 1).unwrap();
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        assert!(sol.objective < 20.0);
+        assert!(sol.objective > 0.0);
+    }
+}

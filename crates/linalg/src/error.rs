@@ -1,0 +1,93 @@
+//! Error type for fallible linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by `nws-linalg` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// A factorization failed because the matrix is singular (or numerically
+    /// indistinguishable from singular) at the given pivot index.
+    Singular {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// Cholesky factorization failed because the matrix is not positive
+    /// definite (a non-positive diagonal entry was encountered).
+    NotPositiveDefinite {
+        /// Diagonal index at which positivity failed.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, expected, found } => write!(
+                f,
+                "dimension mismatch in {op}: expected {expected}, found {found}"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (at diagonal {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch { op: "dot", expected: 3, found: 2 };
+        assert_eq!(e.to_string(), "dimension mismatch in dot: expected 3, found 2");
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x3");
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { pivot: 1 };
+        assert_eq!(e.to_string(), "matrix is singular (zero pivot at index 1)");
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite { index: 0 };
+        assert_eq!(e.to_string(), "matrix is not positive definite (at diagonal 0)");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&LinalgError::Singular { pivot: 0 });
+    }
+}

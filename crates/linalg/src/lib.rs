@@ -1,0 +1,47 @@
+//! # nws-linalg — dense linear algebra substrate
+//!
+//! Small, self-contained dense linear algebra used by the `nws` workspace:
+//! column vectors ([`Vector`]), row-major matrices ([`Matrix`]), direct
+//! solvers (LU with partial pivoting, Cholesky), and the orthogonal
+//! projections required by the gradient-projection solver in `nws-solver`.
+//!
+//! The crate is deliberately minimal: everything operates on `f64`, sizes are
+//! dynamic, and the algorithms are the classical textbook ones. The problem
+//! sizes in this workspace (tens to a few hundreds of links) make `O(n³)`
+//! direct methods the right tool; no BLAS-style blocking is attempted.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nws_linalg::{Matrix, Vector};
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let b = Vector::from(vec![1.0, 2.0]);
+//! let x = a.solve(&b).unwrap();
+//! let r = &a.mul_vec(&x) - &b;
+//! assert!(r.norm2() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cholesky;
+mod error;
+mod matrix;
+mod projection;
+mod solve;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use projection::{project_out, projector_onto_nullspace};
+pub use solve::Lu;
+pub use vector::Vector;
+
+/// Convenience result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Absolute tolerance used by the crate when deciding whether a pivot or a
+/// norm is "numerically zero".
+pub const EPS: f64 = 1e-12;

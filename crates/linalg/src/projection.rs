@@ -1,0 +1,127 @@
+//! Orthogonal projections onto constraint null-spaces.
+//!
+//! The gradient-projection method in `nws-solver` repeatedly projects the
+//! objective gradient onto the null-space of the active-constraint matrix
+//! `A` (each row of `A` is the normal of one active constraint). This module
+//! provides both the explicit projector matrix `P = I − Aᵀ(A·Aᵀ)⁻¹A` and a
+//! matrix-free application of it to a single vector, which is what the solver
+//! uses on its hot path.
+
+use crate::{Cholesky, Matrix, Result, Vector};
+
+/// Computes the explicit orthogonal projector `P = I − Aᵀ(A·Aᵀ)⁻¹·A` onto the
+/// null-space of `a` (rows of `a` are constraint normals).
+///
+/// Requires the rows of `a` to be linearly independent so that `A·Aᵀ` is
+/// positive definite.
+///
+/// # Errors
+/// [`crate::LinalgError::NotPositiveDefinite`] when the rows of `a` are
+/// linearly dependent (redundant active constraints).
+pub fn projector_onto_nullspace(a: &Matrix) -> Result<Matrix> {
+    let m = a.nrows();
+    let n = a.ncols();
+    if m == 0 {
+        return Ok(Matrix::identity(n));
+    }
+    let aat = a.mul_mat(&a.transpose());
+    let ch = Cholesky::factor(&aat)?;
+    // Build Aᵀ(AAᵀ)⁻¹A column by column: column j of the product is
+    // Aᵀ · solve(AAᵀ, A·e_j).
+    let mut p = Matrix::identity(n);
+    for j in 0..n {
+        let aej = a.col(j);
+        let w = ch.solve(&aej)?;
+        let corr = a.mul_vec_transposed(&w);
+        for i in 0..n {
+            p[(i, j)] -= corr[i];
+        }
+    }
+    Ok(p)
+}
+
+/// Projects `v` onto the null-space of `a` without forming the projector:
+/// `v − Aᵀ(A·Aᵀ)⁻¹·A·v`.
+///
+/// # Errors
+/// Same conditions as [`projector_onto_nullspace`].
+pub fn project_out(a: &Matrix, v: &Vector) -> Result<Vector> {
+    if a.nrows() == 0 {
+        return Ok(v.clone());
+    }
+    let aat = a.mul_mat(&a.transpose());
+    let ch = Cholesky::factor(&aat)?;
+    let av = a.mul_vec(v);
+    let w = ch.solve(&av)?;
+    let corr = a.mul_vec_transposed(&w);
+    Ok(v - &corr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_constraints_is_identity() {
+        let a = Matrix::zeros(0, 3);
+        let p = projector_onto_nullspace(&a).unwrap();
+        assert!(p.approx_eq(&Matrix::identity(3), 0.0));
+        let v = Vector::from(vec![1.0, 2.0, 3.0]);
+        assert!(project_out(&a, &v).unwrap().approx_eq(&v, 0.0));
+    }
+
+    #[test]
+    fn projection_is_orthogonal_to_constraints() {
+        // Single constraint normal (1,1,1): projection must have zero sum.
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]);
+        let v = Vector::from(vec![3.0, 1.0, -1.0]);
+        let pv = project_out(&a, &v).unwrap();
+        assert!(pv.sum().abs() < 1e-12);
+        // And it is the closest such point: v - pv is parallel to the normal.
+        let diff = &v - &pv;
+        let unit = 1.0 / 3.0_f64.sqrt();
+        let normal = Vector::from(vec![unit, unit, unit]);
+        let along = normal.scaled(diff.dot(&normal));
+        assert!(diff.approx_eq(&along, 1e-12));
+    }
+
+    #[test]
+    fn projector_is_idempotent_and_symmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0, 1.0], &[0.0, 1.0, 1.0, -1.0]]);
+        let p = projector_onto_nullspace(&a).unwrap();
+        assert!(p.mul_mat(&p).approx_eq(&p, 1e-10));
+        assert!(p.is_symmetric(1e-10));
+    }
+
+    #[test]
+    fn explicit_and_matrix_free_agree() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[0.0, 3.0, -1.0]]);
+        let p = projector_onto_nullspace(&a).unwrap();
+        let v = Vector::from(vec![1.0, -2.0, 0.5]);
+        let via_matrix = p.mul_vec(&v);
+        let direct = project_out(&a, &v).unwrap();
+        assert!(via_matrix.approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn vector_in_nullspace_is_fixed_point() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0, 0.0]]);
+        let v = Vector::from(vec![1.0, -1.0, 4.0]); // A·v = 0
+        let pv = project_out(&a, &v).unwrap();
+        assert!(pv.approx_eq(&v, 1e-12));
+    }
+
+    #[test]
+    fn dependent_rows_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0]]);
+        assert!(project_out(&a, &Vector::from(vec![1.0, 1.0])).is_err());
+    }
+
+    #[test]
+    fn full_row_rank_square_constraints_project_to_zero() {
+        // n independent constraints in n-space => null-space is {0}.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        let pv = project_out(&a, &Vector::from(vec![5.0, -3.0])).unwrap();
+        assert!(pv.norm_inf() < 1e-10);
+    }
+}

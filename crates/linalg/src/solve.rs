@@ -1,0 +1,246 @@
+//! LU factorization with partial pivoting and the solvers built on it.
+
+use crate::{LinalgError, Matrix, Result, Vector, EPS};
+
+/// LU factorization of a square matrix with partial (row) pivoting:
+/// `P·A = L·U`.
+///
+/// The factors are stored compactly in a single matrix (`L` below the
+/// diagonal with implicit unit diagonal, `U` on and above it), alongside the
+/// row-permutation vector. Factor once, then solve against many right-hand
+/// sides with [`Lu::solve`].
+///
+/// ```
+/// use nws_linalg::{Lu, Matrix, Vector};
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let lu = Lu::factor(&a).unwrap();
+/// let x = lu.solve(&Vector::from(vec![2.0, 2.0])).unwrap();
+/// assert!(x.approx_eq(&Vector::from(vec![1.0, 1.0]), 1e-12));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (strictly lower, unit diagonal implicit) and U (upper).
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored system is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), used by the determinant.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factors `a` as `P·A = L·U` using partial pivoting.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] if `a` is not square;
+    /// [`LinalgError::Singular`] if a pivot column is numerically zero.
+    pub fn factor(a: &Matrix) -> Result<Lu> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: bring the largest |entry| in column k to the
+            // diagonal to bound element growth.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= EPS {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, perm_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Lu::solve",
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Forward substitution with permuted b: L·y = P·b.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution: U·x = y.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` by solving against each standard basis vector.
+    ///
+    /// # Errors
+    /// Propagates [`LinalgError`] from [`Lu::solve`] (cannot occur for a
+    /// successfully factored matrix, but the signature stays honest).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let x = self.solve(&Vector::basis(n, j))?;
+            for i in 0..n {
+                inv[(i, j)] = x[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the original matrix: `sign(P) · Π U_ii`.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.dim() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &Vector, b: &Vector) -> f64 {
+        (&a.mul_vec(x) - b).norm_inf()
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Vector::from(vec![5.0, 7.0]);
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x.as_slice(), &[7.0, 5.0]);
+    }
+
+    #[test]
+    fn solve_3x3_exact() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ]);
+        let b = Vector::from(vec![8.0, -11.0, -3.0]);
+        let x = a.solve(&b).unwrap();
+        assert!(x.approx_eq(&Vector::from(vec![2.0, 3.0, -1.0]), 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::NotSquare { rows: 2, cols: 3 })));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let lu = Lu::factor(&a).unwrap();
+        let bad = Vector::zeros(2);
+        assert!(matches!(
+            lu.solve(&bad),
+            Err(LinalgError::DimensionMismatch { expected: 3, found: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_tracks_permutation_sign() {
+        // One row swap => negative permutation sign must be accounted for.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_system_small_residual() {
+        // A fixed, moderately conditioned 5x5 system.
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.0, 2.0],
+            &[1.0, 5.0, 1.0, 0.5, 0.0],
+            &[0.5, 1.0, 6.0, 1.0, 0.5],
+            &[0.0, 0.5, 1.0, 7.0, 1.0],
+            &[2.0, 0.0, 0.5, 1.0, 8.0],
+        ]);
+        let b = Vector::from(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let x = a.solve(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_of_permutation_matrix() {
+        let p = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[1.0, 0.0, 0.0],
+        ]);
+        let inv = p.inverse().unwrap();
+        assert!(p.mul_mat(&inv).approx_eq(&Matrix::identity(3), 1e-14));
+        // Permutation inverse is its transpose.
+        assert!(inv.approx_eq(&p.transpose(), 1e-14));
+    }
+
+    #[test]
+    fn reuse_factorization_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        for b in [vec![1.0, 0.0], vec![0.0, 1.0], vec![4.0, 3.0]] {
+            let b = Vector::from(b);
+            let x = lu.solve(&b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-12);
+        }
+    }
+}

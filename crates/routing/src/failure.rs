@@ -1,0 +1,165 @@
+//! Link-failure what-if analysis.
+//!
+//! Short-term traffic variation due to failures and re-routing is one of the
+//! paper's core motivations for *re-optimizable* monitor placement (§I). The
+//! helpers here derive a post-failure topology so callers can reconverge
+//! routing ([`crate::Router`]) and re-run the optimizer, then compare against
+//! the stale pre-failure monitor configuration.
+
+use nws_topo::{LinkId, NodeId, Result, Topology, TopologyBuilder};
+
+/// Builds a copy of `topo` with the given links removed.
+///
+/// Node ids are preserved (all nodes are copied in order); link ids are *not*
+/// comparable across the two topologies — use
+/// [`link_id_map`] to translate surviving links.
+///
+/// Failing a single fibre direction is unusual in practice; pass both
+/// directions (see [`bidirectional_pair`]) to model a fibre cut.
+///
+/// # Errors
+/// Propagates topology-construction errors (e.g. the surviving graph could
+/// be empty). A disconnected survivor is *not* an error here — routing will
+/// simply report unreachable destinations, as a real network would.
+pub fn without_links(topo: &Topology, failed: &[LinkId]) -> Result<Topology> {
+    let mut b = TopologyBuilder::new();
+    for nid in topo.node_ids() {
+        let n = topo.node(nid);
+        let new_id = if n.is_external() {
+            b.external_node(n.name())
+        } else {
+            b.node(n.name())
+        };
+        debug_assert_eq!(new_id, nid, "node ids preserved by copy order");
+    }
+    for lid in topo.link_ids() {
+        if failed.contains(&lid) {
+            continue;
+        }
+        let l = topo.link(lid);
+        b.link(l.src(), l.dst(), l.capacity_mbps(), l.igp_weight(), l.kind());
+    }
+    b.build()
+}
+
+/// Both directions of the fibre between `a` and `b`, if present.
+/// Convenience for modelling a full fibre cut.
+pub fn bidirectional_pair(topo: &Topology, a: NodeId, b: NodeId) -> Vec<LinkId> {
+    [topo.link_between(a, b), topo.link_between(b, a)]
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Maps each surviving link of `topo` to its id in the post-failure topology
+/// produced by [`without_links`] with the same `failed` list.
+/// Entry is `None` for failed links.
+pub fn link_id_map(topo: &Topology, failed: &[LinkId]) -> Vec<Option<LinkId>> {
+    let mut map = Vec::with_capacity(topo.num_links());
+    let mut next = 0u32;
+    for lid in topo.link_ids() {
+        if failed.contains(&lid) {
+            map.push(None);
+        } else {
+            map.push(Some(LinkId::from_index(next as usize)));
+            next += 1;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OdPair, Router};
+    use nws_topo::geant;
+
+    #[test]
+    fn failing_uk_se_reroutes_pl() {
+        let t = geant();
+        let uk = t.require_node("UK").unwrap();
+        let se = t.require_node("SE").unwrap();
+        let pl = t.require_node("PL").unwrap();
+        let janet = t.require_node("JANET").unwrap();
+
+        // Before: JANET->PL via UK-SE-PL.
+        let r = Router::new(&t);
+        let before = r.path(OdPair::new(janet, pl)).unwrap();
+        assert!(before.describe(&t).contains("SE"));
+
+        // Fail the UK<->SE fibre.
+        let failed = bidirectional_pair(&t, uk, se);
+        assert_eq!(failed.len(), 2);
+        let t2 = without_links(&t, &failed).unwrap();
+        assert_eq!(t2.num_links(), t.num_links() - 2);
+
+        // After: PL still reachable, but not via the failed fibre.
+        let r2 = Router::new(&t2);
+        let pl2 = t2.require_node("PL").unwrap();
+        let janet2 = t2.require_node("JANET").unwrap();
+        let after = r2.path(OdPair::new(janet2, pl2)).unwrap();
+        assert!(after.cost() > before.cost());
+        let desc = after.describe(&t2);
+        assert!(!desc.contains("UK -> SE"), "rerouted path still uses failed fibre: {desc}");
+    }
+
+    #[test]
+    fn node_ids_preserved() {
+        let t = geant();
+        let uk = t.require_node("UK").unwrap();
+        let fr = t.require_node("FR").unwrap();
+        let failed = bidirectional_pair(&t, uk, fr);
+        let t2 = without_links(&t, &failed).unwrap();
+        assert_eq!(t2.require_node("UK").unwrap(), uk);
+        assert_eq!(t2.require_node("FR").unwrap(), fr);
+        assert_eq!(t2.num_nodes(), t.num_nodes());
+        // External flag preserved.
+        let janet2 = t2.require_node("JANET").unwrap();
+        assert!(t2.node(janet2).is_external());
+    }
+
+    #[test]
+    fn link_id_map_consistent() {
+        let t = geant();
+        let uk = t.require_node("UK").unwrap();
+        let nl = t.require_node("NL").unwrap();
+        let failed = bidirectional_pair(&t, uk, nl);
+        let t2 = without_links(&t, &failed).unwrap();
+        let map = link_id_map(&t, &failed);
+        assert_eq!(map.len(), t.num_links());
+        for lid in t.link_ids() {
+            match map[lid.index()] {
+                None => assert!(failed.contains(&lid)),
+                Some(new_id) => {
+                    assert_eq!(t2.link_label(new_id), t.link_label(lid));
+                    assert_eq!(
+                        t2.link(new_id).igp_weight(),
+                        t.link(lid).igp_weight()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_failure_list_is_clone() {
+        let t = geant();
+        let t2 = without_links(&t, &[]).unwrap();
+        assert_eq!(t2.num_links(), t.num_links());
+        assert_eq!(t2.num_nodes(), t.num_nodes());
+    }
+
+    #[test]
+    fn isolating_a_node_yields_unreachable_not_error() {
+        let t = geant();
+        let uk = t.require_node("UK").unwrap();
+        let ie = t.require_node("IE").unwrap();
+        // IE is single-homed to UK; cutting the fibre isolates it.
+        let failed = bidirectional_pair(&t, uk, ie);
+        let t2 = without_links(&t, &failed).unwrap();
+        let r2 = Router::new(&t2);
+        let janet2 = t2.require_node("JANET").unwrap();
+        let ie2 = t2.require_node("IE").unwrap();
+        assert!(r2.path(OdPair::new(janet2, ie2)).is_none());
+    }
+}

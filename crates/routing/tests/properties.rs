@@ -1,0 +1,157 @@
+//! Property-based tests: SPF against a Bellman–Ford oracle, ECMP flow
+//! conservation, and routing-matrix invariants on random topologies.
+
+use nws_routing::{OdPair, Router, RoutingMatrix, Spf};
+use nws_topo::random::{gabriel_like, ring_with_chords};
+use nws_topo::{NodeId, Topology};
+use proptest::prelude::*;
+
+/// Independent oracle: Bellman–Ford distances from `src`.
+fn bellman_ford(topo: &Topology, src: NodeId) -> Vec<f64> {
+    let n = topo.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src.index()] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for l in topo.link_ids() {
+            let link = topo.link(l);
+            let (u, v) = (link.src().index(), link.dst().index());
+            let cand = dist[u] + link.igp_weight();
+            if cand < dist[v] - 1e-12 {
+                dist[v] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+fn random_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (4usize..20, 0usize..12, any::<u64>())
+            .prop_map(|(n, chords, seed)| ring_with_chords(n, chords, seed)),
+        (4usize..16, any::<u64>()).prop_map(|(n, seed)| gabriel_like(n, 0.35, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spf_matches_bellman_ford(topo in random_topology(), src_raw in 0usize..32) {
+        let src = NodeId::from_index(src_raw % topo.num_nodes());
+        let spf = Spf::compute(&topo, src);
+        let oracle = bellman_ford(&topo, src);
+        for v in topo.node_ids() {
+            match spf.distance(v) {
+                Some(d) => prop_assert!(
+                    (d - oracle[v.index()]).abs() < 1e-9,
+                    "node {}: spf {d} vs bf {}",
+                    topo.node(v).name(),
+                    oracle[v.index()]
+                ),
+                None => prop_assert!(oracle[v.index()].is_infinite()),
+            }
+        }
+    }
+
+    #[test]
+    fn extracted_paths_have_matching_cost(topo in random_topology(), seed in any::<u64>()) {
+        let src = NodeId::from_index((seed as usize) % topo.num_nodes());
+        let router = Router::new(&topo);
+        let spf = router.spf(src);
+        for dst in topo.node_ids() {
+            if let Some(path) = router.path(OdPair::new(src, dst)) {
+                // Links are contiguous src -> dst and costs telescope.
+                let mut cur = src;
+                let mut cost = 0.0;
+                for &l in path.links() {
+                    prop_assert_eq!(topo.link(l).src(), cur);
+                    cur = topo.link(l).dst();
+                    cost += topo.link(l).igp_weight();
+                }
+                prop_assert_eq!(cur, dst);
+                prop_assert!((cost - path.cost()).abs() < 1e-9);
+                prop_assert!((cost - spf.distance(dst).unwrap()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_fractions_conserve_unit_flow(topo in random_topology(), seed in any::<u64>()) {
+        let n = topo.num_nodes();
+        let src = NodeId::from_index((seed as usize) % n);
+        let dst = NodeId::from_index(((seed / 7) as usize) % n);
+        prop_assume!(src != dst);
+        let router = Router::new(&topo);
+        let fracs = router.ecmp_fractions(OdPair::new(src, dst));
+        prop_assume!(!fracs.is_empty());
+        // Net flow: +1 out of src, +1 into dst, conservation elsewhere.
+        let mut net = vec![0.0; n];
+        for (l, f) in &fracs {
+            prop_assert!(*f > 0.0 && *f <= 1.0 + 1e-12);
+            net[topo.link(*l).src().index()] += f;
+            net[topo.link(*l).dst().index()] -= f;
+        }
+        for (v, &flow) in net.iter().enumerate() {
+            let expect = if v == src.index() {
+                1.0
+            } else if v == dst.index() {
+                -1.0
+            } else {
+                0.0
+            };
+            prop_assert!(
+                (flow - expect).abs() < 1e-9,
+                "node {v}: net {flow} expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_matrix_rows_match_ecmp(topo in random_topology(), seed in any::<u64>()) {
+        let n = topo.num_nodes();
+        let src = NodeId::from_index((seed as usize) % n);
+        let ods: Vec<OdPair> = topo
+            .node_ids()
+            .filter(|&d| d != src)
+            .take(5)
+            .map(|d| OdPair::new(src, d))
+            .collect();
+        prop_assume!(!ods.is_empty());
+        let rm = RoutingMatrix::build(&topo, &ods);
+        let router = Router::new(&topo);
+        for (k, &od) in ods.iter().enumerate() {
+            let fracs = router.ecmp_fractions(od);
+            let row_links = rm.links_of_od(k);
+            prop_assert_eq!(fracs.len(), row_links.len());
+            for (l, f) in fracs {
+                prop_assert!((rm.entry(k, l) - f).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn link_loads_match_manual_accumulation(topo in random_topology(), seed in any::<u64>()) {
+        let n = topo.num_nodes();
+        let src = NodeId::from_index((seed as usize) % n);
+        let ods: Vec<OdPair> = topo
+            .node_ids()
+            .filter(|&d| d != src)
+            .map(|d| OdPair::new(src, d))
+            .collect();
+        let demands: Vec<f64> =
+            (0..ods.len()).map(|i| 100.0 + (i as f64) * 13.0).collect();
+        let rm = RoutingMatrix::build(&topo, &ods);
+        let loads = rm.link_loads(&demands);
+        for l in topo.link_ids() {
+            let manual: f64 = (0..ods.len())
+                .map(|k| rm.entry(k, l) * demands[k])
+                .sum();
+            prop_assert!((loads[l.index()] - manual).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Solver error type.
+
+use std::fmt;
+
+/// Errors reported by problem construction and the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// A problem parameter was invalid (described in the message).
+    InvalidProblem(String),
+    /// The feasible set is empty: the equality target cannot be met within
+    /// the box bounds.
+    Infeasible {
+        /// Requested equality right-hand side.
+        rhs: f64,
+        /// Maximum achievable value of `a·p` within the box.
+        max_achievable: f64,
+    },
+    /// The objective returned a non-finite value or gradient at a feasible
+    /// point; the message locates the failure.
+    NonFiniteObjective(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
+            SolverError::Infeasible { rhs, max_achievable } => write!(
+                f,
+                "infeasible: equality rhs {rhs} exceeds maximum achievable {max_achievable}"
+            ),
+            SolverError::NonFiniteObjective(m) => {
+                write!(f, "objective is non-finite: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            SolverError::InvalidProblem("bad".into()).to_string(),
+            "invalid problem: bad"
+        );
+        assert!(SolverError::Infeasible { rhs: 2.0, max_achievable: 1.0 }
+            .to_string()
+            .contains("exceeds maximum achievable"));
+        assert!(SolverError::NonFiniteObjective("at start".into())
+            .to_string()
+            .contains("non-finite"));
+    }
+}

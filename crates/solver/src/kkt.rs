@@ -1,0 +1,209 @@
+//! Lagrange multipliers and KKT verification.
+
+use crate::{ActiveSet, BoxLinearProblem, VarState};
+use nws_linalg::Vector;
+
+/// The Lagrange multipliers of the placement problem at a candidate point
+/// (paper eq. (6)): `λ` for the capacity equality, `μ_i ≥ 0` for active
+/// upper bounds, `ν_i ≥ 0` for active lower bounds. Multipliers of inactive
+/// constraints are zero by complementary slackness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multipliers {
+    /// Capacity-equality multiplier `λ` — the marginal utility of one more
+    /// unit of sampling budget `θ`.
+    pub lambda: f64,
+    /// Per-variable bound multiplier: `ν_i` for variables at the lower
+    /// bound, `μ_i` for variables at the upper bound, `0.0` for free ones.
+    pub bound: Vec<f64>,
+}
+
+/// Outcome of checking the KKT conditions at a projected-stationary point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KktReport {
+    /// The computed multipliers.
+    pub multipliers: Multipliers,
+    /// Indices of active bounds whose multiplier is negative — these must be
+    /// released (made inactive) for the search to continue (paper §IV-D).
+    pub negative: Vec<usize>,
+    /// Largest stationarity residual `|g_i − λ·a_i|` over *free* variables;
+    /// near zero at a true stationary point of the projected gradient.
+    pub stationarity_residual: f64,
+}
+
+impl KktReport {
+    /// True when the KKT conditions hold to within `tol` (all active-bound
+    /// multipliers ≥ −tol). Combined with projected-gradient stationarity,
+    /// this certifies the *global* maximum (concave objective over a convex
+    /// set — paper §IV-A).
+    pub fn satisfied(&self, tol: f64) -> bool {
+        self.negative.is_empty()
+            || self
+                .multipliers
+                .bound
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| self.negative.contains(&i))
+                .all(|(_, &m)| m >= -tol)
+    }
+}
+
+/// Computes multipliers at point `p` with gradient `g` under `active`.
+///
+/// Stationarity of the Lagrangian `L = f − λ(a·p − θ) − Σ μ_i(p_i − α_i) +
+/// Σ ν_i p_i` gives `g_i = λ·a_i + μ_i − ν_i`. With free variables
+/// satisfying `g_i = λ·a_i`, `λ` is estimated by least squares over the free
+/// set (`λ = a_F·g_F / ‖a_F‖²`, exact at stationary points); when every
+/// variable is clamped, the same least-squares fit over all variables is the
+/// natural estimate.
+///
+/// Then for each active bound:
+/// * at lower (`p_i = 0`):    `ν_i = λ·a_i − g_i`  (must be ≥ 0),
+/// * at upper (`p_i = α_i`):  `μ_i = g_i − λ·a_i`  (must be ≥ 0).
+pub fn compute_multipliers(
+    g: &Vector,
+    active: &ActiveSet,
+    problem: &BoxLinearProblem,
+    tol: f64,
+) -> KktReport {
+    let n = g.len();
+    assert_eq!(n, active.len(), "dimension mismatch");
+    let a = problem.eq_normal();
+
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        if active.is_free(i) {
+            num += a[i] * g[i];
+            den += a[i] * a[i];
+        }
+    }
+    if den == 0.0 {
+        // Fully clamped: fit λ over every coordinate instead.
+        for i in 0..n {
+            num += a[i] * g[i];
+            den += a[i] * a[i];
+        }
+    }
+    let lambda = num / den;
+
+    let mut bound = vec![0.0; n];
+    let mut negative = Vec::new();
+    let mut resid: f64 = 0.0;
+    for i in 0..n {
+        match active.state(i) {
+            VarState::Free => {
+                resid = resid.max((g[i] - lambda * a[i]).abs());
+            }
+            VarState::AtLower => {
+                let nu = lambda * a[i] - g[i];
+                bound[i] = nu;
+                if nu < -tol {
+                    negative.push(i);
+                }
+            }
+            VarState::AtUpper => {
+                let mu = g[i] - lambda * a[i];
+                bound[i] = mu;
+                if mu < -tol {
+                    negative.push(i);
+                }
+            }
+        }
+    }
+    KktReport {
+        multipliers: Multipliers { lambda, bound },
+        negative,
+        stationarity_residual: resid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(a: &[f64]) -> BoxLinearProblem {
+        BoxLinearProblem::new(Vector::filled(a.len(), 1.0), Vector::from(a), 0.5).unwrap()
+    }
+
+    #[test]
+    fn lambda_exact_on_stationary_free_gradient() {
+        // g = 2·a on the free set → λ = 2, residual 0.
+        let pb = problem(&[1.0, 2.0, 3.0]);
+        let active = ActiveSet::all_free(3);
+        let g = Vector::from(vec![2.0, 4.0, 6.0]);
+        let rep = compute_multipliers(&g, &active, &pb, 1e-12);
+        assert!((rep.multipliers.lambda - 2.0).abs() < 1e-12);
+        assert!(rep.stationarity_residual < 1e-12);
+        assert!(rep.negative.is_empty());
+        assert!(rep.satisfied(1e-9));
+    }
+
+    #[test]
+    fn negative_lower_multiplier_detected() {
+        // Variable 0 clamped at 0 but its gradient exceeds λ·a_0: turning the
+        // monitor on would improve the objective → ν_0 < 0 → release.
+        let pb = problem(&[1.0, 1.0]);
+        let mut active = ActiveSet::all_free(2);
+        active.set(0, VarState::AtLower);
+        // Free var 1: λ = g_1/a_1 = 1. Clamped var 0: g_0 = 5 → ν = 1 − 5 = −4.
+        let g = Vector::from(vec![5.0, 1.0]);
+        let rep = compute_multipliers(&g, &active, &pb, 1e-12);
+        assert_eq!(rep.negative, vec![0]);
+        assert!((rep.multipliers.bound[0] + 4.0).abs() < 1e-12);
+        assert!(!rep.satisfied(1e-9));
+    }
+
+    #[test]
+    fn positive_multipliers_satisfy() {
+        let pb = problem(&[1.0, 1.0]);
+        let mut active = ActiveSet::all_free(2);
+        active.set(0, VarState::AtLower);
+        // g_0 = 0.2 < λ = 1 → ν = 0.8 ≥ 0: keeping the monitor off is optimal.
+        let g = Vector::from(vec![0.2, 1.0]);
+        let rep = compute_multipliers(&g, &active, &pb, 1e-12);
+        assert!(rep.negative.is_empty());
+        assert!(rep.satisfied(0.0));
+        assert!((rep.multipliers.bound[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_multiplier_sign() {
+        let pb = problem(&[1.0, 1.0]);
+        let mut active = ActiveSet::all_free(2);
+        active.set(0, VarState::AtUpper);
+        // λ = 1 from var 1. μ_0 = g_0 − λ: negative when g_0 < 1 (saturating
+        // the monitor was wrong), positive when g_0 > 1.
+        let rep_bad =
+            compute_multipliers(&Vector::from(vec![0.5, 1.0]), &active, &pb, 1e-12);
+        assert_eq!(rep_bad.negative, vec![0]);
+        let rep_ok =
+            compute_multipliers(&Vector::from(vec![3.0, 1.0]), &active, &pb, 1e-12);
+        assert!(rep_ok.negative.is_empty());
+        assert!((rep_ok.multipliers.bound[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_clamped_fallback() {
+        let pb = problem(&[1.0, 2.0]);
+        let mut active = ActiveSet::all_free(2);
+        active.set(0, VarState::AtLower);
+        active.set(1, VarState::AtUpper);
+        let g = Vector::from(vec![1.0, 2.0]);
+        // Least squares over all: λ = (1 + 4)/5 = 1.
+        let rep = compute_multipliers(&g, &active, &pb, 1e-12);
+        assert!((rep.multipliers.lambda - 1.0).abs() < 1e-12);
+        // ν_0 = 1·1 − 1 = 0; μ_1 = 2 − 2 = 0 → satisfied.
+        assert!(rep.satisfied(1e-12));
+    }
+
+    #[test]
+    fn free_variables_have_zero_bound_multiplier() {
+        let pb = problem(&[1.0, 1.0, 1.0]);
+        let mut active = ActiveSet::all_free(3);
+        active.set(2, VarState::AtLower);
+        let g = Vector::from(vec![1.0, 1.0, 0.0]);
+        let rep = compute_multipliers(&g, &active, &pb, 1e-12);
+        assert_eq!(rep.multipliers.bound[0], 0.0);
+        assert_eq!(rep.multipliers.bound[1], 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Problem definition: objective trait and the box-plus-equality polytope.
+
+use crate::{Result, SolverError};
+use nws_linalg::Vector;
+
+/// A twice continuously differentiable concave objective to *maximize*.
+///
+/// The solver needs values, gradients, and — for the Newton line search —
+/// the second directional derivative `d²/dt² f(p + t·s)` at `t = 0`, which
+/// for the separable-per-OD utilities of the paper is cheap to evaluate
+/// directly (`Σ_k M_k''(ρ_k)·(r_k·s)²`) without forming a Hessian.
+pub trait Objective {
+    /// Objective value at `p`.
+    fn value(&self, p: &Vector) -> f64;
+
+    /// Gradient at `p`.
+    fn gradient(&self, p: &Vector) -> Vector;
+
+    /// Second directional derivative along `s` evaluated at `p`:
+    /// `sᵀ·∇²f(p)·s`. Must be ≤ 0 for a concave objective.
+    fn curvature_along(&self, p: &Vector, s: &Vector) -> f64;
+}
+
+/// The feasible polytope of the placement problem (paper eqs. (3)–(5), with
+/// (5) tightened to an equality per §IV-B eq. (8)):
+///
+/// ```text
+/// 0 ≤ p_i ≤ upper_i        (bounds: α_i)
+/// Σ_i a_i·p_i = rhs        (capacity: a_i = U_i link loads, rhs = θ)
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoxLinearProblem {
+    upper: Vector,
+    eq_normal: Vector,
+    eq_rhs: f64,
+}
+
+impl BoxLinearProblem {
+    /// Creates and validates a problem.
+    ///
+    /// # Errors
+    /// [`SolverError::InvalidProblem`] when dimensions mismatch, a bound is
+    /// non-positive, an equality coefficient is non-positive (a link with no
+    /// load cannot consume capacity and must be excluded by the caller), or
+    /// anything is non-finite. [`SolverError::Infeasible`] when
+    /// `rhs > Σ a_i·upper_i` (not enough headroom) or `rhs < 0`.
+    pub fn new(upper: Vector, eq_normal: Vector, eq_rhs: f64) -> Result<Self> {
+        if upper.len() != eq_normal.len() {
+            return Err(SolverError::InvalidProblem(format!(
+                "upper bounds ({}) and equality normal ({}) lengths differ",
+                upper.len(),
+                eq_normal.len()
+            )));
+        }
+        if upper.is_empty() {
+            return Err(SolverError::InvalidProblem("zero-dimensional problem".into()));
+        }
+        if !upper.is_finite() || !eq_normal.is_finite() || !eq_rhs.is_finite() {
+            return Err(SolverError::InvalidProblem("non-finite parameter".into()));
+        }
+        if let Some(i) = upper.iter().position(|&u| u <= 0.0) {
+            return Err(SolverError::InvalidProblem(format!(
+                "upper bound at index {i} must be positive"
+            )));
+        }
+        if let Some(i) = eq_normal.iter().position(|&a| a <= 0.0) {
+            return Err(SolverError::InvalidProblem(format!(
+                "equality coefficient at index {i} must be positive \
+                 (exclude zero-load links before building the problem)"
+            )));
+        }
+        if eq_rhs < 0.0 {
+            return Err(SolverError::InvalidProblem("equality rhs must be ≥ 0".into()));
+        }
+        let max_achievable = upper.hadamard(&eq_normal).sum();
+        if eq_rhs > max_achievable {
+            return Err(SolverError::Infeasible { rhs: eq_rhs, max_achievable });
+        }
+        Ok(BoxLinearProblem { upper, eq_normal, eq_rhs })
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Upper bounds (the `α_i`).
+    pub fn upper(&self) -> &Vector {
+        &self.upper
+    }
+
+    /// Equality-constraint normal (the link loads `U_i`).
+    pub fn eq_normal(&self) -> &Vector {
+        &self.eq_normal
+    }
+
+    /// Equality right-hand side (the capacity `θ`).
+    pub fn eq_rhs(&self) -> f64 {
+        self.eq_rhs
+    }
+
+    /// A strictly feasible starting point: the uniform scaling `c·upper`
+    /// with `c = rhs / Σ a_i·upper_i ∈ [0, 1]`, which satisfies the equality
+    /// exactly and sits inside the box (on its boundary only when the
+    /// problem admits a single point).
+    pub fn feasible_start(&self) -> Vector {
+        let max_achievable = self.upper.hadamard(&self.eq_normal).sum();
+        let c = self.eq_rhs / max_achievable;
+        self.upper.scaled(c)
+    }
+
+    /// True iff `p` satisfies all constraints to within `tol` (bounds
+    /// absolutely, equality relative to `rhs`).
+    pub fn is_feasible(&self, p: &Vector, tol: f64) -> bool {
+        if p.len() != self.dim() {
+            return false;
+        }
+        for i in 0..p.len() {
+            if p[i] < -tol || p[i] > self.upper[i] + tol {
+                return false;
+            }
+        }
+        let eq = self.eq_normal.dot(p);
+        (eq - self.eq_rhs).abs() <= tol * self.eq_rhs.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> BoxLinearProblem {
+        BoxLinearProblem::new(
+            Vector::from(vec![1.0, 1.0, 1.0]),
+            Vector::from(vec![10.0, 20.0, 30.0]),
+            12.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = simple();
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.eq_rhs(), 12.0);
+        assert_eq!(p.upper().as_slice(), &[1.0, 1.0, 1.0]);
+        assert_eq!(p.eq_normal().as_slice(), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn feasible_start_is_feasible() {
+        let p = simple();
+        let x0 = p.feasible_start();
+        assert!(p.is_feasible(&x0, 1e-12));
+        // c = 12/60 = 0.2
+        assert!(x0.approx_eq(&Vector::filled(3, 0.2), 1e-12));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let err = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::filled(3, 1.0),
+            1.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolverError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let err =
+            BoxLinearProblem::new(Vector::zeros(0), Vector::zeros(0), 0.0).unwrap_err();
+        assert!(matches!(err, SolverError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn zero_load_coefficient_rejected() {
+        let err = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::from(vec![10.0, 0.0]),
+            1.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolverError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn negative_bound_rejected() {
+        let err = BoxLinearProblem::new(
+            Vector::from(vec![1.0, -0.5]),
+            Vector::filled(2, 1.0),
+            0.5,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolverError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let err = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::from(vec![10.0, 20.0]),
+            31.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, SolverError::Infeasible { rhs: 31.0, max_achievable: 30.0 });
+    }
+
+    #[test]
+    fn boundary_rhs_feasible() {
+        // rhs exactly at the maximum: single feasible point = upper.
+        let p = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::from(vec![10.0, 20.0]),
+            30.0,
+        )
+        .unwrap();
+        let x0 = p.feasible_start();
+        assert!(x0.approx_eq(&Vector::filled(2, 1.0), 1e-12));
+        assert!(p.is_feasible(&x0, 1e-9));
+    }
+
+    #[test]
+    fn is_feasible_rejects_violations() {
+        let p = simple();
+        assert!(!p.is_feasible(&Vector::from(vec![2.0, 0.0, 0.0]), 1e-9)); // above upper
+        assert!(!p.is_feasible(&Vector::from(vec![-0.1, 0.3, 0.3]), 1e-9)); // below zero
+        assert!(!p.is_feasible(&Vector::filled(3, 0.5), 1e-9)); // equality off
+        assert!(!p.is_feasible(&Vector::filled(2, 0.2), 1e-9)); // wrong dim
+    }
+}

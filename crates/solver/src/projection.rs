@@ -1,0 +1,135 @@
+//! Gradient projection onto the active-constraint subspace.
+
+use crate::{ActiveSet, BoxLinearProblem};
+use nws_linalg::Vector;
+
+/// Projects the gradient `g` onto the subspace spanned by the active
+/// constraints: clamped coordinates are zeroed, and the component along the
+/// capacity-equality normal (restricted to the free coordinates) is removed.
+///
+/// For this problem's constraint structure — axis-aligned bounds plus a
+/// single dense equality — the general projector `I − Aᵀ(AAᵀ)⁻¹A` collapses
+/// to the closed form implemented here (the `nws-linalg` projector is used
+/// by the tests as the oracle):
+///
+/// ```text
+/// d_i = 0                                  if i clamped
+/// d_F = g_F − (a_F·g_F / ‖a_F‖²)·a_F        on the free coordinates
+/// ```
+///
+/// Moving along the returned direction keeps `a·p` constant and leaves
+/// clamped coordinates untouched. A zero vector is returned when no
+/// variables are free.
+pub fn project_gradient(
+    g: &Vector,
+    active: &ActiveSet,
+    problem: &BoxLinearProblem,
+) -> Vector {
+    let n = g.len();
+    assert_eq!(n, active.len(), "gradient/active-set dimension mismatch");
+    let a = problem.eq_normal();
+    let mut af_dot_g = 0.0;
+    let mut af_norm2 = 0.0;
+    for i in 0..n {
+        if active.is_free(i) {
+            af_dot_g += a[i] * g[i];
+            af_norm2 += a[i] * a[i];
+        }
+    }
+    let mut d = Vector::zeros(n);
+    if af_norm2 == 0.0 {
+        return d; // no free coordinates: the subspace is {0}
+    }
+    let lambda = af_dot_g / af_norm2;
+    for i in 0..n {
+        if active.is_free(i) {
+            d[i] = g[i] - lambda * a[i];
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarState;
+    use nws_linalg::Matrix;
+
+    fn problem(n: usize, a: &[f64]) -> BoxLinearProblem {
+        BoxLinearProblem::new(Vector::filled(n, 1.0), Vector::from(a), 0.5).unwrap()
+    }
+
+    #[test]
+    fn projection_orthogonal_to_equality() {
+        let pb = problem(3, &[10.0, 20.0, 30.0]);
+        let active = ActiveSet::all_free(3);
+        let g = Vector::from(vec![1.0, -2.0, 0.5]);
+        let d = project_gradient(&g, &active, &pb);
+        assert!(pb.eq_normal().dot(&d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamped_coordinates_zeroed() {
+        let pb = problem(3, &[1.0, 1.0, 1.0]);
+        let mut active = ActiveSet::all_free(3);
+        active.set(0, VarState::AtLower);
+        let g = Vector::from(vec![5.0, 1.0, -1.0]);
+        let d = project_gradient(&g, &active, &pb);
+        assert_eq!(d[0], 0.0);
+        // Free part: g_F − mean(g_F) for unit normal; a·d = 0 on free coords.
+        assert!((d[1] + d[2]).abs() < 1e-12);
+        assert!((d[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_general_projector_oracle() {
+        // Build the equivalent constraint matrix (equality row + one row per
+        // clamped coordinate) and compare with nws-linalg's projector.
+        let a_coefs = [3.0, 7.0, 2.0, 5.0];
+        let pb = problem(4, &a_coefs);
+        let mut active = ActiveSet::all_free(4);
+        active.set(2, VarState::AtUpper);
+
+        let g = Vector::from(vec![1.0, -1.0, 2.0, 0.3]);
+        let fast = project_gradient(&g, &active, &pb);
+
+        let rows: Vec<Vec<f64>> = vec![
+            a_coefs.to_vec(),
+            vec![0.0, 0.0, 1.0, 0.0], // clamped coordinate normal e_2
+        ];
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a_mat = Matrix::from_rows(&row_refs);
+        let oracle = nws_linalg::project_out(&a_mat, &g).unwrap();
+        assert!(fast.approx_eq(&oracle, 1e-10), "fast {fast} vs oracle {oracle}");
+    }
+
+    #[test]
+    fn all_clamped_gives_zero() {
+        let pb = problem(2, &[1.0, 2.0]);
+        let mut active = ActiveSet::all_free(2);
+        active.set(0, VarState::AtLower);
+        active.set(1, VarState::AtUpper);
+        let d = project_gradient(&Vector::from(vec![4.0, -4.0]), &active, &pb);
+        assert_eq!(d.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_already_in_subspace_unchanged() {
+        let pb = problem(2, &[1.0, 1.0]);
+        let active = ActiveSet::all_free(2);
+        let g = Vector::from(vec![1.0, -1.0]); // a·g = 0 already
+        let d = project_gradient(&g, &active, &pb);
+        assert!(d.approx_eq(&g, 1e-12));
+    }
+
+    #[test]
+    fn projection_is_ascent_direction() {
+        // d is the projection of g, so g·d = ‖d‖² ≥ 0.
+        let pb = problem(4, &[2.0, 3.0, 4.0, 5.0]);
+        let active = ActiveSet::all_free(4);
+        let g = Vector::from(vec![0.4, -1.2, 3.3, 0.01]);
+        let d = project_gradient(&g, &active, &pb);
+        assert!((g.dot(&d) - d.dot(&d)).abs() < 1e-9);
+        assert!(g.dot(&d) >= 0.0);
+    }
+}

@@ -1,0 +1,804 @@
+//! The gradient-projection solver loop.
+
+use crate::{
+    compute_multipliers, project_gradient, ActiveSet, BoxLinearProblem, Diagnostics,
+    LineSearchOutcome, NewtonLineSearch, Objective, Result, Solution, SolverError,
+    TerminationReason, VarState,
+};
+use nws_linalg::Vector;
+
+/// Tunable parameters of the solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverOptions {
+    /// Iteration cap — a new iteration starts whenever a new search
+    /// direction is computed (the paper's counting; its cap is 2000, §IV-D).
+    pub max_iterations: usize,
+    /// Projected-gradient convergence tolerance, relative to the gradient's
+    /// infinity norm. A candidate point passing this test must additionally
+    /// survive the KKT multiplier check *and* a value-based verification
+    /// line search before the solver declares convergence, so the tolerance
+    /// controls when certification is *attempted*, not its soundness; on
+    /// stiff problems (utility curvature `∝ 1/ρ³`) an overly tight value
+    /// wastes iterations fighting the gradient's float-noise floor.
+    pub grad_tol: f64,
+    /// Absolute tolerance for classifying a coordinate as sitting on a bound.
+    pub bound_snap_tol: f64,
+    /// Tolerance below which a bound multiplier counts as negative.
+    pub multiplier_tol: f64,
+    /// Whether to mix successive directions with the Polak–Ribière rule.
+    pub polak_ribiere: bool,
+    /// Record the objective value at every iteration into
+    /// [`crate::Solution::objective_trajectory`]. Off by default (one extra
+    /// objective evaluation per iteration); used by convergence studies and
+    /// by tests asserting the method's monotone-ascent property.
+    pub record_objective: bool,
+    /// The 1-D line-search engine.
+    pub line_search: NewtonLineSearch,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            max_iterations: 2000,
+            grad_tol: 1e-6,
+            bound_snap_tol: 1e-12,
+            multiplier_tol: 1e-9,
+            polak_ribiere: true,
+            record_objective: false,
+            line_search: NewtonLineSearch::default(),
+        }
+    }
+}
+
+/// A verification-step outcome: the improved point plus, when the step ran
+/// to the segment end, the bound it hit as `(variable, at_upper)`.
+type VerificationStep = (Vector, Option<(usize, bool)>);
+
+/// Gradient-projection active-set maximizer for [`BoxLinearProblem`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Solver {
+    /// Solver parameters.
+    pub options: SolverOptions,
+}
+
+impl Solver {
+    /// Creates a solver with the given options.
+    pub fn new(options: SolverOptions) -> Self {
+        Solver { options }
+    }
+
+    /// Maximizes `obj` over `problem` from the canonical feasible start
+    /// ([`BoxLinearProblem::feasible_start`]).
+    ///
+    /// # Errors
+    /// Propagates problem/objective errors; see [`Solver::maximize_from`].
+    pub fn maximize<O: Objective>(
+        &self,
+        obj: &O,
+        problem: &BoxLinearProblem,
+    ) -> Result<Solution> {
+        self.maximize_from(obj, problem, problem.feasible_start())
+    }
+
+    /// Maximizes `obj` over `problem` starting from `start`.
+    ///
+    /// # Errors
+    /// [`SolverError::InvalidProblem`] if `start` is not feasible;
+    /// [`SolverError::NonFiniteObjective`] if the objective or gradient is
+    /// non-finite anywhere the solver evaluates it.
+    pub fn maximize_from<O: Objective>(
+        &self,
+        obj: &O,
+        problem: &BoxLinearProblem,
+        start: Vector,
+    ) -> Result<Solution> {
+        let o = &self.options;
+        if !problem.is_feasible(&start, 1e-9) {
+            return Err(SolverError::InvalidProblem(
+                "starting point is not feasible".into(),
+            ));
+        }
+        let mut p = start;
+        let mut active = ActiveSet::classify(&p, problem, o.bound_snap_tol);
+        active.snap(&mut p, problem);
+        restore_equality(&mut p, &active, problem);
+
+        // Conjugate-direction memory; cleared whenever the active set changes.
+        let mut prev_dir: Option<Vector> = None;
+        let mut prev_proj: Option<Vector> = None;
+
+        let mut releases = 0usize;
+        let mut bounds_hit = 0usize;
+        let mut iterations = 0usize;
+        let mut last_proj_norm = f64::INFINITY;
+        // Written in the stationary branches, read by the finish() call inside them.
+        #[allow(unused_assignments)]
+        let mut last_resid = f64::INFINITY;
+
+        let trace = std::env::var_os("NWS_SOLVER_TRACE").is_some();
+        let mut trajectory: Vec<f64> = Vec::new();
+        while iterations < o.max_iterations {
+            iterations += 1;
+            if o.record_objective {
+                trajectory.push(obj.value(&p));
+            }
+            if trace {
+                let eq_err = problem.eq_normal().dot(&p) - problem.eq_rhs();
+                eprintln!(
+                    "TRACE iter {iterations}: eq_err={eq_err:.6e} free={} p={p}",
+                    active.num_free()
+                );
+            }
+            let g = obj.gradient(&p);
+            if !g.is_finite() {
+                return Err(SolverError::NonFiniteObjective(format!(
+                    "gradient at iteration {iterations}"
+                )));
+            }
+            let d = project_gradient(&g, &active, problem);
+            last_proj_norm = d.norm_inf();
+            let scale = g.norm_inf().max(1.0);
+
+            let stationary = last_proj_norm <= o.grad_tol * scale;
+            if stationary {
+                let rep = compute_multipliers(&g, &active, problem, o.multiplier_tol);
+                last_resid = rep.stationarity_residual;
+                if rep.negative.is_empty() {
+                    // A small projected gradient is necessary but — on stiff
+                    // valley floors, where conjugate iterates pass through
+                    // near-stationary points — not sufficient. Verify with
+                    // one exact line search along the projection: at a true
+                    // constrained maximum it cannot improve the objective.
+                    if let Some(step) =
+                        self.verification_step(obj, &p, &d, scale, problem, &active)?
+                    {
+                        let (cand, hit) = step;
+                        p = cand;
+                        if let Some((hit_var, hit_upper)) = hit {
+                            active.set(
+                                hit_var,
+                                if hit_upper { VarState::AtUpper } else { VarState::AtLower },
+                            );
+                            bounds_hit += 1;
+                            active.snap(&mut p, problem);
+                        }
+                        prev_dir = None;
+                        prev_proj = None;
+                        continue;
+                    }
+                    return Ok(self.finish_with_trajectory(
+                        obj,
+                        problem,
+                        p,
+                        rep.multipliers.lambda,
+                        true,
+                        TerminationReason::KktSatisfied,
+                        iterations,
+                        releases,
+                        bounds_hit,
+                        last_proj_norm,
+                        last_resid,
+                        trajectory,
+                    ));
+                }
+                // Release the bounds that certify non-optimality and retry
+                // with the enlarged subspace (the paper's §IV-D strategy of
+                // releasing the whole negative-multiplier subset). The
+                // multiplier estimate λ changes once the free set grows, so
+                // a released variable can turn out to be blocked at its
+                // bound under the new λ — the NoProgress arm below re-clamps
+                // such variables instead of stalling.
+                for &i in &rep.negative {
+                    active.set(i, VarState::Free);
+                }
+                releases += 1;
+                prev_dir = None;
+                prev_proj = None;
+                continue;
+            }
+
+            // Polak–Ribière conjugate mixing of the projected gradient.
+            let mut s = d.clone();
+            if o.polak_ribiere {
+                if let (Some(pd), Some(pg)) = (&prev_dir, &prev_proj) {
+                    let denom = pg.dot(pg);
+                    if denom > 0.0 {
+                        let beta = (d.dot(&(&d - pg)) / denom).max(0.0);
+                        s.axpy(beta, pd);
+                        // Safeguards: the mixed direction must stay an ascent
+                        // direction; otherwise restart from the projection.
+                        if g.dot(&s) <= 0.0 {
+                            s = d.clone();
+                        }
+                    }
+                }
+            }
+
+            let Some((t_max, hit_var, hit_upper)) = max_step(&p, &s, problem, &active)
+            else {
+                // Numerically null direction — treat as stationary and let
+                // the multiplier logic decide next iteration.
+                prev_dir = None;
+                prev_proj = None;
+                continue;
+            };
+
+            match o.line_search.maximize(obj, &p, &s, t_max)? {
+                LineSearchOutcome::Interior(t) => {
+                    p.axpy(t, &s);
+                    // Float drift off the constraint surface accumulates at
+                    // machine-epsilon scale per step; repair it only when it
+                    // becomes measurable — unconditional repair perturbs the
+                    // iterate enough to destroy slow conjugate progress
+                    // along stiff valley floors.
+                    maybe_repair_feasibility(&mut p, &active, problem);
+                    prev_dir = Some(s);
+                    prev_proj = Some(d);
+                    // The interior step may still have drifted a coordinate
+                    // onto a bound; classify so the projection stays honest.
+                    let new_active = ActiveSet::classify(&p, problem, o.bound_snap_tol);
+                    if new_active != active {
+                        active = new_active;
+                        active.snap(&mut p, problem);
+                        maybe_repair_feasibility(&mut p, &active, problem);
+                        prev_dir = None;
+                        prev_proj = None;
+                    }
+                }
+                LineSearchOutcome::ReachedMax => {
+                    p.axpy(t_max, &s);
+                    active.set(hit_var, if hit_upper { VarState::AtUpper } else { VarState::AtLower });
+                    bounds_hit += 1;
+                    active.snap(&mut p, problem);
+                    maybe_repair_feasibility(&mut p, &active, problem);
+                    prev_dir = None;
+                    prev_proj = None;
+                }
+                LineSearchOutcome::NoProgress => {
+                    if prev_dir.is_some() {
+                        // The conjugate direction stalled; retry from the pure
+                        // projection next iteration.
+                        prev_dir = None;
+                        prev_proj = None;
+                        continue;
+                    }
+                    if t_max == 0.0 {
+                        // A free variable sits exactly on a bound with the
+                        // projection pointing outward (typically a variable
+                        // released under a multiplier estimate that the
+                        // enlarged free set no longer supports). Re-clamp it
+                        // and recompute.
+                        active.set(
+                            hit_var,
+                            if hit_upper { VarState::AtUpper } else { VarState::AtLower },
+                        );
+                        bounds_hit += 1;
+                        active.snap(&mut p, problem);
+                        prev_dir = None;
+                        prev_proj = None;
+                        continue;
+                    }
+                    // The pure projection made no numerical progress away
+                    // from bounds: only treat as stationary when it really
+                    // is small; a large-gradient stall otherwise burns one
+                    // iteration and retries (bounded by the iteration cap).
+                    if last_proj_norm <= o.grad_tol * scale {
+                        let rep =
+                            compute_multipliers(&g, &active, problem, o.multiplier_tol);
+                        last_resid = rep.stationarity_residual;
+                        if rep.negative.is_empty() {
+                            return Ok(self.finish_with_trajectory(
+                                obj,
+                                problem,
+                                p,
+                                rep.multipliers.lambda,
+                                true,
+                                TerminationReason::KktSatisfied,
+                                iterations,
+                                releases,
+                                bounds_hit,
+                                last_proj_norm,
+                                last_resid,
+                                trajectory,
+                            ));
+                        }
+                        let &worst = rep
+                            .negative
+                            .iter()
+                            .min_by(|&&i, &&j| {
+                                rep.multipliers.bound[i]
+                                    .partial_cmp(&rep.multipliers.bound[j])
+                                    .expect("finite multipliers")
+                            })
+                            .expect("non-empty negative set");
+                        active.set(worst, VarState::Free);
+                        releases += 1;
+                    }
+                    prev_dir = None;
+                    prev_proj = None;
+                }
+            }
+        }
+
+        let g = obj.gradient(&p);
+        let rep = compute_multipliers(&g, &active, problem, self.options.multiplier_tol);
+        Ok(self.finish_with_trajectory(
+            obj,
+            problem,
+            p,
+            rep.multipliers.lambda,
+            false,
+            TerminationReason::IterationLimit,
+            iterations,
+            releases,
+            bounds_hit,
+            last_proj_norm,
+            rep.stationarity_residual,
+            trajectory,
+        ))
+    }
+
+    /// Attempts one exact line search along the projected gradient `d` from
+    /// `p`. Returns `Some((new_point, bound_hit))` when the step improves
+    /// the objective beyond float noise — proof that `p` was a stiff valley
+    /// floor rather than the constrained maximum — and `None` when no
+    /// meaningful improvement exists (true convergence).
+    fn verification_step<O: Objective>(
+        &self,
+        obj: &O,
+        p: &Vector,
+        d: &Vector,
+        gradient_scale: f64,
+        problem: &BoxLinearProblem,
+        active: &ActiveSet,
+    ) -> Result<Option<VerificationStep>> {
+        // Near stationarity the projection is computed by catastrophic
+        // cancellation, so once ‖d‖ falls to rounding noise relative to the
+        // gradient, its *direction* is meaningless — stepping far along it
+        // would walk off the equality hyperplane. Treat it as zero.
+        if d.norm_inf() <= 1e-12 * gradient_scale {
+            return Ok(None);
+        }
+        let Some((t_max, hit_var, hit_upper)) = max_step(p, d, problem, active) else {
+            return Ok(None);
+        };
+        let before = obj.value(p);
+        let improvement_floor = 1e-12 * (1.0 + before.abs());
+        let accept = |mut cand: Vector, hit: Option<(usize, bool)>| {
+            // Repair the (tiny) drift the step introduced and insist on
+            // feasibility: a verification step must never trade constraint
+            // violation for objective improvement.
+            restore_equality(&mut cand, active, problem);
+            for i in 0..cand.len() {
+                cand[i] = cand[i].clamp(0.0, problem.upper()[i]);
+            }
+            if !problem.is_feasible(&cand, 1e-9) {
+                return None;
+            }
+            let after = obj.value(&cand);
+            if after > before + improvement_floor {
+                Some((cand, hit))
+            } else {
+                None
+            }
+        };
+        match self.options.line_search.maximize(obj, p, d, t_max)? {
+            LineSearchOutcome::Interior(t) => {
+                let mut cand = p.clone();
+                cand.axpy(t, d);
+                Ok(accept(cand, None))
+            }
+            LineSearchOutcome::ReachedMax => {
+                let mut cand = p.clone();
+                cand.axpy(t_max, d);
+                Ok(accept(cand, Some((hit_var, hit_upper))))
+            }
+            LineSearchOutcome::NoProgress => Ok(None),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    fn finish_with_trajectory<O: Objective>(
+        &self,
+        obj: &O,
+        problem: &BoxLinearProblem,
+        p: Vector,
+        lambda: f64,
+        kkt_verified: bool,
+        reason: TerminationReason,
+        iterations: usize,
+        constraint_releases: usize,
+        bounds_hit: usize,
+        final_projected_gradient: f64,
+        stationarity_residual: f64,
+        mut trajectory: Vec<f64>,
+    ) -> Solution {
+        let mut sol = self.finish(
+            obj,
+            problem,
+            p,
+            lambda,
+            kkt_verified,
+            reason,
+            iterations,
+            constraint_releases,
+            bounds_hit,
+            final_projected_gradient,
+            stationarity_residual,
+        );
+        if self.options.record_objective {
+            trajectory.push(sol.value);
+            sol.objective_trajectory = trajectory;
+        }
+        sol
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish<O: Objective>(
+        &self,
+        obj: &O,
+        problem: &BoxLinearProblem,
+        mut p: Vector,
+        lambda: f64,
+        kkt_verified: bool,
+        reason: TerminationReason,
+        iterations: usize,
+        constraint_releases: usize,
+        bounds_hit: usize,
+        final_projected_gradient: f64,
+        stationarity_residual: f64,
+    ) -> Solution {
+        // The conditional feasibility repair tolerates sub-1e-10 float drift
+        // during the search; the *returned* point must sit exactly in the box.
+        for i in 0..p.len() {
+            p[i] = p[i].clamp(0.0, problem.upper()[i]);
+        }
+        let value = obj.value(&p);
+        Solution {
+            value,
+            lambda,
+            kkt_verified,
+            reason,
+            diagnostics: Diagnostics {
+                iterations,
+                constraint_releases,
+                bounds_hit,
+                final_projected_gradient,
+                stationarity_residual,
+            },
+            objective_trajectory: Vec::new(),
+            p,
+        }
+    }
+}
+
+/// The largest step along `s` before some *free* coordinate leaves the box,
+/// with the index of the limiting coordinate and whether it hits the upper
+/// bound. `None` when the direction is numerically null on the free set.
+fn max_step(
+    p: &Vector,
+    s: &Vector,
+    problem: &BoxLinearProblem,
+    active: &ActiveSet,
+) -> Option<(f64, usize, bool)> {
+    let mut best: Option<(f64, usize, bool)> = None;
+    for i in 0..p.len() {
+        if !active.is_free(i) {
+            continue;
+        }
+        let si = s[i];
+        let (t, upper) = if si > f64::EPSILON {
+            ((problem.upper()[i] - p[i]) / si, true)
+        } else if si < -f64::EPSILON {
+            (p[i] / -si, false)
+        } else {
+            continue;
+        };
+        let t = t.max(0.0);
+        if best.is_none_or(|(bt, _, _)| t < bt) {
+            best = Some((t, i, upper));
+        }
+    }
+    best
+}
+
+/// Repairs box and equality feasibility only when the drift is measurable
+/// (relative error above `1e-10`). Small-scale repairs are deliberately
+/// skipped: perturbing the iterate at machine-epsilon scale each step is
+/// enough to destroy slow conjugate-gradient progress on ill-conditioned
+/// instances, while the drift itself stays far below any reporting
+/// tolerance.
+fn maybe_repair_feasibility(p: &mut Vector, active: &ActiveSet, problem: &BoxLinearProblem) {
+    let mut box_violation: f64 = 0.0;
+    for i in 0..p.len() {
+        let u = problem.upper()[i];
+        box_violation = box_violation.max((-p[i]).max(p[i] - u));
+    }
+    let eq_err = (problem.eq_normal().dot(p) - problem.eq_rhs()).abs();
+    let eq_scale = problem.eq_rhs().abs().max(1.0);
+    if box_violation > 1e-10 || eq_err > 1e-10 * eq_scale {
+        for i in 0..p.len() {
+            p[i] = p[i].clamp(0.0, problem.upper()[i]);
+        }
+        restore_equality(p, active, problem);
+    }
+}
+
+/// Restores `a·p = rhs` exactly by distributing the (tiny) residual along
+/// the equality normal restricted to free coordinates.
+fn restore_equality(p: &mut Vector, active: &ActiveSet, problem: &BoxLinearProblem) {
+    let a = problem.eq_normal();
+    let err = a.dot(p) - problem.eq_rhs();
+    if err == 0.0 {
+        return;
+    }
+    let mut norm2 = 0.0;
+    for i in 0..p.len() {
+        if active.is_free(i) {
+            norm2 += a[i] * a[i];
+        }
+    }
+    if norm2 == 0.0 {
+        return; // fully clamped; nothing to adjust against
+    }
+    let corr = err / norm2;
+    for i in 0..p.len() {
+        if active.is_free(i) {
+            p[i] = (p[i] - corr * a[i]).clamp(0.0, problem.upper()[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Separable concave quadratic: f(p) = −Σ w_i·(p_i − c_i)².
+    struct Quad {
+        w: Vec<f64>,
+        c: Vec<f64>,
+    }
+    impl Objective for Quad {
+        fn value(&self, p: &Vector) -> f64 {
+            -(0..p.len())
+                .map(|i| self.w[i] * (p[i] - self.c[i]) * (p[i] - self.c[i]))
+                .sum::<f64>()
+        }
+        fn gradient(&self, p: &Vector) -> Vector {
+            (0..p.len()).map(|i| -2.0 * self.w[i] * (p[i] - self.c[i])).collect()
+        }
+        fn curvature_along(&self, _p: &Vector, s: &Vector) -> f64 {
+            -(0..s.len()).map(|i| 2.0 * self.w[i] * s[i] * s[i]).sum::<f64>()
+        }
+    }
+
+    /// Σ log(ε + p_i): strictly concave with steep gradients near zero —
+    /// a water-filling-style stress test.
+    struct LogUtil {
+        eps: f64,
+    }
+    impl Objective for LogUtil {
+        fn value(&self, p: &Vector) -> f64 {
+            p.iter().map(|x| (self.eps + x).ln()).sum()
+        }
+        fn gradient(&self, p: &Vector) -> Vector {
+            p.iter().map(|x| 1.0 / (self.eps + x)).collect()
+        }
+        fn curvature_along(&self, p: &Vector, s: &Vector) -> f64 {
+            -(0..s.len())
+                .map(|i| s[i] * s[i] / ((self.eps + p[i]) * (self.eps + p[i])))
+                .sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn symmetric_quadratic_splits_budget() {
+        let obj = Quad { w: vec![1.0, 1.0], c: vec![1.0, 1.0] };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::filled(2, 1.0),
+            1.0,
+        )
+        .unwrap();
+        let sol = Solver::default().maximize(&obj, &pb).unwrap();
+        assert!(sol.kkt_verified);
+        assert!(sol.p.approx_eq(&Vector::filled(2, 0.5), 1e-8), "{}", sol.p);
+    }
+
+    #[test]
+    fn asymmetric_quadratic_known_optimum() {
+        // max −(p1−1)² − 4(p2−1)² s.t. p1 + p2 = 1, 0 ≤ p ≤ 1.
+        // Lagrange: −2(p1−1) = λ, −8(p2−1) = λ; p1+p2=1 →
+        // p1−1 = 4(p2−1) → p1 = 4p2 − 3; p1 + p2 = 1 → 5p2 = 4 → p2 = 0.8.
+        let obj = Quad { w: vec![1.0, 4.0], c: vec![1.0, 1.0] };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::filled(2, 1.0),
+            1.0,
+        )
+        .unwrap();
+        let sol = Solver::default().maximize(&obj, &pb).unwrap();
+        assert!(sol.kkt_verified);
+        assert!(
+            sol.p.approx_eq(&Vector::from(vec![0.2, 0.8]), 1e-8),
+            "got {}",
+            sol.p
+        );
+        // λ = −2(0.2 − 1)/1 = 1.6 against a = (1,1).
+        assert!((sol.lambda - 1.6).abs() < 1e-6, "lambda {}", sol.lambda);
+    }
+
+    #[test]
+    fn optimum_on_a_bound() {
+        // max −(p1−2)² − (p2−0)² s.t. p1 + p2 = 1: unconstrained optimum
+        // (2, 0) infeasible for the box [0,1]² → p1 clamps at 1, p2 = 0.
+        let obj = Quad { w: vec![1.0, 1.0], c: vec![2.0, 0.0] };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::filled(2, 1.0),
+            1.0,
+        )
+        .unwrap();
+        let sol = Solver::default().maximize(&obj, &pb).unwrap();
+        assert!(sol.kkt_verified);
+        assert!(
+            sol.p.approx_eq(&Vector::from(vec![1.0, 0.0]), 1e-8),
+            "got {}",
+            sol.p
+        );
+    }
+
+    #[test]
+    fn monitors_switched_off_at_optimum() {
+        // Heavily-weighted coordinate with a far target hogs the budget; the
+        // "cheap" coordinate is driven to zero — the placement analogue of
+        // not activating a monitor.
+        let obj = Quad { w: vec![10.0, 0.01], c: vec![0.5, -5.0] };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::from(vec![1.0, 1.0]),
+            0.5,
+        )
+        .unwrap();
+        let sol = Solver::default().maximize(&obj, &pb).unwrap();
+        assert!(sol.kkt_verified);
+        assert!((sol.p[0] - 0.5).abs() < 1e-7, "got {}", sol.p);
+        assert!(sol.p[1].abs() < 1e-9, "got {}", sol.p);
+    }
+
+    #[test]
+    fn water_filling_log_utility() {
+        // max Σ ln(ε+p_i) s.t. Σ a_i p_i = θ: optimum has a_i(ε + p_i) equal
+        // across free coordinates (water filling).
+        let obj = LogUtil { eps: 1e-3 };
+        let a = vec![1.0, 2.0, 4.0];
+        let pb = BoxLinearProblem::new(
+            Vector::filled(3, 10.0),
+            Vector::from(a.clone()),
+            2.0,
+        )
+        .unwrap();
+        let sol = Solver::default().maximize(&obj, &pb).unwrap();
+        assert!(sol.kkt_verified, "diag: {:?}", sol.diagnostics);
+        for (i, &ai) in a.iter().enumerate() {
+            let marginal = 1.0 / (1e-3 + sol.p[i]) / ai;
+            assert!(
+                (marginal - sol.lambda).abs() < 1e-5 * sol.lambda,
+                "marginal {i}: {marginal} vs λ {}",
+                sol.lambda
+            );
+        }
+        // Budget exactly consumed.
+        let spent: f64 = (0..3).map(|i| a[i] * sol.p[i]).sum();
+        assert!((spent - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_problem() {
+        // rhs at its maximum: only feasible point is `upper`.
+        let obj = Quad { w: vec![1.0, 1.0], c: vec![0.0, 0.0] };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::from(vec![1.0, 3.0]),
+            4.0,
+        )
+        .unwrap();
+        let sol = Solver::default().maximize(&obj, &pb).unwrap();
+        assert!(sol.p.approx_eq(&Vector::filled(2, 1.0), 1e-9));
+        assert!(sol.kkt_verified);
+    }
+
+    #[test]
+    fn infeasible_start_rejected() {
+        let obj = Quad { w: vec![1.0], c: vec![0.0] };
+        let pb =
+            BoxLinearProblem::new(Vector::filled(1, 1.0), Vector::filled(1, 1.0), 0.5)
+                .unwrap();
+        let err = Solver::default()
+            .maximize_from(&obj, &pb, Vector::from(vec![0.9]))
+            .unwrap_err();
+        assert!(matches!(err, SolverError::InvalidProblem(_)));
+    }
+
+    #[test]
+    fn start_on_wrong_bound_is_released() {
+        // Start with all mass on coordinate 0 although the optimum wants it
+        // on coordinate 1: requires activating then releasing bounds.
+        let obj = Quad { w: vec![1.0, 1.0], c: vec![0.0, 1.0] };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(2, 1.0),
+            Vector::filled(2, 1.0),
+            1.0,
+        )
+        .unwrap();
+        let sol = Solver::default()
+            .maximize_from(&obj, &pb, Vector::from(vec![1.0, 0.0]))
+            .unwrap();
+        assert!(sol.kkt_verified);
+        assert!(
+            sol.p.approx_eq(&Vector::from(vec![0.0, 1.0]), 1e-8),
+            "got {}",
+            sol.p
+        );
+        assert!(sol.diagnostics.constraint_releases >= 1);
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let obj = LogUtil { eps: 1e-6 };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(4, 1.0),
+            Vector::from(vec![1.0, 2.0, 3.0, 4.0]),
+            1.0,
+        )
+        .unwrap();
+        let solver = Solver::new(SolverOptions {
+            max_iterations: 1,
+            ..SolverOptions::default()
+        });
+        let sol = solver.maximize(&obj, &pb).unwrap();
+        assert_eq!(sol.reason, TerminationReason::IterationLimit);
+        assert!(!sol.kkt_verified);
+        // Still feasible.
+        assert!(pb.is_feasible(&sol.p, 1e-6));
+    }
+
+    #[test]
+    fn polak_ribiere_agrees_with_plain_projection() {
+        let obj = Quad { w: vec![1.0, 2.0, 3.0], c: vec![0.9, 0.4, 0.2] };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(3, 1.0),
+            Vector::from(vec![2.0, 1.0, 1.5]),
+            1.0,
+        )
+        .unwrap();
+        let pr = Solver::default().maximize(&obj, &pb).unwrap();
+        let plain = Solver::new(SolverOptions {
+            polak_ribiere: false,
+            ..SolverOptions::default()
+        })
+        .maximize(&obj, &pb)
+        .unwrap();
+        assert!(pr.kkt_verified && plain.kkt_verified);
+        assert!(pr.p.approx_eq(&plain.p, 1e-6), "{} vs {}", pr.p, plain.p);
+        assert!((pr.value - plain.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_feasible_and_diagnostics_sane() {
+        let obj = LogUtil { eps: 1e-4 };
+        let pb = BoxLinearProblem::new(
+            Vector::from(vec![0.01, 1.0, 0.5, 0.2, 1.0]),
+            Vector::from(vec![1e5, 2e4, 3e3, 7e2, 9e6]),
+            500.0,
+        )
+        .unwrap();
+        let sol = Solver::default().maximize(&obj, &pb).unwrap();
+        assert!(pb.is_feasible(&sol.p, 1e-6), "p = {}", sol.p);
+        assert!(sol.kkt_verified, "diag {:?}", sol.diagnostics);
+        assert!(sol.diagnostics.iterations >= 1);
+        assert!(sol.diagnostics.final_projected_gradient.is_finite());
+        assert!(sol.value.is_finite());
+    }
+}

@@ -1,0 +1,305 @@
+//! Regression tests: solver instances that exposed real bugs during
+//! development. Each carries the exact failing data and the invariant that
+//! was violated.
+
+use nws_linalg::Vector;
+use nws_solver::{BoxLinearProblem, Objective, Solver, SolverOptions};
+
+struct Quad {
+    w: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl Objective for Quad {
+    fn value(&self, p: &Vector) -> f64 {
+        -(0..p.len())
+            .map(|i| self.w[i] * (p[i] - self.c[i]) * (p[i] - self.c[i]))
+            .sum::<f64>()
+    }
+    fn gradient(&self, p: &Vector) -> Vector {
+        (0..p.len()).map(|i| -2.0 * self.w[i] * (p[i] - self.c[i])).collect()
+    }
+    fn curvature_along(&self, _p: &Vector, s: &Vector) -> f64 {
+        -(0..s.len()).map(|i| 2.0 * self.w[i] * s[i] * s[i]).sum::<f64>()
+    }
+}
+
+/// Bug: near stationarity the projected gradient is pure cancellation noise
+/// (`‖d‖ ~ ε‖g‖`) whose direction is *not* orthogonal to the capacity
+/// constraint. The verification line search once stepped `t_max ≈ 2·10¹⁵`
+/// along such a direction, walking the "certified optimum" 0.8 % off the
+/// equality hyperplane. The solver must (a) never return an infeasible
+/// point, and (b) still certify the true optimum of this instance.
+#[test]
+fn verification_step_must_not_leave_feasible_set() {
+    let q = Quad {
+        w: vec![
+            1.2323497585477483,
+            9.373037574034138,
+            9.542942657854269,
+            6.252135075940012,
+            8.399249080116041,
+            6.192176520121759,
+            7.719544584848155,
+            4.724929006891208,
+        ],
+        c: vec![
+            0.0,
+            1.6991171432384078,
+            -0.7962335427748701,
+            1.6419510576283303,
+            -0.6162007087443979,
+            1.9251100981619118,
+            1.1072992568495148,
+            1.8704495598264432,
+        ],
+    };
+    let a = vec![
+        14.472312750288983,
+        19.49507230461373,
+        14.263110237356747,
+        10.021037855499177,
+        7.746296209088847,
+        12.727493899195993,
+        17.26044940434073,
+        15.014287180323194,
+    ];
+    let upper = vec![
+        0.6440494648294747,
+        0.5467695886508444,
+        0.9865234905147419,
+        0.8869453936642994,
+        0.9371408776349472,
+        0.886115049737946,
+        0.560811401588149,
+        0.4038739418591965,
+    ];
+    let theta = 46.20085737000041;
+
+    let problem = BoxLinearProblem::new(
+        Vector::from(upper.as_slice()),
+        Vector::from(a.as_slice()),
+        theta,
+    )
+    .unwrap();
+    let sol = Solver::default().maximize(&q, &problem).unwrap();
+
+    assert!(problem.is_feasible(&sol.p, 1e-7), "infeasible answer: {}", sol.p);
+    assert!(sol.kkt_verified, "diag: {:?}", sol.diagnostics);
+    // The buggy trajectory ended at the all-clamped point with coordinate 6
+    // at its upper bound; the true optimum keeps it interior at the value
+    // the equality pins it to.
+    let pinned = (theta
+        - a[1] * upper[1]
+        - a[3] * upper[3]
+        - a[5] * upper[5]
+        - a[7] * upper[7])
+        / a[6];
+    assert!(
+        (sol.p[6] - pinned).abs() < 1e-6,
+        "coordinate 6: {} vs pinned {pinned}",
+        sol.p[6]
+    );
+}
+
+/// Bug: with a tight relative gradient tolerance the solver declared "KKT
+/// satisfied" on a stiff valley floor of the GEANT-like utility where the
+/// objective was still 0.36 below... or so it seemed — the "better" point
+/// found by an unguarded trajectory was in fact infeasible, and the valley
+/// floor *is* the optimum. The invariant that distinguishes the two: a
+/// value-based verification search from the certified point must find no
+/// feasible improvement. This test re-checks certification with a tighter
+/// tolerance than default, which used to flip the outcome.
+#[test]
+fn certification_stable_across_gradient_tolerances() {
+    let q = Quad {
+        w: vec![3.0, 0.2, 7.0, 1.0, 0.5],
+        c: vec![0.9, 2.0, 0.1, -0.5, 1.4],
+    };
+    let a = vec![5.0, 11.0, 3.0, 8.0, 6.0];
+    let upper = vec![1.0, 0.8, 0.9, 0.7, 1.0];
+    let ceiling: f64 = a.iter().zip(&upper).map(|(x, u)| x * u).sum();
+    for frac in [0.2, 0.5, 0.8] {
+        let problem = BoxLinearProblem::new(
+            Vector::from(upper.as_slice()),
+            Vector::from(a.as_slice()),
+            ceiling * frac,
+        )
+        .unwrap();
+        let loose = Solver::default().maximize(&q, &problem).unwrap();
+        let tight = Solver::new(SolverOptions {
+            grad_tol: 1e-9,
+            max_iterations: 20_000,
+            ..SolverOptions::default()
+        })
+        .maximize(&q, &problem)
+        .unwrap();
+        assert!(loose.kkt_verified);
+        assert!(
+            (loose.value - tight.value).abs() <= 1e-7 * (1.0 + tight.value.abs()),
+            "frac {frac}: loose {} vs tight {}",
+            loose.value,
+            tight.value
+        );
+    }
+}
+
+/// Bug: the final answer carried sub-1e-10 negative coordinates (box drift
+/// tolerated during the search for conjugacy's sake). The public contract
+/// is `p ∈ [0, upper]` exactly.
+#[test]
+fn returned_point_exactly_in_box() {
+    // The failing shape from the core property test: big ODs, tiny budget.
+    let q = Quad {
+        w: vec![1e-7, 2e-7, 1.5e-7, 1.2e-7],
+        c: vec![5.3e6, 8.9e6, 7.9e6, 5.5e6],
+    };
+    let a = vec![5.3e6, 8.9e6, 7.9e6, 5.5e6];
+    let upper = vec![1.0; 4];
+    let theta = 27_727.0;
+    let problem = BoxLinearProblem::new(
+        Vector::from(upper.as_slice()),
+        Vector::from(a.as_slice()),
+        theta,
+    )
+    .unwrap();
+    let sol = Solver::default().maximize(&q, &problem).unwrap();
+    for i in 0..4 {
+        assert!(
+            (0.0..=1.0).contains(&sol.p[i]),
+            "coordinate {i} outside the box: {}",
+            sol.p[i]
+        );
+    }
+}
+
+/// Bug: releasing *all* negative-multiplier bounds at once freed variables
+/// whose multiplier was positive under the updated λ; they blocked the line
+/// search at their bound (`t_max = 0` → NoProgress), and the NoProgress
+/// path certified "KKT satisfied" with a projected gradient of ~1.6 —
+/// returning a feasible but suboptimal point (−20.048 vs the analytic
+/// −19.957). Fixed by single-constraint release plus re-clamping blocked
+/// variables; certification now requires genuine gradient smallness.
+#[test]
+fn batched_release_must_not_certify_suboptimal_point() {
+    let q = Quad {
+        w: vec![
+            8.748017903140827,
+            1.2720386070136287,
+            7.080526070142832,
+            2.173511815958373,
+            8.613929872535364,
+            5.028681154551625,
+        ],
+        c: vec![
+            1.8422335324518262,
+            0.0,
+            1.2911772882873789,
+            -0.47668221824003965,
+            0.0,
+            1.5948645517454194,
+        ],
+    };
+    let a = vec![
+        16.372700680800065,
+        0.5,
+        3.38281416929439,
+        5.182772284430853,
+        10.311346577921615,
+        15.765347588356839,
+    ];
+    let upper = vec![
+        0.7657373880350714,
+        0.5969842049525744,
+        0.4288637104901097,
+        0.3966080424386139,
+        0.8559762455960315,
+        0.696420052272222,
+    ];
+    let theta = 25.102147577613067;
+    let problem = BoxLinearProblem::new(
+        Vector::from(upper.as_slice()),
+        Vector::from(a.as_slice()),
+        theta,
+    )
+    .unwrap();
+    let sol = Solver::default().maximize(&q, &problem).unwrap();
+    assert!(sol.kkt_verified);
+    assert!(problem.is_feasible(&sol.p, 1e-7));
+    let analytic = -19.957051830462483;
+    assert!(
+        (sol.value - analytic).abs() < 1e-6,
+        "value {} vs analytic {analytic}",
+        sol.value
+    );
+}
+
+/// Failure injection: an objective whose gradient turns non-finite mid-box
+/// must surface `NonFiniteObjective`, not panic or return garbage.
+#[test]
+fn non_finite_gradient_mid_run_is_reported() {
+    struct Poisoned;
+    impl Objective for Poisoned {
+        fn value(&self, p: &Vector) -> f64 {
+            p.iter().map(|x| -(x - 0.9) * (x - 0.9)).sum()
+        }
+        fn gradient(&self, p: &Vector) -> Vector {
+            // Gradient blows up once any coordinate exceeds 0.5.
+            p.iter()
+                .map(|&x| if x > 0.5 { f64::NAN } else { -2.0 * (x - 0.9) })
+                .collect()
+        }
+        fn curvature_along(&self, _p: &Vector, s: &Vector) -> f64 {
+            -2.0 * s.iter().map(|x| x * x).sum::<f64>()
+        }
+    }
+    let problem = BoxLinearProblem::new(
+        Vector::from(vec![1.0, 1.0]),
+        Vector::from(vec![1.0, 1.0]),
+        1.4, // forces coordinates above 0.5
+    )
+    .unwrap();
+    let err = Solver::default().maximize(&Poisoned, &problem).unwrap_err();
+    assert!(matches!(err, nws_solver::SolverError::NonFiniteObjective(_)));
+}
+
+/// The method is monotone ascent: with exact line searches every step can
+/// only increase the objective, so the recorded trajectory is nondecreasing
+/// (up to float noise). A broken projection, line search or repair step
+/// shows up here immediately.
+#[test]
+fn recorded_trajectory_is_monotone_ascent() {
+    let q = Quad {
+        w: vec![3.0, 0.2, 7.0, 1.0, 0.5, 2.2],
+        c: vec![0.9, 2.0, 0.1, -0.5, 1.4, 0.3],
+    };
+    let a = vec![5.0, 11.0, 3.0, 8.0, 6.0, 9.0];
+    let upper = vec![1.0, 0.8, 0.9, 0.7, 1.0, 0.6];
+    let ceiling: f64 = a.iter().zip(&upper).map(|(x, u)| x * u).sum();
+    let problem = BoxLinearProblem::new(
+        Vector::from(upper.as_slice()),
+        Vector::from(a.as_slice()),
+        ceiling * 0.4,
+    )
+    .unwrap();
+    let sol = Solver::new(SolverOptions {
+        record_objective: true,
+        ..SolverOptions::default()
+    })
+    .maximize(&q, &problem)
+    .unwrap();
+    let traj = &sol.objective_trajectory;
+    assert!(traj.len() >= 2, "trajectory recorded");
+    for w in traj.windows(2) {
+        assert!(
+            w[1] >= w[0] - 1e-9 * (1.0 + w[0].abs()),
+            "objective decreased: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+    assert!((traj.last().unwrap() - sol.value).abs() < 1e-12);
+    // Off by default.
+    let plain = Solver::default().maximize(&q, &problem).unwrap();
+    assert!(plain.objective_trajectory.is_empty());
+}

@@ -1,0 +1,134 @@
+//! Abilene (Internet2) reference backbone.
+//!
+//! The paper argues (§V-C) that the advantage of network-wide sampling "is
+//! not limited to the specific network topology under consideration",
+//! because backbone designs generally give small OD pairs quiet downstream
+//! links. To test that claim, the workspace carries a second well-known
+//! research backbone: Abilene, the Internet2 network circa 2004 — 11 PoPs
+//! and 14 bidirectional OC-192 trunks — with an external customer attached
+//! at the New York PoP.
+//!
+//! IGP weights approximate the real latency-derived metrics (scaled route
+//! miles); capacities are uniform OC-192, so unlike GEANT the load asymmetry
+//! comes purely from the traffic matrix and the topology's shape.
+
+use crate::{LinkId, LinkKind, NodeId, Topology, TopologyBuilder};
+
+/// Name of the external customer node attached to the New York PoP.
+pub const ABILENE_CUSTOMER: &str = "CUST";
+
+/// The 11 Abilene PoP names (airport-style codes used by Internet2).
+pub const ABILENE_POPS: [&str; 11] = [
+    "STTL", // Seattle
+    "SNVA", // Sunnyvale
+    "LOSA", // Los Angeles
+    "DNVR", // Denver
+    "KSCY", // Kansas City
+    "HSTN", // Houston
+    "IPLS", // Indianapolis
+    "ATLA", // Atlanta
+    "CHIN", // Chicago
+    "WASH", // Washington DC
+    "NYCM", // New York
+];
+
+/// OC-192 line rate in Mbit/s.
+const OC192: f64 = 9953.0;
+
+/// Builds the Abilene reference topology: 11 PoPs, 28 unidirectional
+/// backbone links, plus a customer node on NYCM through an access-link pair.
+pub fn abilene() -> Topology {
+    let mut b = TopologyBuilder::new();
+    let ids: Vec<NodeId> = ABILENE_POPS.iter().map(|&n| b.node(n)).collect();
+    let id = |name: &str| -> NodeId {
+        ids[ABILENE_POPS.iter().position(|&p| p == name).expect("known PoP")]
+    };
+
+    // (a, b, igp weight) — 14 bidirectional trunks.
+    let edges: [(&str, &str, f64); 14] = [
+        ("STTL", "SNVA", 10.0),
+        ("STTL", "DNVR", 13.0),
+        ("SNVA", "LOSA", 5.0),
+        ("SNVA", "DNVR", 12.0),
+        ("LOSA", "HSTN", 18.0),
+        ("DNVR", "KSCY", 7.0),
+        ("KSCY", "HSTN", 9.0),
+        ("KSCY", "IPLS", 6.0),
+        ("HSTN", "ATLA", 11.0),
+        ("IPLS", "CHIN", 3.0),
+        ("IPLS", "ATLA", 8.0),
+        ("ATLA", "WASH", 7.0),
+        ("CHIN", "NYCM", 9.0),
+        ("WASH", "NYCM", 3.0),
+    ];
+    for (a, z, w) in edges {
+        b.bidirectional(id(a), id(z), OC192, w, LinkKind::Backbone);
+    }
+
+    let cust = b.external_node(ABILENE_CUSTOMER);
+    b.bidirectional(cust, id("NYCM"), OC192, 1.0, LinkKind::Access);
+
+    let topo = b.build().expect("reference topology is statically valid");
+    debug_assert!(topo.validate_connected().is_ok());
+    topo
+}
+
+/// The customer's access link into NYCM (the ingress of the cross-network
+/// measurement task).
+///
+/// # Panics
+/// Panics if `topo` is not the topology produced by [`abilene`].
+pub fn abilene_access_link(topo: &Topology) -> LinkId {
+    let cust = topo.node_by_name(ABILENE_CUSTOMER).expect("customer present");
+    let nycm = topo.node_by_name("NYCM").expect("NYCM present");
+    topo.link_between(cust, nycm).expect("access link present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let t = abilene();
+        assert_eq!(t.num_nodes(), 12); // 11 PoPs + customer
+        assert_eq!(t.num_links(), 30); // 28 backbone + 2 access
+        assert_eq!(t.monitorable_links().len(), 28);
+        assert!(t.validate_connected().is_ok());
+    }
+
+    #[test]
+    fn all_pops_resolvable() {
+        let t = abilene();
+        for p in ABILENE_POPS {
+            assert!(t.node_by_name(p).is_some(), "missing {p}");
+        }
+        assert!(t.node(t.node_by_name(ABILENE_CUSTOMER).unwrap()).is_external());
+    }
+
+    #[test]
+    fn access_link_not_monitorable() {
+        let t = abilene();
+        let l = abilene_access_link(&t);
+        assert!(!t.link(l).monitorable());
+        assert_eq!(t.node(t.link(l).dst()).name(), "NYCM");
+    }
+
+    #[test]
+    fn uniform_capacity() {
+        let t = abilene();
+        for l in t.monitorable_links() {
+            assert_eq!(t.link(l).capacity_mbps(), OC192);
+        }
+    }
+
+    #[test]
+    fn symmetric_weights() {
+        let t = abilene();
+        for l in t.link_ids() {
+            let link = t.link(l);
+            let rev = t.link_between(link.dst(), link.src()).expect("reverse link");
+            assert_eq!(t.link(rev).igp_weight(), link.igp_weight());
+        }
+    }
+}

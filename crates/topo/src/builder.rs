@@ -1,0 +1,144 @@
+//! Fluent topology construction.
+
+use crate::{Link, LinkKind, Node, NodeId, Result, Topology};
+
+/// Incremental builder for [`Topology`].
+///
+/// Duplicate node names and duplicate directed links are detected at
+/// [`TopologyBuilder::build`] time, so construction code stays infallible
+/// and readable.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a backbone node, returning its id.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        self.push_node(Node::new(name))
+    }
+
+    /// Adds an external (customer/peer) node, returning its id.
+    pub fn external_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.push_node(Node::external(name))
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Adds a single unidirectional link, returning its id.
+    ///
+    /// # Panics
+    /// Panics on invalid link parameters (see [`Link::new`]) or on node ids
+    /// not produced by this builder.
+    pub fn link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity_mbps: f64,
+        igp_weight: f64,
+        kind: LinkKind,
+    ) -> crate::LinkId {
+        assert!(src.index() < self.nodes.len(), "src node id out of range");
+        assert!(dst.index() < self.nodes.len(), "dst node id out of range");
+        let id = crate::LinkId(self.links.len() as u32);
+        self.links.push(Link::new(src, dst, capacity_mbps, igp_weight, kind));
+        id
+    }
+
+    /// Adds a symmetric pair of links (`a -> b` and `b -> a`) with identical
+    /// capacity and weight, returning both ids. Matches how real backbone
+    /// fibre pairs are provisioned.
+    pub fn bidirectional(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_mbps: f64,
+        igp_weight: f64,
+        kind: LinkKind,
+    ) -> (crate::LinkId, crate::LinkId) {
+        let ab = self.link(a, b, capacity_mbps, igp_weight, kind);
+        let ba = self.link(b, a, capacity_mbps, igp_weight, kind);
+        (ab, ba)
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links added so far.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Finalizes the topology.
+    ///
+    /// # Errors
+    /// [`crate::TopologyError::Empty`], [`crate::TopologyError::DuplicateNodeName`]
+    /// or [`crate::TopologyError::DuplicateLink`].
+    pub fn build(self) -> Result<Topology> {
+        Topology::assemble(self.nodes, self.links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyError;
+
+    #[test]
+    fn build_simple() {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("A");
+        let z = b.node("Z");
+        let (az, za) = b.bidirectional(a, z, 1000.0, 5.0, LinkKind::Backbone);
+        assert_eq!(b.num_nodes(), 2);
+        assert_eq!(b.num_links(), 2);
+        let t = b.build().unwrap();
+        assert_eq!(t.link(az).src(), a);
+        assert_eq!(t.link(za).src(), z);
+        assert_eq!(t.link(az).igp_weight(), 5.0);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_at_build() {
+        let mut b = TopologyBuilder::new();
+        b.node("X");
+        b.node("X");
+        assert_eq!(b.build().unwrap_err(), TopologyError::DuplicateNodeName("X".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "dst node id out of range")]
+    fn foreign_node_id_panics() {
+        let mut other = TopologyBuilder::new();
+        let a = other.node("A");
+        let b_id = other.node("B");
+        let _ = (a, b_id);
+
+        let mut b = TopologyBuilder::new();
+        let only = b.node("ONLY");
+        b.link(only, b_id, 100.0, 1.0, LinkKind::Backbone);
+    }
+
+    #[test]
+    fn external_nodes_flagged() {
+        let mut b = TopologyBuilder::new();
+        let j = b.external_node("JANET");
+        let u = b.node("UK");
+        b.link(j, u, 2488.0, 1.0, LinkKind::Access);
+        let t = b.build().unwrap();
+        assert!(t.node(j).is_external());
+        assert!(!t.node(u).is_external());
+    }
+}

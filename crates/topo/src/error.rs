@@ -1,0 +1,79 @@
+//! Error type for topology construction and parsing.
+
+use std::fmt;
+
+/// Errors produced when building, validating or parsing a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// Two nodes were registered with the same name.
+    DuplicateNodeName(String),
+    /// A lookup referenced a node name that does not exist.
+    UnknownNode(String),
+    /// A duplicate unidirectional link between the same node pair.
+    DuplicateLink {
+        /// Name of the source node.
+        src: String,
+        /// Name of the destination node.
+        dst: String,
+    },
+    /// The topology has no nodes.
+    Empty,
+    /// The topology is not weakly connected (some node is unreachable even
+    /// ignoring link direction), listing one offending node.
+    Disconnected(String),
+    /// A parse error in the plain-text topology format.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateNodeName(n) => write!(f, "duplicate node name: {n}"),
+            TopologyError::UnknownNode(n) => write!(f, "unknown node: {n}"),
+            TopologyError::DuplicateLink { src, dst } => {
+                write!(f, "duplicate link {src} -> {dst}")
+            }
+            TopologyError::Empty => write!(f, "topology has no nodes"),
+            TopologyError::Disconnected(n) => {
+                write!(f, "topology is disconnected: node {n} is unreachable")
+            }
+            TopologyError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TopologyError::DuplicateNodeName("UK".into()).to_string(),
+            "duplicate node name: UK"
+        );
+        assert_eq!(TopologyError::UnknownNode("XX".into()).to_string(), "unknown node: XX");
+        assert_eq!(
+            TopologyError::DuplicateLink { src: "A".into(), dst: "B".into() }.to_string(),
+            "duplicate link A -> B"
+        );
+        assert_eq!(TopologyError::Empty.to_string(), "topology has no nodes");
+        assert_eq!(
+            TopologyError::Disconnected("Z".into()).to_string(),
+            "topology is disconnected: node Z is unreachable"
+        );
+        assert_eq!(
+            TopologyError::Parse { line: 4, message: "bad field".into() }.to_string(),
+            "parse error at line 4: bad field"
+        );
+    }
+}

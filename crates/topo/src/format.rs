@@ -1,0 +1,332 @@
+//! Plain-text topology serialization.
+//!
+//! A deliberately small line-oriented format so topologies can be shipped as
+//! fixtures and diffed in reviews without pulling a serialization framework
+//! into the dependency tree:
+//!
+//! ```text
+//! # comment
+//! node UK
+//! node JANET external
+//! link JANET UK 2488 1 access
+//! link UK FR 2488 5 backbone
+//! ```
+//!
+//! * `node NAME [external]` — declares a node (order defines ids).
+//! * `link SRC DST CAPACITY_MBPS IGP_WEIGHT KIND` — declares one
+//!   unidirectional link; `KIND` is `backbone` or `access`.
+//!
+//! Round-trip is exact: [`to_text`] emits nodes in id order then links in id
+//! order, and [`from_text`] rebuilds identical ids.
+
+use crate::{LinkKind, Result, Topology, TopologyBuilder, TopologyError};
+use std::collections::HashMap;
+
+/// Serializes a topology to the plain-text format.
+pub fn to_text(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str("# nws-topo v1\n");
+    for id in topo.node_ids() {
+        let n = topo.node(id);
+        out.push_str("node ");
+        out.push_str(n.name());
+        if n.is_external() {
+            out.push_str(" external");
+        }
+        out.push('\n');
+    }
+    for id in topo.link_ids() {
+        let l = topo.link(id);
+        let kind = match l.kind() {
+            LinkKind::Backbone => "backbone",
+            LinkKind::Access => "access",
+        };
+        out.push_str(&format!(
+            "link {} {} {} {} {}\n",
+            topo.node(l.src()).name(),
+            topo.node(l.dst()).name(),
+            l.capacity_mbps(),
+            l.igp_weight(),
+            kind
+        ));
+    }
+    out
+}
+
+/// Renders the topology as a Graphviz `dot` digraph for visualization.
+///
+/// Bidirectional fibre pairs are collapsed into one undirected-style edge
+/// (`dir=both`) to keep diagrams readable; asymmetric links keep their
+/// arrow. External nodes are drawn as boxes, access links dashed. Optional
+/// `highlight` link ids (e.g. activated monitors) are drawn bold red with
+/// their value as the label.
+pub fn to_dot(topo: &Topology, highlight: &[(crate::LinkId, f64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("digraph topology {\n  layout=neato;\n  overlap=false;\n");
+    for id in topo.node_ids() {
+        let n = topo.node(id);
+        let shape = if n.is_external() { "box" } else { "ellipse" };
+        writeln!(out, "  \"{}\" [shape={shape}];", n.name()).expect("write to string");
+    }
+    let mut drawn = vec![false; topo.num_links()];
+    for id in topo.link_ids() {
+        if drawn[id.index()] {
+            continue;
+        }
+        let l = topo.link(id);
+        let reverse = topo.link_between(l.dst(), l.src());
+        let symmetric = reverse.is_some_and(|r| {
+            let rl = topo.link(r);
+            rl.capacity_mbps() == l.capacity_mbps() && rl.igp_weight() == l.igp_weight()
+        });
+        let mut attrs = Vec::new();
+        if symmetric {
+            attrs.push("dir=both".to_string());
+            if let Some(r) = reverse {
+                drawn[r.index()] = true;
+            }
+        }
+        if l.kind() == LinkKind::Access {
+            attrs.push("style=dashed".to_string());
+        }
+        let hl = highlight.iter().find(|&&(h, _)| {
+            h == id || (symmetric && reverse == Some(h))
+        });
+        if let Some(&(_, value)) = hl {
+            attrs.push("color=red".to_string());
+            attrs.push("penwidth=2".to_string());
+            attrs.push(format!("label=\"{value:.4}\""));
+        } else {
+            attrs.push(format!("label=\"{}\"", l.igp_weight()));
+        }
+        drawn[id.index()] = true;
+        writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [{}];",
+            topo.node(l.src()).name(),
+            topo.node(l.dst()).name(),
+            attrs.join(", ")
+        )
+        .expect("write to string");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a topology from the plain-text format.
+///
+/// # Errors
+/// [`TopologyError::Parse`] with the offending line number for malformed
+/// input; other [`TopologyError`] variants for semantically invalid
+/// topologies (duplicate names, duplicate links, empty).
+pub fn from_text(text: &str) -> Result<Topology> {
+    let mut b = TopologyBuilder::new();
+    let mut ids: HashMap<String, crate::NodeId> = HashMap::new();
+
+    let parse_err = |line: usize, message: &str| TopologyError::Parse {
+        line,
+        message: message.to_string(),
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("node") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "node requires a name"))?;
+                let external = match parts.next() {
+                    None => false,
+                    Some("external") => true,
+                    Some(other) => {
+                        return Err(parse_err(lineno, &format!("unexpected token '{other}'")))
+                    }
+                };
+                if ids.contains_key(name) {
+                    return Err(TopologyError::DuplicateNodeName(name.to_string()));
+                }
+                let id = if external {
+                    b.external_node(name)
+                } else {
+                    b.node(name)
+                };
+                ids.insert(name.to_string(), id);
+            }
+            Some("link") => {
+                let src_name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "link requires SRC"))?;
+                let dst_name = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "link requires DST"))?;
+                let cap: f64 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "link requires CAPACITY"))?
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "CAPACITY must be a number"))?;
+                let weight: f64 = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "link requires WEIGHT"))?
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "WEIGHT must be a number"))?;
+                let kind = match parts.next() {
+                    Some("backbone") => LinkKind::Backbone,
+                    Some("access") => LinkKind::Access,
+                    Some(other) => {
+                        return Err(parse_err(lineno, &format!("unknown link kind '{other}'")))
+                    }
+                    None => return Err(parse_err(lineno, "link requires KIND")),
+                };
+                if !(cap.is_finite() && cap > 0.0) {
+                    return Err(parse_err(lineno, "CAPACITY must be positive"));
+                }
+                if !(weight.is_finite() && weight > 0.0) {
+                    return Err(parse_err(lineno, "WEIGHT must be positive"));
+                }
+                let src = *ids
+                    .get(src_name)
+                    .ok_or_else(|| TopologyError::UnknownNode(src_name.to_string()))?;
+                let dst = *ids
+                    .get(dst_name)
+                    .ok_or_else(|| TopologyError::UnknownNode(dst_name.to_string()))?;
+                if src == dst {
+                    return Err(parse_err(lineno, "self-loop links are not allowed"));
+                }
+                b.link(src, dst, cap, weight, kind);
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, &format!("unknown directive '{other}'")))
+            }
+            None => unreachable!("empty lines filtered above"),
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geant;
+
+    #[test]
+    fn roundtrip_small() {
+        let text = "\
+# test
+node A
+node B
+node EXT external
+link A B 622 10 backbone
+link EXT A 155 1 access
+";
+        let topo = from_text(text).unwrap();
+        assert_eq!(topo.num_nodes(), 3);
+        assert_eq!(topo.num_links(), 2);
+        assert!(topo.node(topo.node_by_name("EXT").unwrap()).is_external());
+
+        let again = from_text(&to_text(&topo)).unwrap();
+        assert_eq!(again.num_nodes(), 3);
+        assert_eq!(again.num_links(), 2);
+        let a = again.node_by_name("A").unwrap();
+        let b = again.node_by_name("B").unwrap();
+        let ab = again.link_between(a, b).unwrap();
+        assert_eq!(again.link(ab).capacity_mbps(), 622.0);
+        assert_eq!(again.link(ab).igp_weight(), 10.0);
+    }
+
+    #[test]
+    fn roundtrip_geant() {
+        let g = geant();
+        let re = from_text(&to_text(&g)).unwrap();
+        assert_eq!(re.num_nodes(), g.num_nodes());
+        assert_eq!(re.num_links(), g.num_links());
+        for l in g.link_ids() {
+            assert_eq!(re.link_label(l), g.link_label(l));
+            assert_eq!(re.link(l).kind(), g.link(l).kind());
+            assert_eq!(re.link(l).igp_weight(), g.link(l).igp_weight());
+        }
+    }
+
+
+    #[test]
+    fn dot_export_basic() {
+        let g = geant();
+        let dot = to_dot(&g, &[]);
+        assert!(dot.starts_with("digraph topology {"));
+        assert!(dot.ends_with("}\n"));
+        // External node drawn as a box; access link dashed.
+        assert!(dot.contains("\"JANET\" [shape=box]"));
+        assert!(dot.contains("style=dashed"));
+        // Symmetric fibres collapsed: UK appears with dir=both edges.
+        assert!(dot.contains("dir=both"));
+    }
+
+    #[test]
+    fn dot_export_highlights_monitors() {
+        let g = geant();
+        let uk = g.require_node("UK").unwrap();
+        let fr = g.require_node("FR").unwrap();
+        let l = g.link_between(uk, fr).unwrap();
+        let dot = to_dot(&g, &[(l, 0.0123)]);
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("0.0123"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = from_text("frobnicate A").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_capacity_rejected() {
+        let err = from_text("node A\nnode B\nlink A B notanumber 1 backbone").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let err = from_text("node A\nnode B\nlink A B 100 -1 backbone").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let err = from_text("node A\nlink A Z 100 1 backbone").unwrap_err();
+        assert_eq!(err, TopologyError::UnknownNode("Z".into()));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let err = from_text("node A\nnode B\nlink A B 100 1 wireless").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn missing_kind_rejected() {
+        let err = from_text("node A\nnode B\nlink A B 100 1").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected_in_parser() {
+        let err = from_text("node A\nlink A A 100 1 backbone").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let topo = from_text("\n# hi\nnode A\n\n# more\nnode B\nlink A B 10 1 backbone\n").unwrap();
+        assert_eq!(topo.num_nodes(), 2);
+    }
+
+    #[test]
+    fn duplicate_node_name_detected_early() {
+        let err = from_text("node A\nnode A").unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateNodeName("A".into()));
+    }
+}

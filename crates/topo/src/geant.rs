@@ -1,0 +1,272 @@
+//! GEANT-2004-like reference backbone.
+//!
+//! The paper evaluates on the GEANT European research network as of November
+//! 2004: 22-odd PoPs and 72 unidirectional backbone links with line rates
+//! between OC-3 (155 Mb/s) and OC-48 (2.5 Gb/s). The exact contemporary
+//! topology and its IS-IS metrics are not public, so this module provides a
+//! faithful *reconstruction*: the same PoP set as the paper's Table I, 36
+//! bidirectional edges (= 72 unidirectional links), and IGP weights chosen so
+//! the shortest paths referenced by the paper hold:
+//!
+//! * the UK PoP has exactly six backbone neighbours (FR, NL, SE, NY, PT, IE) —
+//!   the "six UK links" of §V-C;
+//! * Poland is reached from the UK via Sweden (the SE-PL monitor of Table I);
+//! * Slovakia via the Czech Republic (CZ-SK), Luxembourg via France (FR-LU),
+//!   Israel via Italy (IT-IL), Belgium via France (FR-BE).
+//!
+//! An external `JANET` node (the UK research network, AS 786) attaches to the
+//! UK PoP through an [`LinkKind::Access`] link, which is excluded from the
+//! monitorable set exactly as the paper excludes access links.
+
+use crate::{LinkId, LinkKind, NodeId, Topology, TopologyBuilder};
+
+/// Name of the external customer node representing JANET (AS 786).
+pub const JANET_NODE: &str = "JANET";
+
+/// The 22 GEANT PoPs of the reference topology, by country code (NY is the
+/// New York transatlantic PoP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // country codes are self-describing
+pub enum GeantPop {
+    AT, BE, CH, CZ, DE, ES, FR, GR, HR, HU, IE, IL, IT, LU, NL, NY, PL, PT, SE, SI, SK, UK,
+}
+
+impl GeantPop {
+    /// All PoPs in declaration order.
+    pub const ALL: [GeantPop; 22] = [
+        GeantPop::AT,
+        GeantPop::BE,
+        GeantPop::CH,
+        GeantPop::CZ,
+        GeantPop::DE,
+        GeantPop::ES,
+        GeantPop::FR,
+        GeantPop::GR,
+        GeantPop::HR,
+        GeantPop::HU,
+        GeantPop::IE,
+        GeantPop::IL,
+        GeantPop::IT,
+        GeantPop::LU,
+        GeantPop::NL,
+        GeantPop::NY,
+        GeantPop::PL,
+        GeantPop::PT,
+        GeantPop::SE,
+        GeantPop::SI,
+        GeantPop::SK,
+        GeantPop::UK,
+    ];
+
+    /// The PoP's country-code name as used for topology lookup.
+    pub fn name(self) -> &'static str {
+        match self {
+            GeantPop::AT => "AT",
+            GeantPop::BE => "BE",
+            GeantPop::CH => "CH",
+            GeantPop::CZ => "CZ",
+            GeantPop::DE => "DE",
+            GeantPop::ES => "ES",
+            GeantPop::FR => "FR",
+            GeantPop::GR => "GR",
+            GeantPop::HR => "HR",
+            GeantPop::HU => "HU",
+            GeantPop::IE => "IE",
+            GeantPop::IL => "IL",
+            GeantPop::IT => "IT",
+            GeantPop::LU => "LU",
+            GeantPop::NL => "NL",
+            GeantPop::NY => "NY",
+            GeantPop::PL => "PL",
+            GeantPop::PT => "PT",
+            GeantPop::SE => "SE",
+            GeantPop::SI => "SI",
+            GeantPop::SK => "SK",
+            GeantPop::UK => "UK",
+        }
+    }
+}
+
+/// Line rates used by the reference topology, in Mbit/s.
+const OC48: f64 = 2488.0;
+const OC12: f64 = 622.0;
+const OC3: f64 = 155.0;
+
+/// Builds the GEANT-2004-like reference topology: 23 nodes (22 PoPs plus the
+/// external [`JANET_NODE`]), 72 unidirectional backbone links, and a
+/// bidirectional JANET↔UK access-link pair.
+///
+/// The topology is weakly connected and has unique (ECMP-free) shortest
+/// paths from the UK PoP to every other PoP under the embedded IGP weights —
+/// both properties are asserted by this crate's tests.
+pub fn geant() -> Topology {
+    let mut b = TopologyBuilder::new();
+    let id = |b: &mut TopologyBuilder, p: GeantPop| -> NodeId { b.node(p.name()) };
+
+    use GeantPop::*;
+    let at = id(&mut b, AT);
+    let be = id(&mut b, BE);
+    let ch = id(&mut b, CH);
+    let cz = id(&mut b, CZ);
+    let de = id(&mut b, DE);
+    let es = id(&mut b, ES);
+    let fr = id(&mut b, FR);
+    let gr = id(&mut b, GR);
+    let hr = id(&mut b, HR);
+    let hu = id(&mut b, HU);
+    let ie = id(&mut b, IE);
+    let il = id(&mut b, IL);
+    let it = id(&mut b, IT);
+    let lu = id(&mut b, LU);
+    let nl = id(&mut b, NL);
+    let ny = id(&mut b, NY);
+    let pl = id(&mut b, PL);
+    let pt = id(&mut b, PT);
+    let se = id(&mut b, SE);
+    let si = id(&mut b, SI);
+    let sk = id(&mut b, SK);
+    let uk = id(&mut b, UK);
+
+    // (a, b, capacity, IGP weight) — 36 bidirectional edges = 72 links.
+    let edges: [(NodeId, NodeId, f64, f64); 36] = [
+        // The six UK backbone adjacencies (§V-C's "UK links").
+        (uk, fr, OC48, 5.0),
+        (uk, nl, OC48, 5.0),
+        (uk, se, OC12, 10.0),
+        (uk, ny, OC48, 5.0),
+        (uk, pt, OC12, 10.0),
+        (uk, ie, OC3, 20.0),
+        // Western Europe.
+        (fr, be, OC12, 10.0),
+        (fr, lu, OC3, 20.0),
+        (fr, ch, OC48, 5.0),
+        (fr, es, OC12, 10.0),
+        (nl, de, OC48, 5.0),
+        (nl, be, OC12, 15.0),
+        (se, nl, OC12, 15.0),
+        // German hub.
+        (de, at, OC12, 10.0),
+        (de, ch, OC48, 10.0),
+        (de, cz, OC12, 10.0),
+        (de, se, OC48, 10.0),
+        (de, ny, OC48, 30.0),
+        (de, pl, OC12, 20.0),
+        (de, gr, OC12, 35.0),
+        (lu, de, OC3, 20.0),
+        // Nordics / Central-Eastern Europe.
+        (se, pl, OC12, 10.0),
+        (cz, sk, OC3, 15.0),
+        (cz, pl, OC12, 20.0),
+        (at, hu, OC12, 15.0),
+        (at, si, OC3, 15.0),
+        (at, ch, OC12, 15.0),
+        (hu, hr, OC3, 15.0),
+        (hu, sk, OC3, 20.0),
+        (si, hr, OC3, 10.0),
+        // Southern Europe / Mediterranean.
+        (it, ch, OC48, 10.0),
+        (it, at, OC12, 15.0),
+        (it, gr, OC12, 20.0),
+        (it, il, OC3, 25.0),
+        (es, pt, OC12, 20.0),
+        (es, it, OC12, 20.0),
+    ];
+    for (a, z, cap, w) in edges {
+        b.bidirectional(a, z, cap, w, LinkKind::Backbone);
+    }
+
+    // External customer attachment: JANET <-> UK (not monitorable).
+    let janet = b.external_node(JANET_NODE);
+    b.bidirectional(janet, uk, OC48, 1.0, LinkKind::Access);
+
+    let topo = b.build().expect("reference topology is statically valid");
+    debug_assert!(topo.validate_connected().is_ok());
+    topo
+}
+
+/// The JANET→UK access link of the [`geant`] topology — the ingress link of
+/// every OD pair in the paper's measurement task.
+///
+/// # Panics
+/// Panics if `topo` is not the topology produced by [`geant`].
+pub fn janet_access_link(topo: &Topology) -> LinkId {
+    let janet = topo.node_by_name(JANET_NODE).expect("JANET node present");
+    let uk = topo.node_by_name("UK").expect("UK node present");
+    topo.link_between(janet, uk).expect("JANET-UK access link present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_link_counts_match_paper() {
+        let t = geant();
+        assert_eq!(t.num_nodes(), 23); // 22 PoPs + JANET
+        // 72 unidirectional backbone links, as in the paper, + 2 access links.
+        assert_eq!(t.num_links(), 74);
+        assert_eq!(t.monitorable_links().len(), 72);
+    }
+
+    #[test]
+    fn all_pops_resolvable() {
+        let t = geant();
+        for p in GeantPop::ALL {
+            assert!(t.node_by_name(p.name()).is_some(), "missing PoP {}", p.name());
+        }
+        assert!(t.node_by_name(JANET_NODE).is_some());
+    }
+
+    #[test]
+    fn uk_has_six_backbone_neighbours() {
+        let t = geant();
+        let uk = t.node_by_name("UK").unwrap();
+        let backbone_out: Vec<_> =
+            t.out_links(uk).filter(|&l| t.link(l).monitorable()).collect();
+        assert_eq!(backbone_out.len(), 6);
+        let mut names: Vec<_> = backbone_out
+            .iter()
+            .map(|&l| t.node(t.link(l).dst()).name().to_string())
+            .collect();
+        names.sort();
+        assert_eq!(names, ["FR", "IE", "NL", "NY", "PT", "SE"]);
+    }
+
+    #[test]
+    fn connected() {
+        assert!(geant().validate_connected().is_ok());
+    }
+
+    #[test]
+    fn janet_access_link_is_not_monitorable() {
+        let t = geant();
+        let l = janet_access_link(&t);
+        assert!(!t.link(l).monitorable());
+        assert_eq!(t.node(t.link(l).src()).name(), "JANET");
+        assert_eq!(t.node(t.link(l).dst()).name(), "UK");
+    }
+
+    #[test]
+    fn capacities_span_oc3_to_oc48() {
+        let t = geant();
+        let caps: Vec<f64> =
+            t.link_ids().map(|l| t.link(l).capacity_mbps()).collect();
+        assert!(caps.contains(&155.0));
+        assert!(caps.contains(&622.0));
+        assert!(caps.contains(&2488.0));
+    }
+
+    #[test]
+    fn symmetric_links_everywhere() {
+        // Every link has a reverse twin with identical capacity and weight.
+        let t = geant();
+        for l in t.link_ids() {
+            let link = t.link(l);
+            let rev = t
+                .link_between(link.dst(), link.src())
+                .unwrap_or_else(|| panic!("missing reverse of {}", t.link_label(l)));
+            assert_eq!(t.link(rev).capacity_mbps(), link.capacity_mbps());
+            assert_eq!(t.link(rev).igp_weight(), link.igp_weight());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Typed indices for nodes and links.
+//!
+//! Nodes and links are referred to by small dense indices throughout the
+//! workspace (routing matrices, load vectors, sampling-rate vectors are all
+//! indexed by [`LinkId`]). Newtypes prevent accidentally using one where the
+//! other is expected.
+
+use std::fmt;
+
+/// Dense index of a node within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// Dense index of a unidirectional link within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw dense index, suitable for indexing parallel arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `NodeId` from a raw index.
+    ///
+    /// Only meaningful for indices previously obtained from a topology with
+    /// at least `raw + 1` nodes; passing arbitrary values produces an id that
+    /// will panic when used against that topology.
+    pub fn from_index(raw: usize) -> Self {
+        NodeId(raw as u32)
+    }
+}
+
+impl LinkId {
+    /// The raw dense index, suitable for indexing parallel arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `LinkId` from a raw index (see [`NodeId::from_index`]).
+    pub fn from_index(raw: usize) -> Self {
+        LinkId(raw as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(LinkId::from_index(42).index(), 42);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::from_index(3).to_string(), "n3");
+        assert_eq!(LinkId::from_index(3).to_string(), "e3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(LinkId::from_index(0) < LinkId::from_index(10));
+    }
+}

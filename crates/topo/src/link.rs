@@ -1,0 +1,144 @@
+//! Unidirectional link model.
+
+use crate::NodeId;
+
+/// Classification of a link, used to scope which links may host monitors.
+///
+/// The paper's evaluation (§V-C) deliberately excludes customer *access*
+/// links from the monitorable set: CPE routers are often owned by the
+/// connectivity provider, not the backbone operator running the measurement
+/// task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// An intra-backbone link; eligible to host a sampling monitor.
+    Backbone,
+    /// A customer/peer access link; carries traffic but is not monitorable.
+    Access,
+}
+
+impl LinkKind {
+    /// Whether a monitor may be activated on links of this kind.
+    pub fn monitorable(self) -> bool {
+        matches!(self, LinkKind::Backbone)
+    }
+}
+
+/// A unidirectional network link.
+///
+/// Real backbone links are bidirectional fibre pairs, but traffic,
+/// monitoring, and routing are all per-direction concerns, so the topology
+/// stores each direction as a separate [`Link`] (the paper likewise counts
+/// GEANT as 72 *unidirectional* links). [`crate::TopologyBuilder::bidirectional`]
+/// creates both directions at once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    src: NodeId,
+    dst: NodeId,
+    capacity_mbps: f64,
+    igp_weight: f64,
+    kind: LinkKind,
+}
+
+impl Link {
+    /// Creates a link from `src` to `dst`.
+    ///
+    /// `capacity_mbps` is the line rate (e.g. 155 for OC-3, 2488 for OC-48);
+    /// `igp_weight` is the IS-IS/OSPF metric used by shortest-path routing.
+    ///
+    /// # Panics
+    /// Panics if the capacity or weight is not strictly positive and finite,
+    /// or if `src == dst` (self-loops are meaningless in a backbone).
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        capacity_mbps: f64,
+        igp_weight: f64,
+        kind: LinkKind,
+    ) -> Self {
+        assert!(src != dst, "self-loop link at {src}");
+        assert!(
+            capacity_mbps.is_finite() && capacity_mbps > 0.0,
+            "capacity must be positive and finite, got {capacity_mbps}"
+        );
+        assert!(
+            igp_weight.is_finite() && igp_weight > 0.0,
+            "IGP weight must be positive and finite, got {igp_weight}"
+        );
+        Link { src, dst, capacity_mbps, igp_weight, kind }
+    }
+
+    /// Source node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Destination node.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Line rate in Mbit/s.
+    pub fn capacity_mbps(&self) -> f64 {
+        self.capacity_mbps
+    }
+
+    /// IGP (IS-IS/OSPF) metric of this link.
+    pub fn igp_weight(&self) -> f64 {
+        self.igp_weight
+    }
+
+    /// Link classification.
+    pub fn kind(&self) -> LinkKind {
+        self.kind
+    }
+
+    /// Whether a monitor may be activated on this link.
+    pub fn monitorable(&self) -> bool {
+        self.kind.monitorable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn link_accessors() {
+        let l = Link::new(n(0), n(1), 2488.0, 10.0, LinkKind::Backbone);
+        assert_eq!(l.src(), n(0));
+        assert_eq!(l.dst(), n(1));
+        assert_eq!(l.capacity_mbps(), 2488.0);
+        assert_eq!(l.igp_weight(), 10.0);
+        assert!(l.monitorable());
+    }
+
+    #[test]
+    fn access_links_not_monitorable() {
+        let l = Link::new(n(0), n(1), 155.0, 1.0, LinkKind::Access);
+        assert!(!l.monitorable());
+        assert!(!LinkKind::Access.monitorable());
+        assert!(LinkKind::Backbone.monitorable());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = Link::new(n(3), n(3), 155.0, 1.0, LinkKind::Backbone);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn non_positive_capacity_rejected() {
+        let _ = Link::new(n(0), n(1), 0.0, 1.0, LinkKind::Backbone);
+    }
+
+    #[test]
+    #[should_panic(expected = "IGP weight must be positive")]
+    fn nan_weight_rejected() {
+        let _ = Link::new(n(0), n(1), 155.0, f64::NAN, LinkKind::Backbone);
+    }
+}

@@ -1,0 +1,55 @@
+//! Node (PoP) metadata.
+
+/// A node of the topology — typically a Point of Presence (PoP) of the
+/// backbone, or an external customer/peer attachment point.
+///
+/// The optimization framework is agnostic to what a node represents
+/// (end-host, prefix, AS, PoP — paper §III); the metadata here exists for
+/// reporting and for building measurement tasks by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    name: String,
+    external: bool,
+}
+
+impl Node {
+    /// Creates a backbone (internal) node.
+    pub fn new(name: impl Into<String>) -> Self {
+        Node { name: name.into(), external: false }
+    }
+
+    /// Creates an external node (customer or peer attachment, e.g. the JANET
+    /// AS in the paper's evaluation).
+    pub fn external(name: impl Into<String>) -> Self {
+        Node { name: name.into(), external: true }
+    }
+
+    /// The node's human-readable name (unique within a topology).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True if the node models an external network rather than a backbone PoP.
+    pub fn is_external(&self) -> bool {
+        self.external
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_node() {
+        let n = Node::new("UK");
+        assert_eq!(n.name(), "UK");
+        assert!(!n.is_external());
+    }
+
+    #[test]
+    fn external_node() {
+        let n = Node::external("JANET");
+        assert_eq!(n.name(), "JANET");
+        assert!(n.is_external());
+    }
+}

@@ -1,0 +1,222 @@
+//! Random topology generators.
+//!
+//! The convergence experiment of the paper (§IV-D) runs the solver on many
+//! randomized problem instances; beyond perturbing GEANT inputs, the
+//! benchmark suite also scales the solver over synthetic backbones of varying
+//! size. Two classic generators are provided:
+//!
+//! * [`ring_with_chords`] — a guaranteed-connected ring plus random chord
+//!   edges; mimics the ring-and-shortcut shape of many national backbones.
+//! * [`gabriel_like`] — random geometric placement with edges between close
+//!   pairs plus a connectivity repair pass; produces Waxman-flavoured
+//!   topologies with geographic locality.
+
+use crate::{LinkKind, NodeId, Topology, TopologyBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Capacity tiers assigned randomly to generated links (OC-3/OC-12/OC-48).
+const CAPACITY_TIERS: [f64; 3] = [155.0, 622.0, 2488.0];
+
+fn random_capacity_weight(rng: &mut StdRng) -> (f64, f64) {
+    let tier = rng.random_range(0..CAPACITY_TIERS.len());
+    let cap = CAPACITY_TIERS[tier];
+    // Higher-capacity links get lower IGP weights, with jitter so shortest
+    // paths are (almost surely) unique.
+    let base = match tier {
+        0 => 20.0,
+        1 => 10.0,
+        _ => 5.0,
+    };
+    let weight = base + rng.random_range(0.0..1.0);
+    (cap, weight)
+}
+
+/// Generates a connected backbone of `n` PoPs: a bidirectional ring plus
+/// `chords` random bidirectional chord edges (duplicates are skipped, so the
+/// realized chord count can be lower).
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn ring_with_chords(n: usize, chords: usize, seed: u64) -> Topology {
+    assert!(n >= 3, "ring needs at least 3 nodes, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.node(format!("P{i:02}"))).collect();
+    let mut present = std::collections::HashSet::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let (cap, w) = random_capacity_weight(&mut rng);
+        b.bidirectional(nodes[i], nodes[j], cap, w, LinkKind::Backbone);
+        present.insert((i.min(j), i.max(j)));
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < chords && attempts < chords * 20 {
+        attempts += 1;
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i == j {
+            continue;
+        }
+        let key = (i.min(j), i.max(j));
+        if !present.insert(key) {
+            continue;
+        }
+        let (cap, w) = random_capacity_weight(&mut rng);
+        b.bidirectional(nodes[i], nodes[j], cap, w, LinkKind::Backbone);
+        added += 1;
+    }
+    let topo = b.build().expect("generator produces valid topologies");
+    debug_assert!(topo.validate_connected().is_ok());
+    topo
+}
+
+/// Generates a geometric topology: `n` PoPs placed uniformly in the unit
+/// square, bidirectional edges between all pairs closer than `radius`, and a
+/// connectivity repair pass that links each stranded component to its
+/// nearest connected neighbour.
+///
+/// # Panics
+/// Panics if `n == 0` or `radius` is not in `(0, ~1.42]`.
+pub fn gabriel_like(n: usize, radius: f64, seed: u64) -> Topology {
+    assert!(n > 0, "need at least one node");
+    assert!(radius > 0.0 && radius <= 1.5, "radius {radius} out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> =
+        (0..n).map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))).collect();
+
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.node(format!("P{i:02}"))).collect();
+
+    let dist = |i: usize, j: usize| -> f64 {
+        let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+        (dx * dx + dy * dy).sqrt()
+    };
+
+    // Union-find for the repair pass.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dist(i, j) <= radius {
+                let (cap, w) = random_capacity_weight(&mut rng);
+                b.bidirectional(nodes[i], nodes[j], cap, w, LinkKind::Backbone);
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+
+    // Repair: connect each remaining component to the nearest outside node.
+    loop {
+        let root0 = find(&mut parent, 0);
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if find(&mut parent, i) == root0 {
+                continue;
+            }
+            for j in 0..n {
+                if find(&mut parent, j) != root0 {
+                    continue;
+                }
+                let d = dist(i, j);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        match best {
+            None => break, // fully connected
+            Some((i, j, _)) => {
+                let (cap, w) = random_capacity_weight(&mut rng);
+                b.bidirectional(nodes[i], nodes[j], cap, w, LinkKind::Backbone);
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                parent[ri] = rj;
+            }
+        }
+    }
+
+    let topo = b.build().expect("generator produces valid topologies");
+    debug_assert!(topo.validate_connected().is_ok());
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_connected_and_sized() {
+        let t = ring_with_chords(10, 5, 42);
+        assert_eq!(t.num_nodes(), 10);
+        assert!(t.num_links() >= 20); // ring alone
+        assert!(t.validate_connected().is_ok());
+    }
+
+    #[test]
+    fn ring_deterministic_for_seed() {
+        let a = ring_with_chords(8, 4, 7);
+        let b = ring_with_chords(8, 4, 7);
+        assert_eq!(a.num_links(), b.num_links());
+        for l in a.link_ids() {
+            assert_eq!(a.link_label(l), b.link_label(l));
+            assert_eq!(a.link(l).igp_weight(), b.link(l).igp_weight());
+        }
+    }
+
+    #[test]
+    fn ring_differs_across_seeds() {
+        let a = ring_with_chords(12, 8, 1);
+        let b = ring_with_chords(12, 8, 2);
+        // Chord sets almost surely differ; compare label multisets.
+        let labels = |t: &Topology| {
+            let mut v: Vec<String> = t.link_ids().map(|l| t.link_label(l)).collect();
+            v.sort();
+            v
+        };
+        assert_ne!(labels(&a), labels(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn tiny_ring_rejected() {
+        let _ = ring_with_chords(2, 0, 0);
+    }
+
+    #[test]
+    fn geometric_is_connected() {
+        for seed in 0..5 {
+            let t = gabriel_like(20, 0.2, seed);
+            assert_eq!(t.num_nodes(), 20);
+            assert!(t.validate_connected().is_ok(), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn geometric_single_node() {
+        let t = gabriel_like(1, 0.3, 0);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_links(), 0);
+        assert!(t.validate_connected().is_ok());
+    }
+
+    #[test]
+    fn generated_links_have_valid_tiers() {
+        let t = ring_with_chords(15, 10, 3);
+        for l in t.link_ids() {
+            let cap = t.link(l).capacity_mbps();
+            assert!(CAPACITY_TIERS.contains(&cap), "unexpected capacity {cap}");
+            assert!(t.link(l).igp_weight() > 0.0);
+        }
+    }
+}

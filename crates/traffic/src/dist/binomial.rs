@@ -1,0 +1,226 @@
+//! Exact-ish Binomial(n, p) sampling.
+
+use rand::Rng;
+
+/// A `Binomial(n, p)` sampler.
+///
+/// This is the workhorse of packet-sampling simulation: a monitor that
+/// samples each of a flow's `n` packets independently with probability `p`
+/// observes a `Binomial(n, p)` packet count (paper §IV-C). Flow sizes in a
+/// 5-minute backbone interval reach millions of packets, so per-packet
+/// Bernoulli draws are not an option.
+///
+/// Algorithm selection:
+/// * `p = 0` / `p = 1` / `n = 0` — degenerate, returned directly;
+/// * `p > 1/2` — sampled as `n − Binomial(n, 1−p)`;
+/// * small variance (`n·p·(1−p) ≤ 100`) — BINV inversion (exact, `O(n·p)`
+///   expected);
+/// * large variance — normal approximation with continuity correction
+///   (relative error far below the Monte-Carlo noise of any experiment in
+///   this workspace at the sizes where it activates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Variance threshold above which the normal approximation is used.
+const NORMAL_APPROX_VARIANCE: f64 = 100.0;
+
+impl Binomial {
+    /// Creates a sampler for `Binomial(n, p)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]` or not finite.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Binomial { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 0 || self.p == 0.0 {
+            return 0;
+        }
+        if self.p >= 1.0 {
+            return self.n;
+        }
+        if self.p > 0.5 {
+            // Mirror to keep the inversion loop short and the normal
+            // approximation symmetric.
+            return self.n - Binomial { n: self.n, p: 1.0 - self.p }.sample(rng);
+        }
+        if self.variance() > NORMAL_APPROX_VARIANCE {
+            self.sample_normal_approx(rng)
+        } else {
+            self.sample_binv(rng)
+        }
+    }
+
+    /// BINV: invert the CDF by walking the pmf recurrence from k = 0.
+    fn sample_binv<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let n = self.n as f64;
+        let p = self.p;
+        let q = 1.0 - p;
+        let s = p / q;
+        // q^n: safe from underflow in the regime BINV is selected for
+        // (variance ≤ 100 and p ≤ 1/2 bound n·|ln q| well above f64's
+        // exponent floor).
+        let mut pmf = q.powf(n);
+        let mut cdf = pmf;
+        let u: f64 = rng.random();
+        let mut k = 0u64;
+        while u > cdf {
+            if k >= self.n {
+                // Float round-off pushed the CDF walk past the support.
+                return self.n;
+            }
+            k += 1;
+            pmf *= s * (n - (k as f64 - 1.0)) / k as f64;
+            cdf += pmf;
+        }
+        k
+    }
+
+    /// Normal approximation with continuity correction, clamped to `[0, n]`.
+    fn sample_normal_approx<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let z = standard_normal(rng);
+        let x = self.mean() + z * self.variance().sqrt();
+        let rounded = (x + 0.5).floor();
+        if rounded < 0.0 {
+            0
+        } else if rounded > self.n as f64 {
+            self.n
+        } else {
+            rounded as u64
+        }
+    }
+}
+
+/// One standard-normal variate via Box–Muller.
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xB10B)
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut r = rng();
+        assert_eq!(Binomial::new(0, 0.3).sample(&mut r), 0);
+        assert_eq!(Binomial::new(10, 0.0).sample(&mut r), 0);
+        assert_eq!(Binomial::new(10, 1.0).sample(&mut r), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn invalid_p_rejected() {
+        let _ = Binomial::new(10, 1.5);
+    }
+
+    #[test]
+    fn support_respected_small() {
+        let mut r = rng();
+        let b = Binomial::new(20, 0.3);
+        for _ in 0..2000 {
+            assert!(b.sample(&mut r) <= 20);
+        }
+    }
+
+    #[test]
+    fn mean_and_variance_small_regime() {
+        // BINV regime: n=100, p=0.05 -> mean 5, var 4.75.
+        let mut r = rng();
+        let b = Binomial::new(100, 0.05);
+        let m = 20_000;
+        let samples: Vec<u64> = (0..m).map(|_| b.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / m as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / m as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.75).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn mean_and_variance_normal_regime() {
+        // Normal-approx regime: n=1e6, p=0.001 -> mean 1000, var ~999.
+        let mut r = rng();
+        let b = Binomial::new(1_000_000, 0.001);
+        assert!(b.variance() > 100.0);
+        let m = 20_000;
+        let samples: Vec<u64> = (0..m).map(|_| b.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / m as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / m as f64;
+        assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
+        assert!((var / 999.0 - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn mirrored_high_p() {
+        let mut r = rng();
+        let b = Binomial::new(50, 0.9);
+        let m = 20_000;
+        let mean = (0..m).map(|_| b.sample(&mut r)).sum::<u64>() as f64 / m as f64;
+        assert!((mean - 45.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let b = Binomial::new(1000, 0.01);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(b.sample(&mut r1), b.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let m = 50_000;
+        let samples: Vec<f64> = (0..m).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / m as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / m as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn accessors() {
+        let b = Binomial::new(200, 0.25);
+        assert_eq!(b.n(), 200);
+        assert_eq!(b.p(), 0.25);
+        assert_eq!(b.mean(), 50.0);
+        assert_eq!(b.variance(), 37.5);
+    }
+}

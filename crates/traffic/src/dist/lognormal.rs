@@ -1,0 +1,122 @@
+//! Lognormal distribution.
+
+use super::binomial::standard_normal;
+use rand::Rng;
+
+/// A lognormal distribution: `exp(μ + σ·Z)` with `Z ~ N(0, 1)`.
+///
+/// Used to jitter gravity-model node masses and OD demands — traffic volumes
+/// across OD pairs of a backbone are well described by a lognormal body
+/// (multiplicative effects of PoP size, customer count, time of day).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with log-space mean `mu` and log-space standard
+    /// deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(sigma >= 0.0, "sigma must be ≥ 0, got {sigma}");
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a lognormal with the given *linear-space* mean and coefficient
+    /// of variation (`cv = std/mean`), which is how traffic engineers think
+    /// about demand spread.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `cv ≥ 0`.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        assert!(cv.is_finite() && cv >= 0.0, "cv must be ≥ 0");
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal { mu, sigma: sigma2.sqrt() }
+    }
+
+    /// Log-space mean.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Linear-space mean `exp(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positive_support() {
+        let d = LogNormal::new(0.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let d = LogNormal::new(1.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean / d.mean() - 1.0).abs() < 0.02, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn from_mean_cv_roundtrip() {
+        let d = LogNormal::from_mean_cv(500.0, 0.8);
+        assert!((d.mean() - 500.0).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 300_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((mean / 500.0 - 1.0).abs() < 0.03, "mean {mean}");
+        assert!((cv - 0.8).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let d = LogNormal::new(2.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 2.0_f64.exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be ≥ 0")]
+    fn negative_sigma_rejected() {
+        let _ = LogNormal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn bad_mean_cv_rejected() {
+        let _ = LogNormal::from_mean_cv(0.0, 1.0);
+    }
+}

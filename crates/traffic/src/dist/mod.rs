@@ -1,0 +1,15 @@
+//! Random-variate generators used by the traffic substrate.
+//!
+//! Only uniform variates are drawn from [`rand`]; every distribution on top
+//! is implemented here so its exact algorithm (and thus every experiment) is
+//! under this repository's control.
+
+mod binomial;
+mod lognormal;
+mod pareto;
+mod zipf;
+
+pub use binomial::Binomial;
+pub use lognormal::LogNormal;
+pub use pareto::BoundedPareto;
+pub use zipf::Zipf;

@@ -1,0 +1,149 @@
+//! Bounded (truncated) Pareto distribution.
+
+use rand::Rng;
+
+/// A bounded Pareto distribution on `[lo, hi]` with shape `alpha`.
+///
+/// Internet flow sizes are famously heavy-tailed; a Pareto body with a bound
+/// at the transfer-size ceiling of the interval reproduces the mix of mice
+/// and elephants that makes per-flow inversion from sampled counts hard for
+/// small flows (the effect the paper's utility function quantifies through
+/// `E[1/S]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[lo, hi]` with tail exponent `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi` and `alpha > 0`, all finite.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && alpha.is_finite());
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi, got [{lo}, {hi}]");
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        BoundedPareto { lo, hi, alpha }
+    }
+
+    /// Lower bound of the support.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the support.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Tail exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Analytic mean of the bounded Pareto.
+    pub fn mean(&self) -> f64 {
+        let (l, h, a) = (self.lo, self.hi, self.alpha);
+        if (a - 1.0).abs() < 1e-12 {
+            // α = 1: E[X] = ln(h/l) · l·h / (h − l)
+            l * h / (h - l) * (h / l).ln()
+        } else {
+            // Standard truncated-Pareto mean:
+            // E[X] = l^α/(1 − (l/h)^α) · α/(α−1) · (l^{1−α} − h^{1−α})
+            (l.powf(a) / (1.0 - (l / h).powf(a)))
+                * (a / (a - 1.0))
+                * (l.powf(1.0 - a) - h.powf(1.0 - a))
+        }
+    }
+
+    /// Draws one variate by inverse-CDF transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        let (l, h, a) = (self.lo, self.hi, self.alpha);
+        // Inverse CDF of the truncated Pareto:
+        // F(x) = (1 − (l/x)^a) / (1 − (l/h)^a)
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
+        x.clamp(l, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn support_respected() {
+        let d = BoundedPareto::new(2.0, 1e6, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=1e6).contains(&x), "out of support: {x}");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        // With alpha=1.1 over [1, 1e6], a nontrivial fraction of mass sits
+        // far above the median.
+        let d = BoundedPareto::new(1.0, 1e6, 1.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let big = (0..n).filter(|_| d.sample(&mut rng) > 100.0).count();
+        let frac = big as f64 / n as f64;
+        // P(X > 100) ≈ (1/100)^1.1 ≈ 0.0063 for the truncated version.
+        assert!(frac > 0.003 && frac < 0.012, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn empirical_mean_close_to_analytic() {
+        let d = BoundedPareto::new(10.0, 10_000.0, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let analytic = d.mean();
+        assert!(
+            (mean / analytic - 1.0).abs() < 0.05,
+            "empirical {mean} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn alpha_one_mean() {
+        let d = BoundedPareto::new(1.0, 1000.0, 1.0);
+        // E = l·h/(h−l)·ln(h/l) = 1000/999 · ln(1000) ≈ 6.9147
+        assert!((d.mean() - 6.9146).abs() < 0.01);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 300_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean / d.mean() - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo < hi")]
+    fn invalid_bounds_rejected() {
+        let _ = BoundedPareto::new(5.0, 5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn invalid_alpha_rejected() {
+        let _ = BoundedPareto::new(1.0, 10.0, 0.0);
+    }
+
+    #[test]
+    fn smaller_alpha_heavier_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let light = BoundedPareto::new(1.0, 1e6, 2.5);
+        let heavy = BoundedPareto::new(1.0, 1e6, 1.05);
+        let n = 50_000;
+        let mean_light = (0..n).map(|_| light.sample(&mut rng)).sum::<f64>() / n as f64;
+        let mean_heavy = (0..n).map(|_| heavy.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean_heavy > mean_light * 3.0, "{mean_heavy} !>> {mean_light}");
+    }
+}

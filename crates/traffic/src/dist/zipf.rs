@@ -1,0 +1,136 @@
+//! Zipf (discrete power-law rank) distribution.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ 1/k^s`.
+///
+/// Used to skew popularity — which destinations attract traffic, which
+/// applications dominate a flow mix. Sampling is by binary search over the
+/// precomputed CDF (`O(log n)` per draw after `O(n)` setup).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// CDF over ranks; `cdf[k-1] = P(X ≤ k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s ≥ 0`
+    /// (`s = 0` is uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be ≥ 0, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `k` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k), "rank {k} out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the count of entries < u, i.e. the 0-based
+        // index of the first cdf entry ≥ u; +1 converts to 1-based rank.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_one_most_likely() {
+        let z = Zipf::new(10, 1.0);
+        for k in 2..=10 {
+            assert!(z.pmf(1) > z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        let z = Zipf::new(5, 1.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=5 {
+            let emp = counts[k - 1] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=7).contains(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 0 out of range")]
+    fn pmf_rank_zero_panics() {
+        let _ = Zipf::new(3, 1.0).pmf(0);
+    }
+}

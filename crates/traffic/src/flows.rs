@@ -1,0 +1,232 @@
+//! NetFlow-style flow records and flow-level workload generation.
+
+use crate::dist::{BoundedPareto, Zipf};
+use rand::Rng;
+
+/// Transport protocol of a flow key. Only the protocols that matter for a
+/// backbone traffic mix are enumerated; anything else is `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP (the bulk of backbone bytes).
+    Tcp,
+    /// UDP.
+    Udp,
+    /// Any other IP protocol number.
+    Other(u8),
+}
+
+/// The classic NetFlow 5-tuple key (paper §V-A: source/destination address,
+/// source/destination port, protocol).
+///
+/// Addresses are opaque `u32`s — the substrate generates synthetic hosts, so
+/// no textual IP formatting is needed beyond diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source address.
+    pub src_addr: u32,
+    /// Destination address.
+    pub dst_addr: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+/// One unsampled flow: the ground truth a monitor samples from.
+///
+/// Mirrors the record layout of §V-A (5-tuple, start/end timestamps, packet
+/// and byte counts, source/destination AS, interfaces) minus router-local
+/// details that have no bearing on the sampling analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// 5-tuple key.
+    pub key: FlowKey,
+    /// Index of the OD pair (within the generating task) this flow belongs to.
+    pub od_index: usize,
+    /// Flow start time, seconds from the epoch of the simulation.
+    pub start: f64,
+    /// Flow end time, seconds.
+    pub end: f64,
+    /// Total packets in the flow.
+    pub packets: u64,
+    /// Total bytes in the flow.
+    pub bytes: u64,
+}
+
+impl Flow {
+    /// Flow duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Parameters of the synthetic flow mix for one OD pair.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowMixParams {
+    /// Minimum flow size in packets (1 = allow single-packet flows).
+    pub min_packets: f64,
+    /// Maximum flow size in packets within one interval.
+    pub max_packets: f64,
+    /// Pareto tail exponent of the flow-size distribution.
+    pub alpha: f64,
+    /// Mean packet size in bytes (for byte counts).
+    pub mean_packet_bytes: f64,
+}
+
+impl Default for FlowMixParams {
+    /// A backbone-flavoured default: mice from 2 packets up to 50k-packet
+    /// elephants, `α = 1.2` tail, 700-byte average packets.
+    fn default() -> Self {
+        FlowMixParams {
+            min_packets: 2.0,
+            max_packets: 50_000.0,
+            alpha: 1.2,
+            mean_packet_bytes: 700.0,
+        }
+    }
+}
+
+/// Generates a set of flows for OD pair `od_index` whose packet counts sum to
+/// approximately `target_packets`, within the interval `[t0, t0 + dt)`.
+///
+/// Flow sizes are drawn from a bounded Pareto until the packet budget is
+/// exhausted; the final flow is truncated to hit the target exactly, so the
+/// returned flows always sum to `target_packets` (when it is ≥ 1).
+///
+/// Start times are uniform in the interval and durations are proportional to
+/// flow size (capped at the interval), which is all the binning and timeout
+/// logic downstream needs.
+pub fn generate_flows<R: Rng + ?Sized>(
+    rng: &mut R,
+    od_index: usize,
+    target_packets: u64,
+    t0: f64,
+    dt: f64,
+    params: &FlowMixParams,
+) -> Vec<Flow> {
+    assert!(dt > 0.0, "interval length must be positive");
+    let mut flows = Vec::new();
+    if target_packets == 0 {
+        return flows;
+    }
+    let size_dist = BoundedPareto::new(params.min_packets, params.max_packets, params.alpha);
+    // Destination-port popularity is Zipf-distributed, as application mixes
+    // are in practice (a few dominant services, a long tail).
+    const POPULAR_PORTS: [u16; 5] = [443, 80, 53, 25, 8080];
+    let port_popularity = Zipf::new(POPULAR_PORTS.len(), 1.2);
+    let mut remaining = target_packets;
+    while remaining > 0 {
+        let drawn = size_dist.sample(rng).round().max(1.0) as u64;
+        let pkts = drawn.min(remaining);
+        remaining -= pkts;
+
+        let start = t0 + rng.random::<f64>() * dt;
+        // Duration scales with size: ~1k packets/sec of flow lifetime,
+        // clamped into the interval.
+        let duration = (pkts as f64 / 1000.0).clamp(0.001, dt);
+        let end = (start + duration).min(t0 + dt);
+        let bytes = (pkts as f64 * params.mean_packet_bytes) as u64;
+
+        flows.push(Flow {
+            key: FlowKey {
+                src_addr: rng.random(),
+                dst_addr: rng.random(),
+                src_port: rng.random_range(1024..=u16::MAX),
+                dst_port: POPULAR_PORTS[port_popularity.sample(rng) - 1],
+                proto: if rng.random::<f64>() < 0.9 { Protocol::Tcp } else { Protocol::Udp },
+            },
+            od_index,
+            start,
+            end,
+            packets: pkts,
+            bytes,
+        });
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xF10)
+    }
+
+    #[test]
+    fn packet_budget_exact() {
+        let mut r = rng();
+        for target in [1u64, 10, 1000, 123_457] {
+            let flows = generate_flows(&mut r, 0, target, 0.0, 300.0, &FlowMixParams::default());
+            let total: u64 = flows.iter().map(|f| f.packets).sum();
+            assert_eq!(total, target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn zero_target_zero_flows() {
+        let mut r = rng();
+        assert!(generate_flows(&mut r, 0, 0, 0.0, 300.0, &FlowMixParams::default()).is_empty());
+    }
+
+    #[test]
+    fn flows_within_interval() {
+        let mut r = rng();
+        let flows = generate_flows(&mut r, 3, 50_000, 600.0, 300.0, &FlowMixParams::default());
+        for f in &flows {
+            assert!(f.start >= 600.0 && f.start < 900.0, "start {}", f.start);
+            assert!(f.end <= 900.0 + 1e-9, "end {}", f.end);
+            assert!(f.duration() >= 0.0);
+            assert_eq!(f.od_index, 3);
+            assert!(f.packets >= 1);
+            assert!(f.bytes >= f.packets); // ≥1 byte per packet
+        }
+    }
+
+    #[test]
+    fn heavy_tail_mix() {
+        // With a Pareto mix, flow count is much lower than target packets
+        // (elephants) but mice are present.
+        let mut r = rng();
+        let flows =
+            generate_flows(&mut r, 0, 1_000_000, 0.0, 300.0, &FlowMixParams::default());
+        assert!(flows.len() > 10);
+        assert!(flows.len() < 1_000_000 / 2);
+        let max = flows.iter().map(|f| f.packets).max().unwrap();
+        let min = flows.iter().map(|f| f.packets).min().unwrap();
+        assert!(max > 1000, "expected elephants, max {max}");
+        assert!(min <= 10, "expected mice, min {min}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = FlowMixParams::default();
+        let a = generate_flows(&mut StdRng::seed_from_u64(5), 1, 5000, 0.0, 300.0, &p);
+        let b = generate_flows(&mut StdRng::seed_from_u64(5), 1, 5000, 0.0, 300.0, &p);
+        assert_eq!(a, b);
+    }
+
+
+    #[test]
+    fn port_mix_is_zipf_skewed() {
+        let mut r = rng();
+        let flows =
+            generate_flows(&mut r, 0, 500_000, 0.0, 300.0, &FlowMixParams::default());
+        let count = |port: u16| flows.iter().filter(|f| f.key.dst_port == port).count();
+        // Rank-1 port (443) clearly dominates the rank-5 one (8080).
+        assert!(count(443) > 2 * count(8080), "443: {} vs 8080: {}", count(443), count(8080));
+    }
+
+    #[test]
+    fn protocol_mix_mostly_tcp() {
+        let mut r = rng();
+        let flows =
+            generate_flows(&mut r, 0, 200_000, 0.0, 300.0, &FlowMixParams::default());
+        let tcp = flows.iter().filter(|f| f.key.proto == Protocol::Tcp).count();
+        assert!(tcp as f64 / flows.len() as f64 > 0.8);
+    }
+}

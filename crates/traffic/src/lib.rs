@@ -1,0 +1,45 @@
+//! # nws-traffic — traffic generation and sampling simulation substrate
+//!
+//! The paper's evaluation rests on NetFlow data from GEANT that is not
+//! publicly available in unsampled form; this crate rebuilds the pipeline
+//! synthetically:
+//!
+//! * [`dist`] — the random-variate library: bounded Pareto (heavy-tailed flow
+//!   sizes), Zipf (popularity), lognormal (demand spread), and an exact
+//!   [`dist::Binomial`] sampler that is the core of packet-sampling
+//!   simulation.
+//! * [`demand`] — gravity-model traffic matrices over a topology, producing
+//!   realistic per-link background loads.
+//! * [`flows`] — NetFlow-style 5-tuple flow records and a flow-level workload
+//!   generator that realizes an OD demand as a set of flows.
+//! * [`netflow`] — a router-embedded sampling monitor: Bernoulli packet
+//!   sampling at rate `p` simulated exactly at flow granularity, with
+//!   sampled-record export and count inversion (×1/p).
+//! * [`exporter`] / [`collector`] — the §V-A record pipeline: per-minute
+//!   export slicing with idle-timeout semantics, 5-tuple re-assembly,
+//!   inverse-rate scaling and measurement-interval aggregation.
+//! * [`sampling`] — network-wide effective-sampling simulation for an OD pair
+//!   observed by multiple monitors (ρ = 1 − Π(1−p_i)), the ground-truth model
+//!   behind the paper's accuracy numbers.
+//! * [`estimate`] — size estimators, squared relative error, and the paper's
+//!   accuracy metric `1 − |x/ρ − s|/s`.
+//! * [`bins`] — measurement-interval binning (the paper uses 5-minute bins).
+//!
+//! All randomness flows through caller-provided [`rand::Rng`] instances, so
+//! every experiment in the workspace is reproducible from a seed.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bins;
+pub mod collector;
+pub mod demand;
+pub mod dist;
+pub mod estimate;
+pub mod exporter;
+pub mod flows;
+pub mod netflow;
+pub mod sampling;
+
+/// The paper's measurement-interval length in seconds (§V-A: 5-minute bins).
+pub const MEASUREMENT_INTERVAL_SECS: f64 = 300.0;

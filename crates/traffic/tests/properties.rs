@@ -1,0 +1,140 @@
+//! Property-based tests for the traffic substrate: distribution laws,
+//! estimator unbiasedness, pipeline conservation.
+
+use nws_traffic::bins::BinGrid;
+use nws_traffic::collector::{assemble_flows, od_sizes_per_bin};
+use nws_traffic::dist::{Binomial, BoundedPareto, LogNormal, Zipf};
+use nws_traffic::estimate::{accuracy, expected_sre, invert, squared_relative_error};
+use nws_traffic::exporter::{export_flows, ExportConfig};
+use nws_traffic::flows::{generate_flows, FlowMixParams};
+use nws_traffic::sampling::{effective_rate_approx, effective_rate_exact};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binomial_support_and_mean(n in 1u64..100_000, p in 0.0..1.0f64, seed in any::<u64>()) {
+        let b = Binomial::new(n, p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let runs = 64;
+        let mut sum = 0u64;
+        for _ in 0..runs {
+            let x = b.sample(&mut rng);
+            prop_assert!(x <= n);
+            sum += x;
+        }
+        let mean = sum as f64 / runs as f64;
+        // 6-sigma band on the mean of 64 samples.
+        let sigma = (b.variance() / runs as f64).sqrt();
+        prop_assert!(
+            (mean - b.mean()).abs() <= 6.0 * sigma + 1.0,
+            "mean {mean} vs {} (sigma {sigma})",
+            b.mean()
+        );
+    }
+
+    #[test]
+    fn pareto_support(lo in 1.0..100.0f64, span in 1.5..1e4f64, alpha in 0.3..3.0f64, seed in any::<u64>()) {
+        let d = BoundedPareto::new(lo, lo * span, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo * span, "{x} outside [{lo}, {}]", lo * span);
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_valid_and_monotone_pmf(n in 1usize..200, s in 0.0..3.0f64, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+        for k in 1..n {
+            prop_assert!(z.pmf(k) >= z.pmf(k + 1) - 1e-15);
+        }
+    }
+
+    #[test]
+    fn lognormal_positive_and_mean_param(mean in 0.1..1e4f64, cv in 0.0..2.0f64) {
+        let d = LogNormal::from_mean_cv(mean, cv);
+        prop_assert!((d.mean() - mean).abs() < 1e-9 * mean);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            prop_assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn effective_rates_bounds(rates in proptest::collection::vec(0.0..1.0f64, 0..6)) {
+        let exact = effective_rate_exact(&rates);
+        let approx = effective_rate_approx(&rates);
+        prop_assert!((0.0..=1.0).contains(&exact));
+        prop_assert!((0.0..=1.0).contains(&approx));
+        // Union bound: the sum over-counts overlaps.
+        prop_assert!(approx >= exact - 1e-12);
+        // Exact rate at least the max individual rate.
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(exact >= max - 1e-12);
+    }
+
+    #[test]
+    fn estimator_identities(s in 1.0..1e7f64, rho in 0.0001..1.0f64, x in 0u64..1_000_000) {
+        // invert/accuracy/SRE algebraic identities.
+        let est = invert(x, rho);
+        prop_assert!((est - x as f64 / rho).abs() < 1e-9 * est.max(1.0));
+        let acc = accuracy(est, s);
+        let sre = squared_relative_error(est, s);
+        prop_assert!(((1.0 - acc) * (1.0 - acc) - sre).abs() < 1e-9 * (1.0 + sre));
+        // expected SRE decreasing in rho.
+        prop_assert!(expected_sre(rho, 1.0 / s) >= expected_sre((rho * 1.5).min(1.0), 1.0 / s) - 1e-15);
+    }
+
+    #[test]
+    fn flow_generation_conserves_packets(target in 1u64..200_000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = generate_flows(&mut rng, 0, target, 0.0, 300.0, &FlowMixParams::default());
+        let total: u64 = flows.iter().map(|f| f.packets).sum();
+        prop_assert_eq!(total, target);
+        for f in &flows {
+            prop_assert!(f.packets >= 1);
+            prop_assert!(f.start >= 0.0 && f.start < 300.0);
+            prop_assert!(f.end >= f.start && f.end <= 300.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn export_assemble_roundtrip(target in 1u64..100_000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = generate_flows(&mut rng, 0, target, 0.0, 300.0, &FlowMixParams::default());
+        let records = export_flows(&flows, &ExportConfig::default());
+        let assembled = assemble_flows(&records, 1.0);
+        prop_assert_eq!(assembled.len(), flows.len());
+        let total: f64 = assembled.iter().map(|f| f.packets).sum();
+        prop_assert!((total - target as f64).abs() < 1e-9);
+        // Binning the assembled view matches binning the original flows.
+        let grid = BinGrid::paper_intervals(1);
+        let collected = od_sizes_per_bin(&assembled, &grid, 1);
+        let truth = grid.od_sizes_per_bin(&flows, 1);
+        prop_assert!((collected[0][0] - truth[0][0] as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_scaling_linear(target in 100u64..50_000, rate_inv in 2u32..1000, seed in any::<u64>()) {
+        // assemble_flows(records, 1/k) = k * assemble_flows(records, 1).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = generate_flows(&mut rng, 0, target, 0.0, 300.0, &FlowMixParams::default());
+        let records = export_flows(&flows, &ExportConfig::default());
+        let unit = assemble_flows(&records, 1.0);
+        let scaled = assemble_flows(&records, 1.0 / rate_inv as f64);
+        let total_unit: f64 = unit.iter().map(|f| f.packets).sum();
+        let total_scaled: f64 = scaled.iter().map(|f| f.packets).sum();
+        prop_assert!(
+            (total_scaled - total_unit * rate_inv as f64).abs() < 1e-6 * total_scaled
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Capacity planning: how much sampling budget does a target accuracy need?
+//!
+//! Sweeps the system capacity θ on the GEANT/JANET task and reports the
+//! resulting accuracy envelope — the operator-facing question behind the
+//! paper's Figure 2. Also demonstrates `λ`, the capacity multiplier, as the
+//! marginal utility of one more sampled packet: it shrinks as the budget
+//! grows, quantifying diminishing returns.
+//!
+//! ```text
+//! cargo run --example theta_sweep
+//! ```
+
+use nws_core::scenarios::{janet_task_with, BACKGROUND_SEED};
+use nws_core::{evaluate_accuracy, solve_placement, summarize, PlacementConfig};
+
+fn main() {
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>9}",
+        "theta", "acc_mean", "acc_worst", "acc_best", "lambda", "monitors"
+    );
+    let mut last_lambda = f64::INFINITY;
+    for theta in [10_000.0, 30_000.0, 100_000.0, 300_000.0, 1_000_000.0] {
+        let task = janet_task_with(theta, BACKGROUND_SEED).expect("valid theta");
+        let sol = solve_placement(&task, &PlacementConfig::default()).expect("feasible");
+        let acc = summarize(&evaluate_accuracy(&task, &sol, 20, 11));
+        println!(
+            "{:>10} {:>10.4} {:>10.4} {:>10.4} {:>12.3e} {:>9}",
+            theta,
+            acc.mean,
+            acc.worst,
+            acc.best,
+            sol.lambda,
+            sol.active_monitors.len()
+        );
+        assert!(
+            sol.lambda < last_lambda,
+            "marginal utility of capacity must decrease with theta"
+        );
+        last_lambda = sol.lambda;
+    }
+    println!();
+    println!(
+        "lambda is the shadow price of the capacity constraint: the utility gained \
+         per extra sampled packet per interval. Use it to size theta for a target."
+    );
+}

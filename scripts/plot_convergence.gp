@@ -1,0 +1,12 @@
+# Gnuplot: gap-to-optimum vs iteration — the zigzag pathology of Section IV-D.
+# Usage: cargo run --release -p nws-bench --bin convergence_trace | sed -n '/^iteration,/,$p' > trace.csv
+#        gnuplot -e "csv='trace.csv'" scripts/plot_convergence.gp > trace.svg
+set terminal svg size 720,480 font "Helvetica,13"
+set datafile separator ","
+if (!exists("csv")) csv = "trace.csv"
+set logscale y
+set xlabel "iteration"
+set ylabel "objective gap to certified optimum"
+set key top right
+plot csv using 1:2 skip 1 with lines lw 2 title "Polak-Ribiere conjugation", \
+     csv using 1:3 skip 1 with lines lw 2 title "plain projected gradient"

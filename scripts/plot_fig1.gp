@@ -1,0 +1,13 @@
+# Gnuplot: the utility function M(rho) — paper Figure 1.
+# Usage: cargo run --release -p nws-bench --bin fig1 | sed -n '/^rho,/,$p' > fig1.csv
+#        gnuplot -e "csv='fig1.csv'" scripts/plot_fig1.gp > fig1.svg
+set terminal svg size 720,480 font "Helvetica,13"
+set datafile separator ","
+if (!exists("csv")) csv = "fig1.csv"
+set logscale x
+set xlabel "effective sampling rate rho"
+set ylabel "utility M(rho)"
+set yrange [0:1.05]
+set key bottom right
+plot csv using 1:2 skip 1 with lines lw 2 title "S = 500 pkts  (c = 2e-3)", \
+     csv using 1:3 skip 1 with lines lw 2 title "S = 5000 pkts (c = 2e-4)"

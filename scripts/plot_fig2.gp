@@ -1,0 +1,16 @@
+# Gnuplot: accuracy vs capacity — paper Figure 2.
+# Usage: cargo run --release -p nws-bench --bin fig2 | sed -n '/^theta,/,$p' > fig2.csv
+#        gnuplot -e "csv='fig2.csv'" scripts/plot_fig2.gp > fig2.svg
+set terminal svg size 720,480 font "Helvetica,13"
+set datafile separator ","
+if (!exists("csv")) csv = "fig2.csv"
+set logscale x
+set xlabel "resource constraint theta (sampled packets / interval)"
+set ylabel "average accuracy"
+set key bottom right
+plot csv using 1:2 skip 1 with linespoints lw 2 title "average, all links", \
+     csv using 1:3 skip 1 with linespoints lw 2 title "worst OD, all links", \
+     csv using 1:4 skip 1 with linespoints lw 2 title "best OD, all links", \
+     csv using 1:5 skip 1 with linespoints lw 2 dt 2 title "average, UK links only", \
+     csv using 1:6 skip 1 with linespoints lw 2 dt 2 title "worst OD, UK links only", \
+     csv using 1:7 skip 1 with linespoints lw 2 dt 2 title "best OD, UK links only"

@@ -1,0 +1,88 @@
+//! Integration: the optimal method vs the paper's naïve alternatives (§V-C).
+
+use nws_core::baseline::{access_link_only, two_phase_heuristic, uniform_everywhere};
+use nws_core::scenarios::{janet_task, janet_task_with, uk_links, BACKGROUND_SEED};
+use nws_core::{evaluate_accuracy, solve_placement, summarize, PlacementConfig};
+use nws_topo::janet_access_link;
+
+#[test]
+fn optimum_dominates_all_baselines_in_objective() {
+    let task = janet_task();
+    let cfg = PlacementConfig::default();
+    let opt = solve_placement(&task, &cfg).unwrap();
+    let uniform = uniform_everywhere(&task).unwrap();
+    let two_phase = two_phase_heuristic(&task, 10).unwrap();
+    let uk = solve_placement(&task.restricted_to(&uk_links(task.topology())).unwrap(), &cfg)
+        .unwrap();
+
+    assert!(opt.objective > uniform.objective);
+    assert!(opt.objective > two_phase.objective);
+    assert!(opt.objective >= uk.objective - 1e-9);
+}
+
+#[test]
+fn uk_only_hurts_small_ods_hardest() {
+    // §V-C: the restricted solution "has poor performance with respect to
+    // small OD pairs" because UK links are heavily loaded.
+    let task = janet_task_with(30_000.0, BACKGROUND_SEED).unwrap();
+    let cfg = PlacementConfig::default();
+    let opt = solve_placement(&task, &cfg).unwrap();
+    let restricted = task.restricted_to(&uk_links(task.topology())).unwrap();
+    let uk = solve_placement(&restricted, &cfg).unwrap();
+
+    let opt_acc = summarize(&evaluate_accuracy(&task, &opt, 20, 3));
+    let uk_acc = summarize(&evaluate_accuracy(&restricted, &uk, 20, 3));
+    assert!(
+        opt_acc.worst > uk_acc.worst,
+        "optimal worst {} should beat UK-only worst {}",
+        opt_acc.worst,
+        uk_acc.worst
+    );
+    // The best-served OD barely differs — the gap is in the tail.
+    assert!((opt_acc.best - uk_acc.best).abs() < 0.1);
+}
+
+#[test]
+fn access_link_needs_substantially_more_capacity() {
+    // §V-C: ~70 % more capacity to track JANET-LU at the optimum's quality.
+    let task = janet_task();
+    let opt = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    let binding_rho = opt
+        .effective_rates_approx
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
+    let access = janet_access_link(task.topology());
+    let baseline = access_link_only(&task, access).unwrap();
+    let needed = baseline.capacity_for_rho(&task, binding_rho);
+    let overhead = needed / task.theta() - 1.0;
+    assert!(
+        (0.4..1.2).contains(&overhead),
+        "overhead {overhead:.2} out of the paper's ~0.7 ballpark"
+    );
+}
+
+#[test]
+fn two_phase_worsens_with_too_few_monitors() {
+    let task = janet_task();
+    let few = two_phase_heuristic(&task, 2).unwrap();
+    let many = two_phase_heuristic(&task, 10).unwrap();
+    assert!(many.objective >= few.objective);
+    // With only two monitors some ODs stay unobserved entirely.
+    assert!(few.effective_rates_approx.contains(&0.0));
+}
+
+#[test]
+fn uniform_everywhere_wastes_budget_on_big_links() {
+    // The uniform strategy puts most budget where the load is, not where
+    // the information is: its worst OD does far worse than the optimum's.
+    let task = janet_task();
+    let opt = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    let uni = uniform_everywhere(&task).unwrap();
+    let opt_min = opt.utilities.iter().cloned().fold(f64::INFINITY, f64::min);
+    let uni_min = uni.utilities.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        opt_min > uni_min + 0.05,
+        "optimal worst-OD utility {opt_min} vs uniform {uni_min}"
+    );
+}

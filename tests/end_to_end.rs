@@ -1,0 +1,181 @@
+//! End-to-end integration: topology → routing → traffic → optimizer →
+//! Monte-Carlo evaluation, asserting the paper's headline properties.
+
+use nws_core::scenarios::{janet_task, janet_task_with, BACKGROUND_SEED, PAPER_THETA};
+use nws_core::{
+    evaluate_accuracy, solve_placement, summarize, PlacementConfig, ACTIVATION_THRESHOLD,
+};
+use nws_solver::TerminationReason;
+
+#[test]
+fn janet_task_solves_to_certified_optimum() {
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    assert!(sol.kkt_verified);
+    assert_eq!(sol.reason, TerminationReason::KktSatisfied);
+    assert!(sol.diagnostics.iterations < 2000, "paper's iteration budget");
+}
+
+#[test]
+fn budget_exactly_consumed() {
+    // §IV-B eq. (8): no practical interest in leaving capacity unused.
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    let used: f64 = sol.capacity_usage(&task).iter().sum();
+    assert!(
+        (used / PAPER_THETA - 1.0).abs() < 1e-6,
+        "capacity used {used} vs theta {PAPER_THETA}"
+    );
+}
+
+#[test]
+fn sampling_rates_low_as_in_paper() {
+    // §V-B: "the sampling rates are extremely low on most links", with the
+    // quietest links around 0.9 %.
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    let max_rate = sol.rates.iter().cloned().fold(0.0, f64::max);
+    assert!(max_rate < 0.02, "max rate {max_rate} should stay around 1%");
+    // Median active rate well below the max.
+    let mut active: Vec<f64> = sol
+        .rates
+        .iter()
+        .copied()
+        .filter(|&p| p > ACTIVATION_THRESHOLD)
+        .collect();
+    active.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = active[active.len() / 2];
+    assert!(median < 0.005, "median active rate {median}");
+}
+
+#[test]
+fn every_od_pair_observed_with_good_accuracy() {
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    let accs = evaluate_accuracy(&task, &sol, 20, 77);
+    for a in &accs {
+        assert!(a.rho > 0.0, "{} unobserved", a.name);
+        assert!(
+            a.stats.mean > 0.75,
+            "{}: accuracy {:.4} too low (rho {:.5})",
+            a.name,
+            a.stats.mean,
+            a.rho
+        );
+    }
+    let summary = summarize(&accs);
+    assert!(summary.mean > 0.88, "mean accuracy {:.4}", summary.mean);
+}
+
+#[test]
+fn small_ods_monitored_on_quiet_links() {
+    // The mechanism behind the paper's result: the optimizer finds links
+    // where small OD pairs appear with little cross traffic.
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    // For the smallest OD (JANET-LU), the dominant monitor must sit on a
+    // link at least 10x less loaded than the UK ingress links.
+    let lu = task.ods().iter().position(|o| o.name == "JANET-LU").unwrap();
+    let monitors = sol.monitors_of_od(&task, lu);
+    let (dominant, _) = monitors
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .copied()
+        .unwrap();
+    let topo = task.topology();
+    let uk = topo.require_node("UK").unwrap();
+    let fr = topo.require_node("FR").unwrap();
+    let uk_fr = topo.link_between(uk, fr).unwrap();
+    assert!(
+        task.link_loads()[dominant.index()] * 10.0 < task.link_loads()[uk_fr.index()],
+        "dominant LU monitor on {} is not a quiet link",
+        topo.link_label(dominant)
+    );
+}
+
+#[test]
+fn utilities_well_balanced_across_ods() {
+    // §V-B: "although the algorithm maximizes the sum of the utilities, the
+    // individual utilities are well balanced".
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    let min = sol.utilities.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = sol.utilities.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(min > 0.9, "worst utility {min}");
+    assert!(max - min < 0.1, "utility spread {max}-{min}");
+}
+
+#[test]
+fn deterministic_solution_across_runs() {
+    let a = solve_placement(&janet_task(), &PlacementConfig::default()).unwrap();
+    let b = solve_placement(&janet_task(), &PlacementConfig::default()).unwrap();
+    assert_eq!(a.rates, b.rates);
+    assert_eq!(a.objective, b.objective);
+}
+
+#[test]
+fn higher_theta_dominates_pointwise() {
+    // More capacity can only help every OD (the paper's Figure 2 curves are
+    // increasing in theta).
+    let lo = solve_placement(
+        &janet_task_with(30_000.0, BACKGROUND_SEED).unwrap(),
+        &PlacementConfig::default(),
+    )
+    .unwrap();
+    let hi = solve_placement(
+        &janet_task_with(300_000.0, BACKGROUND_SEED).unwrap(),
+        &PlacementConfig::default(),
+    )
+    .unwrap();
+    for k in 0..lo.utilities.len() {
+        assert!(
+            hi.utilities[k] >= lo.utilities[k] - 1e-9,
+            "OD {k}: {} < {}",
+            hi.utilities[k],
+            lo.utilities[k]
+        );
+    }
+}
+
+#[test]
+fn empirical_c_estimation_feeds_the_utility() {
+    // Close the loop the paper leaves implicit: estimate c = E[1/S] from
+    // historical per-interval sizes (which fluctuate), build the task with
+    // the empirical c, and check the utility honestly reflects the extra
+    // relative-error risk of fluctuating sizes (Jensen: E[1/S] > 1/E[S]).
+    use nws_traffic::dist::LogNormal;
+    use nws_traffic::estimate::estimate_inv_mean_size;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mean_size = 50_000.0;
+    let dist = LogNormal::from_mean_cv(mean_size, 0.8);
+    let history: Vec<f64> = (0..200).map(|_| dist.sample(&mut rng)).collect();
+    let c_emp = estimate_inv_mean_size(&history);
+    assert!(c_emp > 1.0 / mean_size, "Jensen: {c_emp} vs {}", 1.0 / mean_size);
+
+    let topo = nws_topo::geant();
+    let janet = topo.require_node("JANET").unwrap();
+    let nl = topo.require_node("NL").unwrap();
+    let task = nws_core::MeasurementTask::builder(topo)
+        .track_with_c(
+            "JANET-NL",
+            nws_routing::OdPair::new(janet, nl),
+            mean_size,
+            c_emp,
+        )
+        .theta(500.0)
+        .build()
+        .unwrap();
+    assert_eq!(task.ods()[0].inv_mean_size, c_emp);
+
+    // Same effective rate, honest (empirical-c) utility is lower than the
+    // naive (1/mean) one — the optimizer will budget more for this OD.
+    let naive = nws_core::SreUtility::from_mean_size(mean_size);
+    let honest = nws_core::SreUtility::new(c_emp);
+    use nws_core::Utility;
+    for rho in [1e-4, 1e-3, 1e-2] {
+        assert!(honest.value(rho) < naive.value(rho), "rho {rho}");
+    }
+}

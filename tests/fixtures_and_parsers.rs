@@ -1,0 +1,105 @@
+//! Integration: the shipped fixture files stay valid, and the text parsers
+//! never panic on arbitrary input (fuzz-flavoured property tests).
+
+use nws_core::scenarios::janet_task;
+use nws_core::taskfile::parse_task;
+use nws_core::{solve_placement, PlacementConfig};
+use nws_topo::format::from_text;
+use proptest::prelude::*;
+
+fn fixture(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../fixtures/");
+    std::fs::read_to_string(format!("{path}{name}"))
+        .unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+#[test]
+fn geant_fixture_matches_builtin() {
+    let fixture_topo = from_text(&fixture("geant.topo")).unwrap();
+    let builtin = nws_topo::geant();
+    assert_eq!(fixture_topo.num_nodes(), builtin.num_nodes());
+    assert_eq!(fixture_topo.num_links(), builtin.num_links());
+    for l in builtin.link_ids() {
+        assert_eq!(fixture_topo.link_label(l), builtin.link_label(l));
+        assert_eq!(
+            fixture_topo.link(l).igp_weight(),
+            builtin.link(l).igp_weight()
+        );
+    }
+}
+
+#[test]
+fn abilene_fixture_parses_and_connects() {
+    let topo = from_text(&fixture("abilene.topo")).unwrap();
+    assert_eq!(topo.num_nodes(), 12);
+    assert!(topo.validate_connected().is_ok());
+}
+
+#[test]
+fn janet_fixture_reproduces_reference_scenario() {
+    // The shipped task file must produce the same problem instance (and
+    // therefore the same optimum) as the programmatic scenario.
+    let topo = from_text(&fixture("geant.topo")).unwrap();
+    let task = parse_task(topo, &fixture("janet.nws")).unwrap();
+    let reference = janet_task();
+    assert_eq!(task.ods().len(), reference.ods().len());
+    assert_eq!(task.theta(), reference.theta());
+    for (a, b) in task.link_loads().iter().zip(reference.link_loads()) {
+        assert!((a - b).abs() < 1e-6 * b.max(1.0), "loads differ: {a} vs {b}");
+    }
+    let sol_a = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    let sol_b = solve_placement(&reference, &PlacementConfig::default()).unwrap();
+    assert!((sol_a.objective - sol_b.objective).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The topology parser returns Ok or Err on arbitrary text — never panics.
+    #[test]
+    fn topology_parser_total(input in "\\PC*") {
+        let _ = from_text(&input);
+    }
+
+    /// Ditto with line-structured input that looks more like real files.
+    #[test]
+    fn topology_parser_total_structured(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("node A".to_string()),
+                Just("node B external".to_string()),
+                Just("link A B 100 1 backbone".to_string()),
+                Just("link B A -5 1 access".to_string()),
+                Just("link A A 1 1 backbone".to_string()),
+                Just("garbage with words".to_string()),
+                Just("".to_string()),
+                "[a-z ]{0,30}",
+            ],
+            0..20,
+        )
+    ) {
+        let _ = from_text(&lines.join("\n"));
+    }
+
+    /// The task-file parser is likewise total.
+    #[test]
+    fn taskfile_parser_total(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("theta 1000".to_string()),
+                Just("theta nan".to_string()),
+                Just("od JANET NL 100".to_string()),
+                Just("od NOWHERE NL 100".to_string()),
+                Just("od JANET NL".to_string()),
+                Just("background gravity 1000 0.5 1".to_string()),
+                Just("background magic".to_string()),
+                Just("restrict UK FR".to_string()),
+                Just("alpha 2".to_string()),
+                "[a-z0-9 .#]{0,40}",
+            ],
+            0..15,
+        )
+    ) {
+        let _ = parse_task(nws_topo::geant(), &lines.join("\n"));
+    }
+}

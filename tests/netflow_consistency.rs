@@ -1,0 +1,121 @@
+//! Integration: the flow-level NetFlow machinery agrees with the analytic
+//! OD-level model the optimizer and evaluator use.
+
+use nws_core::scenarios::janet_task;
+use nws_core::{solve_placement, PlacementConfig};
+use nws_traffic::bins::BinGrid;
+use nws_traffic::dist::Binomial;
+use nws_traffic::estimate::{accuracy, invert};
+use nws_traffic::flows::{generate_flows, FlowMixParams};
+use nws_traffic::netflow::Monitor;
+use nws_traffic::sampling::{effective_rate_approx, effective_rate_exact};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn flow_level_sampling_matches_binomial_aggregate() {
+    // Sampling each flow Binomial(n_f, p) and summing must distribute like
+    // Binomial(S, p) with S = Σ n_f. Compare means and variances.
+    let mut rng = StdRng::seed_from_u64(404);
+    let total = 300_000u64;
+    let flows =
+        generate_flows(&mut rng, 0, total, 0.0, 300.0, &FlowMixParams::default());
+    let monitor = Monitor::new(0.005);
+    let runs = 300;
+    let flow_level: Vec<f64> =
+        (0..runs).map(|_| monitor.sample_count(&mut rng, &flows) as f64).collect();
+    let agg = Binomial::new(total, 0.005);
+    let agg_level: Vec<f64> = (0..runs).map(|_| agg.sample(&mut rng) as f64).collect();
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let var = |v: &[f64]| {
+        let m = mean(v);
+        v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+    };
+    let (mf, ma) = (mean(&flow_level), mean(&agg_level));
+    assert!((mf / ma - 1.0).abs() < 0.02, "means {mf} vs {ma}");
+    let (vf, va) = (var(&flow_level), var(&agg_level));
+    assert!((vf / va - 1.0).abs() < 0.35, "variances {vf} vs {va}");
+}
+
+#[test]
+fn inversion_accuracy_matches_utility_prediction() {
+    // The utility says E[SRE] = (1-ρ)/(ρS); check the realized SRE of the
+    // full flow pipeline against it.
+    let mut rng = StdRng::seed_from_u64(405);
+    let total = 500_000u64;
+    let rate = 0.002;
+    let flows =
+        generate_flows(&mut rng, 0, total, 0.0, 300.0, &FlowMixParams::default());
+    let monitor = Monitor::new(rate);
+    let runs = 400;
+    let mut sre_acc = 0.0;
+    for _ in 0..runs {
+        let recs = monitor.sample_flows(&mut rng, &flows);
+        let est = monitor.invert_to_od_sizes(&recs, 1)[0];
+        let rel = (est - total as f64) / total as f64;
+        sre_acc += rel * rel;
+    }
+    let empirical = sre_acc / runs as f64;
+    let predicted = (1.0 - rate) / (rate * total as f64);
+    assert!(
+        (empirical / predicted - 1.0).abs() < 0.2,
+        "empirical SRE {empirical:.3e} vs predicted {predicted:.3e}"
+    );
+}
+
+#[test]
+fn optimizer_rates_drive_flow_pipeline_to_predicted_accuracy() {
+    // Full loop: solve the JANET task, take one OD's monitors, generate its
+    // flows, sample them at the optimizer's rates at each monitor, dedup by
+    // the union model, invert, and compare accuracy with the analytic one.
+    let task = janet_task();
+    let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+    let k = task.ods().iter().position(|o| o.name == "JANET-SE").unwrap();
+    let od = &task.ods()[k];
+    let monitors = sol.monitors_of_od(&task, k);
+    let rates: Vec<f64> = monitors.iter().map(|&(_, p)| p).collect();
+    let rho_inv = effective_rate_approx(&rates);
+    assert!((rho_inv - sol.effective_rates_approx[k]).abs() < 1e-12);
+
+    let mut rng = StdRng::seed_from_u64(406);
+    let size = od.size.round() as u64;
+    let runs = 100;
+    let mut acc_sum = 0.0;
+    for _ in 0..runs {
+        // Union sampling at the exact effective rate.
+        let x = Binomial::new(size, effective_rate_exact(&rates)).sample(&mut rng);
+        acc_sum += accuracy(invert(x, rho_inv), od.size);
+    }
+    let mean_acc = acc_sum / runs as f64;
+    // Analytic prediction: E accuracy ≈ 1 − sqrt(2/π)·sqrt((1−ρ)/(ρS)).
+    let rel_std = ((1.0 - rho_inv) / (rho_inv * od.size)).sqrt();
+    let predicted = 1.0 - (2.0 / std::f64::consts::PI).sqrt() * rel_std;
+    assert!(
+        (mean_acc - predicted).abs() < 0.03,
+        "mean accuracy {mean_acc:.4} vs predicted {predicted:.4}"
+    );
+}
+
+#[test]
+fn binning_preserves_flow_totals_across_intervals() {
+    let mut rng = StdRng::seed_from_u64(407);
+    let grid = BinGrid::paper_intervals(4);
+    let mut flows = Vec::new();
+    let per_bin_truth = [50_000u64, 20_000, 80_000, 5_000];
+    for (b, &pkts) in per_bin_truth.iter().enumerate() {
+        let (t0, _) = grid.span(b);
+        flows.extend(generate_flows(
+            &mut rng,
+            0,
+            pkts,
+            t0,
+            grid.width(),
+            &FlowMixParams::default(),
+        ));
+    }
+    let sizes = grid.od_sizes_per_bin(&flows, 1);
+    for (b, &truth) in per_bin_truth.iter().enumerate() {
+        assert_eq!(sizes[b][0], truth, "bin {b}");
+    }
+}
