@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nws_routing::{OdPair, RoutingMatrix, Spf};
-use nws_topo::random::ring_with_chords;
 use nws_topo::geant;
+use nws_topo::random::ring_with_chords;
 use std::hint::black_box;
 
 fn bench_spf_geant(c: &mut Criterion) {

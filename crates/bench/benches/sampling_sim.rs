@@ -14,8 +14,10 @@ use std::hint::black_box;
 fn bench_binomial(c: &mut Criterion) {
     let mut group = c.benchmark_group("binomial_sample");
     // BINV regime and normal-approximation regime.
-    for (label, n, p) in [("binv_n1e3", 1_000u64, 0.01), ("normal_n1e7", 10_000_000, 0.001)]
-    {
+    for (label, n, p) in [
+        ("binv_n1e3", 1_000u64, 0.01),
+        ("normal_n1e7", 10_000_000, 0.001),
+    ] {
         let b = Binomial::new(n, p);
         group.bench_function(label, |bench| {
             let mut rng = StdRng::seed_from_u64(1);
@@ -27,8 +29,14 @@ fn bench_binomial(c: &mut Criterion) {
 
 fn bench_flow_monitor(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    let flows =
-        generate_flows(&mut rng, 0, 1_000_000, 0.0, 300.0, &FlowMixParams::default());
+    let flows = generate_flows(
+        &mut rng,
+        0,
+        1_000_000,
+        0.0,
+        300.0,
+        &FlowMixParams::default(),
+    );
     let monitor = Monitor::new(0.01);
     c.bench_function("netflow_monitor/sample_1M_pkts", |b| {
         let mut rng = StdRng::seed_from_u64(3);

@@ -37,7 +37,10 @@ fn synthetic_task(n: usize) -> MeasurementTask {
         let od = OdPair::new(ingress, dst);
         b = b.track(format!("F{}", dst.index()), od, size);
     }
-    b.background_loads(&bg).theta(total * 0.05).build().expect("valid")
+    b.background_loads(&bg)
+        .theta(total * 0.05)
+        .build()
+        .expect("valid")
 }
 
 fn bench_janet(c: &mut Criterion) {
@@ -54,8 +57,7 @@ fn bench_scaling(c: &mut Criterion) {
         let task = synthetic_task(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &task, |b, task| {
             b.iter(|| {
-                solve_placement(black_box(task), &PlacementConfig::default())
-                    .expect("feasible")
+                solve_placement(black_box(task), &PlacementConfig::default()).expect("feasible")
             })
         });
     }

@@ -23,9 +23,10 @@ fn bench_objective(c: &mut Criterion) {
     let problem = build_problem(&task, &index).expect("feasible");
     let p = problem.feasible_start();
     let mut group = c.benchmark_group("placement_objective");
-    for (label, model) in
-        [("approx", RateModel::Approximate), ("exact", RateModel::Exact)]
-    {
+    for (label, model) in [
+        ("approx", RateModel::Approximate),
+        ("exact", RateModel::Exact),
+    ] {
         let obj = PlacementObjective::new(&task, &index, model);
         group.bench_function(format!("gradient/{label}"), |b| {
             b.iter(|| black_box(obj.gradient(black_box(&p))))

@@ -14,19 +14,28 @@ use nws_core::{solve_placement, solve_placement_warm, PlacementConfig};
 use nws_solver::{NewtonLineSearch, SolverOptions};
 
 fn main() {
-    let t0 = banner("ablation_solver", "Polak-Ribiere / line-search / warm-start ablation");
+    let t0 = banner(
+        "ablation_solver",
+        "Polak-Ribiere / line-search / warm-start ablation",
+    );
 
     let thetas = [20_000.0, 50_000.0, 100_000.0, 200_000.0, 400_000.0];
     let variants: [(&str, SolverOptions); 3] = [
         ("full (PR + Newton)", SolverOptions::default()),
         (
             "no Polak-Ribiere",
-            SolverOptions { polak_ribiere: false, ..SolverOptions::default() },
+            SolverOptions {
+                polak_ribiere: false,
+                ..SolverOptions::default()
+            },
         ),
         (
             "coarse line search",
             SolverOptions {
-                line_search: NewtonLineSearch { grad_tol: 1e-3, max_iters: 8 },
+                line_search: NewtonLineSearch {
+                    grad_tol: 1e-3,
+                    max_iters: 8,
+                },
                 ..SolverOptions::default()
             },
         ),
@@ -37,7 +46,10 @@ fn main() {
         let mut certified = 0usize;
         for &theta in &thetas {
             let task = janet_task_with(theta, BACKGROUND_SEED).expect("valid");
-            let cfg = PlacementConfig { solver: *opts, ..PlacementConfig::default() };
+            let cfg = PlacementConfig {
+                solver: *opts,
+                ..PlacementConfig::default()
+            };
             let sol = solve_placement(&task, &cfg).expect("feasible");
             iters.push(sol.diagnostics.iterations as f64);
             certified += usize::from(sol.kkt_verified);

@@ -13,17 +13,26 @@ use nws_core::scenarios::janet_task;
 use nws_core::{solve_placement, PlacementConfig, RateModel};
 
 fn main() {
-    let t0 = banner("approx_ablation", "exact vs approximate effective-rate model");
+    let t0 = banner(
+        "approx_ablation",
+        "exact vs approximate effective-rate model",
+    );
 
     let task = janet_task();
     let approx = solve_placement(
         &task,
-        &PlacementConfig { rate_model: RateModel::Approximate, ..Default::default() },
+        &PlacementConfig {
+            rate_model: RateModel::Approximate,
+            ..Default::default()
+        },
     )
     .expect("feasible");
     let exact = solve_placement(
         &task,
-        &PlacementConfig { rate_model: RateModel::Exact, ..Default::default() },
+        &PlacementConfig {
+            rate_model: RateModel::Exact,
+            ..Default::default()
+        },
     )
     .expect("feasible");
 
@@ -60,7 +69,10 @@ fn main() {
     println!();
     print!(
         "{}",
-        render_csv(&["od_pkts_per_sec", "rho_approx", "rho_exact", "rel_gap"], &rows)
+        render_csv(
+            &["od_pkts_per_sec", "rho_approx", "rho_exact", "rel_gap"],
+            &rows
+        )
     );
 
     footer(t0);

@@ -27,8 +27,7 @@ use rand::{Rng, SeedableRng};
 fn random_instance(seed: u64) -> MeasurementTask {
     let mut rng = StdRng::seed_from_u64(seed);
     let topo = geant();
-    let background_total =
-        rng.random_range(300_000.0..2_000_000.0) * MEASUREMENT_INTERVAL_SECS;
+    let background_total = rng.random_range(300_000.0..2_000_000.0) * MEASUREMENT_INTERVAL_SECS;
     let background =
         DemandMatrix::gravity_capacity_weighted(&topo, background_total, 0.6, seed ^ 0xBEEF);
     let bg_loads = background.link_loads(&topo);
@@ -45,11 +44,18 @@ fn random_instance(seed: u64) -> MeasurementTask {
     }
     // θ log-uniform between 1 % and 30 % of the tracked traffic volume.
     let theta = tracked_total * 10f64.powf(rng.random_range(-2.0..-0.52));
-    builder.background_loads(&bg_loads).theta(theta).build().expect("instance valid")
+    builder
+        .background_loads(&bg_loads)
+        .theta(theta)
+        .build()
+        .expect("instance valid")
 }
 
 fn main() {
-    let t0 = banner("convergence", "solver statistics over 200 randomized instances");
+    let t0 = banner(
+        "convergence",
+        "solver statistics over 200 randomized instances",
+    );
 
     let n = 200usize;
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get());
@@ -77,7 +83,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker ok")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker ok"))
+            .collect()
     });
 
     let converged = results.iter().filter(|r| r.0).count();

@@ -57,7 +57,10 @@ fn main() {
             vec![i as f64, gap(a), gap(b)]
         })
         .collect();
-    print!("{}", render_csv(&["iteration", "gap_with_pr", "gap_without_pr"], &rows));
+    print!(
+        "{}",
+        render_csv(&["iteration", "gap_with_pr", "gap_without_pr"], &rows)
+    );
 
     footer(t0);
 }

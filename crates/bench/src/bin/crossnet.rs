@@ -37,13 +37,23 @@ fn main() {
             "theta {theta:>8}: full avg {:.4} worst {:+.4} | ingress-only avg {:.4} worst {:+.4}",
             full_acc.mean, full_acc.worst, ing_acc.mean, ing_acc.worst
         );
-        rows.push(vec![theta, full_acc.mean, full_acc.worst, ing_acc.mean, ing_acc.worst]);
+        rows.push(vec![
+            theta,
+            full_acc.mean,
+            full_acc.worst,
+            ing_acc.mean,
+            ing_acc.worst,
+        ]);
     }
 
     // Access-link accounting at the middle theta.
     let task = abilene_task(40_000.0, 7).expect("valid");
     let opt = solve_placement(&task, &cfg).expect("feasible");
-    let binding_rho = opt.effective_rates_approx.iter().cloned().fold(0.0, f64::max);
+    let binding_rho = opt
+        .effective_rates_approx
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
     let access = abilene_access_link(task.topology());
     let baseline = access_link_only(&task, access).expect("loaded");
     let needed = baseline.capacity_for_rho(&task, binding_rho);
@@ -67,7 +77,13 @@ fn main() {
     print!(
         "{}",
         render_csv(
-            &["theta", "full_avg", "full_worst", "ingress_avg", "ingress_worst"],
+            &[
+                "theta",
+                "full_avg",
+                "full_worst",
+                "ingress_avg",
+                "ingress_worst"
+            ],
             &rows
         )
     );

@@ -16,7 +16,10 @@ use nws_core::scenarios::janet_task;
 use nws_core::simulate::{run_simulation, EvolutionParams, Policy};
 
 fn main() {
-    let t0 = banner("diurnal", "static vs re-optimized monitoring over a synthetic day");
+    let t0 = banner(
+        "diurnal",
+        "static vs re-optimized monitoring over a synthetic day",
+    );
 
     let base = janet_task();
     let params = EvolutionParams {

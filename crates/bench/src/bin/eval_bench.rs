@@ -1,0 +1,383 @@
+//! Micro-benchmark of the objective-evaluation engine: serial vs chunked
+//! parallel `value`/`gradient`/`curvature_along`, plus solver end-to-end
+//! timings, on GEANT, Abilene, and a ~500-node random topology.
+//!
+//! Dependency-free (`std::time::Instant` only); emits machine-readable JSON
+//! (default `BENCH_eval.json`) so CI can archive the numbers. Parallel
+//! speedup is bounded by the host's core count, which is recorded in the
+//! JSON as `available_cores` — on a single-core box the parallel columns
+//! measure pure fan-out overhead, which is itself worth tracking.
+//!
+//! Flags: `--quick` (smaller instances, fewer reps — the CI smoke mode),
+//! `--out PATH`.
+
+use nws_bench::{banner, footer};
+use nws_core::scenarios::{abilene_task, janet_task};
+use nws_core::{
+    solve_placement, MeasurementTask, ParallelConfig, PlacementConfig, PlacementObjective,
+    RateModel, ReducedIndex, SreUtility,
+};
+use nws_linalg::Vector;
+use nws_routing::{OdPair, Router};
+use nws_solver::Objective;
+use nws_topo::random::ring_with_chords;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct EvalCase {
+    name: String,
+    model: RateModel,
+    objective_variants: Vec<PlacementObjective>, // one per entry of THREADS
+    point: Vector,
+}
+
+struct EvalResult {
+    name: String,
+    model: &'static str,
+    num_ods: usize,
+    nnz: usize,
+    dim: usize,
+    value_ms: Vec<f64>,
+    gradient_ms: Vec<f64>,
+    curvature_ms: Vec<f64>,
+}
+
+struct SolverResult {
+    name: String,
+    num_ods: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    parallel_threads: usize,
+    iterations: usize,
+    objective_rel_diff: f64,
+}
+
+/// Median wall time of `reps` calls to `f`, in milliseconds (one warmup).
+fn time_median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// A low-rate evaluation point with some per-coordinate variation.
+fn eval_point(dim: usize) -> Vector {
+    (0..dim).map(|v| 1e-3 * (1.0 + (v % 7) as f64)).collect()
+}
+
+fn task_case(name: &str, task: &MeasurementTask, model: RateModel) -> EvalCase {
+    let idx = ReducedIndex::new(task);
+    let objective_variants = THREADS
+        .iter()
+        .map(|&t| {
+            PlacementObjective::new(task, &idx, model).with_parallel(ParallelConfig {
+                threads: t,
+                min_ods_per_thread: 1,
+            })
+        })
+        .collect();
+    EvalCase {
+        name: name.to_string(),
+        model,
+        objective_variants,
+        point: eval_point(idx.dim()),
+    }
+}
+
+/// Builds the large synthetic eval case directly from shortest-path rows on
+/// a ring-with-chords topology: every node is a source tracking `dsts_per_src`
+/// destinations, sizes heavy-tailed by OD rank. Bypassing `MeasurementTask`
+/// keeps construction linear in nnz (no dense routing matrix), which is what
+/// lets the case reach hundreds of thousands of entries.
+fn random_case(n: usize, chords: usize, dsts_per_src: usize, model: RateModel) -> EvalCase {
+    let topo = ring_with_chords(n, chords, 42);
+    let dim = topo.num_links();
+    let router = Router::new(&topo);
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut utilities = Vec::new();
+    for src in topo.node_ids() {
+        for j in 1..=dsts_per_src {
+            // Deterministic destination spread around the ring.
+            let dst_index = (src.index() + j * (n / (dsts_per_src + 1)).max(1) + j) % n;
+            if dst_index == src.index() {
+                continue;
+            }
+            let dst = topo
+                .node_ids()
+                .nth(dst_index)
+                .expect("index within node count");
+            let fractions = router.ecmp_fractions(OdPair::new(src, dst));
+            if fractions.is_empty() {
+                continue;
+            }
+            rows.push(fractions.into_iter().map(|(l, f)| (l.index(), f)).collect());
+            // Heavy-tailed sizes: a few elephants, many mice.
+            let rank = rows.len();
+            let size = (9_000_000.0 / (rank as f64).powf(1.2)).max(600.0);
+            utilities.push(SreUtility::new(1.0 / size));
+        }
+    }
+    let weights = vec![1.0; rows.len()];
+    let objective_variants = THREADS
+        .iter()
+        .map(|&t| {
+            PlacementObjective::from_parts(
+                utilities.clone(),
+                weights.clone(),
+                rows.clone(),
+                model,
+                dim,
+            )
+            .with_parallel(ParallelConfig {
+                threads: t,
+                min_ods_per_thread: 1,
+            })
+        })
+        .collect();
+    EvalCase {
+        name: format!("random{n}"),
+        model,
+        objective_variants,
+        point: eval_point(dim),
+    }
+}
+
+fn run_eval_case(case: &EvalCase, reps: usize) -> EvalResult {
+    let serial = &case.objective_variants[0];
+    let (num_ods, nnz, dim) = (serial.num_ods(), serial.nnz(), serial.dim());
+    let p = &case.point;
+    let s: Vector = (0..dim)
+        .map(|v| if v % 2 == 0 { 1.0 } else { -0.5 })
+        .collect();
+
+    let mut value_ms = Vec::new();
+    let mut gradient_ms = Vec::new();
+    let mut curvature_ms = Vec::new();
+    for obj in &case.objective_variants {
+        value_ms.push(time_median_ms(reps, || {
+            black_box(obj.value(black_box(p)));
+        }));
+        let mut g = Vector::zeros(dim);
+        gradient_ms.push(time_median_ms(reps, || {
+            obj.gradient_into(black_box(p), &mut g);
+            black_box(&g);
+        }));
+        curvature_ms.push(time_median_ms(reps, || {
+            black_box(obj.curvature_along(black_box(p), black_box(&s)));
+        }));
+    }
+    EvalResult {
+        name: case.name.clone(),
+        model: match case.model {
+            RateModel::Approximate => "approximate",
+            RateModel::Exact => "exact",
+        },
+        num_ods,
+        nnz,
+        dim,
+        value_ms,
+        gradient_ms,
+        curvature_ms,
+    }
+}
+
+/// Random-topology measurement task for the solver end-to-end case: the
+/// max-degree node tracks every reachable destination.
+fn random_task(n: usize, chords: usize) -> MeasurementTask {
+    let topo = ring_with_chords(n, chords, 42);
+    let ingress = topo
+        .node_ids()
+        .max_by_key(|&v| topo.out_links(v).count())
+        .expect("nodes exist");
+    let router = Router::new(&topo);
+    let mut tracked = Vec::new();
+    for (rank, dst) in topo.node_ids().filter(|&d| d != ingress).enumerate() {
+        if router.path(OdPair::new(ingress, dst)).is_none() {
+            continue;
+        }
+        let size = (9_000_000.0 / ((rank + 1) as f64).powf(1.2)).max(600.0);
+        tracked.push((dst, size));
+    }
+    drop(router);
+    let bg = nws_traffic::demand::DemandMatrix::gravity_capacity_weighted(&topo, 3e8, 0.5, 7)
+        .link_loads(&topo);
+    let total: f64 = tracked.iter().map(|&(_, s)| s).sum();
+    let mut b = MeasurementTask::builder(topo);
+    for (dst, size) in tracked {
+        b = b.track(format!("F{}", dst.index()), OdPair::new(ingress, dst), size);
+    }
+    b.background_loads(&bg)
+        .theta(total * 0.002)
+        .build()
+        .expect("synthetic task is valid")
+}
+
+fn run_solver_case(
+    name: &str,
+    task: &MeasurementTask,
+    max_iterations: usize,
+    parallel_threads: usize,
+) -> SolverResult {
+    let mut config = PlacementConfig::default();
+    config.solver.max_iterations = max_iterations;
+    let t0 = Instant::now();
+    let serial = solve_placement(task, &config).expect("solve succeeds");
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    config.parallel = ParallelConfig {
+        threads: parallel_threads,
+        min_ods_per_thread: 1,
+    };
+    let t1 = Instant::now();
+    let parallel = solve_placement(task, &config).expect("solve succeeds");
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let scale = serial.objective.abs().max(1.0);
+    SolverResult {
+        name: name.to_string(),
+        num_ods: task.ods().len(),
+        serial_ms,
+        parallel_ms,
+        parallel_threads,
+        iterations: serial.diagnostics.iterations,
+        objective_rel_diff: (serial.objective - parallel.objective).abs() / scale,
+    }
+}
+
+fn json_f64_list(xs: &[f64]) -> String {
+    let parts: Vec<String> = xs.iter().map(|x| format!("{x:.6}")).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn render_json(quick: bool, evals: &[EvalResult], solvers: &[SolverResult]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"eval_bench\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"available_cores\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        THREADS.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str("  \"eval_cases\": [\n");
+    for (i, e) in evals.iter().enumerate() {
+        let speedup: Vec<f64> = e
+            .gradient_ms
+            .iter()
+            .map(|&ms| e.gradient_ms[0] / ms)
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"model\": \"{}\", \"num_ods\": {}, \"nnz\": {}, \
+             \"dim\": {},\n     \"value_ms\": {}, \"gradient_ms\": {}, \"curvature_ms\": {},\n     \
+             \"gradient_speedup_vs_serial\": {}}}{}\n",
+            e.name,
+            e.model,
+            e.num_ods,
+            e.nnz,
+            e.dim,
+            json_f64_list(&e.value_ms),
+            json_f64_list(&e.gradient_ms),
+            json_f64_list(&e.curvature_ms),
+            json_f64_list(&speedup),
+            if i + 1 < evals.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"solver_cases\": [\n");
+    for (i, s) in solvers.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"num_ods\": {}, \"serial_ms\": {:.3}, \
+             \"parallel_ms\": {:.3}, \"parallel_threads\": {}, \"iterations\": {}, \
+             \"objective_rel_diff\": {:.3e}}}{}\n",
+            s.name,
+            s.num_ods,
+            s.serial_ms,
+            s.parallel_ms,
+            s.parallel_threads,
+            s.iterations,
+            s.objective_rel_diff,
+            if i + 1 < solvers.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_eval.json".to_string());
+
+    let t0 = banner(
+        "eval_bench",
+        "objective-evaluation engine: serial vs parallel, plus solver end-to-end",
+    );
+    let reps = if quick { 3 } else { 7 };
+    let (rand_n, rand_chords, dsts) = if quick {
+        (160, 320, 12)
+    } else {
+        (500, 1000, 40)
+    };
+
+    let janet = janet_task();
+    let abilene = abilene_task(40_000.0, 7).expect("valid theta");
+
+    let mut eval_cases = vec![
+        task_case("geant_janet", &janet, RateModel::Approximate),
+        task_case("abilene", &abilene, RateModel::Approximate),
+        random_case(rand_n, rand_chords, dsts, RateModel::Approximate),
+        random_case(rand_n, rand_chords, dsts, RateModel::Exact),
+    ];
+
+    println!(
+        "{:<16} {:<12} {:>8} {:>9} | gradient ms @ threads {:?}",
+        "case", "model", "ods", "nnz", THREADS
+    );
+    let mut evals = Vec::new();
+    for case in &mut eval_cases {
+        let r = run_eval_case(case, reps);
+        println!(
+            "{:<16} {:<12} {:>8} {:>9} | {}",
+            r.name,
+            r.model,
+            r.num_ods,
+            r.nnz,
+            json_f64_list(&r.gradient_ms)
+        );
+        evals.push(r);
+    }
+
+    println!();
+    println!("solver end-to-end (serial vs {} threads):", 4);
+    let solver_iters = if quick { 20 } else { 60 };
+    let rand_task = random_task(rand_n, rand_chords);
+    let solvers = vec![
+        run_solver_case("geant_janet", &janet, 2000, 4),
+        run_solver_case("abilene", &abilene, 2000, 4),
+        run_solver_case(&format!("random{rand_n}"), &rand_task, solver_iters, 4),
+    ];
+    for s in &solvers {
+        println!(
+            "{:<16} serial {:>9.1} ms   parallel {:>9.1} ms   obj rel diff {:.1e}",
+            s.name, s.serial_ms, s.parallel_ms, s.objective_rel_diff
+        );
+    }
+
+    let json = render_json(quick, &evals, &solvers);
+    std::fs::write(&out_path, &json).expect("write JSON report");
+    println!();
+    println!("wrote {out_path}");
+    footer(t0);
+}

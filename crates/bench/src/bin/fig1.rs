@@ -13,8 +13,10 @@ fn main() {
     let t0 = banner("fig1", "utility function M(rho) for two E[1/S] values");
 
     let sizes = [500.0, 5000.0];
-    let utils: Vec<SreUtility> =
-        sizes.iter().map(|&s| SreUtility::from_mean_size(s)).collect();
+    let utils: Vec<SreUtility> = sizes
+        .iter()
+        .map(|&s| SreUtility::from_mean_size(s))
+        .collect();
 
     for (s, u) in sizes.iter().zip(&utils) {
         println!(

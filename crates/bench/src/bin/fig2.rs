@@ -14,10 +14,19 @@ use nws_core::scenarios::{janet_task_with, uk_links, BACKGROUND_SEED};
 use nws_core::{evaluate_accuracy, solve_placement, summarize, PlacementConfig};
 
 fn main() {
-    let t0 = banner("fig2", "accuracy vs theta: full optimization vs UK-links-only");
+    let t0 = banner(
+        "fig2",
+        "accuracy vs theta: full optimization vs UK-links-only",
+    );
 
     let thetas = [
-        5_000.0, 10_000.0, 20_000.0, 50_000.0, 100_000.0, 200_000.0, 500_000.0,
+        5_000.0,
+        10_000.0,
+        20_000.0,
+        50_000.0,
+        100_000.0,
+        200_000.0,
+        500_000.0,
         1_000_000.0,
     ];
     let runs = 20;

@@ -19,8 +19,8 @@ fn main() {
 
     let task = janet_task();
     let sum = solve_placement(&task, &PlacementConfig::default()).expect("feasible");
-    let mm = solve_maxmin(&task, SolverOptions::default(), &[50.0, 200.0, 1000.0])
-        .expect("feasible");
+    let mm =
+        solve_maxmin(&task, SolverOptions::default(), &[50.0, 200.0, 1000.0]).expect("feasible");
 
     let min = |u: &[f64]| u.iter().copied().fold(f64::INFINITY, f64::min);
     let max = |u: &[f64]| u.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -51,7 +51,10 @@ fn main() {
         .enumerate()
         .map(|(k, od)| vec![od.size / 300.0, sum.utilities[k], mm.utilities[k]])
         .collect();
-    print!("{}", render_csv(&["od_pkts_per_sec", "sum_utility", "maxmin_utility"], &rows));
+    print!(
+        "{}",
+        render_csv(&["od_pkts_per_sec", "sum_utility", "maxmin_utility"], &rows)
+    );
 
     footer(t0);
 }

@@ -18,7 +18,10 @@ use nws_routing::OdPair;
 use nws_solver::SolverOptions;
 
 fn main() {
-    let t0 = banner("multitask", "TE estimation + anomaly coverage under one budget");
+    let t0 = banner(
+        "multitask",
+        "TE estimation + anomaly coverage under one budget",
+    );
 
     let te = janet_task_with(PAPER_THETA, BACKGROUND_SEED).expect("valid");
     // The security task: three small "below the radar" flows, including one
@@ -32,14 +35,21 @@ fn main() {
             let node = topo.require_node(dst).expect("PoP");
             b = b.track(format!("SEC-{dst}"), OdPair::new(janet, node), rate * 300.0);
         }
-        b.background_loads(&bg).theta(PAPER_THETA).build().expect("valid")
+        b.background_loads(&bg)
+            .theta(PAPER_THETA)
+            .build()
+            .expect("valid")
     };
 
     let mut rows = Vec::new();
     for w_sec in [0.0, 0.5, 1.0, 2.0, 5.0, 20.0] {
         let sol = solve_composite(
             &[
-                SubTask { task: &te, weight: 1.0, utility: UtilityChoice::SizeEstimation },
+                SubTask {
+                    task: &te,
+                    weight: 1.0,
+                    utility: UtilityChoice::SizeEstimation,
+                },
                 SubTask {
                     task: &sec,
                     weight: w_sec,
@@ -51,8 +61,7 @@ fn main() {
         )
         .expect("feasible");
 
-        let te_mean =
-            sol.utilities[0].iter().sum::<f64>() / sol.utilities[0].len() as f64;
+        let te_mean = sol.utilities[0].iter().sum::<f64>() / sol.utilities[0].len() as f64;
         let sec_min_rho = sol.effective_rates[1]
             .iter()
             .cloned()
@@ -62,13 +71,21 @@ fn main() {
              rate {sec_min_rho:.6} | monitors {}",
             sol.active_monitors.len()
         );
-        rows.push(vec![w_sec, te_mean, sec_min_rho, sol.active_monitors.len() as f64]);
+        rows.push(vec![
+            w_sec,
+            te_mean,
+            sec_min_rho,
+            sol.active_monitors.len() as f64,
+        ]);
     }
 
     println!();
     print!(
         "{}",
-        render_csv(&["w_sec", "te_mean_utility", "sec_min_rho", "monitors"], &rows)
+        render_csv(
+            &["w_sec", "te_mean_utility", "sec_min_rho", "monitors"],
+            &rows
+        )
     );
     println!();
     println!(

@@ -14,14 +14,19 @@
 //! 3. the pre-failure optimum on the pre-failure network (reference).
 
 use nws_bench::{banner, footer};
-use nws_core::scenarios::{janet_task, janet_task_on, BACKGROUND_TOTAL_PKTS_PER_SEC, BACKGROUND_SEED, PAPER_THETA};
+use nws_core::scenarios::{
+    janet_task, janet_task_on, BACKGROUND_SEED, BACKGROUND_TOTAL_PKTS_PER_SEC, PAPER_THETA,
+};
 use nws_core::{evaluate_accuracy, evaluate_rates, solve_placement, summarize, PlacementConfig};
 use nws_routing::failure::{bidirectional_pair, link_id_map, without_links};
 use nws_traffic::demand::DemandMatrix;
 use nws_traffic::MEASUREMENT_INTERVAL_SECS;
 
 fn main() {
-    let t0 = banner("reroute", "stale vs re-optimized placement after a fibre cut");
+    let t0 = banner(
+        "reroute",
+        "stale vs re-optimized placement after a fibre cut",
+    );
 
     // Pre-failure optimum.
     let before = janet_task();
@@ -48,8 +53,7 @@ fn main() {
         BACKGROUND_SEED,
     );
     let bg_loads = background.link_loads(&topo_after);
-    let after =
-        janet_task_on(topo_after, &bg_loads, PAPER_THETA).expect("post-failure task valid");
+    let after = janet_task_on(topo_after, &bg_loads, PAPER_THETA).expect("post-failure task valid");
 
     // 1. Stale configuration: carry the old per-link rates over (failed
     //    links simply disappear along with their monitors).

@@ -15,8 +15,8 @@ fn main() {
     let t0 = banner("table1", "optimal sampling rates for the JANET->GEANT task");
 
     let task = janet_task();
-    let sol = solve_placement(&task, &PlacementConfig::default())
-        .expect("reference task is feasible");
+    let sol =
+        solve_placement(&task, &PlacementConfig::default()).expect("reference task is feasible");
     let accs = evaluate_accuracy(&task, &sol, 20, 1);
 
     print!("{}", render_table1(&task, &sol, &accs));
@@ -44,9 +44,7 @@ fn main() {
         })
         .max()
         .unwrap_or(0);
-    println!(
-        "max sampling rate: {max_rate:.4} (paper: ~0.009 on the quietest links)"
-    );
+    println!("max sampling rate: {max_rate:.4} (paper: ~0.009 on the quietest links)");
     println!(
         "monitors contributing >=20% of an OD's effective rate: <= {max_significant} per OD \
          (paper: at most two per OD)"

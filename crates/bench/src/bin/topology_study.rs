@@ -39,8 +39,7 @@ fn build_instance(topo: Topology, seed: u64) -> Option<Instance> {
             continue;
         }
         // Heavy-tailed sizes: a few elephants, many mice.
-        let size = 30_000.0 * 300.0 / ((rank + 1) as f64).powf(1.5)
-            * rng.random_range(0.5..1.5);
+        let size = 30_000.0 * 300.0 / ((rank + 1) as f64).powf(1.5) * rng.random_range(0.5..1.5);
         tracked.push((dst, size.max(600.0)));
     }
     drop(router);
@@ -61,7 +60,10 @@ fn build_instance(topo: Topology, seed: u64) -> Option<Instance> {
         b = b.track(format!("F{}", dst.index()), od, size);
     }
     let task = b.background_loads(&bg).theta(total * 0.002).build().ok()?;
-    Some(Instance { task, ingress_links })
+    Some(Instance {
+        task,
+        ingress_links,
+    })
 }
 
 /// Structural statistic: over the smaller half of the OD pairs, the mean of
@@ -70,15 +72,20 @@ fn build_instance(topo: Topology, seed: u64) -> Option<Instance> {
 fn quiet_tail_ratio(task: &MeasurementTask) -> f64 {
     let mut ods: Vec<usize> = (0..task.ods().len()).collect();
     ods.sort_by(|&a, &b| {
-        task.ods()[a].size.partial_cmp(&task.ods()[b].size).expect("finite")
+        task.ods()[a]
+            .size
+            .partial_cmp(&task.ods()[b].size)
+            .expect("finite")
     });
     let small = &ods[..ods.len() / 2];
     let ratios: Vec<f64> = small
         .iter()
         .filter_map(|&k| {
             let links = task.routing().links_of_od(k);
-            let loads: Vec<f64> =
-                links.iter().map(|&l| task.link_loads()[l.index()]).collect();
+            let loads: Vec<f64> = links
+                .iter()
+                .map(|&l| task.link_loads()[l.index()])
+                .collect();
             let quiet = loads.iter().cloned().fold(f64::INFINITY, f64::min);
             let first = *loads.first()?;
             (quiet > 0.0).then_some(first / quiet)
@@ -113,7 +120,9 @@ fn main() {
         .collect();
 
     for (label, topo) in families {
-        let Some(inst) = build_instance(topo, 7) else { continue };
+        let Some(inst) = build_instance(topo, 7) else {
+            continue;
+        };
         let full = solve_placement(&inst.task, &cfg).expect("feasible");
         let Ok(restricted) = inst.task.restricted_to(&inst.ingress_links) else {
             continue;
@@ -158,8 +167,12 @@ fn main() {
 
 fn pearson(x: &[f64], y: &[f64]) -> f64 {
     let (mx, my) = (mean(x), mean(y));
-    let cov: f64 =
-        x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / x.len() as f64;
+    let cov: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - mx) * (b - my))
+        .sum::<f64>()
+        / x.len() as f64;
     let (sx, sy) = (std_dev(x), std_dev(y));
     if sx == 0.0 || sy == 0.0 {
         0.0

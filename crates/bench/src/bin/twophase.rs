@@ -10,7 +10,7 @@ use nws_bench::{banner, footer};
 use nws_core::baseline::{two_phase_heuristic, uniform_everywhere};
 use nws_core::report::render_csv;
 use nws_core::scenarios::janet_task;
-use nws_core::{solve_placement, summarize, evaluate_accuracy, PlacementConfig};
+use nws_core::{evaluate_accuracy, solve_placement, summarize, PlacementConfig};
 
 fn main() {
     let t0 = banner("twophase", "joint optimization vs two-phase heuristic");

@@ -45,18 +45,41 @@ usage:
   nws topo stats <topology.topo|geant|abilene>
   nws topo export <geant|abilene>
   nws topo dot <geant|abilene>
-  nws demo";
+  nws demo
+
+options (solve/sweep/plan/demo):
+  --threads N    evaluate the objective on N worker threads (0 = one per
+                 core; default 1 = serial; pays off on tasks with thousands
+                 of OD pairs)";
 
 fn run(args: &[String]) -> Result<(), String> {
+    let (args, config) = extract_config(args)?;
     match args.first().map(String::as_str) {
-        Some("solve") => cmd_solve(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..]),
-        Some("plan") => cmd_plan(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..], &config),
+        Some("sweep") => cmd_sweep(&args[1..], &config),
+        Some("plan") => cmd_plan(&args[1..], &config),
         Some("topo") => cmd_topo(&args[1..]),
-        Some("demo") => cmd_demo(),
+        Some("demo") => cmd_demo(&config),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".into()),
     }
+}
+
+/// Strips global options (currently `--threads N`) from anywhere in the
+/// argument list and folds them into a [`PlacementConfig`].
+fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig), String> {
+    let mut rest = args.to_vec();
+    let mut config = PlacementConfig::default();
+    while let Some(i) = rest.iter().position(|a| a == "--threads") {
+        let n: usize = rest
+            .get(i + 1)
+            .ok_or_else(|| "--threads requires a count".to_string())?
+            .parse()
+            .map_err(|_| "--threads requires a non-negative integer".to_string())?;
+        config.parallel.threads = n;
+        rest.drain(i..=i + 1);
+    }
+    Ok((rest, config))
 }
 
 /// Loads a topology from a file path or `--builtin NAME`; returns the
@@ -76,24 +99,20 @@ fn load_topology(args: &[String]) -> Result<(Topology, usize), String> {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read topology '{path}': {e}"))?;
-            let topo =
-                format::from_text(&text).map_err(|e| format!("topology '{path}': {e}"))?;
+            let topo = format::from_text(&text).map_err(|e| format!("topology '{path}': {e}"))?;
             Ok((topo, 1))
         }
         None => Err("missing topology argument".into()),
     }
 }
 
-fn load_task(
-    topo: Topology,
-    path: &str,
-) -> Result<nws_core::MeasurementTask, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read task '{path}': {e}"))?;
+fn load_task(topo: Topology, path: &str) -> Result<nws_core::MeasurementTask, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read task '{path}': {e}"))?;
     parse_task(topo, &text).map_err(|e| format!("task '{path}': {e}"))
 }
 
-fn cmd_solve(args: &[String]) -> Result<(), String> {
+fn cmd_solve(args: &[String], config: &PlacementConfig) -> Result<(), String> {
     let (topo, used) = load_topology(args)?;
     let task_path = args
         .get(used)
@@ -105,8 +124,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         (None, _) => None,
     };
     let task = load_task(topo, task_path)?;
-    let sol = solve_placement(&task, &PlacementConfig::default())
-        .map_err(|e| format!("solve failed: {e}"))?;
+    let sol = solve_placement(&task, config).map_err(|e| format!("solve failed: {e}"))?;
     let accs = evaluate_accuracy(&task, &sol, 20, 1);
     print!("{}", render_table1(&task, &sol, &accs));
     if let Some(path) = dot_path {
@@ -123,7 +141,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(args: &[String]) -> Result<(), String> {
+fn cmd_plan(args: &[String], config: &PlacementConfig) -> Result<(), String> {
     let (topo, used) = load_topology(args)?;
     let task_path = args
         .get(used)
@@ -146,7 +164,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         ceiling * 1e-5,
         ceiling * 0.99,
         0.01,
-        &PlacementConfig::default(),
+        config,
     )
     .map_err(|e| e.to_string())?;
     println!(
@@ -156,7 +174,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &[String]) -> Result<(), String> {
+fn cmd_sweep(args: &[String], config: &PlacementConfig) -> Result<(), String> {
     let (topo, used) = load_topology(args)?;
     let task_path = args
         .get(used)
@@ -172,8 +190,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     println!("theta,objective,lambda,active_monitors,acc_mean,acc_worst");
     for theta in thetas {
         let task = base.with_theta(theta).map_err(|e| e.to_string())?;
-        let sol = solve_placement(&task, &PlacementConfig::default())
-            .map_err(|e| format!("theta {theta}: {e}"))?;
+        let sol = solve_placement(&task, config).map_err(|e| format!("theta {theta}: {e}"))?;
         let acc = summarize(&evaluate_accuracy(&task, &sol, 20, 1));
         println!(
             "{theta},{:.6},{:.6e},{},{:.4},{:.4}",
@@ -193,8 +210,8 @@ fn cmd_topo(args: &[String]) -> Result<(), String> {
             let path = args
                 .get(1)
                 .ok_or_else(|| "validate requires a topology file".to_string())?;
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read '{path}': {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
             let topo = format::from_text(&text).map_err(|e| e.to_string())?;
             topo.validate_connected().map_err(|e| e.to_string())?;
             println!(
@@ -217,10 +234,11 @@ fn cmd_topo(args: &[String]) -> Result<(), String> {
                     format::from_text(&text).map_err(|e| e.to_string())?
                 }
             };
-            let degrees: Vec<usize> =
-                topo.node_ids().map(|n| topo.out_links(n).count()).collect();
-            let caps: Vec<f64> =
-                topo.link_ids().map(|l| topo.link(l).capacity_mbps()).collect();
+            let degrees: Vec<usize> = topo.node_ids().map(|n| topo.out_links(n).count()).collect();
+            let caps: Vec<f64> = topo
+                .link_ids()
+                .map(|l| topo.link(l).capacity_mbps())
+                .collect();
             println!("nodes: {}", topo.num_nodes());
             println!(
                 "links: {} ({} monitorable)",
@@ -239,7 +257,11 @@ fn cmd_topo(args: &[String]) -> Result<(), String> {
             );
             println!(
                 "connected: {}",
-                if topo.validate_connected().is_ok() { "yes" } else { "NO" }
+                if topo.validate_connected().is_ok() {
+                    "yes"
+                } else {
+                    "NO"
+                }
             );
             Ok(())
         }
@@ -272,10 +294,9 @@ fn builtin(name: &str) -> Result<Topology, String> {
     }
 }
 
-fn cmd_demo() -> Result<(), String> {
+fn cmd_demo(config: &PlacementConfig) -> Result<(), String> {
     let task = janet_task();
-    let sol = solve_placement(&task, &PlacementConfig::default())
-        .map_err(|e| e.to_string())?;
+    let sol = solve_placement(&task, config).map_err(|e| e.to_string())?;
     let accs = evaluate_accuracy(&task, &sol, 20, 1);
     print!("{}", render_table1(&task, &sol, &accs));
     Ok(())
@@ -303,7 +324,28 @@ mod tests {
 
     #[test]
     fn demo_runs() {
-        cmd_demo().unwrap();
+        cmd_demo(&PlacementConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn threads_flag_extracted_anywhere() {
+        let args: Vec<String> = ["demo", "--threads", "4"].map(String::from).to_vec();
+        let (rest, config) = extract_config(&args).unwrap();
+        assert_eq!(rest, vec!["demo".to_string()]);
+        assert_eq!(config.parallel.threads, 4);
+
+        let args: Vec<String> = ["--threads", "0", "demo"].map(String::from).to_vec();
+        let (rest, config) = extract_config(&args).unwrap();
+        assert_eq!(rest, vec!["demo".to_string()]);
+        assert_eq!(config.parallel.threads, 0);
+
+        assert!(extract_config(&["--threads".to_string()]).is_err());
+        assert!(extract_config(&["--threads".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn demo_solves_with_threads() {
+        run(&["demo", "--threads", "2"].map(String::from)).unwrap();
     }
 
     #[test]
@@ -314,7 +356,6 @@ mod tests {
         std::fs::write(&path, nws_topo::format::to_text(&geant())).unwrap();
         cmd_topo(&["validate".into(), path.to_string_lossy().into_owned()]).unwrap();
     }
-
 
     #[test]
     fn topo_stats_builtin() {
@@ -328,20 +369,26 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let task_path = dir.join("task2.nws");
         std::fs::write(&task_path, "theta 1000\nod JANET NL 30000\n").unwrap();
-        let err = cmd_solve(&[
-            "--builtin".into(),
-            "geant".into(),
-            task_path.to_string_lossy().into_owned(),
-            "--bogus".into(),
-        ])
+        let err = cmd_solve(
+            &[
+                "--builtin".into(),
+                "geant".into(),
+                task_path.to_string_lossy().into_owned(),
+                "--bogus".into(),
+            ],
+            &PlacementConfig::default(),
+        )
         .unwrap_err();
         assert!(err.contains("unexpected argument"));
-        let err = cmd_solve(&[
-            "--builtin".into(),
-            "geant".into(),
-            task_path.to_string_lossy().into_owned(),
-            "--dot".into(),
-        ])
+        let err = cmd_solve(
+            &[
+                "--builtin".into(),
+                "geant".into(),
+                task_path.to_string_lossy().into_owned(),
+                "--dot".into(),
+            ],
+            &PlacementConfig::default(),
+        )
         .unwrap_err();
         assert!(err.contains("--dot requires"));
     }
@@ -351,16 +398,22 @@ mod tests {
         let dir = std::env::temp_dir().join("nws_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let task_path = dir.join("task3.nws");
-        std::fs::write(&task_path, "theta 1000\nod JANET NL 30000\nod JANET LU 20\n")
-            .unwrap();
+        std::fs::write(
+            &task_path,
+            "theta 1000\nod JANET NL 30000\nod JANET LU 20\n",
+        )
+        .unwrap();
         let dot_path = dir.join("sol.dot");
-        cmd_solve(&[
-            "--builtin".into(),
-            "geant".into(),
-            task_path.to_string_lossy().into_owned(),
-            "--dot".into(),
-            dot_path.to_string_lossy().into_owned(),
-        ])
+        cmd_solve(
+            &[
+                "--builtin".into(),
+                "geant".into(),
+                task_path.to_string_lossy().into_owned(),
+                "--dot".into(),
+                dot_path.to_string_lossy().into_owned(),
+            ],
+            &PlacementConfig::default(),
+        )
         .unwrap();
         let dot = std::fs::read_to_string(&dot_path).unwrap();
         assert!(dot.contains("color=red"), "activated monitors highlighted");
@@ -376,11 +429,14 @@ mod tests {
             "theta 20000\nod JANET NL 30000\nod JANET LU 20\nbackground gravity 400000 0.5 7\n",
         )
         .unwrap();
-        cmd_solve(&[
-            "--builtin".into(),
-            "geant".into(),
-            task_path.to_string_lossy().into_owned(),
-        ])
+        cmd_solve(
+            &[
+                "--builtin".into(),
+                "geant".into(),
+                task_path.to_string_lossy().into_owned(),
+            ],
+            &PlacementConfig::default(),
+        )
         .unwrap();
     }
 }

@@ -29,7 +29,9 @@ pub fn access_link_only(
 ) -> Result<AccessLinkSolution, CoreError> {
     let load = task.link_loads()[access_link.index()];
     if load <= 0.0 {
-        return Err(CoreError::InvalidTask("access link carries no traffic".into()));
+        return Err(CoreError::InvalidTask(
+            "access link carries no traffic".into(),
+        ));
     }
     let rate = task.theta() / load;
     if rate > 1.0 {
@@ -38,7 +40,11 @@ pub fn access_link_only(
             task.theta()
         )));
     }
-    Ok(AccessLinkSolution { access_link, rate, sampled_per_interval: task.theta() })
+    Ok(AccessLinkSolution {
+        access_link,
+        rate,
+        sampled_per_interval: task.theta(),
+    })
 }
 
 /// Outcome of the access-link-only strategy.
@@ -69,8 +75,11 @@ impl AccessLinkSolution {
 /// [`CoreError::InvalidTask`] if the uniform rate would exceed the `α` cap of
 /// some candidate link.
 pub fn uniform_everywhere(task: &MeasurementTask) -> Result<PlacementSolution, CoreError> {
-    let total_load: f64 =
-        task.candidate_links().iter().map(|&l| task.link_loads()[l.index()]).sum();
+    let total_load: f64 = task
+        .candidate_links()
+        .iter()
+        .map(|&l| task.link_loads()[l.index()])
+        .sum();
     let rate = task.theta() / total_load;
     for &l in task.candidate_links() {
         if rate > task.alpha()[l.index()] {
@@ -167,12 +176,13 @@ pub fn two_phase_heuristic(
             .filter(|&&l| rates[l.index()] < task.alpha()[l.index()])
             .collect();
         if !uncapped.is_empty() {
-            let extra_load: f64 =
-                uncapped.iter().map(|&&l| task.link_loads()[l.index()]).sum();
+            let extra_load: f64 = uncapped
+                .iter()
+                .map(|&&l| task.link_loads()[l.index()])
+                .sum();
             for &&l in &uncapped {
                 let bump = leftover / extra_load;
-                rates[l.index()] =
-                    (rates[l.index()] + bump).min(task.alpha()[l.index()]);
+                rates[l.index()] = (rates[l.index()] + bump).min(task.alpha()[l.index()]);
             }
         }
     }

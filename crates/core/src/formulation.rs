@@ -1,10 +1,18 @@
 //! Translation of a [`MeasurementTask`] into a solver problem.
+//!
+//! The objective stores its per-OD sparse routing rows in CSR (compressed
+//! sparse row) form — one flat `(variable, fraction)` array plus row offsets
+//! — and evaluates value/gradient/curvature either serially or fanned out
+//! across scoped threads ([`ParallelConfig`]). Chunk partials are merged in
+//! chunk order, so results are deterministic for a fixed worker count.
 
 use crate::{CoreError, MeasurementTask, SreUtility, Utility};
 use nws_linalg::Vector;
 use nws_solver::{BoxLinearProblem, Objective};
 use nws_topo::LinkId;
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Mutex;
 
 /// How the effective sampling rate `ρ_k(p)` is modelled inside the objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,6 +31,87 @@ pub enum RateModel {
     /// low-rate regime the curvature from `M''` dominates and the solver
     /// behaves identically. Provided for the §V-B validation ablation.
     Exact,
+}
+
+/// How a [`PlacementObjective`] fans evaluation out across threads.
+///
+/// Evaluation is embarrassingly parallel over OD rows: each worker reduces a
+/// contiguous chunk of rows into a private partial (a scalar for value and
+/// curvature, a scratch gradient buffer for gradients) and the partials are
+/// merged in chunk order. The fan-out uses [`std::thread::scope`] — threads
+/// are spawned per call, so parallelism only pays off once a task has enough
+/// rows; `min_ods_per_thread` keeps small tasks on the serial path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads: `1` forces the serial path (the default), `0` uses
+    /// one worker per available core, any other value is taken literally.
+    pub threads: usize,
+    /// Minimum OD rows per worker; the effective worker count is capped at
+    /// `num_ods / min_ods_per_thread` so thread-spawn overhead never
+    /// dominates small tasks.
+    pub min_ods_per_thread: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 1,
+            min_ods_per_thread: 256,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A config with the given worker count (`0` = auto) and the default
+    /// serial-fallback threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            ..ParallelConfig::default()
+        }
+    }
+
+    /// The worker count actually used for a task of `num_ods` rows.
+    pub fn workers_for(&self, num_ods: usize) -> usize {
+        let requested = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
+        };
+        let by_work = num_ods / self.min_ods_per_thread.max(1);
+        requested.min(by_work).max(1)
+    }
+}
+
+/// A reusable pool of gradient scratch buffers, shared across evaluations so
+/// the per-thread partials do not reallocate every solver iteration.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    buffers: Mutex<Vec<Vec<f64>>>,
+}
+
+impl ScratchPool {
+    /// Pops a pooled buffer (or allocates one) and zeroes it to `len`.
+    fn take(&self, len: usize) -> Vec<f64> {
+        let mut buf = self
+            .buffers
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool.
+    fn put(&self, buf: Vec<f64>) {
+        self.buffers
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(buf);
+    }
 }
 
 /// Mapping between the task's candidate links and dense variable indices.
@@ -75,29 +164,33 @@ pub struct PlacementObjective<U: Utility = SreUtility> {
     /// Per-OD nonnegative weights (1 for the paper's formulation; composite
     /// multi-task problems weight their sub-tasks).
     weights: Vec<f64>,
-    /// Per OD `k`: the `(variable, r_{k,i})` pairs of candidate links it
-    /// traverses.
-    rows: Vec<Vec<(usize, f64)>>,
+    /// CSR row offsets: OD `k`'s entries span
+    /// `row_entries[row_offsets[k]..row_offsets[k + 1]]`.
+    row_offsets: Vec<usize>,
+    /// Flattened `(variable, r_{k,i})` pairs of all ODs, grouped by OD.
+    row_entries: Vec<(usize, f64)>,
     rate_model: RateModel,
     dim: usize,
+    parallel: ParallelConfig,
+    scratch: ScratchPool,
 }
 
 impl PlacementObjective<SreUtility> {
     /// Builds the paper's objective for `task` under the given rate model.
     pub fn new(task: &MeasurementTask, index: &ReducedIndex, rate_model: RateModel) -> Self {
-        let utilities: Vec<SreUtility> =
-            task.ods().iter().map(|o| SreUtility::new(o.inv_mean_size)).collect();
+        let utilities: Vec<SreUtility> = task
+            .ods()
+            .iter()
+            .map(|o| SreUtility::new(o.inv_mean_size))
+            .collect();
         let rows = task_rows(task, index);
         let weights = vec![1.0; utilities.len()];
-        PlacementObjective { utilities, weights, rows, rate_model, dim: index.dim() }
+        PlacementObjective::from_parts(utilities, weights, rows, rate_model, index.dim())
     }
 }
 
 /// The sparse `(variable, r_{k,i})` rows of a task against an index.
-pub(crate) fn task_rows(
-    task: &MeasurementTask,
-    index: &ReducedIndex,
-) -> Vec<Vec<(usize, f64)>> {
+pub(crate) fn task_rows(task: &MeasurementTask, index: &ReducedIndex) -> Vec<Vec<(usize, f64)>> {
     (0..task.ods().len())
         .map(|k| {
             task.routing()
@@ -124,16 +217,71 @@ impl<U: Utility> PlacementObjective<U> {
         rate_model: RateModel,
         dim: usize,
     ) -> Self {
-        assert_eq!(utilities.len(), rows.len(), "utilities/rows length mismatch");
-        assert_eq!(utilities.len(), weights.len(), "utilities/weights length mismatch");
+        assert_eq!(
+            utilities.len(),
+            rows.len(),
+            "utilities/rows length mismatch"
+        );
+        assert_eq!(
+            utilities.len(),
+            weights.len(),
+            "utilities/weights length mismatch"
+        );
         assert!(weights.iter().all(|&w| w >= 0.0), "weights must be ≥ 0");
         for row in &rows {
             for &(v, r) in row {
                 assert!(v < dim, "row references variable {v} ≥ dim {dim}");
-                assert!((0.0..=1.0).contains(&r), "routing fraction {r} out of [0,1]");
+                assert!(
+                    (0.0..=1.0).contains(&r),
+                    "routing fraction {r} out of [0,1]"
+                );
             }
         }
-        PlacementObjective { utilities, weights, rows, rate_model, dim }
+        // Flatten to CSR: one contiguous entry array plus row offsets.
+        let mut row_offsets = Vec::with_capacity(rows.len() + 1);
+        let mut row_entries = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        row_offsets.push(0);
+        for row in rows {
+            row_entries.extend(row);
+            row_offsets.push(row_entries.len());
+        }
+        PlacementObjective {
+            utilities,
+            weights,
+            row_offsets,
+            row_entries,
+            rate_model,
+            dim,
+            parallel: ParallelConfig::default(),
+            scratch: ScratchPool::default(),
+        }
+    }
+
+    /// Sets the evaluation fan-out configuration (builder style; the default
+    /// is serial).
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The current evaluation fan-out configuration.
+    pub fn parallel_config(&self) -> ParallelConfig {
+        self.parallel
+    }
+
+    /// Number of OD rows.
+    pub fn num_ods(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Total `(variable, fraction)` entries across all rows.
+    pub fn nnz(&self) -> usize {
+        self.row_entries.len()
+    }
+
+    /// Number of optimization variables.
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// The per-OD utilities.
@@ -149,21 +297,25 @@ impl<U: Utility> PlacementObjective<U> {
     /// The sparse routing row of OD `k`: `(variable, r_{k,i})` pairs over
     /// the candidate links it traverses.
     pub fn row(&self, k: usize) -> &[(usize, f64)] {
-        &self.rows[k]
+        &self.row_entries[self.row_offsets[k]..self.row_offsets[k + 1]]
     }
 
     /// Effective sampling rate of OD `k` at rates `p` under this objective's
     /// rate model, clamped into `[0, 1]`.
     pub fn effective_rate(&self, k: usize, p: &Vector) -> f64 {
         match self.rate_model {
-            RateModel::Approximate => self.rows[k]
+            RateModel::Approximate => self
+                .row(k)
                 .iter()
                 .map(|&(v, r)| r * p[v])
                 .sum::<f64>()
                 .clamp(0.0, 1.0),
             RateModel::Exact => {
-                let miss: f64 =
-                    self.rows[k].iter().map(|&(v, r)| (1.0 - p[v]).powf(r)).product();
+                let miss: f64 = self
+                    .row(k)
+                    .iter()
+                    .map(|&(v, r)| (1.0 - p[v]).powf(r))
+                    .product();
                 (1.0 - miss).clamp(0.0, 1.0)
             }
         }
@@ -171,50 +323,50 @@ impl<U: Utility> PlacementObjective<U> {
 
     /// All per-OD effective rates at `p`.
     pub fn effective_rates(&self, p: &Vector) -> Vec<f64> {
-        (0..self.rows.len()).map(|k| self.effective_rate(k, p)).collect()
+        (0..self.num_ods())
+            .map(|k| self.effective_rate(k, p))
+            .collect()
     }
-}
 
-impl<U: Utility> Objective for PlacementObjective<U> {
-    fn value(&self, p: &Vector) -> f64 {
-        (0..self.rows.len())
-            .map(|k| self.weights[k] * self.utilities[k].value(self.effective_rate(k, p)))
+    /// Objective value restricted to the OD rows in `ks`.
+    fn value_over(&self, ks: Range<usize>, p: &Vector) -> f64 {
+        ks.map(|k| self.weights[k] * self.utilities[k].value(self.effective_rate(k, p)))
             .sum()
     }
 
-    fn gradient(&self, p: &Vector) -> Vector {
-        let mut g = Vector::zeros(self.dim);
-        for (k, row) in self.rows.iter().enumerate() {
+    /// Adds the gradient contributions of the OD rows in `ks` onto `out`.
+    fn accumulate_gradient_over(&self, ks: Range<usize>, p: &Vector, out: &mut [f64]) {
+        for k in ks {
             let rho = self.effective_rate(k, p);
             let m1 = self.weights[k] * self.utilities[k].d1(rho);
             match self.rate_model {
                 RateModel::Approximate => {
-                    for &(v, r) in row {
-                        g[v] += m1 * r;
+                    for &(v, r) in self.row(k) {
+                        out[v] += m1 * r;
                     }
                 }
                 RateModel::Exact => {
                     // ∂ρ/∂p_v = r·(1−ρ)/(1−p_v)
                     let miss = 1.0 - rho;
-                    for &(v, r) in row {
+                    for &(v, r) in self.row(k) {
                         let denom = (1.0 - p[v]).max(1e-12);
-                        g[v] += m1 * r * miss / denom;
+                        out[v] += m1 * r * miss / denom;
                     }
                 }
             }
         }
-        g
     }
 
-    fn curvature_along(&self, p: &Vector, s: &Vector) -> f64 {
+    /// Second directional derivative restricted to the OD rows in `ks`.
+    fn curvature_over(&self, ks: Range<usize>, p: &Vector, s: &Vector) -> f64 {
         let mut total = 0.0;
-        for (k, row) in self.rows.iter().enumerate() {
+        for k in ks {
             let rho = self.effective_rate(k, p);
             let w = self.weights[k];
             let (m1, m2) = (w * self.utilities[k].d1(rho), w * self.utilities[k].d2(rho));
             match self.rate_model {
                 RateModel::Approximate => {
-                    let drho: f64 = row.iter().map(|&(v, r)| r * s[v]).sum();
+                    let drho: f64 = self.row(k).iter().map(|&(v, r)| r * s[v]).sum();
                     total += m2 * drho * drho;
                 }
                 RateModel::Exact => {
@@ -224,7 +376,7 @@ impl<U: Utility> Objective for PlacementObjective<U> {
                     let miss = 1.0 - rho;
                     let mut s1 = 0.0;
                     let mut s2 = 0.0;
-                    for &(v, r) in row {
+                    for &(v, r) in self.row(k) {
                         let q = (1.0 - p[v]).max(1e-12);
                         s1 += r * s[v] / q;
                         s2 += r * s[v] * s[v] / (q * q);
@@ -236,6 +388,115 @@ impl<U: Utility> Objective for PlacementObjective<U> {
             }
         }
         total
+    }
+
+    /// First directional derivative restricted to the OD rows in `ks`.
+    /// Algebraically identical to contracting the row's gradient with `s`,
+    /// but without materializing a gradient vector.
+    fn dir_derivative_over(&self, ks: Range<usize>, p: &Vector, s: &Vector) -> f64 {
+        ks.map(|k| {
+            let rho = self.effective_rate(k, p);
+            let m1 = self.weights[k] * self.utilities[k].d1(rho);
+            match self.rate_model {
+                RateModel::Approximate => {
+                    m1 * self.row(k).iter().map(|&(v, r)| r * s[v]).sum::<f64>()
+                }
+                RateModel::Exact => {
+                    let miss = 1.0 - rho;
+                    m1 * miss
+                        * self
+                            .row(k)
+                            .iter()
+                            .map(|&(v, r)| r * s[v] / (1.0 - p[v]).max(1e-12))
+                            .sum::<f64>()
+                }
+            }
+        })
+        .sum()
+    }
+}
+
+impl<U: Utility + Sync> PlacementObjective<U> {
+    /// Reduces `eval` over all OD rows, fanning out across scoped threads
+    /// when the [`ParallelConfig`] warrants it. Chunk partials are summed in
+    /// chunk order, so the result is deterministic for a fixed worker count.
+    fn par_reduce<F>(&self, eval: F) -> f64
+    where
+        F: Fn(Range<usize>) -> f64 + Sync,
+    {
+        let n = self.num_ods();
+        let workers = self.parallel.workers_for(n);
+        if workers <= 1 {
+            return eval(0..n);
+        }
+        let chunk = n.div_ceil(workers);
+        let mut partials = vec![0.0f64; n.div_ceil(chunk)];
+        std::thread::scope(|scope| {
+            for (w, slot) in partials.iter_mut().enumerate() {
+                let eval = &eval;
+                scope.spawn(move || {
+                    *slot = eval(w * chunk..((w + 1) * chunk).min(n));
+                });
+            }
+        });
+        partials.iter().sum()
+    }
+
+    /// Writes the full gradient into `out` (length `dim`), reusing pooled
+    /// per-worker scratch buffers in the parallel path.
+    fn gradient_into_slice(&self, p: &Vector, out: &mut [f64]) {
+        let n = self.num_ods();
+        out.fill(0.0);
+        let workers = self.parallel.workers_for(n);
+        if workers <= 1 {
+            self.accumulate_gradient_over(0..n, p, out);
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        let mut bufs: Vec<Vec<f64>> = (0..n.div_ceil(chunk))
+            .map(|_| self.scratch.take(self.dim))
+            .collect();
+        std::thread::scope(|scope| {
+            for (w, buf) in bufs.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    self.accumulate_gradient_over(w * chunk..((w + 1) * chunk).min(n), p, buf);
+                });
+            }
+        });
+        // Merge in chunk order — deterministic for a fixed worker count.
+        for buf in bufs {
+            for (o, b) in out.iter_mut().zip(&buf) {
+                *o += b;
+            }
+            self.scratch.put(buf);
+        }
+    }
+}
+
+impl<U: Utility + Sync> Objective for PlacementObjective<U> {
+    fn value(&self, p: &Vector) -> f64 {
+        self.par_reduce(|ks| self.value_over(ks, p))
+    }
+
+    fn gradient(&self, p: &Vector) -> Vector {
+        let mut g = Vector::zeros(self.dim);
+        self.gradient_into_slice(p, g.as_mut_slice());
+        g
+    }
+
+    fn curvature_along(&self, p: &Vector, s: &Vector) -> f64 {
+        self.par_reduce(|ks| self.curvature_over(ks, p, s))
+    }
+
+    fn gradient_into(&self, p: &Vector, out: &mut Vector) {
+        if out.len() != self.dim {
+            *out = Vector::zeros(self.dim);
+        }
+        self.gradient_into_slice(p, out.as_mut_slice());
+    }
+
+    fn directional_derivative(&self, p: &Vector, s: &Vector) -> f64 {
+        self.par_reduce(|ks| self.dir_derivative_over(ks, p, s))
     }
 }
 
@@ -250,10 +511,12 @@ pub fn build_problem(
     task: &MeasurementTask,
     index: &ReducedIndex,
 ) -> Result<BoxLinearProblem, CoreError> {
-    let upper: Vector =
-        (0..index.dim()).map(|v| task.alpha()[index.link(v).index()]).collect();
-    let loads: Vector =
-        (0..index.dim()).map(|v| task.link_loads()[index.link(v).index()]).collect();
+    let upper: Vector = (0..index.dim())
+        .map(|v| task.alpha()[index.link(v).index()])
+        .collect();
+    let loads: Vector = (0..index.dim())
+        .map(|v| task.link_loads()[index.link(v).index()])
+        .collect();
     Ok(BoxLinearProblem::new(upper, loads, task.theta())?)
 }
 
@@ -375,6 +638,116 @@ mod tests {
     }
 
     #[test]
+    fn workers_capped_by_row_count() {
+        let cfg = ParallelConfig {
+            threads: 8,
+            min_ods_per_thread: 10,
+        };
+        assert_eq!(cfg.workers_for(5), 1, "too little work: serial");
+        assert_eq!(cfg.workers_for(25), 2);
+        assert_eq!(cfg.workers_for(10_000), 8);
+        assert_eq!(ParallelConfig::default().workers_for(1_000_000), 1);
+        assert!(ParallelConfig::with_threads(0).workers_for(1 << 20) >= 1);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        let p: Vector = (0..idx.dim()).map(|v| 2e-3 * (v as f64 + 1.0)).collect();
+        let s: Vector = (0..idx.dim())
+            .map(|v| if v % 2 == 0 { 1.0 } else { -0.5 })
+            .collect();
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let serial = PlacementObjective::new(&task, &idx, model);
+            for threads in [2, 4, 8] {
+                let par =
+                    PlacementObjective::new(&task, &idx, model).with_parallel(ParallelConfig {
+                        threads,
+                        min_ods_per_thread: 1,
+                    });
+                let (v0, v1) = (serial.value(&p), par.value(&p));
+                assert!(
+                    (v0 - v1).abs() <= 1e-12 * v0.abs().max(1.0),
+                    "{model:?} x{threads}: value {v0} vs {v1}"
+                );
+                let (g0, g1) = (serial.gradient(&p), par.gradient(&p));
+                for v in 0..idx.dim() {
+                    assert!(
+                        (g0[v] - g1[v]).abs() <= 1e-12 * g0[v].abs().max(1.0),
+                        "{model:?} x{threads} var {v}: {} vs {}",
+                        g0[v],
+                        g1[v]
+                    );
+                }
+                let (c0, c1) = (serial.curvature_along(&p, &s), par.curvature_along(&p, &s));
+                assert!(
+                    (c0 - c1).abs() <= 1e-12 * c0.abs().max(1.0),
+                    "{model:?} x{threads}: curvature {c0} vs {c1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_into_reuses_buffer_and_matches() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let obj = PlacementObjective::new(&task, &idx, model).with_parallel(ParallelConfig {
+                threads: 4,
+                min_ods_per_thread: 1,
+            });
+            let mut out = Vector::zeros(idx.dim());
+            for step in 1..4 {
+                let p = Vector::filled(idx.dim(), 1e-3 * step as f64);
+                obj.gradient_into(&p, &mut out);
+                assert_eq!(out, obj.gradient(&p), "{model:?} step {step}");
+            }
+            // Wrong-size buffers are resized rather than rejected.
+            let mut small = Vector::zeros(1);
+            let p = Vector::filled(idx.dim(), 1e-3);
+            obj.gradient_into(&p, &mut small);
+            assert_eq!(small.len(), idx.dim());
+        }
+    }
+
+    #[test]
+    fn directional_derivative_matches_gradient_contraction() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        let p: Vector = (0..idx.dim()).map(|v| 1e-3 * (v as f64 + 1.0)).collect();
+        let s: Vector = (0..idx.dim()).map(|v| (v as f64) - 3.0).collect();
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let obj = PlacementObjective::new(&task, &idx, model);
+            let direct = obj.directional_derivative(&p, &s);
+            let contracted = obj.gradient(&p).dot(&s);
+            assert!(
+                (direct - contracted).abs() <= 1e-10 * contracted.abs().max(1.0),
+                "{model:?}: {direct} vs {contracted}"
+            );
+        }
+    }
+
+    #[test]
+    fn csr_rows_match_task_traversals() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        let obj = PlacementObjective::new(&task, &idx, RateModel::Approximate);
+        assert_eq!(obj.num_ods(), task.ods().len());
+        assert_eq!(obj.dim(), idx.dim());
+        let total: usize = (0..obj.num_ods()).map(|k| obj.row(k).len()).sum();
+        assert_eq!(obj.nnz(), total);
+        for k in 0..obj.num_ods() {
+            for &(v, r) in obj.row(k) {
+                let link = idx.link(v);
+                assert!(task.routing().traverses(k, link));
+                assert_eq!(r, task.routing().entry(k, link));
+            }
+        }
+    }
+
+    #[test]
     fn problem_construction_and_infeasibility() {
         let task = small_task();
         let idx = ReducedIndex::new(&task);
@@ -383,10 +756,16 @@ mod tests {
         assert_eq!(pb.eq_rhs(), 50_000.0);
 
         // θ larger than all candidate loads combined → infeasible.
-        let total: f64 =
-            task.candidate_links().iter().map(|l| task.link_loads()[l.index()]).sum();
+        let total: f64 = task
+            .candidate_links()
+            .iter()
+            .map(|l| task.link_loads()[l.index()])
+            .sum();
         let too_big = task.with_theta(total * 1.01).unwrap();
         let err = build_problem(&too_big, &ReducedIndex::new(&too_big)).unwrap_err();
-        assert!(matches!(err, CoreError::Solver(nws_solver::SolverError::Infeasible { .. })));
+        assert!(matches!(
+            err,
+            CoreError::Solver(nws_solver::SolverError::Infeasible { .. })
+        ));
     }
 }

@@ -16,8 +16,7 @@
 //! problems well conditioned.
 
 use crate::{
-    build_problem, CoreError, MeasurementTask, PlacementObjective, RateModel, ReducedIndex,
-    Utility,
+    build_problem, CoreError, MeasurementTask, PlacementObjective, RateModel, ReducedIndex, Utility,
 };
 use nws_linalg::Vector;
 use nws_solver::{Objective, Solver, SolverOptions};
@@ -36,7 +35,10 @@ impl<'a> SoftMinObjective<'a> {
     /// # Panics
     /// Panics unless `beta > 0`.
     pub fn new(inner: &'a PlacementObjective, beta: f64) -> Self {
-        assert!(beta.is_finite() && beta > 0.0, "beta must be positive, got {beta}");
+        assert!(
+            beta.is_finite() && beta > 0.0,
+            "beta must be positive, got {beta}"
+        );
         SoftMinObjective { inner, beta }
     }
 
@@ -44,8 +46,10 @@ impl<'a> SoftMinObjective<'a> {
     /// on the worst-off OD as β grows).
     fn weights(&self, utilities: &[f64]) -> Vec<f64> {
         let m_min = utilities.iter().copied().fold(f64::INFINITY, f64::min);
-        let unnorm: Vec<f64> =
-            utilities.iter().map(|&m| (-self.beta * (m - m_min)).exp()).collect();
+        let unnorm: Vec<f64> = utilities
+            .iter()
+            .map(|&m| (-self.beta * (m - m_min)).exp())
+            .collect();
         let z: f64 = unnorm.iter().sum();
         unnorm.into_iter().map(|w| w / z).collect()
     }
@@ -64,8 +68,10 @@ impl Objective for SoftMinObjective<'_> {
     fn value(&self, p: &Vector) -> f64 {
         let utilities = self.utilities_at(p);
         let m_min = utilities.iter().copied().fold(f64::INFINITY, f64::min);
-        let z: f64 =
-            utilities.iter().map(|&m| (-self.beta * (m - m_min)).exp()).sum();
+        let z: f64 = utilities
+            .iter()
+            .map(|&m| (-self.beta * (m - m_min)).exp())
+            .sum();
         m_min - z.ln() / self.beta
     }
 
@@ -248,8 +254,11 @@ mod tests {
         let task = janet_task_with(50_000.0, 1).unwrap();
         let sum_opt = solve_placement(&task, &PlacementConfig::default()).unwrap();
         let mm = solve_maxmin(&task, SolverOptions::default(), &betas()).unwrap();
-        let sum_min =
-            sum_opt.utilities.iter().copied().fold(f64::INFINITY, f64::min);
+        let sum_min = sum_opt
+            .utilities
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         assert!(
             mm.min_utility >= sum_min - 1e-6,
             "max-min worst {} < sum-opt worst {sum_min}",

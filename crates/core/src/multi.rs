@@ -19,8 +19,8 @@
 
 use crate::formulation::task_rows;
 use crate::{
-    CoreError, LogUtility, MeasurementTask, PlacementObjective, RateModel, SreUtility,
-    Utility, ACTIVATION_THRESHOLD,
+    CoreError, LogUtility, MeasurementTask, PlacementObjective, RateModel, SreUtility, Utility,
+    ACTIVATION_THRESHOLD,
 };
 use nws_linalg::Vector;
 use nws_solver::{BoxLinearProblem, Solver, SolverOptions};
@@ -176,9 +176,7 @@ pub fn solve_composite(
         let start = utilities.len();
         for od in st.task.ods() {
             utilities.push(match st.utility {
-                UtilityChoice::SizeEstimation => {
-                    AnyUtility::Sre(SreUtility::new(od.inv_mean_size))
-                }
+                UtilityChoice::SizeEstimation => AnyUtility::Sre(SreUtility::new(od.inv_mean_size)),
                 UtilityChoice::Coverage { eps } => AnyUtility::Log(LogUtility::new(eps)),
             });
             weights.push(st.weight);
@@ -215,10 +213,14 @@ pub fn solve_composite(
         .enumerate()
         .map(|(k, &rho)| objective.utilities()[k].value(rho))
         .collect();
-    let effective_rates: Vec<Vec<f64>> =
-        spans.iter().map(|&(a, b)| all_rhos[a..b].to_vec()).collect();
-    let utilities_out: Vec<Vec<f64>> =
-        spans.iter().map(|&(a, b)| all_utils[a..b].to_vec()).collect();
+    let effective_rates: Vec<Vec<f64>> = spans
+        .iter()
+        .map(|&(a, b)| all_rhos[a..b].to_vec())
+        .collect();
+    let utilities_out: Vec<Vec<f64>> = spans
+        .iter()
+        .map(|&(a, b)| all_utils[a..b].to_vec())
+        .collect();
     let active_monitors: Vec<LinkId> = union
         .iter()
         .copied()
@@ -266,8 +268,16 @@ mod tests {
         let sec = security_task();
         let sol = solve_composite(
             &[
-                SubTask { task: &te, weight: 1.0, utility: UtilityChoice::SizeEstimation },
-                SubTask { task: &sec, weight: 2.0, utility: UtilityChoice::Coverage { eps: 1e-4 } },
+                SubTask {
+                    task: &te,
+                    weight: 1.0,
+                    utility: UtilityChoice::SizeEstimation,
+                },
+                SubTask {
+                    task: &sec,
+                    weight: 2.0,
+                    utility: UtilityChoice::Coverage { eps: 1e-4 },
+                },
             ],
             100_000.0,
             SolverOptions::default(),
@@ -286,7 +296,10 @@ mod tests {
         let uk = topo.require_node("UK").unwrap();
         let ie = topo.require_node("IE").unwrap();
         let uk_ie = topo.link_between(uk, ie).unwrap();
-        assert!(sol.rates[uk_ie.index()] > 0.0, "security-only link unmonitored");
+        assert!(
+            sol.rates[uk_ie.index()] > 0.0,
+            "security-only link unmonitored"
+        );
     }
 
     #[test]
@@ -294,7 +307,11 @@ mod tests {
         let te = janet_task_with(100_000.0, BACKGROUND_SEED).unwrap();
         let plain = solve_placement(&te, &PlacementConfig::default()).unwrap();
         let comp = solve_composite(
-            &[SubTask { task: &te, weight: 1.0, utility: UtilityChoice::SizeEstimation }],
+            &[SubTask {
+                task: &te,
+                weight: 1.0,
+                utility: UtilityChoice::SizeEstimation,
+            }],
             100_000.0,
             SolverOptions::default(),
         )
@@ -312,7 +329,11 @@ mod tests {
         let solve_with = |w_sec: f64| {
             solve_composite(
                 &[
-                    SubTask { task: &te, weight: 1.0, utility: UtilityChoice::SizeEstimation },
+                    SubTask {
+                        task: &te,
+                        weight: 1.0,
+                        utility: UtilityChoice::SizeEstimation,
+                    },
                     SubTask {
                         task: &sec,
                         weight: w_sec,
@@ -350,7 +371,11 @@ mod tests {
         };
         let err = solve_composite(
             &[
-                SubTask { task: &te, weight: 1.0, utility: UtilityChoice::SizeEstimation },
+                SubTask {
+                    task: &te,
+                    weight: 1.0,
+                    utility: UtilityChoice::SizeEstimation,
+                },
                 SubTask {
                     task: &other_topo_task,
                     weight: 1.0,

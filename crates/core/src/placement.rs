@@ -1,8 +1,8 @@
 //! The joint monitor-activation and sampling-rate optimizer.
 
 use crate::{
-    build_problem, CoreError, MeasurementTask, PlacementObjective, RateModel, ReducedIndex,
-    Utility,
+    build_problem, CoreError, MeasurementTask, ParallelConfig, PlacementObjective, RateModel,
+    ReducedIndex, Utility,
 };
 use nws_linalg::Vector;
 use nws_solver::{Diagnostics, Solver, SolverOptions, TerminationReason};
@@ -21,6 +21,9 @@ pub struct PlacementConfig {
     pub rate_model: RateModel,
     /// Underlying solver options (iteration cap 2000 etc.).
     pub solver: SolverOptions,
+    /// Objective-evaluation fan-out (default: serial). Worth enabling only
+    /// on tasks with thousands of OD rows; see [`ParallelConfig`].
+    pub parallel: ParallelConfig,
 }
 
 /// The optimizer's answer: which monitors to activate and at what rates,
@@ -91,7 +94,8 @@ pub fn solve_placement(
     config: &PlacementConfig,
 ) -> Result<PlacementSolution, CoreError> {
     let index = ReducedIndex::new(task);
-    let objective = PlacementObjective::new(task, &index, config.rate_model);
+    let objective =
+        PlacementObjective::new(task, &index, config.rate_model).with_parallel(config.parallel);
     let problem = build_problem(task, &index)?;
     let solver = Solver::new(config.solver);
     let sol = solver.maximize(&objective, &problem)?;
@@ -172,8 +176,7 @@ pub fn solve_placement_warm(
     // Reduce + clamp into the box.
     let mut start: Vector = (0..index.dim())
         .map(|v| {
-            previous_rates[index.link(v).index()]
-                .clamp(0.0, task.alpha()[index.link(v).index()])
+            previous_rates[index.link(v).index()].clamp(0.0, task.alpha()[index.link(v).index()])
         })
         .collect();
     // Scale onto the equality a·(c·p ∧ upper) = θ. The left side is
@@ -212,7 +215,8 @@ pub fn solve_placement_warm(
         }
     }
 
-    let objective = PlacementObjective::new(task, &index, config.rate_model);
+    let objective =
+        PlacementObjective::new(task, &index, config.rate_model).with_parallel(config.parallel);
     let solver = Solver::new(config.solver);
     let sol = solver.maximize_from(&objective, &problem, start)?;
     Ok(finish_solution(task, &index, sol))
@@ -230,7 +234,9 @@ pub fn evaluate_rates(task: &MeasurementTask, rates: &[f64]) -> PlacementSolutio
         "rate vector length mismatch"
     );
     let index = ReducedIndex::new(task);
-    let reduced: Vector = (0..index.dim()).map(|v| rates[index.link(v).index()]).collect();
+    let reduced: Vector = (0..index.dim())
+        .map(|v| rates[index.link(v).index()])
+        .collect();
     let approx_obj = PlacementObjective::new(task, &index, RateModel::Approximate);
     let exact_obj = PlacementObjective::new(task, &index, RateModel::Exact);
     let effective_rates_approx = approx_obj.effective_rates(&reduced);
@@ -270,8 +276,8 @@ pub fn evaluate_rates(task: &MeasurementTask, rates: &[f64]) -> PlacementSolutio
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::placement::solve_placement_warm;
+    use super::*;
     use nws_routing::OdPair;
     use nws_topo::geant;
 
@@ -349,8 +355,10 @@ mod tests {
     #[test]
     fn exact_model_solves_too() {
         let task = two_od_task(20_000.0);
-        let cfg =
-            PlacementConfig { rate_model: RateModel::Exact, ..PlacementConfig::default() };
+        let cfg = PlacementConfig {
+            rate_model: RateModel::Exact,
+            ..PlacementConfig::default()
+        };
         let sol = solve_placement(&task, &cfg).unwrap();
         let approx_sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
         // In the low-rate regime the two solutions essentially coincide.
@@ -380,20 +388,15 @@ mod tests {
         assert!((eval.objective - sol.objective).abs() < 1e-9);
         assert_eq!(eval.active_monitors, sol.active_monitors);
         for k in 0..task.ods().len() {
-            assert!(
-                (eval.effective_rates_exact[k] - sol.effective_rates_exact[k]).abs()
-                    < 1e-12
-            );
+            assert!((eval.effective_rates_exact[k] - sol.effective_rates_exact[k]).abs() < 1e-12);
         }
     }
-
 
     #[test]
     fn warm_start_matches_cold_solution() {
         let task = two_od_task(20_000.0);
         let cold = solve_placement(&task, &PlacementConfig::default()).unwrap();
-        let warm =
-            solve_placement_warm(&task, &PlacementConfig::default(), &cold.rates).unwrap();
+        let warm = solve_placement_warm(&task, &PlacementConfig::default(), &cold.rates).unwrap();
         assert!(warm.kkt_verified);
         assert!((warm.objective - cold.objective).abs() < 1e-8);
         // Starting at the optimum, the warm solve certifies almost instantly.
@@ -411,8 +414,7 @@ mod tests {
         let yesterday = two_od_task(15_000.0);
         let today = two_od_task(25_000.0);
         let prev = solve_placement(&yesterday, &PlacementConfig::default()).unwrap();
-        let warm =
-            solve_placement_warm(&today, &PlacementConfig::default(), &prev.rates).unwrap();
+        let warm = solve_placement_warm(&today, &PlacementConfig::default(), &prev.rates).unwrap();
         let cold = solve_placement(&today, &PlacementConfig::default()).unwrap();
         assert!(warm.kkt_verified);
         assert!((warm.objective - cold.objective).abs() < 1e-6);
@@ -437,10 +439,16 @@ mod tests {
     #[test]
     fn infeasible_theta_surfaces() {
         let task = two_od_task(20_000.0);
-        let total: f64 =
-            task.candidate_links().iter().map(|l| task.link_loads()[l.index()]).sum();
+        let total: f64 = task
+            .candidate_links()
+            .iter()
+            .map(|l| task.link_loads()[l.index()])
+            .sum();
         let bad = task.with_theta(total * 2.0).unwrap();
         let err = solve_placement(&bad, &PlacementConfig::default()).unwrap_err();
-        assert!(matches!(err, CoreError::Solver(nws_solver::SolverError::Infeasible { .. })));
+        assert!(matches!(
+            err,
+            CoreError::Solver(nws_solver::SolverError::Infeasible { .. })
+        ));
     }
 }

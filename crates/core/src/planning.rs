@@ -83,7 +83,11 @@ pub fn theta_for_target_utility(
             lo = mid;
         }
     }
-    Ok(PlanningResult { theta: hi, achieved_worst_utility: achieved, solves })
+    Ok(PlanningResult {
+        theta: hi,
+        achieved_worst_utility: achieved,
+        solves,
+    })
 }
 
 #[cfg(test)]
@@ -99,16 +103,10 @@ mod tests {
     fn finds_minimal_theta_for_target() {
         let task = base();
         let cfg = PlacementConfig::default();
-        let plan =
-            theta_for_target_utility(&task, 0.95, 1_000.0, 5_000_000.0, 0.02, &cfg)
-                .unwrap();
+        let plan = theta_for_target_utility(&task, 0.95, 1_000.0, 5_000_000.0, 0.02, &cfg).unwrap();
         assert!(plan.achieved_worst_utility >= 0.95);
         // Minimality: 5% less capacity misses the target.
-        let sol = solve_placement(
-            &task.with_theta(plan.theta / 1.05).unwrap(),
-            &cfg,
-        )
-        .unwrap();
+        let sol = solve_placement(&task.with_theta(plan.theta / 1.05).unwrap(), &cfg).unwrap();
         let worst = sol.utilities.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(
             worst < 0.95,
@@ -122,9 +120,7 @@ mod tests {
     fn target_already_met_at_min() {
         let task = base();
         let cfg = PlacementConfig::default();
-        let plan =
-            theta_for_target_utility(&task, 0.1, 50_000.0, 1_000_000.0, 0.05, &cfg)
-                .unwrap();
+        let plan = theta_for_target_utility(&task, 0.1, 50_000.0, 1_000_000.0, 0.05, &cfg).unwrap();
         assert_eq!(plan.theta, 50_000.0);
     }
 
@@ -133,8 +129,7 @@ mod tests {
         let task = base();
         let cfg = PlacementConfig::default();
         let err =
-            theta_for_target_utility(&task, 0.99999, 1_000.0, 20_000.0, 0.05, &cfg)
-                .unwrap_err();
+            theta_for_target_utility(&task, 0.99999, 1_000.0, 20_000.0, 0.05, &cfg).unwrap_err();
         assert!(matches!(err, CoreError::InvalidTask(_)));
     }
 
@@ -151,10 +146,8 @@ mod tests {
     fn higher_targets_need_more_capacity() {
         let task = base();
         let cfg = PlacementConfig::default();
-        let lo = theta_for_target_utility(&task, 0.90, 1_000.0, 5_000_000.0, 0.02, &cfg)
-            .unwrap();
-        let hi = theta_for_target_utility(&task, 0.98, 1_000.0, 5_000_000.0, 0.02, &cfg)
-            .unwrap();
+        let lo = theta_for_target_utility(&task, 0.90, 1_000.0, 5_000_000.0, 0.02, &cfg).unwrap();
+        let hi = theta_for_target_utility(&task, 0.98, 1_000.0, 5_000_000.0, 0.02, &cfg).unwrap();
         assert!(hi.theta > lo.theta, "{} !> {}", hi.theta, lo.theta);
     }
 }

@@ -17,7 +17,11 @@ pub fn render_table1(
     solution: &PlacementSolution,
     accuracies: &[OdAccuracy],
 ) -> String {
-    assert_eq!(accuracies.len(), task.ods().len(), "accuracy vector mismatch");
+    assert_eq!(
+        accuracies.len(),
+        task.ods().len(),
+        "accuracy vector mismatch"
+    );
     let topo = task.topology();
     let mut out = String::new();
 
@@ -52,7 +56,10 @@ pub fn render_table1(
     let total_usage: f64 = usage.iter().sum();
     out.push_str(&format!(
         "{:<10} {:>12} {:>16} {:>13.1}%\n\n",
-        "total", "", "", 100.0 * total_usage / task.theta()
+        "total",
+        "",
+        "",
+        100.0 * total_usage / task.theta()
     ));
 
     out.push_str("Tracked OD pairs:\n");
@@ -62,8 +69,7 @@ pub fn render_table1(
     ));
     for (k, od) in task.ods().iter().enumerate() {
         let monitors = solution.monitors_of_od(task, k);
-        let where_str: Vec<String> =
-            monitors.iter().map(|&(l, _)| topo.link_label(l)).collect();
+        let where_str: Vec<String> = monitors.iter().map(|&(l, _)| topo.link_label(l)).collect();
         out.push_str(&format!(
             "{:<12} {:>10.0} {:>9.6} {:>9.4} {:>9.4}  {}\n",
             od.name,

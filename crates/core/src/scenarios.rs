@@ -67,8 +67,7 @@ pub const BACKGROUND_SEED: u64 = 20041122;
 /// pairs of [`JANET_OD_RATES`], gravity background, `θ =` [`PAPER_THETA`],
 /// `α = 1`.
 pub fn janet_task() -> MeasurementTask {
-    janet_task_with(PAPER_THETA, BACKGROUND_SEED)
-        .expect("reference scenario is statically valid")
+    janet_task_with(PAPER_THETA, BACKGROUND_SEED).expect("reference scenario is statically valid")
 }
 
 /// Builds the JANET task with a custom capacity and background seed — the
@@ -120,7 +119,10 @@ pub fn janet_task_on(
     for (name, od, size) in pairs {
         builder = builder.track(name, od, size);
     }
-    builder.background_loads(background_loads).theta(theta).build()
+    builder
+        .background_loads(background_loads)
+        .theta(theta)
+        .build()
 }
 
 /// The 10 destination PoPs and customer-sourced rates (packets/second) of
@@ -261,10 +263,7 @@ mod tests {
         let topo = task.topology();
         let load = |a: &str, b: &str| {
             let l = topo
-                .link_between(
-                    topo.require_node(a).unwrap(),
-                    topo.require_node(b).unwrap(),
-                )
+                .link_between(topo.require_node(a).unwrap(), topo.require_node(b).unwrap())
                 .unwrap();
             task.link_loads()[l.index()]
         };

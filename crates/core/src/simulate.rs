@@ -121,8 +121,7 @@ pub fn run_simulation(
                 diurnal(phase + offset)
             })
             .collect();
-        let multiplier =
-            od_multipliers.iter().sum::<f64>() / num_ods.max(1) as f64;
+        let multiplier = od_multipliers.iter().sum::<f64>() / num_ods.max(1) as f64;
 
         // The true task of this interval.
         let truth = scaled_task(base, &od_multipliers, multiplier, &noise, &mut rng)?;
@@ -157,8 +156,7 @@ pub fn run_simulation(
         };
 
         let eval = evaluate_rates(&truth, &capped);
-        let worst =
-            eval.utilities.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = eval.utilities.iter().cloned().fold(f64::INFINITY, f64::min);
         outcomes.push(IntervalOutcome {
             interval: t,
             multiplier,
@@ -196,14 +194,21 @@ fn scaled_task(
         .enumerate()
         .map(|(k, o)| {
             let m = od_multipliers[k];
-            (o.name.clone(), o.od, (o.size * m * noise.sample(rng)).max(2.0))
+            (
+                o.name.clone(),
+                o.od,
+                (o.size * m * noise.sample(rng)).max(2.0),
+            )
         })
         .collect();
     let mut builder = MeasurementTask::builder(topo);
     for (name, od, size) in pairs {
         builder = builder.track(name, od, size);
     }
-    builder.background_loads(&background).theta(base.theta()).build()
+    builder
+        .background_loads(&background)
+        .theta(base.theta())
+        .build()
 }
 
 #[cfg(test)]
@@ -221,7 +226,10 @@ mod tests {
 
     #[test]
     fn static_policy_optimizes_once() {
-        let params = EvolutionParams { period: 12, ..Default::default() };
+        let params = EvolutionParams {
+            period: 12,
+            ..Default::default()
+        };
         let out = run_simulation(&base(), Policy::Static, &params, 12, 5).unwrap();
         assert_eq!(out.len(), 12);
         assert!(out[0].reoptimized);
@@ -230,11 +238,18 @@ mod tests {
 
     #[test]
     fn periodic_policy_reoptimizes_on_schedule() {
-        let params = EvolutionParams { period: 12, ..Default::default() };
-        let out =
-            run_simulation(&base(), Policy::ReoptimizeEvery(4), &params, 12, 5).unwrap();
+        let params = EvolutionParams {
+            period: 12,
+            ..Default::default()
+        };
+        let out = run_simulation(&base(), Policy::ReoptimizeEvery(4), &params, 12, 5).unwrap();
         for o in &out {
-            assert_eq!(o.reoptimized, o.interval % 4 == 0, "interval {}", o.interval);
+            assert_eq!(
+                o.reoptimized,
+                o.interval % 4 == 0,
+                "interval {}",
+                o.interval
+            );
         }
     }
 
@@ -247,8 +262,7 @@ mod tests {
             phase_spread: 0.5,
         };
         let st = run_simulation(&base(), Policy::Static, &params, 12, 9).unwrap();
-        let re =
-            run_simulation(&base(), Policy::ReoptimizeEvery(1), &params, 12, 9).unwrap();
+        let re = run_simulation(&base(), Policy::ReoptimizeEvery(1), &params, 12, 9).unwrap();
         assert!(
             mean_objective(&re) > mean_objective(&st),
             "reopt {} !> static {}",
@@ -270,7 +284,10 @@ mod tests {
             phase_spread: 0.0,
         };
         let out = run_simulation(&base(), Policy::Static, &params, 8, 1).unwrap();
-        let min = out.iter().map(|o| o.multiplier).fold(f64::INFINITY, f64::min);
+        let min = out
+            .iter()
+            .map(|o| o.multiplier)
+            .fold(f64::INFINITY, f64::min);
         let max = out.iter().map(|o| o.multiplier).fold(0.0, f64::max);
         assert!((min - 1.0).abs() < 1e-9);
         assert!((max - 3.0).abs() < 0.01);
@@ -278,7 +295,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let params = EvolutionParams { period: 6, ..Default::default() };
+        let params = EvolutionParams {
+            period: 6,
+            ..Default::default()
+        };
         let a = run_simulation(&base(), Policy::Static, &params, 6, 3).unwrap();
         let b = run_simulation(&base(), Policy::Static, &params, 6, 3).unwrap();
         for (x, y) in a.iter().zip(&b) {

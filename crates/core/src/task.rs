@@ -140,7 +140,12 @@ impl TaskBuilder {
     /// the default `c = 1/size`.
     pub fn track(mut self, name: impl Into<String>, od: OdPair, size: f64) -> Self {
         let name = name.into();
-        self.ods.push(TrackedOd { name, od, size, inv_mean_size: 1.0 / size });
+        self.ods.push(TrackedOd {
+            name,
+            od,
+            size,
+            inv_mean_size: 1.0 / size,
+        });
         self
     }
 
@@ -153,7 +158,12 @@ impl TaskBuilder {
         size: f64,
         inv_mean_size: f64,
     ) -> Self {
-        self.ods.push(TrackedOd { name: name.into(), od, size, inv_mean_size });
+        self.ods.push(TrackedOd {
+            name: name.into(),
+            od,
+            size,
+            inv_mean_size,
+        });
         self
     }
 
@@ -226,10 +236,7 @@ impl TaskBuilder {
                     od.name, od.size
                 )));
             }
-            if !(od.inv_mean_size.is_finite()
-                && od.inv_mean_size > 0.0
-                && od.inv_mean_size < 1.0)
-            {
+            if !(od.inv_mean_size.is_finite() && od.inv_mean_size > 0.0 && od.inv_mean_size < 1.0) {
                 return Err(CoreError::InvalidTask(format!(
                     "OD {} has E[1/S] = {} outside (0,1)",
                     od.name, od.inv_mean_size
@@ -354,7 +361,10 @@ mod tests {
 
     #[test]
     fn empty_od_set_rejected() {
-        let err = MeasurementTask::builder(geant()).theta(10.0).build().unwrap_err();
+        let err = MeasurementTask::builder(geant())
+            .theta(10.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, CoreError::InvalidTask(_)));
     }
 

@@ -41,9 +41,8 @@ enum Background {
 /// [`CoreError::InvalidTask`] with a line-numbered message for syntax
 /// problems, unknown nodes, or semantic errors (missing `theta`, no ODs).
 pub fn parse_task(topo: Topology, text: &str) -> Result<MeasurementTask, CoreError> {
-    let err = |line: usize, msg: &str| {
-        CoreError::InvalidTask(format!("task file line {line}: {msg}"))
-    };
+    let err =
+        |line: usize, msg: &str| CoreError::InvalidTask(format!("task file line {line}: {msg}"));
 
     let mut theta: Option<f64> = None;
     let mut alpha = 1.0;
@@ -119,12 +118,7 @@ pub fn parse_task(topo: Topology, text: &str) -> Result<MeasurementTask, CoreErr
                     background = Background::Gravity(total, cv, seed);
                 }
                 Some("none") => background = Background::None,
-                other => {
-                    return Err(err(
-                        lineno,
-                        &format!("unknown background model {other:?}"),
-                    ))
-                }
+                other => return Err(err(lineno, &format!("unknown background model {other:?}"))),
             },
             Some("restrict") => {
                 let a = parts
@@ -135,17 +129,16 @@ pub fn parse_task(topo: Topology, text: &str) -> Result<MeasurementTask, CoreErr
                     .ok_or_else(|| err(lineno, "restrict requires NODE_B"))?;
                 restrict_pairs.push((a.to_string(), b.to_string()));
             }
-            Some(other) => {
-                return Err(err(lineno, &format!("unknown directive '{other}'")))
-            }
+            Some(other) => return Err(err(lineno, &format!("unknown directive '{other}'"))),
             None => unreachable!("blank lines filtered"),
         }
     }
 
-    let theta =
-        theta.ok_or_else(|| CoreError::InvalidTask("task file sets no theta".into()))?;
+    let theta = theta.ok_or_else(|| CoreError::InvalidTask("task file sets no theta".into()))?;
     if ods.is_empty() {
-        return Err(CoreError::InvalidTask("task file defines no OD pairs".into()));
+        return Err(CoreError::InvalidTask(
+            "task file defines no OD pairs".into(),
+        ));
     }
 
     let bg_loads = match background {
@@ -190,7 +183,10 @@ pub fn parse_task(topo: Topology, text: &str) -> Result<MeasurementTask, CoreErr
     for (name, od, size) in ods {
         builder = builder.track(name, od, size);
     }
-    builder = builder.background_loads(&bg_loads).theta(theta).alpha(alpha);
+    builder = builder
+        .background_loads(&bg_loads)
+        .theta(theta)
+        .alpha(alpha);
     if let Some(links) = restriction {
         builder = builder.restrict_links(links);
     }

@@ -53,7 +53,10 @@ impl SreUtility {
             c.is_finite() && c > 0.0 && c < 1.0,
             "E[1/S] must be in (0,1), got {c}"
         );
-        SreUtility { c, x0: 3.0 * c / (1.0 + c) }
+        SreUtility {
+            c,
+            x0: 3.0 * c / (1.0 + c),
+        }
     }
 
     /// Convenience constructor from a (deterministic) expected OD size in
@@ -62,7 +65,10 @@ impl SreUtility {
     /// # Panics
     /// Panics unless `size > 1`.
     pub fn from_mean_size(size: f64) -> Self {
-        assert!(size.is_finite() && size > 1.0, "size must exceed 1 packet, got {size}");
+        assert!(
+            size.is_finite() && size > 1.0,
+            "size must exceed 1 packet, got {size}"
+        );
         Self::new(1.0 / size)
     }
 
@@ -136,8 +142,14 @@ impl LogUtility {
     /// # Panics
     /// Panics unless `eps > 0`.
     pub fn new(eps: f64) -> Self {
-        assert!(eps.is_finite() && eps > 0.0, "eps must be positive, got {eps}");
-        LogUtility { eps, norm: (1.0 + 1.0 / eps).ln() }
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive, got {eps}"
+        );
+        LogUtility {
+            eps,
+            norm: (1.0 + 1.0 / eps).ln(),
+        }
     }
 }
 
@@ -185,7 +197,11 @@ mod tests {
         for c in C_VALUES {
             let u = SreUtility::new(c);
             assert!(u.value(0.0).abs() < 1e-12, "M(0) = {}", u.value(0.0));
-            assert!((u.value(1.0) - 1.0).abs() < 1e-12, "M(1) = {}", u.value(1.0));
+            assert!(
+                (u.value(1.0) - 1.0).abs() < 1e-12,
+                "M(1) = {}",
+                u.value(1.0)
+            );
         }
     }
 
@@ -236,8 +252,7 @@ mod tests {
             // Second differences need a larger step to beat cancellation:
             // the truncation error is O(h²) while round-off grows as 1/h².
             let h2 = rho * 1e-3;
-            let fd2 =
-                (u.value(rho + h2) - 2.0 * u.value(rho) + u.value(rho - h2)) / (h2 * h2);
+            let fd2 = (u.value(rho + h2) - 2.0 * u.value(rho) + u.value(rho - h2)) / (h2 * h2);
             assert!(
                 (fd2 / u.d2(rho) - 1.0).abs() < 1e-2,
                 "d2 mismatch at rho={rho}: {fd2} vs {}",

@@ -1,0 +1,158 @@
+//! Property tests pinning the parallel objective-evaluation engine to the
+//! serial path: for random synthetic tasks, every public evaluation quantity
+//! (value, gradient, curvature, directional derivative) must agree between
+//! the serial path and the chunked multi-threaded path to 1e-12 relative,
+//! across worker counts and both rate models.
+
+use nws_core::{ParallelConfig, PlacementObjective, RateModel, ReducedIndex, SreUtility};
+use nws_linalg::Vector;
+use nws_solver::Objective;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One random OD term: sparse row over the variables, weight, utility `c`.
+type OdSpec = (Vec<(usize, f64)>, f64, f64);
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// A random synthetic objective: per OD a sparse row over `dim` variables, a
+/// weight, and an SRE utility constant, plus an evaluation point `p` and a
+/// direction `s`. Rates stay in the low-rate regime ([0, 0.02]) where the
+/// exact model is well away from its `p → 1` singularities.
+fn objective_parts() -> impl Strategy<Value = (usize, Vec<OdSpec>, Vec<f64>, Vec<f64>)> {
+    (2usize..24).prop_flat_map(|dim| {
+        (
+            Just(dim),
+            prop::collection::vec(
+                (
+                    prop::collection::vec((0..dim, 0.05f64..1.0), 1..6),
+                    0.1f64..2.0,
+                    1e-6f64..1e-2,
+                ),
+                1..40,
+            ),
+            prop::collection::vec(0.0f64..0.02, dim..=dim),
+            prop::collection::vec(-1.0f64..1.0, dim..=dim),
+        )
+    })
+}
+
+fn build(dim: usize, ods: &[OdSpec], model: RateModel, threads: usize) -> PlacementObjective {
+    let utilities: Vec<SreUtility> = ods.iter().map(|&(_, _, c)| SreUtility::new(c)).collect();
+    let weights: Vec<f64> = ods.iter().map(|&(_, w, _)| w).collect();
+    let rows: Vec<Vec<(usize, f64)>> = ods.iter().map(|(row, _, _)| row.clone()).collect();
+    PlacementObjective::from_parts(utilities, weights, rows, model, dim).with_parallel(
+        ParallelConfig {
+            threads,
+            min_ods_per_thread: 1,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_agrees_with_serial_both_models((dim, ods, p, s) in objective_parts()) {
+        let p: Vector = p.into_iter().collect();
+        let s: Vector = s.into_iter().collect();
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let serial = build(dim, &ods, model, 1);
+            let value = serial.value(&p);
+            let gradient = serial.gradient(&p);
+            let curvature = serial.curvature_along(&p, &s);
+            for threads in THREAD_COUNTS {
+                let par = build(dim, &ods, model, threads);
+                prop_assert!(
+                    rel_close(value, par.value(&p), 1e-12),
+                    "{model:?} x{threads}: value {value} vs {}",
+                    par.value(&p)
+                );
+                let pg = par.gradient(&p);
+                for v in 0..dim {
+                    prop_assert!(
+                        rel_close(gradient[v], pg[v], 1e-12),
+                        "{model:?} x{threads} var {v}: {} vs {}",
+                        gradient[v],
+                        pg[v]
+                    );
+                }
+                prop_assert!(
+                    rel_close(curvature, par.curvature_along(&p, &s), 1e-12),
+                    "{model:?} x{threads}: curvature {curvature} vs {}",
+                    par.curvature_along(&p, &s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_into_and_directional_agree((dim, ods, p, s) in objective_parts()) {
+        let p: Vector = p.into_iter().collect();
+        let s: Vector = s.into_iter().collect();
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let serial = build(dim, &ods, model, 1);
+            let gradient = serial.gradient(&p);
+            for threads in THREAD_COUNTS {
+                let par = build(dim, &ods, model, threads);
+                let mut out = Vector::zeros(dim);
+                par.gradient_into(&p, &mut out);
+                for v in 0..dim {
+                    prop_assert!(
+                        rel_close(gradient[v], out[v], 1e-12),
+                        "{model:?} x{threads} var {v}: {} vs {}",
+                        gradient[v],
+                        out[v]
+                    );
+                }
+                // The contraction identity carries float-cancellation noise,
+                // so the tolerance is absolute in the gradient's scale.
+                let direct = par.directional_derivative(&p, &s);
+                let contracted = gradient.dot(&s);
+                let scale = gradient.norm_inf() * s.norm_inf() * dim as f64;
+                prop_assert!(
+                    (direct - contracted).abs() <= 1e-12 * scale.max(1.0),
+                    "{model:?} x{threads}: {direct} vs {contracted}"
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance pin from the issue: on GEANT, the parallel evaluator and
+/// the serial evaluator agree to 1e-12 relative along a whole solve
+/// trajectory's worth of evaluation points.
+#[test]
+fn geant_parallel_matches_serial_at_many_points() {
+    let task = nws_core::scenarios::janet_task();
+    let idx = ReducedIndex::new(&task);
+    for model in [RateModel::Approximate, RateModel::Exact] {
+        let serial = PlacementObjective::new(&task, &idx, model);
+        for threads in [2, 4, 8] {
+            let par = PlacementObjective::new(&task, &idx, model).with_parallel(ParallelConfig {
+                threads,
+                min_ods_per_thread: 1,
+            });
+            for step in 0..20 {
+                let scale = 1e-4 * (step as f64 + 1.0);
+                let p: Vector = (0..idx.dim())
+                    .map(|v| scale * (1.0 + (v % 7) as f64))
+                    .collect();
+                assert!(
+                    rel_close(serial.value(&p), par.value(&p), 1e-12),
+                    "{model:?} x{threads} step {step}"
+                );
+                let (g0, g1) = (serial.gradient(&p), par.gradient(&p));
+                for v in 0..idx.dim() {
+                    assert!(
+                        rel_close(g0[v], g1[v], 1e-12),
+                        "{model:?} x{threads} step {step} var {v}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -3,9 +3,7 @@
 //! task parameters.
 
 use nws_core::scenarios::janet_task_with;
-use nws_core::{
-    solve_placement, MeasurementTask, PlacementConfig, SreUtility, Utility,
-};
+use nws_core::{solve_placement, MeasurementTask, PlacementConfig, SreUtility, Utility};
 use nws_routing::OdPair;
 use nws_topo::geant;
 use proptest::prelude::*;

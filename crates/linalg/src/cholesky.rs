@@ -33,7 +33,10 @@ impl Cholesky {
     /// is encountered.
     pub fn factor(a: &Matrix) -> Result<Cholesky> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let mut l = Matrix::zeros(n, n);
@@ -125,11 +128,7 @@ mod tests {
 
     #[test]
     fn l_lt_reconstructs_a() {
-        let a = Matrix::from_rows(&[
-            &[6.0, 2.0, 1.0],
-            &[2.0, 5.0, 2.0],
-            &[1.0, 2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
         let ch = Cholesky::factor(&a).unwrap();
         let rec = ch.l().mul_mat(&ch.l().transpose());
         assert!(rec.approx_eq(&a, 1e-12));
@@ -137,11 +136,7 @@ mod tests {
 
     #[test]
     fn solve_spd_system() {
-        let a = Matrix::from_rows(&[
-            &[6.0, 2.0, 1.0],
-            &[2.0, 5.0, 2.0],
-            &[1.0, 2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
         let b = Vector::from(vec![1.0, 2.0, 3.0]);
         let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
         assert!((&a.mul_vec(&x) - &b).norm_inf() < 1e-12);

@@ -38,7 +38,11 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::DimensionMismatch { op, expected, found } => write!(
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
                 f,
                 "dimension mismatch in {op}: expected {expected}, found {found}"
             ),
@@ -63,8 +67,15 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = LinalgError::DimensionMismatch { op: "dot", expected: 3, found: 2 };
-        assert_eq!(e.to_string(), "dimension mismatch in dot: expected 3, found 2");
+        let e = LinalgError::DimensionMismatch {
+            op: "dot",
+            expected: 3,
+            found: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in dot: expected 3, found 2"
+        );
     }
 
     #[test]
@@ -82,7 +93,10 @@ mod tests {
     #[test]
     fn display_not_positive_definite() {
         let e = LinalgError::NotPositiveDefinite { index: 0 };
-        assert_eq!(e.to_string(), "matrix is not positive definite (at diagonal 0)");
+        assert_eq!(
+            e.to_string(),
+            "matrix is not positive definite (at diagonal 0)"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates an `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -44,7 +48,11 @@ impl Matrix {
             assert_eq!(r.len(), ncols, "row {i} has length {} != {ncols}", r.len());
             data.extend_from_slice(r);
         }
-        Matrix { rows: nrows, cols: ncols, data }
+        Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -179,7 +187,10 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] if the matrix is not square.
     pub fn determinant(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         match crate::Lu::factor(self) {
             Ok(lu) => Ok(lu.determinant()),
@@ -192,7 +203,11 @@ impl Matrix {
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// True iff the matrix equals its transpose to within `tol`.
@@ -214,14 +229,20 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -229,11 +250,20 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -241,11 +271,20 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -369,7 +408,10 @@ mod tests {
     #[test]
     fn determinant_rejects_non_square() {
         let m = Matrix::zeros(2, 3);
-        assert!(matches!(m.determinant(), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            m.determinant(),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -391,7 +433,10 @@ mod tests {
     #[test]
     fn diagonal_constructor() {
         let d = Matrix::from_diagonal(&Vector::from(vec![2.0, 3.0]));
-        assert_eq!(d.mul_vec(&Vector::from(vec![1.0, 1.0])).as_slice(), &[2.0, 3.0]);
+        assert_eq!(
+            d.mul_vec(&Vector::from(vec![1.0, 1.0])).as_slice(),
+            &[2.0, 3.0]
+        );
     }
 
     #[test]

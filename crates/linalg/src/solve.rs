@@ -35,7 +35,10 @@ impl Lu {
     /// [`LinalgError::Singular`] if a pivot column is numerically zero.
     pub fn factor(a: &Matrix) -> Result<Lu> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { rows: a.nrows(), cols: a.ncols() });
+            return Err(LinalgError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
         }
         let n = a.nrows();
         let mut lu = a.clone();
@@ -76,7 +79,11 @@ impl Lu {
                 }
             }
         }
-        Ok(Lu { lu, perm, perm_sign })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -164,11 +171,7 @@ mod tests {
 
     #[test]
     fn solve_3x3_exact() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let b = Vector::from(vec![8.0, -11.0, -3.0]);
         let x = a.solve(&b).unwrap();
         assert!(x.approx_eq(&Vector::from(vec![2.0, 3.0, -1.0]), 1e-12));
@@ -183,7 +186,10 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Lu::factor(&a), Err(LinalgError::NotSquare { rows: 2, cols: 3 })));
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
     }
 
     #[test]
@@ -193,7 +199,11 @@ mod tests {
         let bad = Vector::zeros(2);
         assert!(matches!(
             lu.solve(&bad),
-            Err(LinalgError::DimensionMismatch { expected: 3, found: 2, .. })
+            Err(LinalgError::DimensionMismatch {
+                expected: 3,
+                found: 2,
+                ..
+            })
         ));
     }
 
@@ -222,11 +232,7 @@ mod tests {
 
     #[test]
     fn inverse_of_permutation_matrix() {
-        let p = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[1.0, 0.0, 0.0],
-        ]);
+        let p = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0]]);
         let inv = p.inverse().unwrap();
         assert!(p.mul_mat(&inv).approx_eq(&Matrix::identity(3), 1e-14));
         // Permutation inverse is its transpose.

@@ -24,7 +24,9 @@ impl Vector {
 
     /// Creates a vector of `n` copies of `value`.
     pub fn filled(n: usize, value: f64) -> Self {
-        Vector { data: vec![value; n] }
+        Vector {
+            data: vec![value; n],
+        }
     }
 
     /// Creates a standard basis vector `e_i` of length `n` (1 at `i`, 0 elsewhere).
@@ -99,7 +101,19 @@ impl Vector {
 
     /// Returns `self * s` as a new vector.
     pub fn scaled(&self, s: f64) -> Vector {
-        Vector { data: self.data.iter().map(|x| x * s).collect() }
+        Vector {
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Overwrites `self` with the components of `other` without
+    /// reallocating.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "copy_from: length mismatch");
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Multiplies every component by `s` in place.
@@ -126,7 +140,14 @@ impl Vector {
     /// Panics if the lengths differ.
     pub fn hadamard(&self, other: &Vector) -> Vector {
         assert_eq!(self.len(), other.len(), "hadamard: length mismatch");
-        Vector { data: self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect() }
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
+        }
     }
 
     /// Largest component value; `None` for an empty vector.
@@ -147,7 +168,11 @@ impl Vector {
     /// Returns true if `self` and `other` agree to within `tol` in the L∞ norm.
     pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
         self.len() == other.len()
-            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -159,13 +184,17 @@ impl From<Vec<f64>> for Vector {
 
 impl From<&[f64]> for Vector {
     fn from(data: &[f64]) -> Self {
-        Vector { data: data.to_vec() }
+        Vector {
+            data: data.to_vec(),
+        }
     }
 }
 
 impl FromIterator<f64> for Vector {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        Vector { data: iter.into_iter().collect() }
+        Vector {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -186,7 +215,14 @@ impl Add for &Vector {
     type Output = Vector;
     fn add(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "add: length mismatch");
-        Vector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect() }
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
     }
 }
 
@@ -194,14 +230,23 @@ impl Sub for &Vector {
     type Output = Vector;
     fn sub(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "sub: length mismatch");
-        Vector { data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect() }
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
     }
 }
 
 impl Neg for &Vector {
     type Output = Vector;
     fn neg(self) -> Vector {
-        Vector { data: self.data.iter().map(|x| -x).collect() }
+        Vector {
+            data: self.data.iter().map(|x| -x).collect(),
+        }
     }
 }
 
@@ -257,6 +302,19 @@ mod tests {
     #[should_panic(expected = "basis index")]
     fn basis_out_of_range_panics() {
         let _ = Vector::basis(2, 2);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut a = Vector::filled(3, 9.0);
+        a.copy_from(&Vector::from(vec![1.0, 2.0, 3.0]));
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from: length mismatch")]
+    fn copy_from_length_checked() {
+        Vector::zeros(2).copy_from(&Vector::zeros(3));
     }
 
     #[test]

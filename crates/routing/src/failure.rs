@@ -37,7 +37,13 @@ pub fn without_links(topo: &Topology, failed: &[LinkId]) -> Result<Topology> {
             continue;
         }
         let l = topo.link(lid);
-        b.link(l.src(), l.dst(), l.capacity_mbps(), l.igp_weight(), l.kind());
+        b.link(
+            l.src(),
+            l.dst(),
+            l.capacity_mbps(),
+            l.igp_weight(),
+            l.kind(),
+        );
     }
     b.build()
 }
@@ -100,7 +106,10 @@ mod tests {
         let after = r2.path(OdPair::new(janet2, pl2)).unwrap();
         assert!(after.cost() > before.cost());
         let desc = after.describe(&t2);
-        assert!(!desc.contains("UK -> SE"), "rerouted path still uses failed fibre: {desc}");
+        assert!(
+            !desc.contains("UK -> SE"),
+            "rerouted path still uses failed fibre: {desc}"
+        );
     }
 
     #[test]
@@ -132,10 +141,7 @@ mod tests {
                 None => assert!(failed.contains(&lid)),
                 Some(new_id) => {
                     assert_eq!(t2.link_label(new_id), t.link_label(lid));
-                    assert_eq!(
-                        t2.link(new_id).igp_weight(),
-                        t.link(lid).igp_weight()
-                    );
+                    assert_eq!(t2.link(new_id).igp_weight(), t.link(lid).igp_weight());
                 }
             }
         }

@@ -38,7 +38,7 @@ mod path;
 mod router;
 mod spf;
 
-pub use matrix::RoutingMatrix;
+pub use matrix::{OdLinkIndex, RoutingMatrix};
 pub use path::{OdPair, Path};
 pub use router::Router;
 pub use spf::Spf;

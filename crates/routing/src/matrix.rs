@@ -34,7 +34,11 @@ impl RoutingMatrix {
                 entries[k * num_links + l.index()] = f;
             }
         }
-        RoutingMatrix { ods: ods.to_vec(), num_links, entries }
+        RoutingMatrix {
+            ods: ods.to_vec(),
+            num_links,
+            entries,
+        }
     }
 
     /// Number of OD pairs (rows).
@@ -76,7 +80,16 @@ impl RoutingMatrix {
 
     /// OD rows that traverse `link`.
     pub fn ods_on_link(&self, link: LinkId) -> Vec<usize> {
-        (0..self.ods.len()).filter(|&k| self.traverses(k, link)).collect()
+        (0..self.ods.len())
+            .filter(|&k| self.traverses(k, link))
+            .collect()
+    }
+
+    /// Builds the inverted link→OD index of this matrix. The index is a
+    /// point-in-time snapshot; rebuild it after rerouting produces a new
+    /// matrix.
+    pub fn link_index(&self) -> OdLinkIndex {
+        OdLinkIndex::build(self)
     }
 
     /// The union of links traversed by any OD pair — the candidate monitor
@@ -96,7 +109,11 @@ impl RoutingMatrix {
     /// # Panics
     /// Panics if `demands.len() != self.num_ods()`.
     pub fn link_loads(&self, demands: &[f64]) -> Vec<f64> {
-        assert_eq!(demands.len(), self.ods.len(), "demand vector length mismatch");
+        assert_eq!(
+            demands.len(),
+            self.ods.len(),
+            "demand vector length mismatch"
+        );
         let mut loads = vec![0.0; self.num_links];
         for (k, &d) in demands.iter().enumerate() {
             let row = &self.entries[k * self.num_links..(k + 1) * self.num_links];
@@ -107,6 +124,81 @@ impl RoutingMatrix {
             }
         }
         loads
+    }
+}
+
+/// Inverted index of a [`RoutingMatrix`]: for every link, the OD rows that
+/// traverse it and with what fraction — the transpose of `R` in CSR
+/// (compressed sparse row) form, rows indexed by link.
+///
+/// [`RoutingMatrix::ods_on_link`] answers the same question by scanning a
+/// dense column (`O(|F|)` per query); this index answers it in `O(1)` plus
+/// the output size, which is what incremental evaluation and per-link
+/// sensitivity analyses need when they touch every link once per sweep.
+#[derive(Debug, Clone)]
+pub struct OdLinkIndex {
+    /// `offsets[i]..offsets[i + 1]` spans link `i`'s entries; length
+    /// `num_links + 1`.
+    offsets: Vec<usize>,
+    /// `(od_row, fraction)` pairs, grouped by link, OD rows ascending within
+    /// each group.
+    entries: Vec<(usize, f64)>,
+}
+
+impl OdLinkIndex {
+    /// Builds the index by a counting-sort transpose of the dense matrix
+    /// (one pass to size the groups, one to fill them).
+    pub fn build(matrix: &RoutingMatrix) -> OdLinkIndex {
+        let num_links = matrix.num_links();
+        let mut counts = vec![0usize; num_links];
+        for k in 0..matrix.num_ods() {
+            let row = &matrix.entries[k * num_links..(k + 1) * num_links];
+            for (i, &f) in row.iter().enumerate() {
+                if f > 0.0 {
+                    counts[i] += 1;
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(num_links + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut entries = vec![(0usize, 0.0f64); acc];
+        let mut cursor = offsets[..num_links].to_vec();
+        for k in 0..matrix.num_ods() {
+            let row = &matrix.entries[k * num_links..(k + 1) * num_links];
+            for (i, &f) in row.iter().enumerate() {
+                if f > 0.0 {
+                    entries[cursor[i]] = (k, f);
+                    cursor[i] += 1;
+                }
+            }
+        }
+        OdLinkIndex { offsets, entries }
+    }
+
+    /// Number of links (rows of the index).
+    pub fn num_links(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored `(od, fraction)` entries across all links.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The `(od_row, fraction)` pairs of ODs traversing `link`, OD rows
+    /// ascending.
+    ///
+    /// # Panics
+    /// Panics if `link` is out of range.
+    pub fn ods_on_link(&self, link: LinkId) -> &[(usize, f64)] {
+        let i = link.index();
+        assert!(i < self.num_links(), "link index {i} out of range");
+        &self.entries[self.offsets[i]..self.offsets[i + 1]]
     }
 }
 
@@ -206,6 +298,41 @@ mod tests {
         let ods = janet_ods(&t);
         let r = RoutingMatrix::build(&t, &ods);
         let _ = r.link_loads(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn link_index_matches_dense_queries() {
+        let t = geant();
+        let ods = janet_ods(&t);
+        let r = RoutingMatrix::build(&t, &ods);
+        let idx = r.link_index();
+        assert_eq!(idx.num_links(), r.num_links());
+        for l in (0..r.num_links()).map(LinkId::from_index) {
+            let inverted: Vec<usize> = idx.ods_on_link(l).iter().map(|&(k, _)| k).collect();
+            assert_eq!(inverted, r.ods_on_link(l), "link {l:?}");
+            for &(k, f) in idx.ods_on_link(l) {
+                assert_eq!(f, r.entry(k, l), "od {k} link {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_index_nnz_counts_traversals() {
+        let t = geant();
+        let ods = janet_ods(&t);
+        let r = RoutingMatrix::build(&t, &ods);
+        let expected: usize = (0..r.num_ods()).map(|k| r.links_of_od(k).len()).sum();
+        assert_eq!(r.link_index().nnz(), expected);
+    }
+
+    #[test]
+    fn link_index_of_empty_matrix() {
+        let t = geant();
+        let r = RoutingMatrix::build(&t, &[]);
+        let idx = r.link_index();
+        assert_eq!(idx.nnz(), 0);
+        assert_eq!(idx.num_links(), t.num_links());
+        assert!(idx.ods_on_link(LinkId::from_index(0)).is_empty());
     }
 
     #[test]

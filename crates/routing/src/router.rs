@@ -18,7 +18,10 @@ pub struct Router<'t> {
 impl<'t> Router<'t> {
     /// Creates a router over `topo` with an empty SPF cache.
     pub fn new(topo: &'t Topology) -> Self {
-        Router { topo, cache: std::cell::RefCell::new(HashMap::new()) }
+        Router {
+            topo,
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
     }
 
     /// The topology this router routes over.
@@ -32,7 +35,9 @@ impl<'t> Router<'t> {
             return std::rc::Rc::clone(spf);
         }
         let spf = std::rc::Rc::new(Spf::compute(self.topo, source));
-        self.cache.borrow_mut().insert(source, std::rc::Rc::clone(&spf));
+        self.cache
+            .borrow_mut()
+            .insert(source, std::rc::Rc::clone(&spf));
         spf
     }
 

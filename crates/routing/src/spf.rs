@@ -60,7 +60,10 @@ impl Spf {
         let mut heap = BinaryHeap::new();
 
         dist[source.index()] = 0.0;
-        heap.push(HeapEntry { dist: 0.0, node: source.index() });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source.index(),
+        });
 
         while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
             if settled[u] {
@@ -88,7 +91,11 @@ impl Spf {
         for p in &mut parents {
             p.sort();
         }
-        Spf { source, dist, parents }
+        Spf {
+            source,
+            dist,
+            parents,
+        }
     }
 
     /// The source node this SPF was computed from.

@@ -42,7 +42,9 @@ impl ActiveSet {
 
     /// An all-free active set of dimension `n`.
     pub fn all_free(n: usize) -> ActiveSet {
-        ActiveSet { states: vec![VarState::Free; n] }
+        ActiveSet {
+            states: vec![VarState::Free; n],
+        }
     }
 
     /// Dimension.
@@ -77,12 +79,16 @@ impl ActiveSet {
 
     /// Indices of free variables.
     pub fn free_indices(&self) -> Vec<usize> {
-        (0..self.states.len()).filter(|&i| self.is_free(i)).collect()
+        (0..self.states.len())
+            .filter(|&i| self.is_free(i))
+            .collect()
     }
 
     /// Indices of variables clamped at either bound.
     pub fn clamped_indices(&self) -> Vec<usize> {
-        (0..self.states.len()).filter(|&i| !self.is_free(i)).collect()
+        (0..self.states.len())
+            .filter(|&i| !self.is_free(i))
+            .collect()
     }
 
     /// Snaps `p` exactly onto the bounds its active set says it is on

@@ -80,6 +80,9 @@ mod tests {
         };
         assert_eq!(s.diagnostics, d);
         assert_eq!(s.reason, TerminationReason::KktSatisfied);
-        assert_ne!(TerminationReason::KktSatisfied, TerminationReason::IterationLimit);
+        assert_ne!(
+            TerminationReason::KktSatisfied,
+            TerminationReason::IterationLimit
+        );
     }
 }

@@ -24,7 +24,10 @@ impl fmt::Display for SolverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolverError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
-            SolverError::Infeasible { rhs, max_achievable } => write!(
+            SolverError::Infeasible {
+                rhs,
+                max_achievable,
+            } => write!(
                 f,
                 "infeasible: equality rhs {rhs} exceeds maximum achievable {max_achievable}"
             ),
@@ -47,9 +50,12 @@ mod tests {
             SolverError::InvalidProblem("bad".into()).to_string(),
             "invalid problem: bad"
         );
-        assert!(SolverError::Infeasible { rhs: 2.0, max_achievable: 1.0 }
-            .to_string()
-            .contains("exceeds maximum achievable"));
+        assert!(SolverError::Infeasible {
+            rhs: 2.0,
+            max_achievable: 1.0
+        }
+        .to_string()
+        .contains("exceeds maximum achievable"));
         assert!(SolverError::NonFiniteObjective("at start".into())
             .to_string()
             .contains("non-finite"));

@@ -173,11 +173,9 @@ mod tests {
         active.set(0, VarState::AtUpper);
         // λ = 1 from var 1. μ_0 = g_0 − λ: negative when g_0 < 1 (saturating
         // the monitor was wrong), positive when g_0 > 1.
-        let rep_bad =
-            compute_multipliers(&Vector::from(vec![0.5, 1.0]), &active, &pb, 1e-12);
+        let rep_bad = compute_multipliers(&Vector::from(vec![0.5, 1.0]), &active, &pb, 1e-12);
         assert_eq!(rep_bad.negative, vec![0]);
-        let rep_ok =
-            compute_multipliers(&Vector::from(vec![3.0, 1.0]), &active, &pb, 1e-12);
+        let rep_ok = compute_multipliers(&Vector::from(vec![3.0, 1.0]), &active, &pb, 1e-12);
         assert!(rep_ok.negative.is_empty());
         assert!((rep_ok.multipliers.bound[0] - 2.0).abs() < 1e-12);
     }

@@ -34,7 +34,10 @@ pub struct NewtonLineSearch {
 
 impl Default for NewtonLineSearch {
     fn default() -> Self {
-        NewtonLineSearch { grad_tol: 1e-12, max_iters: 100 }
+        NewtonLineSearch {
+            grad_tol: 1e-12,
+            max_iters: 100,
+        }
     }
 }
 
@@ -52,10 +55,15 @@ impl NewtonLineSearch {
         t_max: f64,
     ) -> Result<LineSearchOutcome> {
         assert!(t_max >= 0.0, "t_max must be ≥ 0, got {t_max}");
+        // One trial-point buffer serves every φ'/φ'' evaluation of this
+        // search; `directional_derivative` lets separable objectives skip
+        // materializing a gradient vector per probe.
+        let scratch = std::cell::RefCell::new(p.clone());
         let phi_d = |t: f64| -> Result<f64> {
-            let mut x = p.clone();
+            let mut x = scratch.borrow_mut();
+            x.copy_from(p);
             x.axpy(t, s);
-            let d = obj.gradient(&x).dot(s);
+            let d = obj.directional_derivative(&x, s);
             if !d.is_finite() {
                 return Err(SolverError::NonFiniteObjective(format!(
                     "φ'({t}) is not finite"
@@ -64,7 +72,8 @@ impl NewtonLineSearch {
             Ok(d)
         };
         let phi_dd = |t: f64| -> Result<f64> {
-            let mut x = p.clone();
+            let mut x = scratch.borrow_mut();
+            x.copy_from(p);
             x.axpy(t, s);
             let c = obj.curvature_along(&x, s);
             if !c.is_finite() {
@@ -140,20 +149,29 @@ mod tests {
                 .sum::<f64>()
         }
         fn gradient(&self, p: &Vector) -> Vector {
-            (0..p.len()).map(|i| -2.0 * self.w[i] * (p[i] - self.c[i])).collect()
+            (0..p.len())
+                .map(|i| -2.0 * self.w[i] * (p[i] - self.c[i]))
+                .collect()
         }
         fn curvature_along(&self, _p: &Vector, s: &Vector) -> f64 {
-            -(0..s.len()).map(|i| 2.0 * self.w[i] * s[i] * s[i]).sum::<f64>()
+            -(0..s.len())
+                .map(|i| 2.0 * self.w[i] * s[i] * s[i])
+                .sum::<f64>()
         }
     }
 
     #[test]
     fn quadratic_interior_maximum_one_newton_step() {
         // φ(t) along s from 0 towards c: max at t* = 1 for p=0, s=c.
-        let obj = Quad { w: vec![1.0, 2.0], c: vec![1.0, 0.5] };
+        let obj = Quad {
+            w: vec![1.0, 2.0],
+            c: vec![1.0, 0.5],
+        };
         let p = Vector::zeros(2);
         let s = Vector::from(vec![1.0, 0.5]);
-        let out = NewtonLineSearch::default().maximize(&obj, &p, &s, 10.0).unwrap();
+        let out = NewtonLineSearch::default()
+            .maximize(&obj, &p, &s, 10.0)
+            .unwrap();
         match out {
             LineSearchOutcome::Interior(t) => assert!((t - 1.0).abs() < 1e-9, "t = {t}"),
             other => panic!("expected interior, got {other:?}"),
@@ -162,26 +180,39 @@ mod tests {
 
     #[test]
     fn boundary_hit_when_max_outside() {
-        let obj = Quad { w: vec![1.0], c: vec![5.0] };
+        let obj = Quad {
+            w: vec![1.0],
+            c: vec![5.0],
+        };
         let p = Vector::zeros(1);
         let s = Vector::from(vec![1.0]);
         // Max at t=5 but t_max = 2: still increasing at the boundary.
-        let out = NewtonLineSearch::default().maximize(&obj, &p, &s, 2.0).unwrap();
+        let out = NewtonLineSearch::default()
+            .maximize(&obj, &p, &s, 2.0)
+            .unwrap();
         assert_eq!(out, LineSearchOutcome::ReachedMax);
     }
 
     #[test]
     fn descent_direction_no_progress() {
-        let obj = Quad { w: vec![1.0], c: vec![-1.0] };
+        let obj = Quad {
+            w: vec![1.0],
+            c: vec![-1.0],
+        };
         let p = Vector::zeros(1);
         let s = Vector::from(vec![1.0]); // moving away from the max
-        let out = NewtonLineSearch::default().maximize(&obj, &p, &s, 1.0).unwrap();
+        let out = NewtonLineSearch::default()
+            .maximize(&obj, &p, &s, 1.0)
+            .unwrap();
         assert_eq!(out, LineSearchOutcome::NoProgress);
     }
 
     #[test]
     fn zero_t_max_no_progress() {
-        let obj = Quad { w: vec![1.0], c: vec![1.0] };
+        let obj = Quad {
+            w: vec![1.0],
+            c: vec![1.0],
+        };
         let out = NewtonLineSearch::default()
             .maximize(&obj, &Vector::zeros(1), &Vector::from(vec![1.0]), 0.0)
             .unwrap();
@@ -210,7 +241,9 @@ mod tests {
         // root: 2(1−t) = 1+2t → t = 1/4.
         let p = Vector::zeros(2);
         let s = Vector::from(vec![2.0, -1.0]);
-        let out = NewtonLineSearch::default().maximize(&Log, &p, &s, 0.9).unwrap();
+        let out = NewtonLineSearch::default()
+            .maximize(&Log, &p, &s, 0.9)
+            .unwrap();
         match out {
             LineSearchOutcome::Interior(t) => assert!((t - 0.25).abs() < 1e-9, "t = {t}"),
             other => panic!("expected interior, got {other:?}"),

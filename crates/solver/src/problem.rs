@@ -19,6 +19,26 @@ pub trait Objective {
     /// Second directional derivative along `s` evaluated at `p`:
     /// `sᵀ·∇²f(p)·s`. Must be ≤ 0 for a concave objective.
     fn curvature_along(&self, p: &Vector, s: &Vector) -> f64;
+
+    /// Writes the gradient at `p` into `out`, resizing it if needed.
+    ///
+    /// The solver loop calls this once per iteration with a reused buffer;
+    /// objectives with an allocation-free evaluation path (e.g. sparse-row
+    /// accumulation into a caller buffer) should override it. The default
+    /// delegates to [`Objective::gradient`].
+    fn gradient_into(&self, p: &Vector, out: &mut Vector) {
+        *out = self.gradient(p);
+    }
+
+    /// First directional derivative along `s` at `p`: `∇f(p)·s`.
+    ///
+    /// The Newton line search evaluates this several times per step; the
+    /// default materializes the full gradient, while separable objectives
+    /// can compute the contraction directly without forming it. Overrides
+    /// must agree with `gradient(p).dot(s)` up to float rounding.
+    fn directional_derivative(&self, p: &Vector, s: &Vector) -> f64 {
+        self.gradient(p).dot(s)
+    }
 }
 
 /// The feasible polytope of the placement problem (paper eqs. (3)–(5), with
@@ -53,7 +73,9 @@ impl BoxLinearProblem {
             )));
         }
         if upper.is_empty() {
-            return Err(SolverError::InvalidProblem("zero-dimensional problem".into()));
+            return Err(SolverError::InvalidProblem(
+                "zero-dimensional problem".into(),
+            ));
         }
         if !upper.is_finite() || !eq_normal.is_finite() || !eq_rhs.is_finite() {
             return Err(SolverError::InvalidProblem("non-finite parameter".into()));
@@ -70,13 +92,22 @@ impl BoxLinearProblem {
             )));
         }
         if eq_rhs < 0.0 {
-            return Err(SolverError::InvalidProblem("equality rhs must be ≥ 0".into()));
+            return Err(SolverError::InvalidProblem(
+                "equality rhs must be ≥ 0".into(),
+            ));
         }
         let max_achievable = upper.hadamard(&eq_normal).sum();
         if eq_rhs > max_achievable {
-            return Err(SolverError::Infeasible { rhs: eq_rhs, max_achievable });
+            return Err(SolverError::Infeasible {
+                rhs: eq_rhs,
+                max_achievable,
+            });
         }
-        Ok(BoxLinearProblem { upper, eq_normal, eq_rhs })
+        Ok(BoxLinearProblem {
+            upper,
+            eq_normal,
+            eq_rhs,
+        })
     }
 
     /// Problem dimension.
@@ -129,6 +160,31 @@ impl BoxLinearProblem {
 mod tests {
     use super::*;
 
+    /// f(p) = −½‖p‖²; gradient −p.
+    struct NegHalfNormSq;
+    impl Objective for NegHalfNormSq {
+        fn value(&self, p: &Vector) -> f64 {
+            -0.5 * p.dot(p)
+        }
+        fn gradient(&self, p: &Vector) -> Vector {
+            p.scaled(-1.0)
+        }
+        fn curvature_along(&self, _p: &Vector, s: &Vector) -> f64 {
+            -s.dot(s)
+        }
+    }
+
+    #[test]
+    fn provided_methods_match_gradient() {
+        let obj = NegHalfNormSq;
+        let p = Vector::from(vec![1.0, -2.0, 3.0]);
+        let s = Vector::from(vec![0.5, 0.25, -1.0]);
+        let mut out = Vector::zeros(1); // wrong size on purpose; must be replaced
+        obj.gradient_into(&p, &mut out);
+        assert_eq!(out, obj.gradient(&p));
+        assert_eq!(obj.directional_derivative(&p, &s), obj.gradient(&p).dot(&s));
+    }
+
     fn simple() -> BoxLinearProblem {
         BoxLinearProblem::new(
             Vector::from(vec![1.0, 1.0, 1.0]),
@@ -158,64 +214,50 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_rejected() {
-        let err = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::filled(3, 1.0),
-            1.0,
-        )
-        .unwrap_err();
+        let err =
+            BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::filled(3, 1.0), 1.0).unwrap_err();
         assert!(matches!(err, SolverError::InvalidProblem(_)));
     }
 
     #[test]
     fn empty_rejected() {
-        let err =
-            BoxLinearProblem::new(Vector::zeros(0), Vector::zeros(0), 0.0).unwrap_err();
+        let err = BoxLinearProblem::new(Vector::zeros(0), Vector::zeros(0), 0.0).unwrap_err();
         assert!(matches!(err, SolverError::InvalidProblem(_)));
     }
 
     #[test]
     fn zero_load_coefficient_rejected() {
-        let err = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::from(vec![10.0, 0.0]),
-            1.0,
-        )
-        .unwrap_err();
+        let err = BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::from(vec![10.0, 0.0]), 1.0)
+            .unwrap_err();
         assert!(matches!(err, SolverError::InvalidProblem(_)));
     }
 
     #[test]
     fn negative_bound_rejected() {
-        let err = BoxLinearProblem::new(
-            Vector::from(vec![1.0, -0.5]),
-            Vector::filled(2, 1.0),
-            0.5,
-        )
-        .unwrap_err();
+        let err = BoxLinearProblem::new(Vector::from(vec![1.0, -0.5]), Vector::filled(2, 1.0), 0.5)
+            .unwrap_err();
         assert!(matches!(err, SolverError::InvalidProblem(_)));
     }
 
     #[test]
     fn infeasible_detected() {
-        let err = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::from(vec![10.0, 20.0]),
-            31.0,
-        )
-        .unwrap_err();
-        assert_eq!(err, SolverError::Infeasible { rhs: 31.0, max_achievable: 30.0 });
+        let err =
+            BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::from(vec![10.0, 20.0]), 31.0)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            SolverError::Infeasible {
+                rhs: 31.0,
+                max_achievable: 30.0
+            }
+        );
     }
 
     #[test]
     fn boundary_rhs_feasible() {
         // rhs exactly at the maximum: single feasible point = upper.
-        let p = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::from(vec![10.0, 20.0]),
-            30.0,
-        )
-        .unwrap();
+        let p = BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::from(vec![10.0, 20.0]), 30.0)
+            .unwrap();
         let x0 = p.feasible_start();
         assert!(x0.approx_eq(&Vector::filled(2, 1.0), 1e-12));
         assert!(p.is_feasible(&x0, 1e-9));

@@ -20,11 +20,7 @@ use nws_linalg::Vector;
 /// Moving along the returned direction keeps `a·p` constant and leaves
 /// clamped coordinates untouched. A zero vector is returned when no
 /// variables are free.
-pub fn project_gradient(
-    g: &Vector,
-    active: &ActiveSet,
-    problem: &BoxLinearProblem,
-) -> Vector {
+pub fn project_gradient(g: &Vector, active: &ActiveSet, problem: &BoxLinearProblem) -> Vector {
     let n = g.len();
     assert_eq!(n, active.len(), "gradient/active-set dimension mismatch");
     let a = problem.eq_normal();
@@ -100,7 +96,10 @@ mod tests {
         let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let a_mat = Matrix::from_rows(&row_refs);
         let oracle = nws_linalg::project_out(&a_mat, &g).unwrap();
-        assert!(fast.approx_eq(&oracle, 1e-10), "fast {fast} vs oracle {oracle}");
+        assert!(
+            fast.approx_eq(&oracle, 1e-10),
+            "fast {fast} vs oracle {oracle}"
+        );
     }
 
     #[test]

@@ -72,11 +72,7 @@ impl Solver {
     ///
     /// # Errors
     /// Propagates problem/objective errors; see [`Solver::maximize_from`].
-    pub fn maximize<O: Objective>(
-        &self,
-        obj: &O,
-        problem: &BoxLinearProblem,
-    ) -> Result<Solution> {
+    pub fn maximize<O: Objective>(&self, obj: &O, problem: &BoxLinearProblem) -> Result<Solution> {
         self.maximize_from(obj, problem, problem.feasible_start())
     }
 
@@ -117,6 +113,9 @@ impl Solver {
 
         let trace = std::env::var_os("NWS_SOLVER_TRACE").is_some();
         let mut trajectory: Vec<f64> = Vec::new();
+        // Gradient buffer reused across iterations (objectives with a
+        // `gradient_into` override fill it without allocating).
+        let mut g = Vector::zeros(problem.dim());
         while iterations < o.max_iterations {
             iterations += 1;
             if o.record_objective {
@@ -129,7 +128,7 @@ impl Solver {
                     active.num_free()
                 );
             }
-            let g = obj.gradient(&p);
+            obj.gradient_into(&p, &mut g);
             if !g.is_finite() {
                 return Err(SolverError::NonFiniteObjective(format!(
                     "gradient at iteration {iterations}"
@@ -157,7 +156,11 @@ impl Solver {
                         if let Some((hit_var, hit_upper)) = hit {
                             active.set(
                                 hit_var,
-                                if hit_upper { VarState::AtUpper } else { VarState::AtLower },
+                                if hit_upper {
+                                    VarState::AtUpper
+                                } else {
+                                    VarState::AtLower
+                                },
                             );
                             bounds_hit += 1;
                             active.snap(&mut p, problem);
@@ -214,8 +217,7 @@ impl Solver {
                 }
             }
 
-            let Some((t_max, hit_var, hit_upper)) = max_step(&p, &s, problem, &active)
-            else {
+            let Some((t_max, hit_var, hit_upper)) = max_step(&p, &s, problem, &active) else {
                 // Numerically null direction — treat as stationary and let
                 // the multiplier logic decide next iteration.
                 prev_dir = None;
@@ -247,7 +249,14 @@ impl Solver {
                 }
                 LineSearchOutcome::ReachedMax => {
                     p.axpy(t_max, &s);
-                    active.set(hit_var, if hit_upper { VarState::AtUpper } else { VarState::AtLower });
+                    active.set(
+                        hit_var,
+                        if hit_upper {
+                            VarState::AtUpper
+                        } else {
+                            VarState::AtLower
+                        },
+                    );
                     bounds_hit += 1;
                     active.snap(&mut p, problem);
                     maybe_repair_feasibility(&mut p, &active, problem);
@@ -270,7 +279,11 @@ impl Solver {
                         // and recompute.
                         active.set(
                             hit_var,
-                            if hit_upper { VarState::AtUpper } else { VarState::AtLower },
+                            if hit_upper {
+                                VarState::AtUpper
+                            } else {
+                                VarState::AtLower
+                            },
                         );
                         bounds_hit += 1;
                         active.snap(&mut p, problem);
@@ -283,8 +296,7 @@ impl Solver {
                     // is small; a large-gradient stall otherwise burns one
                     // iteration and retries (bounded by the iteration cap).
                     if last_proj_norm <= o.grad_tol * scale {
-                        let rep =
-                            compute_multipliers(&g, &active, problem, o.multiplier_tol);
+                        let rep = compute_multipliers(&g, &active, problem, o.multiplier_tol);
                         last_resid = rep.stationarity_residual;
                         if rep.negative.is_empty() {
                             return Ok(self.finish_with_trajectory(
@@ -320,7 +332,7 @@ impl Solver {
             }
         }
 
-        let g = obj.gradient(&p);
+        obj.gradient_into(&p, &mut g);
         let rep = compute_multipliers(&g, &active, problem, self.options.multiplier_tol);
         Ok(self.finish_with_trajectory(
             obj,
@@ -566,10 +578,14 @@ mod tests {
                 .sum::<f64>()
         }
         fn gradient(&self, p: &Vector) -> Vector {
-            (0..p.len()).map(|i| -2.0 * self.w[i] * (p[i] - self.c[i])).collect()
+            (0..p.len())
+                .map(|i| -2.0 * self.w[i] * (p[i] - self.c[i]))
+                .collect()
         }
         fn curvature_along(&self, _p: &Vector, s: &Vector) -> f64 {
-            -(0..s.len()).map(|i| 2.0 * self.w[i] * s[i] * s[i]).sum::<f64>()
+            -(0..s.len())
+                .map(|i| 2.0 * self.w[i] * s[i] * s[i])
+                .sum::<f64>()
         }
     }
 
@@ -594,13 +610,12 @@ mod tests {
 
     #[test]
     fn symmetric_quadratic_splits_budget() {
-        let obj = Quad { w: vec![1.0, 1.0], c: vec![1.0, 1.0] };
-        let pb = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::filled(2, 1.0),
-            1.0,
-        )
-        .unwrap();
+        let obj = Quad {
+            w: vec![1.0, 1.0],
+            c: vec![1.0, 1.0],
+        };
+        let pb =
+            BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::filled(2, 1.0), 1.0).unwrap();
         let sol = Solver::default().maximize(&obj, &pb).unwrap();
         assert!(sol.kkt_verified);
         assert!(sol.p.approx_eq(&Vector::filled(2, 0.5), 1e-8), "{}", sol.p);
@@ -611,13 +626,12 @@ mod tests {
         // max −(p1−1)² − 4(p2−1)² s.t. p1 + p2 = 1, 0 ≤ p ≤ 1.
         // Lagrange: −2(p1−1) = λ, −8(p2−1) = λ; p1+p2=1 →
         // p1−1 = 4(p2−1) → p1 = 4p2 − 3; p1 + p2 = 1 → 5p2 = 4 → p2 = 0.8.
-        let obj = Quad { w: vec![1.0, 4.0], c: vec![1.0, 1.0] };
-        let pb = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::filled(2, 1.0),
-            1.0,
-        )
-        .unwrap();
+        let obj = Quad {
+            w: vec![1.0, 4.0],
+            c: vec![1.0, 1.0],
+        };
+        let pb =
+            BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::filled(2, 1.0), 1.0).unwrap();
         let sol = Solver::default().maximize(&obj, &pb).unwrap();
         assert!(sol.kkt_verified);
         assert!(
@@ -633,13 +647,12 @@ mod tests {
     fn optimum_on_a_bound() {
         // max −(p1−2)² − (p2−0)² s.t. p1 + p2 = 1: unconstrained optimum
         // (2, 0) infeasible for the box [0,1]² → p1 clamps at 1, p2 = 0.
-        let obj = Quad { w: vec![1.0, 1.0], c: vec![2.0, 0.0] };
-        let pb = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::filled(2, 1.0),
-            1.0,
-        )
-        .unwrap();
+        let obj = Quad {
+            w: vec![1.0, 1.0],
+            c: vec![2.0, 0.0],
+        };
+        let pb =
+            BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::filled(2, 1.0), 1.0).unwrap();
         let sol = Solver::default().maximize(&obj, &pb).unwrap();
         assert!(sol.kkt_verified);
         assert!(
@@ -654,13 +667,12 @@ mod tests {
         // Heavily-weighted coordinate with a far target hogs the budget; the
         // "cheap" coordinate is driven to zero — the placement analogue of
         // not activating a monitor.
-        let obj = Quad { w: vec![10.0, 0.01], c: vec![0.5, -5.0] };
-        let pb = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::from(vec![1.0, 1.0]),
-            0.5,
-        )
-        .unwrap();
+        let obj = Quad {
+            w: vec![10.0, 0.01],
+            c: vec![0.5, -5.0],
+        };
+        let pb = BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::from(vec![1.0, 1.0]), 0.5)
+            .unwrap();
         let sol = Solver::default().maximize(&obj, &pb).unwrap();
         assert!(sol.kkt_verified);
         assert!((sol.p[0] - 0.5).abs() < 1e-7, "got {}", sol.p);
@@ -673,12 +685,8 @@ mod tests {
         // across free coordinates (water filling).
         let obj = LogUtil { eps: 1e-3 };
         let a = vec![1.0, 2.0, 4.0];
-        let pb = BoxLinearProblem::new(
-            Vector::filled(3, 10.0),
-            Vector::from(a.clone()),
-            2.0,
-        )
-        .unwrap();
+        let pb =
+            BoxLinearProblem::new(Vector::filled(3, 10.0), Vector::from(a.clone()), 2.0).unwrap();
         let sol = Solver::default().maximize(&obj, &pb).unwrap();
         assert!(sol.kkt_verified, "diag: {:?}", sol.diagnostics);
         for (i, &ai) in a.iter().enumerate() {
@@ -697,13 +705,12 @@ mod tests {
     #[test]
     fn single_point_problem() {
         // rhs at its maximum: only feasible point is `upper`.
-        let obj = Quad { w: vec![1.0, 1.0], c: vec![0.0, 0.0] };
-        let pb = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::from(vec![1.0, 3.0]),
-            4.0,
-        )
-        .unwrap();
+        let obj = Quad {
+            w: vec![1.0, 1.0],
+            c: vec![0.0, 0.0],
+        };
+        let pb = BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::from(vec![1.0, 3.0]), 4.0)
+            .unwrap();
         let sol = Solver::default().maximize(&obj, &pb).unwrap();
         assert!(sol.p.approx_eq(&Vector::filled(2, 1.0), 1e-9));
         assert!(sol.kkt_verified);
@@ -711,10 +718,12 @@ mod tests {
 
     #[test]
     fn infeasible_start_rejected() {
-        let obj = Quad { w: vec![1.0], c: vec![0.0] };
+        let obj = Quad {
+            w: vec![1.0],
+            c: vec![0.0],
+        };
         let pb =
-            BoxLinearProblem::new(Vector::filled(1, 1.0), Vector::filled(1, 1.0), 0.5)
-                .unwrap();
+            BoxLinearProblem::new(Vector::filled(1, 1.0), Vector::filled(1, 1.0), 0.5).unwrap();
         let err = Solver::default()
             .maximize_from(&obj, &pb, Vector::from(vec![0.9]))
             .unwrap_err();
@@ -725,13 +734,12 @@ mod tests {
     fn start_on_wrong_bound_is_released() {
         // Start with all mass on coordinate 0 although the optimum wants it
         // on coordinate 1: requires activating then releasing bounds.
-        let obj = Quad { w: vec![1.0, 1.0], c: vec![0.0, 1.0] };
-        let pb = BoxLinearProblem::new(
-            Vector::filled(2, 1.0),
-            Vector::filled(2, 1.0),
-            1.0,
-        )
-        .unwrap();
+        let obj = Quad {
+            w: vec![1.0, 1.0],
+            c: vec![0.0, 1.0],
+        };
+        let pb =
+            BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::filled(2, 1.0), 1.0).unwrap();
         let sol = Solver::default()
             .maximize_from(&obj, &pb, Vector::from(vec![1.0, 0.0]))
             .unwrap();
@@ -766,7 +774,10 @@ mod tests {
 
     #[test]
     fn polak_ribiere_agrees_with_plain_projection() {
-        let obj = Quad { w: vec![1.0, 2.0, 3.0], c: vec![0.9, 0.4, 0.2] };
+        let obj = Quad {
+            w: vec![1.0, 2.0, 3.0],
+            c: vec![0.9, 0.4, 0.2],
+        };
         let pb = BoxLinearProblem::new(
             Vector::filled(3, 1.0),
             Vector::from(vec![2.0, 1.0, 1.5]),

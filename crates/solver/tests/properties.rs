@@ -18,10 +18,14 @@ impl Objective for Quad {
             .sum::<f64>()
     }
     fn gradient(&self, p: &Vector) -> Vector {
-        (0..p.len()).map(|i| -2.0 * self.w[i] * (p[i] - self.c[i])).collect()
+        (0..p.len())
+            .map(|i| -2.0 * self.w[i] * (p[i] - self.c[i]))
+            .collect()
     }
     fn curvature_along(&self, _p: &Vector, s: &Vector) -> f64 {
-        -(0..s.len()).map(|i| 2.0 * self.w[i] * s[i] * s[i]).sum::<f64>()
+        -(0..s.len())
+            .map(|i| 2.0 * self.w[i] * s[i] * s[i])
+            .sum::<f64>()
     }
 }
 
@@ -34,9 +38,7 @@ fn analytic_solution(q: &Quad, a: &[f64], upper: &[f64], theta: f64) -> Vec<f64>
             .map(|i| (q.c[i] - lambda * a[i] / (2.0 * q.w[i])).clamp(0.0, upper[i]))
             .collect()
     };
-    let g = |lambda: f64| -> f64 {
-        p_of(lambda).iter().zip(a).map(|(p, ai)| p * ai).sum()
-    };
+    let g = |lambda: f64| -> f64 { p_of(lambda).iter().zip(a).map(|(p, ai)| p * ai).sum() };
     let (mut lo, mut hi) = (-1e6, 1e6);
     assert!(g(lo) >= theta && g(hi) <= theta, "bracketing");
     for _ in 0..200 {
@@ -57,11 +59,11 @@ fn problem_data(
     dim: usize,
 ) -> impl Strategy<Value = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64)> {
     (
-        proptest::collection::vec(0.1..10.0f64, dim),   // w
-        proptest::collection::vec(-1.0..2.0f64, dim),   // c (can sit outside the box)
-        proptest::collection::vec(0.5..20.0f64, dim),   // a
-        proptest::collection::vec(0.2..1.0f64, dim),    // upper
-        0.05..0.95f64,                                  // theta fraction
+        proptest::collection::vec(0.1..10.0f64, dim), // w
+        proptest::collection::vec(-1.0..2.0f64, dim), // c (can sit outside the box)
+        proptest::collection::vec(0.5..20.0f64, dim), // a
+        proptest::collection::vec(0.2..1.0f64, dim),  // upper
+        0.05..0.95f64,                                // theta fraction
     )
         .prop_map(|(w, c, a, u, frac)| {
             let ceiling: f64 = a.iter().zip(&u).map(|(ai, ui)| ai * ui).sum();

@@ -17,10 +17,14 @@ impl Objective for Quad {
             .sum::<f64>()
     }
     fn gradient(&self, p: &Vector) -> Vector {
-        (0..p.len()).map(|i| -2.0 * self.w[i] * (p[i] - self.c[i])).collect()
+        (0..p.len())
+            .map(|i| -2.0 * self.w[i] * (p[i] - self.c[i]))
+            .collect()
     }
     fn curvature_along(&self, _p: &Vector, s: &Vector) -> f64 {
-        -(0..s.len()).map(|i| 2.0 * self.w[i] * s[i] * s[i]).sum::<f64>()
+        -(0..s.len())
+            .map(|i| 2.0 * self.w[i] * s[i] * s[i])
+            .sum::<f64>()
     }
 }
 
@@ -84,17 +88,17 @@ fn verification_step_must_not_leave_feasible_set() {
     .unwrap();
     let sol = Solver::default().maximize(&q, &problem).unwrap();
 
-    assert!(problem.is_feasible(&sol.p, 1e-7), "infeasible answer: {}", sol.p);
+    assert!(
+        problem.is_feasible(&sol.p, 1e-7),
+        "infeasible answer: {}",
+        sol.p
+    );
     assert!(sol.kkt_verified, "diag: {:?}", sol.diagnostics);
     // The buggy trajectory ended at the all-clamped point with coordinate 6
     // at its upper bound; the true optimum keeps it interior at the value
     // the equality pins it to.
-    let pinned = (theta
-        - a[1] * upper[1]
-        - a[3] * upper[3]
-        - a[5] * upper[5]
-        - a[7] * upper[7])
-        / a[6];
+    let pinned =
+        (theta - a[1] * upper[1] - a[3] * upper[3] - a[5] * upper[5] - a[7] * upper[7]) / a[6];
     assert!(
         (sol.p[6] - pinned).abs() < 1e-6,
         "coordinate 6: {} vs pinned {pinned}",
@@ -260,7 +264,10 @@ fn non_finite_gradient_mid_run_is_reported() {
     )
     .unwrap();
     let err = Solver::default().maximize(&Poisoned, &problem).unwrap_err();
-    assert!(matches!(err, nws_solver::SolverError::NonFiniteObjective(_)));
+    assert!(matches!(
+        err,
+        nws_solver::SolverError::NonFiniteObjective(_)
+    ));
 }
 
 /// The method is monotone ascent: with exact line searches every step can

@@ -41,7 +41,10 @@ pub fn abilene() -> Topology {
     let mut b = TopologyBuilder::new();
     let ids: Vec<NodeId> = ABILENE_POPS.iter().map(|&n| b.node(n)).collect();
     let id = |name: &str| -> NodeId {
-        ids[ABILENE_POPS.iter().position(|&p| p == name).expect("known PoP")]
+        ids[ABILENE_POPS
+            .iter()
+            .position(|&p| p == name)
+            .expect("known PoP")]
     };
 
     // (a, b, igp weight) — 14 bidirectional trunks.
@@ -79,7 +82,9 @@ pub fn abilene() -> Topology {
 /// # Panics
 /// Panics if `topo` is not the topology produced by [`abilene`].
 pub fn abilene_access_link(topo: &Topology) -> LinkId {
-    let cust = topo.node_by_name(ABILENE_CUSTOMER).expect("customer present");
+    let cust = topo
+        .node_by_name(ABILENE_CUSTOMER)
+        .expect("customer present");
     let nycm = topo.node_by_name("NYCM").expect("NYCM present");
     topo.link_between(cust, nycm).expect("access link present")
 }
@@ -103,7 +108,9 @@ mod tests {
         for p in ABILENE_POPS {
             assert!(t.node_by_name(p).is_some(), "missing {p}");
         }
-        assert!(t.node(t.node_by_name(ABILENE_CUSTOMER).unwrap()).is_external());
+        assert!(t
+            .node(t.node_by_name(ABILENE_CUSTOMER).unwrap())
+            .is_external());
     }
 
     #[test]
@@ -127,7 +134,9 @@ mod tests {
         let t = abilene();
         for l in t.link_ids() {
             let link = t.link(l);
-            let rev = t.link_between(link.dst(), link.src()).expect("reverse link");
+            let rev = t
+                .link_between(link.dst(), link.src())
+                .expect("reverse link");
             assert_eq!(t.link(rev).igp_weight(), link.igp_weight());
         }
     }

@@ -51,7 +51,8 @@ impl TopologyBuilder {
         assert!(src.index() < self.nodes.len(), "src node id out of range");
         assert!(dst.index() < self.nodes.len(), "dst node id out of range");
         let id = crate::LinkId(self.links.len() as u32);
-        self.links.push(Link::new(src, dst, capacity_mbps, igp_weight, kind));
+        self.links
+            .push(Link::new(src, dst, capacity_mbps, igp_weight, kind));
         id
     }
 
@@ -115,7 +116,10 @@ mod tests {
         let mut b = TopologyBuilder::new();
         b.node("X");
         b.node("X");
-        assert_eq!(b.build().unwrap_err(), TopologyError::DuplicateNodeName("X".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::DuplicateNodeName("X".into())
+        );
     }
 
     #[test]

@@ -61,9 +61,16 @@ mod tests {
             TopologyError::DuplicateNodeName("UK".into()).to_string(),
             "duplicate node name: UK"
         );
-        assert_eq!(TopologyError::UnknownNode("XX".into()).to_string(), "unknown node: XX");
         assert_eq!(
-            TopologyError::DuplicateLink { src: "A".into(), dst: "B".into() }.to_string(),
+            TopologyError::UnknownNode("XX".into()).to_string(),
+            "unknown node: XX"
+        );
+        assert_eq!(
+            TopologyError::DuplicateLink {
+                src: "A".into(),
+                dst: "B".into()
+            }
+            .to_string(),
             "duplicate link A -> B"
         );
         assert_eq!(TopologyError::Empty.to_string(), "topology has no nodes");
@@ -72,7 +79,11 @@ mod tests {
             "topology is disconnected: node Z is unreachable"
         );
         assert_eq!(
-            TopologyError::Parse { line: 4, message: "bad field".into() }.to_string(),
+            TopologyError::Parse {
+                line: 4,
+                message: "bad field".into()
+            }
+            .to_string(),
             "parse error at line 4: bad field"
         );
     }

@@ -89,9 +89,9 @@ pub fn to_dot(topo: &Topology, highlight: &[(crate::LinkId, f64)]) -> String {
         if l.kind() == LinkKind::Access {
             attrs.push("style=dashed".to_string());
         }
-        let hl = highlight.iter().find(|&&(h, _)| {
-            h == id || (symmetric && reverse == Some(h))
-        });
+        let hl = highlight
+            .iter()
+            .find(|&&(h, _)| h == id || (symmetric && reverse == Some(h)));
         if let Some(&(_, value)) = hl {
             attrs.push("color=red".to_string());
             attrs.push("penwidth=2".to_string());
@@ -199,9 +199,7 @@ pub fn from_text(text: &str) -> Result<Topology> {
                 }
                 b.link(src, dst, cap, weight, kind);
             }
-            Some(other) => {
-                return Err(parse_err(lineno, &format!("unknown directive '{other}'")))
-            }
+            Some(other) => return Err(parse_err(lineno, &format!("unknown directive '{other}'"))),
             None => unreachable!("empty lines filtered above"),
         }
     }
@@ -250,7 +248,6 @@ link EXT A 155 1 access
             assert_eq!(re.link(l).igp_weight(), g.link(l).igp_weight());
         }
     }
-
 
     #[test]
     fn dot_export_basic() {

@@ -28,7 +28,28 @@ pub const JANET_NODE: &str = "JANET";
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // country codes are self-describing
 pub enum GeantPop {
-    AT, BE, CH, CZ, DE, ES, FR, GR, HR, HU, IE, IL, IT, LU, NL, NY, PL, PT, SE, SI, SK, UK,
+    AT,
+    BE,
+    CH,
+    CZ,
+    DE,
+    ES,
+    FR,
+    GR,
+    HR,
+    HU,
+    IE,
+    IL,
+    IT,
+    LU,
+    NL,
+    NY,
+    PL,
+    PT,
+    SE,
+    SI,
+    SK,
+    UK,
 }
 
 impl GeantPop {
@@ -192,7 +213,8 @@ pub fn geant() -> Topology {
 pub fn janet_access_link(topo: &Topology) -> LinkId {
     let janet = topo.node_by_name(JANET_NODE).expect("JANET node present");
     let uk = topo.node_by_name("UK").expect("UK node present");
-    topo.link_between(janet, uk).expect("JANET-UK access link present")
+    topo.link_between(janet, uk)
+        .expect("JANET-UK access link present")
 }
 
 #[cfg(test)]
@@ -203,7 +225,7 @@ mod tests {
     fn node_and_link_counts_match_paper() {
         let t = geant();
         assert_eq!(t.num_nodes(), 23); // 22 PoPs + JANET
-        // 72 unidirectional backbone links, as in the paper, + 2 access links.
+                                       // 72 unidirectional backbone links, as in the paper, + 2 access links.
         assert_eq!(t.num_links(), 74);
         assert_eq!(t.monitorable_links().len(), 72);
     }
@@ -212,7 +234,11 @@ mod tests {
     fn all_pops_resolvable() {
         let t = geant();
         for p in GeantPop::ALL {
-            assert!(t.node_by_name(p.name()).is_some(), "missing PoP {}", p.name());
+            assert!(
+                t.node_by_name(p.name()).is_some(),
+                "missing PoP {}",
+                p.name()
+            );
         }
         assert!(t.node_by_name(JANET_NODE).is_some());
     }
@@ -221,8 +247,10 @@ mod tests {
     fn uk_has_six_backbone_neighbours() {
         let t = geant();
         let uk = t.node_by_name("UK").unwrap();
-        let backbone_out: Vec<_> =
-            t.out_links(uk).filter(|&l| t.link(l).monitorable()).collect();
+        let backbone_out: Vec<_> = t
+            .out_links(uk)
+            .filter(|&l| t.link(l).monitorable())
+            .collect();
         assert_eq!(backbone_out.len(), 6);
         let mut names: Vec<_> = backbone_out
             .iter()
@@ -249,8 +277,7 @@ mod tests {
     #[test]
     fn capacities_span_oc3_to_oc48() {
         let t = geant();
-        let caps: Vec<f64> =
-            t.link_ids().map(|l| t.link(l).capacity_mbps()).collect();
+        let caps: Vec<f64> = t.link_ids().map(|l| t.link(l).capacity_mbps()).collect();
         assert!(caps.contains(&155.0));
         assert!(caps.contains(&622.0));
         assert!(caps.contains(&2488.0));

@@ -26,7 +26,10 @@ impl Topology {
         }
         let mut by_name = HashMap::with_capacity(nodes.len());
         for (i, n) in nodes.iter().enumerate() {
-            if by_name.insert(n.name().to_string(), NodeId(i as u32)).is_some() {
+            if by_name
+                .insert(n.name().to_string(), NodeId(i as u32))
+                .is_some()
+            {
                 return Err(TopologyError::DuplicateNodeName(n.name().to_string()));
             }
         }
@@ -44,7 +47,13 @@ impl Topology {
             out_adj[l.src().index()].push(id);
             in_adj[l.dst().index()].push(id);
         }
-        Ok(Topology { nodes, links, by_name, out_adj, in_adj })
+        Ok(Topology {
+            nodes,
+            links,
+            by_name,
+            out_adj,
+            in_adj,
+        })
     }
 
     /// Number of nodes.
@@ -81,7 +90,8 @@ impl Topology {
     /// Like [`Topology::node_by_name`] but returns a typed error; convenient
     /// in parsing and task-definition code.
     pub fn require_node(&self, name: &str) -> Result<NodeId> {
-        self.node_by_name(name).ok_or_else(|| TopologyError::UnknownNode(name.to_string()))
+        self.node_by_name(name)
+            .ok_or_else(|| TopologyError::UnknownNode(name.to_string()))
     }
 
     /// Iterator over all node ids.
@@ -115,12 +125,18 @@ impl Topology {
     /// Human-readable `"SRC-DST"` label of a link (e.g. `"UK-FR"`).
     pub fn link_label(&self, id: LinkId) -> String {
         let l = self.link(id);
-        format!("{}-{}", self.node(l.src()).name(), self.node(l.dst()).name())
+        format!(
+            "{}-{}",
+            self.node(l.src()).name(),
+            self.node(l.dst()).name()
+        )
     }
 
     /// Ids of all monitorable (backbone) links.
     pub fn monitorable_links(&self) -> Vec<LinkId> {
-        self.link_ids().filter(|&l| self.link(l).monitorable()).collect()
+        self.link_ids()
+            .filter(|&l| self.link(l).monitorable())
+            .collect()
     }
 
     /// Checks weak connectivity (every node reachable from node 0 when link
@@ -152,7 +168,9 @@ impl Topology {
         }
         match seen.iter().position(|&s| !s) {
             None => Ok(()),
-            Some(i) => Err(TopologyError::Disconnected(self.nodes[i].name().to_string())),
+            Some(i) => Err(TopologyError::Disconnected(
+                self.nodes[i].name().to_string(),
+            )),
         }
     }
 }
@@ -181,7 +199,10 @@ mod tests {
         let b = t.node_by_name("B").unwrap();
         assert_eq!(t.node(b).name(), "B");
         assert!(t.node_by_name("Z").is_none());
-        assert!(matches!(t.require_node("Z"), Err(TopologyError::UnknownNode(_))));
+        assert!(matches!(
+            t.require_node("Z"),
+            Err(TopologyError::UnknownNode(_))
+        ));
     }
 
     #[test]
@@ -248,11 +269,17 @@ mod tests {
         let c = b.node("B");
         b.link(a, c, 100.0, 1.0, LinkKind::Backbone);
         b.link(a, c, 200.0, 2.0, LinkKind::Backbone);
-        assert!(matches!(b.build(), Err(TopologyError::DuplicateLink { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::DuplicateLink { .. })
+        ));
     }
 
     #[test]
     fn empty_rejected() {
-        assert!(matches!(TopologyBuilder::new().build(), Err(TopologyError::Empty)));
+        assert!(matches!(
+            TopologyBuilder::new().build(),
+            Err(TopologyError::Empty)
+        ));
     }
 }

@@ -64,7 +64,13 @@ impl Link {
             igp_weight.is_finite() && igp_weight > 0.0,
             "IGP weight must be positive and finite, got {igp_weight}"
         );
-        Link { src, dst, capacity_mbps, igp_weight, kind }
+        Link {
+            src,
+            dst,
+            capacity_mbps,
+            igp_weight,
+            kind,
+        }
     }
 
     /// Source node.

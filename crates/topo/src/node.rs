@@ -15,13 +15,19 @@ pub struct Node {
 impl Node {
     /// Creates a backbone (internal) node.
     pub fn new(name: impl Into<String>) -> Self {
-        Node { name: name.into(), external: false }
+        Node {
+            name: name.into(),
+            external: false,
+        }
     }
 
     /// Creates an external node (customer or peer attachment, e.g. the JANET
     /// AS in the paper's evaluation).
     pub fn external(name: impl Into<String>) -> Self {
-        Node { name: name.into(), external: true }
+        Node {
+            name: name.into(),
+            external: true,
+        }
     }
 
     /// The node's human-readable name (unique within a topology).

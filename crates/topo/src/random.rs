@@ -81,10 +81,14 @@ pub fn ring_with_chords(n: usize, chords: usize, seed: u64) -> Topology {
 /// Panics if `n == 0` or `radius` is not in `(0, ~1.42]`.
 pub fn gabriel_like(n: usize, radius: f64, seed: u64) -> Topology {
     assert!(n > 0, "need at least one node");
-    assert!(radius > 0.0 && radius <= 1.5, "radius {radius} out of range");
+    assert!(
+        radius > 0.0 && radius <= 1.5,
+        "radius {radius} out of range"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
 
     let mut b = TopologyBuilder::new();
     let nodes: Vec<NodeId> = (0..n).map(|i| b.node(format!("P{i:02}"))).collect();

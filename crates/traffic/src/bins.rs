@@ -23,7 +23,11 @@ impl BinGrid {
     pub fn new(t0: f64, width: f64, num_bins: usize) -> Self {
         assert!(width.is_finite() && width > 0.0, "width must be positive");
         assert!(num_bins > 0, "need at least one bin");
-        BinGrid { t0, width, num_bins }
+        BinGrid {
+            t0,
+            width,
+            num_bins,
+        }
     }
 
     /// A standard grid of 5-minute paper intervals from time 0.
@@ -121,9 +125,15 @@ mod tests {
     #[test]
     fn flows_partitioned_by_start() {
         let mut rng = StdRng::seed_from_u64(41);
-        let mut flows =
-            generate_flows(&mut rng, 0, 10_000, 0.0, 300.0, &FlowMixParams::default());
-        flows.extend(generate_flows(&mut rng, 1, 5_000, 300.0, 300.0, &FlowMixParams::default()));
+        let mut flows = generate_flows(&mut rng, 0, 10_000, 0.0, 300.0, &FlowMixParams::default());
+        flows.extend(generate_flows(
+            &mut rng,
+            1,
+            5_000,
+            300.0,
+            300.0,
+            &FlowMixParams::default(),
+        ));
         let g = BinGrid::paper_intervals(2);
         let bins = g.bin_flows(&flows);
         assert_eq!(bins[0].len() + bins[1].len(), flows.len());
@@ -138,9 +148,15 @@ mod tests {
     #[test]
     fn od_sizes_aggregate() {
         let mut rng = StdRng::seed_from_u64(42);
-        let mut flows =
-            generate_flows(&mut rng, 0, 7_000, 0.0, 300.0, &FlowMixParams::default());
-        flows.extend(generate_flows(&mut rng, 1, 3_000, 0.0, 300.0, &FlowMixParams::default()));
+        let mut flows = generate_flows(&mut rng, 0, 7_000, 0.0, 300.0, &FlowMixParams::default());
+        flows.extend(generate_flows(
+            &mut rng,
+            1,
+            3_000,
+            0.0,
+            300.0,
+            &FlowMixParams::default(),
+        ));
         let g = BinGrid::paper_intervals(1);
         let sizes = g.od_sizes_per_bin(&flows, 2);
         assert_eq!(sizes[0][0], 7_000);
@@ -150,8 +166,7 @@ mod tests {
     #[test]
     fn out_of_grid_flows_dropped() {
         let mut rng = StdRng::seed_from_u64(43);
-        let flows =
-            generate_flows(&mut rng, 0, 1_000, 900.0, 300.0, &FlowMixParams::default());
+        let flows = generate_flows(&mut rng, 0, 1_000, 900.0, 300.0, &FlowMixParams::default());
         let g = BinGrid::paper_intervals(2); // covers [0, 600) only
         let bins = g.bin_flows(&flows);
         assert!(bins.iter().all(|b| b.is_empty()));

@@ -70,11 +70,7 @@ pub fn assemble_flows(records: &[ExportedRecord], sampling_rate: f64) -> Vec<Ass
 
 /// Aggregates assembled flows into per-bin, per-OD packet totals keyed by
 /// flow start time — the collector's measurement-interval view.
-pub fn od_sizes_per_bin(
-    flows: &[AssembledFlow],
-    grid: &BinGrid,
-    num_ods: usize,
-) -> Vec<Vec<f64>> {
+pub fn od_sizes_per_bin(flows: &[AssembledFlow], grid: &BinGrid, num_ods: usize) -> Vec<Vec<f64>> {
     let mut out = vec![vec![0.0; num_ods]; grid.num_bins()];
     for f in flows {
         if let Some(b) = grid.bin_of(f.start) {
@@ -96,8 +92,7 @@ mod tests {
     #[test]
     fn assembly_reconstructs_original_flows() {
         let mut rng = StdRng::seed_from_u64(3);
-        let flows =
-            generate_flows(&mut rng, 0, 200_000, 0.0, 300.0, &FlowMixParams::default());
+        let flows = generate_flows(&mut rng, 0, 200_000, 0.0, 300.0, &FlowMixParams::default());
         let records = export_flows(&flows, &ExportConfig::default());
         assert!(records.len() >= flows.len());
         let assembled = assemble_flows(&records, 1.0);
@@ -109,8 +104,7 @@ mod tests {
     #[test]
     fn inverse_scaling_applied() {
         let mut rng = StdRng::seed_from_u64(4);
-        let flows =
-            generate_flows(&mut rng, 0, 10_000, 0.0, 300.0, &FlowMixParams::default());
+        let flows = generate_flows(&mut rng, 0, 10_000, 0.0, 300.0, &FlowMixParams::default());
         let records = export_flows(&flows, &ExportConfig::default());
         let assembled = assemble_flows(&records, 0.001);
         let total: f64 = assembled.iter().map(|f| f.packets).sum();
@@ -120,8 +114,7 @@ mod tests {
     #[test]
     fn per_bin_od_totals_follow_flow_starts() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut flows =
-            generate_flows(&mut rng, 0, 40_000, 0.0, 300.0, &FlowMixParams::default());
+        let mut flows = generate_flows(&mut rng, 0, 40_000, 0.0, 300.0, &FlowMixParams::default());
         flows.extend(generate_flows(
             &mut rng,
             1,
@@ -148,8 +141,7 @@ mod tests {
     #[test]
     fn deterministic_ordering() {
         let mut rng = StdRng::seed_from_u64(6);
-        let flows =
-            generate_flows(&mut rng, 0, 30_000, 0.0, 300.0, &FlowMixParams::default());
+        let flows = generate_flows(&mut rng, 0, 30_000, 0.0, 300.0, &FlowMixParams::default());
         let records = export_flows(&flows, &ExportConfig::default());
         let a = assemble_flows(&records, 1.0);
         let b = assemble_flows(&records, 1.0);

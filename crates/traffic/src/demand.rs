@@ -24,7 +24,10 @@ pub struct DemandMatrix {
 impl DemandMatrix {
     /// Creates an all-zero demand matrix over `n` nodes.
     pub fn zeros(n: usize) -> Self {
-        DemandMatrix { n, demands: vec![0.0; n * n] }
+        DemandMatrix {
+            n,
+            demands: vec![0.0; n * n],
+        }
     }
 
     /// Generates a gravity-model matrix over the *internal* (non-external)
@@ -45,7 +48,13 @@ impl DemandMatrix {
         let dist = LogNormal::from_mean_cv(1.0, mass_cv.max(0.0));
         let masses: Vec<f64> = topo
             .node_ids()
-            .map(|id| if topo.node(id).is_external() { 0.0 } else { dist.sample(&mut rng) })
+            .map(|id| {
+                if topo.node(id).is_external() {
+                    0.0
+                } else {
+                    dist.sample(&mut rng)
+                }
+            })
             .collect();
         Self::from_masses(total, &masses)
     }
@@ -62,12 +71,7 @@ impl DemandMatrix {
     ///
     /// # Panics
     /// Same contract as [`DemandMatrix::gravity`].
-    pub fn gravity_capacity_weighted(
-        topo: &Topology,
-        total: f64,
-        mass_cv: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn gravity_capacity_weighted(topo: &Topology, total: f64, mass_cv: f64, seed: u64) -> Self {
         assert!(total.is_finite() && total > 0.0, "total must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = LogNormal::from_mean_cv(1.0, mass_cv.max(0.0));
@@ -102,12 +106,18 @@ impl DemandMatrix {
         seed: u64,
     ) -> Self {
         assert!(total.is_finite() && total > 0.0, "total must be positive");
-        assert_eq!(base_masses.len(), topo.num_nodes(), "mass vector length mismatch");
+        assert_eq!(
+            base_masses.len(),
+            topo.num_nodes(),
+            "mass vector length mismatch"
+        );
         assert!(base_masses.iter().all(|&m| m >= 0.0), "masses must be ≥ 0");
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = LogNormal::from_mean_cv(1.0, mass_cv.max(0.0));
-        let masses: Vec<f64> =
-            base_masses.iter().map(|&m| m * dist.sample(&mut rng)).collect();
+        let masses: Vec<f64> = base_masses
+            .iter()
+            .map(|&m| m * dist.sample(&mut rng))
+            .collect();
         Self::from_masses(total, &masses)
     }
 
@@ -116,7 +126,10 @@ impl DemandMatrix {
     fn from_masses(total: f64, masses: &[f64]) -> Self {
         let n = masses.len();
         let internal = masses.iter().filter(|&&m| m > 0.0).count();
-        assert!(internal >= 2, "gravity model needs at least two internal nodes");
+        assert!(
+            internal >= 2,
+            "gravity model needs at least two internal nodes"
+        );
         let mut dm = DemandMatrix::zeros(n);
         let mut weight_sum = 0.0;
         for s in 0..n {
@@ -146,7 +159,10 @@ impl DemandMatrix {
     /// # Panics
     /// Panics if either id is out of range.
     pub fn demand(&self, s: NodeId, t: NodeId) -> f64 {
-        assert!(s.index() < self.n && t.index() < self.n, "node id out of range");
+        assert!(
+            s.index() < self.n && t.index() < self.n,
+            "node id out of range"
+        );
         self.demands[s.index() * self.n + t.index()]
     }
 
@@ -155,7 +171,10 @@ impl DemandMatrix {
     /// # Panics
     /// Panics if ids are out of range, `s == t`, or `value` is negative.
     pub fn set_demand(&mut self, s: NodeId, t: NodeId, value: f64) {
-        assert!(s.index() < self.n && t.index() < self.n, "node id out of range");
+        assert!(
+            s.index() < self.n && t.index() < self.n,
+            "node id out of range"
+        );
         assert!(s != t, "diagonal demands are not allowed");
         assert!(value.is_finite() && value >= 0.0, "demand must be ≥ 0");
         self.demands[s.index() * self.n + t.index()] = value;
@@ -184,10 +203,7 @@ impl DemandMatrix {
             for t in 0..self.n {
                 let d = self.demands[s * self.n + t];
                 if d > 0.0 {
-                    out.push((
-                        OdPair::new(NodeId::from_index(s), NodeId::from_index(t)),
-                        d,
-                    ));
+                    out.push((OdPair::new(NodeId::from_index(s), NodeId::from_index(t)), d));
                 }
             }
         }
@@ -252,7 +268,11 @@ mod tests {
         vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
         // Top 10% of pairs carry well over 10% of traffic.
         let top = vals.iter().take(vals.len() / 10).sum::<f64>();
-        assert!(top / dm.total() > 0.3, "top-decile share {}", top / dm.total());
+        assert!(
+            top / dm.total() > 0.3,
+            "top-decile share {}",
+            top / dm.total()
+        );
     }
 
     #[test]
@@ -291,7 +311,11 @@ mod tests {
             .active_pairs()
             .iter()
             .map(|&(od, d)| {
-                router.ecmp_fractions(od).iter().map(|&(_, f)| f * d).sum::<f64>()
+                router
+                    .ecmp_fractions(od)
+                    .iter()
+                    .map(|&(_, f)| f * d)
+                    .sum::<f64>()
             })
             .sum();
         assert!((total_link_volume - expected).abs() < 1e-6 * expected);

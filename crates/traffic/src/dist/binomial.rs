@@ -33,7 +33,10 @@ impl Binomial {
     /// # Panics
     /// Panics if `p` is not in `[0, 1]` or not finite.
     pub fn new(n: u64, p: f64) -> Self {
-        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p must be in [0,1], got {p}"
+        );
         Binomial { n, p }
     }
 
@@ -68,7 +71,12 @@ impl Binomial {
         if self.p > 0.5 {
             // Mirror to keep the inversion loop short and the normal
             // approximation symmetric.
-            return self.n - Binomial { n: self.n, p: 1.0 - self.p }.sample(rng);
+            return self.n
+                - Binomial {
+                    n: self.n,
+                    p: 1.0 - self.p,
+                }
+                .sample(rng);
         }
         if self.variance() > NORMAL_APPROX_VARIANCE {
             self.sample_normal_approx(rng)
@@ -166,7 +174,11 @@ mod tests {
         let m = 20_000;
         let samples: Vec<u64> = (0..m).map(|_| b.sample(&mut r)).collect();
         let mean = samples.iter().sum::<u64>() as f64 / m as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / m as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / m as f64;
         assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.75).abs() < 0.3, "var {var}");
     }
@@ -180,7 +192,11 @@ mod tests {
         let m = 20_000;
         let samples: Vec<u64> = (0..m).map(|_| b.sample(&mut r)).collect();
         let mean = samples.iter().sum::<u64>() as f64 / m as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / m as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / m as f64;
         assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
         assert!((var / 999.0 - 1.0).abs() < 0.1, "var {var}");
     }

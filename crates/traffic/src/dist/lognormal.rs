@@ -21,7 +21,10 @@ impl LogNormal {
     /// # Panics
     /// Panics if `sigma` is negative or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be ≥ 0, got {sigma}");
         LogNormal { mu, sigma }
     }
@@ -37,7 +40,10 @@ impl LogNormal {
         assert!(cv.is_finite() && cv >= 0.0, "cv must be ≥ 0");
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - sigma2 / 2.0;
-        LogNormal { mu, sigma: sigma2.sqrt() }
+        LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
     }
 
     /// Log-space mean.
@@ -82,7 +88,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let n = 200_000;
         let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean / d.mean() - 1.0).abs() < 0.02, "mean {mean} vs {}", d.mean());
+        assert!(
+            (mean / d.mean() - 1.0).abs() < 0.02,
+            "mean {mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

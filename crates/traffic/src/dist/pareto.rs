@@ -144,6 +144,9 @@ mod tests {
         let n = 50_000;
         let mean_light = (0..n).map(|_| light.sample(&mut rng)).sum::<f64>() / n as f64;
         let mean_heavy = (0..n).map(|_| heavy.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!(mean_heavy > mean_light * 3.0, "{mean_heavy} !>> {mean_light}");
+        assert!(
+            mean_heavy > mean_light * 3.0,
+            "{mean_heavy} !>> {mean_light}"
+        );
     }
 }

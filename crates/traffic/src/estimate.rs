@@ -75,7 +75,6 @@ pub fn confidence_interval(sampled: u64, rho: f64, z: f64) -> (f64, f64) {
     ((est - half).max(0.0), est + half)
 }
 
-
 /// Estimates `c = E[1/S]` from historical per-interval OD sizes — the input
 /// the utility function needs (paper §IV-C). For fluctuating sizes,
 /// `E[1/S] > 1/E[S]` (Jensen), so using observed intervals rather than the
@@ -128,7 +127,12 @@ impl RunStats {
         } else {
             0.0
         };
-        RunStats { mean, min, max, std }
+        RunStats {
+            mean,
+            min,
+            max,
+            std,
+        }
     }
 }
 
@@ -146,9 +150,14 @@ mod tests {
         let rho = 0.004;
         let b = Binomial::new(s, rho);
         let runs = 2000;
-        let mean_est =
-            (0..runs).map(|_| invert(b.sample(&mut rng), rho)).sum::<f64>() / runs as f64;
-        assert!((mean_est / s as f64 - 1.0).abs() < 0.01, "mean estimate {mean_est}");
+        let mean_est = (0..runs)
+            .map(|_| invert(b.sample(&mut rng), rho))
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            (mean_est / s as f64 - 1.0).abs() < 0.01,
+            "mean estimate {mean_est}"
+        );
     }
 
     #[test]
@@ -203,7 +212,6 @@ mod tests {
         let _ = accuracy(1.0, 0.0);
     }
 
-
     #[test]
     fn confidence_interval_covers_truth() {
         // Empirical coverage of the 95% interval over repeated sampling.
@@ -247,7 +255,6 @@ mod tests {
     fn negative_z_rejected() {
         let _ = confidence_interval(1, 0.5, -1.0);
     }
-
 
     #[test]
     fn inv_mean_size_estimation() {

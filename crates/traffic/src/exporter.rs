@@ -20,7 +20,10 @@ pub struct ExportConfig {
 
 impl Default for ExportConfig {
     fn default() -> Self {
-        ExportConfig { export_interval: 60.0, idle_timeout: 30.0 }
+        ExportConfig {
+            export_interval: 60.0,
+            idle_timeout: 30.0,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub struct ExportedRecord {
 /// # Panics
 /// Panics if the config has non-positive intervals.
 pub fn export_flows(flows: &[Flow], config: &ExportConfig) -> Vec<ExportedRecord> {
-    assert!(config.export_interval > 0.0, "export interval must be positive");
+    assert!(
+        config.export_interval > 0.0,
+        "export interval must be positive"
+    );
     assert!(config.idle_timeout > 0.0, "idle timeout must be positive");
     let mut records = Vec::new();
     for f in flows {
@@ -74,9 +80,8 @@ pub fn export_flows(flows: &[Flow], config: &ExportConfig) -> Vec<ExportedRecord
 fn slice_flow(f: &Flow, config: &ExportConfig, out: &mut Vec<ExportedRecord>) {
     let duration = (f.end - f.start).max(0.0);
     // First export tick at or after the flow's start.
-    let first_tick =
-        (f.start / config.export_interval).floor() * config.export_interval
-            + config.export_interval;
+    let first_tick = (f.start / config.export_interval).floor() * config.export_interval
+        + config.export_interval;
 
     let mut emitted_packets = 0u64;
     let mut emitted_bytes = 0u64;
@@ -173,7 +178,11 @@ mod tests {
             bytes: 70_000_000,
         };
         let recs = export_flows(std::slice::from_ref(&f), &ExportConfig::default());
-        assert!(recs.len() >= 2, "expected multiple slices, got {}", recs.len());
+        assert!(
+            recs.len() >= 2,
+            "expected multiple slices, got {}",
+            recs.len()
+        );
         assert_eq!(recs.iter().map(|r| r.packets).sum::<u64>(), 100_000);
         // Records tile the flow's lifetime without overlap.
         for w in recs.windows(2) {
@@ -239,6 +248,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "export interval must be positive")]
     fn bad_config_rejected() {
-        let _ = export_flows(&[], &ExportConfig { export_interval: 0.0, idle_timeout: 30.0 });
+        let _ = export_flows(
+            &[],
+            &ExportConfig {
+                export_interval: 0.0,
+                idle_timeout: 30.0,
+            },
+        );
     }
 }

@@ -135,7 +135,11 @@ pub fn generate_flows<R: Rng + ?Sized>(
                 dst_addr: rng.random(),
                 src_port: rng.random_range(1024..=u16::MAX),
                 dst_port: POPULAR_PORTS[port_popularity.sample(rng) - 1],
-                proto: if rng.random::<f64>() < 0.9 { Protocol::Tcp } else { Protocol::Udp },
+                proto: if rng.random::<f64>() < 0.9 {
+                    Protocol::Tcp
+                } else {
+                    Protocol::Udp
+                },
             },
             od_index,
             start,
@@ -192,8 +196,7 @@ mod tests {
         // With a Pareto mix, flow count is much lower than target packets
         // (elephants) but mice are present.
         let mut r = rng();
-        let flows =
-            generate_flows(&mut r, 0, 1_000_000, 0.0, 300.0, &FlowMixParams::default());
+        let flows = generate_flows(&mut r, 0, 1_000_000, 0.0, 300.0, &FlowMixParams::default());
         assert!(flows.len() > 10);
         assert!(flows.len() < 1_000_000 / 2);
         let max = flows.iter().map(|f| f.packets).max().unwrap();
@@ -210,23 +213,28 @@ mod tests {
         assert_eq!(a, b);
     }
 
-
     #[test]
     fn port_mix_is_zipf_skewed() {
         let mut r = rng();
-        let flows =
-            generate_flows(&mut r, 0, 500_000, 0.0, 300.0, &FlowMixParams::default());
+        let flows = generate_flows(&mut r, 0, 500_000, 0.0, 300.0, &FlowMixParams::default());
         let count = |port: u16| flows.iter().filter(|f| f.key.dst_port == port).count();
         // Rank-1 port (443) clearly dominates the rank-5 one (8080).
-        assert!(count(443) > 2 * count(8080), "443: {} vs 8080: {}", count(443), count(8080));
+        assert!(
+            count(443) > 2 * count(8080),
+            "443: {} vs 8080: {}",
+            count(443),
+            count(8080)
+        );
     }
 
     #[test]
     fn protocol_mix_mostly_tcp() {
         let mut r = rng();
-        let flows =
-            generate_flows(&mut r, 0, 200_000, 0.0, 300.0, &FlowMixParams::default());
-        let tcp = flows.iter().filter(|f| f.key.proto == Protocol::Tcp).count();
+        let flows = generate_flows(&mut r, 0, 200_000, 0.0, 300.0, &FlowMixParams::default());
+        let tcp = flows
+            .iter()
+            .filter(|f| f.key.proto == Protocol::Tcp)
+            .count();
         assert!(tcp as f64 / flows.len() as f64 > 0.8);
     }
 }

@@ -183,7 +183,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let t = traffic(5, 100_000);
         let recs = m.sample_flows(&mut rng, &t);
-        assert!(recs.len() < t.len() / 2, "{} of {} flows seen", recs.len(), t.len());
+        assert!(
+            recs.len() < t.len() / 2,
+            "{} of {} flows seen",
+            recs.len(),
+            t.len()
+        );
     }
 
     #[test]

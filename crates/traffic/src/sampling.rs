@@ -50,11 +50,7 @@ pub fn effective_rate_approx(rates: &[f64]) -> f64 {
 /// Under the independence assumptions each packet is caught with probability
 /// `ρ_exact`, independently, so the count is exactly
 /// `Binomial(size, ρ_exact)`.
-pub fn simulate_distinct_sampled<R: Rng + ?Sized>(
-    rng: &mut R,
-    size: u64,
-    rates: &[f64],
-) -> u64 {
+pub fn simulate_distinct_sampled<R: Rng + ?Sized>(rng: &mut R, size: u64, rates: &[f64]) -> u64 {
     let rho = effective_rate_exact(rates);
     Binomial::new(size, rho).sample(rng)
 }
@@ -63,12 +59,11 @@ pub fn simulate_distinct_sampled<R: Rng + ?Sized>(
 /// independently catches `Binomial(size, p_i)` packets). Useful for
 /// capacity-consumption accounting, where double-counting across monitors
 /// *does* consume resources even though estimation dedups it.
-pub fn simulate_per_monitor<R: Rng + ?Sized>(
-    rng: &mut R,
-    size: u64,
-    rates: &[f64],
-) -> Vec<u64> {
-    rates.iter().map(|&p| Binomial::new(size, p).sample(rng)).collect()
+pub fn simulate_per_monitor<R: Rng + ?Sized>(rng: &mut R, size: u64, rates: &[f64]) -> Vec<u64> {
+    rates
+        .iter()
+        .map(|&p| Binomial::new(size, p).sample(rng))
+        .collect()
 }
 
 /// Reference packet-level simulation: loops over every packet and every
@@ -79,11 +74,7 @@ pub fn simulate_per_monitor<R: Rng + ?Sized>(
 ///
 /// # Panics
 /// Panics if any rate is outside `[0, 1]`.
-pub fn simulate_packet_level<R: Rng + ?Sized>(
-    rng: &mut R,
-    size: u64,
-    rates: &[f64],
-) -> u64 {
+pub fn simulate_packet_level<R: Rng + ?Sized>(rng: &mut R, size: u64, rates: &[f64]) -> u64 {
     for &p in rates {
         assert!(
             p.is_finite() && (0.0..=1.0).contains(&p),
@@ -179,7 +170,6 @@ mod tests {
         assert!((m0 / 5000.0 - 1.0).abs() < 0.05, "monitor0 mean {m0}");
         assert!((m1 / 500.0 - 1.0).abs() < 0.1, "monitor1 mean {m1}");
     }
-
 
     #[test]
     fn binomial_shortcut_matches_packet_level_oracle() {

@@ -28,13 +28,19 @@ struct CoverageObjective {
 
 impl CoverageObjective {
     fn rho(&self, k: usize, p: &Vector) -> f64 {
-        self.rows[k].iter().map(|&(v, r)| r * p[v]).sum::<f64>().min(1.0)
+        self.rows[k]
+            .iter()
+            .map(|&(v, r)| r * p[v])
+            .sum::<f64>()
+            .min(1.0)
     }
 }
 
 impl Objective for CoverageObjective {
     fn value(&self, p: &Vector) -> f64 {
-        (0..self.rows.len()).map(|k| self.utility.value(self.rho(k, p))).sum()
+        (0..self.rows.len())
+            .map(|k| self.utility.value(self.rho(k, p)))
+            .sum()
     }
     fn gradient(&self, p: &Vector) -> Vector {
         let mut g = Vector::zeros(p.len());
@@ -82,13 +88,21 @@ fn main() {
     };
     let problem = BoxLinearProblem::new(
         Vector::filled(candidates.len(), 1.0),
-        candidates.iter().map(|&l| task.link_loads()[l.index()]).collect(),
+        candidates
+            .iter()
+            .map(|&l| task.link_loads()[l.index()])
+            .collect(),
         task.theta(),
     )
     .expect("feasible problem");
 
-    let sol = Solver::default().maximize(&objective, &problem).expect("solves");
-    println!("anomaly-coverage task solved; KKT verified: {}", sol.kkt_verified);
+    let sol = Solver::default()
+        .maximize(&objective, &problem)
+        .expect("solves");
+    println!(
+        "anomaly-coverage task solved; KKT verified: {}",
+        sol.kkt_verified
+    );
     println!("activated monitors under the coverage utility:");
     for (v, &l) in candidates.iter().enumerate() {
         if sol.p[v] > 1e-9 {

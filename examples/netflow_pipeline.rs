@@ -26,7 +26,14 @@ fn main() {
     let sizes: [u64; 2] = [2_000_000, 12_000];
     let mut traffic = Vec::new();
     for (od, &pkts) in sizes.iter().enumerate() {
-        traffic.extend(generate_flows(&mut rng, od, pkts, 0.0, grid.width(), &params));
+        traffic.extend(generate_flows(
+            &mut rng,
+            od,
+            pkts,
+            0.0,
+            grid.width(),
+            &params,
+        ));
     }
     println!(
         "generated {} flows: OD0 = {} pkts (elephant), OD1 = {} pkts (mouse)",

@@ -43,7 +43,10 @@ fn main() {
     let janet2 = topo2.require_node("JANET").expect("JANET");
     let lu2 = topo2.require_node("LU").expect("LU");
     let new_path = router.path(OdPair::new(janet2, lu2)).expect("LU reachable");
-    println!("after FR-LU cut, JANET->LU reroutes to: {}", new_path.describe(&topo2));
+    println!(
+        "after FR-LU cut, JANET->LU reroutes to: {}",
+        new_path.describe(&topo2)
+    );
 
     // Rebuild loads and the task on the post-failure network.
     let bg = DemandMatrix::gravity_capacity_weighted(
@@ -81,5 +84,8 @@ fn main() {
         .filter(|l| stale.rates[l.index()] <= 1e-9)
         .map(|&l| after.topology().link_label(l))
         .collect();
-    println!("monitors newly activated by re-optimization: {}", moved.join(", "));
+    println!(
+        "monitors newly activated by re-optimization: {}",
+        moved.join(", ")
+    );
 }

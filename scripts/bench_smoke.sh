@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Smoke-run of the objective-evaluation micro-benchmark: small instances,
+# few repetitions, JSON report at the repo root. Used as a non-blocking CI
+# step; run manually (without --quick) for publishable numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+cargo run --release -p nws-bench --bin eval_bench -- --quick --out BENCH_eval.json
+echo "bench smoke OK: $(pwd)/BENCH_eval.json"

@@ -12,8 +12,11 @@ fn optimum_dominates_all_baselines_in_objective() {
     let opt = solve_placement(&task, &cfg).unwrap();
     let uniform = uniform_everywhere(&task).unwrap();
     let two_phase = two_phase_heuristic(&task, 10).unwrap();
-    let uk = solve_placement(&task.restricted_to(&uk_links(task.topology())).unwrap(), &cfg)
-        .unwrap();
+    let uk = solve_placement(
+        &task.restricted_to(&uk_links(task.topology())).unwrap(),
+        &cfg,
+    )
+    .unwrap();
 
     assert!(opt.objective > uniform.objective);
     assert!(opt.objective > two_phase.objective);

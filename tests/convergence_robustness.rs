@@ -36,13 +36,7 @@ fn task_on(topo: Topology, seed: u64, theta_fraction: f64) -> Option<Measurement
     let tracked_total: f64 = sizes.iter().map(|&(_, s)| s).sum();
     let names: Vec<(String, OdPair, f64)> = sizes
         .iter()
-        .map(|&(dst, s)| {
-            (
-                format!("F{}", dst.index()),
-                OdPair::new(ingress, dst),
-                s,
-            )
-        })
+        .map(|&(dst, s)| (format!("F{}", dst.index()), OdPair::new(ingress, dst), s))
         .collect();
     let mut builder = MeasurementTask::builder(topo);
     for (name, od, size) in names {
@@ -59,7 +53,9 @@ fn task_on(topo: Topology, seed: u64, theta_fraction: f64) -> Option<Measurement
 fn solver_converges_on_ring_topologies() {
     for seed in 0..8 {
         let topo = ring_with_chords(12, 6, seed);
-        let Some(task) = task_on(topo, seed, 0.05) else { continue };
+        let Some(task) = task_on(topo, seed, 0.05) else {
+            continue;
+        };
         let sol = solve_placement(&task, &PlacementConfig::default())
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(sol.kkt_verified, "seed {seed}: {:?}", sol.diagnostics);
@@ -72,7 +68,9 @@ fn solver_converges_on_ring_topologies() {
 fn solver_converges_on_geometric_topologies() {
     for seed in 0..8 {
         let topo = gabriel_like(16, 0.3, seed);
-        let Some(task) = task_on(topo, seed + 100, 0.1) else { continue };
+        let Some(task) = task_on(topo, seed + 100, 0.1) else {
+            continue;
+        };
         let sol = solve_placement(&task, &PlacementConfig::default())
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(sol.kkt_verified, "seed {seed}: {:?}", sol.diagnostics);
@@ -91,14 +89,20 @@ fn extreme_theta_fractions_still_solve() {
 
     let big = task_on(topo, 1, 0.001).unwrap();
     // Raise theta to 90% of the candidate ceiling.
-    let ceiling: f64 =
-        big.candidate_links().iter().map(|l| big.link_loads()[l.index()]).sum();
+    let ceiling: f64 = big
+        .candidate_links()
+        .iter()
+        .map(|l| big.link_loads()[l.index()])
+        .sum();
     let big = big.with_theta(ceiling * 0.9).unwrap();
     let sol = solve_placement(&big, &PlacementConfig::default()).unwrap();
     assert!(sol.kkt_verified, "{:?}", sol.diagnostics);
     // Near the ceiling most monitors saturate at alpha.
     let saturated = sol.rates.iter().filter(|&&p| p > 0.89).count();
-    assert!(saturated > 0, "expected saturated monitors near the ceiling");
+    assert!(
+        saturated > 0,
+        "expected saturated monitors near the ceiling"
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@ fn janet_task_solves_to_certified_optimum() {
     let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
     assert!(sol.kkt_verified);
     assert_eq!(sol.reason, TerminationReason::KktSatisfied);
-    assert!(sol.diagnostics.iterations < 2000, "paper's iteration budget");
+    assert!(
+        sol.diagnostics.iterations < 2000,
+        "paper's iteration budget"
+    );
 }
 
 #[test]
@@ -75,7 +78,11 @@ fn small_ods_monitored_on_quiet_links() {
     let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
     // For the smallest OD (JANET-LU), the dominant monitor must sit on a
     // link at least 10x less loaded than the UK ingress links.
-    let lu = task.ods().iter().position(|o| o.name == "JANET-LU").unwrap();
+    let lu = task
+        .ods()
+        .iter()
+        .position(|o| o.name == "JANET-LU")
+        .unwrap();
     let monitors = sol.monitors_of_od(&task, lu);
     let (dominant, _) = monitors
         .iter()
@@ -100,7 +107,11 @@ fn utilities_well_balanced_across_ods() {
     let task = janet_task();
     let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
     let min = sol.utilities.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = sol.utilities.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = sol
+        .utilities
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(min > 0.9, "worst utility {min}");
     assert!(max - min < 0.1, "utility spread {max}-{min}");
 }
@@ -153,7 +164,11 @@ fn empirical_c_estimation_feeds_the_utility() {
     let dist = LogNormal::from_mean_cv(mean_size, 0.8);
     let history: Vec<f64> = (0..200).map(|_| dist.sample(&mut rng)).collect();
     let c_emp = estimate_inv_mean_size(&history);
-    assert!(c_emp > 1.0 / mean_size, "Jensen: {c_emp} vs {}", 1.0 / mean_size);
+    assert!(
+        c_emp > 1.0 / mean_size,
+        "Jensen: {c_emp} vs {}",
+        1.0 / mean_size
+    );
 
     let topo = nws_topo::geant();
     let janet = topo.require_node("JANET").unwrap();

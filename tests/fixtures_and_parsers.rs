@@ -45,7 +45,10 @@ fn janet_fixture_reproduces_reference_scenario() {
     assert_eq!(task.ods().len(), reference.ods().len());
     assert_eq!(task.theta(), reference.theta());
     for (a, b) in task.link_loads().iter().zip(reference.link_loads()) {
-        assert!((a - b).abs() < 1e-6 * b.max(1.0), "loads differ: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-6 * b.max(1.0),
+            "loads differ: {a} vs {b}"
+        );
     }
     let sol_a = solve_placement(&task, &PlacementConfig::default()).unwrap();
     let sol_b = solve_placement(&reference, &PlacementConfig::default()).unwrap();

@@ -18,12 +18,12 @@ fn flow_level_sampling_matches_binomial_aggregate() {
     // Binomial(S, p) with S = Σ n_f. Compare means and variances.
     let mut rng = StdRng::seed_from_u64(404);
     let total = 300_000u64;
-    let flows =
-        generate_flows(&mut rng, 0, total, 0.0, 300.0, &FlowMixParams::default());
+    let flows = generate_flows(&mut rng, 0, total, 0.0, 300.0, &FlowMixParams::default());
     let monitor = Monitor::new(0.005);
     let runs = 300;
-    let flow_level: Vec<f64> =
-        (0..runs).map(|_| monitor.sample_count(&mut rng, &flows) as f64).collect();
+    let flow_level: Vec<f64> = (0..runs)
+        .map(|_| monitor.sample_count(&mut rng, &flows) as f64)
+        .collect();
     let agg = Binomial::new(total, 0.005);
     let agg_level: Vec<f64> = (0..runs).map(|_| agg.sample(&mut rng) as f64).collect();
 
@@ -45,8 +45,7 @@ fn inversion_accuracy_matches_utility_prediction() {
     let mut rng = StdRng::seed_from_u64(405);
     let total = 500_000u64;
     let rate = 0.002;
-    let flows =
-        generate_flows(&mut rng, 0, total, 0.0, 300.0, &FlowMixParams::default());
+    let flows = generate_flows(&mut rng, 0, total, 0.0, 300.0, &FlowMixParams::default());
     let monitor = Monitor::new(rate);
     let runs = 400;
     let mut sre_acc = 0.0;
@@ -71,7 +70,11 @@ fn optimizer_rates_drive_flow_pipeline_to_predicted_accuracy() {
     // the union model, invert, and compare accuracy with the analytic one.
     let task = janet_task();
     let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
-    let k = task.ods().iter().position(|o| o.name == "JANET-SE").unwrap();
+    let k = task
+        .ods()
+        .iter()
+        .position(|o| o.name == "JANET-SE")
+        .unwrap();
     let od = &task.ods()[k];
     let monitors = sol.monitors_of_od(&task, k);
     let rates: Vec<f64> = monitors.iter().map(|&(_, p)| p).collect();

@@ -6,16 +6,20 @@ use nws_core::scenarios::{
 use nws_core::{evaluate_rates, solve_placement, PlacementConfig};
 use nws_routing::failure::{bidirectional_pair, link_id_map, without_links};
 use nws_routing::{OdPair, Router};
+use nws_topo::Topology;
 use nws_traffic::demand::DemandMatrix;
 use nws_traffic::MEASUREMENT_INTERVAL_SECS;
-use nws_topo::Topology;
 
 /// Rebuilds the post-failure JANET task after cutting the fibre between two
 /// named PoPs; returns the task plus the stale rate vector carried over.
 fn fail_and_carry_over(
     a: &str,
     b: &str,
-) -> (nws_core::MeasurementTask, Vec<f64>, nws_core::PlacementSolution) {
+) -> (
+    nws_core::MeasurementTask,
+    Vec<f64>,
+    nws_core::PlacementSolution,
+) {
     let before = janet_task();
     let sol = solve_placement(&before, &PlacementConfig::default()).unwrap();
     let topo: &Topology = before.topology();
@@ -48,14 +52,22 @@ fn fail_and_carry_over(
 fn fr_lu_cut_blinds_stale_config_on_lu() {
     let (after, stale_rates, _) = fail_and_carry_over("FR", "LU");
     let stale = evaluate_rates(&after, &stale_rates);
-    let lu = after.ods().iter().position(|o| o.name == "JANET-LU").unwrap();
+    let lu = after
+        .ods()
+        .iter()
+        .position(|o| o.name == "JANET-LU")
+        .unwrap();
     // The stale config sees LU only through the low-rate core monitors.
     assert!(
         stale.effective_rates_approx[lu] < 5e-4,
         "stale LU rate {} should have collapsed",
         stale.effective_rates_approx[lu]
     );
-    assert!(stale.utilities[lu] < 0.5, "stale LU utility {}", stale.utilities[lu]);
+    assert!(
+        stale.utilities[lu] < 0.5,
+        "stale LU utility {}",
+        stale.utilities[lu]
+    );
 }
 
 #[test]
@@ -63,8 +75,16 @@ fn reoptimization_restores_lu() {
     let (after, stale_rates, pre) = fail_and_carry_over("FR", "LU");
     let stale = evaluate_rates(&after, &stale_rates);
     let reopt = solve_placement(&after, &PlacementConfig::default()).unwrap();
-    let lu = after.ods().iter().position(|o| o.name == "JANET-LU").unwrap();
-    assert!(reopt.utilities[lu] > 0.95, "re-optimized LU utility {}", reopt.utilities[lu]);
+    let lu = after
+        .ods()
+        .iter()
+        .position(|o| o.name == "JANET-LU")
+        .unwrap();
+    assert!(
+        reopt.utilities[lu] > 0.95,
+        "re-optimized LU utility {}",
+        reopt.utilities[lu]
+    );
     assert!(reopt.objective > stale.objective);
     // Back to (or above) the pre-failure level: the network still has a
     // quiet link into LU (DE-LU).
@@ -84,7 +104,10 @@ fn rerouting_changes_paths_deterministically() {
     let lu2 = topo2.require_node("LU").unwrap();
     let path = router.path(OdPair::new(janet, lu2)).unwrap();
     let desc = path.describe(&topo2);
-    assert!(desc.contains("DE -> LU"), "expected detour via DE, got {desc}");
+    assert!(
+        desc.contains("DE -> LU"),
+        "expected detour via DE, got {desc}"
+    );
 }
 
 #[test]

@@ -38,8 +38,10 @@ fn optimization_identical_after_roundtrip() {
     let original = geant();
     let reparsed = from_text(&to_text(&original)).unwrap();
 
-    let bg_o = DemandMatrix::gravity_capacity_weighted(&original, 1e8, 0.5, 9).link_loads(&original);
-    let bg_r = DemandMatrix::gravity_capacity_weighted(&reparsed, 1e8, 0.5, 9).link_loads(&reparsed);
+    let bg_o =
+        DemandMatrix::gravity_capacity_weighted(&original, 1e8, 0.5, 9).link_loads(&original);
+    let bg_r =
+        DemandMatrix::gravity_capacity_weighted(&reparsed, 1e8, 0.5, 9).link_loads(&reparsed);
     assert_eq!(bg_o, bg_r, "deterministic loads preserved");
 
     let task_o = janet_task_on(original, &bg_o, PAPER_THETA).unwrap();
@@ -63,7 +65,11 @@ fn routing_matrix_consistent_with_router_paths() {
     for (k, &od) in ods.iter().enumerate() {
         let path = router.path(od).unwrap();
         for &l in path.links() {
-            assert!(rm.traverses(k, l), "matrix misses path link {}", topo.link_label(l));
+            assert!(
+                rm.traverses(k, l),
+                "matrix misses path link {}",
+                topo.link_label(l)
+            );
         }
         // Unique-path ODs have exactly the path's links in the matrix row.
         if router.unique_path(od) {

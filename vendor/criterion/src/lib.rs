@@ -1,0 +1,269 @@
+//! Offline vendored subset of the Criterion benchmarking API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! `Criterion`/`BenchmarkGroup`/`Bencher` surface the workspace's benches
+//! use, backed by plain `std::time::Instant` timing: per benchmark it runs a
+//! short calibration, then `sample_size` timed batches, and prints the
+//! per-iteration mean and min. No warmup modeling, outlier analysis, or
+//! HTML reports — for trend-grade numbers use `crates/bench`'s
+//! `eval_bench` harness, which this workspace tracks in CI.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per benchmark measurement, split across samples.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(400);
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.0),
+            self.criterion.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier built from a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter, e.g. `group/32`.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An id with a function name and a parameter, e.g. `group/solve/32`.
+    pub fn new(function: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{param}"))
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    /// Iterations per timed batch, set by calibration.
+    iters_per_sample: u64,
+    /// Per-sample durations, filled by `iter`.
+    samples: Vec<Duration>,
+    /// Remaining samples to record.
+    remaining: usize,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Times `body` — the driver calls the closure repeatedly; user code
+    /// calls `iter` exactly once per invocation.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.calibrating {
+            // Determine how many iterations fill a sample's time budget.
+            let budget = TARGET_MEASURE_TIME / self.samples.capacity().max(1) as u32;
+            let mut iters = 1u64;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(body());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= budget || iters >= 1 << 20 {
+                    let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                    self.iters_per_sample = (budget.as_nanos() / per_iter).clamp(1, 1 << 20) as u64;
+                    return;
+                }
+                iters *= 2;
+            }
+        }
+        if self.remaining == 0 {
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(body());
+        }
+        self.samples.push(start.elapsed());
+        self.remaining -= 1;
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::with_capacity(sample_size),
+        remaining: 0,
+        calibrating: true,
+    };
+    f(&mut bencher); // calibration pass
+    bencher.calibrating = false;
+    bencher.remaining = sample_size;
+    while bencher.remaining > 0 {
+        let before = bencher.remaining;
+        f(&mut bencher);
+        if bencher.remaining == before {
+            // The closure did not call iter(); avoid an infinite loop.
+            break;
+        }
+    }
+    let per_iter_ns: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / bencher.iters_per_sample as f64)
+        .collect();
+    if per_iter_ns.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{id:<50} mean {:>12} min {:>12}  ({} samples x {} iters)",
+        format_ns(mean),
+        format_ns(min),
+        per_iter_ns.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions; mirrors Criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("smoke");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

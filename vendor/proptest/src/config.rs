@@ -1,0 +1,41 @@
+//! Runner configuration.
+
+/// Configuration for a [`TestRunner`](crate::TestRunner).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required before the test passes.
+    pub cases: u32,
+    /// Cap on rejected attempts (`prop_assume!`/`prop_filter`) across the
+    /// whole run before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration with the given number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// The case count, honoring a `PROPTEST_CASES` environment override.
+    pub(crate) fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(n) => n,
+            None => self.cases,
+        }
+    }
+}

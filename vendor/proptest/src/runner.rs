@@ -1,0 +1,185 @@
+//! The test runner: drives a strategy through the configured number of
+//! cases, tracking rejections and reporting the first failure verbatim.
+
+use crate::config::ProptestConfig;
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion — the whole test fails.
+    Fail(String),
+    /// The case was discarded (`prop_assume!`) — the runner retries.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Outcome of one case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A whole-test failure: an assertion failure plus the input that caused it,
+/// or rejection-budget exhaustion.
+#[derive(Debug, Clone)]
+pub struct TestError {
+    message: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Drives strategies through test bodies. See the crate docs for the
+/// differences from upstream (deterministic per-test seeding, no shrinking).
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed default seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self::with_seed(config, 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// A runner seeded from a test name (what [`proptest!`](crate::proptest)
+    /// generates) so distinct tests draw decorrelated streams.
+    pub fn with_name(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        Self::with_seed(config, h)
+    }
+
+    /// A runner with an explicit seed.
+    pub fn with_seed(config: ProptestConfig, seed: u64) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs `test` against values from `strategy` until the configured case
+    /// count passes, a case fails, or the rejection budget is exhausted.
+    ///
+    /// # Errors
+    /// The first assertion failure (with the generated input, unshrunk), or
+    /// rejection-budget exhaustion.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> TestCaseResult,
+    ) -> Result<(), TestError> {
+        let cases = self.config.effective_cases();
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < cases {
+            if rejects > self.config.max_global_rejects {
+                return Err(TestError {
+                    message: format!(
+                        "too many global rejects ({rejects}) after {passed} passed cases; \
+                         raise max_global_rejects or loosen prop_assume!/prop_filter"
+                    ),
+                });
+            }
+            let Some(value) = strategy.sample(&mut self.rng) else {
+                rejects += 1;
+                continue;
+            };
+            // Capture the input before the body consumes it: there is no
+            // Clone bound, and on failure we must echo what was generated.
+            let repr = format!("{:?}", value);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => rejects += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    return Err(TestError {
+                        message: format!(
+                            "proptest case failed after {passed} passed cases: {msg}\n\
+                             input (unshrunk): {repr}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn failing_case_reports_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        let err = runner
+            .run(&(0..100u64,), |(n,)| {
+                prop_assert!(n < 90, "n too big: {n}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("n too big"));
+        assert!(err.to_string().contains("input (unshrunk)"));
+    }
+
+    #[test]
+    fn rejection_budget_enforced() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 10,
+            max_global_rejects: 5,
+        });
+        let err = runner
+            .run(&(0..100u64,), |(_n,)| Err(TestCaseError::reject("always")))
+            .unwrap_err();
+        assert!(err.to_string().contains("too many global rejects"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(x in 0.0..1.0f64, v in crate::collection::vec(0..10usize, 1..5)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1usize), Just(2usize), 3..10usize]) {
+            prop_assert!((1..10).contains(&v));
+        }
+
+        #[test]
+        fn tuple_destructuring((a, b) in (0..5usize, 5..10usize), c in any::<u64>()) {
+            prop_assert!(a < 5 && (5..10).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn string_strategy_total(s in "\\PC*") {
+            prop_assert!(s.chars().count() < 64);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The [`Strategy`] trait and the primitive strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test-case values.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking:
+/// `sample` either yields a value or rejects the attempt (`None`, used by
+/// `prop_filter`), and the runner retries on rejection.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value, or `None` to reject this attempt.
+    fn sample(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `f`; `reason` labels the rejection.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            _reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Chains a dependent strategy generation through `f`.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    _reason: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<S2::Value> {
+        self.inner.sample(rng).and_then(|v| (self.f)(v).sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// A boxed sampling closure — one arm of a [`Union`].
+type UnionArm<T> = Box<dyn Fn(&mut StdRng) -> Option<T>>;
+
+/// Uniform choice among boxed strategies of one value type — the expansion
+/// target of [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates an empty union; [`prop_oneof!`](crate::prop_oneof) pushes the
+    /// arms.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds an arm.
+    pub fn push(&mut self, arm: impl Fn(&mut StdRng) -> Option<T> + 'static) {
+        self.arms.push(Box::new(arm));
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<T> {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let arm = rng.random_range(0..self.arms.len());
+        (self.arms[arm])(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.random_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Characters used by the string strategy: printable ASCII plus a few
+/// multibyte code points to exercise UTF-8 handling.
+const STRING_CHARS: &[char] = &[
+    ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0', '1', '2',
+    '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', '@', 'A', 'B', 'C', 'D', 'E',
+    'K', 'L', 'N', 'S', 'T', 'U', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'b', 'c', 'd', 'e', 'k',
+    'l', 'n', 'o', 's', 't', 'u', 'z', '{', '|', '}', '~', 'é', 'Ω', '中', '🦀',
+];
+
+/// String literals act as strategies. Upstream proptest interprets them as
+/// regexes; this shim ignores the pattern and produces arbitrary printable
+/// text (the workspace only uses totality patterns like `"\\PC*"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<String> {
+        let len = rng.random_range(0..64usize);
+        Some(
+            (0..len)
+                .map(|_| STRING_CHARS[rng.random_range(0..STRING_CHARS.len())])
+                .collect(),
+        )
+    }
+}
+
+/// Marker for types with a canonical "any value" strategy.
+pub trait ArbitraryValue: Debug + Sized {
+    /// Samples an unconstrained value.
+    fn sample_any(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn sample_any(rng: &mut StdRng) -> Self {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn sample_any(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn sample_any(rng: &mut StdRng) -> Self {
+        // Finite, wide-range values; upstream generates specials too, but
+        // the workspace only uses `any::<u64>()` — this is a safety net.
+        let magnitude = rng.random_range(-300.0..300.0f64);
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        sign * 10f64.powf(magnitude)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::sample_any(rng))
+    }
+}
+
+/// An unconstrained value of `T`, e.g. `any::<u64>()`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
