@@ -6,6 +6,7 @@
 //! nws solve ... --dot out.dot               also write a Graphviz rendering
 //! nws sweep <topology.topo> <task.nws> T..  re-solve across capacities
 //! nws plan <topo> <task.nws> <target>       minimal theta for a target
+//! nws serve [...]                           run the control-plane daemon
 //! nws topo validate <topology.topo>         parse + connectivity check
 //! nws topo stats <topology.topo>            size/degree/capacity summary
 //! nws topo export geant|abilene             print a bundled topology
@@ -15,11 +16,16 @@
 //!
 //! Topology files use the `nws-topo` plain-text format; task files use the
 //! `nws-core::taskfile` format (see crate docs for both).
+//!
+//! Exit codes: 0 on success, 2 for usage errors (unknown command, missing
+//! or malformed arguments — usage is printed to stderr), 1 for runtime
+//! failures (unreadable files, infeasible problems, solver errors).
 
 use nws_core::report::render_table1;
 use nws_core::scenarios::janet_task;
 use nws_core::taskfile::parse_task;
 use nws_core::{evaluate_accuracy, solve_placement, summarize, PlacementConfig};
+use nws_service::{Daemon, DaemonOptions, ServiceState};
 use nws_topo::{abilene, format, geant, Topology};
 use std::process::ExitCode;
 
@@ -27,13 +33,42 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("nws: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("nws: {msg}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// CLI failures, split by who is at fault: `Usage` means the invocation
+/// itself was wrong (exit 2, usage printed); `Runtime` means the invocation
+/// was fine but the work failed (exit 1, no usage dump).
+#[derive(Debug, PartialEq)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime_err(msg: impl Into<String>) -> CliError {
+    CliError::Runtime(msg.into())
 }
 
 const USAGE: &str = "\
@@ -41,41 +76,52 @@ usage:
   nws solve <topology.topo|--builtin NAME> <task.nws> [--dot FILE]
   nws sweep <topology.topo|--builtin NAME> <task.nws> <theta1> [theta2 ...]
   nws plan <topology.topo|--builtin NAME> <task.nws> <target-utility>
+  nws serve [<topology.topo|--builtin NAME> <task.nws>] [serve options]
   nws topo validate <topology.topo>
   nws topo stats <topology.topo|geant|abilene>
   nws topo export <geant|abilene>
   nws topo dot <geant|abilene>
   nws demo
 
-options (solve/sweep/plan/demo):
-  --threads N    evaluate the objective on N worker threads (0 = one per
-                 core; default 1 = serial; pays off on tasks with thousands
-                 of OD pairs)";
+options (solve/sweep/plan/serve/demo):
+  --threads N       evaluate the objective on N worker threads (0 = one per
+                    core; default 1 = serial; pays off on tasks with
+                    thousands of OD pairs)
 
-fn run(args: &[String]) -> Result<(), String> {
+serve options (without a topology/task, serves the paper's JANET-on-GEANT
+scenario; speaks one JSON request per line on stdin, one response per line
+on stdout — see DESIGN.md section 8 for the protocol):
+  --shadow-cold     run a cold solve next to every warm re-solve and report
+                    both (for iteration/latency comparison)
+  --bench-out FILE  write per-event solve latency as JSON on exit
+  --queue N         bounded request-queue capacity (default 64)
+  --socket PATH     serve one connection on a Unix socket instead of stdio";
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let (args, config) = extract_config(args)?;
     match args.first().map(String::as_str) {
         Some("solve") => cmd_solve(&args[1..], &config),
         Some("sweep") => cmd_sweep(&args[1..], &config),
         Some("plan") => cmd_plan(&args[1..], &config),
+        Some("serve") => cmd_serve(&args[1..], &config),
         Some("topo") => cmd_topo(&args[1..]),
         Some("demo") => cmd_demo(&config),
-        Some(other) => Err(format!("unknown command '{other}'")),
-        None => Err("no command given".into()),
+        Some(other) => Err(usage_err(format!("unknown command '{other}'"))),
+        None => Err(usage_err("no command given")),
     }
 }
 
 /// Strips global options (currently `--threads N`) from anywhere in the
 /// argument list and folds them into a [`PlacementConfig`].
-fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig), String> {
+fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig), CliError> {
     let mut rest = args.to_vec();
     let mut config = PlacementConfig::default();
     while let Some(i) = rest.iter().position(|a| a == "--threads") {
         let n: usize = rest
             .get(i + 1)
-            .ok_or_else(|| "--threads requires a count".to_string())?
+            .ok_or_else(|| usage_err("--threads requires a count"))?
             .parse()
-            .map_err(|_| "--threads requires a non-negative integer".to_string())?;
+            .map_err(|_| usage_err("--threads requires a non-negative integer"))?;
         config.parallel.threads = n;
         rest.drain(i..=i + 1);
     }
@@ -84,47 +130,49 @@ fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig), Str
 
 /// Loads a topology from a file path or `--builtin NAME`; returns the
 /// topology and how many leading arguments were consumed.
-fn load_topology(args: &[String]) -> Result<(Topology, usize), String> {
+fn load_topology(args: &[String]) -> Result<(Topology, usize), CliError> {
     match args.first().map(String::as_str) {
         Some("--builtin") => {
             let name = args
                 .get(1)
-                .ok_or_else(|| "--builtin requires a name".to_string())?;
+                .ok_or_else(|| usage_err("--builtin requires a name"))?;
             match name.as_str() {
                 "geant" => Ok((geant(), 2)),
                 "abilene" => Ok((abilene(), 2)),
-                other => Err(format!("unknown builtin topology '{other}'")),
+                other => Err(usage_err(format!("unknown builtin topology '{other}'"))),
             }
         }
         Some(path) => {
             let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read topology '{path}': {e}"))?;
-            let topo = format::from_text(&text).map_err(|e| format!("topology '{path}': {e}"))?;
+                .map_err(|e| runtime_err(format!("cannot read topology '{path}': {e}")))?;
+            let topo = format::from_text(&text)
+                .map_err(|e| runtime_err(format!("topology '{path}': {e}")))?;
             Ok((topo, 1))
         }
-        None => Err("missing topology argument".into()),
+        None => Err(usage_err("missing topology argument")),
     }
 }
 
-fn load_task(topo: Topology, path: &str) -> Result<nws_core::MeasurementTask, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read task '{path}': {e}"))?;
-    parse_task(topo, &text).map_err(|e| format!("task '{path}': {e}"))
+fn load_task(topo: Topology, path: &str) -> Result<nws_core::MeasurementTask, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| runtime_err(format!("cannot read task '{path}': {e}")))?;
+    parse_task(topo, &text).map_err(|e| runtime_err(format!("task '{path}': {e}")))
 }
 
-fn cmd_solve(args: &[String], config: &PlacementConfig) -> Result<(), String> {
+fn cmd_solve(args: &[String], config: &PlacementConfig) -> Result<(), CliError> {
     let (topo, used) = load_topology(args)?;
     let task_path = args
         .get(used)
-        .ok_or_else(|| "solve requires a task file".to_string())?;
+        .ok_or_else(|| usage_err("solve requires a task file"))?;
     let dot_path = match (args.get(used + 1).map(String::as_str), args.get(used + 2)) {
         (Some("--dot"), Some(path)) => Some(path.clone()),
-        (Some("--dot"), None) => return Err("--dot requires a file path".into()),
-        (Some(other), _) => return Err(format!("unexpected argument '{other}'")),
+        (Some("--dot"), None) => return Err(usage_err("--dot requires a file path")),
+        (Some(other), _) => return Err(usage_err(format!("unexpected argument '{other}'"))),
         (None, _) => None,
     };
     let task = load_task(topo, task_path)?;
-    let sol = solve_placement(&task, config).map_err(|e| format!("solve failed: {e}"))?;
+    let sol =
+        solve_placement(&task, config).map_err(|e| runtime_err(format!("solve failed: {e}")))?;
     let accs = evaluate_accuracy(&task, &sol, 20, 1);
     print!("{}", render_table1(&task, &sol, &accs));
     if let Some(path) = dot_path {
@@ -134,23 +182,24 @@ fn cmd_solve(args: &[String], config: &PlacementConfig) -> Result<(), String> {
             .map(|&l| (l, sol.rates[l.index()]))
             .collect();
         let dot = format::to_dot(task.topology(), &highlights);
-        std::fs::write(&path, dot).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        std::fs::write(&path, dot)
+            .map_err(|e| runtime_err(format!("cannot write '{path}': {e}")))?;
         println!();
         println!("Graphviz rendering with activated monitors written to {path}");
     }
     Ok(())
 }
 
-fn cmd_plan(args: &[String], config: &PlacementConfig) -> Result<(), String> {
+fn cmd_plan(args: &[String], config: &PlacementConfig) -> Result<(), CliError> {
     let (topo, used) = load_topology(args)?;
     let task_path = args
         .get(used)
-        .ok_or_else(|| "plan requires a task file".to_string())?;
+        .ok_or_else(|| usage_err("plan requires a task file"))?;
     let target: f64 = args
         .get(used + 1)
-        .ok_or_else(|| "plan requires a target utility (e.g. 0.95)".to_string())?
+        .ok_or_else(|| usage_err("plan requires a target utility (e.g. 0.95)"))?
         .parse()
-        .map_err(|_| "target must be a number".to_string())?;
+        .map_err(|_| usage_err("target must be a number"))?;
     let task = load_task(topo, task_path)?;
     // Bracket: 0.01% to 120% of total candidate load.
     let ceiling: f64 = task
@@ -166,7 +215,7 @@ fn cmd_plan(args: &[String], config: &PlacementConfig) -> Result<(), String> {
         0.01,
         config,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| runtime_err(e.to_string()))?;
     println!(
         "minimal capacity for worst-OD utility >= {target}: theta = {:.0} sampled          packets/interval (achieved {:.4}, {} solves)",
         plan.theta, plan.achieved_worst_utility, plan.solves
@@ -174,23 +223,26 @@ fn cmd_plan(args: &[String], config: &PlacementConfig) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(args: &[String], config: &PlacementConfig) -> Result<(), String> {
+fn cmd_sweep(args: &[String], config: &PlacementConfig) -> Result<(), CliError> {
     let (topo, used) = load_topology(args)?;
     let task_path = args
         .get(used)
-        .ok_or_else(|| "sweep requires a task file".to_string())?;
+        .ok_or_else(|| usage_err("sweep requires a task file"))?;
     let thetas: Vec<f64> = args[used + 1..]
         .iter()
-        .map(|s| s.parse().map_err(|_| format!("bad theta '{s}'")))
+        .map(|s| s.parse().map_err(|_| usage_err(format!("bad theta '{s}'"))))
         .collect::<Result<_, _>>()?;
     if thetas.is_empty() {
-        return Err("sweep requires at least one theta".into());
+        return Err(usage_err("sweep requires at least one theta"));
     }
     let base = load_task(topo, task_path)?;
     println!("theta,objective,lambda,active_monitors,acc_mean,acc_worst");
     for theta in thetas {
-        let task = base.with_theta(theta).map_err(|e| e.to_string())?;
-        let sol = solve_placement(&task, config).map_err(|e| format!("theta {theta}: {e}"))?;
+        let task = base
+            .with_theta(theta)
+            .map_err(|e| runtime_err(e.to_string()))?;
+        let sol = solve_placement(&task, config)
+            .map_err(|e| runtime_err(format!("theta {theta}: {e}")))?;
         let acc = summarize(&evaluate_accuracy(&task, &sol, 20, 1));
         println!(
             "{theta},{:.6},{:.6e},{},{:.4},{:.4}",
@@ -204,16 +256,154 @@ fn cmd_sweep(args: &[String], config: &PlacementConfig) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_topo(args: &[String]) -> Result<(), String> {
+/// Parsed `serve` invocation: daemon options, optional socket path, and the
+/// positional (topology/task) arguments left over.
+#[derive(Debug, Default, PartialEq)]
+struct ServeSetup {
+    opts_queue: usize,
+    shadow_cold: bool,
+    bench_out: Option<String>,
+    socket: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
+    let mut setup = ServeSetup::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shadow-cold" => {
+                setup.shadow_cold = true;
+                i += 1;
+            }
+            "--bench-out" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--bench-out requires a file path"))?;
+                setup.bench_out = Some(path.clone());
+                i += 2;
+            }
+            "--queue" => {
+                let n: usize = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--queue requires a capacity"))?
+                    .parse()
+                    .map_err(|_| usage_err("--queue requires a positive integer"))?;
+                if n == 0 {
+                    return Err(usage_err("--queue requires a positive integer"));
+                }
+                setup.opts_queue = n;
+                i += 2;
+            }
+            "--socket" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--socket requires a path"))?;
+                setup.socket = Some(path.clone());
+                i += 2;
+            }
+            other if other.starts_with("--") && other != "--builtin" => {
+                return Err(usage_err(format!("unknown serve option '{other}'")));
+            }
+            _ => {
+                setup.positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok(setup)
+}
+
+fn cmd_serve(args: &[String], config: &PlacementConfig) -> Result<(), CliError> {
+    let setup = parse_serve_args(args)?;
+    let task = if setup.positional.is_empty() {
+        janet_task()
+    } else {
+        let (topo, used) = load_topology(&setup.positional)?;
+        let task_path = setup
+            .positional
+            .get(used)
+            .ok_or_else(|| usage_err("serve requires a task file after the topology"))?;
+        if setup.positional.len() > used + 1 {
+            return Err(usage_err(format!(
+                "unexpected argument '{}'",
+                setup.positional[used + 1]
+            )));
+        }
+        load_task(topo, task_path)?
+    };
+    let state = ServiceState::from_task(&task, *config);
+    let mut daemon = Daemon::new(
+        state,
+        DaemonOptions {
+            queue_capacity: setup.opts_queue,
+            shadow_cold: setup.shadow_cold,
+            bench_out: setup.bench_out.clone(),
+        },
+    );
+
+    let summary = match &setup.socket {
+        None => {
+            let input = std::io::BufReader::new(std::io::stdin());
+            let mut output = std::io::stdout();
+            daemon
+                .run(input, &mut output)
+                .map_err(|e| runtime_err(format!("serve: {e}")))?
+        }
+        Some(path) => serve_socket(&mut daemon, path)?,
+    };
+    eprintln!(
+        "serve: {} requests, {} re-solves, {}",
+        summary.requests,
+        summary.resolves,
+        if summary.clean_shutdown {
+            "clean shutdown"
+        } else {
+            "input closed"
+        }
+    );
+    Ok(())
+}
+
+/// Serves exactly one connection on a fresh Unix socket, then removes it.
+#[cfg(unix)]
+fn serve_socket(daemon: &mut Daemon, path: &str) -> Result<nws_service::DaemonSummary, CliError> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)
+        .map_err(|e| runtime_err(format!("cannot bind socket '{path}': {e}")))?;
+    let result = listener
+        .accept()
+        .map_err(|e| runtime_err(format!("accept on '{path}': {e}")))
+        .and_then(|(stream, _)| {
+            let reader = stream
+                .try_clone()
+                .map_err(|e| runtime_err(format!("socket clone: {e}")))?;
+            let mut output = stream;
+            daemon
+                .run(std::io::BufReader::new(reader), &mut output)
+                .map_err(|e| runtime_err(format!("serve: {e}")))
+        });
+    let _ = std::fs::remove_file(path);
+    result
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_daemon: &mut Daemon, _path: &str) -> Result<nws_service::DaemonSummary, CliError> {
+    Err(runtime_err("--socket is only supported on Unix platforms"))
+}
+
+fn cmd_topo(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("validate") => {
             let path = args
                 .get(1)
-                .ok_or_else(|| "validate requires a topology file".to_string())?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
-            let topo = format::from_text(&text).map_err(|e| e.to_string())?;
-            topo.validate_connected().map_err(|e| e.to_string())?;
+                .ok_or_else(|| usage_err("validate requires a topology file"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| runtime_err(format!("cannot read '{path}': {e}")))?;
+            let topo = format::from_text(&text).map_err(|e| runtime_err(e.to_string()))?;
+            topo.validate_connected()
+                .map_err(|e| runtime_err(e.to_string()))?;
             println!(
                 "ok: {} nodes, {} links ({} monitorable), connected",
                 topo.num_nodes(),
@@ -225,13 +415,13 @@ fn cmd_topo(args: &[String]) -> Result<(), String> {
         Some("stats") => {
             let arg = args
                 .get(1)
-                .ok_or_else(|| "stats requires a topology".to_string())?;
+                .ok_or_else(|| usage_err("stats requires a topology"))?;
             let topo = match builtin(arg) {
                 Ok(t) => t,
                 Err(_) => {
                     let text = std::fs::read_to_string(arg)
-                        .map_err(|e| format!("cannot read '{arg}': {e}"))?;
-                    format::from_text(&text).map_err(|e| e.to_string())?
+                        .map_err(|e| runtime_err(format!("cannot read '{arg}': {e}")))?;
+                    format::from_text(&text).map_err(|e| runtime_err(e.to_string()))?
                 }
             };
             let degrees: Vec<usize> = topo.node_ids().map(|n| topo.out_links(n).count()).collect();
@@ -268,7 +458,7 @@ fn cmd_topo(args: &[String]) -> Result<(), String> {
         Some("export") => {
             let name = args
                 .get(1)
-                .ok_or_else(|| "export requires a topology name".to_string())?;
+                .ok_or_else(|| usage_err("export requires a topology name"))?;
             let topo = builtin(name)?;
             print!("{}", format::to_text(&topo));
             Ok(())
@@ -276,27 +466,27 @@ fn cmd_topo(args: &[String]) -> Result<(), String> {
         Some("dot") => {
             let name = args
                 .get(1)
-                .ok_or_else(|| "dot requires a topology name".to_string())?;
+                .ok_or_else(|| usage_err("dot requires a topology name"))?;
             let topo = builtin(name)?;
             print!("{}", format::to_dot(&topo, &[]));
             Ok(())
         }
-        Some(other) => Err(format!("unknown topo subcommand '{other}'")),
-        None => Err("topo requires a subcommand".into()),
+        Some(other) => Err(usage_err(format!("unknown topo subcommand '{other}'"))),
+        None => Err(usage_err("topo requires a subcommand")),
     }
 }
 
-fn builtin(name: &str) -> Result<Topology, String> {
+fn builtin(name: &str) -> Result<Topology, CliError> {
     match name {
         "geant" => Ok(geant()),
         "abilene" => Ok(abilene()),
-        other => Err(format!("unknown builtin topology '{other}'")),
+        other => Err(usage_err(format!("unknown builtin topology '{other}'"))),
     }
 }
 
-fn cmd_demo(config: &PlacementConfig) -> Result<(), String> {
+fn cmd_demo(config: &PlacementConfig) -> Result<(), CliError> {
     let task = janet_task();
-    let sol = solve_placement(&task, config).map_err(|e| e.to_string())?;
+    let sol = solve_placement(&task, config).map_err(|e| runtime_err(e.to_string()))?;
     let accs = evaluate_accuracy(&task, &sol, 20, 1);
     print!("{}", render_table1(&task, &sol, &accs));
     Ok(())
@@ -306,10 +496,31 @@ fn cmd_demo(config: &PlacementConfig) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    fn is_usage(e: &CliError) -> bool {
+        matches!(e, CliError::Usage(_))
+    }
+
     #[test]
-    fn unknown_command_rejected() {
-        assert!(run(&["bogus".into()]).is_err());
-        assert!(run(&[]).is_err());
+    fn unknown_command_rejected_as_usage() {
+        assert!(is_usage(&run(&["bogus".into()]).unwrap_err()));
+        assert!(is_usage(&run(&[]).unwrap_err()));
+        assert!(is_usage(&run(&["topo".into()]).unwrap_err()));
+        assert!(is_usage(&run(&["topo".into(), "warp".into()]).unwrap_err()));
+        assert!(is_usage(&run(&["sweep".into()]).unwrap_err()));
+    }
+
+    #[test]
+    fn missing_file_is_runtime_error() {
+        let err = run(&["topo".into(), "validate".into(), "/nonexistent.topo".into()]).unwrap_err();
+        assert!(!is_usage(&err), "file errors are runtime, not usage: {err}");
+        let err = run(&[
+            "solve".into(),
+            "--builtin".into(),
+            "geant".into(),
+            "/nonexistent.nws".into(),
+        ])
+        .unwrap_err();
+        assert!(!is_usage(&err));
     }
 
     #[test]
@@ -319,7 +530,8 @@ mod tests {
         assert_eq!(g.num_nodes(), 23);
         let (a, _) = load_topology(&["--builtin".into(), "abilene".into()]).unwrap();
         assert_eq!(a.num_nodes(), 12);
-        assert!(load_topology(&["--builtin".into(), "mars".into()]).is_err());
+        let err = load_topology(&["--builtin".into(), "mars".into()]).unwrap_err();
+        assert!(is_usage(&err));
     }
 
     #[test]
@@ -339,13 +551,66 @@ mod tests {
         assert_eq!(rest, vec!["demo".to_string()]);
         assert_eq!(config.parallel.threads, 0);
 
-        assert!(extract_config(&["--threads".to_string()]).is_err());
-        assert!(extract_config(&["--threads".to_string(), "x".to_string()]).is_err());
+        assert!(is_usage(
+            &extract_config(&["--threads".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &extract_config(&["--threads".to_string(), "x".to_string()]).unwrap_err()
+        ));
     }
 
     #[test]
     fn demo_solves_with_threads() {
         run(&["demo", "--threads", "2"].map(String::from)).unwrap();
+    }
+
+    #[test]
+    fn serve_args_parse() {
+        let args: Vec<String> = [
+            "--shadow-cold",
+            "--bench-out",
+            "out.json",
+            "--queue",
+            "8",
+            "--builtin",
+            "geant",
+            "task.nws",
+        ]
+        .map(String::from)
+        .to_vec();
+        let setup = parse_serve_args(&args).unwrap();
+        assert!(setup.shadow_cold);
+        assert_eq!(setup.bench_out.as_deref(), Some("out.json"));
+        assert_eq!(setup.opts_queue, 8);
+        assert_eq!(setup.socket, None);
+        assert_eq!(
+            setup.positional,
+            vec!["--builtin".to_string(), "geant".into(), "task.nws".into()]
+        );
+
+        assert!(is_usage(
+            &parse_serve_args(&["--queue".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse_serve_args(&["--queue".to_string(), "0".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse_serve_args(&["--warp".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse_serve_args(&["--bench-out".to_string()]).unwrap_err()
+        ));
+    }
+
+    #[test]
+    fn serve_rejects_trailing_positional() {
+        let err = cmd_serve(
+            &["--builtin".into(), "geant".into()],
+            &PlacementConfig::default(),
+        )
+        .unwrap_err();
+        assert!(is_usage(&err));
+        assert!(err.to_string().contains("task file"));
     }
 
     #[test]
@@ -379,7 +644,8 @@ mod tests {
             &PlacementConfig::default(),
         )
         .unwrap_err();
-        assert!(err.contains("unexpected argument"));
+        assert!(err.to_string().contains("unexpected argument"));
+        assert!(is_usage(&err));
         let err = cmd_solve(
             &[
                 "--builtin".into(),
@@ -390,7 +656,8 @@ mod tests {
             &PlacementConfig::default(),
         )
         .unwrap_err();
-        assert!(err.contains("--dot requires"));
+        assert!(err.to_string().contains("--dot requires"));
+        assert!(is_usage(&err));
     }
 
     #[test]

@@ -151,9 +151,12 @@ fn finish_solution(
 /// `previous_rates` is indexed by topology link (as in
 /// [`PlacementSolution::rates`], possibly from a *different* topology epoch —
 /// entries for links absent from this task's candidate set are ignored). The
-/// vector is projected onto the feasible set (clamped into the box, then
-/// scaled onto the capacity equality by monotone bisection) before the
-/// solve.
+/// vector is Euclidean-projected onto the feasible box-plus-budget set
+/// (`nws_solver::BoxLinearProblem::project_onto`) before the solve, so a
+/// warm start that violates the new budget equality or per-link caps — as
+/// happens after a `set_theta` or a link failure — lands on the *nearest*
+/// feasible point instead of being rescaled or rejected. Non-finite entries
+/// are treated as 0.
 ///
 /// # Errors
 /// Same conditions as [`solve_placement`].
@@ -173,46 +176,18 @@ pub fn solve_placement_warm(
     let index = ReducedIndex::new(task);
     let problem = build_problem(task, &index)?;
 
-    // Reduce + clamp into the box.
-    let mut start: Vector = (0..index.dim())
-        .map(|v| {
-            previous_rates[index.link(v).index()].clamp(0.0, task.alpha()[index.link(v).index()])
-        })
+    // Reduce to the candidate coordinates, then project onto the feasible
+    // set. The projection handles every violation class at once: rates above
+    // the caps, a stale budget after a θ change, and non-finite garbage.
+    let reduced: Vector = (0..index.dim())
+        .map(|v| previous_rates[index.link(v).index()])
         .collect();
-    // Scale onto the equality a·(c·p ∧ upper) = θ. The left side is
-    // continuous and nondecreasing in c, 0 at c = 0 and ≥ θ at the ceiling,
-    // so bisection converges; degenerate all-zero starts fall back to the
-    // canonical start.
-    let a = problem.eq_normal();
-    let theta = problem.eq_rhs();
-    let consumed = |c: f64, p: &Vector| -> f64 {
-        (0..p.len())
-            .map(|i| a[i] * (c * p[i]).min(problem.upper()[i]))
-            .sum()
-    };
-    if start.iter().all(|&p| p <= 0.0) || consumed(1e12, &start) < theta {
+    let mut start = problem.project_onto(&reduced);
+    // Defense in depth: if the projection ever fails to certify feasibility
+    // (float pathologies), fall back to the canonical interior start rather
+    // than handing the solver a mis-start.
+    if !problem.is_feasible(&start, 1e-9) {
         start = problem.feasible_start();
-    } else {
-        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
-        while consumed(hi, &start) < theta {
-            hi *= 2.0;
-        }
-        for _ in 0..200 {
-            let mid = 0.5 * (lo + hi);
-            if consumed(mid, &start) < theta {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        let c = 0.5 * (lo + hi);
-        for i in 0..start.len() {
-            start[i] = (c * start[i]).min(problem.upper()[i]);
-        }
-        // Absorb the residual bisection error along the unclamped coords.
-        if !problem.is_feasible(&start, 1e-9) {
-            start = problem.feasible_start();
-        }
     }
 
     let objective =
@@ -426,6 +401,54 @@ mod tests {
         let zeros = vec![0.0; task.topology().num_links()];
         let warm = solve_placement_warm(&task, &PlacementConfig::default(), &zeros).unwrap();
         let cold = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_projects_budget_violation() {
+        // All-ones rates violate the budget equality by orders of magnitude
+        // (every candidate sampling at 100 %); the projection must still
+        // deliver a clean certified solve matching cold.
+        let task = two_od_task(20_000.0);
+        let ones = vec![1.0; task.topology().num_links()];
+        let warm = solve_placement_warm(&task, &PlacementConfig::default(), &ones).unwrap();
+        let cold = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        assert!(warm.kkt_verified);
+        assert!((warm.objective - cold.objective).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_projects_cap_violation() {
+        // Rates exceeding the per-link caps (α = 0.3 here) get projected
+        // into the box, not rejected.
+        let topo = geant();
+        let janet = topo.require_node("JANET").unwrap();
+        let nl = topo.require_node("NL").unwrap();
+        let lu = topo.require_node("LU").unwrap();
+        let task = MeasurementTask::builder(topo)
+            .track("JANET-NL", OdPair::new(janet, nl), 9e6)
+            .track("JANET-LU", OdPair::new(janet, lu), 6e3)
+            .theta(20_000.0)
+            .alpha(0.3)
+            .build()
+            .unwrap();
+        let over_cap = vec![0.9; task.topology().num_links()];
+        let warm = solve_placement_warm(&task, &PlacementConfig::default(), &over_cap).unwrap();
+        let cold = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        assert!(warm.kkt_verified);
+        assert!(warm.rates.iter().all(|&p| p <= 0.3 + 1e-9));
+        assert!((warm.objective - cold.objective).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_survives_non_finite_entries() {
+        let task = two_od_task(20_000.0);
+        let mut garbage = vec![0.01; task.topology().num_links()];
+        garbage[0] = f64::NAN;
+        garbage[1] = f64::INFINITY;
+        let warm = solve_placement_warm(&task, &PlacementConfig::default(), &garbage).unwrap();
+        let cold = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        assert!(warm.kkt_verified);
         assert!((warm.objective - cold.objective).abs() < 1e-8);
     }
 

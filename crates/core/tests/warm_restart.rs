@@ -1,0 +1,65 @@
+//! Property test for warm-started re-solves: after a random ±20% demand
+//! perturbation, warm-starting from the unperturbed optimum must reach the
+//! cold-solve objective (to 1e-8 relative) in no more iterations — the
+//! whole point of carrying the solution across events.
+
+use nws_core::scenarios::janet_task;
+use nws_core::{solve_placement, solve_placement_warm, MeasurementTask, PlacementConfig};
+use proptest::prelude::*;
+
+/// Rebuilds the JANET task with each OD size scaled by its multiplier,
+/// keeping background, θ, and α unchanged.
+fn perturbed_task(base: &MeasurementTask, mults: &[f64]) -> MeasurementTask {
+    let sizes: Vec<f64> = base.ods().iter().map(|o| o.size).collect();
+    let tracked = base.routing().link_loads(&sizes);
+    let background: Vec<f64> = base
+        .link_loads()
+        .iter()
+        .zip(&tracked)
+        .map(|(total, t)| (total - t).max(0.0))
+        .collect();
+    let mut builder = MeasurementTask::builder(base.topology().clone());
+    for (od, m) in base.ods().iter().zip(mults) {
+        builder = builder.track(od.name.clone(), od.od, od.size * m);
+    }
+    builder
+        .background_loads(&background)
+        .theta(base.theta())
+        .alpha(base.alpha()[0])
+        .build()
+        .expect("perturbed task stays valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn warm_resolve_matches_cold_with_fewer_iterations(
+        mults in proptest::collection::vec(0.8..1.2f64, 20)
+    ) {
+        let config = PlacementConfig::default();
+        let base = janet_task();
+        let base_sol = solve_placement(&base, &config).expect("base solves");
+
+        let task = perturbed_task(&base, &mults);
+        let cold = solve_placement(&task, &config).expect("cold solves");
+        let warm =
+            solve_placement_warm(&task, &config, &base_sol.rates).expect("warm solves");
+
+        prop_assert!(warm.kkt_verified, "warm solve must certify KKT");
+        prop_assert!(cold.kkt_verified, "cold solve must certify KKT");
+        let tol = 1e-8 * cold.objective.abs().max(1.0);
+        prop_assert!(
+            (warm.objective - cold.objective).abs() < tol,
+            "objectives disagree: warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        prop_assert!(
+            warm.diagnostics.iterations < cold.diagnostics.iterations,
+            "warm start must save iterations: warm {} vs cold {}",
+            warm.diagnostics.iterations,
+            cold.diagnostics.iterations
+        );
+    }
+}

@@ -1,0 +1,535 @@
+//! The daemon event loop: a bounded request queue fed by a reader thread,
+//! one JSON response line per request, graceful shutdown, and an optional
+//! per-event latency report (`BENCH_serve.json` format).
+//!
+//! Transport-agnostic: [`Daemon::run`] takes any `BufRead` + `Write` pair,
+//! so the same loop serves stdin/stdout pipes, Unix-socket connections
+//! (see `nws serve --socket`), and in-memory test harnesses.
+
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+use crate::protocol::{parse_request, Request};
+use crate::state::{ServiceState, SolveReport};
+use crate::ServiceError;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+/// Daemon tunables.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonOptions {
+    /// Bounded request-queue capacity; 0 means the default (64). The reader
+    /// thread blocks once the queue is full, which back-pressures the peer.
+    pub queue_capacity: usize,
+    /// Run a from-scratch cold solve next to every warm re-solve and report
+    /// both (iteration savings + latency comparison). Doubles solve cost;
+    /// meant for benchmarking and acceptance runs.
+    pub shadow_cold: bool,
+    /// Write a `BENCH_serve.json`-style per-event latency report here when
+    /// the daemon exits.
+    pub bench_out: Option<String>,
+}
+
+/// One re-solve-triggering event, for the latency report.
+#[derive(Debug, Clone)]
+struct EventRecord {
+    seq: u64,
+    cmd: &'static str,
+    warm: bool,
+    iterations: usize,
+    wall_ms: f64,
+    cold_iterations: Option<usize>,
+    cold_ms: Option<f64>,
+    objective: f64,
+}
+
+/// What a completed [`Daemon::run`] reports back to the embedder.
+#[derive(Debug, Clone)]
+pub struct DaemonSummary {
+    /// Requests processed (including malformed lines).
+    pub requests: u64,
+    /// Successful event re-solves (including the startup solve).
+    pub resolves: u64,
+    /// True when the loop ended on an explicit `shutdown`, false on EOF.
+    pub clean_shutdown: bool,
+}
+
+/// The long-running control-plane daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    state: ServiceState,
+    opts: DaemonOptions,
+    metrics: Metrics,
+    events: Vec<EventRecord>,
+    seq: u64,
+}
+
+impl Daemon {
+    /// Wraps a state (typically [`ServiceState::from_task`]) for serving.
+    pub fn new(state: ServiceState, opts: DaemonOptions) -> Self {
+        Daemon {
+            state,
+            opts,
+            metrics: Metrics::default(),
+            events: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Serves requests from `input` until `shutdown` or EOF, writing one
+    /// response line per request (plus a leading `hello` line carrying the
+    /// startup solve) to `output`.
+    ///
+    /// A spawned reader thread feeds a bounded queue; the caller should
+    /// close `input` after sending `shutdown` (scripts and sockets do this
+    /// naturally), since the reader can only observe the closed queue after
+    /// its next line.
+    ///
+    /// # Errors
+    /// I/O errors from `output`, and [`ServiceError`] if the *initial*
+    /// solve fails (an unservable scenario). Per-event solve failures are
+    /// reported to the peer as error responses, not returned.
+    pub fn run<R, W>(&mut self, input: R, output: &mut W) -> Result<DaemonSummary, ServiceError>
+    where
+        R: BufRead + Send,
+        W: Write,
+    {
+        // Startup solve: every later event warm-starts from this.
+        let hello = if self.state.installed().is_none() {
+            let report = self.state.resolve(false)?;
+            self.metrics.record_resolve(&report);
+            self.record_event("hello", &report);
+            Some(report)
+        } else {
+            None
+        };
+        let mut line = obj(vec![
+            ("ok", Json::Bool(true)),
+            ("cmd", Json::Str("hello".into())),
+            ("ods", Json::Num(self.state.ods().len() as f64)),
+            ("theta", Json::Num(self.state.theta())),
+        ]);
+        if let (Json::Obj(pairs), Some(report)) = (&mut line, &hello) {
+            pairs.push(("resolve".to_string(), resolve_json(report)));
+        }
+        writeln!(output, "{}", line.encode()).map_err(ServiceError::io)?;
+        output.flush().map_err(ServiceError::io)?;
+
+        let capacity = if self.opts.queue_capacity == 0 {
+            64
+        } else {
+            self.opts.queue_capacity
+        };
+        let (tx, rx) = mpsc::sync_channel::<Result<Request, String>>(capacity);
+
+        let mut clean_shutdown = false;
+        std::thread::scope(|scope| -> Result<(), ServiceError> {
+            scope.spawn(move || {
+                for line in input.lines() {
+                    let Ok(line) = line else { break };
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if tx.send(parse_request(trimmed)).is_err() {
+                        break; // queue closed: daemon is shutting down
+                    }
+                }
+            });
+            while let Ok(item) = rx.recv() {
+                self.seq += 1;
+                let (response, is_shutdown) = self.handle(item);
+                writeln!(output, "{}", response.encode()).map_err(ServiceError::io)?;
+                output.flush().map_err(ServiceError::io)?;
+                if is_shutdown {
+                    clean_shutdown = true;
+                    break;
+                }
+            }
+            Ok(())
+        })?;
+
+        if let Some(path) = self.opts.bench_out.clone() {
+            std::fs::write(&path, self.bench_report())
+                .map_err(|e| ServiceError::State(format!("cannot write '{path}': {e}")))?;
+        }
+        Ok(DaemonSummary {
+            requests: self.metrics.requests,
+            resolves: self.metrics.resolves,
+            clean_shutdown,
+        })
+    }
+
+    fn record_event(&mut self, cmd: &'static str, report: &SolveReport) {
+        self.events.push(EventRecord {
+            seq: self.seq,
+            cmd,
+            warm: report.warm_started,
+            iterations: report.iterations,
+            wall_ms: report.wall_ms,
+            cold_iterations: report.cold.as_ref().map(|c| c.iterations),
+            cold_ms: report.cold.as_ref().map(|c| c.wall_ms),
+            objective: report.objective,
+        });
+    }
+
+    /// Processes one queue item; returns the response and whether to stop.
+    fn handle(&mut self, item: Result<Request, String>) -> (Json, bool) {
+        let req = match item {
+            Ok(req) => req,
+            Err(msg) => {
+                self.metrics.record_request("invalid");
+                self.metrics.record_error();
+                return (self.error_response(None, &msg), false);
+            }
+        };
+        self.metrics.record_request(req.name());
+        if req.is_mutating() {
+            let outcome = self.state.apply_event(&req, self.opts.shadow_cold);
+            return match outcome {
+                Ok(report) => {
+                    self.metrics.record_resolve(&report);
+                    self.record_event(req.name(), &report);
+                    (
+                        self.ok_response(&req, vec![("resolve", resolve_json(&report))]),
+                        false,
+                    )
+                }
+                Err(e) => {
+                    self.metrics.record_error();
+                    (self.error_response(Some(&req), &e.to_string()), false)
+                }
+            };
+        }
+        match &req {
+            Request::Ping => (
+                self.ok_response(&req, vec![("pong", Json::Bool(true))]),
+                false,
+            ),
+            Request::QueryRates => match self.state.active_rates() {
+                Ok(rates) => {
+                    let monitors = Json::Arr(
+                        rates
+                            .iter()
+                            .map(|(label, p)| {
+                                obj(vec![
+                                    ("link", Json::Str(label.clone())),
+                                    ("rate", Json::Num(*p)),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    let objective = self
+                        .state
+                        .installed()
+                        .map_or(Json::Null, |i| Json::Num(i.objective));
+                    (
+                        self.ok_response(
+                            &req,
+                            vec![
+                                ("theta", Json::Num(self.state.theta())),
+                                ("objective", objective),
+                                ("monitors", monitors),
+                            ],
+                        ),
+                        false,
+                    )
+                }
+                Err(e) => {
+                    self.metrics.record_error();
+                    (self.error_response(Some(&req), &e.to_string()), false)
+                }
+            },
+            Request::QueryAccuracy { runs, seed } => match self.state.accuracy(*runs, *seed) {
+                Ok((mean, worst, best)) => (
+                    self.ok_response(
+                        &req,
+                        vec![
+                            ("mean", Json::Num(mean)),
+                            ("worst", Json::Num(worst)),
+                            ("best", Json::Num(best)),
+                        ],
+                    ),
+                    false,
+                ),
+                Err(e) => {
+                    self.metrics.record_error();
+                    (self.error_response(Some(&req), &e.to_string()), false)
+                }
+            },
+            Request::Snapshot => {
+                let depth = self.state.snapshot();
+                (
+                    self.ok_response(&req, vec![("depth", Json::Num(depth as f64))]),
+                    false,
+                )
+            }
+            Request::Rollback => match self.state.rollback() {
+                Ok((depth, objective)) => (
+                    self.ok_response(
+                        &req,
+                        vec![
+                            ("depth", Json::Num(depth as f64)),
+                            ("objective", objective.map_or(Json::Null, Json::Num)),
+                        ],
+                    ),
+                    false,
+                ),
+                Err(e) => {
+                    self.metrics.record_error();
+                    (self.error_response(Some(&req), &e.to_string()), false)
+                }
+            },
+            Request::Stats => (
+                self.ok_response(&req, vec![("stats", self.metrics.to_json())]),
+                false,
+            ),
+            Request::Shutdown => (
+                self.ok_response(
+                    &req,
+                    vec![
+                        ("bye", Json::Bool(true)),
+                        ("resolves", Json::Num(self.metrics.resolves as f64)),
+                    ],
+                ),
+                true,
+            ),
+            // Mutating variants were dispatched above.
+            _ => unreachable!("mutating request in query path"),
+        }
+    }
+
+    fn ok_response(&self, req: &Request, payload: Vec<(&str, Json)>) -> Json {
+        let mut pairs = vec![
+            ("ok", Json::Bool(true)),
+            ("seq", Json::Num(self.seq as f64)),
+            ("cmd", Json::Str(req.name().into())),
+        ];
+        pairs.extend(payload);
+        obj(pairs)
+    }
+
+    fn error_response(&self, req: Option<&Request>, msg: &str) -> Json {
+        let mut pairs = vec![
+            ("ok", Json::Bool(false)),
+            ("seq", Json::Num(self.seq as f64)),
+        ];
+        if let Some(req) = req {
+            pairs.push(("cmd", Json::Str(req.name().into())));
+        }
+        pairs.push(("error", Json::Str(msg.into())));
+        obj(pairs)
+    }
+
+    /// The `BENCH_serve.json` document: per-event latency plus warm/cold
+    /// totals.
+    fn bench_report(&self) -> String {
+        let events = Json::Arr(
+            self.events
+                .iter()
+                .map(|e| {
+                    obj(vec![
+                        ("seq", Json::Num(e.seq as f64)),
+                        ("cmd", Json::Str(e.cmd.into())),
+                        ("warm", Json::Bool(e.warm)),
+                        ("iterations", Json::Num(e.iterations as f64)),
+                        ("wall_ms", Json::Num(e.wall_ms)),
+                        (
+                            "cold_iterations",
+                            e.cold_iterations
+                                .map_or(Json::Null, |n| Json::Num(n as f64)),
+                        ),
+                        ("cold_ms", e.cold_ms.map_or(Json::Null, Json::Num)),
+                        ("objective", Json::Num(e.objective)),
+                    ])
+                })
+                .collect(),
+        );
+        let warm_events: Vec<&EventRecord> = self.events.iter().filter(|e| e.warm).collect();
+        let warm_ms: f64 = warm_events.iter().map(|e| e.wall_ms).sum();
+        let warm_iters: usize = warm_events.iter().map(|e| e.iterations).sum();
+        let cold_ms: f64 = warm_events.iter().filter_map(|e| e.cold_ms).sum();
+        let cold_iters: usize = warm_events.iter().filter_map(|e| e.cold_iterations).sum();
+        let report = obj(vec![
+            ("bench", Json::Str("serve".into())),
+            ("events", events),
+            (
+                "totals",
+                obj(vec![
+                    ("warm_resolves", Json::Num(warm_events.len() as f64)),
+                    ("warm_iterations", Json::Num(warm_iters as f64)),
+                    ("warm_ms", Json::Num(warm_ms)),
+                    ("cold_iterations", Json::Num(cold_iters as f64)),
+                    ("cold_ms", Json::Num(cold_ms)),
+                ]),
+            ),
+        ]);
+        let mut text = report.encode();
+        text.push('\n');
+        text
+    }
+}
+
+/// The `"resolve"` payload of a mutating command's response.
+fn resolve_json(report: &SolveReport) -> Json {
+    let mut pairs = vec![
+        ("warm", Json::Bool(report.warm_started)),
+        ("iterations", Json::Num(report.iterations as f64)),
+        (
+            "constraint_releases",
+            Json::Num(report.constraint_releases as f64),
+        ),
+        ("kkt", Json::Bool(report.kkt)),
+        ("objective", Json::Num(report.objective)),
+        (
+            "objective_delta",
+            report.objective_delta.map_or(Json::Null, Json::Num),
+        ),
+        ("lambda", Json::Num(report.lambda)),
+        ("wall_ms", Json::Num(report.wall_ms)),
+        ("active_monitors", Json::Num(report.active_monitors as f64)),
+    ];
+    if let Some(cold) = &report.cold {
+        pairs.push((
+            "cold",
+            obj(vec![
+                ("iterations", Json::Num(cold.iterations as f64)),
+                ("wall_ms", Json::Num(cold.wall_ms)),
+                ("objective", Json::Num(cold.objective)),
+            ]),
+        ));
+    }
+    obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use nws_core::scenarios::janet_task;
+    use nws_core::PlacementConfig;
+    use std::io::Cursor;
+
+    fn run_script(script: &str, opts: DaemonOptions) -> (Vec<Json>, DaemonSummary) {
+        let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        let mut daemon = Daemon::new(state, opts);
+        let mut out = Vec::new();
+        let summary = daemon
+            .run(Cursor::new(script.to_string()), &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines = text
+            .lines()
+            .map(|l| parse(l).expect("daemon emits valid JSON"))
+            .collect();
+        (lines, summary)
+    }
+
+    #[test]
+    fn hello_then_ping_then_shutdown() {
+        let script = "{\"cmd\":\"ping\"}\n{\"cmd\":\"shutdown\"}\n";
+        let (lines, summary) = run_script(script, DaemonOptions::default());
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].get("cmd").unwrap().as_str(), Some("hello"));
+        assert_eq!(
+            lines[0]
+                .get("resolve")
+                .unwrap()
+                .get("kkt")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        assert_eq!(lines[1].get("pong").unwrap().as_bool(), Some(true));
+        assert_eq!(lines[2].get("bye").unwrap().as_bool(), Some(true));
+        assert!(summary.clean_shutdown);
+        assert_eq!(summary.requests, 2);
+    }
+
+    #[test]
+    fn eof_without_shutdown_is_unclean_but_graceful() {
+        let (lines, summary) = run_script("{\"cmd\":\"ping\"}\n", DaemonOptions::default());
+        assert_eq!(lines.len(), 2);
+        assert!(!summary.clean_shutdown);
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses() {
+        let script = "this is not json\n{\"cmd\":\"warp\"}\n{\"cmd\":\"shutdown\"}\n";
+        let (lines, summary) = run_script(script, DaemonOptions::default());
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(lines[2].get("ok").unwrap().as_bool(), Some(false));
+        assert!(lines[2]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown command"));
+        assert!(summary.clean_shutdown);
+    }
+
+    #[test]
+    fn mutating_event_reports_resolve_payload() {
+        let script = "{\"cmd\":\"set_theta\",\"theta\":80000}\n{\"cmd\":\"shutdown\"}\n";
+        let (lines, _) = run_script(
+            script,
+            DaemonOptions {
+                shadow_cold: true,
+                ..DaemonOptions::default()
+            },
+        );
+        let resolve = lines[1].get("resolve").unwrap();
+        assert_eq!(resolve.get("warm").unwrap().as_bool(), Some(true));
+        assert_eq!(resolve.get("kkt").unwrap().as_bool(), Some(true));
+        assert!(resolve.get("cold").unwrap().get("iterations").is_some());
+        assert!(resolve.get("objective_delta").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn bench_report_written() {
+        let dir = std::env::temp_dir().join("nws_service_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_serve.json");
+        let script = "{\"cmd\":\"set_theta\",\"theta\":90000}\n\
+                      {\"cmd\":\"fail_link\",\"a\":\"FR\",\"b\":\"LU\"}\n\
+                      {\"cmd\":\"shutdown\"}\n";
+        let (_, summary) = run_script(
+            script,
+            DaemonOptions {
+                shadow_cold: true,
+                bench_out: Some(path.to_string_lossy().into_owned()),
+                ..DaemonOptions::default()
+            },
+        );
+        assert_eq!(summary.resolves, 3); // hello + 2 events
+        let report = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.get("bench").unwrap().as_str(), Some("serve"));
+        let events = report.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+        let totals = report.get("totals").unwrap();
+        assert_eq!(totals.get("warm_resolves").unwrap().as_f64(), Some(2.0));
+        // Shadow cold data present for warm events.
+        assert!(totals.get("cold_iterations").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let script = "{\"cmd\":\"ping\"}\n{\"cmd\":\"set_theta\",\"theta\":70000}\n\
+                      {\"cmd\":\"stats\"}\n{\"cmd\":\"shutdown\"}\n";
+        let (lines, _) = run_script(script, DaemonOptions::default());
+        let stats = lines[3].get("stats").unwrap();
+        // ping + set_theta + stats itself, counted before the response.
+        assert_eq!(stats.get("requests").unwrap().as_f64(), Some(3.0));
+        assert_eq!(stats.get("resolves").unwrap().as_f64(), Some(2.0)); // hello + set_theta
+        assert_eq!(stats.get("warm_resolves").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            stats
+                .get("per_command")
+                .unwrap()
+                .get("set_theta")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! `nws-service`: a long-running control-plane daemon for network-wide
+//! sampling.
+//!
+//! The daemon owns mutable network state — topology, tracked demand, the
+//! sampling budget θ, and the currently installed rate configuration — and
+//! processes a JSON-lines protocol (one request object per line, one
+//! response object per line) over stdin/stdout or a Unix socket. Every
+//! mutating event (demand update, link failure/restore, OD add/remove,
+//! θ change) triggers an incremental re-solve warm-started from the
+//! previous optimum, re-projected onto the new feasible set; responses
+//! carry full solve diagnostics (iterations, KKT status, objective delta,
+//! wall time).
+//!
+//! Module map:
+//! - [`json`] — hand-rolled JSON parser/encoder (no external deps).
+//! - [`protocol`] — the request grammar ([`protocol::parse_request`]).
+//! - [`state`] — mutable network state with transactional events,
+//!   warm-started re-solves, and snapshot/rollback.
+//! - [`metrics`] — per-daemon counters behind the `stats` command.
+//! - [`daemon`] — the event loop ([`daemon::Daemon::run`]).
+//!
+//! See `DESIGN.md` §8 for the protocol grammar and the state machine.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod daemon;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod state;
+
+pub use daemon::{Daemon, DaemonOptions, DaemonSummary};
+pub use protocol::{parse_request, Request};
+pub use state::{ServiceState, SolveReport};
+
+use nws_core::CoreError;
+
+/// Errors surfaced by the service layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Invalid state transition or malformed specification (unknown node,
+    /// duplicate OD, empty snapshot stack, I/O problems, …).
+    State(String),
+    /// A solver/task error from the core layer (infeasible θ, unroutable
+    /// OD, non-convergence).
+    Core(CoreError),
+}
+
+impl ServiceError {
+    /// Wraps an I/O error (transport writes, bench-report output).
+    pub fn io(e: std::io::Error) -> Self {
+        ServiceError::State(format!("i/o error: {e}"))
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::State(msg) => write!(f, "{msg}"),
+            ServiceError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::State(_) => None,
+            ServiceError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}

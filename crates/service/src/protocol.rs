@@ -1,0 +1,294 @@
+//! Request grammar of the control plane: one JSON object per line.
+//!
+//! Every request carries a `"cmd"` discriminator; the remaining fields are
+//! command-specific. See `DESIGN.md` §8 for the full grammar. Responses are
+//! assembled by the daemon (`crate::daemon`) as [`crate::json::Json`]
+//! objects and always carry `"ok"` plus either the command's payload or an
+//! `"error"` string.
+
+use crate::json::{parse, Json};
+
+/// One decoded control-plane request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Replace the size (packets/interval) of a tracked OD pair.
+    UpdateDemand {
+        /// OD display name, e.g. `"JANET-NL"`.
+        od: String,
+        /// New ground-truth size in packets per interval.
+        size: f64,
+    },
+    /// Fail the fibre between two PoPs (both directions).
+    FailLink {
+        /// One endpoint node name.
+        a: String,
+        /// The other endpoint node name.
+        b: String,
+    },
+    /// Restore a previously failed fibre.
+    RestoreLink {
+        /// One endpoint node name.
+        a: String,
+        /// The other endpoint node name.
+        b: String,
+    },
+    /// Start tracking a new OD pair.
+    AddOd {
+        /// Display name (must be unique).
+        name: String,
+        /// Origin node name.
+        src: String,
+        /// Destination node name.
+        dst: String,
+        /// Ground-truth size in packets per interval.
+        size: f64,
+    },
+    /// Stop tracking an OD pair.
+    RemoveOd {
+        /// Display name of the pair to drop.
+        name: String,
+    },
+    /// Change the network-wide sampling budget θ.
+    SetTheta {
+        /// New budget in sampled packets per interval.
+        theta: f64,
+    },
+    /// Report the currently installed sampling rates (active monitors only).
+    QueryRates,
+    /// Monte-Carlo accuracy evaluation of the installed configuration.
+    QueryAccuracy {
+        /// Number of simulated measurement runs.
+        runs: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Push the current state (topology events, OD set, θ, solution) onto
+    /// the snapshot stack.
+    Snapshot,
+    /// Pop the snapshot stack and reinstall that state, without re-solving.
+    Rollback,
+    /// Report daemon counters (requests, re-solves, iteration savings).
+    Stats,
+    /// Liveness probe; mutates nothing.
+    Ping,
+    /// Stop the daemon after acknowledging.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire name of the command (matches the `"cmd"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::UpdateDemand { .. } => "update_demand",
+            Request::FailLink { .. } => "fail_link",
+            Request::RestoreLink { .. } => "restore_link",
+            Request::AddOd { .. } => "add_od",
+            Request::RemoveOd { .. } => "remove_od",
+            Request::SetTheta { .. } => "set_theta",
+            Request::QueryRates => "query_rates",
+            Request::QueryAccuracy { .. } => "query_accuracy",
+            Request::Snapshot => "snapshot",
+            Request::Rollback => "rollback",
+            Request::Stats => "stats",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether the request mutates network state (and therefore triggers a
+    /// re-solve on success).
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            Request::UpdateDemand { .. }
+                | Request::FailLink { .. }
+                | Request::RestoreLink { .. }
+                | Request::AddOd { .. }
+                | Request::RemoveOd { .. }
+                | Request::SetTheta { .. }
+        )
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn num_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn opt_num_field(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(j) => j
+            .as_f64()
+            .ok_or_else(|| format!("non-numeric field '{key}'")),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// A human-readable message for JSON syntax errors, missing/ill-typed
+/// fields, or unknown commands.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line)?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let cmd = str_field(&v, "cmd")?;
+    match cmd.as_str() {
+        "update_demand" => Ok(Request::UpdateDemand {
+            od: str_field(&v, "od")?,
+            size: num_field(&v, "size")?,
+        }),
+        "fail_link" => Ok(Request::FailLink {
+            a: str_field(&v, "a")?,
+            b: str_field(&v, "b")?,
+        }),
+        "restore_link" => Ok(Request::RestoreLink {
+            a: str_field(&v, "a")?,
+            b: str_field(&v, "b")?,
+        }),
+        "add_od" => Ok(Request::AddOd {
+            name: str_field(&v, "name")?,
+            src: str_field(&v, "src")?,
+            dst: str_field(&v, "dst")?,
+            size: num_field(&v, "size")?,
+        }),
+        "remove_od" => Ok(Request::RemoveOd {
+            name: str_field(&v, "name")?,
+        }),
+        "set_theta" => Ok(Request::SetTheta {
+            theta: num_field(&v, "theta")?,
+        }),
+        "query_rates" => Ok(Request::QueryRates),
+        "query_accuracy" => {
+            let runs = opt_num_field(&v, "runs", 20.0)?;
+            let seed = opt_num_field(&v, "seed", 1.0)?;
+            if runs < 1.0 || runs.fract() != 0.0 || runs > 1e6 {
+                return Err("'runs' must be a positive integer ≤ 1e6".into());
+            }
+            if seed < 0.0 || seed.fract() != 0.0 {
+                return Err("'seed' must be a non-negative integer".into());
+            }
+            Ok(Request::QueryAccuracy {
+                runs: runs as usize,
+                seed: seed as u64,
+            })
+        }
+        "snapshot" => Ok(Request::Snapshot),
+        "rollback" => Ok(Request::Rollback),
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        let cases = [
+            (
+                r#"{"cmd":"update_demand","od":"JANET-NL","size":1e6}"#,
+                Request::UpdateDemand {
+                    od: "JANET-NL".into(),
+                    size: 1e6,
+                },
+            ),
+            (
+                r#"{"cmd":"fail_link","a":"FR","b":"LU"}"#,
+                Request::FailLink {
+                    a: "FR".into(),
+                    b: "LU".into(),
+                },
+            ),
+            (
+                r#"{"cmd":"restore_link","a":"FR","b":"LU"}"#,
+                Request::RestoreLink {
+                    a: "FR".into(),
+                    b: "LU".into(),
+                },
+            ),
+            (
+                r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":500}"#,
+                Request::AddOd {
+                    name: "X".into(),
+                    src: "UK".into(),
+                    dst: "DE".into(),
+                    size: 500.0,
+                },
+            ),
+            (
+                r#"{"cmd":"remove_od","name":"X"}"#,
+                Request::RemoveOd { name: "X".into() },
+            ),
+            (
+                r#"{"cmd":"set_theta","theta":80000}"#,
+                Request::SetTheta { theta: 80_000.0 },
+            ),
+            (r#"{"cmd":"query_rates"}"#, Request::QueryRates),
+            (
+                r#"{"cmd":"query_accuracy","runs":5,"seed":9}"#,
+                Request::QueryAccuracy { runs: 5, seed: 9 },
+            ),
+            (r#"{"cmd":"snapshot"}"#, Request::Snapshot),
+            (r#"{"cmd":"rollback"}"#, Request::Rollback),
+            (r#"{"cmd":"stats"}"#, Request::Stats),
+            (r#"{"cmd":"ping"}"#, Request::Ping),
+            (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
+        ];
+        for (line, want) in cases {
+            let got = parse_request(line).unwrap();
+            assert_eq!(got, want, "line {line}");
+            assert!(line.contains(got.name()));
+        }
+    }
+
+    #[test]
+    fn accuracy_defaults_apply() {
+        let r = parse_request(r#"{"cmd":"query_accuracy"}"#).unwrap();
+        assert_eq!(r, Request::QueryAccuracy { runs: 20, seed: 1 });
+    }
+
+    #[test]
+    fn mutating_classification() {
+        assert!(parse_request(r#"{"cmd":"set_theta","theta":1}"#)
+            .unwrap()
+            .is_mutating());
+        assert!(!parse_request(r#"{"cmd":"query_rates"}"#)
+            .unwrap()
+            .is_mutating());
+        assert!(!parse_request(r#"{"cmd":"snapshot"}"#)
+            .unwrap()
+            .is_mutating());
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            r#"{"cmd":"warp"}"#,
+            r#"{"od":"X","size":1}"#,
+            r#"{"cmd":"update_demand","od":"X"}"#,
+            r#"{"cmd":"update_demand","od":7,"size":1}"#,
+            r#"{"cmd":"fail_link","a":"FR"}"#,
+            r#"{"cmd":"query_accuracy","runs":0}"#,
+            r#"{"cmd":"query_accuracy","runs":2.5}"#,
+            r#"{"cmd":"query_accuracy","seed":-1}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! Mutable network state owned by the daemon, with transactional event
+//! application, warm-started re-solves, and snapshot/rollback.
+//!
+//! The state is a *specification* (base topology, failed fibres by endpoint
+//! names, OD set, background loads, θ, α) from which the current
+//! [`MeasurementTask`] is rebuilt after every event. Keeping the spec — not
+//! the built task — as the source of truth is what makes link failures
+//! composable with every other event: the derived topology, the routing
+//! matrix and the candidate set are always reconstructed from scratch,
+//! while sampling rates are carried across epochs in *base-topology link
+//! indexing* and re-mapped through [`nws_routing::failure::link_id_map`].
+
+use crate::protocol::Request;
+use crate::ServiceError;
+use nws_core::{
+    evaluate_accuracy, evaluate_rates, solve_placement, solve_placement_warm, summarize,
+    MeasurementTask, PlacementConfig, ACTIVATION_THRESHOLD,
+};
+use nws_routing::failure::{bidirectional_pair, link_id_map, without_links};
+use nws_routing::OdPair;
+use nws_topo::{LinkId, Topology};
+use std::time::Instant;
+
+/// One tracked OD pair, by node *names* so it survives topology epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdSpec {
+    /// Display name (unique within the task).
+    pub name: String,
+    /// Origin node name.
+    pub src: String,
+    /// Destination node name.
+    pub dst: String,
+    /// Ground-truth size in packets per interval.
+    pub size: f64,
+}
+
+/// The currently installed sampling configuration, in base-topology link
+/// indexing (failed links carry rate 0).
+#[derive(Debug, Clone)]
+pub struct Installed {
+    /// Sampling rate per base-topology link.
+    pub rates_base: Vec<f64>,
+    /// Objective of the installing solve.
+    pub objective: f64,
+    /// Budget multiplier λ of the installing solve.
+    pub lambda: f64,
+    /// Number of activated monitors.
+    pub active_monitors: usize,
+    /// Whether the installing solve was KKT-certified.
+    pub kkt: bool,
+}
+
+/// Cold-solve comparison attached to a re-solve when shadow mode is on.
+#[derive(Debug, Clone)]
+pub struct ColdComparison {
+    /// Iterations the cold solve needed.
+    pub iterations: usize,
+    /// Cold solve wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Cold solve objective (agreement check against the warm solve).
+    pub objective: f64,
+}
+
+/// Diagnostics of one event-triggered re-solve.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Whether the solve was warm-started from the previous configuration.
+    pub warm_started: bool,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Active-set releases during the solve.
+    pub constraint_releases: usize,
+    /// Whether the KKT conditions were certified.
+    pub kkt: bool,
+    /// Objective at the new configuration.
+    pub objective: f64,
+    /// Change versus the previously installed configuration (`None` on the
+    /// first solve).
+    pub objective_delta: Option<f64>,
+    /// Budget multiplier λ.
+    pub lambda: f64,
+    /// Wall time of the (warm) solve in milliseconds.
+    pub wall_ms: f64,
+    /// Number of activated monitors.
+    pub active_monitors: usize,
+    /// Shadow cold solve, when requested.
+    pub cold: Option<ColdComparison>,
+}
+
+/// Everything `rollback` restores — the event-mutable spec plus the
+/// installed configuration at snapshot time.
+#[derive(Debug, Clone)]
+struct SnapshotData {
+    failed: Vec<(String, String)>,
+    ods: Vec<OdSpec>,
+    theta: f64,
+    installed: Option<Installed>,
+}
+
+/// The daemon's mutable network state.
+#[derive(Debug, Clone)]
+pub struct ServiceState {
+    base: Topology,
+    /// Failed fibres as canonically ordered endpoint-name pairs.
+    failed: Vec<(String, String)>,
+    ods: Vec<OdSpec>,
+    /// Background (non-tracked) load per base-topology link. Background on
+    /// a failed link is dropped for the epoch, not rerouted — tracked
+    /// traffic, which the objective actually sees, *is* rerouted via the
+    /// rebuilt routing matrix.
+    background_base: Vec<f64>,
+    theta: f64,
+    alpha: f64,
+    config: PlacementConfig,
+    installed: Option<Installed>,
+    snapshots: Vec<SnapshotData>,
+}
+
+fn canonical_pair(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+impl ServiceState {
+    /// Builds the state from an already-validated measurement task.
+    ///
+    /// The task's per-link α is assumed uniform (the only shape
+    /// [`MeasurementTask`]'s builder produces); candidate-set restrictions
+    /// are not carried over.
+    pub fn from_task(task: &MeasurementTask, config: PlacementConfig) -> Self {
+        let topo = task.topology();
+        let sizes: Vec<f64> = task.ods().iter().map(|o| o.size).collect();
+        let tracked = task.routing().link_loads(&sizes);
+        let background_base: Vec<f64> = task
+            .link_loads()
+            .iter()
+            .zip(&tracked)
+            .map(|(total, t)| (total - t).max(0.0))
+            .collect();
+        let ods = task
+            .ods()
+            .iter()
+            .map(|o| OdSpec {
+                name: o.name.clone(),
+                src: topo.node(o.od.src).name().to_string(),
+                dst: topo.node(o.od.dst).name().to_string(),
+                size: o.size,
+            })
+            .collect();
+        ServiceState {
+            base: topo.clone(),
+            failed: Vec::new(),
+            ods,
+            background_base,
+            theta: task.theta(),
+            alpha: task.alpha().first().copied().unwrap_or(1.0),
+            config,
+            installed: None,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The currently installed configuration, if any solve has run.
+    pub fn installed(&self) -> Option<&Installed> {
+        self.installed.as_ref()
+    }
+
+    /// Current sampling budget θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Currently failed fibres (canonical endpoint-name pairs).
+    pub fn failed_fibres(&self) -> &[(String, String)] {
+        &self.failed
+    }
+
+    /// Tracked OD specifications.
+    pub fn ods(&self) -> &[OdSpec] {
+        &self.ods
+    }
+
+    /// Snapshot-stack depth.
+    pub fn snapshot_depth(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    fn failed_link_ids(&self) -> Result<Vec<LinkId>, ServiceError> {
+        let mut ids = Vec::new();
+        for (a, b) in &self.failed {
+            let na = self.require_node(a)?;
+            let nb = self.require_node(b)?;
+            ids.extend(bidirectional_pair(&self.base, na, nb));
+        }
+        Ok(ids)
+    }
+
+    fn require_node(&self, name: &str) -> Result<nws_topo::NodeId, ServiceError> {
+        self.base
+            .node_by_name(name)
+            .ok_or_else(|| ServiceError::State(format!("unknown node '{name}'")))
+    }
+
+    /// Rebuilds the current epoch's task and the base→epoch link-id map.
+    fn rebuild(&self) -> Result<(MeasurementTask, Vec<Option<LinkId>>), ServiceError> {
+        let failed_ids = self.failed_link_ids()?;
+        let topo_now = without_links(&self.base, &failed_ids)
+            .map_err(|e| ServiceError::State(format!("post-failure topology invalid: {e}")))?;
+        let idmap = link_id_map(&self.base, &failed_ids);
+
+        let mut background = vec![0.0; topo_now.num_links()];
+        for (old, new) in idmap.iter().enumerate() {
+            if let Some(new) = new {
+                background[new.index()] = self.background_base[old];
+            }
+        }
+
+        let mut names = Vec::with_capacity(self.ods.len());
+        let mut pairs = Vec::with_capacity(self.ods.len());
+        for od in &self.ods {
+            let src = topo_now
+                .node_by_name(&od.src)
+                .ok_or_else(|| ServiceError::State(format!("unknown node '{}'", od.src)))?;
+            let dst = topo_now
+                .node_by_name(&od.dst)
+                .ok_or_else(|| ServiceError::State(format!("unknown node '{}'", od.dst)))?;
+            names.push(od.name.clone());
+            pairs.push((OdPair { src, dst }, od.size));
+        }
+        let mut builder = MeasurementTask::builder(topo_now);
+        for (name, (od, size)) in names.into_iter().zip(pairs) {
+            builder = builder.track(name, od, size);
+        }
+        let task = builder
+            .background_loads(&background)
+            .theta(self.theta)
+            .alpha(self.alpha)
+            .build()?;
+        Ok((task, idmap))
+    }
+
+    /// Re-optimizes the placement for the current spec, warm-starting from
+    /// the installed configuration when one exists. With `shadow`, also
+    /// runs a from-scratch cold solve for iteration/latency comparison (the
+    /// installed result is always the warm one).
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] for spec problems (unroutable OD, unknown
+    /// node), [`ServiceError::Core`] for solver failures (e.g. θ infeasible
+    /// after failures shrank the candidate set).
+    pub fn resolve(&mut self, shadow: bool) -> Result<SolveReport, ServiceError> {
+        let (task, idmap) = self.rebuild()?;
+        let prev_objective = self.installed.as_ref().map(|i| i.objective);
+        let warm_vec: Option<Vec<f64>> = self.installed.as_ref().map(|inst| {
+            let mut v = vec![0.0; task.topology().num_links()];
+            for (old, new) in idmap.iter().enumerate() {
+                if let Some(new) = new {
+                    v[new.index()] = inst.rates_base[old];
+                }
+            }
+            v
+        });
+
+        let t0 = Instant::now();
+        let sol = match &warm_vec {
+            Some(w) => solve_placement_warm(&task, &self.config, w)?,
+            None => solve_placement(&task, &self.config)?,
+        };
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let cold = if shadow && warm_vec.is_some() {
+            let t1 = Instant::now();
+            let c = solve_placement(&task, &self.config)?;
+            Some(ColdComparison {
+                iterations: c.diagnostics.iterations,
+                wall_ms: t1.elapsed().as_secs_f64() * 1e3,
+                objective: c.objective,
+            })
+        } else {
+            None
+        };
+
+        let mut rates_base = vec![0.0; self.base.num_links()];
+        for (old, new) in idmap.iter().enumerate() {
+            if let Some(new) = new {
+                rates_base[old] = sol.rates[new.index()];
+            }
+        }
+        self.installed = Some(Installed {
+            rates_base,
+            objective: sol.objective,
+            lambda: sol.lambda,
+            active_monitors: sol.active_monitors.len(),
+            kkt: sol.kkt_verified,
+        });
+        Ok(SolveReport {
+            warm_started: warm_vec.is_some(),
+            iterations: sol.diagnostics.iterations,
+            constraint_releases: sol.diagnostics.constraint_releases,
+            kkt: sol.kkt_verified,
+            objective: sol.objective,
+            objective_delta: prev_objective.map(|o| sol.objective - o),
+            lambda: sol.lambda,
+            wall_ms,
+            active_monitors: sol.active_monitors.len(),
+            cold,
+        })
+    }
+
+    /// Applies a mutating request transactionally: the mutation and its
+    /// re-solve run on a copy, which replaces `self` only on success — a
+    /// rejected event (unroutable OD, infeasible θ) leaves the installed
+    /// configuration untouched.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] when `req` is not a mutating command or the
+    /// mutation is invalid; solve errors as in [`ServiceState::resolve`].
+    pub fn apply_event(
+        &mut self,
+        req: &Request,
+        shadow: bool,
+    ) -> Result<SolveReport, ServiceError> {
+        let mut next = self.clone();
+        next.mutate(req)?;
+        let report = next.resolve(shadow)?;
+        *self = next;
+        Ok(report)
+    }
+
+    fn mutate(&mut self, req: &Request) -> Result<(), ServiceError> {
+        let bad = |msg: String| Err(ServiceError::State(msg));
+        match req {
+            Request::UpdateDemand { od, size } => {
+                if !(size.is_finite() && *size > 1.0) {
+                    return bad(format!("size must exceed 1 packet/interval, got {size}"));
+                }
+                match self.ods.iter_mut().find(|o| o.name == *od) {
+                    Some(spec) => {
+                        spec.size = *size;
+                        Ok(())
+                    }
+                    None => bad(format!("unknown OD '{od}'")),
+                }
+            }
+            Request::FailLink { a, b } => {
+                let na = self.require_node(a)?;
+                let nb = self.require_node(b)?;
+                if bidirectional_pair(&self.base, na, nb).is_empty() {
+                    return bad(format!("no fibre between '{a}' and '{b}'"));
+                }
+                let pair = canonical_pair(a, b);
+                if self.failed.contains(&pair) {
+                    return bad(format!("fibre {a}–{b} is already failed"));
+                }
+                self.failed.push(pair);
+                Ok(())
+            }
+            Request::RestoreLink { a, b } => {
+                let pair = canonical_pair(a, b);
+                match self.failed.iter().position(|p| *p == pair) {
+                    Some(i) => {
+                        self.failed.remove(i);
+                        Ok(())
+                    }
+                    None => bad(format!("fibre {a}–{b} is not failed")),
+                }
+            }
+            Request::AddOd {
+                name,
+                src,
+                dst,
+                size,
+            } => {
+                if self.ods.iter().any(|o| o.name == *name) {
+                    return bad(format!("OD '{name}' already tracked"));
+                }
+                if !(size.is_finite() && *size > 1.0) {
+                    return bad(format!("size must exceed 1 packet/interval, got {size}"));
+                }
+                self.require_node(src)?;
+                self.require_node(dst)?;
+                if src == dst {
+                    return bad("OD origin and destination coincide".into());
+                }
+                self.ods.push(OdSpec {
+                    name: name.clone(),
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    size: *size,
+                });
+                Ok(())
+            }
+            Request::RemoveOd { name } => match self.ods.iter().position(|o| o.name == *name) {
+                Some(_) if self.ods.len() == 1 => bad("cannot remove the last tracked OD".into()),
+                Some(i) => {
+                    self.ods.remove(i);
+                    Ok(())
+                }
+                None => bad(format!("unknown OD '{name}'")),
+            },
+            Request::SetTheta { theta } => {
+                if !(theta.is_finite() && *theta > 0.0) {
+                    return bad(format!("theta must be positive and finite, got {theta}"));
+                }
+                self.theta = *theta;
+                Ok(())
+            }
+            other => bad(format!("'{}' is not a mutating command", other.name())),
+        }
+    }
+
+    /// Pushes the current spec + installed configuration onto the snapshot
+    /// stack; returns the new depth.
+    pub fn snapshot(&mut self) -> usize {
+        self.snapshots.push(SnapshotData {
+            failed: self.failed.clone(),
+            ods: self.ods.clone(),
+            theta: self.theta,
+            installed: self.installed.clone(),
+        });
+        self.snapshots.len()
+    }
+
+    /// Pops the snapshot stack and reinstalls that state — no re-solve, the
+    /// snapshotted rate vector simply comes back into force. Returns the
+    /// remaining depth and the restored objective (if a configuration was
+    /// installed at snapshot time).
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] when the stack is empty.
+    pub fn rollback(&mut self) -> Result<(usize, Option<f64>), ServiceError> {
+        let snap = self
+            .snapshots
+            .pop()
+            .ok_or_else(|| ServiceError::State("snapshot stack is empty".into()))?;
+        self.failed = snap.failed;
+        self.ods = snap.ods;
+        self.theta = snap.theta;
+        self.installed = snap.installed;
+        Ok((
+            self.snapshots.len(),
+            self.installed.as_ref().map(|i| i.objective),
+        ))
+    }
+
+    /// The activated monitors of the installed configuration as
+    /// `(link label, rate)` pairs in base-topology link order.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] when no configuration is installed.
+    pub fn active_rates(&self) -> Result<Vec<(String, f64)>, ServiceError> {
+        let inst = self
+            .installed
+            .as_ref()
+            .ok_or_else(|| ServiceError::State("no configuration installed yet".into()))?;
+        Ok(inst
+            .rates_base
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > ACTIVATION_THRESHOLD)
+            .map(|(i, &p)| (self.base.link_label(LinkId::from_index(i)), p))
+            .collect())
+    }
+
+    /// Monte-Carlo accuracy of the installed configuration against the
+    /// current epoch's task: `(mean, worst, best)` over ODs.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] when no configuration is installed or the
+    /// epoch's task cannot be rebuilt.
+    pub fn accuracy(&self, runs: usize, seed: u64) -> Result<(f64, f64, f64), ServiceError> {
+        let inst = self
+            .installed
+            .as_ref()
+            .ok_or_else(|| ServiceError::State("no configuration installed yet".into()))?;
+        let (task, idmap) = self.rebuild()?;
+        let mut rates_now = vec![0.0; task.topology().num_links()];
+        for (old, new) in idmap.iter().enumerate() {
+            if let Some(new) = new {
+                rates_now[new.index()] = inst.rates_base[old];
+            }
+        }
+        let sol = evaluate_rates(&task, &rates_now);
+        let summary = summarize(&evaluate_accuracy(&task, &sol, runs, seed));
+        Ok((summary.mean, summary.worst, summary.best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nws_core::scenarios::janet_task;
+
+    fn fresh() -> ServiceState {
+        let mut s = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        s.resolve(false).unwrap();
+        s
+    }
+
+    #[test]
+    fn from_task_extracts_spec() {
+        let task = janet_task();
+        let s = ServiceState::from_task(&task, PlacementConfig::default());
+        assert_eq!(s.ods().len(), 20);
+        assert_eq!(s.theta(), task.theta());
+        assert_eq!(s.ods()[0].name, "JANET-NL");
+        assert_eq!(s.ods()[0].src, "JANET");
+        assert!(s.installed().is_none());
+        // The rebuilt task matches the original.
+        let (rebuilt, _) = s.rebuild().unwrap();
+        assert_eq!(rebuilt.ods().len(), task.ods().len());
+        for (a, b) in rebuilt.link_loads().iter().zip(task.link_loads()) {
+            assert!((a - b).abs() < 1e-6 * b.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn first_resolve_is_cold_then_warm() {
+        let mut s = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        let first = s.resolve(false).unwrap();
+        assert!(!first.warm_started);
+        assert!(first.kkt);
+        assert!(first.objective_delta.is_none());
+        let again = s.resolve(true).unwrap();
+        assert!(again.warm_started);
+        assert!(again.kkt);
+        // Re-solving an unchanged spec from its own optimum is near-free.
+        let cold = again.cold.expect("shadow requested");
+        assert!(again.iterations <= cold.iterations);
+        assert!((again.objective - cold.objective).abs() < 1e-8);
+    }
+
+    #[test]
+    fn demand_update_triggers_warm_resolve() {
+        let mut s = fresh();
+        let before = s.installed().unwrap().objective;
+        let report = s
+            .apply_event(
+                &Request::UpdateDemand {
+                    od: "JANET-NL".into(),
+                    size: 30_000.0 * 300.0 * 1.2,
+                },
+                true,
+            )
+            .unwrap();
+        assert!(report.warm_started);
+        assert!(report.kkt);
+        assert!(report.objective_delta.unwrap().abs() > 0.0);
+        assert_ne!(s.installed().unwrap().objective, before);
+        let cold = report.cold.unwrap();
+        assert!((report.objective - cold.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fail_and_restore_roundtrip() {
+        let mut s = fresh();
+        let base_obj = s.installed().unwrap().objective;
+        let fail = Request::FailLink {
+            a: "FR".into(),
+            b: "LU".into(),
+        };
+        let report = s.apply_event(&fail, false).unwrap();
+        assert!(report.kkt);
+        assert_eq!(s.failed_fibres().len(), 1);
+        // Double-failure rejected, state untouched.
+        assert!(s.apply_event(&fail, false).is_err());
+        assert_eq!(s.failed_fibres().len(), 1);
+        let restore = Request::RestoreLink {
+            a: "LU".into(), // endpoint order must not matter
+            b: "FR".into(),
+        };
+        let report = s.apply_event(&restore, false).unwrap();
+        assert!(report.kkt);
+        assert!(s.failed_fibres().is_empty());
+        assert!((s.installed().unwrap().objective - base_obj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failed_event_leaves_state_intact() {
+        let mut s = fresh();
+        let obj = s.installed().unwrap().objective;
+        // Unknown OD.
+        assert!(s
+            .apply_event(
+                &Request::UpdateDemand {
+                    od: "NOPE".into(),
+                    size: 1e6
+                },
+                false
+            )
+            .is_err());
+        // θ infeasible (beyond total candidate load): solver rejects, the
+        // transaction rolls back.
+        assert!(s
+            .apply_event(&Request::SetTheta { theta: 1e18 }, false)
+            .is_err());
+        assert_eq!(s.installed().unwrap().objective, obj);
+        assert_eq!(s.theta(), janet_task().theta());
+    }
+
+    #[test]
+    fn add_remove_od() {
+        let mut s = fresh();
+        let add = Request::AddOd {
+            name: "UK-DE".into(),
+            src: "UK".into(),
+            dst: "DE".into(),
+            size: 5_000.0,
+        };
+        let report = s.apply_event(&add, false).unwrap();
+        assert!(report.kkt);
+        assert_eq!(s.ods().len(), 21);
+        // Duplicate name rejected.
+        assert!(s.apply_event(&add, false).is_err());
+        let report = s
+            .apply_event(
+                &Request::RemoveOd {
+                    name: "UK-DE".into(),
+                },
+                false,
+            )
+            .unwrap();
+        assert!(report.kkt);
+        assert_eq!(s.ods().len(), 20);
+    }
+
+    #[test]
+    fn snapshot_rollback_restores_spec_and_solution() {
+        let mut s = fresh();
+        let obj0 = s.installed().unwrap().objective;
+        assert_eq!(s.snapshot(), 1);
+        s.apply_event(&Request::SetTheta { theta: 50_000.0 }, false)
+            .unwrap();
+        s.apply_event(
+            &Request::FailLink {
+                a: "FR".into(),
+                b: "LU".into(),
+            },
+            false,
+        )
+        .unwrap();
+        assert_ne!(s.installed().unwrap().objective, obj0);
+        let (depth, restored) = s.rollback().unwrap();
+        assert_eq!(depth, 0);
+        assert_eq!(restored, Some(obj0));
+        assert_eq!(s.theta(), janet_task().theta());
+        assert!(s.failed_fibres().is_empty());
+        assert!(s.rollback().is_err());
+    }
+
+    #[test]
+    fn queries_report_installed_configuration() {
+        let s = fresh();
+        let rates = s.active_rates().unwrap();
+        assert!(!rates.is_empty());
+        assert!(rates.iter().all(|&(_, p)| p > 0.0 && p <= 1.0));
+        let (mean, worst, best) = s.accuracy(5, 1).unwrap();
+        assert!(worst <= mean && mean <= best);
+        assert!(best <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn non_mutating_command_rejected_as_event() {
+        let mut s = fresh();
+        assert!(s.apply_event(&Request::Ping, false).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration test: a full scripted daemon session on the JANET-on-GEANT
+//! scenario — demand updates, a link failure, a θ change, an OD addition,
+//! queries, snapshot/rollback, and a clean shutdown — with shadow cold
+//! solves so warm-start savings can be asserted end to end.
+
+use nws_core::scenarios::janet_task;
+use nws_core::PlacementConfig;
+use nws_service::json::{parse, Json};
+use nws_service::{Daemon, DaemonOptions, ServiceState};
+use std::io::Cursor;
+
+const SCRIPT: &str = r#"{"cmd":"snapshot"}
+{"cmd":"set_theta","theta":90000}
+{"cmd":"update_demand","od":"JANET-NL","size":10800000}
+{"cmd":"fail_link","a":"FR","b":"LU"}
+{"cmd":"add_od","name":"UK-DE","src":"UK","dst":"DE","size":5000}
+{"cmd":"query_rates"}
+{"cmd":"query_accuracy","runs":5,"seed":7}
+{"cmd":"rollback"}
+{"cmd":"set_theta","theta":110000}
+{"cmd":"update_demand","od":"JANET-LU","size":9000}
+{"cmd":"stats"}
+{"cmd":"shutdown"}
+"#;
+
+#[test]
+fn scripted_session_warm_starts_every_event() {
+    let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let mut daemon = Daemon::new(
+        state,
+        DaemonOptions {
+            shadow_cold: true,
+            ..DaemonOptions::default()
+        },
+    );
+    let mut out = Vec::new();
+    let summary = daemon
+        .run(Cursor::new(SCRIPT.to_string()), &mut out)
+        .expect("session runs");
+    assert!(summary.clean_shutdown);
+    assert_eq!(summary.requests, 12);
+
+    let lines: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| parse(l).expect("valid JSON response"))
+        .collect();
+    assert_eq!(lines.len(), 13, "hello + one response per request");
+    for line in &lines {
+        assert_eq!(
+            line.get("ok").unwrap().as_bool(),
+            Some(true),
+            "every response succeeds: {}",
+            line.encode()
+        );
+    }
+    assert_eq!(lines[0].get("cmd").unwrap().as_str(), Some("hello"));
+    let hello_obj = lines[0]
+        .get("resolve")
+        .unwrap()
+        .get("objective")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+
+    // The six mutating events: responses 2-5 and 9-10 (1-based after hello).
+    let mutating: Vec<&Json> = lines
+        .iter()
+        .filter(|l| l.get("resolve").is_some() && l.get("cmd").unwrap().as_str() != Some("hello"))
+        .collect();
+    assert_eq!(mutating.len(), 6, "six mutating events in the script");
+    let mut warm_iters = 0.0;
+    let mut cold_iters = 0.0;
+    let mut warm_ms = 0.0;
+    let mut cold_ms = 0.0;
+    for resp in &mutating {
+        let resolve = resp.get("resolve").unwrap();
+        assert_eq!(
+            resolve.get("kkt").unwrap().as_bool(),
+            Some(true),
+            "every re-solve is KKT-certified: {}",
+            resp.encode()
+        );
+        assert_eq!(resolve.get("warm").unwrap().as_bool(), Some(true));
+        assert!(resolve.get("objective_delta").unwrap().as_f64().is_some());
+        warm_iters += resolve.get("iterations").unwrap().as_f64().unwrap();
+        warm_ms += resolve.get("wall_ms").unwrap().as_f64().unwrap();
+        let cold = resolve.get("cold").expect("shadow mode attaches cold data");
+        cold_iters += cold.get("iterations").unwrap().as_f64().unwrap();
+        cold_ms += cold.get("wall_ms").unwrap().as_f64().unwrap();
+        // Warm and shadow cold agree on the optimum.
+        let w = resolve.get("objective").unwrap().as_f64().unwrap();
+        let c = cold.get("objective").unwrap().as_f64().unwrap();
+        assert!(
+            (w - c).abs() < 1e-6 * c.abs().max(1.0),
+            "warm {w} vs cold {c}"
+        );
+    }
+    assert!(
+        warm_iters < cold_iters,
+        "warm re-solves must save iterations in total: warm {warm_iters} vs cold {cold_iters}"
+    );
+    assert!(warm_ms > 0.0 && cold_ms > 0.0);
+
+    // The failure-epoch queries (responses 6-7) reflect the mutated state.
+    let rates = &lines[6];
+    assert_eq!(rates.get("cmd").unwrap().as_str(), Some("query_rates"));
+    assert_eq!(rates.get("theta").unwrap().as_f64(), Some(90_000.0));
+    assert!(!rates.get("monitors").unwrap().as_arr().unwrap().is_empty());
+    let acc = &lines[7];
+    assert_eq!(acc.get("cmd").unwrap().as_str(), Some("query_accuracy"));
+    let mean = acc.get("mean").unwrap().as_f64().unwrap();
+    assert!(mean > 0.0 && mean <= 1.0 + 1e-9);
+
+    // Rollback restores the startup objective without a re-solve.
+    let rollback = &lines[8];
+    assert_eq!(rollback.get("cmd").unwrap().as_str(), Some("rollback"));
+    assert!(rollback.get("resolve").is_none());
+    assert_eq!(rollback.get("depth").unwrap().as_f64(), Some(0.0));
+    let restored = rollback.get("objective").unwrap().as_f64().unwrap();
+    assert!(
+        (restored - hello_obj).abs() < 1e-12,
+        "rollback reinstalls the snapshotted solution"
+    );
+
+    // Stats agree with the session's traffic.
+    let stats = lines[11].get("stats").unwrap();
+    assert_eq!(stats.get("resolves").unwrap().as_f64(), Some(7.0)); // hello + 6
+    assert_eq!(stats.get("warm_resolves").unwrap().as_f64(), Some(6.0));
+    assert_eq!(stats.get("errors").unwrap().as_f64(), Some(0.0));
+    let saved = stats
+        .get("mean_iterations_saved")
+        .unwrap()
+        .as_f64()
+        .expect("shadow mode yields savings data");
+    assert!(
+        saved > 0.0,
+        "mean iterations saved must be positive: {saved}"
+    );
+}
+
+#[test]
+fn rejected_events_do_not_poison_the_session() {
+    let script = r#"{"cmd":"fail_link","a":"FR","b":"NOWHERE"}
+{"cmd":"set_theta","theta":-5}
+{"cmd":"update_demand","od":"JANET-NL","size":9000000}
+{"cmd":"shutdown"}
+"#;
+    let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let mut daemon = Daemon::new(state, DaemonOptions::default());
+    let mut out = Vec::new();
+    let summary = daemon
+        .run(Cursor::new(script.to_string()), &mut out)
+        .unwrap();
+    assert!(summary.clean_shutdown);
+    let lines: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| parse(l).unwrap())
+        .collect();
+    assert_eq!(lines[1].get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(lines[2].get("ok").unwrap().as_bool(), Some(false));
+    // The valid event after two rejections still warm-starts and certifies.
+    let resolve = lines[3].get("resolve").unwrap();
+    assert_eq!(resolve.get("warm").unwrap().as_bool(), Some(true));
+    assert_eq!(resolve.get("kkt").unwrap().as_bool(), Some(true));
+}

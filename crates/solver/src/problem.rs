@@ -140,6 +140,66 @@ impl BoxLinearProblem {
         self.upper.scaled(c)
     }
 
+    /// Euclidean projection of `p` onto the feasible set
+    /// `{x : 0 ≤ x ≤ upper, a·x = rhs}`.
+    ///
+    /// The projection is `x_i(μ) = clamp(p_i − μ·a_i, 0, upper_i)` for the
+    /// unique multiplier `μ` with `a·x(μ) = rhs`; `a·x(μ)` is continuous and
+    /// nonincreasing in `μ`, spanning `[0, Σ a_i·upper_i] ∋ rhs`, so monotone
+    /// bisection converges unconditionally. Non-finite coordinates of `p`
+    /// are treated as 0 before projecting, so a corrupted warm-start vector
+    /// degrades gracefully instead of poisoning the solve.
+    ///
+    /// This is the warm-start re-projection hook: after an event changes
+    /// `rhs` (a `set_theta`) or the bounds/dimension (a link failure), the
+    /// previous solution generally violates the budget equality or the caps;
+    /// projecting recovers the *nearest* feasible point, which preserves the
+    /// active-set structure far better than rescaling.
+    ///
+    /// # Panics
+    /// Panics if `p`'s length differs from the problem dimension.
+    pub fn project_onto(&self, p: &Vector) -> Vector {
+        assert_eq!(p.len(), self.dim(), "projection input length mismatch");
+        let sanitized: Vector = p
+            .iter()
+            .map(|&v| if v.is_finite() { v } else { 0.0 })
+            .collect();
+        let consumed = |mu: f64| -> f64 {
+            (0..self.dim())
+                .map(|i| {
+                    self.eq_normal[i]
+                        * (sanitized[i] - mu * self.eq_normal[i]).clamp(0.0, self.upper[i])
+                })
+                .sum()
+        };
+        // Bracket the multiplier by doubling outwards from [-1, 1].
+        let (mut lo, mut hi) = (-1.0_f64, 1.0_f64);
+        while consumed(lo) < self.eq_rhs {
+            lo *= 2.0;
+            if lo < -1e30 {
+                break;
+            }
+        }
+        while consumed(hi) > self.eq_rhs {
+            hi *= 2.0;
+            if hi > 1e30 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if consumed(mid) > self.eq_rhs {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mu = 0.5 * (lo + hi);
+        (0..self.dim())
+            .map(|i| (sanitized[i] - mu * self.eq_normal[i]).clamp(0.0, self.upper[i]))
+            .collect()
+    }
+
     /// True iff `p` satisfies all constraints to within `tol` (bounds
     /// absolutely, equality relative to `rhs`).
     pub fn is_feasible(&self, p: &Vector, tol: f64) -> bool {
@@ -261,6 +321,75 @@ mod tests {
         let x0 = p.feasible_start();
         assert!(x0.approx_eq(&Vector::filled(2, 1.0), 1e-12));
         assert!(p.is_feasible(&x0, 1e-9));
+    }
+
+    #[test]
+    fn projection_lands_on_feasible_set() {
+        let p = simple();
+        for point in [
+            Vector::from(vec![0.9, 0.9, 0.9]),  // over budget
+            Vector::from(vec![0.0, 0.0, 0.01]), // under budget
+            Vector::from(vec![5.0, -3.0, 0.5]), // outside the box
+            Vector::zeros(3),                   // degenerate
+        ] {
+            let x = p.project_onto(&point);
+            assert!(p.is_feasible(&x, 1e-9), "projection of {point:?} -> {x:?}");
+        }
+    }
+
+    #[test]
+    fn projection_fixes_feasible_points() {
+        let p = simple();
+        let x0 = p.feasible_start();
+        let x = p.project_onto(&x0);
+        assert!(x.approx_eq(&x0, 1e-9), "{x:?} != {x0:?}");
+    }
+
+    #[test]
+    fn projection_is_nearest_among_probes() {
+        // The Euclidean projection must be at least as close as any other
+        // feasible probe point.
+        let p = simple();
+        let point = Vector::from(vec![1.5, 0.0, 0.0]);
+        let dist = |a: &Vector, b: &Vector| -> f64 {
+            let mut d = a.clone();
+            d.axpy(-1.0, b);
+            d.norm2()
+        };
+        let x = p.project_onto(&point);
+        let d_proj = dist(&x, &point);
+        for probe in [
+            p.feasible_start(),
+            p.project_onto(&Vector::from(vec![0.0, 1.5, 0.0])),
+            p.project_onto(&Vector::from(vec![0.0, 0.0, 1.5])),
+        ] {
+            assert!(p.is_feasible(&probe, 1e-9));
+            let d = dist(&probe, &point);
+            assert!(d_proj <= d + 1e-9, "{d_proj} > {d} for {probe:?}");
+        }
+    }
+
+    #[test]
+    fn projection_sanitizes_non_finite_input() {
+        let p = simple();
+        let x = p.project_onto(&Vector::from(vec![f64::NAN, f64::INFINITY, 0.2]));
+        assert!(x.is_finite());
+        assert!(p.is_feasible(&x, 1e-9));
+    }
+
+    #[test]
+    fn projection_handles_boundary_budget() {
+        // rhs at the ceiling: the only feasible point is `upper`.
+        let p = BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::from(vec![10.0, 20.0]), 30.0)
+            .unwrap();
+        let x = p.project_onto(&Vector::from(vec![0.1, 0.0]));
+        assert!(x.approx_eq(&Vector::filled(2, 1.0), 1e-7), "{x:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "projection input length mismatch")]
+    fn projection_length_checked() {
+        simple().project_onto(&Vector::zeros(2));
     }
 
     #[test]

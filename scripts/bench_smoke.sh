@@ -1,9 +1,28 @@
 #!/usr/bin/env sh
-# Smoke-run of the objective-evaluation micro-benchmark: small instances,
-# few repetitions, JSON report at the repo root. Used as a non-blocking CI
-# step; run manually (without --quick) for publishable numbers.
+# Smoke-run of the performance surfaces: the objective-evaluation
+# micro-benchmark (small instances, few repetitions) and a scripted
+# control-plane daemon session on GEANT recording cold-vs-warm re-solve
+# latency. JSON reports land at the repo root. Used as a non-blocking CI
+# step; run eval_bench manually (without --quick) for publishable numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
 cargo run --release -p nws-bench --bin eval_bench -- --quick --out BENCH_eval.json
 echo "bench smoke OK: $(pwd)/BENCH_eval.json"
+
+# Daemon smoke: pipe a scripted event sequence (demand updates, a link
+# failure, theta changes, snapshot/rollback) through `nws serve` on the
+# JANET-on-GEANT scenario. --shadow-cold runs a cold solve per event so
+# BENCH_serve.json carries the warm-vs-cold comparison; `set -e` makes a
+# non-zero daemon exit fail the smoke run.
+cargo run --release -p nws-cli -- serve --shadow-cold --bench-out BENCH_serve.json \
+    < fixtures/serve_session.jsonl > serve_session.out
+[ -s BENCH_serve.json ] || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
+grep -q '"bye":true' serve_session.out || { echo "daemon did not shut down cleanly" >&2; exit 1; }
+if grep -q '"ok":false' serve_session.out; then
+    echo "daemon rejected a scripted event:" >&2
+    grep '"ok":false' serve_session.out >&2
+    exit 1
+fi
+rm -f serve_session.out
+echo "serve smoke OK: $(pwd)/BENCH_serve.json"
