@@ -18,6 +18,7 @@ use nws_core::{
     RateModel, ReducedIndex, SreUtility,
 };
 use nws_linalg::Vector;
+use nws_obs::Recorder;
 use nws_routing::{OdPair, Router};
 use nws_solver::Objective;
 use nws_topo::random::ring_with_chords;
@@ -52,6 +53,12 @@ struct SolverResult {
     parallel_threads: usize,
     iterations: usize,
     objective_rel_diff: f64,
+}
+
+struct ObsResult {
+    disabled_ms: f64,
+    enabled_ms: f64,
+    overhead_ratio: f64,
 }
 
 /// Median wall time of `reps` calls to `f`, in milliseconds (one warmup).
@@ -97,7 +104,11 @@ fn task_case(name: &str, task: &MeasurementTask, model: RateModel) -> EvalCase {
 /// destinations, sizes heavy-tailed by OD rank. Bypassing `MeasurementTask`
 /// keeps construction linear in nnz (no dense routing matrix), which is what
 /// lets the case reach hundreds of thousands of entries.
-fn random_case(n: usize, chords: usize, dsts_per_src: usize, model: RateModel) -> EvalCase {
+type ObjectiveParts = (Vec<SreUtility>, Vec<f64>, Vec<Vec<(usize, f64)>>, usize);
+
+/// The raw (utilities, weights, routing rows, dim) of the synthetic case,
+/// so several objectives can be built over identical data.
+fn random_parts(n: usize, chords: usize, dsts_per_src: usize) -> ObjectiveParts {
     let topo = ring_with_chords(n, chords, 42);
     let dim = topo.num_links();
     let router = Router::new(&topo);
@@ -126,6 +137,11 @@ fn random_case(n: usize, chords: usize, dsts_per_src: usize, model: RateModel) -
         }
     }
     let weights = vec![1.0; rows.len()];
+    (utilities, weights, rows, dim)
+}
+
+fn random_case(n: usize, chords: usize, dsts_per_src: usize, model: RateModel) -> EvalCase {
+    let (utilities, weights, rows, dim) = random_parts(n, chords, dsts_per_src);
     let objective_variants = THREADS
         .iter()
         .map(|&t| {
@@ -252,12 +268,61 @@ fn run_solver_case(
     }
 }
 
+/// Measures recorder overhead on the evaluation hot path: the same serial
+/// objective (identical data) with the default no-op sink vs an enabled
+/// `nws-obs` recorder. Run on the large random case — the scale the engine
+/// targets; on toy instances the fixed per-call counter bump dwarfs the
+/// sub-microsecond gradient itself. Samples interleave the two objectives
+/// (so frequency/thermal drift hits both equally) and each sample times a
+/// batch of gradient evaluations to stay above timer noise. CI gates
+/// `overhead_ratio` at 1.05.
+fn run_obs_overhead(
+    disabled: &PlacementObjective,
+    enabled: &PlacementObjective,
+    reps: usize,
+) -> ObsResult {
+    const BATCH: usize = 8;
+    let dim = disabled.dim();
+    let p = eval_point(dim);
+    let mut g = Vector::zeros(dim);
+    let mut sample = |obj: &PlacementObjective| {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            obj.gradient_into(black_box(&p), &mut g);
+            black_box(&g);
+        }
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    sample(disabled); // warmup
+    sample(enabled);
+    let mut d_samples = Vec::with_capacity(reps);
+    let mut e_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        d_samples.push(sample(disabled));
+        e_samples.push(sample(enabled));
+    }
+    d_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    e_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let disabled_ms = d_samples[d_samples.len() / 2];
+    let enabled_ms = e_samples[e_samples.len() / 2];
+    ObsResult {
+        disabled_ms,
+        enabled_ms,
+        overhead_ratio: enabled_ms / disabled_ms,
+    }
+}
+
 fn json_f64_list(xs: &[f64]) -> String {
     let parts: Vec<String> = xs.iter().map(|x| format!("{x:.6}")).collect();
     format!("[{}]", parts.join(", "))
 }
 
-fn render_json(quick: bool, evals: &[EvalResult], solvers: &[SolverResult]) -> String {
+fn render_json(
+    quick: bool,
+    evals: &[EvalResult],
+    solvers: &[SolverResult],
+    obs: &ObsResult,
+) -> String {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"eval_bench\",\n");
@@ -266,6 +331,10 @@ fn render_json(quick: bool, evals: &[EvalResult], solvers: &[SolverResult]) -> S
     out.push_str(&format!(
         "  \"threads\": [{}],\n",
         THREADS.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"obs\": {{\"disabled_ms\": {:.6}, \"enabled_ms\": {:.6}, \"overhead_ratio\": {:.6}}},\n",
+        obs.disabled_ms, obs.enabled_ms, obs.overhead_ratio
     ));
     out.push_str("  \"eval_cases\": [\n");
     for (i, e) in evals.iter().enumerate() {
@@ -375,7 +444,25 @@ fn main() {
         );
     }
 
-    let json = render_json(quick, &evals, &solvers);
+    println!();
+    let (utilities, weights, rows, dim) = random_parts(rand_n, rand_chords, dsts);
+    let obs_disabled = PlacementObjective::from_parts(
+        utilities.clone(),
+        weights.clone(),
+        rows.clone(),
+        RateModel::Approximate,
+        dim,
+    );
+    let obs_enabled =
+        PlacementObjective::from_parts(utilities, weights, rows, RateModel::Approximate, dim)
+            .with_recorder(Recorder::enabled());
+    let obs = run_obs_overhead(&obs_disabled, &obs_enabled, if quick { 15 } else { 25 });
+    println!(
+        "obs overhead (serial gradient, batched): disabled {:.3} ms   enabled {:.3} ms   ratio {:.4}",
+        obs.disabled_ms, obs.enabled_ms, obs.overhead_ratio
+    );
+
+    let json = render_json(quick, &evals, &solvers, &obs);
     std::fs::write(&out_path, &json).expect("write JSON report");
     println!();
     println!("wrote {out_path}");

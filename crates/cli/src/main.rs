@@ -24,7 +24,8 @@
 use nws_core::report::render_table1;
 use nws_core::scenarios::janet_task;
 use nws_core::taskfile::parse_task;
-use nws_core::{evaluate_accuracy, solve_placement, summarize, PlacementConfig};
+use nws_core::{evaluate_accuracy, solve_placement_observed, summarize, PlacementConfig};
+use nws_obs::Recorder;
 use nws_service::{Daemon, DaemonOptions, ServiceState};
 use nws_topo::{abilene, format, geant, Topology};
 use std::process::ExitCode;
@@ -88,6 +89,13 @@ options (solve/sweep/plan/serve/demo):
                     core; default 1 = serial; pays off on tasks with
                     thousands of OD pairs)
 
+observability options (solve/sweep/serve/demo):
+  --metrics-out F   write a Prometheus-style text exposition of solver and
+                    evaluation metrics to F on exit (for serve, includes
+                    per-command latency histograms)
+  --trace           also collect phase spans; appends the span tree to the
+                    exposition and prints it to stderr
+
 serve options (without a topology/task, serves the paper's JANET-on-GEANT
 scenario; speaks one JSON request per line on stdin, one response per line
 on stdout — see DESIGN.md section 8 for the protocol):
@@ -98,24 +106,67 @@ on stdout — see DESIGN.md section 8 for the protocol):
   --socket PATH     serve one connection on a Unix socket instead of stdio";
 
 fn run(args: &[String]) -> Result<(), CliError> {
-    let (args, config) = extract_config(args)?;
+    let (args, config, obs) = extract_config(args)?;
     match args.first().map(String::as_str) {
-        Some("solve") => cmd_solve(&args[1..], &config),
-        Some("sweep") => cmd_sweep(&args[1..], &config),
+        Some("solve") => cmd_solve(&args[1..], &config, &obs),
+        Some("sweep") => cmd_sweep(&args[1..], &config, &obs),
         Some("plan") => cmd_plan(&args[1..], &config),
-        Some("serve") => cmd_serve(&args[1..], &config),
+        Some("serve") => cmd_serve(&args[1..], &config, &obs),
         Some("topo") => cmd_topo(&args[1..]),
-        Some("demo") => cmd_demo(&config),
+        Some("demo") => cmd_demo(&config, &obs),
         Some(other) => Err(usage_err(format!("unknown command '{other}'"))),
         None => Err(usage_err("no command given")),
     }
 }
 
-/// Strips global options (currently `--threads N`) from anywhere in the
-/// argument list and folds them into a [`PlacementConfig`].
-fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig), CliError> {
+/// Observability requested on the command line (`--metrics-out`, `--trace`).
+///
+/// When neither flag is given the recorder stays disabled, which keeps the
+/// hot path allocation-free (see the `nws-obs` crate docs).
+#[derive(Debug, Default, PartialEq)]
+struct ObsSetup {
+    metrics_out: Option<String>,
+    trace: bool,
+}
+
+impl ObsSetup {
+    fn wanted(&self) -> bool {
+        self.metrics_out.is_some() || self.trace
+    }
+
+    /// An enabled recorder when observability was requested, else no-op.
+    fn recorder(&self) -> Recorder {
+        if self.wanted() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Writes/prints whatever `rec` captured, per the requested outputs.
+    fn finish(&self, rec: &Recorder) -> Result<(), CliError> {
+        if !self.wanted() {
+            return Ok(());
+        }
+        let snap = rec.snapshot();
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, snap.exposition(self.trace))
+                .map_err(|e| runtime_err(format!("cannot write '{path}': {e}")))?;
+        }
+        if self.trace {
+            eprint!("{}", snap.span_tree());
+        }
+        Ok(())
+    }
+}
+
+/// Strips global options (`--threads N`, `--metrics-out F`, `--trace`) from
+/// anywhere in the argument list and folds them into a [`PlacementConfig`]
+/// plus an [`ObsSetup`].
+fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig, ObsSetup), CliError> {
     let mut rest = args.to_vec();
     let mut config = PlacementConfig::default();
+    let mut obs = ObsSetup::default();
     while let Some(i) = rest.iter().position(|a| a == "--threads") {
         let n: usize = rest
             .get(i + 1)
@@ -125,7 +176,18 @@ fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig), Cli
         config.parallel.threads = n;
         rest.drain(i..=i + 1);
     }
-    Ok((rest, config))
+    while let Some(i) = rest.iter().position(|a| a == "--metrics-out") {
+        let path = rest
+            .get(i + 1)
+            .ok_or_else(|| usage_err("--metrics-out requires a file path"))?;
+        obs.metrics_out = Some(path.clone());
+        rest.drain(i..=i + 1);
+    }
+    while let Some(i) = rest.iter().position(|a| a == "--trace") {
+        obs.trace = true;
+        rest.remove(i);
+    }
+    Ok((rest, config, obs))
 }
 
 /// Loads a topology from a file path or `--builtin NAME`; returns the
@@ -159,7 +221,7 @@ fn load_task(topo: Topology, path: &str) -> Result<nws_core::MeasurementTask, Cl
     parse_task(topo, &text).map_err(|e| runtime_err(format!("task '{path}': {e}")))
 }
 
-fn cmd_solve(args: &[String], config: &PlacementConfig) -> Result<(), CliError> {
+fn cmd_solve(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Result<(), CliError> {
     let (topo, used) = load_topology(args)?;
     let task_path = args
         .get(used)
@@ -171,10 +233,12 @@ fn cmd_solve(args: &[String], config: &PlacementConfig) -> Result<(), CliError> 
         (None, _) => None,
     };
     let task = load_task(topo, task_path)?;
-    let sol =
-        solve_placement(&task, config).map_err(|e| runtime_err(format!("solve failed: {e}")))?;
+    let rec = obs.recorder();
+    let sol = solve_placement_observed(&task, config, &rec)
+        .map_err(|e| runtime_err(format!("solve failed: {e}")))?;
     let accs = evaluate_accuracy(&task, &sol, 20, 1);
     print!("{}", render_table1(&task, &sol, &accs));
+    obs.finish(&rec)?;
     if let Some(path) = dot_path {
         let highlights: Vec<(nws_topo::LinkId, f64)> = sol
             .active_monitors
@@ -223,7 +287,7 @@ fn cmd_plan(args: &[String], config: &PlacementConfig) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_sweep(args: &[String], config: &PlacementConfig) -> Result<(), CliError> {
+fn cmd_sweep(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Result<(), CliError> {
     let (topo, used) = load_topology(args)?;
     let task_path = args
         .get(used)
@@ -236,12 +300,13 @@ fn cmd_sweep(args: &[String], config: &PlacementConfig) -> Result<(), CliError> 
         return Err(usage_err("sweep requires at least one theta"));
     }
     let base = load_task(topo, task_path)?;
+    let rec = obs.recorder();
     println!("theta,objective,lambda,active_monitors,acc_mean,acc_worst");
     for theta in thetas {
         let task = base
             .with_theta(theta)
             .map_err(|e| runtime_err(e.to_string()))?;
-        let sol = solve_placement(&task, config)
+        let sol = solve_placement_observed(&task, config, &rec)
             .map_err(|e| runtime_err(format!("theta {theta}: {e}")))?;
         let acc = summarize(&evaluate_accuracy(&task, &sol, 20, 1));
         println!(
@@ -253,7 +318,7 @@ fn cmd_sweep(args: &[String], config: &PlacementConfig) -> Result<(), CliError> 
             acc.worst
         );
     }
-    Ok(())
+    obs.finish(&rec)
 }
 
 /// Parsed `serve` invocation: daemon options, optional socket path, and the
@@ -314,7 +379,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
     Ok(setup)
 }
 
-fn cmd_serve(args: &[String], config: &PlacementConfig) -> Result<(), CliError> {
+fn cmd_serve(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Result<(), CliError> {
     let setup = parse_serve_args(args)?;
     let task = if setup.positional.is_empty() {
         janet_task()
@@ -339,6 +404,10 @@ fn cmd_serve(args: &[String], config: &PlacementConfig) -> Result<(), CliError> 
             queue_capacity: setup.opts_queue,
             shadow_cold: setup.shadow_cold,
             bench_out: setup.bench_out.clone(),
+            // The daemon runs its own always-on recorder; it writes the
+            // exposition itself so the `metrics` command and the file agree.
+            metrics_out: obs.metrics_out.clone(),
+            trace: obs.trace,
         },
     );
 
@@ -484,12 +553,14 @@ fn builtin(name: &str) -> Result<Topology, CliError> {
     }
 }
 
-fn cmd_demo(config: &PlacementConfig) -> Result<(), CliError> {
+fn cmd_demo(config: &PlacementConfig, obs: &ObsSetup) -> Result<(), CliError> {
     let task = janet_task();
-    let sol = solve_placement(&task, config).map_err(|e| runtime_err(e.to_string()))?;
+    let rec = obs.recorder();
+    let sol =
+        solve_placement_observed(&task, config, &rec).map_err(|e| runtime_err(e.to_string()))?;
     let accs = evaluate_accuracy(&task, &sol, 20, 1);
     print!("{}", render_table1(&task, &sol, &accs));
-    Ok(())
+    obs.finish(&rec)
 }
 
 #[cfg(test)]
@@ -536,18 +607,19 @@ mod tests {
 
     #[test]
     fn demo_runs() {
-        cmd_demo(&PlacementConfig::default()).unwrap();
+        cmd_demo(&PlacementConfig::default(), &ObsSetup::default()).unwrap();
     }
 
     #[test]
     fn threads_flag_extracted_anywhere() {
         let args: Vec<String> = ["demo", "--threads", "4"].map(String::from).to_vec();
-        let (rest, config) = extract_config(&args).unwrap();
+        let (rest, config, obs) = extract_config(&args).unwrap();
         assert_eq!(rest, vec!["demo".to_string()]);
         assert_eq!(config.parallel.threads, 4);
+        assert_eq!(obs, ObsSetup::default());
 
         let args: Vec<String> = ["--threads", "0", "demo"].map(String::from).to_vec();
-        let (rest, config) = extract_config(&args).unwrap();
+        let (rest, config, _) = extract_config(&args).unwrap();
         assert_eq!(rest, vec!["demo".to_string()]);
         assert_eq!(config.parallel.threads, 0);
 
@@ -557,6 +629,40 @@ mod tests {
         assert!(is_usage(
             &extract_config(&["--threads".to_string(), "x".to_string()]).unwrap_err()
         ));
+    }
+
+    #[test]
+    fn observability_flags_extracted_anywhere() {
+        let args: Vec<String> = ["solve", "--trace", "x.topo", "--metrics-out", "m.prom"]
+            .map(String::from)
+            .to_vec();
+        let (rest, _, obs) = extract_config(&args).unwrap();
+        assert_eq!(rest, vec!["solve".to_string(), "x.topo".into()]);
+        assert_eq!(obs.metrics_out.as_deref(), Some("m.prom"));
+        assert!(obs.trace);
+        assert!(obs.wanted());
+
+        assert!(is_usage(
+            &extract_config(&["--metrics-out".to_string()]).unwrap_err()
+        ));
+        assert!(!ObsSetup::default().wanted());
+        assert!(!ObsSetup::default().recorder().is_enabled());
+    }
+
+    #[test]
+    fn demo_metrics_out_writes_exposition() {
+        let dir = std::env::temp_dir().join("nws_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo_metrics.prom");
+        let obs = ObsSetup {
+            metrics_out: Some(path.to_string_lossy().into_owned()),
+            trace: true,
+        };
+        cmd_demo(&PlacementConfig::default(), &obs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# TYPE solver_iterations_total counter"));
+        assert!(text.contains("# TYPE eval_calls_total counter"));
+        assert!(text.contains("# span solve"), "trace appends span tree");
     }
 
     #[test]
@@ -607,6 +713,7 @@ mod tests {
         let err = cmd_serve(
             &["--builtin".into(), "geant".into()],
             &PlacementConfig::default(),
+            &ObsSetup::default(),
         )
         .unwrap_err();
         assert!(is_usage(&err));
@@ -642,6 +749,7 @@ mod tests {
                 "--bogus".into(),
             ],
             &PlacementConfig::default(),
+            &ObsSetup::default(),
         )
         .unwrap_err();
         assert!(err.to_string().contains("unexpected argument"));
@@ -654,6 +762,7 @@ mod tests {
                 "--dot".into(),
             ],
             &PlacementConfig::default(),
+            &ObsSetup::default(),
         )
         .unwrap_err();
         assert!(err.to_string().contains("--dot requires"));
@@ -680,6 +789,7 @@ mod tests {
                 dot_path.to_string_lossy().into_owned(),
             ],
             &PlacementConfig::default(),
+            &ObsSetup::default(),
         )
         .unwrap();
         let dot = std::fs::read_to_string(&dot_path).unwrap();
@@ -703,6 +813,7 @@ mod tests {
                 task_path.to_string_lossy().into_owned(),
             ],
             &PlacementConfig::default(),
+            &ObsSetup::default(),
         )
         .unwrap();
     }

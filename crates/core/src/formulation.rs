@@ -8,11 +8,13 @@
 
 use crate::{CoreError, MeasurementTask, SreUtility, Utility};
 use nws_linalg::Vector;
+use nws_obs::Recorder;
 use nws_solver::{BoxLinearProblem, Objective};
 use nws_topo::LinkId;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How the effective sampling rate `ρ_k(p)` is modelled inside the objective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -173,6 +175,9 @@ pub struct PlacementObjective<U: Utility = SreUtility> {
     dim: usize,
     parallel: ParallelConfig,
     scratch: ScratchPool,
+    /// Observability sink (disabled by default — a single branch per
+    /// evaluation). See [`PlacementObjective::with_recorder`].
+    recorder: Recorder,
 }
 
 impl PlacementObjective<SreUtility> {
@@ -254,6 +259,7 @@ impl<U: Utility> PlacementObjective<U> {
             dim,
             parallel: ParallelConfig::default(),
             scratch: ScratchPool::default(),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -261,6 +267,18 @@ impl<U: Utility> PlacementObjective<U> {
     /// is serial).
     pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Attaches an observability recorder (builder style; the default is the
+    /// disabled no-op sink). With a live recorder, every evaluation bumps
+    /// `eval_calls_total`, and the parallel fan-out additionally records the
+    /// worker count (`eval_workers` gauge), chunk totals
+    /// (`eval_chunks_total`) and per-chunk wall time (`eval_chunk_ms`
+    /// histogram) — the utilization signal: even chunk times mean the
+    /// fan-out is balanced.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -426,20 +444,36 @@ impl<U: Utility + Sync> PlacementObjective<U> {
     {
         let n = self.num_ods();
         let workers = self.parallel.workers_for(n);
+        self.recorder.counter_add("eval_calls_total", 1);
         if workers <= 1 {
             return eval(0..n);
         }
         let chunk = n.div_ceil(workers);
-        let mut partials = vec![0.0f64; n.div_ceil(chunk)];
+        let num_chunks = n.div_ceil(chunk);
+        self.record_fanout(num_chunks);
+        let enabled = self.recorder.is_enabled();
+        let mut partials = vec![0.0f64; num_chunks];
         std::thread::scope(|scope| {
             for (w, slot) in partials.iter_mut().enumerate() {
                 let eval = &eval;
+                let rec = &self.recorder;
                 scope.spawn(move || {
+                    let t0 = enabled.then(Instant::now);
                     *slot = eval(w * chunk..((w + 1) * chunk).min(n));
+                    if let Some(t0) = t0 {
+                        rec.observe("eval_chunk_ms", t0.elapsed().as_secs_f64() * 1e3);
+                    }
                 });
             }
         });
         partials.iter().sum()
+    }
+
+    /// Records the fan-out shape of one parallel evaluation.
+    fn record_fanout(&self, num_chunks: usize) {
+        self.recorder.gauge_set("eval_workers", num_chunks as f64);
+        self.recorder
+            .counter_add("eval_chunks_total", num_chunks as u64);
     }
 
     /// Writes the full gradient into `out` (length `dim`), reusing pooled
@@ -448,18 +482,27 @@ impl<U: Utility + Sync> PlacementObjective<U> {
         let n = self.num_ods();
         out.fill(0.0);
         let workers = self.parallel.workers_for(n);
+        self.recorder.counter_add("eval_calls_total", 1);
         if workers <= 1 {
             self.accumulate_gradient_over(0..n, p, out);
             return;
         }
         let chunk = n.div_ceil(workers);
-        let mut bufs: Vec<Vec<f64>> = (0..n.div_ceil(chunk))
+        let num_chunks = n.div_ceil(chunk);
+        self.record_fanout(num_chunks);
+        let enabled = self.recorder.is_enabled();
+        let mut bufs: Vec<Vec<f64>> = (0..num_chunks)
             .map(|_| self.scratch.take(self.dim))
             .collect();
         std::thread::scope(|scope| {
             for (w, buf) in bufs.iter_mut().enumerate() {
                 scope.spawn(move || {
+                    let t0 = enabled.then(Instant::now);
                     self.accumulate_gradient_over(w * chunk..((w + 1) * chunk).min(n), p, buf);
+                    if let Some(t0) = t0 {
+                        self.recorder
+                            .observe("eval_chunk_ms", t0.elapsed().as_secs_f64() * 1e3);
+                    }
                 });
             }
         });

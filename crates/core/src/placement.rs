@@ -5,6 +5,7 @@ use crate::{
     ReducedIndex, Utility,
 };
 use nws_linalg::Vector;
+use nws_obs::Recorder;
 use nws_solver::{Diagnostics, Solver, SolverOptions, TerminationReason};
 use nws_topo::LinkId;
 
@@ -93,12 +94,27 @@ pub fn solve_placement(
     task: &MeasurementTask,
     config: &PlacementConfig,
 ) -> Result<PlacementSolution, CoreError> {
+    solve_placement_observed(task, config, &Recorder::disabled())
+}
+
+/// [`solve_placement`] with observability: the objective and solver record
+/// phase spans, iteration counters and evaluation fan-out metrics into
+/// `rec`. With a disabled recorder this is exactly [`solve_placement`].
+///
+/// # Errors
+/// As for [`solve_placement`].
+pub fn solve_placement_observed(
+    task: &MeasurementTask,
+    config: &PlacementConfig,
+    rec: &Recorder,
+) -> Result<PlacementSolution, CoreError> {
     let index = ReducedIndex::new(task);
-    let objective =
-        PlacementObjective::new(task, &index, config.rate_model).with_parallel(config.parallel);
+    let objective = PlacementObjective::new(task, &index, config.rate_model)
+        .with_parallel(config.parallel)
+        .with_recorder(rec.clone());
     let problem = build_problem(task, &index)?;
     let solver = Solver::new(config.solver);
-    let sol = solver.maximize(&objective, &problem)?;
+    let sol = solver.maximize_observed(&objective, &problem, rec)?;
     Ok(finish_solution(task, &index, sol))
 }
 
@@ -168,6 +184,23 @@ pub fn solve_placement_warm(
     config: &PlacementConfig,
     previous_rates: &[f64],
 ) -> Result<PlacementSolution, CoreError> {
+    solve_placement_warm_observed(task, config, previous_rates, &Recorder::disabled())
+}
+
+/// [`solve_placement_warm`] with observability (see
+/// [`solve_placement_observed`]).
+///
+/// # Errors
+/// As for [`solve_placement_warm`].
+///
+/// # Panics
+/// As for [`solve_placement_warm`].
+pub fn solve_placement_warm_observed(
+    task: &MeasurementTask,
+    config: &PlacementConfig,
+    previous_rates: &[f64],
+    rec: &Recorder,
+) -> Result<PlacementSolution, CoreError> {
     assert_eq!(
         previous_rates.len(),
         task.topology().num_links(),
@@ -190,10 +223,11 @@ pub fn solve_placement_warm(
         start = problem.feasible_start();
     }
 
-    let objective =
-        PlacementObjective::new(task, &index, config.rate_model).with_parallel(config.parallel);
+    let objective = PlacementObjective::new(task, &index, config.rate_model)
+        .with_parallel(config.parallel)
+        .with_recorder(rec.clone());
     let solver = Solver::new(config.solver);
-    let sol = solver.maximize_from(&objective, &problem, start)?;
+    let sol = solver.maximize_from_observed(&objective, &problem, start, rec)?;
     Ok(finish_solution(task, &index, sol))
 }
 

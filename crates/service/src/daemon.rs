@@ -11,8 +11,11 @@ use crate::metrics::Metrics;
 use crate::protocol::{parse_request, Request};
 use crate::state::{ServiceState, SolveReport};
 use crate::ServiceError;
+use nws_obs::{Recorder, Snapshot};
 use std::io::{BufRead, Write};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 /// Daemon tunables.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +30,11 @@ pub struct DaemonOptions {
     /// Write a `BENCH_serve.json`-style per-event latency report here when
     /// the daemon exits.
     pub bench_out: Option<String>,
+    /// Write a Prometheus-style text exposition of the observability
+    /// snapshot here when the daemon exits (`--metrics-out`).
+    pub metrics_out: Option<String>,
+    /// Append the aggregated span tree to the exposition (`--trace`).
+    pub trace: bool,
 }
 
 /// One re-solve-triggering event, for the latency report.
@@ -59,20 +67,37 @@ pub struct Daemon {
     state: ServiceState,
     opts: DaemonOptions,
     metrics: Metrics,
+    recorder: Recorder,
+    queue_depth: Arc<AtomicU64>,
     events: Vec<EventRecord>,
     seq: u64,
 }
 
 impl Daemon {
     /// Wraps a state (typically [`ServiceState::from_task`]) for serving.
-    pub fn new(state: ServiceState, opts: DaemonOptions) -> Self {
+    ///
+    /// The daemon always runs with an enabled [`Recorder`]: the same sink
+    /// receives solver phase spans and evaluation counters (via the state's
+    /// re-solves), per-command latency histograms, and the queue-depth
+    /// gauge. Answering `metrics` or writing `--metrics-out` is then a
+    /// snapshot, never a restart.
+    pub fn new(mut state: ServiceState, opts: DaemonOptions) -> Self {
+        let recorder = Recorder::enabled();
+        state.set_recorder(recorder.clone());
         Daemon {
             state,
             opts,
             metrics: Metrics::default(),
+            recorder,
+            queue_depth: Arc::new(AtomicU64::new(0)),
             events: Vec::new(),
             seq: 0,
         }
+    }
+
+    /// A point-in-time copy of the daemon's observability instruments.
+    pub fn observability(&self) -> Snapshot {
+        self.recorder.snapshot()
     }
 
     /// Serves requests from `input` until `shutdown` or EOF, writing one
@@ -122,6 +147,8 @@ impl Daemon {
         let (tx, rx) = mpsc::sync_channel::<Result<Request, String>>(capacity);
 
         let mut clean_shutdown = false;
+        let depth = Arc::clone(&self.queue_depth);
+        let reader_recorder = self.recorder.clone();
         std::thread::scope(|scope| -> Result<(), ServiceError> {
             scope.spawn(move || {
                 for line in input.lines() {
@@ -130,14 +157,32 @@ impl Daemon {
                     if trimmed.is_empty() {
                         continue;
                     }
+                    // Increment before the send: the consumer decrements
+                    // after recv, and recv happens-after send, so the
+                    // counter can never underflow.
+                    let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
+                    reader_recorder.gauge_set("daemon_queue_depth", d as f64);
                     if tx.send(parse_request(trimmed)).is_err() {
                         break; // queue closed: daemon is shutting down
                     }
                 }
             });
             while let Ok(item) = rx.recv() {
+                let d = self.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                self.recorder.gauge_set("daemon_queue_depth", d as f64);
                 self.seq += 1;
+                let cmd: &'static str = match &item {
+                    Ok(req) => req.name(),
+                    Err(_) => "invalid",
+                };
+                let t0 = Instant::now();
                 let (response, is_shutdown) = self.handle(item);
+                self.recorder.observe_labeled(
+                    "daemon_command_latency_ms",
+                    "cmd",
+                    cmd,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
                 writeln!(output, "{}", response.encode()).map_err(ServiceError::io)?;
                 output.flush().map_err(ServiceError::io)?;
                 if is_shutdown {
@@ -150,6 +195,11 @@ impl Daemon {
 
         if let Some(path) = self.opts.bench_out.clone() {
             std::fs::write(&path, self.bench_report())
+                .map_err(|e| ServiceError::State(format!("cannot write '{path}': {e}")))?;
+        }
+        if let Some(path) = self.opts.metrics_out.clone() {
+            let text = self.recorder.snapshot().exposition(self.opts.trace);
+            std::fs::write(&path, text)
                 .map_err(|e| ServiceError::State(format!("cannot write '{path}': {e}")))?;
         }
         Ok(DaemonSummary {
@@ -283,6 +333,13 @@ impl Daemon {
                 self.ok_response(&req, vec![("stats", self.metrics.to_json())]),
                 false,
             ),
+            Request::Metrics => (
+                self.ok_response(
+                    &req,
+                    vec![("metrics", metrics_json(&self.recorder.snapshot()))],
+                ),
+                false,
+            ),
             Request::Shutdown => (
                 self.ok_response(
                     &req,
@@ -367,6 +424,67 @@ impl Daemon {
         text.push('\n');
         text
     }
+}
+
+/// The `metrics` response payload: the observability snapshot as
+/// structured JSON. Counters and bucket counts are exact integers
+/// ([`Json::UInt`]); histograms keep per-bucket (non-cumulative) counts in
+/// [`nws_obs::LATENCY_BUCKETS_MS`] order plus the `+Inf` slot; spans come
+/// preorder over the phase tree with their nesting depth.
+fn metrics_json(snap: &Snapshot) -> Json {
+    fn key(name: &str, label: Option<(&str, &str)>) -> String {
+        match label {
+            Some((k, v)) => format!("{name}{{{k}=\"{v}\"}}"),
+            None => name.to_string(),
+        }
+    }
+    let counters = Json::Obj(
+        snap.counters
+            .iter()
+            .map(|c| (key(c.name, c.label), Json::UInt(c.value)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        snap.gauges
+            .iter()
+            .map(|g| (key(g.name, g.label), Json::Num(g.value)))
+            .collect(),
+    );
+    let histograms = Json::Arr(
+        snap.histograms
+            .iter()
+            .map(|h| {
+                obj(vec![
+                    ("name", Json::Str(key(h.name, h.label))),
+                    ("count", Json::UInt(h.count)),
+                    ("sum", Json::Num(h.sum)),
+                    (
+                        "buckets",
+                        Json::Arr(h.bucket_counts.iter().map(|&c| Json::UInt(c)).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let spans = Json::Arr(
+        snap.spans
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("name", Json::Str(s.name.into())),
+                    ("depth", Json::UInt(s.depth as u64)),
+                    ("count", Json::UInt(s.count)),
+                    ("total_ms", Json::Num(s.total_ms)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+        ("spans", spans),
+    ])
 }
 
 /// The `"resolve"` payload of a mutating command's response.
@@ -510,6 +628,104 @@ mod tests {
         assert_eq!(totals.get("warm_resolves").unwrap().as_f64(), Some(2.0));
         // Shadow cold data present for warm events.
         assert!(totals.get("cold_iterations").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn hostile_add_od_answers_error_and_loop_survives() {
+        // Regression: a size ≤ 1 used to sail through the protocol layer
+        // and panic the event loop inside `SreUtility::new`. It must now
+        // come back as an error response, with the daemon still serving.
+        let script =
+            "{\"cmd\":\"add_od\",\"name\":\"EVIL\",\"src\":\"UK\",\"dst\":\"DE\",\"size\":0.5}\n\
+                      {\"cmd\":\"update_demand\",\"od\":\"JANET-NL\",\"size\":1}\n\
+                      {\"cmd\":\"set_theta\",\"theta\":-5}\n\
+                      {\"cmd\":\"ping\"}\n{\"cmd\":\"shutdown\"}\n";
+        let (lines, summary) = run_script(script, DaemonOptions::default());
+        assert_eq!(lines.len(), 6);
+        for hostile in &lines[1..4] {
+            assert_eq!(hostile.get("ok").unwrap().as_bool(), Some(false));
+            assert!(hostile
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("must be a finite"));
+        }
+        assert_eq!(lines[4].get("pong").unwrap().as_bool(), Some(true));
+        assert!(summary.clean_shutdown);
+        assert_eq!(summary.resolves, 1); // only the startup solve ran
+    }
+
+    #[test]
+    fn metrics_command_reports_histograms_and_spans() {
+        let script = "{\"cmd\":\"set_theta\",\"theta\":80000}\n\
+                      {\"cmd\":\"ping\"}\n{\"cmd\":\"metrics\"}\n{\"cmd\":\"shutdown\"}\n";
+        let (lines, _) = run_script(script, DaemonOptions::default());
+        let metrics = lines[3].get("metrics").unwrap();
+        // Solver counters from the startup + set_theta solves.
+        assert!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get("solver_iterations_total")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        // Per-command latency histograms, one per observed command label.
+        let histograms = metrics.get("histograms").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = histograms
+            .iter()
+            .map(|h| h.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"daemon_resolve_latency_ms{mode=\"cold\"}"));
+        assert!(names.contains(&"daemon_resolve_latency_ms{mode=\"warm\"}"));
+        assert!(names.contains(&"daemon_command_latency_ms{cmd=\"ping\"}"));
+        assert!(names.contains(&"daemon_command_latency_ms{cmd=\"set_theta\"}"));
+        for h in histograms {
+            let buckets = h.get("buckets").unwrap().as_arr().unwrap();
+            assert_eq!(buckets.len(), nws_obs::LATENCY_BUCKETS_MS.len() + 1);
+        }
+        // Solver phase spans: "solve" roots with nested phases.
+        let spans = metrics.get("spans").unwrap().as_arr().unwrap();
+        let solve = spans
+            .iter()
+            .find(|s| s.get("name").unwrap().as_str() == Some("solve"))
+            .expect("solve span present");
+        assert_eq!(solve.get("depth").unwrap().as_u64(), Some(0));
+        assert_eq!(solve.get("count").unwrap().as_u64(), Some(2));
+        assert!(spans
+            .iter()
+            .any(|s| s.get("name").unwrap().as_str() == Some("line_search")
+                && s.get("depth").unwrap().as_u64() == Some(1)));
+    }
+
+    #[test]
+    fn metrics_out_writes_exposition() {
+        let dir = std::env::temp_dir().join("nws_service_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics_serve.prom");
+        let script = "{\"cmd\":\"set_theta\",\"theta\":80000}\n{\"cmd\":\"shutdown\"}\n";
+        let (_, _) = run_script(
+            script,
+            DaemonOptions {
+                metrics_out: Some(path.to_string_lossy().into_owned()),
+                trace: true,
+                ..DaemonOptions::default()
+            },
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# TYPE solver_iterations_total counter"));
+        assert!(text.contains("# TYPE daemon_command_latency_ms histogram"));
+        assert!(text.contains("daemon_command_latency_ms_bucket{cmd=\"set_theta\",le=\"+Inf\"}"));
+        assert!(text.contains("daemon_resolve_latency_ms_bucket{mode=\"warm\",le=\"+Inf\"}"));
+        assert!(text.contains("# span solve"), "trace appends span tree");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().is_ok(), "bad sample line: {line}");
+        }
     }
 
     #[test]

@@ -12,25 +12,59 @@
 //! NaN/∞ produces `null`), object keys keep *insertion order* (encoding is
 //! deterministic, which the tests and the bench reports rely on), and
 //! duplicate keys are rejected at parse time instead of last-wins.
+//!
+//! Numbers: unsigned integer literals parse into the exact [`Json::UInt`]
+//! variant (full `u64` range — counters past 2^53 survive a round trip
+//! bit-exactly), everything else into `f64` [`Json::Num`]; the two compare
+//! equal when numerically equal, mirroring JSON's single number type.
+//!
+//! Strings: `\uXXXX` escapes decode UTF-16 surrogate *pairs* into the
+//! astral-plane character they encode (RFC 8259 §7); lone surrogates are
+//! rejected with an explicit error rather than smuggled through. The
+//! encoder emits astral characters as raw UTF-8 (never as surrogate-pair
+//! escapes), which round-trips through the parser unchanged.
 
 use std::fmt::Write as _;
 
 /// A parsed JSON value. Objects preserve insertion order (`Vec` of pairs,
 /// not a map) so encoding is deterministic.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number (always an `f64`, as in JavaScript).
+    /// A general number (an `f64`, as in JavaScript).
     Num(f64),
+    /// An exact unsigned integer. JSON has a single number type, so this is
+    /// a fidelity distinction, not a semantic one: `u64` counters encode
+    /// and re-parse bit-exactly where a round trip through `f64` would
+    /// silently round above 2^53. Compares numerically equal to [`Json::Num`].
+    UInt(u64),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<Json>),
     /// An object as ordered key–value pairs.
     Obj(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::UInt(a), Json::UInt(b)) => a == b,
+            // JSON has one number type; an integer that happens to have
+            // parsed into the exact variant still equals its f64 spelling.
+            (Json::Num(a), Json::UInt(b)) | (Json::UInt(b), Json::Num(a)) => *a == *b as f64,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl Json {
@@ -50,10 +84,26 @@ impl Json {
         }
     }
 
-    /// The value as a number, if it is one.
+    /// The value as a number, if it is one. Exact integers larger than 2^53
+    /// round to the nearest representable `f64`; use [`Json::as_u64`] when
+    /// exactness matters.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer: any [`Json::UInt`], or a
+    /// [`Json::Num`] that is a nonnegative integer small enough (≤ 2^53)
+    /// for its `f64` representation to be exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9_007_199_254_740_992.0 => {
+                Some(*x as u64)
+            }
             _ => None,
         }
     }
@@ -98,6 +148,9 @@ impl Json {
                 } else {
                     out.push_str("null");
                 }
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
             }
             Json::Str(s) => encode_string(s, out),
             Json::Arr(items) => {
@@ -296,20 +349,45 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| format!("truncated \\u escape at {}", self.pos))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| format!("bad \\u escape at {}", self.pos))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at {}", self.pos))?;
-                            // Surrogates are rejected (the protocol is BMP
-                            // text; no pair decoding).
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| format!("invalid codepoint at {}", self.pos))?;
-                            out.push(c);
-                            self.pos += 4;
+                            let code = self.hex4(self.pos + 1)?;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: RFC 8259 encodes astral
+                                // characters as a \uD8xx\uDCxx pair; decode
+                                // the pair into one char.
+                                if self.bytes.get(self.pos + 5) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 6) != Some(&b'u')
+                                {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{code:04x} at byte {} \
+                                         (expected a \\uDC00-\\uDFFF low surrogate escape)",
+                                        self.pos
+                                    ));
+                                }
+                                let low = self.hex4(self.pos + 7)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate \\u{code:04x} followed by \\u{low:04x} \
+                                         at byte {} (not a low surrogate)",
+                                        self.pos
+                                    ));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(combined).expect("paired surrogates are valid"),
+                                );
+                                self.pos += 10;
+                            } else if (0xDC00..=0xDFFF).contains(&code) {
+                                return Err(format!(
+                                    "lone low surrogate \\u{code:04x} at byte {} \
+                                     (low surrogates are only valid after a high surrogate)",
+                                    self.pos
+                                ));
+                            } else {
+                                out.push(
+                                    char::from_u32(code).expect("non-surrogate BMP codepoint"),
+                                );
+                                self.pos += 4;
+                            }
                         }
                         _ => return self.err("invalid escape"),
                     }
@@ -328,6 +406,17 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads the four hex digits of a `\uXXXX` escape starting at `at`.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+        let hex =
+            std::str::from_utf8(hex).map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape at byte {}", self.pos))
+    }
+
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
@@ -340,6 +429,15 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Plain unsigned integer literals keep exact u64 fidelity (counters
+        // past 2^53 would silently round through f64). Anything else —
+        // signs, fractions, exponents, or beyond-u64 digits — takes the
+        // f64 path.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
         let x: f64 = text
             .parse()
             .map_err(|_| format!("invalid number '{text}' at byte {start}"))?;
@@ -389,6 +487,75 @@ mod tests {
         assert_eq!(Json::Num(42.0).encode(), "42");
         assert_eq!(Json::Num(-0.5).encode(), "-0.5");
         assert_eq!(Json::Num(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_roundtrip() {
+        // U+1F600 (grinning face) escaped as its UTF-16 pair D83D/DE00.
+        let v = parse("\"\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // The encoder emits raw UTF-8, which reparses to the same value.
+        let encoded = v.encode();
+        assert_eq!(encoded, "\"\u{1F600}\"");
+        assert_eq!(parse(&encoded).unwrap(), v);
+        // Pairs embedded mid-string, next to other escapes; U+10000 is the
+        // lowest astral codepoint (pair D800/DC00).
+        let v = parse("\"x\\uD83D\\uDE00\\ty\\uD800\\uDC00\"").unwrap();
+        assert_eq!(v.as_str(), Some("x\u{1F600}\ty\u{10000}"));
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+        // Raw astral characters in the input also pass through.
+        assert_eq!(parse("\"\u{1F600}\"").unwrap().as_str(), Some("\u{1F600}"));
+        // Lowercase hex digits work too.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_rejected_with_clear_error() {
+        let high = parse(r#""\uD83D""#).unwrap_err();
+        assert!(high.contains("lone high surrogate \\ud83d"), "{high}");
+        let low = parse(r#""\uDE00""#).unwrap_err();
+        assert!(low.contains("lone low surrogate \\ude00"), "{low}");
+        // High surrogate followed by a \u escape that isn't a low surrogate.
+        let pair = parse("\"\\uD83D\\u0041\"").unwrap_err();
+        assert!(pair.contains("not a low surrogate"), "{pair}");
+        // High surrogate followed by plain characters (no second escape).
+        let bare = parse(r#""\uD83Dxy""#).unwrap_err();
+        assert!(bare.contains("lone high surrogate"), "{bare}");
+        // Truncated pair at end of string.
+        assert!(parse(r#""\uD83D\u00""#).is_err());
+    }
+
+    #[test]
+    fn u64_counters_roundtrip_exactly() {
+        let big = (1u64 << 53) + 1; // not representable as f64
+        let text = format!("{{\"requests\":{big}}}");
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(big));
+        assert_eq!(v.encode(), text, "exact integer survives a round trip");
+        assert_eq!(Json::UInt(u64::MAX).encode(), u64::MAX.to_string());
+        assert_eq!(
+            parse(&u64::MAX.to_string()).unwrap(),
+            Json::UInt(u64::MAX),
+            "full u64 range parses exactly"
+        );
+        // Non-integers and negatives still take the f64 path.
+        assert_eq!(parse("-3").unwrap(), Json::Num(-3.0));
+        assert_eq!(parse("2.5").unwrap(), Json::Num(2.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn num_uint_cross_equality() {
+        assert_eq!(Json::Num(42.0), Json::UInt(42));
+        assert_eq!(Json::UInt(42), Json::Num(42.0));
+        assert_ne!(Json::Num(42.5), Json::UInt(42));
+        assert_eq!(Json::UInt(42).as_f64(), Some(42.0));
+        assert_eq!(Json::Num(42.0).as_u64(), Some(42));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(0.5).as_u64(), None);
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //! - [`state`] — mutable network state with transactional events,
 //!   warm-started re-solves, and snapshot/rollback.
 //! - [`metrics`] — per-daemon counters behind the `stats` command.
-//! - [`daemon`] — the event loop ([`daemon::Daemon::run`]).
+//! - [`daemon`] — the event loop ([`daemon::Daemon::run`]); also runs an
+//!   always-on `nws-obs` recorder (per-command latency histograms, warm/cold
+//!   re-solve latency, queue depth, solver spans) behind the `metrics`
+//!   command and the `--metrics-out` exposition.
 //!
-//! See `DESIGN.md` §8 for the protocol grammar and the state machine.
+//! See `DESIGN.md` §8 for the protocol grammar and the state machine, and
+//! §9 for the observability substrate.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

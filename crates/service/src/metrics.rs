@@ -18,6 +18,11 @@ pub struct Metrics {
     pub warm_resolves: u64,
     /// Iterations spent by warm-started re-solves.
     pub warm_iterations: u64,
+    /// Iterations spent by the warm halves of shadow *pairs* only (warm
+    /// re-solves that also ran a shadow cold solve). Kept separately from
+    /// [`Metrics::warm_iterations`] so the savings figure compares matched
+    /// populations even when `--shadow-cold` covers only a subset.
+    pub paired_warm_iterations: u64,
     /// Wall-milliseconds spent in warm-started re-solves.
     pub warm_ms: f64,
     /// Shadow cold solves run alongside warm ones (`--shadow-cold`).
@@ -58,39 +63,52 @@ impl Metrics {
             self.shadow_resolves += 1;
             self.shadow_cold_iterations += cold.iterations as u64;
             self.shadow_cold_ms += cold.wall_ms;
+            if report.warm_started {
+                self.paired_warm_iterations += report.iterations as u64;
+            }
         }
     }
 
     /// Mean iterations saved per warm re-solve versus its shadow cold
     /// solve; `None` until at least one shadow pair has run.
+    ///
+    /// Computed over shadow *pairs* only: each pair contributes its own
+    /// cold-minus-warm difference, so warm re-solves without a shadow cold
+    /// counterpart never skew the figure (they used to, when the warm mean
+    /// ranged over all warm re-solves but the cold mean only over pairs).
     pub fn mean_iterations_saved(&self) -> Option<f64> {
-        if self.shadow_resolves == 0 || self.warm_resolves == 0 {
+        if self.shadow_resolves == 0 {
             return None;
         }
-        let warm_mean = self.warm_iterations as f64 / self.warm_resolves as f64;
-        let cold_mean = self.shadow_cold_iterations as f64 / self.shadow_resolves as f64;
-        Some(cold_mean - warm_mean)
+        let saved = self.shadow_cold_iterations as f64 - self.paired_warm_iterations as f64;
+        Some(saved / self.shadow_resolves as f64)
     }
 
-    /// The `stats` response payload.
+    /// The `stats` response payload. Counters are emitted as exact
+    /// integers ([`Json::UInt`]) — a long-lived daemon's totals must not
+    /// round through f64.
     pub fn to_json(&self) -> Json {
         let per_command = Json::Obj(
             self.per_command
                 .iter()
-                .map(|(k, n)| (k.clone(), Json::Num(*n as f64)))
+                .map(|(k, n)| (k.clone(), Json::UInt(*n)))
                 .collect(),
         );
         obj(vec![
-            ("requests", Json::Num(self.requests as f64)),
-            ("errors", Json::Num(self.errors as f64)),
-            ("resolves", Json::Num(self.resolves as f64)),
-            ("warm_resolves", Json::Num(self.warm_resolves as f64)),
-            ("warm_iterations", Json::Num(self.warm_iterations as f64)),
+            ("requests", Json::UInt(self.requests)),
+            ("errors", Json::UInt(self.errors)),
+            ("resolves", Json::UInt(self.resolves)),
+            ("warm_resolves", Json::UInt(self.warm_resolves)),
+            ("warm_iterations", Json::UInt(self.warm_iterations)),
+            (
+                "paired_warm_iterations",
+                Json::UInt(self.paired_warm_iterations),
+            ),
             ("warm_ms", Json::Num(self.warm_ms)),
-            ("shadow_resolves", Json::Num(self.shadow_resolves as f64)),
+            ("shadow_resolves", Json::UInt(self.shadow_resolves)),
             (
                 "shadow_cold_iterations",
-                Json::Num(self.shadow_cold_iterations as f64),
+                Json::UInt(self.shadow_cold_iterations),
             ),
             ("shadow_cold_ms", Json::Num(self.shadow_cold_ms)),
             (
@@ -154,6 +172,40 @@ mod tests {
         // Savings: cold mean 50, warm mean 15 -> 35 saved per re-solve.
         let saved = m.mean_iterations_saved().unwrap();
         assert!((saved - 35.0).abs() < 1e-9, "saved {saved}");
+    }
+
+    #[test]
+    fn savings_compare_paired_populations_only() {
+        // Regression: warm re-solves WITHOUT a shadow pair must not skew
+        // the savings. Here two cheap unpaired warm solves (5 iterations
+        // each) ride alongside one shadow pair (warm 10 vs cold 40).
+        let mut m = Metrics::default();
+        m.record_resolve(&report(true, 5, None));
+        m.record_resolve(&report(true, 5, None));
+        m.record_resolve(&report(true, 10, Some(40)));
+        assert_eq!(m.warm_resolves, 3);
+        assert_eq!(m.warm_iterations, 20);
+        assert_eq!(m.paired_warm_iterations, 10);
+        // The pair saved 30; the old mismatched-population formula said
+        // 40 − 20/3 ≈ 33.3.
+        let saved = m.mean_iterations_saved().unwrap();
+        assert!((saved - 30.0).abs() < 1e-12, "saved {saved}");
+    }
+
+    #[test]
+    fn counters_encode_exactly_past_2_pow_53() {
+        let big = (1u64 << 53) + 1;
+        let m = Metrics {
+            requests: big,
+            ..Metrics::default()
+        };
+        let encoded = m.to_json().encode();
+        assert!(
+            encoded.contains(&format!("\"requests\":{big}")),
+            "u64 counters must not round through f64: {encoded}"
+        );
+        let reparsed = crate::json::parse(&encoded).unwrap();
+        assert_eq!(reparsed.get("requests").unwrap().as_u64(), Some(big));
     }
 
     #[test]

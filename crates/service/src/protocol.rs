@@ -69,6 +69,9 @@ pub enum Request {
     Rollback,
     /// Report daemon counters (requests, re-solves, iteration savings).
     Stats,
+    /// Report the observability snapshot: per-command latency histograms,
+    /// solver-phase span timings, evaluation fan-out counters.
+    Metrics,
     /// Liveness probe; mutates nothing.
     Ping,
     /// Stop the daemon after acknowledging.
@@ -90,6 +93,7 @@ impl Request {
             Request::Snapshot => "snapshot",
             Request::Rollback => "rollback",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
         }
@@ -123,6 +127,20 @@ fn num_field(v: &Json, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
 }
 
+/// An OD mean flow size, validated at the protocol boundary: the utility
+/// model requires `E[1/S] = 1/size ∈ (0, 1)`, i.e. a finite size > 1
+/// packet. Without this check a hostile `add_od`/`update_demand` payload
+/// reaches `SreUtility`'s assertions and panics the event loop.
+fn size_field(v: &Json, key: &str) -> Result<f64, String> {
+    let size = num_field(v, key)?;
+    if !size.is_finite() || size <= 1.0 {
+        return Err(format!(
+            "'{key}' must be a finite mean flow size > 1 packet, got {size}"
+        ));
+    }
+    Ok(size)
+}
+
 fn opt_num_field(v: &Json, key: &str, default: f64) -> Result<f64, String> {
     match v.get(key) {
         None => Ok(default),
@@ -146,7 +164,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match cmd.as_str() {
         "update_demand" => Ok(Request::UpdateDemand {
             od: str_field(&v, "od")?,
-            size: num_field(&v, "size")?,
+            size: size_field(&v, "size")?,
         }),
         "fail_link" => Ok(Request::FailLink {
             a: str_field(&v, "a")?,
@@ -160,14 +178,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             name: str_field(&v, "name")?,
             src: str_field(&v, "src")?,
             dst: str_field(&v, "dst")?,
-            size: num_field(&v, "size")?,
+            size: size_field(&v, "size")?,
         }),
         "remove_od" => Ok(Request::RemoveOd {
             name: str_field(&v, "name")?,
         }),
-        "set_theta" => Ok(Request::SetTheta {
-            theta: num_field(&v, "theta")?,
-        }),
+        "set_theta" => {
+            let theta = num_field(&v, "theta")?;
+            if !theta.is_finite() || theta <= 0.0 {
+                return Err(format!("'theta' must be a finite budget > 0, got {theta}"));
+            }
+            Ok(Request::SetTheta { theta })
+        }
         "query_rates" => Ok(Request::QueryRates),
         "query_accuracy" => {
             let runs = opt_num_field(&v, "runs", 20.0)?;
@@ -186,6 +208,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "snapshot" => Ok(Request::Snapshot),
         "rollback" => Ok(Request::Rollback),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown command '{other}'")),
@@ -245,6 +268,7 @@ mod tests {
             (r#"{"cmd":"snapshot"}"#, Request::Snapshot),
             (r#"{"cmd":"rollback"}"#, Request::Rollback),
             (r#"{"cmd":"stats"}"#, Request::Stats),
+            (r#"{"cmd":"metrics"}"#, Request::Metrics),
             (r#"{"cmd":"ping"}"#, Request::Ping),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
         ];
@@ -290,5 +314,33 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn hostile_sizes_and_theta_rejected_at_boundary() {
+        // Regression: these payloads used to parse cleanly and then trip
+        // `SreUtility`'s assertions inside the event loop. The boundary
+        // must reject them with an error the daemon can answer.
+        for bad in [
+            r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":0.5}"#,
+            r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":1}"#,
+            r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":-3}"#,
+            r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":1e999}"#,
+            r#"{"cmd":"update_demand","od":"X","size":0}"#,
+            r#"{"cmd":"update_demand","od":"X","size":0.9999}"#,
+            r#"{"cmd":"set_theta","theta":0}"#,
+            r#"{"cmd":"set_theta","theta":-5}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(
+                err.contains("must be a finite") || err.contains("non-finite"),
+                "{bad:?} -> {err}"
+            );
+        }
+        // The legitimate edge just above the threshold still parses.
+        assert!(
+            parse_request(r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":1.001}"#)
+                .is_ok()
+        );
     }
 }

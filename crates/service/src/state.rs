@@ -13,9 +13,11 @@
 use crate::protocol::Request;
 use crate::ServiceError;
 use nws_core::{
-    evaluate_accuracy, evaluate_rates, solve_placement, solve_placement_warm, summarize,
-    MeasurementTask, PlacementConfig, ACTIVATION_THRESHOLD,
+    evaluate_accuracy, evaluate_rates, solve_placement, solve_placement_observed,
+    solve_placement_warm_observed, summarize, MeasurementTask, PlacementConfig,
+    ACTIVATION_THRESHOLD,
 };
+use nws_obs::Recorder;
 use nws_routing::failure::{bidirectional_pair, link_id_map, without_links};
 use nws_routing::OdPair;
 use nws_topo::{LinkId, Topology};
@@ -114,6 +116,9 @@ pub struct ServiceState {
     config: PlacementConfig,
     installed: Option<Installed>,
     snapshots: Vec<SnapshotData>,
+    /// Observability sink threaded into every re-solve (disabled by
+    /// default; the daemon installs its own via [`ServiceState::set_recorder`]).
+    recorder: Recorder,
 }
 
 fn canonical_pair(a: &str, b: &str) -> (String, String) {
@@ -160,7 +165,15 @@ impl ServiceState {
             config,
             installed: None,
             snapshots: Vec::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs an observability sink: subsequent re-solves record solver
+    /// phase spans, evaluation fan-out counters, and the
+    /// `daemon_resolve_latency_ms{mode=…}` histogram into it.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The currently installed configuration, if any solve has run.
@@ -266,12 +279,17 @@ impl ServiceState {
 
         let t0 = Instant::now();
         let sol = match &warm_vec {
-            Some(w) => solve_placement_warm(&task, &self.config, w)?,
-            None => solve_placement(&task, &self.config)?,
+            Some(w) => solve_placement_warm_observed(&task, &self.config, w, &self.recorder)?,
+            None => solve_placement_observed(&task, &self.config, &self.recorder)?,
         };
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mode = if warm_vec.is_some() { "warm" } else { "cold" };
+        self.recorder
+            .observe_labeled("daemon_resolve_latency_ms", "mode", mode, wall_ms);
 
         let cold = if shadow && warm_vec.is_some() {
+            // The shadow solve is a benchmarking artifact: keep it out of
+            // the solver/eval metrics so they describe installing solves.
             let t1 = Instant::now();
             let c = solve_placement(&task, &self.config)?;
             Some(ColdComparison {

@@ -1,0 +1,126 @@
+//! Property tests for the JSON codec: `parse(encode(v)) == v` over randomly
+//! generated documents — surrogate-pair strings, exact integers past 2⁵³,
+//! and deep nesting.
+//!
+//! The vendored proptest shim has no recursive strategies, so the document
+//! generator is hand-written over a `StdRng` whose seed is the generated
+//! input; shrinkless failures still print the offending seed.
+
+use nws_service::json::{parse, Json};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strings across every encoding regime: ASCII, characters the encoder must
+/// escape (quotes, backslashes, control characters), BMP multi-byte, and
+/// astral-plane characters (which the parser also accepts as `\uXXXX`
+/// surrogate pairs).
+fn arb_string(rng: &mut StdRng) -> String {
+    let len = rng.random_range(0usize..12);
+    (0..len)
+        .map(|_| match rng.random_range(0u32..8) {
+            0 => '"',
+            1 => '\\',
+            2 => char::from_u32(rng.random_range(0u32..0x20)).expect("control char"),
+            3 => 'é',
+            4 => '日',
+            5 => char::from_u32(rng.random_range(0x1F300u32..0x1F700)).expect("astral char"),
+            _ => char::from_u32(rng.random_range(0x20u32..0x7f)).expect("printable ascii"),
+        })
+        .collect()
+}
+
+fn arb_number(rng: &mut StdRng) -> Json {
+    match rng.random_range(0u32..4) {
+        // Full-range u64, exercising values past 2^53.
+        0 => Json::UInt(rng.random::<u64>()),
+        1 => Json::UInt(rng.random_range(0u64..100)),
+        2 => Json::Num((rng.random::<f64>() - 0.5) * 1e9),
+        _ => Json::Num(-(rng.random_range(0u64..1_000_000) as f64)),
+    }
+}
+
+fn arb_json(rng: &mut StdRng, depth: usize) -> Json {
+    let top = if depth == 0 { 4 } else { 6 };
+    match rng.random_range(0u32..top) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.random()),
+        2 => arb_number(rng),
+        3 => Json::Str(arb_string(rng)),
+        4 => Json::Arr(
+            (0..rng.random_range(0usize..4))
+                .map(|_| arb_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => {
+            // The parser rejects duplicate keys, so keep first occurrences.
+            let mut pairs: Vec<(String, Json)> = Vec::new();
+            for _ in 0..rng.random_range(0usize..4) {
+                let key = arb_string(rng);
+                let value = arb_json(rng, depth - 1);
+                if !pairs.iter().any(|(k, _)| *k == key) {
+                    pairs.push((key, value));
+                }
+            }
+            Json::Obj(pairs)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Round trip: any generated document encodes to text the parser maps
+    /// back to an equal value.
+    #[test]
+    fn encode_parse_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = arb_json(&mut rng, 4);
+        let text = doc.encode();
+        let back = parse(&text).expect("encoder output parses");
+        prop_assert_eq!(&back, &doc, "text was {}", text);
+        // Encoding is deterministic, so a second trip is a fixed point.
+        prop_assert_eq!(back.encode(), text);
+    }
+
+    /// Any astral-plane character written as a `\uXXXX` surrogate-pair
+    /// escape parses to that character, and re-encodes as raw UTF-8 that
+    /// round-trips.
+    #[test]
+    fn surrogate_pair_escapes_decode(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = rng.random_range(0x10000u32..=0x10FFFF);
+        let Some(c) = char::from_u32(code) else {
+            return Ok(()); // unassigned scalar values cannot occur (all in range are valid)
+        };
+        let v = code - 0x10000;
+        let hi = 0xD800 + (v >> 10);
+        let lo = 0xDC00 + (v & 0x3FF);
+        let text = format!("\"\\u{hi:04X}\\u{lo:04X}\"");
+        let parsed = parse(&text).expect("surrogate pair parses");
+        prop_assert_eq!(&parsed, &Json::Str(c.to_string()));
+        let reparsed = parse(&parsed.encode()).expect("raw UTF-8 parses");
+        prop_assert_eq!(reparsed, parsed);
+    }
+
+    /// Full-range u64 integers survive a text round trip exactly.
+    #[test]
+    fn u64_roundtrip_exact(n in any::<u64>()) {
+        let text = Json::UInt(n).encode();
+        prop_assert_eq!(parse(&text).unwrap().as_u64(), Some(n));
+    }
+}
+
+#[test]
+fn deep_nesting_roundtrips() {
+    let mut doc = Json::Str("leaf".into());
+    for i in 0..60 {
+        doc = if i % 2 == 0 {
+            Json::Arr(vec![doc])
+        } else {
+            Json::Obj(vec![("k".to_string(), doc)])
+        };
+    }
+    let text = doc.encode();
+    assert_eq!(parse(&text).expect("deep document parses"), doc);
+}

@@ -6,6 +6,7 @@ use crate::{
     TerminationReason, VarState,
 };
 use nws_linalg::Vector;
+use nws_obs::Recorder;
 
 /// Tunable parameters of the solver.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +77,20 @@ impl Solver {
         self.maximize_from(obj, problem, problem.feasible_start())
     }
 
+    /// [`Solver::maximize`] with phase timings and iteration counters
+    /// recorded into `rec` (see [`Solver::maximize_from_observed`]).
+    ///
+    /// # Errors
+    /// As for [`Solver::maximize`].
+    pub fn maximize_observed<O: Objective>(
+        &self,
+        obj: &O,
+        problem: &BoxLinearProblem,
+        rec: &Recorder,
+    ) -> Result<Solution> {
+        self.maximize_from_observed(obj, problem, problem.feasible_start(), rec)
+    }
+
     /// Maximizes `obj` over `problem` starting from `start`.
     ///
     /// # Errors
@@ -87,6 +102,43 @@ impl Solver {
         obj: &O,
         problem: &BoxLinearProblem,
         start: Vector,
+    ) -> Result<Solution> {
+        self.maximize_from_observed(obj, problem, start, &Recorder::disabled())
+    }
+
+    /// [`Solver::maximize_from`] with observability: wraps the whole run in
+    /// a `solve` span with child spans per phase (`direction`, `projection`,
+    /// `kkt_check`, `line_search`) and bumps the
+    /// `solver_iterations_total` / `solver_releases_total` counters on
+    /// success. With a disabled recorder this costs one branch per phase.
+    ///
+    /// # Errors
+    /// As for [`Solver::maximize_from`].
+    pub fn maximize_from_observed<O: Objective>(
+        &self,
+        obj: &O,
+        problem: &BoxLinearProblem,
+        start: Vector,
+        rec: &Recorder,
+    ) -> Result<Solution> {
+        let sol = {
+            let _solve = rec.span("solve");
+            self.run_loop(obj, problem, start, rec)?
+        };
+        rec.counter_add("solver_iterations_total", sol.diagnostics.iterations as u64);
+        rec.counter_add(
+            "solver_releases_total",
+            sol.diagnostics.constraint_releases as u64,
+        );
+        Ok(sol)
+    }
+
+    fn run_loop<O: Objective>(
+        &self,
+        obj: &O,
+        problem: &BoxLinearProblem,
+        start: Vector,
+        rec: &Recorder,
     ) -> Result<Solution> {
         let o = &self.options;
         if !problem.is_feasible(&start, 1e-9) {
@@ -128,18 +180,25 @@ impl Solver {
                     active.num_free()
                 );
             }
-            obj.gradient_into(&p, &mut g);
+            {
+                let _phase = rec.span("direction");
+                obj.gradient_into(&p, &mut g);
+            }
             if !g.is_finite() {
                 return Err(SolverError::NonFiniteObjective(format!(
                     "gradient at iteration {iterations}"
                 )));
             }
-            let d = project_gradient(&g, &active, problem);
+            let d = {
+                let _phase = rec.span("projection");
+                project_gradient(&g, &active, problem)
+            };
             last_proj_norm = d.norm_inf();
             let scale = g.norm_inf().max(1.0);
 
             let stationary = last_proj_norm <= o.grad_tol * scale;
             if stationary {
+                let _phase = rec.span("kkt_check");
                 let rep = compute_multipliers(&g, &active, problem, o.multiplier_tol);
                 last_resid = rep.stationarity_residual;
                 if rep.negative.is_empty() {
@@ -225,7 +284,11 @@ impl Solver {
                 continue;
             };
 
-            match o.line_search.maximize(obj, &p, &s, t_max)? {
+            let outcome = {
+                let _phase = rec.span("line_search");
+                o.line_search.maximize(obj, &p, &s, t_max)?
+            };
+            match outcome {
                 LineSearchOutcome::Interior(t) => {
                     p.axpy(t, &s);
                     // Float drift off the constraint surface accumulates at
@@ -296,6 +359,7 @@ impl Solver {
                     // is small; a large-gradient stall otherwise burns one
                     // iteration and retries (bounded by the iteration cap).
                     if last_proj_norm <= o.grad_tol * scale {
+                        let _phase = rec.span("kkt_check");
                         let rep = compute_multipliers(&g, &active, problem, o.multiplier_tol);
                         last_resid = rep.stationarity_residual;
                         if rep.negative.is_empty() {
@@ -794,6 +858,50 @@ mod tests {
         assert!(pr.kkt_verified && plain.kkt_verified);
         assert!(pr.p.approx_eq(&plain.p, 1e-6), "{} vs {}", pr.p, plain.p);
         assert!((pr.value - plain.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_solve_records_phase_spans_and_counters() {
+        let obj = LogUtil { eps: 1e-3 };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(3, 10.0),
+            Vector::from(vec![1.0, 2.0, 4.0]),
+            2.0,
+        )
+        .unwrap();
+        let rec = Recorder::enabled();
+        let sol = Solver::default()
+            .maximize_observed(&obj, &pb, &rec)
+            .unwrap();
+        assert!(sol.kkt_verified);
+        let snap = rec.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(
+            counter("solver_iterations_total"),
+            Some(sol.diagnostics.iterations as u64)
+        );
+        assert_eq!(
+            counter("solver_releases_total"),
+            Some(sol.diagnostics.constraint_releases as u64)
+        );
+        let span = |name: &str| snap.spans.iter().find(|s| s.name == name);
+        let solve = span("solve").expect("root span present");
+        assert_eq!(solve.depth, 0);
+        assert_eq!(solve.count, 1);
+        for phase in ["direction", "projection", "line_search", "kkt_check"] {
+            let s = span(phase).unwrap_or_else(|| panic!("{phase} span recorded"));
+            assert_eq!(s.depth, 1, "{phase} nests under solve");
+            assert!(s.count >= 1);
+        }
+        // The unobserved entry point leaves the recorder untouched.
+        let silent = Recorder::enabled();
+        Solver::default().maximize(&obj, &pb).unwrap();
+        assert!(silent.snapshot().spans.is_empty());
     }
 
     #[test]

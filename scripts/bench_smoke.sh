@@ -10,12 +10,23 @@ cd "$(dirname "$0")/.."
 cargo run --release -p nws-bench --bin eval_bench -- --quick --out BENCH_eval.json
 echo "bench smoke OK: $(pwd)/BENCH_eval.json"
 
+# Observability overhead gate: with the recorder enabled, the serial
+# gradient hot path must stay within 5% of the no-op-sink baseline
+# (ratios below 1 are normal timer noise).
+ratio=$(sed -n 's/.*"overhead_ratio": \([0-9.]*\).*/\1/p' BENCH_eval.json)
+[ -n "$ratio" ] || { echo "BENCH_eval.json missing obs overhead_ratio" >&2; exit 1; }
+awk -v r="$ratio" 'BEGIN { exit !(r <= 1.05) }' || {
+    echo "obs overhead ratio $ratio exceeds the 1.05 gate" >&2; exit 1; }
+echo "obs overhead OK: ratio $ratio"
+
 # Daemon smoke: pipe a scripted event sequence (demand updates, a link
-# failure, theta changes, snapshot/rollback) through `nws serve` on the
-# JANET-on-GEANT scenario. --shadow-cold runs a cold solve per event so
-# BENCH_serve.json carries the warm-vs-cold comparison; `set -e` makes a
-# non-zero daemon exit fail the smoke run.
+# failure, theta changes, snapshot/rollback, a metrics query) through
+# `nws serve` on the JANET-on-GEANT scenario. --shadow-cold runs a cold
+# solve per event so BENCH_serve.json carries the warm-vs-cold comparison;
+# --metrics-out/--trace write the Prometheus-style exposition with the span
+# tree; `set -e` makes a non-zero daemon exit fail the smoke run.
 cargo run --release -p nws-cli -- serve --shadow-cold --bench-out BENCH_serve.json \
+    --metrics-out METRICS_serve.prom --trace \
     < fixtures/serve_session.jsonl > serve_session.out
 [ -s BENCH_serve.json ] || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
 grep -q '"bye":true' serve_session.out || { echo "daemon did not shut down cleanly" >&2; exit 1; }
@@ -25,4 +36,18 @@ if grep -q '"ok":false' serve_session.out; then
     exit 1
 fi
 rm -f serve_session.out
-echo "serve smoke OK: $(pwd)/BENCH_serve.json"
+
+# The exposition must exist, carry the expected metric families, and every
+# non-comment line must parse as `name[{labels}] value`.
+[ -s METRICS_serve.prom ] || { echo "METRICS_serve.prom missing or empty" >&2; exit 1; }
+grep -q '^solver_iterations_total ' METRICS_serve.prom \
+    || { echo "exposition lacks solver counters" >&2; exit 1; }
+grep -q '^daemon_command_latency_ms_bucket{' METRICS_serve.prom \
+    || { echo "exposition lacks per-command latency histograms" >&2; exit 1; }
+grep -q '^# span solve' METRICS_serve.prom \
+    || { echo "exposition lacks the --trace span tree" >&2; exit 1; }
+awk '/^#/ { next }
+     { if (NF != 2 || $2 + 0 != $2) { bad = 1; print "malformed sample: " $0 > "/dev/stderr" } }
+     END { exit bad }' METRICS_serve.prom \
+    || { echo "METRICS_serve.prom failed the exposition shape check" >&2; exit 1; }
+echo "serve smoke OK: $(pwd)/BENCH_serve.json + METRICS_serve.prom"
