@@ -1,0 +1,161 @@
+//! Micro-benchmark of `nws-store` WAL append throughput under the three
+//! fsync policies (`always`, `every-8`, `never`).
+//!
+//! The payload is a representative journaled daemon command (~70 bytes of
+//! JSON), so the numbers approximate what `nws serve --state-dir` pays per
+//! state-changing request at each durability level. Every policy writes
+//! through to the kernel on each append (SIGKILL loses nothing); the policy
+//! only sets the fdatasync cadence, i.e. the power-loss window — which is
+//! exactly what the throughput spread here prices.
+//!
+//! Dependency-free (`std::time::Instant` only); emits machine-readable JSON
+//! (default `BENCH_wal.json`) with one object per policy so CI can extract
+//! `appends_per_sec` per line. CI gates that `never` ≥ `always`: if paying
+//! zero fsyncs is not at least as fast as an fsync per append, the
+//! measurement (or the store) is broken.
+//!
+//! Flags: `--quick` (fewer appends — the CI smoke mode), `--out PATH`,
+//! `--dir PATH` (scratch directory; default under the system temp dir).
+
+use nws_bench::{banner, footer};
+use nws_obs::Recorder;
+use nws_store::{FsyncPolicy, Store, StoreOptions};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One policy's measured run.
+struct PolicyResult {
+    policy: &'static str,
+    appends: u64,
+    appended_bytes: u64,
+    fsyncs: u64,
+    wall_ms: f64,
+    appends_per_sec: f64,
+    mb_per_sec: f64,
+}
+
+/// A representative journaled command: what the daemon appends for a
+/// `update_demand` request.
+fn payload(i: u64) -> String {
+    format!("{{\"cmd\": \"update_demand\", \"od\": \"JANET-NL\", \"size\": {}}}", 9_000_000 + i)
+}
+
+/// Appends `count` records under `policy` into a fresh subdirectory of
+/// `scratch` and reports measured throughput.
+fn run_policy(scratch: &Path, policy: FsyncPolicy, count: u64) -> PolicyResult {
+    let dir = scratch.join(policy.label().replace('-', "_"));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    let recorder = Recorder::disabled();
+    let (mut store, recovery) =
+        Store::open(&dir, StoreOptions { fsync: policy }, &recorder).expect("open store");
+    assert!(recovery.records.is_empty(), "scratch dir starts empty");
+
+    let t0 = Instant::now();
+    for i in 0..count {
+        store.append(&payload(i)).expect("append");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = store.wal_stats();
+    drop(store);
+    let wall_s = (wall_ms / 1e3).max(1e-9);
+    PolicyResult {
+        policy: match policy {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::EveryN(_) => "every-8",
+            FsyncPolicy::Never => "never",
+        },
+        appends: stats.appends,
+        appended_bytes: stats.appended_bytes,
+        fsyncs: stats.fsyncs,
+        wall_ms,
+        appends_per_sec: stats.appends as f64 / wall_s,
+        mb_per_sec: stats.appended_bytes as f64 / 1e6 / wall_s,
+    }
+}
+
+fn render_json(quick: bool, results: &[PolicyResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"wal_bench\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"policies\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"appends\": {}, \"appended_bytes\": {}, \
+             \"fsyncs\": {}, \"wall_ms\": {:.3}, \"appends_per_sec\": {:.1}, \
+             \"mb_per_sec\": {:.3}}}{}\n",
+            r.policy,
+            r.appends,
+            r.appended_bytes,
+            r.fsyncs,
+            r.wall_ms,
+            r.appends_per_sec,
+            r.mb_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_wal.json".to_string());
+    let scratch: PathBuf = args
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| args.get(i + 1).cloned())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("nws_wal_bench_{}", std::process::id()))
+        });
+
+    let t0 = banner(
+        "wal_bench",
+        "nws-store WAL append throughput across fsync policies",
+    );
+
+    // An fsync per append is orders of magnitude slower than a buffered
+    // write, so `always` gets proportionally fewer appends — enough for a
+    // stable rate without stalling CI on slow disks.
+    let cases: [(FsyncPolicy, u64); 3] = if quick {
+        [
+            (FsyncPolicy::Always, 200),
+            (FsyncPolicy::EveryN(8), 1_000),
+            (FsyncPolicy::Never, 2_000),
+        ]
+    } else {
+        [
+            (FsyncPolicy::Always, 2_000),
+            (FsyncPolicy::EveryN(8), 10_000),
+            (FsyncPolicy::Never, 50_000),
+        ]
+    };
+
+    println!(
+        "{:<10} {:>9} {:>9} {:>12} {:>14} {:>10}",
+        "policy", "appends", "fsyncs", "wall ms", "appends/s", "MB/s"
+    );
+    let mut results = Vec::new();
+    for (policy, count) in cases {
+        let r = run_policy(&scratch, policy, count);
+        println!(
+            "{:<10} {:>9} {:>9} {:>12.3} {:>14.1} {:>10.3}",
+            r.policy, r.appends, r.fsyncs, r.wall_ms, r.appends_per_sec, r.mb_per_sec
+        );
+        results.push(r);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let json = render_json(quick, &results);
+    std::fs::write(&out_path, &json).expect("write JSON report");
+    println!();
+    println!("wrote {out_path}");
+    footer(t0);
+}

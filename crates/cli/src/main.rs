@@ -26,7 +26,7 @@ use nws_core::scenarios::janet_task;
 use nws_core::taskfile::parse_task;
 use nws_core::{evaluate_accuracy, solve_placement_observed, summarize, PlacementConfig};
 use nws_obs::Recorder;
-use nws_service::{Daemon, DaemonOptions, ServiceState};
+use nws_service::{Daemon, DaemonOptions, FsyncPolicy, PersistConfig, ServiceState};
 use nws_topo::{abilene, format, geant, Topology};
 use std::process::ExitCode;
 
@@ -103,7 +103,14 @@ on stdout — see DESIGN.md section 8 for the protocol):
                     both (for iteration/latency comparison)
   --bench-out FILE  write per-event solve latency as JSON on exit
   --queue N         bounded request-queue capacity (default 64)
-  --socket PATH     serve one connection on a Unix socket instead of stdio";
+  --socket PATH     serve one connection on a Unix socket instead of stdio
+  --state-dir DIR   persist state in DIR: journal state-changing commands
+                    to a write-ahead log, snapshot periodically and on
+                    exit, recover (snapshot + replay) on the next boot
+  --fsync POLICY    WAL durability: always | every-N | never (default
+                    always; requires --state-dir)
+  --snapshot-every N  appends between automatic snapshots (default 32;
+                    requires --state-dir)";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let (args, config, obs) = extract_config(args)?;
@@ -329,7 +336,35 @@ struct ServeSetup {
     shadow_cold: bool,
     bench_out: Option<String>,
     socket: Option<String>,
+    state_dir: Option<String>,
+    fsync: Option<FsyncPolicy>,
+    snapshot_every: Option<u64>,
     positional: Vec<String>,
+}
+
+impl ServeSetup {
+    /// Folds `--state-dir`/`--fsync`/`--snapshot-every` into the daemon's
+    /// persistence config; the durability knobs are meaningless without a
+    /// state directory, so they are usage errors on their own.
+    fn persist(&self) -> Result<Option<PersistConfig>, CliError> {
+        let Some(dir) = &self.state_dir else {
+            if self.fsync.is_some() {
+                return Err(usage_err("--fsync requires --state-dir"));
+            }
+            if self.snapshot_every.is_some() {
+                return Err(usage_err("--snapshot-every requires --state-dir"));
+            }
+            return Ok(None);
+        };
+        let mut cfg = PersistConfig::new(dir);
+        if let Some(policy) = self.fsync {
+            cfg.fsync = policy;
+        }
+        if let Some(n) = self.snapshot_every {
+            cfg.snapshot_every = n;
+        }
+        Ok(Some(cfg))
+    }
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
@@ -365,6 +400,33 @@ fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
                     .get(i + 1)
                     .ok_or_else(|| usage_err("--socket requires a path"))?;
                 setup.socket = Some(path.clone());
+                i += 2;
+            }
+            "--state-dir" => {
+                let dir = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--state-dir requires a directory"))?;
+                setup.state_dir = Some(dir.clone());
+                i += 2;
+            }
+            "--fsync" => {
+                let policy = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--fsync requires a policy (always|every-N|never)"))?;
+                setup.fsync =
+                    Some(FsyncPolicy::parse(policy).map_err(|e| usage_err(format!("--fsync: {e}")))?);
+                i += 2;
+            }
+            "--snapshot-every" => {
+                let n: u64 = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--snapshot-every requires a count"))?
+                    .parse()
+                    .map_err(|_| usage_err("--snapshot-every requires a positive integer"))?;
+                if n == 0 {
+                    return Err(usage_err("--snapshot-every requires a positive integer"));
+                }
+                setup.snapshot_every = Some(n);
                 i += 2;
             }
             other if other.starts_with("--") && other != "--builtin" => {
@@ -408,6 +470,7 @@ fn cmd_serve(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Resul
             // exposition itself so the `metrics` command and the file agree.
             metrics_out: obs.metrics_out.clone(),
             trace: obs.trace,
+            persist: setup.persist()?,
         },
     );
 
@@ -706,6 +769,64 @@ mod tests {
         assert!(is_usage(
             &parse_serve_args(&["--bench-out".to_string()]).unwrap_err()
         ));
+    }
+
+    #[test]
+    fn serve_persistence_flags_parse() {
+        let args: Vec<String> = [
+            "--state-dir",
+            "/tmp/nws-state",
+            "--fsync",
+            "every-8",
+            "--snapshot-every",
+            "16",
+        ]
+        .map(String::from)
+        .to_vec();
+        let setup = parse_serve_args(&args).unwrap();
+        assert_eq!(setup.state_dir.as_deref(), Some("/tmp/nws-state"));
+        assert_eq!(setup.fsync, Some(FsyncPolicy::EveryN(8)));
+        assert_eq!(setup.snapshot_every, Some(16));
+        let cfg = setup.persist().unwrap().unwrap();
+        assert_eq!(cfg.dir.to_string_lossy(), "/tmp/nws-state");
+        assert_eq!(cfg.fsync, FsyncPolicy::EveryN(8));
+        assert_eq!(cfg.snapshot_every, 16);
+
+        // Defaults apply when only the directory is given.
+        let setup = parse_serve_args(&["--state-dir".to_string(), "d".to_string()]).unwrap();
+        let cfg = setup.persist().unwrap().unwrap();
+        assert_eq!(cfg.fsync, FsyncPolicy::Always);
+        assert_eq!(cfg.snapshot_every, 32);
+
+        // No --state-dir, no persistence.
+        assert!(parse_serve_args(&[]).unwrap().persist().unwrap().is_none());
+    }
+
+    #[test]
+    fn serve_persistence_flags_reject_bad_input() {
+        assert!(is_usage(
+            &parse_serve_args(&["--state-dir".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse_serve_args(&["--fsync".to_string(), "sometimes".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse_serve_args(&["--fsync".to_string(), "every-0".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse_serve_args(&["--snapshot-every".to_string(), "0".to_string()]).unwrap_err()
+        ));
+
+        // Durability knobs without a state directory are usage errors.
+        let setup = parse_serve_args(&["--fsync".to_string(), "never".to_string()]).unwrap();
+        let err = setup.persist().unwrap_err();
+        assert!(is_usage(&err));
+        assert!(err.to_string().contains("--fsync requires --state-dir"));
+        let setup =
+            parse_serve_args(&["--snapshot-every".to_string(), "4".to_string()]).unwrap();
+        let err = setup.persist().unwrap_err();
+        assert!(is_usage(&err));
+        assert!(err.to_string().contains("--snapshot-every requires --state-dir"));
     }
 
     #[test]

@@ -156,6 +156,47 @@ mod tests {
     }
 
     #[test]
+    fn disconnected_survivor_graph_degrades_gracefully() {
+        let t = geant();
+        let uk = t.require_node("UK").unwrap();
+        let ie = t.require_node("IE").unwrap();
+        // IE is single-homed to UK; cutting the fibre splits the graph into
+        // a 22-node component and an isolated {IE}.
+        let failed = bidirectional_pair(&t, uk, ie);
+        let t2 = without_links(&t, &failed).unwrap();
+
+        // The survivor builds fine but is no longer connected.
+        assert!(t2.validate_connected().is_err());
+
+        // Surviving links still translate consistently.
+        let map = link_id_map(&t, &failed);
+        assert_eq!(map.iter().flatten().count(), t2.num_links());
+
+        // Routing degrades per-destination rather than failing wholesale:
+        // IE is unreachable from every other node ...
+        let r2 = Router::new(&t2);
+        let ie2 = t2.require_node("IE").unwrap();
+        for src in t2.node_ids().filter(|&n| n != ie2) {
+            assert!(
+                r2.path(OdPair::new(src, ie2)).is_none(),
+                "{} should not reach isolated IE",
+                t2.node(src).name()
+            );
+        }
+        // ... the isolated island cannot reach out ...
+        let janet2 = t2.require_node("JANET").unwrap();
+        assert!(r2.path(OdPair::new(ie2, janet2)).is_none());
+        // ... and every destination in the main component stays reachable.
+        for dst in t2.node_ids().filter(|&n| n != ie2 && n != janet2) {
+            assert!(
+                r2.path(OdPair::new(janet2, dst)).is_some(),
+                "JANET lost {} although it is in the surviving component",
+                t2.node(dst).name()
+            );
+        }
+    }
+
+    #[test]
     fn isolating_a_node_yields_unreachable_not_error() {
         let t = geant();
         let uk = t.require_node("UK").unwrap();

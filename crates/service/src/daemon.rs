@@ -8,6 +8,7 @@
 
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
+use crate::persist::{PersistConfig, RecoveryReport, StateStore};
 use crate::protocol::{parse_request, Request};
 use crate::state::{ServiceState, SolveReport};
 use crate::ServiceError;
@@ -35,6 +36,10 @@ pub struct DaemonOptions {
     pub metrics_out: Option<String>,
     /// Append the aggregated span tree to the exposition (`--trace`).
     pub trace: bool,
+    /// Persist state to a durable store (`--state-dir`): journal every
+    /// state-changing command to a write-ahead log, snapshot periodically
+    /// and on exit, and recover on boot.
+    pub persist: Option<PersistConfig>,
 }
 
 /// One re-solve-triggering event, for the latency report.
@@ -71,6 +76,8 @@ pub struct Daemon {
     queue_depth: Arc<AtomicU64>,
     events: Vec<EventRecord>,
     seq: u64,
+    store: Option<StateStore>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Daemon {
@@ -92,6 +99,8 @@ impl Daemon {
             queue_depth: Arc::new(AtomicU64::new(0)),
             events: Vec::new(),
             seq: 0,
+            store: None,
+            recovery: None,
         }
     }
 
@@ -118,6 +127,16 @@ impl Daemon {
         R: BufRead + Send,
         W: Write,
     {
+        // Durable store first: recovery may restore an installed
+        // configuration (skipping the startup solve) or replay a journal.
+        if self.store.is_none() {
+            if let Some(cfg) = self.opts.persist.clone() {
+                let (store, report) =
+                    StateStore::open(&cfg, &mut self.state, &self.recorder)?;
+                self.store = Some(store);
+                self.recovery = Some(report);
+            }
+        }
         // Startup solve: every later event warm-starts from this.
         let hello = if self.state.installed().is_none() {
             let report = self.state.resolve(false)?;
@@ -135,6 +154,9 @@ impl Daemon {
         ]);
         if let (Json::Obj(pairs), Some(report)) = (&mut line, &hello) {
             pairs.push(("resolve".to_string(), resolve_json(report)));
+        }
+        if let (Json::Obj(pairs), Some(report)) = (&mut line, &self.recovery) {
+            pairs.push(("recovered".to_string(), report.to_json()));
         }
         writeln!(output, "{}", line.encode()).map_err(ServiceError::io)?;
         output.flush().map_err(ServiceError::io)?;
@@ -193,6 +215,13 @@ impl Daemon {
             Ok(())
         })?;
 
+        // Final snapshot on *every* clean exit path (explicit `shutdown`
+        // and input EOF both land here): a clean-stop recovery then loads
+        // one snapshot and replays nothing.
+        if let Some(store) = &mut self.store {
+            store.write_snapshot(&self.state)?;
+        }
+
         if let Some(path) = self.opts.bench_out.clone() {
             std::fs::write(&path, self.bench_report())
                 .map_err(|e| ServiceError::State(format!("cannot write '{path}': {e}")))?;
@@ -207,6 +236,15 @@ impl Daemon {
             resolves: self.metrics.resolves,
             clean_shutdown,
         })
+    }
+
+    /// Journals a successfully applied state-changing request into the
+    /// durable store, when one is configured.
+    fn journal(&mut self, req: &Request) -> Result<(), ServiceError> {
+        match &mut self.store {
+            Some(store) => store.record_applied(req, &self.state),
+            None => Ok(()),
+        }
     }
 
     fn record_event(&mut self, cmd: &'static str, report: &SolveReport) {
@@ -237,6 +275,12 @@ impl Daemon {
             let outcome = self.state.apply_event(&req, self.opts.shadow_cold);
             return match outcome {
                 Ok(report) => {
+                    // Journal before acknowledging: an `ok` response means
+                    // the event is durable (to the fsync policy's limit).
+                    if let Err(e) = self.journal(&req) {
+                        self.metrics.record_error();
+                        return (self.error_response(Some(&req), &e.to_string()), false);
+                    }
                     self.metrics.record_resolve(&report);
                     self.record_event(req.name(), &report);
                     (
@@ -308,22 +352,32 @@ impl Daemon {
             },
             Request::Snapshot => {
                 let depth = self.state.snapshot();
+                if let Err(e) = self.journal(&req) {
+                    self.metrics.record_error();
+                    return (self.error_response(Some(&req), &e.to_string()), false);
+                }
                 (
                     self.ok_response(&req, vec![("depth", Json::Num(depth as f64))]),
                     false,
                 )
             }
             Request::Rollback => match self.state.rollback() {
-                Ok((depth, objective)) => (
-                    self.ok_response(
-                        &req,
-                        vec![
-                            ("depth", Json::Num(depth as f64)),
-                            ("objective", objective.map_or(Json::Null, Json::Num)),
-                        ],
-                    ),
-                    false,
-                ),
+                Ok((depth, objective)) => {
+                    if let Err(e) = self.journal(&req) {
+                        self.metrics.record_error();
+                        return (self.error_response(Some(&req), &e.to_string()), false);
+                    }
+                    (
+                        self.ok_response(
+                            &req,
+                            vec![
+                                ("depth", Json::Num(depth as f64)),
+                                ("objective", objective.map_or(Json::Null, Json::Num)),
+                            ],
+                        ),
+                        false,
+                    )
+                }
                 Err(e) => {
                     self.metrics.record_error();
                     (self.error_response(Some(&req), &e.to_string()), false)
@@ -333,13 +387,17 @@ impl Daemon {
                 self.ok_response(&req, vec![("stats", self.metrics.to_json())]),
                 false,
             ),
-            Request::Metrics => (
-                self.ok_response(
-                    &req,
-                    vec![("metrics", metrics_json(&self.recorder.snapshot()))],
-                ),
-                false,
-            ),
+            Request::Metrics => {
+                let mut metrics = metrics_json(&self.recorder.snapshot());
+                if let Json::Obj(pairs) = &mut metrics {
+                    let wal = self
+                        .store
+                        .as_ref()
+                        .map_or(Json::Null, StateStore::wal_stats_json);
+                    pairs.push(("wal_stats".to_string(), wal));
+                }
+                (self.ok_response(&req, vec![("metrics", metrics)]), false)
+            }
             Request::Shutdown => (
                 self.ok_response(
                     &req,
@@ -408,6 +466,12 @@ impl Daemon {
         let cold_iters: usize = warm_events.iter().filter_map(|e| e.cold_iterations).sum();
         let report = obj(vec![
             ("bench", Json::Str("serve".into())),
+            (
+                "recovery",
+                self.recovery
+                    .as_ref()
+                    .map_or(Json::Null, RecoveryReport::to_json),
+            ),
             ("events", events),
             (
                 "totals",

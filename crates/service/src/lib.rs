@@ -17,6 +17,9 @@
 //! - [`state`] — mutable network state with transactional events,
 //!   warm-started re-solves, and snapshot/rollback.
 //! - [`metrics`] — per-daemon counters behind the `stats` command.
+//! - [`persist`] — durable state: journals state-changing commands into an
+//!   `nws-store` write-ahead log, snapshots periodically and on exit, and
+//!   recovers (snapshot + deterministic replay) on boot.
 //! - [`daemon`] — the event loop ([`daemon::Daemon::run`]); also runs an
 //!   always-on `nws-obs` recorder (per-command latency histograms, warm/cold
 //!   re-solve latency, queue depth, solver spans) behind the `metrics`
@@ -31,10 +34,13 @@
 pub mod daemon;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod protocol;
 pub mod state;
 
 pub use daemon::{Daemon, DaemonOptions, DaemonSummary};
+pub use nws_store::FsyncPolicy;
+pub use persist::{PersistConfig, RecoveryReport, StateStore};
 pub use protocol::{parse_request, Request};
 pub use state::{ServiceState, SolveReport};
 

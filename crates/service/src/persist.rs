@@ -1,0 +1,218 @@
+//! Durable persistence for the daemon: glue between [`ServiceState`] and
+//! the payload-agnostic `nws-store` WAL.
+//!
+//! The division of labour: `nws-store` owns framing, fsync, rotation, and
+//! torn-tail repair over opaque single-line payloads; this module owns
+//! *what* those payloads are — journaled state-changing requests (their
+//! [`crate::protocol::Request::to_json`] wire form) and
+//! [`ServiceState::persisted`] snapshot documents — and how to replay them.
+//!
+//! Recovery is deterministic by construction: the snapshot restores the
+//! exact installed rate vector (bit-for-bit, via shortest-roundtrip f64
+//! text), and replay re-applies the journaled suffix through the same
+//! [`ServiceState::apply_event`] path the live daemon used. When a journal
+//! exists but no snapshot does, recovery first mirrors the original
+//! process's startup solve, so the first replayed event warm-starts from
+//! the same configuration it did originally.
+
+use crate::json::{obj, parse, Json};
+use crate::protocol::{parse_request, Request};
+use crate::state::ServiceState;
+use crate::ServiceError;
+use nws_obs::Recorder;
+use nws_store::{FsyncPolicy, Store, StoreError, StoreOptions};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Persistence configuration carried in
+/// [`crate::daemon::DaemonOptions::persist`].
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// State directory (created if missing).
+    pub dir: PathBuf,
+    /// WAL fsync policy (`--fsync`, default `always`).
+    pub fsync: FsyncPolicy,
+    /// Appends between automatic snapshots (`--snapshot-every`,
+    /// default 32; clamped to ≥ 1).
+    pub snapshot_every: u64,
+}
+
+impl PersistConfig {
+    /// Defaults: fsync `always`, snapshot every 32 appends.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 32,
+        }
+    }
+}
+
+/// What boot-time recovery did, reported in the daemon's `hello` line and
+/// the bench report.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was loaded (false = cold directory or WAL-only).
+    pub snapshot_loaded: bool,
+    /// Journaled events re-applied after the snapshot.
+    pub replayed_events: u64,
+    /// Torn/corrupt WAL bytes discarded by the store.
+    pub truncated_bytes: u64,
+    /// Wall time of the whole recovery (including replay solves), ms.
+    pub wall_ms: f64,
+}
+
+impl RecoveryReport {
+    /// The report as the `"recovered"` JSON payload.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("snapshot", Json::Bool(self.snapshot_loaded)),
+            ("replayed_events", Json::UInt(self.replayed_events)),
+            ("truncated_bytes", Json::UInt(self.truncated_bytes)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+        ])
+    }
+}
+
+/// The daemon-facing handle: journals applied requests, writes periodic
+/// and final snapshots, and surfaces WAL statistics.
+#[derive(Debug)]
+pub struct StateStore {
+    store: Store,
+    snapshot_every: u64,
+    since_snapshot: u64,
+}
+
+fn store_err(e: StoreError) -> ServiceError {
+    ServiceError::State(format!("state store: {e}"))
+}
+
+impl StateStore {
+    /// Opens the state directory and brings `state` up to date: restore
+    /// the newest snapshot, then replay the journaled suffix through
+    /// [`ServiceState::apply_event`] (snapshot/rollback via their own
+    /// paths). Torn WAL tails were already truncated by the store.
+    ///
+    /// # Errors
+    /// Lock conflicts and I/O failures from the store; schema or replay
+    /// failures from the service layer (a journal the current binary
+    /// cannot re-apply is corrupt-by-definition and must not be served).
+    pub fn open(
+        cfg: &PersistConfig,
+        state: &mut ServiceState,
+        recorder: &Recorder,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let t0 = Instant::now();
+        let (store, recovery) =
+            Store::open(&cfg.dir, StoreOptions { fsync: cfg.fsync }, recorder)
+                .map_err(store_err)?;
+        let snapshot_loaded = recovery.snapshot.is_some();
+        if let Some((seq, payload)) = &recovery.snapshot {
+            let doc = parse(payload)
+                .map_err(|e| ServiceError::State(format!("snapshot {seq} unparseable: {e}")))?;
+            state.restore_persisted(&doc)?;
+        }
+        let mut replayed = 0u64;
+        if !recovery.records.is_empty() {
+            if state.installed().is_none() {
+                // The original process ran its startup solve before the
+                // first journaled event; mirror it so replayed events
+                // warm-start from the identical configuration.
+                state.resolve(false)?;
+            }
+            for (seq, payload) in &recovery.records {
+                let req = parse_request(payload).map_err(|e| {
+                    ServiceError::State(format!("WAL record {seq} unparseable: {e}"))
+                })?;
+                replay(state, &req).map_err(|e| {
+                    ServiceError::State(format!(
+                        "WAL record {seq} ('{}') failed to replay: {e}",
+                        req.name()
+                    ))
+                })?;
+                replayed += 1;
+            }
+        }
+        recorder.counter_add("recovery_replayed_events", replayed);
+        let report = RecoveryReport {
+            snapshot_loaded,
+            replayed_events: replayed,
+            truncated_bytes: recovery.truncated_bytes,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok((
+            StateStore {
+                store,
+                snapshot_every: cfg.snapshot_every.max(1),
+                since_snapshot: 0,
+            },
+            report,
+        ))
+    }
+
+    /// Journals a request the daemon just applied successfully. Every
+    /// `snapshot_every` appends, a snapshot of `state` is written and the
+    /// WAL rotates + compacts.
+    ///
+    /// # Errors
+    /// I/O failures from the store.
+    pub fn record_applied(
+        &mut self,
+        req: &Request,
+        state: &ServiceState,
+    ) -> Result<(), ServiceError> {
+        debug_assert!(req.is_state_changing(), "journal only state changes");
+        self.store
+            .append(&req.to_json().encode())
+            .map_err(store_err)?;
+        self.since_snapshot += 1;
+        if self.since_snapshot >= self.snapshot_every {
+            self.write_snapshot(state)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a full-state snapshot now (also rotates + compacts the WAL).
+    /// The daemon calls this on every clean exit, so a clean-stop recovery
+    /// loads one snapshot and replays nothing.
+    ///
+    /// # Errors
+    /// I/O failures from the store.
+    pub fn write_snapshot(&mut self, state: &ServiceState) -> Result<(), ServiceError> {
+        self.store
+            .snapshot(&state.persisted().encode())
+            .map_err(store_err)?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// The `wal_stats` section of the `metrics` response.
+    pub fn wal_stats_json(&self) -> Json {
+        let s = self.store.wal_stats();
+        obj(vec![
+            ("policy", Json::Str(s.policy)),
+            ("appends", Json::UInt(s.appends)),
+            ("appended_bytes", Json::UInt(s.appended_bytes)),
+            ("fsyncs", Json::UInt(s.fsyncs)),
+            ("snapshots", Json::UInt(s.snapshots)),
+            ("last_seq", Json::UInt(s.last_seq)),
+            ("truncated_bytes", Json::UInt(s.truncated_bytes)),
+        ])
+    }
+}
+
+/// Re-applies one journaled request during recovery.
+fn replay(state: &mut ServiceState, req: &Request) -> Result<(), ServiceError> {
+    match req {
+        Request::Snapshot => {
+            state.snapshot();
+            Ok(())
+        }
+        Request::Rollback => state.rollback().map(|_| ()),
+        r if r.is_mutating() => state.apply_event(r, false).map(|_| ()),
+        other => Err(ServiceError::State(format!(
+            "'{}' is not a state-changing command",
+            other.name()
+        ))),
+    }
+}

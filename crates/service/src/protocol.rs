@@ -6,7 +6,7 @@
 //! objects and always carry `"ok"` plus either the command's payload or an
 //! `"error"` string.
 
-use crate::json::{parse, Json};
+use crate::json::{obj, parse, Json};
 
 /// One decoded control-plane request.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +111,60 @@ impl Request {
                 | Request::RemoveOd { .. }
                 | Request::SetTheta { .. }
         )
+    }
+
+    /// Whether the request changes recoverable daemon state: the mutating
+    /// commands plus `snapshot`/`rollback`, which move the snapshot stack.
+    /// Exactly these are journaled into the write-ahead log.
+    pub fn is_state_changing(&self) -> bool {
+        self.is_mutating() || matches!(self, Request::Snapshot | Request::Rollback)
+    }
+
+    /// Re-encodes the request as its wire JSON object — the inverse of
+    /// [`parse_request`] up to field order. This is what the write-ahead
+    /// log stores, so replaying a journal goes through the same protocol
+    /// boundary (and the same validation) as the original traffic.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("cmd", Json::Str(self.name().into()))];
+        match self {
+            Request::UpdateDemand { od, size } => {
+                pairs.push(("od", Json::Str(od.clone())));
+                pairs.push(("size", Json::Num(*size)));
+            }
+            Request::FailLink { a, b } | Request::RestoreLink { a, b } => {
+                pairs.push(("a", Json::Str(a.clone())));
+                pairs.push(("b", Json::Str(b.clone())));
+            }
+            Request::AddOd {
+                name,
+                src,
+                dst,
+                size,
+            } => {
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("src", Json::Str(src.clone())));
+                pairs.push(("dst", Json::Str(dst.clone())));
+                pairs.push(("size", Json::Num(*size)));
+            }
+            Request::RemoveOd { name } => {
+                pairs.push(("name", Json::Str(name.clone())));
+            }
+            Request::SetTheta { theta } => {
+                pairs.push(("theta", Json::Num(*theta)));
+            }
+            Request::QueryAccuracy { runs, seed } => {
+                pairs.push(("runs", Json::UInt(*runs as u64)));
+                pairs.push(("seed", Json::UInt(*seed)));
+            }
+            Request::QueryRates
+            | Request::Snapshot
+            | Request::Rollback
+            | Request::Stats
+            | Request::Metrics
+            | Request::Ping
+            | Request::Shutdown => {}
+        }
+        obj(pairs)
     }
 }
 
@@ -277,6 +331,47 @@ mod tests {
             assert_eq!(got, want, "line {line}");
             assert!(line.contains(got.name()));
         }
+    }
+
+    #[test]
+    fn to_json_roundtrips_through_the_parser() {
+        for line in [
+            r#"{"cmd":"update_demand","od":"JANET-NL","size":10800000}"#,
+            r#"{"cmd":"update_demand","od":"JANET-NL","size":12345.678}"#,
+            r#"{"cmd":"fail_link","a":"FR","b":"LU"}"#,
+            r#"{"cmd":"restore_link","a":"FR","b":"LU"}"#,
+            r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":500.25}"#,
+            r#"{"cmd":"remove_od","name":"X"}"#,
+            r#"{"cmd":"set_theta","theta":90000}"#,
+            r#"{"cmd":"query_rates"}"#,
+            r#"{"cmd":"query_accuracy","runs":5,"seed":9}"#,
+            r#"{"cmd":"snapshot"}"#,
+            r#"{"cmd":"rollback"}"#,
+            r#"{"cmd":"stats"}"#,
+            r#"{"cmd":"metrics"}"#,
+            r#"{"cmd":"ping"}"#,
+            r#"{"cmd":"shutdown"}"#,
+        ] {
+            let req = parse_request(line).unwrap();
+            let encoded = req.to_json().encode();
+            assert_eq!(
+                parse_request(&encoded).unwrap(),
+                req,
+                "{line} re-encoded as {encoded}"
+            );
+            assert!(!encoded.contains('\n'), "WAL payloads are single-line");
+        }
+    }
+
+    #[test]
+    fn state_changing_classification() {
+        let state_changing = |line: &str| parse_request(line).unwrap().is_state_changing();
+        assert!(state_changing(r#"{"cmd":"set_theta","theta":1}"#));
+        assert!(state_changing(r#"{"cmd":"snapshot"}"#));
+        assert!(state_changing(r#"{"cmd":"rollback"}"#));
+        assert!(!state_changing(r#"{"cmd":"query_rates"}"#));
+        assert!(!state_changing(r#"{"cmd":"ping"}"#));
+        assert!(!state_changing(r#"{"cmd":"shutdown"}"#));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! while sampling rates are carried across epochs in *base-topology link
 //! indexing* and re-mapped through [`nws_routing::failure::link_id_map`].
 
+use crate::json::{obj, Json};
 use crate::protocol::Request;
 use crate::ServiceError;
 use nws_core::{
@@ -505,6 +506,249 @@ impl ServiceState {
         let summary = summarize(&evaluate_accuracy(&task, &sol, runs, seed));
         Ok((summary.mean, summary.worst, summary.best))
     }
+
+    /// The recoverable state as one JSON document (schema version 1): θ,
+    /// failed fibres, OD specs, the installed configuration, and the
+    /// snapshot stack. The base topology, background loads, α, and solver
+    /// config are *not* included — they are derived from the serving task
+    /// and must match at [`ServiceState::restore_persisted`] time.
+    ///
+    /// Encoding uses shortest-roundtrip `f64` formatting, so a persist →
+    /// restore cycle reproduces every rate, objective, and θ bit-exactly.
+    pub fn persisted(&self) -> Json {
+        obj(vec![
+            ("version", Json::UInt(1)),
+            ("theta", Json::Num(self.theta)),
+            ("failed", failed_to_json(&self.failed)),
+            ("ods", ods_to_json(&self.ods)),
+            ("installed", installed_to_json(self.installed.as_ref())),
+            (
+                "stack",
+                Json::Arr(
+                    self.snapshots
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("failed", failed_to_json(&s.failed)),
+                                ("ods", ods_to_json(&s.ods)),
+                                ("theta", Json::Num(s.theta)),
+                                ("installed", installed_to_json(s.installed.as_ref())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Restores the recoverable state from a [`ServiceState::persisted`]
+    /// document, validating it against the *current* base topology (node
+    /// names must exist, rate vectors must match the link count, sizes and
+    /// θ must satisfy the protocol bounds). On error `self` is unchanged.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] describing the first schema violation.
+    pub fn restore_persisted(&mut self, doc: &Json) -> Result<(), ServiceError> {
+        let bad = |msg: String| ServiceError::State(format!("persisted state: {msg}"));
+        match doc.get("version").and_then(Json::as_u64) {
+            Some(1) => {}
+            other => {
+                return Err(bad(format!(
+                    "unsupported schema version {other:?} (expected 1)"
+                )))
+            }
+        }
+        let theta = theta_from_json(doc).map_err(&bad)?;
+        let failed = failed_from_json(doc, &self.base).map_err(&bad)?;
+        let ods = ods_from_json(doc, &self.base).map_err(&bad)?;
+        let installed = installed_from_json(doc, self.base.num_links()).map_err(&bad)?;
+        let stack = doc
+            .get("stack")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing 'stack' array".into()))?;
+        let mut snapshots = Vec::with_capacity(stack.len());
+        for (i, frame) in stack.iter().enumerate() {
+            let framed = |msg: String| bad(format!("stack[{i}]: {msg}"));
+            snapshots.push(SnapshotData {
+                failed: failed_from_json(frame, &self.base).map_err(&framed)?,
+                ods: ods_from_json(frame, &self.base).map_err(&framed)?,
+                theta: theta_from_json(frame).map_err(&framed)?,
+                installed: installed_from_json(frame, self.base.num_links()).map_err(&framed)?,
+            });
+        }
+        self.theta = theta;
+        self.failed = failed;
+        self.ods = ods;
+        self.installed = installed;
+        self.snapshots = snapshots;
+        Ok(())
+    }
+}
+
+fn failed_to_json(failed: &[(String, String)]) -> Json {
+    Json::Arr(
+        failed
+            .iter()
+            .map(|(a, b)| Json::Arr(vec![Json::Str(a.clone()), Json::Str(b.clone())]))
+            .collect(),
+    )
+}
+
+fn ods_to_json(ods: &[OdSpec]) -> Json {
+    Json::Arr(
+        ods.iter()
+            .map(|o| {
+                obj(vec![
+                    ("name", Json::Str(o.name.clone())),
+                    ("src", Json::Str(o.src.clone())),
+                    ("dst", Json::Str(o.dst.clone())),
+                    ("size", Json::Num(o.size)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn installed_to_json(inst: Option<&Installed>) -> Json {
+    match inst {
+        None => Json::Null,
+        Some(i) => obj(vec![
+            (
+                "rates",
+                Json::Arr(i.rates_base.iter().map(|&r| Json::Num(r)).collect()),
+            ),
+            ("objective", Json::Num(i.objective)),
+            ("lambda", Json::Num(i.lambda)),
+            ("active_monitors", Json::UInt(i.active_monitors as u64)),
+            ("kkt", Json::Bool(i.kkt)),
+        ]),
+    }
+}
+
+fn theta_from_json(v: &Json) -> Result<f64, String> {
+    let theta = v
+        .get("theta")
+        .and_then(Json::as_f64)
+        .ok_or("missing or non-numeric 'theta'")?;
+    if !(theta.is_finite() && theta > 0.0) {
+        return Err(format!("theta must be positive and finite, got {theta}"));
+    }
+    Ok(theta)
+}
+
+fn failed_from_json(v: &Json, base: &Topology) -> Result<Vec<(String, String)>, String> {
+    let arr = v
+        .get("failed")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'failed' array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for pair in arr {
+        let p = pair
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or("each failed fibre must be a 2-element array")?;
+        let (a, b) = match (p[0].as_str(), p[1].as_str()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err("fibre endpoints must be strings".into()),
+        };
+        for name in [a, b] {
+            if base.node_by_name(name).is_none() {
+                return Err(format!("unknown node '{name}' in failed fibre"));
+            }
+        }
+        out.push(canonical_pair(a, b));
+    }
+    Ok(out)
+}
+
+fn ods_from_json(v: &Json, base: &Topology) -> Result<Vec<OdSpec>, String> {
+    let arr = v
+        .get("ods")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'ods' array")?;
+    if arr.is_empty() {
+        return Err("OD set must not be empty".into());
+    }
+    let mut out: Vec<OdSpec> = Vec::with_capacity(arr.len());
+    for od in arr {
+        let field = |key: &str| {
+            od.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("OD entry missing string '{key}'"))
+        };
+        let name = field("name")?;
+        let src = field("src")?;
+        let dst = field("dst")?;
+        let size = od
+            .get("size")
+            .and_then(Json::as_f64)
+            .ok_or("OD entry missing numeric 'size'")?;
+        if !(size.is_finite() && size > 1.0) {
+            return Err(format!("OD '{name}' size must exceed 1 packet, got {size}"));
+        }
+        for node in [&src, &dst] {
+            if base.node_by_name(node).is_none() {
+                return Err(format!("unknown node '{node}' in OD '{name}'"));
+            }
+        }
+        if out.iter().any(|o| o.name == name) {
+            return Err(format!("duplicate OD name '{name}'"));
+        }
+        out.push(OdSpec {
+            name,
+            src,
+            dst,
+            size,
+        });
+    }
+    Ok(out)
+}
+
+fn installed_from_json(v: &Json, num_links: usize) -> Result<Option<Installed>, String> {
+    let inst = match v.get("installed") {
+        None => return Err("missing 'installed' field".into()),
+        Some(Json::Null) => return Ok(None),
+        Some(inst) => inst,
+    };
+    let rates = inst
+        .get("rates")
+        .and_then(Json::as_arr)
+        .ok_or("installed configuration missing 'rates' array")?;
+    if rates.len() != num_links {
+        return Err(format!(
+            "installed rate vector has {} entries, topology has {num_links} links",
+            rates.len()
+        ));
+    }
+    let mut rates_base = Vec::with_capacity(rates.len());
+    for r in rates {
+        let r = r.as_f64().ok_or("non-numeric sampling rate")?;
+        if !(r.is_finite() && (0.0..=1.0).contains(&r)) {
+            return Err(format!("sampling rate {r} outside [0, 1]"));
+        }
+        rates_base.push(r);
+    }
+    let num = |key: &str| {
+        inst.get(key)
+            .and_then(Json::as_f64)
+            .filter(|x| x.is_finite())
+            .ok_or(format!("installed configuration missing finite '{key}'"))
+    };
+    Ok(Some(Installed {
+        rates_base,
+        objective: num("objective")?,
+        lambda: num("lambda")?,
+        active_monitors: inst
+            .get("active_monitors")
+            .and_then(Json::as_u64)
+            .ok_or("installed configuration missing integer 'active_monitors'")?
+            as usize,
+        kkt: inst
+            .get("kkt")
+            .and_then(Json::as_bool)
+            .ok_or("installed configuration missing boolean 'kkt'")?,
+    }))
 }
 
 #[cfg(test)]
@@ -684,5 +928,138 @@ mod tests {
     fn non_mutating_command_rejected_as_event() {
         let mut s = fresh();
         assert!(s.apply_event(&Request::Ping, false).is_err());
+    }
+
+    #[test]
+    fn persisted_roundtrip_is_bit_exact() {
+        let mut s = fresh();
+        s.snapshot();
+        s.apply_event(&Request::SetTheta { theta: 90_000.0 }, false)
+            .unwrap();
+        s.apply_event(
+            &Request::FailLink {
+                a: "FR".into(),
+                b: "LU".into(),
+            },
+            false,
+        )
+        .unwrap();
+        let doc = s.persisted();
+
+        let mut restored =
+            ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        restored.restore_persisted(&doc).unwrap();
+        // The document re-encodes identically after a restore…
+        assert_eq!(restored.persisted().encode(), doc.encode());
+        // …and the rate vector survives the JSON round trip bit-for-bit.
+        let original = &s.installed().unwrap().rates_base;
+        let recovered = &restored.installed().unwrap().rates_base;
+        assert_eq!(original.len(), recovered.len());
+        for (a, b) in original.iter().zip(recovered) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(restored.theta(), 90_000.0);
+        assert_eq!(restored.failed_fibres().len(), 1);
+        assert_eq!(restored.snapshot_depth(), 1);
+        // The restored snapshot stack is live: rollback reinstates the
+        // pre-mutation objective.
+        let obj0 = doc
+            .get("stack")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0]
+            .get("installed")
+            .unwrap()
+            .get("objective")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let (_, rolled) = restored.rollback().unwrap();
+        assert_eq!(rolled, Some(obj0));
+    }
+
+    #[test]
+    fn restore_rejects_malformed_documents() {
+        let base = fresh();
+        let good = base.persisted();
+        let mut s = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        let corrupt = |edit: &dyn Fn(&mut Vec<(String, Json)>)| {
+            let mut doc = good.clone();
+            if let Json::Obj(pairs) = &mut doc {
+                edit(pairs);
+            }
+            doc
+        };
+        let cases: Vec<Json> = vec![
+            corrupt(&|p| p.retain(|(k, _)| k != "version")),
+            corrupt(&|p| p[0].1 = Json::UInt(2)), // version 2
+            corrupt(&|p| {
+                p.iter_mut().find(|(k, _)| k == "theta").unwrap().1 = Json::Num(-1.0)
+            }),
+            corrupt(&|p| {
+                p.iter_mut().find(|(k, _)| k == "ods").unwrap().1 = Json::Arr(vec![])
+            }),
+            corrupt(&|p| {
+                p.iter_mut().find(|(k, _)| k == "failed").unwrap().1 = Json::Arr(vec![
+                    Json::Arr(vec![Json::Str("NOPE".into()), Json::Str("UK".into())]),
+                ])
+            }),
+            corrupt(&|p| {
+                // Rate vector of the wrong length.
+                p.iter_mut().find(|(k, _)| k == "installed").unwrap().1 = obj(vec![
+                    ("rates", Json::Arr(vec![Json::Num(0.5)])),
+                    ("objective", Json::Num(1.0)),
+                    ("lambda", Json::Num(1.0)),
+                    ("active_monitors", Json::UInt(1)),
+                    ("kkt", Json::Bool(true)),
+                ])
+            }),
+        ];
+        for doc in cases {
+            assert!(s.restore_persisted(&doc).is_err(), "accepted {}", doc.encode());
+            // A failed restore leaves the state untouched.
+            assert!(s.installed().is_none());
+        }
+        // The pristine document still restores.
+        assert!(s.restore_persisted(&good).is_ok());
+    }
+
+    #[test]
+    fn disconnecting_an_untracked_node_degrades_gracefully() {
+        // IE is single-homed to UK in GEANT and no janet OD targets it:
+        // failing UK–IE must re-solve fine on the survivor graph…
+        let mut s = fresh();
+        let fail_ie = Request::FailLink {
+            a: "UK".into(),
+            b: "IE".into(),
+        };
+        let report = s.apply_event(&fail_ie, false).unwrap();
+        assert!(report.kkt);
+        // …but an OD into the disconnected island is rejected cleanly.
+        let od_to_island = Request::AddOd {
+            name: "JANET-IE".into(),
+            src: "JANET".into(),
+            dst: "IE".into(),
+            size: 5_000.0,
+        };
+        assert!(s.apply_event(&od_to_island, false).is_err());
+        assert_eq!(s.ods().len(), 20);
+        assert_eq!(s.failed_fibres().len(), 1);
+
+        // Conversely: with the OD tracked first, the failure that would
+        // strand it is rejected and the state stays whole.
+        s.apply_event(
+            &Request::RestoreLink {
+                a: "UK".into(),
+                b: "IE".into(),
+            },
+            false,
+        )
+        .unwrap();
+        s.apply_event(&od_to_island, false).unwrap();
+        assert_eq!(s.ods().len(), 21);
+        assert!(s.apply_event(&fail_ie, false).is_err());
+        assert!(s.failed_fibres().is_empty());
+        assert!(s.installed().is_some());
     }
 }

@@ -1,0 +1,329 @@
+//! End-to-end durability tests: clean-exit snapshots, crash injection
+//! with byte-level WAL truncation, and snapshot-rotation recovery.
+//!
+//! The determinism contract under test: recovering a state directory must
+//! produce a `ServiceState` whose persisted document is *byte-identical*
+//! to replaying the surviving command prefix from scratch — same installed
+//! rates (bit-for-bit), same OD registry, same θ, same snapshot stack.
+
+use std::fs;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+
+use nws_core::scenarios::janet_task;
+use nws_core::PlacementConfig;
+use nws_obs::Recorder;
+use nws_service::json::{parse, Json};
+use nws_service::{
+    parse_request, Daemon, DaemonOptions, FsyncPolicy, PersistConfig, Request, ServiceState,
+    StateStore,
+};
+use nws_store::frame;
+
+fn tdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nws-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fresh_state() -> ServiceState {
+    ServiceState::from_task(&janet_task(), PlacementConfig::default())
+}
+
+/// Applies one state-changing request the way the daemon does.
+fn apply(state: &mut ServiceState, req: &Request) {
+    match req {
+        Request::Snapshot => {
+            state.snapshot();
+        }
+        Request::Rollback => {
+            state.rollback().unwrap();
+        }
+        r => {
+            state.apply_event(r, false).unwrap();
+        }
+    }
+}
+
+fn persist_cfg(dir: &Path, snapshot_every: u64) -> PersistConfig {
+    PersistConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Always,
+        snapshot_every,
+    }
+}
+
+fn run_daemon(dir: &Path, script: &str) -> Vec<Json> {
+    let mut daemon = Daemon::new(
+        fresh_state(),
+        DaemonOptions {
+            persist: Some(persist_cfg(dir, 32)),
+            ..DaemonOptions::default()
+        },
+    );
+    let mut out = Vec::new();
+    daemon
+        .run(Cursor::new(script.to_string()), &mut out)
+        .unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| parse(l).unwrap())
+        .collect()
+}
+
+fn wal_segment(dir: &Path) -> PathBuf {
+    fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .starts_with("wal-")
+        })
+        .expect("a WAL segment")
+}
+
+const COMMANDS: [&str; 5] = [
+    r#"{"cmd":"snapshot"}"#,
+    r#"{"cmd":"set_theta","theta":90000}"#,
+    r#"{"cmd":"update_demand","od":"JANET-NL","size":10800000}"#,
+    r#"{"cmd":"fail_link","a":"FR","b":"LU"}"#,
+    r#"{"cmd":"rollback"}"#,
+];
+
+#[test]
+fn clean_shutdown_recovers_from_snapshot_alone() {
+    let dir = tdir("clean");
+    let first = run_daemon(
+        &dir,
+        "{\"cmd\":\"set_theta\",\"theta\":90000}\n\
+         {\"cmd\":\"fail_link\",\"a\":\"FR\",\"b\":\"LU\"}\n\
+         {\"cmd\":\"query_rates\"}\n\
+         {\"cmd\":\"shutdown\"}\n",
+    );
+    let pre_kill_monitors = first[3].get("monitors").unwrap().encode();
+
+    // A clean stop leaves one snapshot covering everything: recovery
+    // loads it and replays nothing.
+    let mut state = fresh_state();
+    let (_store, report) =
+        StateStore::open(&persist_cfg(&dir, 32), &mut state, &Recorder::disabled()).unwrap();
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.replayed_events, 0);
+    assert_eq!(report.truncated_bytes, 0);
+    assert_eq!(state.theta(), 90_000.0);
+    assert_eq!(state.failed_fibres().len(), 1);
+    drop(_store);
+
+    // A restarted daemon announces the recovery and serves the identical
+    // configuration: active monitors match byte-for-byte.
+    let second = run_daemon(&dir, "{\"cmd\":\"query_rates\"}\n{\"cmd\":\"shutdown\"}\n");
+    let recovered = second[0].get("recovered").unwrap();
+    assert_eq!(recovered.get("snapshot").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        recovered.get("replayed_events").unwrap().as_u64(),
+        Some(0)
+    );
+    assert!(second[0].get("resolve").is_none(), "no boot solve needed");
+    assert_eq!(second[1].get("monitors").unwrap().encode(), pre_kill_monitors);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn eof_exit_snapshots_like_shutdown_does() {
+    let dir = tdir("eof");
+    // No `shutdown` line: input just ends.
+    run_daemon(&dir, "{\"cmd\":\"set_theta\",\"theta\":110000}\n");
+    let mut state = fresh_state();
+    let (_store, report) =
+        StateStore::open(&persist_cfg(&dir, 32), &mut state, &Recorder::disabled()).unwrap();
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.replayed_events, 0);
+    assert_eq!(state.theta(), 110_000.0);
+    assert!(state.installed().is_some());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_injection_matches_reference_replay_at_every_boundary() {
+    // Phase 1: a "live" run that dies without a final snapshot.
+    let dir = tdir("inject-live");
+    let mut live = fresh_state();
+    let (mut store, report) =
+        StateStore::open(&persist_cfg(&dir, 32), &mut live, &Recorder::disabled()).unwrap();
+    assert!(!report.snapshot_loaded);
+    live.resolve(false).unwrap(); // the daemon's startup solve
+    for cmd in COMMANDS {
+        let req = parse_request(cmd).unwrap();
+        apply(&mut live, &req);
+        store.record_applied(&req, &live).unwrap();
+    }
+    drop(store); // crash: no exit snapshot
+    let segment = wal_segment(&dir);
+    let full = fs::read(&segment).unwrap();
+
+    // Record boundaries of the journaled frames.
+    let scan = frame::scan(&full);
+    assert!(scan.clean());
+    assert_eq!(scan.records.len(), COMMANDS.len());
+    let mut boundaries = vec![0usize];
+    for r in &scan.records {
+        boundaries
+            .push(boundaries.last().unwrap() + frame::encode_record(r.seq, &r.payload).len());
+    }
+
+    // Phase 2: truncate at each boundary and at mid-record offsets;
+    // recovery must equal a from-scratch replay of the surviving prefix.
+    let mut cuts = boundaries.clone();
+    for w in boundaries.windows(2) {
+        cuts.push((w[0] + w[1]) / 2); // torn mid-record
+        cuts.push(w[1] - 1); // one byte short of complete
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let work = tdir("inject-work");
+    for cut in cuts {
+        let survivors = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+
+        let _ = fs::remove_dir_all(&work);
+        fs::create_dir_all(&work).unwrap();
+        fs::write(work.join(segment.file_name().unwrap()), &full[..cut]).unwrap();
+
+        let mut recovered = fresh_state();
+        let (rec_store, report) =
+            StateStore::open(&persist_cfg(&work, 32), &mut recovered, &Recorder::disabled())
+                .unwrap();
+        assert_eq!(report.replayed_events, survivors as u64, "cut at {cut}");
+        assert_eq!(
+            report.truncated_bytes,
+            (cut - boundaries[survivors]) as u64,
+            "cut at {cut}"
+        );
+        drop(rec_store);
+        if recovered.installed().is_none() {
+            // With nothing to replay the daemon cold-solves at boot.
+            recovered.resolve(false).unwrap();
+        }
+
+        let mut reference = fresh_state();
+        reference.resolve(false).unwrap();
+        for cmd in &COMMANDS[..survivors] {
+            apply(&mut reference, &parse_request(cmd).unwrap());
+        }
+        assert_eq!(
+            recovered.persisted().encode(),
+            reference.persisted().encode(),
+            "recovered state diverges from reference replay at cut {cut}"
+        );
+        assert_eq!(recovered.snapshot_depth(), reference.snapshot_depth());
+    }
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&work).unwrap();
+}
+
+#[test]
+fn snapshot_rotation_recovery_equals_full_replay() {
+    // snapshot_every=2 forces two rotations across five commands; a crash
+    // after the fifth leaves snapshot(4 commands) + WAL(1 command).
+    let dir = tdir("rotate");
+    let mut live = fresh_state();
+    let (mut store, _) =
+        StateStore::open(&persist_cfg(&dir, 2), &mut live, &Recorder::disabled()).unwrap();
+    live.resolve(false).unwrap();
+    for cmd in COMMANDS {
+        let req = parse_request(cmd).unwrap();
+        apply(&mut live, &req);
+        store.record_applied(&req, &live).unwrap();
+    }
+    drop(store); // crash
+    let names: Vec<String> = {
+        let mut n: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "LOCK")
+            .collect();
+        n.sort();
+        n
+    };
+    // Compaction kept exactly one snapshot (covering seq 4) and the
+    // rotated segment holding seq 5.
+    assert_eq!(
+        names,
+        vec![
+            "snap-00000000000000000004.json".to_string(),
+            "wal-00000000000000000005.log".to_string(),
+        ]
+    );
+
+    let mut recovered = fresh_state();
+    let (_store, report) =
+        StateStore::open(&persist_cfg(&dir, 2), &mut recovered, &Recorder::disabled()).unwrap();
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.replayed_events, 1);
+
+    let mut reference = fresh_state();
+    reference.resolve(false).unwrap();
+    for cmd in COMMANDS {
+        apply(&mut reference, &parse_request(cmd).unwrap());
+    }
+    assert_eq!(
+        recovered.persisted().encode(),
+        reference.persisted().encode(),
+        "snapshot + replay must equal from-scratch replay"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn metrics_command_reports_wal_stats() {
+    let dir = tdir("walstats");
+    let lines = run_daemon(
+        &dir,
+        "{\"cmd\":\"set_theta\",\"theta\":90000}\n\
+         {\"cmd\":\"snapshot\"}\n\
+         {\"cmd\":\"metrics\"}\n\
+         {\"cmd\":\"shutdown\"}\n",
+    );
+    let metrics = lines[3].get("metrics").unwrap();
+    let wal = metrics.get("wal_stats").unwrap();
+    assert_eq!(wal.get("policy").unwrap().as_str(), Some("always"));
+    assert_eq!(wal.get("appends").unwrap().as_u64(), Some(2));
+    assert_eq!(wal.get("fsyncs").unwrap().as_u64(), Some(2));
+    assert_eq!(wal.get("last_seq").unwrap().as_u64(), Some(2));
+    assert!(wal.get("appended_bytes").unwrap().as_u64().unwrap() > 0);
+    // Store counters surface in the shared observability registry too.
+    assert_eq!(
+        metrics
+            .get("counters")
+            .unwrap()
+            .get("wal_appends")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn live_lock_refused_and_stale_lock_reclaimed() {
+    let dir = tdir("lock");
+    let mut a = fresh_state();
+    let (held, _) =
+        StateStore::open(&persist_cfg(&dir, 32), &mut a, &Recorder::disabled()).unwrap();
+    // Second daemon against the same directory: refused while the first
+    // lives.
+    let mut b = fresh_state();
+    let err = StateStore::open(&persist_cfg(&dir, 32), &mut b, &Recorder::disabled())
+        .err()
+        .expect("locked directory accepted");
+    assert!(err.to_string().contains("locked by a live daemon"));
+    drop(held);
+
+    // A lockfile from a dead process is stale and silently reclaimed.
+    fs::write(dir.join("LOCK"), "4194303999\n").unwrap();
+    let mut c = fresh_state();
+    assert!(StateStore::open(&persist_cfg(&dir, 32), &mut c, &Recorder::disabled()).is_ok());
+    fs::remove_dir_all(&dir).unwrap();
+}

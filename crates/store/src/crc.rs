@@ -1,0 +1,55 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+//!
+//! Hand-rolled because the workspace vendors no external crates; the
+//! 256-entry table is built at compile time from the reflected polynomial
+//! `0xEDB88320`.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"{\"cmd\":\"set_theta\",\"theta\":90000}");
+        let mut corrupted = b"{\"cmd\":\"set_theta\",\"theta\":90000}".to_vec();
+        corrupted[10] ^= 0x01;
+        assert_ne!(base, crc32(&corrupted));
+    }
+}

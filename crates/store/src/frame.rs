@@ -1,0 +1,245 @@
+//! WAL record framing: length-prefixed, CRC32-guarded text lines.
+//!
+//! One record per line:
+//!
+//! ```text
+//! <seq> <len> <crc32> <payload>\n
+//! ```
+//!
+//! where `seq` is the record's decimal sequence number, `len` the payload
+//! byte length (decimal), `crc32` the [`crate::crc::crc32`] of the payload
+//! bytes as exactly 8 lowercase hex digits, and `payload` a single-line
+//! UTF-8 string (`len` bytes, no raw newline — the service layer feeds it
+//! compact JSON, whose encoder escapes control characters).
+//!
+//! The redundancy is deliberate: the length prefix finds the record
+//! boundary without trusting payload content, the CRC detects bit rot and
+//! half-written tails, and the trailing newline keeps the file greppable
+//! and guards against a record written over a torn tail. A scan
+//! ([`scan`]) stops at the *first* violation and reports the byte offset
+//! of the last fully valid record — the caller truncates there, which is
+//! the paper-prescribed crash-recovery behaviour for an append-only log.
+
+use crate::crc::crc32;
+
+/// Encodes one record line (including the trailing newline).
+///
+/// # Panics
+/// Debug-asserts that `payload` contains no raw newline; release builds
+/// rely on the caller-facing validation in [`crate::Store::append`].
+pub fn encode_record(seq: u64, payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'), "payloads are single-line");
+    format!(
+        "{seq} {len} {crc:08x} {payload}\n",
+        len = payload.len(),
+        crc = crc32(payload.as_bytes())
+    )
+}
+
+/// One decoded record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Sequence number from the frame header.
+    pub seq: u64,
+    /// The payload text.
+    pub payload: String,
+}
+
+/// Result of scanning a segment's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    /// Fully valid records, in file order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix (truncation point on corruption).
+    pub valid_len: usize,
+    /// Why the scan stopped early, if it did.
+    pub corruption: Option<String>,
+}
+
+impl Scan {
+    /// Whether the whole input was valid frames.
+    pub fn clean(&self) -> bool {
+        self.corruption.is_none()
+    }
+}
+
+fn parse_u64_field(bytes: &[u8], at: usize) -> Option<(u64, usize)> {
+    let mut end = at;
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+    }
+    if end == at || end - at > 20 {
+        return None;
+    }
+    let text = std::str::from_utf8(&bytes[at..end]).ok()?;
+    Some((text.parse().ok()?, end))
+}
+
+/// Scans `bytes` as a sequence of framed records, stopping at the first
+/// torn, corrupt, or out-of-order record.
+///
+/// Sequence numbers must be strictly increasing within the scan; a
+/// regression means a record was written over a torn tail and everything
+/// from there on is untrustworthy.
+pub fn scan(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut prev_seq: Option<u64> = None;
+    let corruption = loop {
+        if pos == bytes.len() {
+            break None;
+        }
+        let start = pos;
+        let Some((seq, after_seq)) = parse_u64_field(bytes, start) else {
+            break Some(format!("bad sequence field at byte {start}"));
+        };
+        if bytes.get(after_seq) != Some(&b' ') {
+            break Some(format!("truncated header at byte {start}"));
+        }
+        let Some((len, after_len)) = parse_u64_field(bytes, after_seq + 1) else {
+            break Some(format!("bad length field at byte {start}"));
+        };
+        if bytes.get(after_len) != Some(&b' ') {
+            break Some(format!("truncated header at byte {start}"));
+        }
+        let crc_start = after_len + 1;
+        let Some(crc_hex) = bytes.get(crc_start..crc_start + 8) else {
+            break Some(format!("truncated checksum at byte {start}"));
+        };
+        let Ok(crc_text) = std::str::from_utf8(crc_hex) else {
+            break Some(format!("bad checksum field at byte {start}"));
+        };
+        let Ok(expected_crc) = u32::from_str_radix(crc_text, 16) else {
+            break Some(format!("bad checksum field at byte {start}"));
+        };
+        if bytes.get(crc_start + 8) != Some(&b' ') {
+            break Some(format!("truncated header at byte {start}"));
+        }
+        let payload_start = crc_start + 9;
+        let Ok(len_usize) = usize::try_from(len) else {
+            break Some(format!("oversized record at byte {start}"));
+        };
+        let Some(payload) = bytes.get(payload_start..payload_start + len_usize) else {
+            break Some(format!("torn payload at byte {start}"));
+        };
+        if bytes.get(payload_start + len_usize) != Some(&b'\n') {
+            break Some(format!("missing record terminator at byte {start}"));
+        }
+        if crc32(payload) != expected_crc {
+            break Some(format!("checksum mismatch at byte {start}"));
+        }
+        let Ok(payload) = std::str::from_utf8(payload) else {
+            break Some(format!("non-UTF-8 payload at byte {start}"));
+        };
+        if prev_seq.is_some_and(|p| seq <= p) {
+            break Some(format!("sequence regression at byte {start}"));
+        }
+        prev_seq = Some(seq);
+        records.push(Record {
+            seq,
+            payload: payload.to_string(),
+        });
+        pos = payload_start + len_usize + 1;
+    };
+    Scan {
+        records,
+        valid_len: pos,
+        corruption,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (String, Vec<Record>) {
+        let records = vec![
+            Record {
+                seq: 1,
+                payload: r#"{"cmd":"snapshot"}"#.into(),
+            },
+            Record {
+                seq: 2,
+                payload: r#"{"cmd":"set_theta","theta":90000}"#.into(),
+            },
+            Record {
+                seq: 3,
+                payload: "unicode café ✓".into(),
+            },
+        ];
+        let text: String = records
+            .iter()
+            .map(|r| encode_record(r.seq, &r.payload))
+            .collect();
+        (text, records)
+    }
+
+    #[test]
+    fn roundtrip_clean_log() {
+        let (text, records) = sample();
+        let scan = scan(text.as_bytes());
+        assert!(scan.clean());
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_len, text.len());
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let s = scan(b"");
+        assert!(s.clean());
+        assert!(s.records.is_empty());
+        assert_eq!(s.valid_len, 0);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_keeps_a_valid_prefix() {
+        let (text, records) = sample();
+        let bytes = text.as_bytes();
+        // Record boundaries (cumulative line lengths).
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            boundaries.push(boundaries.last().unwrap() + encode_record(r.seq, &r.payload).len());
+        }
+        for cut in 0..=bytes.len() {
+            let s = scan(&bytes[..cut]);
+            // The scan keeps exactly the records whose full frame fits.
+            let expect = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(s.records.len(), expect, "cut at {cut}");
+            assert_eq!(s.valid_len, boundaries[expect], "cut at {cut}");
+            assert_eq!(s.clean(), boundaries.contains(&cut), "cut at {cut}");
+            for (r, want) in s.records.iter().zip(&records) {
+                assert_eq!(r, want);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected_and_prefix_kept() {
+        let (text, _) = sample();
+        let mut bytes = text.into_bytes();
+        // Flip one payload byte of the second record.
+        let second_start = encode_record(1, r#"{"cmd":"snapshot"}"#).len();
+        bytes[second_start + 20] ^= 0x40;
+        let s = scan(&bytes);
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.valid_len, second_start);
+        assert!(s.corruption.unwrap().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn sequence_regression_rejected() {
+        let mut text = encode_record(5, "a");
+        text.push_str(&encode_record(5, "b"));
+        let s = scan(text.as_bytes());
+        assert_eq!(s.records.len(), 1);
+        assert!(s.corruption.unwrap().contains("sequence regression"));
+    }
+
+    #[test]
+    fn garbage_header_rejected() {
+        let s = scan(b"not a frame\n");
+        assert_eq!(s.records.len(), 0);
+        assert_eq!(s.valid_len, 0);
+        assert!(!s.clean());
+    }
+}

@@ -1,0 +1,144 @@
+//! PID-carrying lockfiles with liveness-based stale detection.
+//!
+//! The daemon must never let two processes interleave appends into one
+//! state directory. A `LOCK` file holding the owner's PID provides mutual
+//! exclusion; a lock whose PID is no longer alive (the previous daemon
+//! crashed) is *stale* and silently reclaimed — crash recovery must not
+//! require manual lockfile cleanup.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::StoreError;
+
+/// File name of the lock inside a state directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// A held directory lock; releases (deletes the lockfile) on drop.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+    pid: u32,
+}
+
+/// Whether a process with `pid` is currently alive.
+///
+/// Uses `/proc/<pid>` existence, which is the portable-enough answer on
+/// the Linux targets this workspace supports. The calling process itself
+/// always counts as alive.
+pub fn pid_alive(pid: u32) -> bool {
+    pid == std::process::id() || Path::new(&format!("/proc/{pid}")).exists()
+}
+
+impl DirLock {
+    /// Acquires the lock for `dir`, reclaiming a stale one.
+    ///
+    /// # Errors
+    /// [`StoreError::Locked`] when a live process (including this one,
+    /// via an earlier store instance) holds the lock; [`StoreError::Io`]
+    /// on filesystem failures.
+    pub fn acquire(dir: &Path) -> Result<DirLock, StoreError> {
+        let path = dir.join(LOCK_FILE);
+        if let Ok(existing) = fs::read_to_string(&path) {
+            match existing.trim().parse::<u32>() {
+                Ok(pid) if pid_alive(pid) => {
+                    return Err(StoreError::Locked {
+                        pid,
+                        path: path.display().to_string(),
+                    });
+                }
+                // Dead owner or unparseable content: stale, reclaim.
+                _ => {}
+            }
+        }
+        let pid = std::process::id();
+        let mut file = fs::File::create(&path)
+            .map_err(|e| StoreError::io(format!("create lockfile {}", path.display()), e))?;
+        write!(file, "{pid}\n")
+            .and_then(|()| file.sync_all())
+            .map_err(|e| StoreError::io(format!("write lockfile {}", path.display()), e))?;
+        Ok(DirLock { path, pid })
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        // Only remove a lock we still own: if the content changed, a later
+        // process reclaimed it (we must have been declared dead — do not
+        // steal its lock back).
+        if let Ok(content) = fs::read_to_string(&self.path) {
+            if content.trim().parse::<u32>() == Ok(self.pid) {
+                let _ = fs::remove_file(&self.path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nws-store-lock-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_writes_own_pid_and_release_removes() {
+        let dir = temp_dir("basic");
+        let lock = DirLock::acquire(&dir).unwrap();
+        let content = fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert_eq!(content.trim().parse::<u32>().unwrap(), std::process::id());
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_lock_rejected_even_from_same_process() {
+        let dir = temp_dir("live");
+        let _held = DirLock::acquire(&dir).unwrap();
+        match DirLock::acquire(&dir) {
+            Err(StoreError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_reclaimed() {
+        let dir = temp_dir("stale");
+        // No real process gets the PID ceiling; this lock is dead on arrival.
+        fs::write(dir.join(LOCK_FILE), "4194303999\n").unwrap();
+        let lock = DirLock::acquire(&dir).unwrap();
+        let content = fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert_eq!(content.trim().parse::<u32>().unwrap(), std::process::id());
+        drop(lock);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_lock_content_treated_as_stale() {
+        let dir = temp_dir("garbage");
+        fs::write(dir.join(LOCK_FILE), "not-a-pid\n").unwrap();
+        assert!(DirLock::acquire(&dir).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_leaves_a_reclaimed_lock_alone() {
+        let dir = temp_dir("reclaimed");
+        let lock = DirLock::acquire(&dir).unwrap();
+        // Simulate another process having reclaimed the lock.
+        fs::write(dir.join(LOCK_FILE), "999999999\n").unwrap();
+        drop(lock);
+        assert!(dir.join(LOCK_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

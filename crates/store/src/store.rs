@@ -1,0 +1,628 @@
+//! The store proper: segment files, snapshot files, rotation, recovery.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use nws_obs::Recorder;
+
+use crate::frame;
+use crate::lock::DirLock;
+use crate::{FsyncPolicy, StoreError};
+
+/// Tuning knobs for [`Store::open`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// When appends reach stable storage (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            fsync: FsyncPolicy::Always,
+        }
+    }
+}
+
+/// What [`Store::open`] recovered from disk, for the caller to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Newest valid snapshot, as `(covered_seq, payload)`.
+    pub snapshot: Option<(u64, String)>,
+    /// WAL records after the snapshot, `(seq, payload)` in order.
+    pub records: Vec<(u64, String)>,
+    /// Bytes of torn/corrupt log discarded during recovery (0 on a clean
+    /// open — a non-zero value is the expected artifact of a crash
+    /// mid-append, not an error).
+    pub truncated_bytes: u64,
+}
+
+/// Lifetime statistics of one open store, surfaced by the daemon's
+/// `metrics` command as the `wal_stats` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalStats {
+    /// Fsync policy label (`always` / `every-N` / `never`).
+    pub policy: String,
+    /// Records appended by this process.
+    pub appends: u64,
+    /// Framed bytes appended by this process.
+    pub appended_bytes: u64,
+    /// Explicit `fdatasync` calls issued for appends.
+    pub fsyncs: u64,
+    /// Snapshots written by this process.
+    pub snapshots: u64,
+    /// Highest sequence number on disk (0 = empty store).
+    pub last_seq: u64,
+    /// Bytes discarded by crash recovery when this store was opened.
+    pub truncated_bytes: u64,
+}
+
+/// An open, locked state directory: one active WAL segment plus the
+/// snapshot machinery. See the crate docs for the on-disk contract.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    _lock: DirLock,
+    file: File,
+    segment_path: PathBuf,
+    policy: FsyncPolicy,
+    recorder: Recorder,
+    /// Sequence number the next append will carry.
+    next_seq: u64,
+    /// Appends since the last explicit fsync.
+    unsynced: u64,
+    appends: u64,
+    appended_bytes: u64,
+    fsyncs: u64,
+    snapshots: u64,
+    truncated_bytes: u64,
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+fn snapshot_name(seq: u64) -> String {
+    format!("snap-{seq:020}.json")
+}
+
+/// `wal-<seq>.log` / `snap-<seq>.json` → the embedded sequence number.
+fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Lists `(seq, path)` pairs for every file in `dir` matching
+/// `<prefix><20 digits><suffix>`, sorted by sequence number.
+fn list_numbered(dir: &Path, prefix: &str, suffix: &str) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir)
+        .map_err(|e| StoreError::io(format!("read state directory {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry
+            .map_err(|e| StoreError::io(format!("read state directory {}", dir.display()), e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = parse_name(name, prefix, suffix) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+impl Store {
+    /// Opens (creating if needed) the state directory, acquires its lock,
+    /// and runs crash recovery: load the newest valid snapshot, collect
+    /// the WAL suffix after it, truncate the log at the first torn or
+    /// corrupt record, and drop any segments past the truncation point.
+    ///
+    /// # Errors
+    /// [`StoreError::Locked`] when another live daemon owns the
+    /// directory; [`StoreError::Io`] on filesystem failures. Torn or
+    /// corrupt log tails are *not* errors — they are repaired and
+    /// reported via [`Recovery::truncated_bytes`].
+    pub fn open(
+        dir: &Path,
+        options: StoreOptions,
+        recorder: &Recorder,
+    ) -> Result<(Store, Recovery), StoreError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| StoreError::io(format!("create state directory {}", dir.display()), e))?;
+        let lock = DirLock::acquire(dir)?;
+
+        // Newest snapshot whose single framed record verifies.
+        let mut snapshot = None;
+        for (seq, path) in list_numbered(dir, "snap-", ".json")?.into_iter().rev() {
+            let bytes = fs::read(&path)
+                .map_err(|e| StoreError::io(format!("read snapshot {}", path.display()), e))?;
+            let scan = frame::scan(&bytes);
+            if scan.clean() && scan.records.len() == 1 && scan.records[0].seq == seq {
+                snapshot = Some((seq, scan.records[0].payload.clone()));
+                break;
+            }
+        }
+        let snap_seq = snapshot.as_ref().map_or(0, |s| s.0);
+
+        // Walk the segments in order, keeping records past the snapshot.
+        // Records at or before `snap_seq` are covered by the snapshot and
+        // skipped (they only exist when a crash interrupted compaction).
+        let segments = list_numbered(dir, "wal-", ".log")?;
+        let mut records: Vec<(u64, String)> = Vec::new();
+        let mut last_seq = snap_seq;
+        let mut truncated_bytes = 0u64;
+        let mut active: Option<(PathBuf, u64)> = None; // (path, keep_len)
+        for (i, (_first, path)) in segments.iter().enumerate() {
+            let bytes = fs::read(path)
+                .map_err(|e| StoreError::io(format!("read segment {}", path.display()), e))?;
+            let scan = frame::scan(&bytes);
+            // Re-derive each record's byte offset (frames re-encode
+            // exactly) so an ordering violation can truncate mid-file too.
+            let mut offset = 0usize;
+            let mut regression = None;
+            for rec in &scan.records {
+                if rec.seq > snap_seq {
+                    if rec.seq <= last_seq {
+                        regression = Some(offset);
+                        break;
+                    }
+                    last_seq = rec.seq;
+                    records.push((rec.seq, rec.payload.clone()));
+                }
+                offset += frame::encode_record(rec.seq, &rec.payload).len();
+            }
+            let keep_len = regression.unwrap_or(scan.valid_len);
+            let damaged = regression.is_some() || !scan.clean();
+            if damaged {
+                truncated_bytes += (bytes.len() - keep_len) as u64;
+                for (_, later) in &segments[i + 1..] {
+                    truncated_bytes += fs::metadata(later).map(|m| m.len()).unwrap_or(0);
+                    fs::remove_file(later).map_err(|e| {
+                        StoreError::io(format!("drop segment {}", later.display()), e)
+                    })?;
+                }
+                active = Some((path.clone(), keep_len as u64));
+                break;
+            }
+            active = Some((path.clone(), bytes.len() as u64));
+        }
+
+        let next_seq = last_seq + 1;
+        let (segment_path, keep_len) = match active {
+            Some(a) => a,
+            None => (dir.join(segment_name(next_seq)), 0),
+        };
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .open(&segment_path)
+            .map_err(|e| {
+                StoreError::io(format!("open segment {}", segment_path.display()), e)
+            })?;
+        file.set_len(keep_len)
+            .and_then(|()| {
+                if truncated_bytes > 0 {
+                    file.sync_data()?;
+                }
+                Ok(())
+            })
+            .map_err(|e| {
+                StoreError::io(format!("truncate segment {}", segment_path.display()), e)
+            })?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0)).map_err(|e| {
+            StoreError::io(format!("seek segment {}", segment_path.display()), e)
+        })?;
+        sync_dir(dir)
+            .map_err(|e| StoreError::io(format!("sync state directory {}", dir.display()), e))?;
+
+        let segment_count = list_numbered(dir, "wal-", ".log")?.len();
+        recorder.gauge_set("wal_segments", segment_count as f64);
+
+        let store = Store {
+            dir: dir.to_path_buf(),
+            _lock: lock,
+            file,
+            segment_path,
+            policy: options.fsync,
+            recorder: recorder.clone(),
+            next_seq,
+            unsynced: 0,
+            appends: 0,
+            appended_bytes: 0,
+            fsyncs: 0,
+            snapshots: 0,
+            truncated_bytes,
+        };
+        let recovery = Recovery {
+            snapshot,
+            records,
+            truncated_bytes,
+        };
+        Ok((store, recovery))
+    }
+
+    /// Appends one record and returns its sequence number.
+    ///
+    /// The framed line is written through to the kernel before this
+    /// returns (no userspace buffering), so an acknowledged append
+    /// survives the process being killed under every fsync policy; the
+    /// policy only decides whether `fdatasync` runs now.
+    ///
+    /// # Errors
+    /// [`StoreError::Invalid`] for payloads containing a raw newline;
+    /// [`StoreError::Io`] on write/sync failures.
+    pub fn append(&mut self, payload: &str) -> Result<u64, StoreError> {
+        if payload.contains('\n') {
+            return Err(StoreError::Invalid(
+                "WAL payloads must be single-line (embedded newline rejected)".into(),
+            ));
+        }
+        let seq = self.next_seq;
+        let line = frame::encode_record(seq, payload);
+        self.file.write_all(line.as_bytes()).map_err(|e| {
+            StoreError::io(format!("append to {}", self.segment_path.display()), e)
+        })?;
+        self.next_seq += 1;
+        self.appends += 1;
+        self.appended_bytes += line.len() as u64;
+        self.unsynced += 1;
+        self.recorder.counter_add("wal_appends", 1);
+        self.recorder.counter_add("wal_bytes", line.len() as u64);
+        let sync_now = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n,
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            self.file.sync_data().map_err(|e| {
+                StoreError::io(format!("fsync {}", self.segment_path.display()), e)
+            })?;
+            self.unsynced = 0;
+            self.fsyncs += 1;
+            self.recorder.counter_add("wal_fsyncs", 1);
+        }
+        Ok(seq)
+    }
+
+    /// Writes a snapshot covering every record appended so far, then
+    /// rotates the WAL onto a fresh segment and compacts: all covered
+    /// segments and all older snapshots are deleted. Returns the covered
+    /// sequence number.
+    ///
+    /// The snapshot is durable regardless of the fsync policy: it is
+    /// written to a temp file, synced, renamed into place, and the
+    /// directory is synced — a crash at any point leaves either the old
+    /// or the new snapshot intact, never a torn one.
+    ///
+    /// # Errors
+    /// [`StoreError::Invalid`] for multi-line payloads, [`StoreError::Io`]
+    /// on filesystem failures.
+    pub fn snapshot(&mut self, payload: &str) -> Result<u64, StoreError> {
+        if payload.contains('\n') {
+            return Err(StoreError::Invalid(
+                "snapshot payloads must be single-line (embedded newline rejected)".into(),
+            ));
+        }
+        let started = self.recorder.is_enabled().then(Instant::now);
+        let seq = self.next_seq - 1;
+        let final_path = self.dir.join(snapshot_name(seq));
+        let tmp_path = self.dir.join(format!("{}.tmp", snapshot_name(seq)));
+        let mut tmp = File::create(&tmp_path)
+            .map_err(|e| StoreError::io(format!("create {}", tmp_path.display()), e))?;
+        tmp.write_all(frame::encode_record(seq, payload).as_bytes())
+            .and_then(|()| tmp.sync_all())
+            .map_err(|e| StoreError::io(format!("write {}", tmp_path.display()), e))?;
+        drop(tmp);
+        fs::rename(&tmp_path, &final_path)
+            .map_err(|e| StoreError::io(format!("install {}", final_path.display()), e))?;
+
+        // Rotate onto a fresh segment (no-op when nothing was appended
+        // since the last rotation — the current segment is already empty
+        // and already named for `next_seq`).
+        let new_path = self.dir.join(segment_name(self.next_seq));
+        if new_path != self.segment_path {
+            let new_file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&new_path)
+                .map_err(|e| {
+                    StoreError::io(format!("open segment {}", new_path.display()), e)
+                })?;
+            let _ = self.file.sync_data();
+            self.file = new_file;
+            self.segment_path = new_path;
+            self.unsynced = 0;
+        }
+
+        // Compact: only the active segment and the snapshot just written
+        // survive. Leftover temp files from older interrupted snapshots
+        // go too.
+        for (_, path) in list_numbered(&self.dir, "wal-", ".log")? {
+            if path != self.segment_path {
+                fs::remove_file(&path)
+                    .map_err(|e| StoreError::io(format!("compact {}", path.display()), e))?;
+            }
+        }
+        for (old_seq, path) in list_numbered(&self.dir, "snap-", ".json")? {
+            if old_seq != seq {
+                fs::remove_file(&path)
+                    .map_err(|e| StoreError::io(format!("compact {}", path.display()), e))?;
+            }
+        }
+        sync_dir(&self.dir).map_err(|e| {
+            StoreError::io(format!("sync state directory {}", self.dir.display()), e)
+        })?;
+
+        self.snapshots += 1;
+        self.recorder.gauge_set("wal_segments", 1.0);
+        if let Some(t) = started {
+            self.recorder
+                .observe("snapshot_ms", t.elapsed().as_secs_f64() * 1e3);
+        }
+        Ok(seq)
+    }
+
+    /// Lifetime statistics for the `wal_stats` metrics section.
+    pub fn wal_stats(&self) -> WalStats {
+        WalStats {
+            policy: self.policy.label(),
+            appends: self.appends,
+            appended_bytes: self.appended_bytes,
+            fsyncs: self.fsyncs,
+            snapshots: self.snapshots,
+            last_seq: self.next_seq - 1,
+            truncated_bytes: self.truncated_bytes,
+        }
+    }
+
+    /// The state directory this store owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best-effort final sync so `every-N` / `never` lose nothing on a
+        // clean exit; the lockfile releases via `DirLock`'s own drop.
+        if self.unsynced > 0 {
+            let _ = self.file.sync_data();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nws-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path) -> (Store, Recovery) {
+        Store::open(dir, StoreOptions::default(), &Recorder::disabled()).unwrap()
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let dir = tdir("replay");
+        {
+            let (mut store, rec) = open(&dir);
+            assert_eq!(rec, Recovery { snapshot: None, records: vec![], truncated_bytes: 0 });
+            assert_eq!(store.append("alpha").unwrap(), 1);
+            assert_eq!(store.append("beta").unwrap(), 2);
+            assert_eq!(store.append("gamma").unwrap(), 3);
+        }
+        let (mut store, rec) = open(&dir);
+        assert_eq!(rec.snapshot, None);
+        assert_eq!(
+            rec.records,
+            vec![(1, "alpha".into()), (2, "beta".into()), (3, "gamma".into())]
+        );
+        assert_eq!(rec.truncated_bytes, 0);
+        // Sequence numbering continues where the previous run stopped.
+        assert_eq!(store.append("delta").unwrap(), 4);
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_rotates_and_compacts() {
+        let dir = tdir("compact");
+        {
+            let (mut store, _) = open(&dir);
+            store.append("a").unwrap();
+            store.append("b").unwrap();
+            assert_eq!(store.snapshot("STATE@2").unwrap(), 2);
+            store.append("c").unwrap();
+            let stats = store.wal_stats();
+            assert_eq!(stats.snapshots, 1);
+            assert_eq!(stats.last_seq, 3);
+        }
+        // Exactly one snapshot, one segment, and the lock are left; the
+        // pre-snapshot segment was compacted away.
+        let names: Vec<String> = {
+            let mut n: Vec<String> = fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            n.sort();
+            n
+        };
+        assert_eq!(names, vec![snapshot_name(2), segment_name(3)]);
+        let (_store, rec) = open(&dir);
+        assert_eq!(rec.snapshot, Some((2, "STATE@2".into())));
+        assert_eq!(rec.records, vec![(3, "c".into())]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_of_empty_store_covers_seq_zero() {
+        let dir = tdir("empty-snap");
+        {
+            let (mut store, _) = open(&dir);
+            assert_eq!(store.snapshot("INITIAL").unwrap(), 0);
+        }
+        let (_store, rec) = open(&dir);
+        assert_eq!(rec.snapshot, Some((0, "INITIAL".into())));
+        assert!(rec.records.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tdir("torn");
+        let segment = {
+            let (mut store, _) = open(&dir);
+            store.append("keep-1").unwrap();
+            store.append("keep-2").unwrap();
+            dir.join(segment_name(1))
+        };
+        // Simulate a crash mid-append: half a record at the tail.
+        let mut f = OpenOptions::new().append(true).open(&segment).unwrap();
+        f.write_all(b"3 600 deadbeef {\"cmd\":\"trunc").unwrap();
+        drop(f);
+        let torn = b"3 600 deadbeef {\"cmd\":\"trunc".len() as u64;
+        let (store, rec) = open(&dir);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.truncated_bytes, torn);
+        assert_eq!(store.wal_stats().truncated_bytes, torn);
+        drop(store);
+        // The repair is persistent: a second open sees a clean log.
+        let (_store, rec) = open(&dir);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.records.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_older_one() {
+        let dir = tdir("snap-fallback");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(snapshot_name(5)),
+            frame::encode_record(5, "OLD"),
+        )
+        .unwrap();
+        let mut newer = frame::encode_record(9, "NEW").into_bytes();
+        let last = newer.len() - 2;
+        newer[last] ^= 0x20; // flip a payload bit → CRC mismatch
+        fs::write(dir.join(snapshot_name(9)), newer).unwrap();
+        let mut segment = frame::encode_record(6, "six");
+        segment.push_str(&frame::encode_record(7, "seven"));
+        fs::write(dir.join(segment_name(6)), segment).unwrap();
+        let (_store, rec) = open(&dir);
+        assert_eq!(rec.snapshot, Some((5, "OLD".into())));
+        assert_eq!(rec.records, vec![(6, "six".into()), (7, "seven".into())]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_lock_blocks_second_open() {
+        let dir = tdir("locked");
+        let (_held, _) = open(&dir);
+        match Store::open(&dir, StoreOptions::default(), &Recorder::disabled()) {
+            Err(StoreError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {:?}", other.map(|_| ())),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multiline_payloads_rejected() {
+        let dir = tdir("newline");
+        let (mut store, _) = open(&dir);
+        assert!(matches!(
+            store.append("two\nlines"),
+            Err(StoreError::Invalid(_))
+        ));
+        assert!(matches!(
+            store.snapshot("two\nlines"),
+            Err(StoreError::Invalid(_))
+        ));
+        // The rejected append consumed no sequence number.
+        assert_eq!(store.append("fine").unwrap(), 1);
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recorder_sees_wal_counters_and_snapshot_timing() {
+        let dir = tdir("metrics");
+        let recorder = Recorder::enabled();
+        let (mut store, _) =
+            Store::open(&dir, StoreOptions { fsync: FsyncPolicy::Always }, &recorder).unwrap();
+        store.append("one").unwrap();
+        store.append("two").unwrap();
+        store.snapshot("S").unwrap();
+        let snap = recorder.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(counter("wal_appends"), Some(2));
+        assert_eq!(counter("wal_fsyncs"), Some(2));
+        let expected_bytes =
+            (frame::encode_record(1, "one").len() + frame::encode_record(2, "two").len()) as u64;
+        assert_eq!(counter("wal_bytes"), Some(expected_bytes));
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "snapshot_ms")
+            .expect("snapshot_ms histogram");
+        assert_eq!(hist.count, 1);
+        let gauge = snap.gauges.iter().find(|g| g.name == "wal_segments").unwrap();
+        assert_eq!(gauge.value, 1.0);
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_n_policy_amortizes_fsyncs() {
+        let dir = tdir("every-n");
+        let (mut store, _) = Store::open(
+            &dir,
+            StoreOptions { fsync: FsyncPolicy::EveryN(3) },
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        for i in 0..7 {
+            store.append(&format!("r{i}")).unwrap();
+        }
+        assert_eq!(store.wal_stats().fsyncs, 2); // after records 3 and 6
+        drop(store);
+        let dir2 = tdir("never");
+        let (mut store, _) = Store::open(
+            &dir2,
+            StoreOptions { fsync: FsyncPolicy::Never },
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        for i in 0..7 {
+            store.append(&format!("r{i}")).unwrap();
+        }
+        assert_eq!(store.wal_stats().fsyncs, 0);
+        drop(store);
+        // `never` still survives reopen: every append hit the kernel.
+        let (_s, rec) = open(&dir2);
+        assert_eq!(rec.records.len(), 7);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+}

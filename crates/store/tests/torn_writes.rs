@@ -1,0 +1,118 @@
+//! Crash-injection at every byte offset of a WAL segment.
+//!
+//! A crash mid-append can leave the active segment truncated at *any*
+//! byte. For each possible cut point this test rebuilds the state
+//! directory, truncates the segment there, reopens the store, and checks
+//! that recovery returns exactly the longest valid record prefix — and
+//! that the repaired store accepts new appends whose sequence numbers
+//! continue from the surviving prefix.
+
+use std::fs;
+use std::path::PathBuf;
+
+use nws_obs::Recorder;
+use nws_store::{frame, Store, StoreOptions};
+
+fn tdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nws-torn-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_truncation_offset_recovers_the_valid_prefix() {
+    let payloads = [
+        r#"{"cmd":"snapshot"}"#,
+        r#"{"cmd":"set_theta","theta":90000}"#,
+        r#"{"cmd":"update_demand","name":"JANET-NL","size":10800000}"#,
+        r#"{"cmd":"fail_link","a":"FR","b":"LU"}"#,
+        r#"{"cmd":"rollback"}"#,
+    ];
+    let master = tdir("master");
+    let segment_name;
+    {
+        let (mut store, _) =
+            Store::open(&master, StoreOptions::default(), &Recorder::disabled()).unwrap();
+        for p in &payloads {
+            store.append(p).unwrap();
+        }
+        segment_name = fs::read_dir(&master)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .find(|n| n.starts_with("wal-"))
+            .unwrap();
+    }
+    let full = fs::read(master.join(&segment_name)).unwrap();
+
+    // Record boundaries: prefix byte lengths after 0, 1, 2, ... records.
+    let mut boundaries = vec![0usize];
+    for (i, p) in payloads.iter().enumerate() {
+        let prev = *boundaries.last().unwrap();
+        boundaries.push(prev + frame::encode_record(i as u64 + 1, p).len());
+    }
+    assert_eq!(*boundaries.last().unwrap(), full.len());
+
+    let work = tdir("work");
+    for cut in 0..=full.len() {
+        let _ = fs::remove_dir_all(&work);
+        fs::create_dir_all(&work).unwrap();
+        fs::write(work.join(&segment_name), &full[..cut]).unwrap();
+
+        let (mut store, recovery) =
+            Store::open(&work, StoreOptions::default(), &Recorder::disabled()).unwrap();
+        let survivors = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        assert_eq!(recovery.records.len(), survivors, "cut at byte {cut}");
+        for (got, want) in recovery.records.iter().zip(&payloads) {
+            assert_eq!(got.1, *want, "cut at byte {cut}");
+        }
+        let expected_loss = (cut - boundaries[survivors]) as u64;
+        assert_eq!(recovery.truncated_bytes, expected_loss, "cut at byte {cut}");
+
+        // The repaired log stays usable: the next append continues the
+        // sequence right after the surviving prefix...
+        let seq = store.append(r#"{"cmd":"ping"}"#).unwrap();
+        assert_eq!(seq, survivors as u64 + 1, "cut at byte {cut}");
+        drop(store);
+        // ...and a second recovery sees a clean log including it.
+        let (_store, again) =
+            Store::open(&work, StoreOptions::default(), &Recorder::disabled()).unwrap();
+        assert_eq!(again.truncated_bytes, 0, "cut at byte {cut}");
+        assert_eq!(again.records.len(), survivors + 1, "cut at byte {cut}");
+    }
+
+    fs::remove_dir_all(&master).unwrap();
+    fs::remove_dir_all(&work).unwrap();
+}
+
+#[test]
+fn snapshot_survives_wal_tail_loss() {
+    // Crash after a snapshot: however much of the post-snapshot WAL is
+    // torn off, recovery still starts from the snapshot.
+    let dir = tdir("snap");
+    let (mut store, _) =
+        Store::open(&dir, StoreOptions::default(), &Recorder::disabled()).unwrap();
+    store.append("a").unwrap();
+    store.snapshot("STATE@1").unwrap();
+    store.append("b").unwrap();
+    drop(store);
+
+    let segment = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("wal-"))
+        .unwrap();
+    let full = fs::read(&segment).unwrap();
+    for cut in 0..full.len() {
+        fs::write(&segment, &full[..cut]).unwrap();
+        let (store, recovery) =
+            Store::open(&dir, StoreOptions::default(), &Recorder::disabled()).unwrap();
+        assert_eq!(
+            recovery.snapshot,
+            Some((1, "STATE@1".into())),
+            "cut at byte {cut}"
+        );
+        assert!(recovery.records.len() <= 1, "cut at byte {cut}");
+        drop(store);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}

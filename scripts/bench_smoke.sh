@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Smoke-run of the performance surfaces: the objective-evaluation
-# micro-benchmark (small instances, few repetitions) and a scripted
-# control-plane daemon session on GEANT recording cold-vs-warm re-solve
+# micro-benchmark (small instances, few repetitions), the WAL append
+# micro-benchmark, and a kill -9 / recover round trip of the control-plane
+# daemon on GEANT recording cold-vs-warm re-solve latency plus recovery
 # latency. JSON reports land at the repo root. Used as a non-blocking CI
-# step; run eval_bench manually (without --quick) for publishable numbers.
+# step; run eval_bench/wal_bench manually (without --quick) for publishable
+# numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,15 +21,70 @@ awk -v r="$ratio" 'BEGIN { exit !(r <= 1.05) }' || {
     echo "obs overhead ratio $ratio exceeds the 1.05 gate" >&2; exit 1; }
 echo "obs overhead OK: ratio $ratio"
 
-# Daemon smoke: pipe a scripted event sequence (demand updates, a link
-# failure, theta changes, snapshot/rollback, a metrics query) through
-# `nws serve` on the JANET-on-GEANT scenario. --shadow-cold runs a cold
-# solve per event so BENCH_serve.json carries the warm-vs-cold comparison;
-# --metrics-out/--trace write the Prometheus-style exposition with the span
-# tree; `set -e` makes a non-zero daemon exit fail the smoke run.
-cargo run --release -p nws-cli -- serve --shadow-cold --bench-out BENCH_serve.json \
-    --metrics-out METRICS_serve.prom --trace \
-    < fixtures/serve_session.jsonl > serve_session.out
+# WAL throughput smoke: append rate under the three fsync policies. Sanity
+# gate: `never` (no fsync at all) must be at least as fast as `always` (an
+# fdatasync per append); if it is not, the measurement or the store is
+# broken.
+cargo run --release -p nws-bench --bin wal_bench -- --quick --out BENCH_wal.json
+always_rate=$(sed -n 's/.*"policy": "always".*"appends_per_sec": \([0-9.]*\).*/\1/p' BENCH_wal.json)
+never_rate=$(sed -n 's/.*"policy": "never".*"appends_per_sec": \([0-9.]*\).*/\1/p' BENCH_wal.json)
+[ -n "$always_rate" ] && [ -n "$never_rate" ] \
+    || { echo "BENCH_wal.json missing per-policy appends_per_sec" >&2; exit 1; }
+awk -v n="$never_rate" -v a="$always_rate" 'BEGIN { exit !(n >= a) }' || {
+    echo "wal_bench: never ($never_rate/s) slower than always ($always_rate/s)" >&2; exit 1; }
+echo "wal bench OK: always $always_rate/s, never $never_rate/s"
+
+# Kill-and-recover round trip, phase A: run the release binary directly
+# (cargo run would orphan the daemon on kill -9), seed a --state-dir with a
+# prefix of the scripted session (snapshot, set_theta, update_demand — the
+# commands a later full-fixture replay can repeat without conflict), read
+# back the installed rates, then kill -9 mid-flight. The daemon journals
+# each command before acknowledging it, so everything acknowledged here
+# must survive.
+cargo build --release -p nws-cli
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+STATE_DIR="$SCRATCH/state"
+mkfifo "$SCRATCH/in"
+target/release/nws serve --state-dir "$STATE_DIR" \
+    < "$SCRATCH/in" > "$SCRATCH/prekill.out" &
+DAEMON_PID=$!
+exec 3> "$SCRATCH/in"
+head -3 fixtures/serve_session.jsonl >&3
+printf '{"cmd":"query_rates"}\n' >&3
+tries=0
+while [ "$(wc -l < "$SCRATCH/prekill.out")" -lt 5 ]; do  # hello + 4 responses
+    tries=$((tries + 1))
+    [ "$tries" -le 300 ] || { echo "pre-kill daemon did not respond" >&2; exit 1; }
+    sleep 0.1
+done
+kill -9 "$DAEMON_PID"
+exec 3>&-
+wait "$DAEMON_PID" 2>/dev/null || true
+grep -q '"ok":false' "$SCRATCH/prekill.out" && {
+    echo "pre-kill daemon rejected a scripted event:" >&2
+    grep '"ok":false' "$SCRATCH/prekill.out" >&2
+    exit 1; }
+prekill_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/prekill.out" | tail -1)
+[ -n "$prekill_monitors" ] || { echo "pre-kill query_rates carried no monitors" >&2; exit 1; }
+[ -f "$STATE_DIR/LOCK" ] || { echo "killed daemon left no lockfile to reclaim" >&2; exit 1; }
+echo "kill phase OK: daemon $DAEMON_PID killed with journal in $STATE_DIR"
+
+# Phase B / daemon smoke: reopen the same --state-dir (reclaiming the dead
+# daemon's lockfile), recover (snapshot-less boot: mirror solve + replay of
+# the 3 journaled commands), and confirm via a leading query_rates that the
+# recovered installed rates match the pre-kill response byte-for-byte.
+# Then pipe the full scripted event sequence (demand updates, a link
+# failure, theta changes, snapshot/rollback, a metrics query) through the
+# same daemon. --shadow-cold runs a cold solve per event so
+# BENCH_serve.json carries the warm-vs-cold comparison (and now the
+# recovery latency); --metrics-out/--trace write the Prometheus-style
+# exposition with the span tree; `set -e` makes a non-zero daemon exit fail
+# the smoke run.
+{ printf '{"cmd":"query_rates"}\n'; cat fixtures/serve_session.jsonl; } | \
+    target/release/nws serve --shadow-cold --bench-out BENCH_serve.json \
+        --metrics-out METRICS_serve.prom --trace --state-dir "$STATE_DIR" \
+        > serve_session.out
 [ -s BENCH_serve.json ] || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
 grep -q '"bye":true' serve_session.out || { echo "daemon did not shut down cleanly" >&2; exit 1; }
 if grep -q '"ok":false' serve_session.out; then
@@ -35,15 +92,38 @@ if grep -q '"ok":false' serve_session.out; then
     grep '"ok":false' serve_session.out >&2
     exit 1
 fi
-rm -f serve_session.out
 
-# The exposition must exist, carry the expected metric families, and every
-# non-comment line must parse as `name[{labels}] value`.
+# Recovery assertions: the hello line must report the replayed journal, the
+# recovered rates must be identical to what the killed daemon had
+# installed, the metrics response must carry wal_stats, and the recovery
+# latency must land in the bench report.
+grep -q '"recovered":{"snapshot":false,"replayed_events":3,' serve_session.out \
+    || { echo "hello line does not report recovery of the 3 journaled events" >&2; exit 1; }
+recovered_monitors=$(grep -o '"monitors":\[[^]]*\]' serve_session.out | head -1)
+[ "$recovered_monitors" = "$prekill_monitors" ] || {
+    echo "recovered rates differ from pre-kill rates:" >&2
+    echo "  pre-kill:  $prekill_monitors" >&2
+    echo "  recovered: $recovered_monitors" >&2
+    exit 1; }
+grep -q '"wal_stats":{"policy":"always",' serve_session.out \
+    || { echo "metrics response lacks wal_stats" >&2; exit 1; }
+grep -q '"recovery":{"snapshot":false,"replayed_events":3,' BENCH_serve.json \
+    || { echo "BENCH_serve.json lacks the recovery report" >&2; exit 1; }
+rm -f serve_session.out
+echo "recovery smoke OK: 3 events replayed, rates match pre-kill byte-for-byte"
+
+# The exposition must exist, carry the expected metric families (including
+# the store counters), and every non-comment line must parse as
+# `name[{labels}] value`.
 [ -s METRICS_serve.prom ] || { echo "METRICS_serve.prom missing or empty" >&2; exit 1; }
 grep -q '^solver_iterations_total ' METRICS_serve.prom \
     || { echo "exposition lacks solver counters" >&2; exit 1; }
 grep -q '^daemon_command_latency_ms_bucket{' METRICS_serve.prom \
     || { echo "exposition lacks per-command latency histograms" >&2; exit 1; }
+grep -q '^wal_appends ' METRICS_serve.prom \
+    || { echo "exposition lacks WAL counters" >&2; exit 1; }
+grep -q '^recovery_replayed_events ' METRICS_serve.prom \
+    || { echo "exposition lacks the recovery counter" >&2; exit 1; }
 grep -q '^# span solve' METRICS_serve.prom \
     || { echo "exposition lacks the --trace span tree" >&2; exit 1; }
 awk '/^#/ { next }
