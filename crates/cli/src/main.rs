@@ -26,7 +26,7 @@ use nws_core::scenarios::janet_task;
 use nws_core::taskfile::parse_task;
 use nws_core::{evaluate_accuracy, solve_placement_observed, summarize, PlacementConfig};
 use nws_obs::Recorder;
-use nws_service::{Daemon, DaemonOptions, FsyncPolicy, PersistConfig, ServiceState};
+use nws_service::{Daemon, DaemonOptions, FaultPlan, FsyncPolicy, PersistConfig, ServiceState};
 use nws_topo::{abilene, format, geant, Topology};
 use std::process::ExitCode;
 
@@ -102,7 +102,13 @@ on stdout — see DESIGN.md section 8 for the protocol):
   --shadow-cold     run a cold solve next to every warm re-solve and report
                     both (for iteration/latency comparison)
   --bench-out FILE  write per-event solve latency as JSON on exit
-  --queue N         bounded request-queue capacity (default 64)
+  --queue N         bounded request-queue capacity (default 64); when the
+                    queue is full, requests are shed with an 'overloaded'
+                    error carrying a retry_after_ms hint
+                    (--max-queue is an accepted alias)
+  --solve-deadline-ms MS  wall-clock budget per re-solve: a solve that
+                    exhausts it serves its best feasible iterate marked
+                    degraded, escalating cold-retry then last-good
   --socket PATH     serve one connection on a Unix socket instead of stdio
   --state-dir DIR   persist state in DIR: journal state-changing commands
                     to a write-ahead log, snapshot periodically and on
@@ -110,6 +116,10 @@ on stdout — see DESIGN.md section 8 for the protocol):
   --fsync POLICY    WAL durability: always | every-N | never (default
                     always; requires --state-dir)
   --snapshot-every N  appends between automatic snapshots (default 32;
+                    requires --state-dir)
+  --chaos-store-seed SEED  inject a deterministic store-fault schedule
+                    into the WAL/snapshot I/O path (chaos testing; the
+                    daemon degrades persistence instead of crashing;
                     requires --state-dir)";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -339,6 +349,8 @@ struct ServeSetup {
     state_dir: Option<String>,
     fsync: Option<FsyncPolicy>,
     snapshot_every: Option<u64>,
+    solve_deadline_ms: Option<u64>,
+    chaos_store_seed: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -354,6 +366,9 @@ impl ServeSetup {
             if self.snapshot_every.is_some() {
                 return Err(usage_err("--snapshot-every requires --state-dir"));
             }
+            if self.chaos_store_seed.is_some() {
+                return Err(usage_err("--chaos-store-seed requires --state-dir"));
+            }
             return Ok(None);
         };
         let mut cfg = PersistConfig::new(dir);
@@ -362,6 +377,9 @@ impl ServeSetup {
         }
         if let Some(n) = self.snapshot_every {
             cfg.snapshot_every = n;
+        }
+        if let Some(seed) = self.chaos_store_seed {
+            cfg.fault = Some(FaultPlan::new(seed));
         }
         Ok(Some(cfg))
     }
@@ -383,7 +401,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
                 setup.bench_out = Some(path.clone());
                 i += 2;
             }
-            "--queue" => {
+            "--queue" | "--max-queue" => {
                 let n: usize = args
                     .get(i + 1)
                     .ok_or_else(|| usage_err("--queue requires a capacity"))?
@@ -393,6 +411,27 @@ fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
                     return Err(usage_err("--queue requires a positive integer"));
                 }
                 setup.opts_queue = n;
+                i += 2;
+            }
+            "--solve-deadline-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--solve-deadline-ms requires milliseconds"))?
+                    .parse()
+                    .map_err(|_| usage_err("--solve-deadline-ms requires a positive integer"))?;
+                if ms == 0 {
+                    return Err(usage_err("--solve-deadline-ms requires a positive integer"));
+                }
+                setup.solve_deadline_ms = Some(ms);
+                i += 2;
+            }
+            "--chaos-store-seed" => {
+                let seed: u64 = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--chaos-store-seed requires a seed"))?
+                    .parse()
+                    .map_err(|_| usage_err("--chaos-store-seed requires an integer seed"))?;
+                setup.chaos_store_seed = Some(seed);
                 i += 2;
             }
             "--socket" => {
@@ -471,6 +510,7 @@ fn cmd_serve(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Resul
             metrics_out: obs.metrics_out.clone(),
             trace: obs.trace,
             persist: setup.persist()?,
+            solve_deadline_ms: setup.solve_deadline_ms,
         },
     );
 
@@ -485,9 +525,10 @@ fn cmd_serve(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Resul
         Some(path) => serve_socket(&mut daemon, path)?,
     };
     eprintln!(
-        "serve: {} requests, {} re-solves, {}",
+        "serve: {} requests, {} re-solves, {} shed, {}",
         summary.requests,
         summary.resolves,
+        summary.shed,
         if summary.clean_shutdown {
             "clean shutdown"
         } else {
@@ -827,6 +868,49 @@ mod tests {
         let err = setup.persist().unwrap_err();
         assert!(is_usage(&err));
         assert!(err.to_string().contains("--snapshot-every requires --state-dir"));
+    }
+
+    #[test]
+    fn serve_resilience_flags_parse() {
+        let args: Vec<String> = [
+            "--max-queue",
+            "4",
+            "--solve-deadline-ms",
+            "250",
+            "--state-dir",
+            "/tmp/nws-chaos",
+            "--chaos-store-seed",
+            "42",
+        ]
+        .map(String::from)
+        .to_vec();
+        let setup = parse_serve_args(&args).unwrap();
+        assert_eq!(setup.opts_queue, 4); // --max-queue is an alias
+        assert_eq!(setup.solve_deadline_ms, Some(250));
+        assert_eq!(setup.chaos_store_seed, Some(42));
+        let cfg = setup.persist().unwrap().unwrap();
+        let fault = cfg.fault.expect("chaos seed routes into the fault plan");
+        assert_eq!(fault.seed, 42);
+
+        // Bad values.
+        assert!(is_usage(
+            &parse_serve_args(&["--solve-deadline-ms".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse_serve_args(&["--solve-deadline-ms".to_string(), "0".to_string()]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse_serve_args(&["--chaos-store-seed".to_string(), "x".to_string()]).unwrap_err()
+        ));
+
+        // Fault injection without a state directory is meaningless.
+        let setup =
+            parse_serve_args(&["--chaos-store-seed".to_string(), "1".to_string()]).unwrap();
+        let err = setup.persist().unwrap_err();
+        assert!(is_usage(&err));
+        assert!(err
+            .to_string()
+            .contains("--chaos-store-seed requires --state-dir"));
     }
 
     #[test]

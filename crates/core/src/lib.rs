@@ -79,7 +79,8 @@ pub use eval::{evaluate_accuracy, summarize, AccuracySummary, OdAccuracy};
 pub use formulation::{build_problem, ParallelConfig, PlacementObjective, RateModel, ReducedIndex};
 pub use placement::{
     evaluate_rates, solve_placement, solve_placement_observed, solve_placement_warm,
-    solve_placement_warm_observed, PlacementConfig, PlacementSolution, ACTIVATION_THRESHOLD,
+    solve_placement_warm_observed, Degraded, PlacementConfig, PlacementSolution,
+    ACTIVATION_THRESHOLD,
 };
 pub use task::{MeasurementTask, TaskBuilder, TrackedOd};
 pub use utility::{LogUtility, SreUtility, Utility};

@@ -27,6 +27,17 @@ pub struct PlacementConfig {
     pub parallel: ParallelConfig,
 }
 
+/// Marks a solution the solver could not certify: the rates are feasible
+/// (box + budget) and the best found, but optimality was not verified —
+/// the solve ran out of its [`nws_solver::SolveBudget`] or hit the
+/// iteration cap. Serving layers use this to decide between retrying,
+/// escalating to a cold solve, or keeping the last-good configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degraded {
+    /// Why certification was not reached.
+    pub reason: TerminationReason,
+}
+
 /// The optimizer's answer: which monitors to activate and at what rates,
 /// plus everything needed to audit the run.
 #[derive(Debug, Clone)]
@@ -58,6 +69,10 @@ pub struct PlacementSolution {
     /// [`nws_solver::SolverOptions::record_objective`] is set (empty
     /// otherwise). See the `convergence_trace` experiment.
     pub objective_trajectory: Vec<f64>,
+    /// `Some` when the solution is feasible but uncertified (budget or
+    /// iteration-cap overrun) — see [`Degraded`]. Always consistent with
+    /// [`PlacementSolution::kkt_verified`] on solver-produced solutions.
+    pub degraded: Option<Degraded>,
 }
 
 impl PlacementSolution {
@@ -154,6 +169,7 @@ fn finish_solution(
         lambda: sol.lambda,
         kkt_verified: sol.kkt_verified,
         reason: sol.reason,
+        degraded: (!sol.kkt_verified).then_some(Degraded { reason: sol.reason }),
         diagnostics: sol.diagnostics,
         objective_trajectory: sol.objective_trajectory,
     }
@@ -272,6 +288,9 @@ pub fn evaluate_rates(task: &MeasurementTask, rates: &[f64]) -> PlacementSolutio
         lambda: f64::NAN,
         kkt_verified: false,
         reason: TerminationReason::IterationLimit,
+        // Not a solver outcome: an externally supplied vector is evaluated,
+        // not optimized, so there is nothing to mark as degraded.
+        degraded: None,
         diagnostics: Diagnostics {
             iterations: 0,
             constraint_releases: 0,
@@ -314,6 +333,51 @@ mod tests {
         let used: f64 = sol.capacity_usage(&task).iter().sum();
         assert!((used / 20_000.0 - 1.0).abs() < 1e-6, "used {used}");
         // All rates within [0, 1].
+        assert!(sol.rates.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn certified_solution_carries_no_degraded_marker() {
+        let task = two_od_task(20_000.0);
+        let sol = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        assert!(sol.kkt_verified);
+        assert_eq!(sol.degraded, None);
+    }
+
+    #[test]
+    fn deadline_interrupted_solve_is_feasible_and_marked_degraded() {
+        let task = two_od_task(20_000.0);
+        let mut config = PlacementConfig::default();
+        // A deadline already in the past: the solver must hand back its
+        // (feasible) starting iterate rather than erroring or spinning.
+        config.solver.budget = nws_solver::SolveBudget {
+            max_iters: None,
+            deadline: Some(std::time::Instant::now()),
+        };
+        let sol = solve_placement(&task, &config).unwrap();
+        assert!(!sol.kkt_verified);
+        assert_eq!(
+            sol.degraded,
+            Some(Degraded {
+                reason: TerminationReason::DeadlineExceeded
+            })
+        );
+        // Feasibility: rates in the box, capacity within budget.
+        assert!(sol.rates.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let used: f64 = sol.capacity_usage(&task).iter().sum();
+        assert!(used <= 20_000.0 * (1.0 + 1e-6), "used {used}");
+    }
+
+    #[test]
+    fn iteration_budget_marks_degraded_via_warm_path() {
+        let task = two_od_task(20_000.0);
+        let good = solve_placement(&task, &PlacementConfig::default()).unwrap();
+        let mut config = PlacementConfig::default();
+        config.solver.budget.max_iters = Some(1);
+        let sol = solve_placement_warm(&task, &config, &good.rates).unwrap();
+        // One iteration from the optimum may or may not certify; the marker
+        // must agree with kkt_verified either way.
+        assert_eq!(sol.degraded.is_some(), !sol.kkt_verified);
         assert!(sol.rates.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 

@@ -427,6 +427,22 @@ fn write_label(out: &mut String, label: Option<(&str, &str)>) {
 }
 
 impl Snapshot {
+    /// The value of the unlabeled counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label.is_none())
+            .map(|c| c.value)
+    }
+
+    /// The value of the unlabeled gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.label.is_none())
+            .map(|g| g.value)
+    }
+
     /// Renders the Prometheus text exposition: `# TYPE` comments grouped by
     /// metric name in first-registration order, one sample per line,
     /// counters emitted as exact integers. With `include_spans`, the span
@@ -555,6 +571,20 @@ mod tests {
         assert_eq!(snap.counters.len(), 1);
         assert_eq!(snap.counters[0].value, 7);
         assert_eq!(snap.gauges[0].value, 5.0);
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers_find_unlabeled_instruments() {
+        let rec = Recorder::enabled();
+        rec.counter_add("degraded_solves", 0); // registration at zero
+        rec.counter_add("degraded_solves", 2);
+        rec.gauge_set("persistence_degraded", 1.0);
+        rec.observe_labeled("lat_ms", "cmd", "ping", 0.5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("degraded_solves"), Some(2));
+        assert_eq!(snap.gauge("persistence_degraded"), Some(1.0));
+        assert_eq!(snap.counter("nope"), None);
+        assert_eq!(snap.gauge("nope"), None);
     }
 
     #[test]

@@ -197,6 +197,92 @@ mod tests {
     }
 
     #[test]
+    fn link_id_map_survives_repeated_fail_restore_cycles() {
+        // The serving daemon's fail_link/restore_link loop re-derives the
+        // post-failure topology from scratch each time, so the translation
+        // map must stay exact across arbitrarily many cycles — including
+        // re-failing a fibre that was previously failed and restored.
+        let t = geant();
+        let fibres = [("UK", "SE"), ("FR", "LU"), ("UK", "NL"), ("FR", "LU")];
+        for (cycle, (a, b)) in fibres.iter().enumerate() {
+            let a = t.require_node(a).unwrap();
+            let b = t.require_node(b).unwrap();
+            let failed = bidirectional_pair(&t, a, b);
+            assert_eq!(failed.len(), 2, "cycle {cycle}: fibre present");
+
+            // Fail: every surviving link translates label- and
+            // weight-exactly; failed links map to None.
+            let t_failed = without_links(&t, &failed).unwrap();
+            let map = link_id_map(&t, &failed);
+            assert_eq!(map.iter().flatten().count(), t_failed.num_links());
+            for lid in t.link_ids() {
+                match map[lid.index()] {
+                    None => assert!(failed.contains(&lid), "cycle {cycle}"),
+                    Some(new_id) => {
+                        assert_eq!(t_failed.link_label(new_id), t.link_label(lid));
+                        assert_eq!(
+                            t_failed.link(new_id).capacity_mbps(),
+                            t.link(lid).capacity_mbps()
+                        );
+                    }
+                }
+            }
+
+            // Restore: the daemon drops back to the pristine topology; the
+            // no-failure map must be the identity over the original ids.
+            let restored = without_links(&t, &[]).unwrap();
+            assert_eq!(restored.num_links(), t.num_links(), "cycle {cycle}");
+            let identity = link_id_map(&t, &[]);
+            for lid in t.link_ids() {
+                assert_eq!(identity[lid.index()], Some(lid), "cycle {cycle}");
+                assert_eq!(restored.link_label(lid), t.link_label(lid));
+            }
+        }
+    }
+
+    #[test]
+    fn link_id_map_composes_across_overlapping_failures() {
+        // Two overlapping failure epochs (fail UK<->SE, then additionally
+        // FR<->LU without restoring): composing the per-epoch maps must
+        // agree with the map of the combined failure set.
+        let t = geant();
+        let uk = t.require_node("UK").unwrap();
+        let se = t.require_node("SE").unwrap();
+        let first = bidirectional_pair(&t, uk, se);
+        let t1 = without_links(&t, &first).unwrap();
+        let map1 = link_id_map(&t, &first);
+
+        let fr1 = t1.require_node("FR").unwrap();
+        let lu1 = t1.require_node("LU").unwrap();
+        let second = bidirectional_pair(&t1, fr1, lu1);
+        let t2 = without_links(&t1, &second).unwrap();
+        let map2 = link_id_map(&t1, &second);
+
+        let fr = t.require_node("FR").unwrap();
+        let lu = t.require_node("LU").unwrap();
+        let mut combined_failed = first.clone();
+        combined_failed.extend(bidirectional_pair(&t, fr, lu));
+        let combined = link_id_map(&t, &combined_failed);
+
+        for lid in t.link_ids() {
+            let composed = map1[lid.index()].and_then(|mid| map2[mid.index()]);
+            assert_eq!(
+                composed,
+                combined[lid.index()],
+                "composition mismatch for {}",
+                t.link_label(lid)
+            );
+            if let Some(final_id) = composed {
+                assert_eq!(t2.link_label(final_id), t.link_label(lid));
+            }
+        }
+        assert_eq!(
+            combined.iter().flatten().count(),
+            t.num_links() - combined_failed.len()
+        );
+    }
+
+    #[test]
     fn isolating_a_node_yields_unreachable_not_error() {
         let t = geant();
         let uk = t.require_node("UK").unwrap();

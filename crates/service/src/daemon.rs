@@ -5,24 +5,35 @@
 //! Transport-agnostic: [`Daemon::run`] takes any `BufRead` + `Write` pair,
 //! so the same loop serves stdin/stdout pipes, Unix-socket connections
 //! (see `nws serve --socket`), and in-memory test harnesses.
+//!
+//! Fault tolerance (DESIGN.md §11): every request is handled under
+//! `catch_unwind` with the state cloned beforehand, so a panicking handler
+//! answers an error response and rolls back instead of killing the loop;
+//! store I/O failures downgrade persistence to a *degraded* (non-durable)
+//! mode rather than aborting; and when the bounded queue is full the
+//! reader *sheds* the request with an `overloaded` error plus a
+//! `retry_after_ms` hint instead of back-pressuring the peer forever.
 
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
-use crate::persist::{PersistConfig, RecoveryReport, StateStore};
+use crate::persist::{OpenError, PersistConfig, RecoveryReport, StateStore};
 use crate::protocol::{parse_request, Request};
 use crate::state::{ServiceState, SolveReport};
 use crate::ServiceError;
 use nws_obs::{Recorder, Snapshot};
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Daemon tunables.
 #[derive(Debug, Clone, Default)]
 pub struct DaemonOptions {
-    /// Bounded request-queue capacity; 0 means the default (64). The reader
-    /// thread blocks once the queue is full, which back-pressures the peer.
+    /// Bounded request-queue capacity; 0 means the default (64). When the
+    /// queue is full the reader thread *sheds* the request: the peer gets
+    /// an immediate `overloaded` error with a `retry_after_ms` hint
+    /// instead of silent back-pressure.
     pub queue_capacity: usize,
     /// Run a from-scratch cold solve next to every warm re-solve and report
     /// both (iteration savings + latency comparison). Doubles solve cost;
@@ -40,6 +51,11 @@ pub struct DaemonOptions {
     /// state-changing command to a write-ahead log, snapshot periodically
     /// and on exit, and recover on boot.
     pub persist: Option<PersistConfig>,
+    /// Wall-clock budget per re-solve (`--solve-deadline-ms`). A solve
+    /// that exhausts it returns its best feasible iterate marked
+    /// *degraded*; the daemon then escalates (cold retry, then last-good
+    /// fallback) rather than blocking the event loop indefinitely.
+    pub solve_deadline_ms: Option<u64>,
 }
 
 /// One re-solve-triggering event, for the latency report.
@@ -53,15 +69,18 @@ struct EventRecord {
     cold_iterations: Option<usize>,
     cold_ms: Option<f64>,
     objective: f64,
+    degraded: bool,
 }
 
 /// What a completed [`Daemon::run`] reports back to the embedder.
 #[derive(Debug, Clone)]
 pub struct DaemonSummary {
-    /// Requests processed (including malformed lines).
+    /// Requests processed (including malformed lines; excludes shed ones).
     pub requests: u64,
     /// Successful event re-solves (including the startup solve).
     pub resolves: u64,
+    /// Requests rejected by the overload shedder (answered `overloaded`).
+    pub shed: u64,
     /// True when the loop ended on an explicit `shutdown`, false on EOF.
     pub clean_shutdown: bool,
 }
@@ -74,10 +93,23 @@ pub struct Daemon {
     metrics: Metrics,
     recorder: Recorder,
     queue_depth: Arc<AtomicU64>,
+    /// Requests shed by the reader thread (it cannot touch `metrics`).
+    shed_count: Arc<AtomicU64>,
+    /// EWMA of per-request handling latency, stored as f64 bits so the
+    /// reader thread can read it lock-free for `retry_after_ms` hints.
+    ewma_ms_bits: Arc<AtomicU64>,
     events: Vec<EventRecord>,
     seq: u64,
     store: Option<StateStore>,
     recovery: Option<RecoveryReport>,
+    /// True once a store I/O failure dropped the daemon to non-durable
+    /// serving. Sticky for the daemon's lifetime: once the journal has a
+    /// gap, recovered durability cannot be claimed honestly.
+    persistence_degraded: bool,
+    /// The error that triggered the downgrade, for `health`.
+    persistence_error: Option<String>,
+    /// Resolved queue capacity (fixed at `run` entry), for `health`.
+    capacity: usize,
 }
 
 impl Daemon {
@@ -97,10 +129,15 @@ impl Daemon {
             metrics: Metrics::default(),
             recorder,
             queue_depth: Arc::new(AtomicU64::new(0)),
+            shed_count: Arc::new(AtomicU64::new(0)),
+            ewma_ms_bits: Arc::new(AtomicU64::new(0)),
             events: Vec::new(),
             seq: 0,
             store: None,
             recovery: None,
+            persistence_degraded: false,
+            persistence_error: None,
+            capacity: 0,
         }
     }
 
@@ -113,35 +150,60 @@ impl Daemon {
     /// response line per request (plus a leading `hello` line carrying the
     /// startup solve) to `output`.
     ///
-    /// A spawned reader thread feeds a bounded queue; the caller should
-    /// close `input` after sending `shutdown` (scripts and sockets do this
-    /// naturally), since the reader can only observe the closed queue after
-    /// its next line.
+    /// A spawned reader thread feeds a bounded queue; when the queue is
+    /// full the reader answers `overloaded` directly (the output is
+    /// mutex-shared between the two threads — whole lines only, so the
+    /// stream stays valid JSONL). The caller should close `input` after
+    /// sending `shutdown` (scripts and sockets do this naturally), since
+    /// the reader can only observe the closed queue after its next line.
     ///
     /// # Errors
     /// I/O errors from `output`, and [`ServiceError`] if the *initial*
-    /// solve fails (an unservable scenario). Per-event solve failures are
-    /// reported to the peer as error responses, not returned.
+    /// solve fails (an unservable scenario) or the state directory is held
+    /// by a live lock / contains an unreplayable journal. Plain store I/O
+    /// failures do *not* abort: the daemon serves on with persistence
+    /// degraded (visible in `hello`, `health`, and the metrics
+    /// exposition). Per-event solve failures are reported to the peer as
+    /// error responses, not returned; a panicking handler is caught, the
+    /// state rolled back, and an error response sent.
     pub fn run<R, W>(&mut self, input: R, output: &mut W) -> Result<DaemonSummary, ServiceError>
     where
         R: BufRead + Send,
-        W: Write,
+        W: Write + Send,
     {
+        if let Some(ms) = self.opts.solve_deadline_ms {
+            self.state.set_solve_deadline(Some(Duration::from_millis(ms)));
+        }
+        // Pre-register the degraded-serving instruments: a healthy run
+        // must expose explicit zeros (absence would be ambiguous in the
+        // exposition and break rate() queries on first increment).
+        self.recorder.counter_add("degraded_solves", 0);
+        self.recorder.counter_add("daemon_overload_shed_total", 0);
+        self.recorder.counter_add("daemon_request_panics", 0);
+        self.recorder.gauge_set("persistence_degraded", 0.0);
+
         // Durable store first: recovery may restore an installed
         // configuration (skipping the startup solve) or replay a journal.
-        if self.store.is_none() {
+        // Lock conflicts and unreplayable journals abort; plain I/O
+        // failures downgrade to non-durable serving.
+        if self.store.is_none() && !self.persistence_degraded {
             if let Some(cfg) = self.opts.persist.clone() {
-                let (store, report) =
-                    StateStore::open(&cfg, &mut self.state, &self.recorder)?;
-                self.store = Some(store);
-                self.recovery = Some(report);
+                match StateStore::open(&cfg, &mut self.state, &self.recorder) {
+                    Ok((store, report)) => {
+                        self.store = Some(store);
+                        self.recovery = Some(report);
+                    }
+                    Err(OpenError::Fatal(e)) => return Err(e),
+                    Err(OpenError::Degradable(e)) => {
+                        self.degrade_persistence(&format!("open: {e}"));
+                    }
+                }
             }
         }
         // Startup solve: every later event warm-starts from this.
         let hello = if self.state.installed().is_none() {
             let report = self.state.resolve(false)?;
-            self.metrics.record_resolve(&report);
-            self.record_event("hello", &report);
+            self.note_resolve("hello", &report);
             Some(report)
         } else {
             None
@@ -151,6 +213,7 @@ impl Daemon {
             ("cmd", Json::Str("hello".into())),
             ("ods", Json::Num(self.state.ods().len() as f64)),
             ("theta", Json::Num(self.state.theta())),
+            ("persistence", Json::Str(self.persistence_mode().into())),
         ]);
         if let (Json::Obj(pairs), Some(report)) = (&mut line, &hello) {
             pairs.push(("resolve".to_string(), resolve_json(report)));
@@ -158,19 +221,31 @@ impl Daemon {
         if let (Json::Obj(pairs), Some(report)) = (&mut line, &self.recovery) {
             pairs.push(("recovered".to_string(), report.to_json()));
         }
-        writeln!(output, "{}", line.encode()).map_err(ServiceError::io)?;
-        output.flush().map_err(ServiceError::io)?;
 
         let capacity = if self.opts.queue_capacity == 0 {
             64
         } else {
             self.opts.queue_capacity
         };
+        self.capacity = capacity;
         let (tx, rx) = mpsc::sync_channel::<Result<Request, String>>(capacity);
+
+        // Shared between the consumer (normal responses) and the reader
+        // (shed responses). Each holds the lock for exactly one whole
+        // line + flush, so the output stays line-atomic JSONL.
+        let output = Mutex::new(output);
+        {
+            let mut out = lock_output(&output);
+            writeln!(out, "{}", line.encode()).map_err(ServiceError::io)?;
+            out.flush().map_err(ServiceError::io)?;
+        }
 
         let mut clean_shutdown = false;
         let depth = Arc::clone(&self.queue_depth);
+        let shed = Arc::clone(&self.shed_count);
+        let ewma_bits = Arc::clone(&self.ewma_ms_bits);
         let reader_recorder = self.recorder.clone();
+        let out_ref = &output;
         std::thread::scope(|scope| -> Result<(), ServiceError> {
             scope.spawn(move || {
                 for line in input.lines() {
@@ -184,8 +259,36 @@ impl Daemon {
                     // counter can never underflow.
                     let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
                     reader_recorder.gauge_set("daemon_queue_depth", d as f64);
-                    if tx.send(parse_request(trimmed)).is_err() {
-                        break; // queue closed: daemon is shutting down
+                    match tx.try_send(parse_request(trimmed)) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(_)) => {
+                            // Shed: answer immediately so the peer can
+                            // retry, instead of blocking it behind a
+                            // saturated solver.
+                            let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                            reader_recorder.gauge_set("daemon_queue_depth", d as f64);
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            reader_recorder.counter_add("daemon_overload_shed_total", 1);
+                            let hint = retry_after_ms(
+                                f64::from_bits(ewma_bits.load(Ordering::Relaxed)),
+                                capacity,
+                            );
+                            let resp = obj(vec![
+                                ("ok", Json::Bool(false)),
+                                ("error", Json::Str("overloaded".into())),
+                                ("retry_after_ms", Json::UInt(hint)),
+                            ]);
+                            let mut out = lock_output(out_ref);
+                            if writeln!(out, "{}", resp.encode())
+                                .and_then(|()| out.flush())
+                                .is_err()
+                            {
+                                break; // peer gone: stop reading
+                            }
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            break; // queue closed: daemon is shutting down
+                        }
                     }
                 }
             });
@@ -198,15 +301,46 @@ impl Daemon {
                     Err(_) => "invalid",
                 };
                 let t0 = Instant::now();
-                let (response, is_shutdown) = self.handle(item);
-                self.recorder.observe_labeled(
-                    "daemon_command_latency_ms",
-                    "cmd",
-                    cmd,
-                    t0.elapsed().as_secs_f64() * 1e3,
-                );
-                writeln!(output, "{}", response.encode()).map_err(ServiceError::io)?;
-                output.flush().map_err(ServiceError::io)?;
+                // Panic isolation: clone-before, catch, restore-on-unwind.
+                // A handler that panics (solver bug, hostile input past
+                // validation) answers an error response and leaves the
+                // state exactly as it was; the loop keeps serving.
+                let backup = self.state.clone();
+                let (response, is_shutdown) =
+                    match catch_unwind(AssertUnwindSafe(|| self.handle(item))) {
+                        Ok(pair) => pair,
+                        Err(payload) => {
+                            self.state = backup;
+                            self.metrics.record_error();
+                            self.recorder.counter_add("daemon_request_panics", 1);
+                            let msg = panic_message(payload.as_ref());
+                            (
+                                self.error_response(
+                                    None,
+                                    &format!("internal panic (state rolled back): {msg}"),
+                                ),
+                                false,
+                            )
+                        }
+                    };
+                let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+                self.recorder
+                    .observe_labeled("daemon_command_latency_ms", "cmd", cmd, elapsed_ms);
+                // EWMA (α = 0.2) of handling latency feeds the shedder's
+                // retry_after_ms hint. Single writer (this thread), so
+                // load/store need no compare-exchange loop.
+                let prev = f64::from_bits(self.ewma_ms_bits.load(Ordering::Relaxed));
+                let next = if prev == 0.0 {
+                    elapsed_ms
+                } else {
+                    0.8 * prev + 0.2 * elapsed_ms
+                };
+                self.ewma_ms_bits.store(next.to_bits(), Ordering::Relaxed);
+                {
+                    let mut out = lock_output(out_ref);
+                    writeln!(out, "{}", response.encode()).map_err(ServiceError::io)?;
+                    out.flush().map_err(ServiceError::io)?;
+                }
                 if is_shutdown {
                     clean_shutdown = true;
                     break;
@@ -214,12 +348,18 @@ impl Daemon {
             }
             Ok(())
         })?;
+        self.metrics.shed = self.shed_count.load(Ordering::Relaxed);
 
         // Final snapshot on *every* clean exit path (explicit `shutdown`
         // and input EOF both land here): a clean-stop recovery then loads
-        // one snapshot and replays nothing.
-        if let Some(store) = &mut self.store {
-            store.write_snapshot(&self.state)?;
+        // one snapshot and replays nothing. A failing final snapshot
+        // degrades (the WAL up to the last successful fsync still
+        // recovers) instead of turning a served session into an error.
+        if let Some(mut store) = self.store.take() {
+            match store.write_snapshot(&self.state) {
+                Ok(()) => self.store = Some(store),
+                Err(e) => self.degrade_persistence(&format!("final snapshot: {e}")),
+            }
         }
 
         if let Some(path) = self.opts.bench_out.clone() {
@@ -234,20 +374,57 @@ impl Daemon {
         Ok(DaemonSummary {
             requests: self.metrics.requests,
             resolves: self.metrics.resolves,
+            shed: self.metrics.shed,
             clean_shutdown,
         })
     }
 
-    /// Journals a successfully applied state-changing request into the
-    /// durable store, when one is configured.
-    fn journal(&mut self, req: &Request) -> Result<(), ServiceError> {
-        match &mut self.store {
-            Some(store) => store.record_applied(req, &self.state),
-            None => Ok(()),
+    /// Current persistence mode, as reported by `hello` and `health`.
+    fn persistence_mode(&self) -> &'static str {
+        if self.store.is_some() {
+            "durable"
+        } else if self.persistence_degraded {
+            "degraded"
+        } else {
+            "none"
         }
     }
 
-    fn record_event(&mut self, cmd: &'static str, report: &SolveReport) {
+    /// Drops to non-durable serving after a store I/O failure: the store
+    /// is closed (releasing its lock), the downgrade is visible in
+    /// `health`/`hello`/metrics, and requests keep being served and
+    /// acknowledged — just not journaled.
+    fn degrade_persistence(&mut self, why: &str) {
+        self.store = None;
+        self.persistence_degraded = true;
+        self.persistence_error = Some(why.to_string());
+        self.recorder.gauge_set("persistence_degraded", 1.0);
+        self.recorder.counter_add("daemon_persistence_degraded_total", 1);
+    }
+
+    /// Journals a successfully applied state-changing request into the
+    /// durable store, when one is configured. A journal failure degrades
+    /// persistence (non-durable serving) rather than failing the request:
+    /// the state change *has already been applied and will be served*, so
+    /// answering an error would be a lie in the other direction.
+    fn journal(&mut self, req: &Request) {
+        if let Some(store) = &mut self.store {
+            if let Err(e) = store.record_applied(req, &self.state) {
+                self.degrade_persistence(&format!("journal '{}': {e}", req.name()));
+            }
+        }
+    }
+
+    /// Folds one re-solve into metrics, the event log, and the
+    /// degraded-serving counters.
+    fn note_resolve(&mut self, cmd: &'static str, report: &SolveReport) {
+        if report.degraded {
+            self.recorder.counter_add("degraded_solves", 1);
+        }
+        if report.fallback == Some("last_good") {
+            self.recorder.counter_add("daemon_last_good_fallbacks", 1);
+        }
+        self.metrics.record_resolve(report);
         self.events.push(EventRecord {
             seq: self.seq,
             cmd,
@@ -257,11 +434,14 @@ impl Daemon {
             cold_iterations: report.cold.as_ref().map(|c| c.iterations),
             cold_ms: report.cold.as_ref().map(|c| c.wall_ms),
             objective: report.objective,
+            degraded: report.degraded,
         });
     }
 
     /// Processes one queue item; returns the response and whether to stop.
     fn handle(&mut self, item: Result<Request, String>) -> (Json, bool) {
+        // Fold reader-side sheds in so `stats`/`health` are current.
+        self.metrics.shed = self.shed_count.load(Ordering::Relaxed);
         let req = match item {
             Ok(req) => req,
             Err(msg) => {
@@ -275,14 +455,13 @@ impl Daemon {
             let outcome = self.state.apply_event(&req, self.opts.shadow_cold);
             return match outcome {
                 Ok(report) => {
-                    // Journal before acknowledging: an `ok` response means
-                    // the event is durable (to the fsync policy's limit).
-                    if let Err(e) = self.journal(&req) {
-                        self.metrics.record_error();
-                        return (self.error_response(Some(&req), &e.to_string()), false);
-                    }
-                    self.metrics.record_resolve(&report);
-                    self.record_event(req.name(), &report);
+                    // Journal before acknowledging. `ok` means the event
+                    // is *applied and being served*; it is durable only
+                    // while `health` reports persistence "durable" — a
+                    // journal failure flips that to "degraded" instead of
+                    // un-applying the event.
+                    self.journal(&req);
+                    self.note_resolve(req.name(), &report);
                     (
                         self.ok_response(&req, vec![("resolve", resolve_json(&report))]),
                         false,
@@ -299,6 +478,34 @@ impl Daemon {
                 self.ok_response(&req, vec![("pong", Json::Bool(true))]),
                 false,
             ),
+            Request::Health => {
+                let serving_uncertified = self.state.installed().map_or(false, |i| !i.kkt);
+                let status = if self.persistence_degraded || serving_uncertified {
+                    "degraded"
+                } else {
+                    "ok"
+                };
+                let mut payload = vec![
+                    ("status", Json::Str(status.into())),
+                    ("persistence", Json::Str(self.persistence_mode().into())),
+                    ("serving_uncertified", Json::Bool(serving_uncertified)),
+                    ("degraded_solves", Json::UInt(self.metrics.degraded_solves)),
+                    (
+                        "last_good_fallbacks",
+                        Json::UInt(self.metrics.last_good_fallbacks),
+                    ),
+                    ("shed", Json::UInt(self.metrics.shed)),
+                    (
+                        "queue_depth",
+                        Json::UInt(self.queue_depth.load(Ordering::Relaxed)),
+                    ),
+                    ("queue_capacity", Json::UInt(self.capacity as u64)),
+                ];
+                if let Some(why) = &self.persistence_error {
+                    payload.push(("persistence_error", Json::Str(why.clone())));
+                }
+                (self.ok_response(&req, payload), false)
+            }
             Request::QueryRates => match self.state.active_rates() {
                 Ok(rates) => {
                     let monitors = Json::Arr(
@@ -352,10 +559,7 @@ impl Daemon {
             },
             Request::Snapshot => {
                 let depth = self.state.snapshot();
-                if let Err(e) = self.journal(&req) {
-                    self.metrics.record_error();
-                    return (self.error_response(Some(&req), &e.to_string()), false);
-                }
+                self.journal(&req);
                 (
                     self.ok_response(&req, vec![("depth", Json::Num(depth as f64))]),
                     false,
@@ -363,10 +567,7 @@ impl Daemon {
             }
             Request::Rollback => match self.state.rollback() {
                 Ok((depth, objective)) => {
-                    if let Err(e) = self.journal(&req) {
-                        self.metrics.record_error();
-                        return (self.error_response(Some(&req), &e.to_string()), false);
-                    }
+                    self.journal(&req);
                     (
                         self.ok_response(
                             &req,
@@ -436,7 +637,7 @@ impl Daemon {
     }
 
     /// The `BENCH_serve.json` document: per-event latency plus warm/cold
-    /// totals.
+    /// totals and the solve-deadline tail.
     fn bench_report(&self) -> String {
         let events = Json::Arr(
             self.events
@@ -455,6 +656,7 @@ impl Daemon {
                         ),
                         ("cold_ms", e.cold_ms.map_or(Json::Null, Json::Num)),
                         ("objective", Json::Num(e.objective)),
+                        ("degraded", Json::Bool(e.degraded)),
                     ])
                 })
                 .collect(),
@@ -464,6 +666,7 @@ impl Daemon {
         let warm_iters: usize = warm_events.iter().map(|e| e.iterations).sum();
         let cold_ms: f64 = warm_events.iter().filter_map(|e| e.cold_ms).sum();
         let cold_iters: usize = warm_events.iter().filter_map(|e| e.cold_iterations).sum();
+        let solve_ms: Vec<f64> = self.events.iter().map(|e| e.wall_ms).collect();
         let report = obj(vec![
             ("bench", Json::Str("serve".into())),
             (
@@ -483,11 +686,65 @@ impl Daemon {
                     ("cold_ms", Json::Num(cold_ms)),
                 ]),
             ),
+            (
+                "solve_deadline",
+                obj(vec![
+                    (
+                        "configured_ms",
+                        self.opts.solve_deadline_ms.map_or(Json::Null, Json::UInt),
+                    ),
+                    (
+                        "solve_ms_p99",
+                        percentile(&solve_ms, 0.99).map_or(Json::Null, Json::Num),
+                    ),
+                    ("degraded_solves", Json::UInt(self.metrics.degraded_solves)),
+                ]),
+            ),
         ]);
         let mut text = report.encode();
         text.push('\n');
         text
     }
+}
+
+/// Locks the shared output; a poisoned mutex is fine to reuse, because
+/// holders only ever write whole lines (a panic mid-`writeln` can at
+/// worst truncate the final line, which readers already tolerate).
+fn lock_output<'m, 'w, W>(output: &'m Mutex<&'w mut W>) -> std::sync::MutexGuard<'m, &'w mut W>
+where
+    W: Write + ?Sized,
+{
+    match output.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The shedder's backoff hint: roughly one queue-drain at the observed
+/// per-request latency, clamped to [10 ms, 30 s].
+fn retry_after_ms(ewma_ms: f64, capacity: usize) -> u64 {
+    (ewma_ms * capacity as f64).clamp(10.0, 30_000.0).round() as u64
+}
+
+/// The q-quantile (nearest-rank) of `values`; `None` when empty.
+fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Best-effort text of a caught panic payload (`&str` / `String` cover
+/// `panic!` and `assert!`; anything else is opaque by design).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 /// The `metrics` response payload: the observability snapshot as
@@ -569,7 +826,11 @@ fn resolve_json(report: &SolveReport) -> Json {
         ("lambda", Json::Num(report.lambda)),
         ("wall_ms", Json::Num(report.wall_ms)),
         ("active_monitors", Json::Num(report.active_monitors as f64)),
+        ("degraded", Json::Bool(report.degraded)),
     ];
+    if let Some(step) = report.fallback {
+        pairs.push(("fallback", Json::Str(step.into())));
+    }
     if let Some(cold) = &report.cold {
         pairs.push((
             "cold",
@@ -587,12 +848,17 @@ fn resolve_json(report: &SolveReport) -> Json {
 mod tests {
     use super::*;
     use crate::json::parse;
+    use crate::state::SolverChaos;
     use nws_core::scenarios::janet_task;
     use nws_core::PlacementConfig;
+    use nws_store::FaultPlan;
     use std::io::Cursor;
 
-    fn run_script(script: &str, opts: DaemonOptions) -> (Vec<Json>, DaemonSummary) {
-        let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    fn run_state_script(
+        state: ServiceState,
+        script: &str,
+        opts: DaemonOptions,
+    ) -> (Vec<Json>, DaemonSummary) {
         let mut daemon = Daemon::new(state, opts);
         let mut out = Vec::new();
         let summary = daemon
@@ -606,12 +872,18 @@ mod tests {
         (lines, summary)
     }
 
+    fn run_script(script: &str, opts: DaemonOptions) -> (Vec<Json>, DaemonSummary) {
+        let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        run_state_script(state, script, opts)
+    }
+
     #[test]
     fn hello_then_ping_then_shutdown() {
         let script = "{\"cmd\":\"ping\"}\n{\"cmd\":\"shutdown\"}\n";
         let (lines, summary) = run_script(script, DaemonOptions::default());
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0].get("cmd").unwrap().as_str(), Some("hello"));
+        assert_eq!(lines[0].get("persistence").unwrap().as_str(), Some("none"));
         assert_eq!(
             lines[0]
                 .get("resolve")
@@ -621,10 +893,20 @@ mod tests {
                 .as_bool(),
             Some(true)
         );
+        assert_eq!(
+            lines[0]
+                .get("resolve")
+                .unwrap()
+                .get("degraded")
+                .unwrap()
+                .as_bool(),
+            Some(false)
+        );
         assert_eq!(lines[1].get("pong").unwrap().as_bool(), Some(true));
         assert_eq!(lines[2].get("bye").unwrap().as_bool(), Some(true));
         assert!(summary.clean_shutdown);
         assert_eq!(summary.requests, 2);
+        assert_eq!(summary.shed, 0);
     }
 
     #[test]
@@ -663,6 +945,8 @@ mod tests {
         let resolve = lines[1].get("resolve").unwrap();
         assert_eq!(resolve.get("warm").unwrap().as_bool(), Some(true));
         assert_eq!(resolve.get("kkt").unwrap().as_bool(), Some(true));
+        assert_eq!(resolve.get("degraded").unwrap().as_bool(), Some(false));
+        assert!(resolve.get("fallback").is_none());
         assert!(resolve.get("cold").unwrap().get("iterations").is_some());
         assert!(resolve.get("objective_delta").unwrap().as_f64().is_some());
     }
@@ -680,6 +964,7 @@ mod tests {
             DaemonOptions {
                 shadow_cold: true,
                 bench_out: Some(path.to_string_lossy().into_owned()),
+                solve_deadline_ms: Some(5_000),
                 ..DaemonOptions::default()
             },
         );
@@ -688,10 +973,17 @@ mod tests {
         assert_eq!(report.get("bench").unwrap().as_str(), Some("serve"));
         let events = report.get("events").unwrap().as_arr().unwrap();
         assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("degraded").unwrap().as_bool(), Some(false));
         let totals = report.get("totals").unwrap();
         assert_eq!(totals.get("warm_resolves").unwrap().as_f64(), Some(2.0));
         // Shadow cold data present for warm events.
         assert!(totals.get("cold_iterations").unwrap().as_f64().unwrap() > 0.0);
+        // Solve-deadline tail section: configured budget, latency p99,
+        // degraded count (zero here — a generous budget).
+        let deadline = report.get("solve_deadline").unwrap();
+        assert_eq!(deadline.get("configured_ms").unwrap().as_u64(), Some(5_000));
+        assert!(deadline.get("solve_ms_p99").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(deadline.get("degraded_solves").unwrap().as_u64(), Some(0));
     }
 
     #[test]
@@ -721,6 +1013,197 @@ mod tests {
     }
 
     #[test]
+    fn panicking_handler_is_isolated_and_state_rolled_back() {
+        // Chaos schedules a panic on resolve #1 (the #0 slot is the
+        // startup solve). The poisoned set_theta must come back as an
+        // error response with θ unchanged, and the daemon keeps serving:
+        // the next mutation certifies normally.
+        let mut state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        state.set_chaos(SolverChaos::new().with_panic_on_resolve(1));
+        let script = "{\"cmd\":\"set_theta\",\"theta\":80000}\n\
+                      {\"cmd\":\"query_rates\"}\n\
+                      {\"cmd\":\"set_theta\",\"theta\":70000}\n\
+                      {\"cmd\":\"shutdown\"}\n";
+        let (lines, summary) = run_state_script(state, script, DaemonOptions::default());
+        assert_eq!(lines.len(), 5);
+        let hello_theta = lines[0].get("theta").unwrap().as_f64().unwrap();
+        let poisoned = &lines[1];
+        assert_eq!(poisoned.get("ok").unwrap().as_bool(), Some(false));
+        let msg = poisoned.get("error").unwrap().as_str().unwrap();
+        assert!(msg.contains("internal panic"), "{msg}");
+        assert!(msg.contains("injected chaos panic"), "{msg}");
+        // θ rolled back to the pre-request value.
+        assert_eq!(
+            lines[2].get("theta").unwrap().as_f64(),
+            Some(hello_theta),
+            "state must roll back to the pre-panic value"
+        );
+        // The loop survived and the next solve certifies.
+        let resolve = lines[3].get("resolve").unwrap();
+        assert_eq!(resolve.get("kkt").unwrap().as_bool(), Some(true));
+        assert!(summary.clean_shutdown);
+        assert_eq!(summary.requests, 4);
+    }
+
+    #[test]
+    fn health_reports_ok_on_a_clean_daemon() {
+        let script = "{\"cmd\":\"health\"}\n{\"cmd\":\"shutdown\"}\n";
+        let (lines, _) = run_script(script, DaemonOptions::default());
+        let health = &lines[1];
+        assert_eq!(health.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(health.get("persistence").unwrap().as_str(), Some("none"));
+        assert_eq!(health.get("degraded_solves").unwrap().as_u64(), Some(0));
+        assert_eq!(health.get("shed").unwrap().as_u64(), Some(0));
+        assert_eq!(health.get("queue_capacity").unwrap().as_u64(), Some(64));
+        assert_eq!(
+            health.get("serving_uncertified").unwrap().as_bool(),
+            Some(false)
+        );
+        assert!(health.get("persistence_error").is_none());
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_but_keeps_serving() {
+        // A zero-iteration cap makes every solve (warm, cold retry, and
+        // startup) return uncertified: the daemon serves best-effort
+        // rates, marks the resolve degraded, and `health` flips to
+        // "degraded" — it never errors out or stops answering.
+        let mut state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        state.set_chaos(SolverChaos::new().with_max_iters(0));
+        let script = "{\"cmd\":\"set_theta\",\"theta\":80000}\n\
+                      {\"cmd\":\"query_rates\"}\n\
+                      {\"cmd\":\"health\"}\n\
+                      {\"cmd\":\"shutdown\"}\n";
+        let (lines, summary) = run_state_script(state, script, DaemonOptions::default());
+        let hello_resolve = lines[0].get("resolve").unwrap();
+        assert_eq!(hello_resolve.get("degraded").unwrap().as_bool(), Some(true));
+        let resolve = lines[1].get("resolve").unwrap();
+        assert_eq!(resolve.get("degraded").unwrap().as_bool(), Some(true));
+        assert_eq!(resolve.get("fallback").unwrap().as_str(), Some("last_good"));
+        // Rates still answer (the last-good startup vector).
+        assert_eq!(lines[2].get("ok").unwrap().as_bool(), Some(true));
+        assert!(!lines[2]
+            .get("monitors")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+        let health = &lines[3];
+        assert_eq!(health.get("status").unwrap().as_str(), Some("degraded"));
+        assert_eq!(
+            health.get("serving_uncertified").unwrap().as_bool(),
+            Some(true)
+        );
+        assert!(health.get("degraded_solves").unwrap().as_u64().unwrap() >= 2);
+        assert!(health.get("last_good_fallbacks").unwrap().as_u64().unwrap() >= 1);
+        assert!(summary.clean_shutdown);
+    }
+
+    #[test]
+    fn store_io_failure_degrades_persistence_not_the_daemon() {
+        // A saturating fault schedule (every mutating filesystem op
+        // fails) makes the store unopenable. That is an I/O problem, not
+        // a corruption problem: the daemon must come up, say so in
+        // `hello`/`health`, and keep acknowledging mutations.
+        let dir = std::env::temp_dir().join(format!("nws_degrade_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.fault = Some(FaultPlan {
+            seed: 7,
+            rate: 255,
+            max_faults: u64::MAX,
+        });
+        let script = "{\"cmd\":\"set_theta\",\"theta\":80000}\n\
+                      {\"cmd\":\"health\"}\n\
+                      {\"cmd\":\"shutdown\"}\n";
+        let (lines, summary) = run_script(
+            script,
+            DaemonOptions {
+                persist: Some(cfg),
+                ..DaemonOptions::default()
+            },
+        );
+        assert_eq!(
+            lines[0].get("persistence").unwrap().as_str(),
+            Some("degraded")
+        );
+        // The mutation is applied and acknowledged despite no journal.
+        assert_eq!(lines[1].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            lines[1]
+                .get("resolve")
+                .unwrap()
+                .get("kkt")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        let health = &lines[2];
+        assert_eq!(health.get("status").unwrap().as_str(), Some("degraded"));
+        assert_eq!(
+            health.get("persistence").unwrap().as_str(),
+            Some("degraded")
+        );
+        assert!(health
+            .get("persistence_error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("open"));
+        assert!(summary.clean_shutdown);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flood_answers_every_request_ok_or_overloaded() {
+        // 300 pings into a 2-slot queue: some are shed, but every single
+        // line gets exactly one response, and shed responses carry a
+        // clamped retry hint. (How many shed is timing-dependent; the
+        // answered-count invariant is not.)
+        let mut script = String::new();
+        for _ in 0..300 {
+            script.push_str("{\"cmd\":\"ping\"}\n");
+        }
+        script.push_str("{\"cmd\":\"shutdown\"}\n");
+        let (lines, summary) = run_script(
+            &script,
+            DaemonOptions {
+                queue_capacity: 2,
+                ..DaemonOptions::default()
+            },
+        );
+        assert_eq!(summary.requests + summary.shed, 301);
+        assert_eq!(lines.len() as u64, 1 + summary.requests + summary.shed);
+        for line in &lines {
+            let shed = line
+                .get("error")
+                .map_or(false, |e| e.as_str() == Some("overloaded"));
+            if shed {
+                let hint = line.get("retry_after_ms").unwrap().as_u64().unwrap();
+                assert!((10..=30_000).contains(&hint), "hint {hint}");
+                assert!(line.get("seq").is_none(), "shed responses carry no seq");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_hint_is_clamped_to_sane_bounds() {
+        assert_eq!(retry_after_ms(0.0, 64), 10); // no latency sample yet
+        assert_eq!(retry_after_ms(2.0, 64), 128);
+        assert_eq!(retry_after_ms(10_000.0, 64), 30_000);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), None);
+        assert_eq!(percentile(&[5.0], 0.99), Some(5.0));
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.99), Some(99.0));
+        assert_eq!(percentile(&v, 0.5), Some(50.0));
+    }
+
+    #[test]
     fn metrics_command_reports_histograms_and_spans() {
         let script = "{\"cmd\":\"set_theta\",\"theta\":80000}\n\
                       {\"cmd\":\"ping\"}\n{\"cmd\":\"metrics\"}\n{\"cmd\":\"shutdown\"}\n";
@@ -736,6 +1219,25 @@ mod tests {
                 .as_u64()
                 .unwrap()
                 > 0
+        );
+        // Degraded-serving counters pre-registered at zero on healthy runs.
+        assert_eq!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get("degraded_solves")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            metrics
+                .get("counters")
+                .unwrap()
+                .get("daemon_overload_shed_total")
+                .unwrap()
+                .as_u64(),
+            Some(0)
         );
         // Per-command latency histograms, one per observed command label.
         let histograms = metrics.get("histograms").unwrap().as_arr().unwrap();
@@ -784,6 +1286,10 @@ mod tests {
         assert!(text.contains("# TYPE daemon_command_latency_ms histogram"));
         assert!(text.contains("daemon_command_latency_ms_bucket{cmd=\"set_theta\",le=\"+Inf\"}"));
         assert!(text.contains("daemon_resolve_latency_ms_bucket{mode=\"warm\",le=\"+Inf\"}"));
+        // Degraded-mode instruments always present (zero when healthy).
+        assert!(text.contains("degraded_solves 0"));
+        assert!(text.contains("daemon_overload_shed_total 0"));
+        assert!(text.contains("persistence_degraded 0"));
         assert!(text.contains("# span solve"), "trace appends span tree");
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
@@ -802,6 +1308,8 @@ mod tests {
         assert_eq!(stats.get("requests").unwrap().as_f64(), Some(3.0));
         assert_eq!(stats.get("resolves").unwrap().as_f64(), Some(2.0)); // hello + set_theta
         assert_eq!(stats.get("warm_resolves").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("degraded_solves").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("shed").unwrap().as_u64(), Some(0));
         assert_eq!(
             stats
                 .get("per_command")

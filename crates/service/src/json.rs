@@ -211,6 +211,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -221,9 +222,17 @@ pub fn parse(text: &str) -> Result<Json, String> {
     Ok(value)
 }
 
+/// Deepest container nesting the parser accepts. The protocol itself uses
+/// two or three levels; the cap exists so a hostile `[[[[…` line degrades
+/// into a parse error instead of a recursion-driven stack overflow (which
+/// would take the whole daemon down — exactly what the fault-isolation
+/// layer must prevent).
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -273,12 +282,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err(&format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -297,6 +316,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return self.err("expected ',' or '}'"),
@@ -306,10 +326,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -320,6 +342,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return self.err("expected ',' or ']'"),
@@ -372,9 +395,19 @@ impl Parser<'_> {
                                     ));
                                 }
                                 let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-                                out.push(
-                                    char::from_u32(combined).expect("paired surrogates are valid"),
-                                );
+                                // A valid surrogate pair always combines to
+                                // U+10000..=U+10FFFF, but this decoder runs on
+                                // untrusted socket bytes in the daemon's reader
+                                // thread (no catch_unwind above it), so a logic
+                                // slip must surface as an error, not a panic.
+                                let c = char::from_u32(combined).ok_or_else(|| {
+                                    format!(
+                                        "surrogate pair \\u{code:04x}\\u{low:04x} decodes \
+                                         outside Unicode at byte {}",
+                                        self.pos
+                                    )
+                                })?;
+                                out.push(c);
                                 self.pos += 10;
                             } else if (0xDC00..=0xDFFF).contains(&code) {
                                 return Err(format!(
@@ -383,9 +416,13 @@ impl Parser<'_> {
                                     self.pos
                                 ));
                             } else {
-                                out.push(
-                                    char::from_u32(code).expect("non-surrogate BMP codepoint"),
-                                );
+                                // Non-surrogate BMP scalars are always valid
+                                // chars; same defensive-typed-error stance as
+                                // the surrogate-pair branch above.
+                                let c = char::from_u32(code).ok_or_else(|| {
+                                    format!("\\u{code:04x} is not a Unicode scalar")
+                                })?;
+                                out.push(c);
                                 self.pos += 4;
                             }
                         }
@@ -394,8 +431,12 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
+                    // Consume one UTF-8 character. Infallible even on hostile
+                    // input: `bytes` came from a `&str` (valid UTF-8 by
+                    // construction) and `pos` only ever advances by whole
+                    // `len_utf8` steps or across single-byte ASCII, so it is
+                    // always on a character boundary; `peek()` returned `Some`,
+                    // so the remainder is non-empty.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).expect("input was a &str");
                     let c = s.chars().next().expect("non-empty");
@@ -428,6 +469,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
+        // Infallible: every byte consumed above matched an ASCII pattern
+        // (digits, sign, dot, exponent), so the slice is valid UTF-8.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         // Plain unsigned integer literals keep exact u64 fidelity (counters
         // past 2^53 would silently round through f64). Anything else —
@@ -574,6 +617,21 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn nesting_capped_without_overflowing_the_stack() {
+        let nest = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        // Comfortably deep documents still parse…
+        assert!(parse(&nest(100)).is_ok());
+        assert!(parse(&nest(MAX_DEPTH)).is_ok());
+        // …one past the cap errors, and a pathological bomb is an error
+        // too, not a stack overflow.
+        let err = parse(&nest(MAX_DEPTH + 1)).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        let objs = format!("{}1{}", "{\"k\":".repeat(50_000), "}".repeat(50_000));
+        assert!(parse(&objs).is_err());
     }
 
     #[test]

@@ -39,10 +39,10 @@ pub mod protocol;
 pub mod state;
 
 pub use daemon::{Daemon, DaemonOptions, DaemonSummary};
-pub use nws_store::FsyncPolicy;
-pub use persist::{PersistConfig, RecoveryReport, StateStore};
+pub use nws_store::{FaultPlan, FsyncPolicy};
+pub use persist::{OpenError, PersistConfig, RecoveryReport, StateStore};
 pub use protocol::{parse_request, Request};
-pub use state::{ServiceState, SolveReport};
+pub use state::{ServiceState, SolveReport, SolverChaos};
 
 use nws_core::CoreError;
 

@@ -31,6 +31,14 @@ pub struct Metrics {
     pub shadow_cold_iterations: u64,
     /// Wall-milliseconds spent in shadow cold solves.
     pub shadow_cold_ms: f64,
+    /// Re-solves whose served answer was degraded: the budget ran out
+    /// before KKT certification, even after escalation.
+    pub degraded_solves: u64,
+    /// Degraded re-solves that fell back to the previously installed
+    /// (last-good) rates instead of installing an uncertified vector.
+    pub last_good_fallbacks: u64,
+    /// Requests rejected by the overload shedder (bounded queue full).
+    pub shed: u64,
     /// Per-command request counts, in first-seen order.
     pub per_command: Vec<(String, u64)>,
 }
@@ -67,6 +75,17 @@ impl Metrics {
                 self.paired_warm_iterations += report.iterations as u64;
             }
         }
+        if report.degraded {
+            self.degraded_solves += 1;
+        }
+        if report.fallback == Some("last_good") {
+            self.last_good_fallbacks += 1;
+        }
+    }
+
+    /// Counts one request rejected by the overload shedder.
+    pub fn record_shed(&mut self) {
+        self.shed += 1;
     }
 
     /// Mean iterations saved per warm re-solve versus its shadow cold
@@ -115,6 +134,9 @@ impl Metrics {
                 "mean_iterations_saved",
                 self.mean_iterations_saved().map_or(Json::Null, Json::Num),
             ),
+            ("degraded_solves", Json::UInt(self.degraded_solves)),
+            ("last_good_fallbacks", Json::UInt(self.last_good_fallbacks)),
+            ("shed", Json::UInt(self.shed)),
             ("per_command", per_command),
         ])
     }
@@ -141,7 +163,27 @@ mod tests {
                 wall_ms: 5.0,
                 objective: 1.0,
             }),
+            degraded: false,
+            fallback: None,
         }
+    }
+
+    #[test]
+    fn degraded_and_fallback_counters() {
+        let mut m = Metrics::default();
+        let mut r = report(true, 10, None);
+        r.degraded = true;
+        m.record_resolve(&r);
+        r.fallback = Some("last_good");
+        m.record_resolve(&r);
+        m.record_shed();
+        assert_eq!(m.degraded_solves, 2);
+        assert_eq!(m.last_good_fallbacks, 1);
+        assert_eq!(m.shed, 1);
+        let encoded = m.to_json().encode();
+        assert!(encoded.contains("\"degraded_solves\":2"), "{encoded}");
+        assert!(encoded.contains("\"last_good_fallbacks\":1"), "{encoded}");
+        assert!(encoded.contains("\"shed\":1"), "{encoded}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::protocol::{parse_request, Request};
 use crate::state::ServiceState;
 use crate::ServiceError;
 use nws_obs::Recorder;
-use nws_store::{FsyncPolicy, Store, StoreError, StoreOptions};
+use nws_store::{FaultPlan, FsyncPolicy, RealIo, Store, StoreError, StoreOptions};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -35,16 +35,64 @@ pub struct PersistConfig {
     /// Appends between automatic snapshots (`--snapshot-every`,
     /// default 32; clamped to ≥ 1).
     pub snapshot_every: u64,
+    /// Deterministic store-fault schedule (chaos harness only; `None` in
+    /// production). Routed into the store's injectable I/O layer.
+    pub fault: Option<FaultPlan>,
 }
 
 impl PersistConfig {
-    /// Defaults: fsync `always`, snapshot every 32 appends.
+    /// Defaults: fsync `always`, snapshot every 32 appends, no faults.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         PersistConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::Always,
             snapshot_every: 32,
+            fault: None,
         }
+    }
+}
+
+/// Why opening the state store failed, split by the reaction it demands.
+///
+/// The daemon must *not* treat these uniformly: refusing to start over a
+/// transient filesystem error would turn every disk hiccup into an outage,
+/// while serving on top of another live daemon's directory or a journal
+/// the binary cannot replay would corrupt state. The variant encodes that
+/// judgement at the layer that has the information to make it.
+#[derive(Debug)]
+pub enum OpenError {
+    /// Must abort: a live lock conflict, or a snapshot/journal that
+    /// exists but cannot be parsed or replayed (corrupt-by-definition —
+    /// serving would silently drop acknowledged state changes).
+    Fatal(ServiceError),
+    /// A pure I/O failure: the daemon may keep serving from its startup
+    /// state with persistence *degraded* (nothing durable, journal off).
+    Degradable(ServiceError),
+}
+
+impl OpenError {
+    /// The underlying service error, whichever severity it carries.
+    pub fn into_inner(self) -> ServiceError {
+        match self {
+            OpenError::Fatal(e) | OpenError::Degradable(e) => e,
+        }
+    }
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Fatal(e) | OpenError::Degradable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+fn open_err(e: StoreError) -> OpenError {
+    match e {
+        StoreError::Locked { .. } => OpenError::Fatal(store_err(e)),
+        StoreError::Io { .. } | StoreError::Invalid(_) => OpenError::Degradable(store_err(e)),
     }
 }
 
@@ -94,23 +142,32 @@ impl StateStore {
     /// paths). Torn WAL tails were already truncated by the store.
     ///
     /// # Errors
-    /// Lock conflicts and I/O failures from the store; schema or replay
-    /// failures from the service layer (a journal the current binary
-    /// cannot re-apply is corrupt-by-definition and must not be served).
+    /// [`OpenError::Fatal`] for lock conflicts and for schema or replay
+    /// failures (a journal the current binary cannot re-apply is
+    /// corrupt-by-definition and must not be served);
+    /// [`OpenError::Degradable`] for plain I/O failures, which the daemon
+    /// answers by serving without durability rather than refusing to start.
     pub fn open(
         cfg: &PersistConfig,
         state: &mut ServiceState,
         recorder: &Recorder,
-    ) -> Result<(Self, RecoveryReport), ServiceError> {
+    ) -> Result<(Self, RecoveryReport), OpenError> {
         let t0 = Instant::now();
+        let io: Box<dyn nws_store::Io> = match cfg.fault {
+            Some(plan) => Box::new(plan.io()),
+            None => Box::new(RealIo),
+        };
         let (store, recovery) =
-            Store::open(&cfg.dir, StoreOptions { fsync: cfg.fsync }, recorder)
-                .map_err(store_err)?;
+            Store::open_with_io(&cfg.dir, StoreOptions { fsync: cfg.fsync }, recorder, io)
+                .map_err(open_err)?;
         let snapshot_loaded = recovery.snapshot.is_some();
         if let Some((seq, payload)) = &recovery.snapshot {
-            let doc = parse(payload)
-                .map_err(|e| ServiceError::State(format!("snapshot {seq} unparseable: {e}")))?;
-            state.restore_persisted(&doc)?;
+            let doc = parse(payload).map_err(|e| {
+                OpenError::Fatal(ServiceError::State(format!(
+                    "snapshot {seq} unparseable: {e}"
+                )))
+            })?;
+            state.restore_persisted(&doc).map_err(OpenError::Fatal)?;
         }
         let mut replayed = 0u64;
         if !recovery.records.is_empty() {
@@ -118,17 +175,19 @@ impl StateStore {
                 // The original process ran its startup solve before the
                 // first journaled event; mirror it so replayed events
                 // warm-start from the identical configuration.
-                state.resolve(false)?;
+                state.resolve(false).map_err(OpenError::Fatal)?;
             }
             for (seq, payload) in &recovery.records {
                 let req = parse_request(payload).map_err(|e| {
-                    ServiceError::State(format!("WAL record {seq} unparseable: {e}"))
+                    OpenError::Fatal(ServiceError::State(format!(
+                        "WAL record {seq} unparseable: {e}"
+                    )))
                 })?;
                 replay(state, &req).map_err(|e| {
-                    ServiceError::State(format!(
+                    OpenError::Fatal(ServiceError::State(format!(
                         "WAL record {seq} ('{}') failed to replay: {e}",
                         req.name()
-                    ))
+                    )))
                 })?;
                 replayed += 1;
             }

@@ -72,6 +72,10 @@ pub enum Request {
     /// Report the observability snapshot: per-command latency histograms,
     /// solver-phase span timings, evaluation fan-out counters.
     Metrics,
+    /// Health probe: serving status, persistence mode, degraded-solve and
+    /// queue-pressure counters. Mutates nothing; meant for load balancers
+    /// and operators, so it must answer even when the daemon is degraded.
+    Health,
     /// Liveness probe; mutates nothing.
     Ping,
     /// Stop the daemon after acknowledging.
@@ -94,6 +98,7 @@ impl Request {
             Request::Rollback => "rollback",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Health => "health",
             Request::Ping => "ping",
             Request::Shutdown => "shutdown",
         }
@@ -161,6 +166,7 @@ impl Request {
             | Request::Rollback
             | Request::Stats
             | Request::Metrics
+            | Request::Health
             | Request::Ping
             | Request::Shutdown => {}
         }
@@ -263,6 +269,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "rollback" => Ok(Request::Rollback),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "health" => Ok(Request::Health),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown command '{other}'")),
@@ -323,6 +330,7 @@ mod tests {
             (r#"{"cmd":"rollback"}"#, Request::Rollback),
             (r#"{"cmd":"stats"}"#, Request::Stats),
             (r#"{"cmd":"metrics"}"#, Request::Metrics),
+            (r#"{"cmd":"health"}"#, Request::Health),
             (r#"{"cmd":"ping"}"#, Request::Ping),
             (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
         ];
@@ -349,6 +357,7 @@ mod tests {
             r#"{"cmd":"rollback"}"#,
             r#"{"cmd":"stats"}"#,
             r#"{"cmd":"metrics"}"#,
+            r#"{"cmd":"health"}"#,
             r#"{"cmd":"ping"}"#,
             r#"{"cmd":"shutdown"}"#,
         ] {
@@ -370,6 +379,7 @@ mod tests {
         assert!(state_changing(r#"{"cmd":"snapshot"}"#));
         assert!(state_changing(r#"{"cmd":"rollback"}"#));
         assert!(!state_changing(r#"{"cmd":"query_rates"}"#));
+        assert!(!state_changing(r#"{"cmd":"health"}"#));
         assert!(!state_changing(r#"{"cmd":"ping"}"#));
         assert!(!state_changing(r#"{"cmd":"shutdown"}"#));
     }

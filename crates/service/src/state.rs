@@ -21,8 +21,11 @@ use nws_core::{
 use nws_obs::Recorder;
 use nws_routing::failure::{bidirectional_pair, link_id_map, without_links};
 use nws_routing::OdPair;
+use nws_solver::SolveBudget;
 use nws_topo::{LinkId, Topology};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One tracked OD pair, by node *names* so it survives topology epochs.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +91,59 @@ pub struct SolveReport {
     pub active_monitors: usize,
     /// Shadow cold solve, when requested.
     pub cold: Option<ColdComparison>,
+    /// Whether the *answer being served* is uncertified: the solve (after
+    /// any escalation) ran out of budget before the KKT check passed.
+    pub degraded: bool,
+    /// Which escalation step produced the served answer: `None` for the
+    /// plain (usually warm) solve, `"cold"` when the warm attempt came back
+    /// degraded and a from-scratch retry certified, `"last_good"` when even
+    /// the retry stayed degraded and the previously installed rates were
+    /// kept in force instead.
+    pub fallback: Option<&'static str>,
+}
+
+/// Deterministic fault injection for the solver path, mirroring what
+/// [`nws_store::FaultPlan`](../../store) does for the I/O path. Shared
+/// across [`ServiceState`] clones (the counter is an `Arc`), so a panic
+/// scheduled for the Nth re-solve fires exactly once even though
+/// [`ServiceState::apply_event`] runs each solve on a discarded copy.
+#[derive(Debug, Clone, Default)]
+pub struct SolverChaos {
+    /// Iteration cap injected into every solve — the deterministic
+    /// stand-in for a wall-clock deadline (wall time varies run to run;
+    /// an iteration count does not), forcing the degraded path on demand.
+    max_iters: Option<usize>,
+    /// Panic on the Nth `resolve` call (0-based), exercising the daemon's
+    /// `catch_unwind` isolation.
+    panic_on_resolve: Option<u64>,
+    resolves: Arc<AtomicU64>,
+}
+
+impl SolverChaos {
+    /// A chaos plan that injects nothing.
+    pub fn new() -> Self {
+        SolverChaos::default()
+    }
+
+    /// Caps every solve at `n` iterations.
+    pub fn with_max_iters(mut self, n: usize) -> Self {
+        self.max_iters = Some(n);
+        self
+    }
+
+    /// Panics on the `n`th (0-based) re-solve.
+    pub fn with_panic_on_resolve(mut self, n: u64) -> Self {
+        self.panic_on_resolve = Some(n);
+        self
+    }
+
+    /// Consumes one resolve slot, panicking if this is the scheduled one.
+    fn on_resolve(&self) {
+        let call = self.resolves.fetch_add(1, Ordering::Relaxed);
+        if self.panic_on_resolve == Some(call) {
+            panic!("injected chaos panic on resolve #{call}");
+        }
+    }
 }
 
 /// Everything `rollback` restores — the event-mutable spec plus the
@@ -117,6 +173,11 @@ pub struct ServiceState {
     config: PlacementConfig,
     installed: Option<Installed>,
     snapshots: Vec<SnapshotData>,
+    /// Wall-clock budget per solve attempt; `None` = run to convergence.
+    /// Not persisted — it is a serving policy, not recoverable state.
+    solve_deadline: Option<Duration>,
+    /// Fault-injection plan for the chaos harness (inert by default).
+    chaos: SolverChaos,
     /// Observability sink threaded into every re-solve (disabled by
     /// default; the daemon installs its own via [`ServiceState::set_recorder`]).
     recorder: Recorder,
@@ -166,8 +227,23 @@ impl ServiceState {
             config,
             installed: None,
             snapshots: Vec::new(),
+            solve_deadline: None,
+            chaos: SolverChaos::default(),
             recorder: Recorder::disabled(),
         }
+    }
+
+    /// Sets the wall-clock budget for each subsequent solve attempt. A
+    /// deadline-interrupted solve still returns a feasible rate vector
+    /// (the solver's anytime contract); [`ServiceState::resolve`] then
+    /// escalates rather than serving it blindly.
+    pub fn set_solve_deadline(&mut self, deadline: Option<Duration>) {
+        self.solve_deadline = deadline;
+    }
+
+    /// Installs a fault-injection plan (chaos harness only).
+    pub fn set_chaos(&mut self, chaos: SolverChaos) {
+        self.chaos = chaos;
     }
 
     /// Installs an observability sink: subsequent re-solves record solver
@@ -256,16 +332,41 @@ impl ServiceState {
         Ok((task, idmap))
     }
 
+    /// The per-attempt solver config: the shared [`PlacementConfig`] with
+    /// this solve's budget (wall-clock deadline and/or chaos iteration
+    /// cap) stamped in.
+    fn budgeted_config(&self) -> PlacementConfig {
+        let mut config = self.config.clone();
+        config.solver.budget = SolveBudget {
+            max_iters: self.chaos.max_iters,
+            deadline: self.solve_deadline.map(|d| Instant::now() + d),
+        };
+        config
+    }
+
     /// Re-optimizes the placement for the current spec, warm-starting from
     /// the installed configuration when one exists. With `shadow`, also
     /// runs a from-scratch cold solve for iteration/latency comparison (the
     /// installed result is always the warm one).
+    ///
+    /// When a solve deadline is set and an attempt comes back *degraded*
+    /// (budget ran out before KKT certification), this escalates:
+    ///
+    /// 1. warm attempt degraded → retry cold with a fresh deadline;
+    /// 2. retry still degraded, but a configuration is installed → keep
+    ///    the last-good rates in force (the spec mutation still lands);
+    /// 3. nothing installed yet (startup) → install the degraded result —
+    ///    it is feasible (in the box, within budget), just uncertified.
+    ///
+    /// The returned report carries [`SolveReport::degraded`] and
+    /// [`SolveReport::fallback`] so callers can count and expose this.
     ///
     /// # Errors
     /// [`ServiceError::State`] for spec problems (unroutable OD, unknown
     /// node), [`ServiceError::Core`] for solver failures (e.g. θ infeasible
     /// after failures shrank the candidate set).
     pub fn resolve(&mut self, shadow: bool) -> Result<SolveReport, ServiceError> {
+        self.chaos.on_resolve();
         let (task, idmap) = self.rebuild()?;
         let prev_objective = self.installed.as_ref().map(|i| i.objective);
         let warm_vec: Option<Vec<f64>> = self.installed.as_ref().map(|inst| {
@@ -279,10 +380,31 @@ impl ServiceState {
         });
 
         let t0 = Instant::now();
-        let sol = match &warm_vec {
-            Some(w) => solve_placement_warm_observed(&task, &self.config, w, &self.recorder)?,
-            None => solve_placement_observed(&task, &self.config, &self.recorder)?,
+        let mut sol = match &warm_vec {
+            Some(w) => {
+                solve_placement_warm_observed(&task, &self.budgeted_config(), w, &self.recorder)?
+            }
+            None => solve_placement_observed(&task, &self.budgeted_config(), &self.recorder)?,
         };
+        let mut fallback = None;
+        if sol.degraded.is_some() && warm_vec.is_some() {
+            // Escalation step 1: the warm start may simply have been a bad
+            // starting basin for the budget; a cold solve gets a fresh
+            // deadline before we give up on certifying this epoch.
+            self.recorder.counter_add("daemon_solve_escalations", 1);
+            let cold_try =
+                solve_placement_observed(&task, &self.budgeted_config(), &self.recorder)?;
+            if cold_try.degraded.is_none() {
+                sol = cold_try;
+                fallback = Some("cold");
+            }
+        }
+        let degraded = sol.degraded.is_some();
+        let keep_last_good = degraded && self.installed.is_some();
+        if keep_last_good {
+            // Escalation step 2: serve the previously certified rates.
+            fallback = Some("last_good");
+        }
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let mode = if warm_vec.is_some() { "warm" } else { "cold" };
         self.recorder
@@ -302,19 +424,21 @@ impl ServiceState {
             None
         };
 
-        let mut rates_base = vec![0.0; self.base.num_links()];
-        for (old, new) in idmap.iter().enumerate() {
-            if let Some(new) = new {
-                rates_base[old] = sol.rates[new.index()];
+        if !keep_last_good {
+            let mut rates_base = vec![0.0; self.base.num_links()];
+            for (old, new) in idmap.iter().enumerate() {
+                if let Some(new) = new {
+                    rates_base[old] = sol.rates[new.index()];
+                }
             }
+            self.installed = Some(Installed {
+                rates_base,
+                objective: sol.objective,
+                lambda: sol.lambda,
+                active_monitors: sol.active_monitors.len(),
+                kkt: sol.kkt_verified,
+            });
         }
-        self.installed = Some(Installed {
-            rates_base,
-            objective: sol.objective,
-            lambda: sol.lambda,
-            active_monitors: sol.active_monitors.len(),
-            kkt: sol.kkt_verified,
-        });
         Ok(SolveReport {
             warm_started: warm_vec.is_some(),
             iterations: sol.diagnostics.iterations,
@@ -326,6 +450,8 @@ impl ServiceState {
             wall_ms,
             active_monitors: sol.active_monitors.len(),
             cold,
+            degraded,
+            fallback,
         })
     }
 
@@ -928,6 +1054,70 @@ mod tests {
     fn non_mutating_command_rejected_as_event() {
         let mut s = fresh();
         assert!(s.apply_event(&Request::Ping, false).is_err());
+    }
+
+    #[test]
+    fn exhausted_budget_keeps_last_good_rates_but_lands_the_mutation() {
+        let mut s = fresh();
+        let rates_before = s.installed().unwrap().rates_base.clone();
+        let obj_before = s.installed().unwrap().objective;
+        // A zero-iteration cap degrades both the warm attempt and the cold
+        // escalation deterministically.
+        s.set_chaos(SolverChaos::new().with_max_iters(0));
+        let report = s
+            .apply_event(&Request::SetTheta { theta: 50_000.0 }, false)
+            .unwrap();
+        assert!(report.degraded);
+        assert!(!report.kkt);
+        assert_eq!(report.fallback, Some("last_good"));
+        // The spec mutation landed; the served rates did not move.
+        assert_eq!(s.theta(), 50_000.0);
+        let inst = s.installed().unwrap();
+        assert!(inst.kkt, "last-good configuration stays certified");
+        assert_eq!(inst.objective, obj_before);
+        for (a, b) in inst.rates_base.iter().zip(&rates_before) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Lifting the cap re-certifies on the next event.
+        s.set_chaos(SolverChaos::new());
+        let report = s
+            .apply_event(&Request::SetTheta { theta: 60_000.0 }, false)
+            .unwrap();
+        assert!(!report.degraded);
+        assert!(report.kkt);
+        assert_eq!(report.fallback, None);
+        assert!(s.installed().unwrap().kkt);
+    }
+
+    #[test]
+    fn degraded_startup_installs_best_effort_rates() {
+        // With nothing installed there is no last-good to fall back on:
+        // the feasible-but-uncertified point is served rather than nothing.
+        let mut s = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        s.set_chaos(SolverChaos::new().with_max_iters(0));
+        let report = s.resolve(false).unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.fallback, None);
+        let inst = s.installed().expect("best-effort rates installed");
+        assert!(!inst.kkt);
+        assert!(inst.rates_base.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn chaos_panic_fires_exactly_once_across_clones() {
+        let mut s = fresh();
+        s.set_chaos(SolverChaos::new().with_panic_on_resolve(0));
+        // The first resolve after arming panics…
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.resolve(false);
+        }));
+        assert!(panicked.is_err());
+        // …and the shared counter means a clone cannot re-trigger it, so
+        // the daemon's retry of the *next* event succeeds.
+        let report = s
+            .apply_event(&Request::SetTheta { theta: 70_000.0 }, false)
+            .unwrap();
+        assert!(report.kkt);
     }
 
     #[test]

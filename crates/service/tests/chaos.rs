@@ -1,0 +1,272 @@
+//! The deterministic fault-injection chaos harness (DESIGN.md §11).
+//!
+//! Replays the canonical serve session (`fixtures/serve_session.jsonl`)
+//! under hundreds of seeded fault schedules — store I/O faults, solver
+//! budget exhaustion, injected handler panics — and asserts the serving
+//! invariants the resilience layer promises:
+//!
+//! 1. **Zero panics escape**: `Daemon::run` returns `Ok` under every
+//!    schedule (injected panics are caught and answered).
+//! 2. **Every request is answered**: one response line per fixture line
+//!    (ok, error, or overloaded), plus the hello line.
+//! 3. **Convergence**: store faults touch only persistence, so the
+//!    `query_rates` response is *byte-identical* to the fault-free run;
+//!    solver perturbation schedules are compared against an identically
+//!    perturbed fault-free baseline.
+//!
+//! Every schedule is a pure function of its seed: a failure report names
+//! the seed, and re-running it locally reproduces the exact fault
+//! sequence.
+
+use std::fs;
+use std::io::Cursor;
+use std::path::PathBuf;
+
+use nws_core::scenarios::janet_task;
+use nws_core::PlacementConfig;
+use nws_service::{
+    Daemon, DaemonOptions, DaemonSummary, FaultPlan, PersistConfig, ServiceState, SolverChaos,
+};
+
+/// Store-fault schedules replayed against the clean baseline.
+const STORE_FAULT_SEEDS: u64 = 140;
+/// Store-fault × solver-budget-exhaustion schedules.
+const PERTURBED_SEEDS: u64 = 48;
+/// Store-fault × injected-handler-panic schedules.
+const PANIC_SEEDS: u64 = 24;
+/// Worker threads for the seed sweep.
+const THREADS: u64 = 8;
+
+fn fixture_script() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/serve_session.jsonl");
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn fresh_state(chaos: Option<SolverChaos>) -> ServiceState {
+    let mut state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    if let Some(chaos) = chaos {
+        state.set_chaos(chaos);
+    }
+    state
+}
+
+struct RunOutput {
+    lines: Vec<String>,
+    summary: DaemonSummary,
+}
+
+/// One full daemon session over `script`; panics (failing the test) if the
+/// daemon errors out instead of serving through the schedule.
+fn run_session(state: ServiceState, opts: DaemonOptions, script: &str, tag: &str) -> RunOutput {
+    let mut daemon = Daemon::new(state, opts);
+    let mut out = Vec::new();
+    let summary = daemon
+        .run(Cursor::new(script.to_string()), &mut out)
+        .unwrap_or_else(|e| panic!("[{tag}] daemon must keep serving under faults: {e}"));
+    let text = String::from_utf8(out).expect("daemon output is UTF-8");
+    RunOutput {
+        lines: text.lines().map(str::to_string).collect(),
+        summary,
+    }
+}
+
+/// The (single) `query_rates` response of a session — fully deterministic
+/// payload (θ, objective, per-link rates), so byte comparison is exact.
+fn query_rates_line<'r>(run: &'r RunOutput, tag: &str) -> &'r str {
+    run.lines
+        .iter()
+        .find(|l| l.contains("\"cmd\":\"query_rates\""))
+        .unwrap_or_else(|| panic!("[{tag}] query_rates unanswered"))
+}
+
+/// Invariants 1–2 for one completed session: every fixture line answered,
+/// clean shutdown observed (the fixture ends with `shutdown`).
+fn assert_all_answered(run: &RunOutput, request_lines: u64, tag: &str) {
+    assert_eq!(
+        run.summary.requests + run.summary.shed,
+        request_lines,
+        "[{tag}] every request must be handled or shed"
+    );
+    assert_eq!(
+        run.lines.len() as u64,
+        1 + request_lines,
+        "[{tag}] hello + one response per request"
+    );
+    assert!(
+        run.summary.clean_shutdown || run.summary.shed > 0,
+        "[{tag}] fixture ends with shutdown"
+    );
+}
+
+fn chaos_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nws-chaos-{tag}-{}", std::process::id()))
+}
+
+/// Runs `per_seed` over `0..count` across [`THREADS`] workers.
+fn sweep(count: u64, per_seed: impl Fn(u64) + Sync) {
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let per_seed = &per_seed;
+            scope.spawn(move || {
+                let mut seed = worker;
+                while seed < count {
+                    per_seed(seed);
+                    seed += THREADS;
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn store_fault_schedules_never_change_served_rates() {
+    let script = fixture_script();
+    let request_lines = script.lines().count() as u64;
+    // Fault-free baseline: no persistence, no chaos.
+    let baseline = run_session(
+        fresh_state(None),
+        DaemonOptions::default(),
+        &script,
+        "baseline",
+    );
+    assert_all_answered(&baseline, request_lines, "baseline");
+    assert!(baseline.summary.clean_shutdown);
+    let baseline_rates = query_rates_line(&baseline, "baseline").to_string();
+
+    sweep(STORE_FAULT_SEEDS, |seed| {
+        let tag = format!("store-{seed}");
+        let dir = chaos_dir(&tag);
+        let _ = fs::remove_dir_all(&dir);
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.fault = Some(FaultPlan::new(seed));
+        let run = run_session(
+            fresh_state(None),
+            DaemonOptions {
+                persist: Some(cfg),
+                ..DaemonOptions::default()
+            },
+            &script,
+            &tag,
+        );
+        assert_all_answered(&run, request_lines, &tag);
+        assert!(run.summary.clean_shutdown, "[{tag}] clean shutdown");
+        // Store faults may degrade *persistence*, never *serving*: the
+        // rates answer is byte-identical to the fault-free run.
+        assert_eq!(
+            query_rates_line(&run, &tag),
+            baseline_rates,
+            "[{tag}] served rates diverged under store faults"
+        );
+        let hello = &run.lines[0];
+        assert!(
+            hello.contains("\"persistence\":\"durable\"")
+                || hello.contains("\"persistence\":\"degraded\""),
+            "[{tag}] hello reports persistence mode: {hello}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn perturbed_solver_schedules_agree_with_perturbed_baseline() {
+    let script = fixture_script();
+    let request_lines = script.lines().count() as u64;
+    // One fault-free baseline per iteration cap: capping iterations
+    // changes the served answer (degraded best-effort iterates), so the
+    // comparison target must be perturbed identically.
+    let caps = [0usize, 1, 2];
+    let baselines: Vec<String> = caps
+        .iter()
+        .map(|&cap| {
+            let tag = format!("perturbed-baseline-{cap}");
+            let run = run_session(
+                fresh_state(Some(SolverChaos::new().with_max_iters(cap))),
+                DaemonOptions::default(),
+                &script,
+                &tag,
+            );
+            assert_all_answered(&run, request_lines, &tag);
+            query_rates_line(&run, &tag).to_string()
+        })
+        .collect();
+
+    sweep(PERTURBED_SEEDS, |seed| {
+        let cap = caps[(seed % caps.len() as u64) as usize];
+        let tag = format!("perturbed-{seed}-cap{cap}");
+        let dir = chaos_dir(&tag);
+        let _ = fs::remove_dir_all(&dir);
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.fault = Some(FaultPlan::new(seed));
+        let run = run_session(
+            fresh_state(Some(SolverChaos::new().with_max_iters(cap))),
+            DaemonOptions {
+                persist: Some(cfg),
+                ..DaemonOptions::default()
+            },
+            &script,
+            &tag,
+        );
+        assert_all_answered(&run, request_lines, &tag);
+        assert!(run.summary.clean_shutdown, "[{tag}] clean shutdown");
+        // Degraded solves still answer deterministically: store faults on
+        // top of an exhausted budget must not move the served rates.
+        assert_eq!(
+            query_rates_line(&run, &tag),
+            baselines[(seed % caps.len() as u64) as usize],
+            "[{tag}] degraded serving diverged under store faults"
+        );
+        // The budget cap really bit: the hello resolve is degraded.
+        assert!(
+            run.lines[0].contains("\"degraded\":true"),
+            "[{tag}] capped startup solve must be degraded: {}",
+            run.lines[0]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    });
+}
+
+#[test]
+fn injected_panics_are_answered_and_the_session_completes() {
+    let script = fixture_script();
+    let request_lines = script.lines().count() as u64;
+    // The fixture triggers re-solves #1..=#6 after the startup solve #0;
+    // panicking inside any of them must cost exactly one error response.
+    sweep(PANIC_SEEDS, |seed| {
+        let panic_at = 1 + (seed % 6);
+        let tag = format!("panic-{seed}-at{panic_at}");
+        let dir = chaos_dir(&tag);
+        let _ = fs::remove_dir_all(&dir);
+        let mut cfg = PersistConfig::new(&dir);
+        cfg.fault = Some(FaultPlan::new(seed));
+        let run = run_session(
+            fresh_state(Some(SolverChaos::new().with_panic_on_resolve(panic_at))),
+            DaemonOptions {
+                persist: Some(cfg),
+                ..DaemonOptions::default()
+            },
+            &script,
+            &tag,
+        );
+        assert_all_answered(&run, request_lines, &tag);
+        assert!(run.summary.clean_shutdown, "[{tag}] clean shutdown");
+        let panicked: Vec<&String> = run
+            .lines
+            .iter()
+            .filter(|l| l.contains("internal panic"))
+            .collect();
+        assert_eq!(
+            panicked.len(),
+            1,
+            "[{tag}] exactly one request absorbs the panic"
+        );
+        assert!(
+            panicked[0].contains("\"ok\":false"),
+            "[{tag}] panic answered as an error: {}",
+            panicked[0]
+        );
+        // The daemon still answers rates afterwards.
+        query_rates_line(&run, &tag);
+        let _ = fs::remove_dir_all(&dir);
+    });
+}

@@ -50,6 +50,7 @@ fn persist_cfg(dir: &Path, snapshot_every: u64) -> PersistConfig {
         dir: dir.to_path_buf(),
         fsync: FsyncPolicy::Always,
         snapshot_every,
+        fault: None,
     }
 }
 

@@ -1,0 +1,116 @@
+//! Protocol fuzzing: the request decoder must map *every* byte line to
+//! `Ok(Request)` or `Err(String)` — never a panic, never unbounded
+//! recursion. The daemon feeds untrusted socket input straight into
+//! [`nws_service::parse_request`], so this boundary is the one place where
+//! hostile framing (overlong lines, truncated UTF-8 escapes, deeply nested
+//! JSON, NUL bytes) reaches hand-rolled parsing code.
+
+use nws_service::parse_request;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One arbitrary byte line, biased toward parser-relevant structure:
+/// random bytes, JSON-ish fragments around valid commands, and hostile
+/// escape/nesting shapes.
+fn arb_line(rng: &mut StdRng) -> Vec<u8> {
+    match rng.random_range(0u32..6) {
+        // Pure noise, including invalid UTF-8 and NUL bytes.
+        0 => {
+            let len = rng.random_range(0usize..300);
+            (0..len).map(|_| rng.random_range(0u32..256) as u8).collect()
+        }
+        // A valid command, mutated at one random byte.
+        1 => {
+            let mut line = b"{\"cmd\":\"set_theta\",\"theta\":90000}".to_vec();
+            let idx = rng.random_range(0..line.len());
+            line[idx] = rng.random_range(0u32..256) as u8;
+            line
+        }
+        // Truncation of a valid command at a random point (mid-token,
+        // mid-escape, mid-number).
+        2 => {
+            let line = b"{\"cmd\":\"add_od\",\"name\":\"X\\u00e9\",\"src\":\"UK\",\"dst\":\"DE\",\"size\":5000.5}";
+            let keep = rng.random_range(0..=line.len());
+            line[..keep].to_vec()
+        }
+        // Broken unicode escapes: `\u` followed by junk, lone surrogates.
+        3 => {
+            let fragments: [&[u8]; 5] = [
+                br#"{"cmd":"\u"#,
+                br#"{"cmd":"\uD800"}"#,
+                br#"{"cmd":"\uD800A"}"#,
+                br#"{"cmd":"\uZZZZ"}"#,
+                br#"{"cmd":"ping\"#,
+            ];
+            fragments[rng.random_range(0..fragments.len())].to_vec()
+        }
+        // Deep nesting: the parser must refuse, not recurse to overflow.
+        4 => {
+            let depth = rng.random_range(1usize..5000);
+            let open = if rng.random::<bool>() { b'[' } else { b'{' };
+            let mut line = vec![open; depth];
+            if rng.random::<bool>() {
+                line.extend_from_slice(b"\"k\":");
+            }
+            line
+        }
+        // Overlong single tokens: huge strings and digit runs.
+        _ => {
+            let len = rng.random_range(1usize..5000);
+            let mut line = b"{\"cmd\":\"".to_vec();
+            let filler = if rng.random::<bool>() { b'9' } else { b'a' };
+            line.extend(std::iter::repeat(filler).take(len));
+            line
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any byte line: the decoder answers, it never panics. (The call runs
+    /// right here — a panic fails the test with the offending seed.)
+    #[test]
+    fn arbitrary_byte_lines_never_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let bytes = arb_line(&mut rng);
+            let text = String::from_utf8_lossy(&bytes);
+            let _ = parse_request(text.trim());
+        }
+    }
+
+    /// Arbitrary printable text (the shim's `\PC*` equivalent) including
+    /// multi-byte characters.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC*") {
+        let _ = parse_request(text.trim());
+    }
+}
+
+#[test]
+fn pathological_lines_error_cleanly() {
+    // 10_000-deep array / object bombs: must come back as errors well
+    // before any stack limit.
+    let array_bomb = "[".repeat(10_000);
+    assert!(parse_request(&array_bomb).is_err());
+    let mut object_bomb = String::new();
+    for _ in 0..10_000 {
+        object_bomb.push_str("{\"k\":");
+    }
+    assert!(parse_request(&object_bomb).is_err());
+
+    // A 1 MiB line of digits: rejected (or parsed) without panicking.
+    let overlong = format!("{{\"cmd\":\"set_theta\",\"theta\":{}}}", "9".repeat(1 << 20));
+    assert!(parse_request(&overlong).is_err() || parse_request(&overlong).is_ok());
+
+    // Non-UTF-8 bytes survive lossy conversion into an error.
+    let junk = String::from_utf8_lossy(&[0xff, 0xfe, 0x80, 0x00, b'{']);
+    assert!(parse_request(junk.trim()).is_err());
+
+    // Valid JSON that is not an object, or an object with a non-string cmd.
+    for line in ["42", "\"ping\"", "null", "[]", "{\"cmd\":7}", "{\"cmd\":null}", "{}"] {
+        assert!(parse_request(line).is_err(), "accepted: {line}");
+    }
+}

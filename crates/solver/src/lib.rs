@@ -73,7 +73,7 @@ pub use kkt::{compute_multipliers, KktReport, Multipliers};
 pub use line_search::{LineSearchOutcome, NewtonLineSearch};
 pub use problem::{BoxLinearProblem, Objective};
 pub use projection::project_gradient;
-pub use solve::{Solver, SolverOptions};
+pub use solve::{SolveBudget, Solver, SolverOptions};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SolverError>;

@@ -7,6 +7,34 @@ use crate::{
 };
 use nws_linalg::Vector;
 use nws_obs::Recorder;
+use std::time::Instant;
+
+/// A resource budget for one solve, independent of the convergence-quality
+/// knobs in [`SolverOptions`]: the solver stops early when either limit is
+/// reached and returns the best *feasible* iterate found so far, marked
+/// with [`TerminationReason::IterationLimit`] /
+/// [`TerminationReason::DeadlineExceeded`] instead of erroring. The
+/// default budget is unlimited (only [`SolverOptions::max_iterations`]
+/// applies).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveBudget {
+    /// Extra iteration cap on top of [`SolverOptions::max_iterations`]
+    /// (the effective cap is the minimum of the two).
+    pub max_iters: Option<usize>,
+    /// Wall-clock deadline; checked once per iteration, so the overrun is
+    /// bounded by one iteration's work.
+    pub deadline: Option<Instant>,
+}
+
+impl SolveBudget {
+    /// A budget expiring `ms` milliseconds from now.
+    pub fn with_deadline_ms(ms: u64) -> Self {
+        SolveBudget {
+            max_iters: None,
+            deadline: Some(Instant::now() + std::time::Duration::from_millis(ms)),
+        }
+    }
+}
 
 /// Tunable parameters of the solver.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +63,9 @@ pub struct SolverOptions {
     pub record_objective: bool,
     /// The 1-D line-search engine.
     pub line_search: NewtonLineSearch,
+    /// Per-solve resource budget (iterations / wall clock); unlimited by
+    /// default. See [`SolveBudget`].
+    pub budget: SolveBudget,
 }
 
 impl Default for SolverOptions {
@@ -47,6 +78,7 @@ impl Default for SolverOptions {
             polak_ribiere: true,
             record_objective: false,
             line_search: NewtonLineSearch::default(),
+            budget: SolveBudget::default(),
         }
     }
 }
@@ -168,7 +200,18 @@ impl Solver {
         // Gradient buffer reused across iterations (objectives with a
         // `gradient_into` override fill it without allocating).
         let mut g = Vector::zeros(problem.dim());
-        while iterations < o.max_iterations {
+        let iter_cap = o
+            .budget
+            .max_iters
+            .map_or(o.max_iterations, |m| m.min(o.max_iterations));
+        let mut overrun_reason = TerminationReason::IterationLimit;
+        while iterations < iter_cap {
+            if let Some(deadline) = o.budget.deadline {
+                if Instant::now() >= deadline {
+                    overrun_reason = TerminationReason::DeadlineExceeded;
+                    break;
+                }
+            }
             iterations += 1;
             if o.record_objective {
                 trajectory.push(obj.value(&p));
@@ -404,7 +447,7 @@ impl Solver {
             p,
             rep.multipliers.lambda,
             false,
-            TerminationReason::IterationLimit,
+            overrun_reason,
             iterations,
             releases,
             bounds_hit,
@@ -834,6 +877,75 @@ mod tests {
         assert!(!sol.kkt_verified);
         // Still feasible.
         assert!(pb.is_feasible(&sol.p, 1e-6));
+    }
+
+    #[test]
+    fn budget_iteration_cap_tightens_max_iterations() {
+        let obj = LogUtil { eps: 1e-6 };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(4, 1.0),
+            Vector::from(vec![1.0, 2.0, 3.0, 4.0]),
+            1.0,
+        )
+        .unwrap();
+        let solver = Solver::new(SolverOptions {
+            budget: SolveBudget {
+                max_iters: Some(1),
+                deadline: None,
+            },
+            ..SolverOptions::default()
+        });
+        let sol = solver.maximize(&obj, &pb).unwrap();
+        assert_eq!(sol.reason, TerminationReason::IterationLimit);
+        assert_eq!(sol.diagnostics.iterations, 1);
+        assert!(!sol.kkt_verified);
+        assert!(pb.is_feasible(&sol.p, 1e-6));
+    }
+
+    #[test]
+    fn expired_deadline_returns_feasible_point_not_error() {
+        let obj = LogUtil { eps: 1e-6 };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(4, 1.0),
+            Vector::from(vec![1.0, 2.0, 3.0, 4.0]),
+            1.0,
+        )
+        .unwrap();
+        // A deadline already in the past: the loop must exit before the
+        // first iteration and still return the (feasible) starting point.
+        let solver = Solver::new(SolverOptions {
+            budget: SolveBudget {
+                max_iters: None,
+                deadline: Some(Instant::now()),
+            },
+            ..SolverOptions::default()
+        });
+        let sol = solver.maximize(&obj, &pb).unwrap();
+        assert_eq!(sol.reason, TerminationReason::DeadlineExceeded);
+        assert!(!sol.kkt_verified);
+        assert_eq!(sol.diagnostics.iterations, 0);
+        assert!(pb.is_feasible(&sol.p, 1e-6));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_change_the_answer() {
+        let obj = LogUtil { eps: 1e-6 };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(4, 1.0),
+            Vector::from(vec![1.0, 2.0, 3.0, 4.0]),
+            1.0,
+        )
+        .unwrap();
+        let unbudgeted = Solver::default().maximize(&obj, &pb).unwrap();
+        let budgeted = Solver::new(SolverOptions {
+            budget: SolveBudget::with_deadline_ms(600_000),
+            ..SolverOptions::default()
+        })
+        .maximize(&obj, &pb)
+        .unwrap();
+        assert!(budgeted.kkt_verified);
+        assert_eq!(budgeted.reason, TerminationReason::KktSatisfied);
+        assert!(budgeted.p.approx_eq(&unbudgeted.p, 1e-9));
     }
 
     #[test]

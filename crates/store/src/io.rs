@@ -1,0 +1,191 @@
+//! An injectable filesystem layer for the store.
+//!
+//! Every byte the store reads or writes goes through the [`Io`] /
+//! [`IoFile`] traits, so fault-injection harnesses (see [`crate::fault`])
+//! can fail any individual operation deterministically while production
+//! code runs on [`RealIo`], a zero-cost passthrough to `std::fs`. The
+//! surface is deliberately minimal — exactly the operations the WAL and
+//! snapshot machinery performs, nothing generic.
+//!
+//! Locking is *not* routed through this layer: the `LOCK` file guards
+//! against a second live daemon on the real filesystem, and simulating its
+//! failure would only test the simulation.
+
+use std::fmt::Debug;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// One open, writable store file (WAL segment or snapshot temp file).
+pub trait IoFile: Debug + Send {
+    /// Writes the whole buffer (kernel-buffered, not yet durable).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes file *data* to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flushes data and metadata to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncates or extends the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Positions the cursor at end-of-file, returning the offset.
+    fn seek_end(&mut self) -> io::Result<u64>;
+}
+
+/// The filesystem operations the store performs on paths.
+pub trait Io: Debug + Send {
+    /// `fs::create_dir_all`.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Lists the file names (not paths) inside `dir`.
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// The current length of the file at `path`.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Opens `path` read+write, creating it if missing (no truncation).
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn IoFile>>;
+    /// Creates `path` fresh (truncating an existing file).
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn IoFile>>;
+    /// Atomically renames `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Deletes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs the directory itself, making renames/creations durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production [`Io`]: a direct passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+/// A real [`File`] behind the [`IoFile`] surface.
+#[derive(Debug)]
+pub struct RealFile(File);
+
+impl IoFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.0.seek(SeekFrom::End(0))
+    }
+}
+
+impl Io for RealIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        fs::metadata(path).map(|m| m.len())
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn IoFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn IoFile>> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nws-store-io-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn real_io_round_trips_files() {
+        let io = RealIo;
+        let dir = tdir("roundtrip");
+        io.create_dir_all(&dir).unwrap();
+        let path = dir.join("a.txt");
+        {
+            let mut f = io.open_rw(&path).unwrap();
+            f.write_all(b"hello world").unwrap();
+            f.sync_data().unwrap();
+        }
+        assert_eq!(io.read(&path).unwrap(), b"hello world");
+        assert_eq!(io.file_len(&path).unwrap(), 11);
+        {
+            let mut f = io.open_rw(&path).unwrap();
+            assert_eq!(f.seek_end().unwrap(), 11);
+            f.set_len(5).unwrap();
+        }
+        assert_eq!(io.read(&path).unwrap(), b"hello");
+        let renamed = dir.join("b.txt");
+        io.rename(&path, &renamed).unwrap();
+        let names = io.read_dir_names(&dir).unwrap();
+        assert!(names.contains(&"b.txt".to_string()) && !names.contains(&"a.txt".to_string()));
+        io.sync_dir(&dir).unwrap();
+        io.remove_file(&renamed).unwrap();
+        assert!(io.read(&renamed).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_truncate_discards_previous_content() {
+        let io = RealIo;
+        let dir = tdir("truncate");
+        io.create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        io.open_rw(&path).unwrap().write_all(b"old-old-old").unwrap();
+        io.create_truncate(&path).unwrap().write_all(b"new").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"new");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -33,10 +33,14 @@
 #![deny(missing_docs)]
 
 pub mod crc;
+pub mod fault;
 pub mod frame;
+pub mod io;
 pub mod lock;
 mod store;
 
+pub use fault::{FaultKind, FaultPlan, FaultyIo};
+pub use io::{Io, IoFile, RealIo};
 pub use store::{Recovery, Store, StoreOptions, WalStats};
 
 /// When appends are flushed from the kernel to stable storage.

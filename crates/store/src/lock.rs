@@ -34,31 +34,75 @@ pub fn pid_alive(pid: u32) -> bool {
 impl DirLock {
     /// Acquires the lock for `dir`, reclaiming a stale one.
     ///
+    /// Creation uses `O_EXCL`, and a stale lock is reclaimed by *renaming*
+    /// it aside before retrying — the rename is the atomic arbiter, so two
+    /// daemons racing to reclaim the same dead lock cannot both win (only
+    /// one rename of the same source succeeds). After creating its own
+    /// lockfile the winner re-reads it and verifies its own PID, guarding
+    /// against a third racer that overwrote the file in the window.
+    ///
     /// # Errors
     /// [`StoreError::Locked`] when a live process (including this one,
     /// via an earlier store instance) holds the lock; [`StoreError::Io`]
-    /// on filesystem failures.
+    /// on filesystem failures or when the race cannot be settled.
     pub fn acquire(dir: &Path) -> Result<DirLock, StoreError> {
         let path = dir.join(LOCK_FILE);
-        if let Ok(existing) = fs::read_to_string(&path) {
-            match existing.trim().parse::<u32>() {
-                Ok(pid) if pid_alive(pid) => {
+        let pid = std::process::id();
+        // Bounded: each retry means another process made visible progress
+        // (created or reclaimed a lock); 16 rounds of that without a
+        // settled outcome is churn worth surfacing, not spinning through.
+        for _ in 0..16 {
+            match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    write!(file, "{pid}\n")
+                        .and_then(|()| file.sync_all())
+                        .map_err(|e| {
+                            StoreError::io(format!("write lockfile {}", path.display()), e)
+                        })?;
+                    // Verify ownership: another racer may have treated our
+                    // half-written file as stale and replaced it.
+                    let content = fs::read_to_string(&path).unwrap_or_default();
+                    if content.trim().parse::<u32>() == Ok(pid) {
+                        return Ok(DirLock { path, pid });
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {}
+                Err(e) => {
+                    return Err(StoreError::io(
+                        format!("create lockfile {}", path.display()),
+                        e,
+                    ));
+                }
+            }
+            // Lock exists. Live owner → refused; dead or garbage → stale.
+            let existing = match fs::read_to_string(&path) {
+                Ok(text) => text,
+                // Deleted between create_new and read: owner released; retry.
+                Err(_) => continue,
+            };
+            if let Ok(owner) = existing.trim().parse::<u32>() {
+                if pid_alive(owner) {
                     return Err(StoreError::Locked {
-                        pid,
+                        pid: owner,
                         path: path.display().to_string(),
                     });
                 }
-                // Dead owner or unparseable content: stale, reclaim.
-                _ => {}
+            }
+            // Reclaim by renaming the stale file aside: exactly one racer's
+            // rename succeeds, and that racer retries create_new above.
+            let grave = dir.join(format!("{LOCK_FILE}.stale.{pid}"));
+            if fs::rename(&path, &grave).is_ok() {
+                let _ = fs::remove_file(&grave);
             }
         }
-        let pid = std::process::id();
-        let mut file = fs::File::create(&path)
-            .map_err(|e| StoreError::io(format!("create lockfile {}", path.display()), e))?;
-        write!(file, "{pid}\n")
-            .and_then(|()| file.sync_all())
-            .map_err(|e| StoreError::io(format!("write lockfile {}", path.display()), e))?;
-        Ok(DirLock { path, pid })
+        Err(StoreError::io(
+            format!("acquire lockfile {}", path.display()),
+            std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "lockfile kept changing hands; giving up after 16 attempts",
+            ),
+        ))
     }
 }
 
@@ -128,6 +172,55 @@ mod tests {
         let dir = temp_dir("garbage");
         fs::write(dir.join(LOCK_FILE), "not-a-pid\n").unwrap();
         assert!(DirLock::acquire(&dir).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn racing_reclaimers_of_one_stale_lock_produce_one_winner() {
+        // Seed a dead lock, then race many threads to reclaim it. The
+        // rename-aside arbiter must let exactly one through; the rest see
+        // the winner's live PID and report Locked.
+        let dir = temp_dir("race");
+        fs::write(dir.join(LOCK_FILE), "4194303999\n").unwrap();
+        let results: Vec<Result<DirLock, StoreError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| DirLock::acquire(&dir))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let winners = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(winners, 1, "exactly one racer may hold the lock");
+        for r in &results {
+            if let Err(e) = r {
+                assert!(
+                    matches!(e, StoreError::Locked { .. }),
+                    "losers must see Locked, got {e:?}"
+                );
+            }
+        }
+        // The winner's lockfile carries this process's PID and no grave
+        // files linger from the rename-aside step.
+        let content = fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert_eq!(content.trim().parse::<u32>().unwrap(), std::process::id());
+        let stragglers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != LOCK_FILE)
+            .collect();
+        assert!(stragglers.is_empty(), "leftover files: {stragglers:?}");
+        drop(results);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reclaim_after_owner_death_is_clean() {
+        // Repeated stale→reclaim cycles never accumulate grave files.
+        let dir = temp_dir("cycles");
+        for _ in 0..5 {
+            fs::write(dir.join(LOCK_FILE), "4194303999\n").unwrap();
+            let lock = DirLock::acquire(&dir).unwrap();
+            drop(lock);
+            assert!(!dir.join(LOCK_FILE).exists());
+            assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

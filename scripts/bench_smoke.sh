@@ -84,7 +84,7 @@ echo "kill phase OK: daemon $DAEMON_PID killed with journal in $STATE_DIR"
 { printf '{"cmd":"query_rates"}\n'; cat fixtures/serve_session.jsonl; } | \
     target/release/nws serve --shadow-cold --bench-out BENCH_serve.json \
         --metrics-out METRICS_serve.prom --trace --state-dir "$STATE_DIR" \
-        > serve_session.out
+        --solve-deadline-ms 5000 > serve_session.out
 [ -s BENCH_serve.json ] || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
 grep -q '"bye":true' serve_session.out || { echo "daemon did not shut down cleanly" >&2; exit 1; }
 if grep -q '"ok":false' serve_session.out; then
@@ -109,6 +109,8 @@ grep -q '"wal_stats":{"policy":"always",' serve_session.out \
     || { echo "metrics response lacks wal_stats" >&2; exit 1; }
 grep -q '"recovery":{"snapshot":false,"replayed_events":3,' BENCH_serve.json \
     || { echo "BENCH_serve.json lacks the recovery report" >&2; exit 1; }
+grep -q '"solve_deadline":{"configured_ms":5000,"solve_ms_p99":' BENCH_serve.json \
+    || { echo "BENCH_serve.json lacks the solve-deadline section" >&2; exit 1; }
 rm -f serve_session.out
 echo "recovery smoke OK: 3 events replayed, rates match pre-kill byte-for-byte"
 
@@ -124,6 +126,12 @@ grep -q '^wal_appends ' METRICS_serve.prom \
     || { echo "exposition lacks WAL counters" >&2; exit 1; }
 grep -q '^recovery_replayed_events ' METRICS_serve.prom \
     || { echo "exposition lacks the recovery counter" >&2; exit 1; }
+grep -q '^degraded_solves ' METRICS_serve.prom \
+    || { echo "exposition lacks the degraded-solve counter" >&2; exit 1; }
+grep -q '^daemon_overload_shed_total ' METRICS_serve.prom \
+    || { echo "exposition lacks the overload-shed counter" >&2; exit 1; }
+grep -q '^persistence_degraded ' METRICS_serve.prom \
+    || { echo "exposition lacks the persistence-degraded gauge" >&2; exit 1; }
 grep -q '^# span solve' METRICS_serve.prom \
     || { echo "exposition lacks the --trace span tree" >&2; exit 1; }
 awk '/^#/ { next }
@@ -131,3 +139,35 @@ awk '/^#/ { next }
      END { exit bad }' METRICS_serve.prom \
     || { echo "METRICS_serve.prom failed the exposition shape check" >&2; exit 1; }
 echo "serve smoke OK: $(pwd)/BENCH_serve.json + METRICS_serve.prom"
+
+# Chaos smoke: replay the scripted session against the release binary under
+# fixed-seed store-fault schedules (--chaos-store-seed drives the store's
+# injectable I/O layer deterministically). Contract under fault injection:
+# the daemon must not panic, must shut down cleanly, and — because store
+# faults may degrade persistence but never serving — the query_rates
+# response must be byte-identical to a fault-free run. Error responses are
+# tolerated here by design (that is the point of the drill), unlike the
+# phase-B gate above.
+target/release/nws serve < fixtures/serve_session.jsonl > "$SCRATCH/chaos_clean.out"
+clean_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/chaos_clean.out" | head -1)
+[ -n "$clean_monitors" ] || { echo "chaos baseline run carried no monitors" >&2; exit 1; }
+for seed in 7 41 1999; do
+    CHAOS_DIR="$SCRATCH/chaos_$seed"
+    target/release/nws serve --state-dir "$CHAOS_DIR" --chaos-store-seed "$seed" \
+        --solve-deadline-ms 5000 \
+        < fixtures/serve_session.jsonl > "$SCRATCH/chaos_$seed.out" 2> "$SCRATCH/chaos_$seed.err" \
+        || { echo "chaos daemon (seed $seed) exited non-zero" >&2
+             cat "$SCRATCH/chaos_$seed.err" >&2; exit 1; }
+    grep -qi 'panicked at' "$SCRATCH/chaos_$seed.err" && {
+        echo "chaos daemon (seed $seed) panicked:" >&2
+        cat "$SCRATCH/chaos_$seed.err" >&2; exit 1; }
+    grep -q '"bye":true' "$SCRATCH/chaos_$seed.out" \
+        || { echo "chaos daemon (seed $seed) did not shut down cleanly" >&2; exit 1; }
+    chaos_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/chaos_$seed.out" | head -1)
+    [ "$chaos_monitors" = "$clean_monitors" ] || {
+        echo "chaos run (seed $seed) served different rates than the clean run:" >&2
+        echo "  clean: $clean_monitors" >&2
+        echo "  chaos: $chaos_monitors" >&2
+        exit 1; }
+done
+echo "chaos smoke OK: seeds 7/41/1999 served byte-identical rates, zero panics"
