@@ -37,7 +37,10 @@ struct PolicyResult {
 /// A representative journaled command: what the daemon appends for a
 /// `update_demand` request.
 fn payload(i: u64) -> String {
-    format!("{{\"cmd\": \"update_demand\", \"od\": \"JANET-NL\", \"size\": {}}}", 9_000_000 + i)
+    format!(
+        "{{\"cmd\": \"update_demand\", \"od\": \"JANET-NL\", \"size\": {}}}",
+        9_000_000 + i
+    )
 }
 
 /// Appends `count` records under `policy` into a fresh subdirectory of

@@ -85,9 +85,10 @@ usage:
   nws demo
 
 options (solve/sweep/plan/serve/demo):
-  --threads N       evaluate the objective on N worker threads (0 = one per
-                    core; default 1 = serial; pays off on tasks with
-                    thousands of OD pairs)
+  --threads N       evaluate the objective on a persistent pool of N worker
+                    threads (0 = one per core; default 1 = serial; capped at
+                    the core count; tiny tasks below the nnz cutoff stay
+                    serial; pays off on tasks with thousands of OD pairs)
 
 observability options (solve/sweep/serve/demo):
   --metrics-out F   write a Prometheus-style text exposition of solver and
@@ -452,8 +453,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
                 let policy = args
                     .get(i + 1)
                     .ok_or_else(|| usage_err("--fsync requires a policy (always|every-N|never)"))?;
-                setup.fsync =
-                    Some(FsyncPolicy::parse(policy).map_err(|e| usage_err(format!("--fsync: {e}")))?);
+                setup.fsync = Some(
+                    FsyncPolicy::parse(policy).map_err(|e| usage_err(format!("--fsync: {e}")))?,
+                );
                 i += 2;
             }
             "--snapshot-every" => {
@@ -863,11 +865,12 @@ mod tests {
         let err = setup.persist().unwrap_err();
         assert!(is_usage(&err));
         assert!(err.to_string().contains("--fsync requires --state-dir"));
-        let setup =
-            parse_serve_args(&["--snapshot-every".to_string(), "4".to_string()]).unwrap();
+        let setup = parse_serve_args(&["--snapshot-every".to_string(), "4".to_string()]).unwrap();
         let err = setup.persist().unwrap_err();
         assert!(is_usage(&err));
-        assert!(err.to_string().contains("--snapshot-every requires --state-dir"));
+        assert!(err
+            .to_string()
+            .contains("--snapshot-every requires --state-dir"));
     }
 
     #[test]
@@ -904,8 +907,7 @@ mod tests {
         ));
 
         // Fault injection without a state directory is meaningless.
-        let setup =
-            parse_serve_args(&["--chaos-store-seed".to_string(), "1".to_string()]).unwrap();
+        let setup = parse_serve_args(&["--chaos-store-seed".to_string(), "1".to_string()]).unwrap();
         let err = setup.persist().unwrap_err();
         assert!(is_usage(&err));
         assert!(err

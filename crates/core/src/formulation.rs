@@ -3,17 +3,21 @@
 //! The objective stores its per-OD sparse routing rows in CSR (compressed
 //! sparse row) form — one flat `(variable, fraction)` array plus row offsets
 //! — and evaluates value/gradient/curvature either serially or fanned out
-//! across scoped threads ([`ParallelConfig`]). Chunk partials are merged in
-//! chunk order, so results are deterministic for a fixed worker count.
+//! across a persistent [`EvalPool`]. Chunk partials are merged in chunk
+//! order, so results are deterministic for a fixed worker count. A fused
+//! single-pass kernel ([`PlacementObjective::eval_fused`]) produces value,
+//! gradient, and both directional derivatives from one CSR sweep — the
+//! line-search hot path touches each row once instead of three times.
 
-use crate::{CoreError, MeasurementTask, SreUtility, Utility};
+use crate::pool::{ChunkOut, ChunkTask};
+use crate::{CoreError, EvalPool, MeasurementTask, PoolError, SreUtility, Utility};
 use nws_linalg::Vector;
 use nws_obs::Recorder;
 use nws_solver::{BoxLinearProblem, Objective};
 use nws_topo::LinkId;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How the effective sampling rate `ρ_k(p)` is modelled inside the objective.
@@ -40,18 +44,29 @@ pub enum RateModel {
 /// Evaluation is embarrassingly parallel over OD rows: each worker reduces a
 /// contiguous chunk of rows into a private partial (a scalar for value and
 /// curvature, a scratch gradient buffer for gradients) and the partials are
-/// merged in chunk order. The fan-out uses [`std::thread::scope`] — threads
-/// are spawned per call, so parallelism only pays off once a task has enough
-/// rows; `min_ods_per_thread` keeps small tasks on the serial path.
+/// merged in chunk order. The fan-out runs on a persistent [`EvalPool`] —
+/// workers are spawned once when the config is attached
+/// ([`PlacementObjective::with_parallel`]) and parked between calls, so an
+/// evaluation pays only a channel handoff. Two cutoffs keep small work on
+/// the serial path: `min_ods_per_thread` bounds the chunk count by available
+/// rows, and `min_nnz_parallel` routes whole instances below a CSR-size
+/// floor (e.g. GEANT, Abilene) straight to the serial kernels, where even a
+/// single handoff would cost more than the row sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Worker threads: `1` forces the serial path (the default), `0` uses
-    /// one worker per available core, any other value is taken literally.
+    /// one worker per available core, any other value is taken literally
+    /// (but never more pool workers than cores — oversubscribing CPU-bound
+    /// row sweeps only adds scheduler churn).
     pub threads: usize,
     /// Minimum OD rows per worker; the effective worker count is capped at
-    /// `num_ods / min_ods_per_thread` so thread-spawn overhead never
-    /// dominates small tasks.
+    /// `num_ods / min_ods_per_thread` so handoff overhead never dominates
+    /// small tasks.
     pub min_ods_per_thread: usize,
+    /// Auto-serial cutoff: instances with fewer CSR entries than this never
+    /// use the pool at all. At the default, a serial sweep costs on the
+    /// order of a channel handoff, so parallelism cannot win below it.
+    pub min_nnz_parallel: usize,
 }
 
 impl Default for ParallelConfig {
@@ -59,13 +74,14 @@ impl Default for ParallelConfig {
         ParallelConfig {
             threads: 1,
             min_ods_per_thread: 256,
+            min_nnz_parallel: 4096,
         }
     }
 }
 
 impl ParallelConfig {
     /// A config with the given worker count (`0` = auto) and the default
-    /// serial-fallback threshold.
+    /// serial-fallback thresholds.
     pub fn with_threads(threads: usize) -> Self {
         ParallelConfig {
             threads,
@@ -73,12 +89,11 @@ impl ParallelConfig {
         }
     }
 
-    /// The worker count actually used for a task of `num_ods` rows.
+    /// The worker count this config requests for a task of `num_ods` rows
+    /// (before the core-count cap applied when the pool is resolved).
     pub fn workers_for(&self, num_ods: usize) -> usize {
         let requested = match self.threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            0 => available_cores(),
             t => t,
         };
         let by_work = num_ods / self.min_ods_per_thread.max(1);
@@ -86,8 +101,14 @@ impl ParallelConfig {
     }
 }
 
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// A reusable pool of gradient scratch buffers, shared across evaluations so
-/// the per-thread partials do not reallocate every solver iteration.
+/// the per-chunk partials do not reallocate every solver iteration.
 #[derive(Debug, Default)]
 struct ScratchPool {
     buffers: Mutex<Vec<Vec<f64>>>,
@@ -157,11 +178,24 @@ impl ReducedIndex {
     }
 }
 
-/// The paper's objective `Σ_k w_k·M_k(ρ_k(p))` over the reduced variables,
-/// generic over the per-OD utility type (the paper's [`SreUtility`] by
-/// default; any [`Utility`] works — §VI anticipates anomaly-detection and
-/// performance-analysis utilities).
-pub struct PlacementObjective<U: Utility = SreUtility> {
+/// Result of a fused single-pass evaluation
+/// ([`PlacementObjective::eval_fused`]): objective value plus the first and
+/// second directional derivatives along the probe direction (zero when no
+/// direction was given).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedEval {
+    /// Objective value `f(p)`.
+    pub value: f64,
+    /// First directional derivative `∇f(p)·s` (`0.0` without a direction).
+    pub derivative: f64,
+    /// Second directional derivative `sᵀ∇²f(p)s` (`0.0` without a direction).
+    pub curvature: f64,
+}
+
+/// The immutable evaluation data of a [`PlacementObjective`] — utilities,
+/// weights, CSR rows, rate model — shared by reference with pool workers
+/// (`Arc`), so chunk tasks are `'static` without copying the matrix.
+struct ObjectiveCore<U> {
     utilities: Vec<U>,
     /// Per-OD nonnegative weights (1 for the paper's formulation; composite
     /// multi-task problems weight their sub-tasks).
@@ -173,154 +207,18 @@ pub struct PlacementObjective<U: Utility = SreUtility> {
     row_entries: Vec<(usize, f64)>,
     rate_model: RateModel,
     dim: usize,
-    parallel: ParallelConfig,
-    scratch: ScratchPool,
-    /// Observability sink (disabled by default — a single branch per
-    /// evaluation). See [`PlacementObjective::with_recorder`].
-    recorder: Recorder,
 }
 
-impl PlacementObjective<SreUtility> {
-    /// Builds the paper's objective for `task` under the given rate model.
-    pub fn new(task: &MeasurementTask, index: &ReducedIndex, rate_model: RateModel) -> Self {
-        let utilities: Vec<SreUtility> = task
-            .ods()
-            .iter()
-            .map(|o| SreUtility::new(o.inv_mean_size))
-            .collect();
-        let rows = task_rows(task, index);
-        let weights = vec![1.0; utilities.len()];
-        PlacementObjective::from_parts(utilities, weights, rows, rate_model, index.dim())
-    }
-}
-
-/// The sparse `(variable, r_{k,i})` rows of a task against an index.
-pub(crate) fn task_rows(task: &MeasurementTask, index: &ReducedIndex) -> Vec<Vec<(usize, f64)>> {
-    (0..task.ods().len())
-        .map(|k| {
-            task.routing()
-                .links_of_od(k)
-                .into_iter()
-                .filter_map(|l| index.var(l).map(|v| (v, task.routing().entry(k, l))))
-                .collect()
-        })
-        .collect()
-}
-
-impl<U: Utility> PlacementObjective<U> {
-    /// Builds an objective from explicit parts: per-OD utilities, weights,
-    /// sparse routing rows and the variable count. Used by composite
-    /// multi-task problems and custom measurement tasks.
-    ///
-    /// # Panics
-    /// Panics if lengths disagree, a weight is negative, or a row references
-    /// a variable ≥ `dim`.
-    pub fn from_parts(
-        utilities: Vec<U>,
-        weights: Vec<f64>,
-        rows: Vec<Vec<(usize, f64)>>,
-        rate_model: RateModel,
-        dim: usize,
-    ) -> Self {
-        assert_eq!(
-            utilities.len(),
-            rows.len(),
-            "utilities/rows length mismatch"
-        );
-        assert_eq!(
-            utilities.len(),
-            weights.len(),
-            "utilities/weights length mismatch"
-        );
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be ≥ 0");
-        for row in &rows {
-            for &(v, r) in row {
-                assert!(v < dim, "row references variable {v} ≥ dim {dim}");
-                assert!(
-                    (0.0..=1.0).contains(&r),
-                    "routing fraction {r} out of [0,1]"
-                );
-            }
-        }
-        // Flatten to CSR: one contiguous entry array plus row offsets.
-        let mut row_offsets = Vec::with_capacity(rows.len() + 1);
-        let mut row_entries = Vec::with_capacity(rows.iter().map(Vec::len).sum());
-        row_offsets.push(0);
-        for row in rows {
-            row_entries.extend(row);
-            row_offsets.push(row_entries.len());
-        }
-        PlacementObjective {
-            utilities,
-            weights,
-            row_offsets,
-            row_entries,
-            rate_model,
-            dim,
-            parallel: ParallelConfig::default(),
-            scratch: ScratchPool::default(),
-            recorder: Recorder::disabled(),
-        }
-    }
-
-    /// Sets the evaluation fan-out configuration (builder style; the default
-    /// is serial).
-    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
-        self.parallel = parallel;
-        self
-    }
-
-    /// Attaches an observability recorder (builder style; the default is the
-    /// disabled no-op sink). With a live recorder, every evaluation bumps
-    /// `eval_calls_total`, and the parallel fan-out additionally records the
-    /// worker count (`eval_workers` gauge), chunk totals
-    /// (`eval_chunks_total`) and per-chunk wall time (`eval_chunk_ms`
-    /// histogram) — the utilization signal: even chunk times mean the
-    /// fan-out is balanced.
-    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
-        self.recorder = recorder;
-        self
-    }
-
-    /// The current evaluation fan-out configuration.
-    pub fn parallel_config(&self) -> ParallelConfig {
-        self.parallel
-    }
-
-    /// Number of OD rows.
-    pub fn num_ods(&self) -> usize {
+impl<U: Utility> ObjectiveCore<U> {
+    fn num_ods(&self) -> usize {
         self.row_offsets.len() - 1
     }
 
-    /// Total `(variable, fraction)` entries across all rows.
-    pub fn nnz(&self) -> usize {
-        self.row_entries.len()
-    }
-
-    /// Number of optimization variables.
-    pub fn dim(&self) -> usize {
-        self.dim
-    }
-
-    /// The per-OD utilities.
-    pub fn utilities(&self) -> &[U] {
-        &self.utilities
-    }
-
-    /// The per-OD weights.
-    pub fn weights(&self) -> &[f64] {
-        &self.weights
-    }
-
-    /// The sparse routing row of OD `k`: `(variable, r_{k,i})` pairs over
-    /// the candidate links it traverses.
-    pub fn row(&self, k: usize) -> &[(usize, f64)] {
+    fn row(&self, k: usize) -> &[(usize, f64)] {
         &self.row_entries[self.row_offsets[k]..self.row_offsets[k + 1]]
     }
 
-    /// Effective sampling rate of OD `k` at rates `p` under this objective's
-    /// rate model, clamped into `[0, 1]`.
-    pub fn effective_rate(&self, k: usize, p: &Vector) -> f64 {
+    fn effective_rate(&self, k: usize, p: &Vector) -> f64 {
         match self.rate_model {
             RateModel::Approximate => self
                 .row(k)
@@ -337,13 +235,6 @@ impl<U: Utility> PlacementObjective<U> {
                 (1.0 - miss).clamp(0.0, 1.0)
             }
         }
-    }
-
-    /// All per-OD effective rates at `p`.
-    pub fn effective_rates(&self, p: &Vector) -> Vec<f64> {
-        (0..self.num_ods())
-            .map(|k| self.effective_rate(k, p))
-            .collect()
     }
 
     /// Objective value restricted to the OD rows in `ks`.
@@ -432,41 +323,387 @@ impl<U: Utility> PlacementObjective<U> {
         })
         .sum()
     }
+
+    /// Fused single-pass kernel over the OD rows in `ks`: value, `φ'(0)` and
+    /// `φ''(0)` along `s` (when given), and the gradient accumulated into
+    /// `grad` (when given) — with `ρ_k`, `M'`, `M''` computed **once** per
+    /// row instead of once per kernel. Returns `(value, derivative,
+    /// curvature)`.
+    ///
+    /// Memory-traffic argument: for nnz-dominated instances each of the four
+    /// separate kernels streams the whole CSR entry array through the cache;
+    /// the fused kernel streams it once and amortizes the utility-derivative
+    /// evaluations, so a Newton line-search probe (`φ'` + `φ''`) costs one
+    /// sweep instead of two, and the solver's per-iteration value+gradient
+    /// costs one instead of two.
+    fn fused_over(
+        &self,
+        ks: Range<usize>,
+        p: &Vector,
+        s: Option<&Vector>,
+        mut grad: Option<&mut [f64]>,
+    ) -> (f64, f64, f64) {
+        let (mut value, mut derivative, mut curvature) = (0.0_f64, 0.0_f64, 0.0_f64);
+        for k in ks {
+            let rho = self.effective_rate(k, p);
+            let w = self.weights[k];
+            let u = &self.utilities[k];
+            value += w * u.value(rho);
+            let m1 = w * u.d1(rho);
+            let m2 = w * u.d2(rho);
+            match self.rate_model {
+                RateModel::Approximate => {
+                    let mut drho = 0.0;
+                    for &(v, r) in self.row(k) {
+                        if let Some(g) = grad.as_deref_mut() {
+                            g[v] += m1 * r;
+                        }
+                        if let Some(s) = s {
+                            drho += r * s[v];
+                        }
+                    }
+                    derivative += m1 * drho;
+                    curvature += m2 * drho * drho;
+                }
+                RateModel::Exact => {
+                    let miss = 1.0 - rho;
+                    let (mut s1, mut s2) = (0.0_f64, 0.0_f64);
+                    for &(v, r) in self.row(k) {
+                        let q = (1.0 - p[v]).max(1e-12);
+                        if let Some(g) = grad.as_deref_mut() {
+                            g[v] += m1 * r * miss / q;
+                        }
+                        if let Some(s) = s {
+                            s1 += r * s[v] / q;
+                            s2 += r * s[v] * s[v] / (q * q);
+                        }
+                    }
+                    let drho = miss * s1;
+                    let ddrho = miss * (s2 - s1 * s1);
+                    derivative += m1 * drho;
+                    curvature += m2 * drho * drho + m1 * ddrho;
+                }
+            }
+        }
+        (value, derivative, curvature)
+    }
 }
 
-impl<U: Utility + Sync> PlacementObjective<U> {
-    /// Reduces `eval` over all OD rows, fanning out across scoped threads
-    /// when the [`ParallelConfig`] warrants it. Chunk partials are summed in
-    /// chunk order, so the result is deterministic for a fixed worker count.
-    fn par_reduce<F>(&self, eval: F) -> f64
-    where
-        F: Fn(Range<usize>) -> f64 + Sync,
-    {
-        let n = self.num_ods();
-        let workers = self.parallel.workers_for(n);
-        self.recorder.counter_add("eval_calls_total", 1);
-        if workers <= 1 {
-            return eval(0..n);
-        }
-        let chunk = n.div_ceil(workers);
-        let num_chunks = n.div_ceil(chunk);
-        self.record_fanout(num_chunks);
-        let enabled = self.recorder.is_enabled();
-        let mut partials = vec![0.0f64; num_chunks];
-        std::thread::scope(|scope| {
-            for (w, slot) in partials.iter_mut().enumerate() {
-                let eval = &eval;
-                let rec = &self.recorder;
-                scope.spawn(move || {
-                    let t0 = enabled.then(Instant::now);
-                    *slot = eval(w * chunk..((w + 1) * chunk).min(n));
-                    if let Some(t0) = t0 {
-                        rec.observe("eval_chunk_ms", t0.elapsed().as_secs_f64() * 1e3);
-                    }
-                });
+/// Which kernel a pooled chunk task runs.
+#[derive(Debug, Clone, Copy)]
+enum KernelKind {
+    Value,
+    DirDerivative,
+    Curvature,
+    Gradient,
+    Fused { grad: bool },
+}
+
+/// The paper's objective `Σ_k w_k·M_k(ρ_k(p))` over the reduced variables,
+/// generic over the per-OD utility type (the paper's [`SreUtility`] by
+/// default; any [`Utility`] works — §VI anticipates anomaly-detection and
+/// performance-analysis utilities).
+pub struct PlacementObjective<U: Utility = SreUtility> {
+    core: Arc<ObjectiveCore<U>>,
+    parallel: ParallelConfig,
+    scratch: ScratchPool,
+    /// Resolved worker pool; `None` means every evaluation is serial. Set by
+    /// [`PlacementObjective::with_parallel`] (auto, capped at the core
+    /// count) or [`PlacementObjective::with_pool`] (explicit).
+    pool: Option<EvalPool>,
+    /// Whether `pool` was attached explicitly (and must survive later
+    /// `with_parallel` calls).
+    pool_forced: bool,
+    /// The most recent pool failure, kept for diagnosis: the infallible
+    /// [`Objective`] surface reports pool errors as NaN results (which the
+    /// solver turns into a typed `NonFiniteObjective` error) and parks the
+    /// underlying cause here.
+    last_pool_error: Mutex<Option<PoolError>>,
+    /// Observability sink (disabled by default — a single branch per
+    /// evaluation). See [`PlacementObjective::with_recorder`].
+    recorder: Recorder,
+}
+
+impl PlacementObjective<SreUtility> {
+    /// Builds the paper's objective for `task` under the given rate model.
+    pub fn new(task: &MeasurementTask, index: &ReducedIndex, rate_model: RateModel) -> Self {
+        let utilities: Vec<SreUtility> = task
+            .ods()
+            .iter()
+            .map(|o| SreUtility::new(o.inv_mean_size))
+            .collect();
+        let rows = task_rows(task, index);
+        let weights = vec![1.0; utilities.len()];
+        PlacementObjective::from_parts(utilities, weights, rows, rate_model, index.dim())
+    }
+}
+
+/// The sparse `(variable, r_{k,i})` rows of a task against an index.
+pub(crate) fn task_rows(task: &MeasurementTask, index: &ReducedIndex) -> Vec<Vec<(usize, f64)>> {
+    (0..task.ods().len())
+        .map(|k| {
+            task.routing()
+                .links_of_od(k)
+                .into_iter()
+                .filter_map(|l| index.var(l).map(|v| (v, task.routing().entry(k, l))))
+                .collect()
+        })
+        .collect()
+}
+
+impl<U: Utility> PlacementObjective<U> {
+    /// Builds an objective from explicit parts: per-OD utilities, weights,
+    /// sparse routing rows and the variable count. Used by composite
+    /// multi-task problems and custom measurement tasks.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree, a weight is negative, or a row references
+    /// a variable ≥ `dim`.
+    pub fn from_parts(
+        utilities: Vec<U>,
+        weights: Vec<f64>,
+        rows: Vec<Vec<(usize, f64)>>,
+        rate_model: RateModel,
+        dim: usize,
+    ) -> Self {
+        assert_eq!(
+            utilities.len(),
+            rows.len(),
+            "utilities/rows length mismatch"
+        );
+        assert_eq!(
+            utilities.len(),
+            weights.len(),
+            "utilities/weights length mismatch"
+        );
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be ≥ 0");
+        for row in &rows {
+            for &(v, r) in row {
+                assert!(v < dim, "row references variable {v} ≥ dim {dim}");
+                assert!(
+                    (0.0..=1.0).contains(&r),
+                    "routing fraction {r} out of [0,1]"
+                );
             }
-        });
-        partials.iter().sum()
+        }
+        // Flatten to CSR: one contiguous entry array plus row offsets.
+        let mut row_offsets = Vec::with_capacity(rows.len() + 1);
+        let mut row_entries = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        row_offsets.push(0);
+        for row in rows {
+            row_entries.extend(row);
+            row_offsets.push(row_entries.len());
+        }
+        PlacementObjective {
+            core: Arc::new(ObjectiveCore {
+                utilities,
+                weights,
+                row_offsets,
+                row_entries,
+                rate_model,
+                dim,
+            }),
+            parallel: ParallelConfig::default(),
+            scratch: ScratchPool::default(),
+            pool: None,
+            pool_forced: false,
+            last_pool_error: Mutex::new(None),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Sets the evaluation fan-out configuration (builder style; the default
+    /// is serial) and resolves the worker pool for it: when the config
+    /// requests more than one worker for this instance — after the
+    /// `min_nnz_parallel` cutoff and a cap at the machine's core count — a
+    /// process-wide [`EvalPool`] of that size is attached (created on first
+    /// use, shared across objectives). Threads are therefore created once
+    /// per configuration, not once per evaluation.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        if !self.pool_forced {
+            self.pool = self.auto_pool();
+        }
+        self
+    }
+
+    /// Attaches an explicit worker pool (builder style), bypassing the
+    /// core-count cap of [`PlacementObjective::with_parallel`] — the hook
+    /// tests and benchmarks use to exercise real multi-worker fan-out on
+    /// any machine. The `min_ods_per_thread` / `min_nnz_parallel` cutoffs
+    /// of the current [`ParallelConfig`] still apply per call.
+    pub fn with_pool(mut self, pool: EvalPool) -> Self {
+        self.pool = Some(pool);
+        self.pool_forced = true;
+        self
+    }
+
+    /// The pool serving this instance's parallel path, if any.
+    pub fn pool(&self) -> Option<&EvalPool> {
+        self.pool.as_ref()
+    }
+
+    /// The most recent worker-pool failure, if any. The [`Objective`]
+    /// methods are infallible, so a pool failure (worker panic,
+    /// disconnected channel) yields NaN results — which the solver reports
+    /// as [`nws_solver::SolverError::NonFiniteObjective`] — and the typed
+    /// cause is retained here.
+    pub fn last_pool_error(&self) -> Option<PoolError> {
+        self.last_pool_error
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Resolves the shared pool the current config warrants for this
+    /// instance, or `None` for the serial path.
+    fn auto_pool(&self) -> Option<EvalPool> {
+        if self.core.row_entries.len() < self.parallel.min_nnz_parallel {
+            return None;
+        }
+        let workers = self
+            .parallel
+            .workers_for(self.core.num_ods())
+            .min(available_cores());
+        (workers > 1).then(|| EvalPool::global(workers))
+    }
+
+    /// Attaches an observability recorder (builder style; the default is the
+    /// disabled no-op sink). With a live recorder, every evaluation bumps
+    /// `eval_calls_total` (fused-kernel calls additionally
+    /// `eval_fused_calls_total`), and the parallel fan-out records the
+    /// worker count (`eval_workers` gauge), chunk totals
+    /// (`eval_chunks_total`, `pool_tasks_dispatched_total`), worker
+    /// park/wake cycles (`pool_wake_cycles_total`) and per-chunk wall time
+    /// (`eval_chunk_ms` histogram) — the utilization signal: even chunk
+    /// times mean the fan-out is balanced.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The current evaluation fan-out configuration.
+    pub fn parallel_config(&self) -> ParallelConfig {
+        self.parallel
+    }
+
+    /// Number of OD rows.
+    pub fn num_ods(&self) -> usize {
+        self.core.num_ods()
+    }
+
+    /// Total `(variable, fraction)` entries across all rows.
+    pub fn nnz(&self) -> usize {
+        self.core.row_entries.len()
+    }
+
+    /// Number of optimization variables.
+    pub fn dim(&self) -> usize {
+        self.core.dim
+    }
+
+    /// The per-OD utilities.
+    pub fn utilities(&self) -> &[U] {
+        &self.core.utilities
+    }
+
+    /// The per-OD weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.core.weights
+    }
+
+    /// The sparse routing row of OD `k`: `(variable, r_{k,i})` pairs over
+    /// the candidate links it traverses.
+    pub fn row(&self, k: usize) -> &[(usize, f64)] {
+        self.core.row(k)
+    }
+
+    /// Effective sampling rate of OD `k` at rates `p` under this objective's
+    /// rate model, clamped into `[0, 1]`.
+    pub fn effective_rate(&self, k: usize, p: &Vector) -> f64 {
+        self.core.effective_rate(k, p)
+    }
+
+    /// All per-OD effective rates at `p`.
+    pub fn effective_rates(&self, p: &Vector) -> Vec<f64> {
+        (0..self.num_ods())
+            .map(|k| self.effective_rate(k, p))
+            .collect()
+    }
+}
+
+impl<U: Utility + Send + Sync + 'static> PlacementObjective<U> {
+    /// The per-call fan-out plan: the pool plus the chunk ranges, or `None`
+    /// when this evaluation should run serially (no pool attached, instance
+    /// below the `min_nnz_parallel` cutoff, or too few rows per worker).
+    fn plan(&self) -> Option<(&EvalPool, Vec<Range<usize>>)> {
+        let pool = self.pool.as_ref()?;
+        let n = self.core.num_ods();
+        if self.core.row_entries.len() < self.parallel.min_nnz_parallel {
+            return None;
+        }
+        let by_work = (n / self.parallel.min_ods_per_thread.max(1)).max(1);
+        let chunks = pool.threads().min(by_work).min(n.max(1));
+        if chunks <= 1 {
+            return None;
+        }
+        let chunk = n.div_ceil(chunks);
+        let num_chunks = n.div_ceil(chunk);
+        let ranges = (0..num_chunks)
+            .map(|w| w * chunk..((w + 1) * chunk).min(n))
+            .collect();
+        Some((pool, ranges))
+    }
+
+    /// Builds the `'static` chunk task for one evaluation: an `Arc` of the
+    /// shared core plus owned copies of the O(dim) inputs `p`/`s` — cheap
+    /// next to the O(nnz) row sweep, and what keeps the engine free of
+    /// `unsafe` lifetime plumbing under `forbid(unsafe_code)`.
+    fn chunk_task(&self, kind: KernelKind, p: &Vector, s: Option<&Vector>) -> ChunkTask {
+        let core = Arc::clone(&self.core);
+        let p = p.clone();
+        let s = s.cloned();
+        let rec = self.recorder.clone();
+        let enabled = rec.is_enabled();
+        Arc::new(move |range: Range<usize>, scratch: &mut [f64]| {
+            let t0 = enabled.then(Instant::now);
+            let out = match kind {
+                KernelKind::Value => ChunkOut {
+                    value: core.value_over(range, &p),
+                    ..ChunkOut::default()
+                },
+                KernelKind::DirDerivative => ChunkOut {
+                    derivative: core.dir_derivative_over(range, &p, s.as_ref().expect("direction")),
+                    ..ChunkOut::default()
+                },
+                KernelKind::Curvature => ChunkOut {
+                    curvature: core.curvature_over(range, &p, s.as_ref().expect("direction")),
+                    ..ChunkOut::default()
+                },
+                KernelKind::Gradient => {
+                    core.accumulate_gradient_over(range, &p, scratch);
+                    ChunkOut {
+                        grad_in_scratch: true,
+                        ..ChunkOut::default()
+                    }
+                }
+                KernelKind::Fused { grad } => {
+                    let gslice = if grad { Some(&mut *scratch) } else { None };
+                    let (value, derivative, curvature) =
+                        core.fused_over(range, &p, s.as_ref(), gslice);
+                    ChunkOut {
+                        value,
+                        derivative,
+                        curvature,
+                        grad_in_scratch: grad,
+                    }
+                }
+            };
+            if let Some(t0) = t0 {
+                rec.observe("eval_chunk_ms", t0.elapsed().as_secs_f64() * 1e3);
+            }
+            out
+        })
     }
 
     /// Records the fan-out shape of one parallel evaluation.
@@ -474,72 +711,215 @@ impl<U: Utility + Sync> PlacementObjective<U> {
         self.recorder.gauge_set("eval_workers", num_chunks as f64);
         self.recorder
             .counter_add("eval_chunks_total", num_chunks as u64);
+        self.recorder
+            .counter_add("pool_tasks_dispatched_total", num_chunks as u64);
+    }
+
+    /// Dispatches chunk tasks to the pool, recording wake cycles. The wake
+    /// delta is read off the shared pool's counters, so concurrent
+    /// dispatchers may inflate each other's attribution slightly — the
+    /// totals stay exact.
+    fn run_pooled(
+        &self,
+        pool: &EvalPool,
+        ranges: &[Range<usize>],
+        task: ChunkTask,
+        scratch_for: impl FnMut(usize) -> Vec<f64>,
+    ) -> Result<Vec<(ChunkOut, Vec<f64>)>, PoolError> {
+        self.record_fanout(ranges.len());
+        let wakes_before = self.recorder.is_enabled().then(|| pool.stats().wakes);
+        let result = pool.run(ranges, task, scratch_for);
+        if let Some(before) = wakes_before {
+            self.recorder.counter_add(
+                "pool_wake_cycles_total",
+                pool.stats().wakes.saturating_sub(before),
+            );
+        }
+        result
+    }
+
+    /// Registers a pool failure and returns the NaN the infallible
+    /// [`Objective`] surface reports (the solver converts it into a typed
+    /// [`nws_solver::SolverError::NonFiniteObjective`]).
+    fn poison(&self, err: PoolError) -> f64 {
+        self.recorder.counter_add("eval_pool_errors_total", 1);
+        *self
+            .last_pool_error
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(err);
+        f64::NAN
+    }
+
+    /// Reduces one scalar kernel over all OD rows, fanning out to the pool
+    /// when the plan warrants it. Chunk partials are summed in chunk order,
+    /// so the result is deterministic for a fixed worker count.
+    fn eval_scalar(&self, kind: KernelKind, p: &Vector, s: Option<&Vector>) -> f64 {
+        self.recorder.counter_add("eval_calls_total", 1);
+        let n = self.core.num_ods();
+        let Some((pool, ranges)) = self.plan() else {
+            return match kind {
+                KernelKind::Value => self.core.value_over(0..n, p),
+                KernelKind::DirDerivative => {
+                    self.core
+                        .dir_derivative_over(0..n, p, s.expect("direction"))
+                }
+                KernelKind::Curvature => self.core.curvature_over(0..n, p, s.expect("direction")),
+                KernelKind::Gradient | KernelKind::Fused { .. } => {
+                    unreachable!("scalar kernels only")
+                }
+            };
+        };
+        match self.run_pooled(pool, &ranges, self.chunk_task(kind, p, s), |_| Vec::new()) {
+            Ok(outs) => outs
+                .iter()
+                .map(|(o, _)| match kind {
+                    KernelKind::Value => o.value,
+                    KernelKind::DirDerivative => o.derivative,
+                    KernelKind::Curvature => o.curvature,
+                    KernelKind::Gradient | KernelKind::Fused { .. } => {
+                        unreachable!("scalar kernels only")
+                    }
+                })
+                .sum(),
+            Err(err) => self.poison(err),
+        }
     }
 
     /// Writes the full gradient into `out` (length `dim`), reusing pooled
-    /// per-worker scratch buffers in the parallel path.
+    /// per-chunk scratch buffers in the parallel path.
     fn gradient_into_slice(&self, p: &Vector, out: &mut [f64]) {
-        let n = self.num_ods();
-        out.fill(0.0);
-        let workers = self.parallel.workers_for(n);
         self.recorder.counter_add("eval_calls_total", 1);
-        if workers <= 1 {
-            self.accumulate_gradient_over(0..n, p, out);
+        out.fill(0.0);
+        let n = self.core.num_ods();
+        let Some((pool, ranges)) = self.plan() else {
+            self.core.accumulate_gradient_over(0..n, p, out);
             return;
-        }
-        let chunk = n.div_ceil(workers);
-        let num_chunks = n.div_ceil(chunk);
-        self.record_fanout(num_chunks);
-        let enabled = self.recorder.is_enabled();
-        let mut bufs: Vec<Vec<f64>> = (0..num_chunks)
-            .map(|_| self.scratch.take(self.dim))
-            .collect();
-        std::thread::scope(|scope| {
-            for (w, buf) in bufs.iter_mut().enumerate() {
-                scope.spawn(move || {
-                    let t0 = enabled.then(Instant::now);
-                    self.accumulate_gradient_over(w * chunk..((w + 1) * chunk).min(n), p, buf);
-                    if let Some(t0) = t0 {
-                        self.recorder
-                            .observe("eval_chunk_ms", t0.elapsed().as_secs_f64() * 1e3);
+        };
+        let dim = self.core.dim;
+        let task = self.chunk_task(KernelKind::Gradient, p, None);
+        match self.run_pooled(pool, &ranges, task, |_| self.scratch.take(dim)) {
+            Ok(outs) => {
+                // Merge in chunk order — deterministic for a fixed worker count.
+                for (_, buf) in outs {
+                    for (o, b) in out.iter_mut().zip(&buf) {
+                        *o += b;
                     }
-                });
+                    self.scratch.put(buf);
+                }
             }
-        });
-        // Merge in chunk order — deterministic for a fixed worker count.
-        for buf in bufs {
-            for (o, b) in out.iter_mut().zip(&buf) {
-                *o += b;
+            Err(err) => {
+                self.poison(err);
+                out.fill(f64::NAN);
             }
-            self.scratch.put(buf);
+        }
+    }
+
+    /// Fused single-CSR-pass evaluation: the objective value, the first and
+    /// second directional derivatives along `s` (when given), and the full
+    /// gradient written into `grad` (when given) — all from **one** sweep
+    /// over the rows, with `ρ_k` and the utility derivatives computed once
+    /// per row. The solver's Newton line search uses this for its `φ'`/`φ''`
+    /// probes and the solve loop for its value+gradient iterations, halving
+    /// the CSR traffic of the hot path.
+    pub fn eval_fused(
+        &self,
+        p: &Vector,
+        s: Option<&Vector>,
+        mut grad: Option<&mut Vector>,
+    ) -> FusedEval {
+        self.recorder.counter_add("eval_calls_total", 1);
+        self.recorder.counter_add("eval_fused_calls_total", 1);
+        let n = self.core.num_ods();
+        let dim = self.core.dim;
+        if let Some(g) = grad.as_mut() {
+            if g.len() != dim {
+                **g = Vector::zeros(dim);
+            } else {
+                g.as_mut_slice().fill(0.0);
+            }
+        }
+        let Some((pool, ranges)) = self.plan() else {
+            let gslice = grad.map(|g| &mut g.as_mut_slice()[..]);
+            let (value, derivative, curvature) = self.core.fused_over(0..n, p, s, gslice);
+            return FusedEval {
+                value,
+                derivative,
+                curvature,
+            };
+        };
+        let want_grad = grad.is_some();
+        let task = self.chunk_task(KernelKind::Fused { grad: want_grad }, p, s);
+        let scratch_len = if want_grad { dim } else { 0 };
+        match self.run_pooled(pool, &ranges, task, |_| self.scratch.take(scratch_len)) {
+            Ok(outs) => {
+                let (mut value, mut derivative, mut curvature) = (0.0, 0.0, 0.0);
+                for (out, buf) in outs {
+                    value += out.value;
+                    derivative += out.derivative;
+                    curvature += out.curvature;
+                    if out.grad_in_scratch {
+                        if let Some(g) = grad.as_mut() {
+                            for (o, b) in g.as_mut_slice().iter_mut().zip(&buf) {
+                                *o += b;
+                            }
+                        }
+                    }
+                    self.scratch.put(buf);
+                }
+                FusedEval {
+                    value,
+                    derivative,
+                    curvature,
+                }
+            }
+            Err(err) => {
+                let nan = self.poison(err);
+                if let Some(g) = grad.as_mut() {
+                    g.as_mut_slice().fill(nan);
+                }
+                FusedEval {
+                    value: nan,
+                    derivative: nan,
+                    curvature: nan,
+                }
+            }
         }
     }
 }
 
-impl<U: Utility + Sync> Objective for PlacementObjective<U> {
+impl<U: Utility + Send + Sync + 'static> Objective for PlacementObjective<U> {
     fn value(&self, p: &Vector) -> f64 {
-        self.par_reduce(|ks| self.value_over(ks, p))
+        self.eval_scalar(KernelKind::Value, p, None)
     }
 
     fn gradient(&self, p: &Vector) -> Vector {
-        let mut g = Vector::zeros(self.dim);
+        let mut g = Vector::zeros(self.core.dim);
         self.gradient_into_slice(p, g.as_mut_slice());
         g
     }
 
     fn curvature_along(&self, p: &Vector, s: &Vector) -> f64 {
-        self.par_reduce(|ks| self.curvature_over(ks, p, s))
+        self.eval_scalar(KernelKind::Curvature, p, Some(s))
     }
 
     fn gradient_into(&self, p: &Vector, out: &mut Vector) {
-        if out.len() != self.dim {
-            *out = Vector::zeros(self.dim);
+        if out.len() != self.core.dim {
+            *out = Vector::zeros(self.core.dim);
         }
         self.gradient_into_slice(p, out.as_mut_slice());
     }
 
     fn directional_derivative(&self, p: &Vector, s: &Vector) -> f64 {
-        self.par_reduce(|ks| self.dir_derivative_over(ks, p, s))
+        self.eval_scalar(KernelKind::DirDerivative, p, Some(s))
+    }
+
+    fn derivatives_along(&self, p: &Vector, s: &Vector) -> (f64, f64) {
+        let fused = self.eval_fused(p, Some(s), None);
+        (fused.derivative, fused.curvature)
+    }
+
+    fn value_and_gradient_into(&self, p: &Vector, out: &mut Vector) -> f64 {
+        self.eval_fused(p, None, Some(out)).value
     }
 }
 
@@ -580,6 +960,16 @@ mod tests {
             .theta(50_000.0)
             .build()
             .unwrap()
+    }
+
+    /// A config that disables both auto-serial cutoffs, so an explicitly
+    /// attached pool is actually exercised on toy instances.
+    fn force_parallel(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            min_ods_per_thread: 1,
+            min_nnz_parallel: 0,
+        }
     }
 
     #[test]
@@ -685,12 +1075,33 @@ mod tests {
         let cfg = ParallelConfig {
             threads: 8,
             min_ods_per_thread: 10,
+            ..ParallelConfig::default()
         };
         assert_eq!(cfg.workers_for(5), 1, "too little work: serial");
         assert_eq!(cfg.workers_for(25), 2);
         assert_eq!(cfg.workers_for(10_000), 8);
         assert_eq!(ParallelConfig::default().workers_for(1_000_000), 1);
         assert!(ParallelConfig::with_threads(0).workers_for(1 << 20) >= 1);
+    }
+
+    #[test]
+    fn nnz_cutoff_keeps_tiny_instances_serial() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        // Defaults: GEANT-sized nnz sits far below `min_nnz_parallel`, so
+        // even an 8-thread request resolves to the serial path.
+        let obj = PlacementObjective::new(&task, &idx, RateModel::Approximate)
+            .with_parallel(ParallelConfig::with_threads(8));
+        assert!(obj.nnz() < ParallelConfig::default().min_nnz_parallel);
+        assert!(obj.pool().is_none(), "tiny instance must stay serial");
+        // An explicitly attached pool still respects the per-call cutoff:
+        // with the default config it is never actually used.
+        let forced = PlacementObjective::new(&task, &idx, RateModel::Approximate)
+            .with_pool(EvalPool::new(2));
+        let p = Vector::filled(idx.dim(), 1e-3);
+        let dispatches_before = forced.pool().unwrap().stats().dispatches;
+        forced.value(&p);
+        assert_eq!(forced.pool().unwrap().stats().dispatches, dispatches_before);
     }
 
     #[test]
@@ -704,11 +1115,9 @@ mod tests {
         for model in [RateModel::Approximate, RateModel::Exact] {
             let serial = PlacementObjective::new(&task, &idx, model);
             for threads in [2, 4, 8] {
-                let par =
-                    PlacementObjective::new(&task, &idx, model).with_parallel(ParallelConfig {
-                        threads,
-                        min_ods_per_thread: 1,
-                    });
+                let par = PlacementObjective::new(&task, &idx, model)
+                    .with_parallel(force_parallel(threads))
+                    .with_pool(EvalPool::new(threads));
                 let (v0, v1) = (serial.value(&p), par.value(&p));
                 assert!(
                     (v0 - v1).abs() <= 1e-12 * v0.abs().max(1.0),
@@ -733,14 +1142,62 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernel_matches_separate_kernels() {
+        let task = small_task();
+        let idx = ReducedIndex::new(&task);
+        let p: Vector = (0..idx.dim()).map(|v| 2e-3 * (v as f64 + 1.0)).collect();
+        let s: Vector = (0..idx.dim())
+            .map(|v| if v % 3 == 0 { 1.0 } else { -0.4 })
+            .collect();
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            for threads in [1, 4] {
+                let obj = if threads == 1 {
+                    PlacementObjective::new(&task, &idx, model)
+                } else {
+                    PlacementObjective::new(&task, &idx, model)
+                        .with_parallel(force_parallel(threads))
+                        .with_pool(EvalPool::new(threads))
+                };
+                let mut grad = Vector::zeros(idx.dim());
+                let fused = obj.eval_fused(&p, Some(&s), Some(&mut grad));
+                let tol = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0);
+                assert!(
+                    tol(fused.value, obj.value(&p)),
+                    "{model:?} x{threads} value"
+                );
+                assert!(
+                    tol(fused.derivative, obj.directional_derivative(&p, &s)),
+                    "{model:?} x{threads} derivative: {} vs {}",
+                    fused.derivative,
+                    obj.directional_derivative(&p, &s)
+                );
+                assert!(
+                    tol(fused.curvature, obj.curvature_along(&p, &s)),
+                    "{model:?} x{threads} curvature"
+                );
+                let g = obj.gradient(&p);
+                for v in 0..idx.dim() {
+                    assert!(tol(grad[v], g[v]), "{model:?} x{threads} grad var {v}");
+                }
+                // Trait-level fused entry points agree too.
+                let (d, c) = obj.derivatives_along(&p, &s);
+                assert!(tol(d, fused.derivative) && tol(c, fused.curvature));
+                let mut g2 = Vector::zeros(idx.dim());
+                let v2 = obj.value_and_gradient_into(&p, &mut g2);
+                assert!(tol(v2, fused.value));
+                assert_eq!(g2, obj.gradient(&p));
+            }
+        }
+    }
+
+    #[test]
     fn gradient_into_reuses_buffer_and_matches() {
         let task = small_task();
         let idx = ReducedIndex::new(&task);
         for model in [RateModel::Approximate, RateModel::Exact] {
-            let obj = PlacementObjective::new(&task, &idx, model).with_parallel(ParallelConfig {
-                threads: 4,
-                min_ods_per_thread: 1,
-            });
+            let obj = PlacementObjective::new(&task, &idx, model)
+                .with_parallel(force_parallel(4))
+                .with_pool(EvalPool::new(4));
             let mut out = Vector::zeros(idx.dim());
             for step in 1..4 {
                 let p = Vector::filled(idx.dim(), 1e-3 * step as f64);

@@ -22,8 +22,11 @@ pub struct PlacementConfig {
     pub rate_model: RateModel,
     /// Underlying solver options (iteration cap 2000 etc.).
     pub solver: SolverOptions,
-    /// Objective-evaluation fan-out (default: serial). Worth enabling only
-    /// on tasks with thousands of OD rows; see [`ParallelConfig`].
+    /// Objective-evaluation fan-out (default: serial). With `threads != 1`
+    /// the objective attaches a shared persistent worker pool
+    /// ([`crate::EvalPool`]) sized to `min(requested, cores)`; tiny
+    /// instances below the nnz cutoff stay serial regardless. See
+    /// [`ParallelConfig`].
     pub parallel: ParallelConfig,
 }
 

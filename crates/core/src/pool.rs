@@ -1,0 +1,401 @@
+//! Persistent evaluation worker pool.
+//!
+//! The objective-evaluation engine is embarrassingly parallel over OD rows,
+//! but a solver iteration performs many small evaluations (one per line-search
+//! probe), so spawning threads per call — as the PR-1 engine did with
+//! [`std::thread::scope`] — costs more than the row sweep it parallelizes.
+//! [`EvalPool`] fixes the lifecycle: worker threads are created **once**,
+//! park on their job channel between calls, and are fed chunk tasks through a
+//! per-call reply channel. The dispatching thread collects one reply per
+//! chunk and merges them in chunk order, so results are deterministic for a
+//! fixed chunk count regardless of completion order.
+//!
+//! Failure contract: a panic inside a chunk task is caught on the worker
+//! (`catch_unwind`), reported back as [`PoolError::WorkerPanicked`], and the
+//! worker returns to its channel — the pool stays usable and the caller gets
+//! a typed error instead of a hang or an aborted process. A worker that
+//! disappears entirely (its channel disconnects) surfaces as
+//! [`PoolError::Disconnected`].
+//!
+//! Dropping the last handle to a pool closes every job channel and joins the
+//! workers — clean shutdown with no detached threads.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Partial result of one chunk evaluation, merged slot-by-slot by the
+/// dispatcher. Scalar fields are summed across chunks; when
+/// `grad_in_scratch` is set the chunk's scratch buffer holds a partial
+/// gradient to accumulate (in slot order, for determinism).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChunkOut {
+    /// Partial objective value.
+    pub value: f64,
+    /// Partial first directional derivative.
+    pub derivative: f64,
+    /// Partial second directional derivative.
+    pub curvature: f64,
+    /// Whether the scratch buffer carries a partial gradient.
+    pub grad_in_scratch: bool,
+}
+
+/// A chunk task: evaluates one contiguous OD-row range into a [`ChunkOut`],
+/// optionally accumulating a partial gradient into the scratch slice.
+pub type ChunkTask = Arc<dyn Fn(Range<usize>, &mut [f64]) -> ChunkOut + Send + Sync>;
+
+/// Typed pool failures. See the module docs for the failure contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A chunk task panicked on a worker; the panic was caught and the pool
+    /// remains usable.
+    WorkerPanicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A worker's channel disconnected mid-evaluation (the worker thread
+    /// died outside the catch-unwind guard, or the pool is shutting down).
+    Disconnected,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { message } => {
+                write!(f, "evaluation worker panicked: {message}")
+            }
+            PoolError::Disconnected => write!(f, "evaluation worker channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Monotonic counters of one pool's lifetime activity (a snapshot; the pool
+/// keeps counting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fan-out evaluations dispatched (one per `run` call).
+    pub dispatches: u64,
+    /// Chunk tasks handed to workers across all dispatches.
+    pub tasks: u64,
+    /// Worker park/wake cycles (a worker waking from its channel to run one
+    /// task). Equals `tasks` unless jobs queue behind a busy worker.
+    pub wakes: u64,
+    /// Chunk tasks that panicked (caught and reported as typed errors).
+    pub panics: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    dispatches: AtomicU64,
+    tasks: AtomicU64,
+    wakes: AtomicU64,
+    panics: AtomicU64,
+}
+
+struct Job {
+    task: ChunkTask,
+    range: Range<usize>,
+    slot: usize,
+    scratch: Vec<f64>,
+    reply: Sender<Reply>,
+}
+
+struct Reply {
+    slot: usize,
+    out: Result<ChunkOut, String>,
+    scratch: Vec<f64>,
+}
+
+struct PoolInner {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<StatCells>,
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        // Disconnect every job channel so workers fall out of `recv`, then
+        // join them — shutdown leaves no detached threads behind.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A long-lived pool of evaluation workers. Cheap to clone (a handle); the
+/// workers shut down when the last handle drops.
+#[derive(Clone)]
+pub struct EvalPool {
+    inner: Arc<PoolInner>,
+}
+
+impl fmt::Debug for EvalPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("threads", &self.threads())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(jobs: Receiver<Job>, stats: Arc<StatCells>) {
+    while let Ok(job) = jobs.recv() {
+        stats.wakes.fetch_add(1, Ordering::Relaxed);
+        let Job {
+            task,
+            range,
+            slot,
+            mut scratch,
+            reply,
+        } = job;
+        let out =
+            catch_unwind(AssertUnwindSafe(|| task(range, &mut scratch))).map_err(panic_message);
+        if out.is_err() {
+            stats.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        // A failed send means the dispatcher already gave up on this
+        // evaluation (e.g. another chunk panicked); drop the reply.
+        let _ = reply.send(Reply { slot, out, scratch });
+    }
+}
+
+impl EvalPool {
+    /// Spawns a pool of `threads` workers (at least one). The threads are
+    /// created here, once — evaluations only pay a channel handoff.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let stats = Arc::new(StatCells::default());
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = channel::<Job>();
+            let stats = Arc::clone(&stats);
+            let handle = std::thread::Builder::new()
+                .name(format!("nws-eval-{w}"))
+                .spawn(move || worker_loop(rx, stats))
+                .expect("spawn evaluation worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        EvalPool {
+            inner: Arc::new(PoolInner {
+                senders,
+                handles,
+                stats,
+            }),
+        }
+    }
+
+    /// A process-wide shared pool of `threads` workers, created on first use
+    /// and reused by every objective resolving the same worker count — so a
+    /// daemon re-solving in a loop spawns its evaluation threads exactly
+    /// once, not once per solve.
+    pub fn global(threads: usize) -> EvalPool {
+        static POOLS: OnceLock<Mutex<HashMap<usize, EvalPool>>> = OnceLock::new();
+        let threads = threads.max(1);
+        let mut pools = POOLS
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        pools
+            .entry(threads)
+            .or_insert_with(|| EvalPool::new(threads))
+            .clone()
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.inner.senders.len()
+    }
+
+    /// Snapshot of the pool's activity counters.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.inner.stats;
+        PoolStats {
+            dispatches: s.dispatches.load(Ordering::Relaxed),
+            tasks: s.tasks.load(Ordering::Relaxed),
+            wakes: s.wakes.load(Ordering::Relaxed),
+            panics: s.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `task` over each range, one chunk per slot, and returns the
+    /// per-chunk outputs **in slot order** together with their scratch
+    /// buffers (pre-sized by `scratch_for`; zero-length for scalar kernels).
+    ///
+    /// Chunks are distributed round-robin over the workers; the call blocks
+    /// until every chunk has replied.
+    ///
+    /// # Errors
+    /// [`PoolError::WorkerPanicked`] if any chunk task panicked (the first
+    /// panic message is reported; the pool itself remains usable), or
+    /// [`PoolError::Disconnected`] if a worker vanished.
+    pub fn run(
+        &self,
+        ranges: &[Range<usize>],
+        task: ChunkTask,
+        mut scratch_for: impl FnMut(usize) -> Vec<f64>,
+    ) -> Result<Vec<(ChunkOut, Vec<f64>)>, PoolError> {
+        let n = ranges.len();
+        self.inner.stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .tasks
+            .fetch_add(n as u64, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        for (slot, range) in ranges.iter().enumerate() {
+            let job = Job {
+                task: Arc::clone(&task),
+                range: range.clone(),
+                slot,
+                scratch: scratch_for(slot),
+                reply: reply_tx.clone(),
+            };
+            self.inner.senders[slot % self.inner.senders.len()]
+                .send(job)
+                .map_err(|_| PoolError::Disconnected)?;
+        }
+        // Drop our clone so the reply channel disconnects once every worker
+        // has answered (or died) — `recv` can never hang.
+        drop(reply_tx);
+        let mut outs: Vec<Option<(ChunkOut, Vec<f64>)>> = (0..n).map(|_| None).collect();
+        let mut first_panic: Option<String> = None;
+        for _ in 0..n {
+            match reply_rx.recv() {
+                Ok(Reply { slot, out, scratch }) => match out {
+                    Ok(chunk_out) => outs[slot] = Some((chunk_out, scratch)),
+                    Err(message) => {
+                        first_panic.get_or_insert(message);
+                    }
+                },
+                Err(_) => break,
+            }
+        }
+        if let Some(message) = first_panic {
+            return Err(PoolError::WorkerPanicked { message });
+        }
+        outs.into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or(PoolError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_task() -> ChunkTask {
+        Arc::new(|range: Range<usize>, _scratch: &mut [f64]| ChunkOut {
+            value: range.map(|i| i as f64).sum(),
+            ..ChunkOut::default()
+        })
+    }
+
+    #[test]
+    fn runs_chunks_and_merges_in_slot_order() {
+        let pool = EvalPool::new(3);
+        let ranges = vec![0..10, 10..20, 20..30, 30..40];
+        let outs = pool.run(&ranges, sum_task(), |_| Vec::new()).unwrap();
+        assert_eq!(outs.len(), 4);
+        let total: f64 = outs.iter().map(|(o, _)| o.value).sum();
+        assert_eq!(total, (0..40).sum::<usize>() as f64);
+        // Slot order preserved: chunk 0 is the 0..10 partial.
+        assert_eq!(outs[0].0.value, (0..10).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn scratch_buffers_round_trip() {
+        let pool = EvalPool::new(2);
+        let task: ChunkTask = Arc::new(|range: Range<usize>, scratch: &mut [f64]| {
+            for i in range {
+                scratch[i % scratch.len()] += 1.0;
+            }
+            ChunkOut {
+                grad_in_scratch: true,
+                ..ChunkOut::default()
+            }
+        });
+        let outs = pool.run(&[0..8, 8..16], task, |_| vec![0.0; 4]).unwrap();
+        for (out, scratch) in &outs {
+            assert!(out.grad_in_scratch);
+            assert_eq!(scratch.iter().sum::<f64>(), 8.0);
+        }
+    }
+
+    #[test]
+    fn panic_is_typed_and_pool_survives() {
+        let pool = EvalPool::new(2);
+        let boom: ChunkTask = Arc::new(|range: Range<usize>, _s: &mut [f64]| {
+            if range.start == 0 {
+                panic!("chunk exploded");
+            }
+            ChunkOut::default()
+        });
+        let err = pool.run(&[0..1, 1..2], boom, |_| Vec::new()).unwrap_err();
+        match &err {
+            PoolError::WorkerPanicked { message } => {
+                assert!(message.contains("chunk exploded"), "{message}")
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(err.to_string().contains("panicked"));
+        assert_eq!(pool.stats().panics, 1);
+        // Same pool, healthy task: still works.
+        let outs = pool
+            .run(&[0..5, 5..10], sum_task(), |_| Vec::new())
+            .unwrap();
+        assert_eq!(
+            outs.iter().map(|(o, _)| o.value).sum::<f64>(),
+            (0..10).sum::<usize>() as f64
+        );
+    }
+
+    #[test]
+    fn stats_count_dispatches_and_wakes() {
+        let pool = EvalPool::new(2);
+        for _ in 0..3 {
+            pool.run(&[0..2, 2..4], sum_task(), |_| Vec::new()).unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.dispatches, 3);
+        assert_eq!(stats.tasks, 6);
+        assert_eq!(stats.wakes, 6);
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn global_pools_are_shared_per_size() {
+        let a = EvalPool::global(3);
+        let b = EvalPool::global(3);
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+        let c = EvalPool::global(2);
+        assert!(!Arc::ptr_eq(&a.inner, &c.inner));
+        assert_eq!(EvalPool::global(0).threads(), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = EvalPool::new(4);
+        pool.run(&[0..50, 50..100], sum_task(), |_| Vec::new())
+            .unwrap();
+        drop(pool); // must not hang or leak: Drop disconnects + joins
+    }
+}

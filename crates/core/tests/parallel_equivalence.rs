@@ -4,7 +4,7 @@
 //! the serial path and the chunked multi-threaded path to 1e-12 relative,
 //! across worker counts and both rate models.
 
-use nws_core::{ParallelConfig, PlacementObjective, RateModel, ReducedIndex, SreUtility};
+use nws_core::{EvalPool, ParallelConfig, PlacementObjective, RateModel, ReducedIndex, SreUtility};
 use nws_linalg::Vector;
 use nws_solver::Objective;
 use proptest::prelude::*;
@@ -44,12 +44,23 @@ fn build(dim: usize, ods: &[OdSpec], model: RateModel, threads: usize) -> Placem
     let utilities: Vec<SreUtility> = ods.iter().map(|&(_, _, c)| SreUtility::new(c)).collect();
     let weights: Vec<f64> = ods.iter().map(|&(_, w, _)| w).collect();
     let rows: Vec<Vec<(usize, f64)>> = ods.iter().map(|(row, _, _)| row.clone()).collect();
-    PlacementObjective::from_parts(utilities, weights, rows, model, dim).with_parallel(
+    let obj = PlacementObjective::from_parts(utilities, weights, rows, model, dim).with_parallel(
+        // Disable both auto-serial cutoffs so the pooled path is really
+        // exercised on these toy instances, regardless of host core count.
         ParallelConfig {
             threads,
             min_ods_per_thread: 1,
+            min_nnz_parallel: 0,
         },
-    )
+    );
+    if threads > 1 {
+        // `with_parallel` caps the pool at the machine's cores; attach the
+        // requested size explicitly so a 1-core CI box still runs the
+        // multi-worker merge paths (shared per-size pools, cheap).
+        obj.with_pool(EvalPool::global(threads))
+    } else {
+        obj
+    }
 }
 
 proptest! {
@@ -85,6 +96,48 @@ proptest! {
                     "{model:?} x{threads}: curvature {curvature} vs {}",
                     par.curvature_along(&p, &s)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernel_agrees_with_separate_kernels((dim, ods, p, s) in objective_parts()) {
+        let p: Vector = p.into_iter().collect();
+        let s: Vector = s.into_iter().collect();
+        for model in [RateModel::Approximate, RateModel::Exact] {
+            let serial = build(dim, &ods, model, 1);
+            let value = serial.value(&p);
+            let gradient = serial.gradient(&p);
+            let curvature = serial.curvature_along(&p, &s);
+            let dir_scale = gradient.norm_inf() * s.norm_inf() * dim as f64;
+            for threads in THREAD_COUNTS {
+                let par = build(dim, &ods, model, threads);
+                let mut g = Vector::zeros(dim);
+                let fused = par.eval_fused(&p, Some(&s), Some(&mut g));
+                prop_assert!(
+                    rel_close(value, fused.value, 1e-12),
+                    "{model:?} x{threads}: value {value} vs {}",
+                    fused.value
+                );
+                prop_assert!(
+                    (fused.derivative - gradient.dot(&s)).abs() <= 1e-12 * dir_scale.max(1.0),
+                    "{model:?} x{threads}: derivative {} vs {}",
+                    fused.derivative,
+                    gradient.dot(&s)
+                );
+                prop_assert!(
+                    rel_close(curvature, fused.curvature, 1e-12),
+                    "{model:?} x{threads}: curvature {curvature} vs {}",
+                    fused.curvature
+                );
+                for v in 0..dim {
+                    prop_assert!(
+                        rel_close(gradient[v], g[v], 1e-12),
+                        "{model:?} x{threads} var {v}: {} vs {}",
+                        gradient[v],
+                        g[v]
+                    );
+                }
             }
         }
     }
@@ -132,10 +185,13 @@ fn geant_parallel_matches_serial_at_many_points() {
     for model in [RateModel::Approximate, RateModel::Exact] {
         let serial = PlacementObjective::new(&task, &idx, model);
         for threads in [2, 4, 8] {
-            let par = PlacementObjective::new(&task, &idx, model).with_parallel(ParallelConfig {
-                threads,
-                min_ods_per_thread: 1,
-            });
+            let par = PlacementObjective::new(&task, &idx, model)
+                .with_parallel(ParallelConfig {
+                    threads,
+                    min_ods_per_thread: 1,
+                    min_nnz_parallel: 0,
+                })
+                .with_pool(EvalPool::global(threads));
             for step in 0..20 {
                 let scale = 1e-4 * (step as f64 + 1.0);
                 let p: Vector = (0..idx.dim())

@@ -172,7 +172,8 @@ impl Daemon {
         W: Write + Send,
     {
         if let Some(ms) = self.opts.solve_deadline_ms {
-            self.state.set_solve_deadline(Some(Duration::from_millis(ms)));
+            self.state
+                .set_solve_deadline(Some(Duration::from_millis(ms)));
         }
         // Pre-register the degraded-serving instruments: a healthy run
         // must expose explicit zeros (absence would be ambiguous in the
@@ -399,7 +400,8 @@ impl Daemon {
         self.persistence_degraded = true;
         self.persistence_error = Some(why.to_string());
         self.recorder.gauge_set("persistence_degraded", 1.0);
-        self.recorder.counter_add("daemon_persistence_degraded_total", 1);
+        self.recorder
+            .counter_add("daemon_persistence_degraded_total", 1);
     }
 
     /// Journals a successfully applied state-changing request into the
@@ -479,7 +481,7 @@ impl Daemon {
                 false,
             ),
             Request::Health => {
-                let serving_uncertified = self.state.installed().map_or(false, |i| !i.kkt);
+                let serving_uncertified = self.state.installed().is_some_and(|i| !i.kkt);
                 let status = if self.persistence_degraded || serving_uncertified {
                     "degraded"
                 } else {
@@ -1178,7 +1180,7 @@ mod tests {
         for line in &lines {
             let shed = line
                 .get("error")
-                .map_or(false, |e| e.as_str() == Some("overloaded"));
+                .is_some_and(|e| e.as_str() == Some("overloaded"));
             if shed {
                 let hint = line.get("retry_after_ms").unwrap().as_u64().unwrap();
                 assert!((10..=30_000).contains(&hint), "hint {hint}");

@@ -336,7 +336,7 @@ impl ServiceState {
     /// this solve's budget (wall-clock deadline and/or chaos iteration
     /// cap) stamped in.
     fn budgeted_config(&self) -> PlacementConfig {
-        let mut config = self.config.clone();
+        let mut config = self.config;
         config.solver.budget = SolveBudget {
             max_iters: self.chaos.max_iters,
             deadline: self.solve_deadline.map(|d| Instant::now() + d),
@@ -1136,8 +1136,7 @@ mod tests {
         .unwrap();
         let doc = s.persisted();
 
-        let mut restored =
-            ServiceState::from_task(&janet_task(), PlacementConfig::default());
+        let mut restored = ServiceState::from_task(&janet_task(), PlacementConfig::default());
         restored.restore_persisted(&doc).unwrap();
         // The document re-encodes identically after a restore…
         assert_eq!(restored.persisted().encode(), doc.encode());
@@ -1153,11 +1152,7 @@ mod tests {
         assert_eq!(restored.snapshot_depth(), 1);
         // The restored snapshot stack is live: rollback reinstates the
         // pre-mutation objective.
-        let obj0 = doc
-            .get("stack")
-            .unwrap()
-            .as_arr()
-            .unwrap()[0]
+        let obj0 = doc.get("stack").unwrap().as_arr().unwrap()[0]
             .get("installed")
             .unwrap()
             .get("objective")
@@ -1173,40 +1168,42 @@ mod tests {
         let base = fresh();
         let good = base.persisted();
         let mut s = ServiceState::from_task(&janet_task(), PlacementConfig::default());
-        let corrupt = |edit: &dyn Fn(&mut Vec<(String, Json)>)| {
+        type Pairs = Vec<(String, Json)>;
+        let corrupt = |edit: &dyn Fn(&mut Pairs)| {
             let mut doc = good.clone();
             if let Json::Obj(pairs) = &mut doc {
                 edit(pairs);
             }
             doc
         };
-        let cases: Vec<Json> = vec![
-            corrupt(&|p| p.retain(|(k, _)| k != "version")),
-            corrupt(&|p| p[0].1 = Json::UInt(2)), // version 2
-            corrupt(&|p| {
-                p.iter_mut().find(|(k, _)| k == "theta").unwrap().1 = Json::Num(-1.0)
-            }),
-            corrupt(&|p| {
-                p.iter_mut().find(|(k, _)| k == "ods").unwrap().1 = Json::Arr(vec![])
-            }),
-            corrupt(&|p| {
-                p.iter_mut().find(|(k, _)| k == "failed").unwrap().1 = Json::Arr(vec![
-                    Json::Arr(vec![Json::Str("NOPE".into()), Json::Str("UK".into())]),
-                ])
-            }),
-            corrupt(&|p| {
-                // Rate vector of the wrong length.
-                p.iter_mut().find(|(k, _)| k == "installed").unwrap().1 = obj(vec![
-                    ("rates", Json::Arr(vec![Json::Num(0.5)])),
-                    ("objective", Json::Num(1.0)),
-                    ("lambda", Json::Num(1.0)),
-                    ("active_monitors", Json::UInt(1)),
-                    ("kkt", Json::Bool(true)),
-                ])
-            }),
-        ];
+        let cases: Vec<Json> =
+            vec![
+                corrupt(&|p| p.retain(|(k, _)| k != "version")),
+                corrupt(&|p| p[0].1 = Json::UInt(2)), // version 2
+                corrupt(&|p| p.iter_mut().find(|(k, _)| k == "theta").unwrap().1 = Json::Num(-1.0)),
+                corrupt(&|p| p.iter_mut().find(|(k, _)| k == "ods").unwrap().1 = Json::Arr(vec![])),
+                corrupt(&|p| {
+                    p.iter_mut().find(|(k, _)| k == "failed").unwrap().1 = Json::Arr(vec![
+                        Json::Arr(vec![Json::Str("NOPE".into()), Json::Str("UK".into())]),
+                    ])
+                }),
+                corrupt(&|p| {
+                    // Rate vector of the wrong length.
+                    p.iter_mut().find(|(k, _)| k == "installed").unwrap().1 = obj(vec![
+                        ("rates", Json::Arr(vec![Json::Num(0.5)])),
+                        ("objective", Json::Num(1.0)),
+                        ("lambda", Json::Num(1.0)),
+                        ("active_monitors", Json::UInt(1)),
+                        ("kkt", Json::Bool(true)),
+                    ])
+                }),
+            ];
         for doc in cases {
-            assert!(s.restore_persisted(&doc).is_err(), "accepted {}", doc.encode());
+            assert!(
+                s.restore_persisted(&doc).is_err(),
+                "accepted {}",
+                doc.encode()
+            );
             // A failed restore leaves the state untouched.
             assert!(s.installed().is_none());
         }

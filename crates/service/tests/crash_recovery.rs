@@ -77,12 +77,7 @@ fn wal_segment(dir: &Path) -> PathBuf {
     fs::read_dir(dir)
         .unwrap()
         .map(|e| e.unwrap().path())
-        .find(|p| {
-            p.file_name()
-                .unwrap()
-                .to_string_lossy()
-                .starts_with("wal-")
-        })
+        .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("wal-"))
         .expect("a WAL segment")
 }
 
@@ -123,12 +118,12 @@ fn clean_shutdown_recovers_from_snapshot_alone() {
     let second = run_daemon(&dir, "{\"cmd\":\"query_rates\"}\n{\"cmd\":\"shutdown\"}\n");
     let recovered = second[0].get("recovered").unwrap();
     assert_eq!(recovered.get("snapshot").unwrap().as_bool(), Some(true));
-    assert_eq!(
-        recovered.get("replayed_events").unwrap().as_u64(),
-        Some(0)
-    );
+    assert_eq!(recovered.get("replayed_events").unwrap().as_u64(), Some(0));
     assert!(second[0].get("resolve").is_none(), "no boot solve needed");
-    assert_eq!(second[1].get("monitors").unwrap().encode(), pre_kill_monitors);
+    assert_eq!(
+        second[1].get("monitors").unwrap().encode(),
+        pre_kill_monitors
+    );
     fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -171,8 +166,7 @@ fn crash_injection_matches_reference_replay_at_every_boundary() {
     assert_eq!(scan.records.len(), COMMANDS.len());
     let mut boundaries = vec![0usize];
     for r in &scan.records {
-        boundaries
-            .push(boundaries.last().unwrap() + frame::encode_record(r.seq, &r.payload).len());
+        boundaries.push(boundaries.last().unwrap() + frame::encode_record(r.seq, &r.payload).len());
     }
 
     // Phase 2: truncate at each boundary and at mid-record offsets;
@@ -193,9 +187,12 @@ fn crash_injection_matches_reference_replay_at_every_boundary() {
         fs::write(work.join(segment.file_name().unwrap()), &full[..cut]).unwrap();
 
         let mut recovered = fresh_state();
-        let (rec_store, report) =
-            StateStore::open(&persist_cfg(&work, 32), &mut recovered, &Recorder::disabled())
-                .unwrap();
+        let (rec_store, report) = StateStore::open(
+            &persist_cfg(&work, 32),
+            &mut recovered,
+            &Recorder::disabled(),
+        )
+        .unwrap();
         assert_eq!(report.replayed_events, survivors as u64, "cut at {cut}");
         assert_eq!(
             report.truncated_bytes,
@@ -317,8 +314,7 @@ fn live_lock_refused_and_stale_lock_reclaimed() {
     // lives.
     let mut b = fresh_state();
     let err = StateStore::open(&persist_cfg(&dir, 32), &mut b, &Recorder::disabled())
-        .err()
-        .expect("locked directory accepted");
+        .expect_err("locked directory accepted");
     assert!(err.to_string().contains("locked by a live daemon"));
     drop(held);
 

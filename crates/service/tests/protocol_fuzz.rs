@@ -18,7 +18,9 @@ fn arb_line(rng: &mut StdRng) -> Vec<u8> {
         // Pure noise, including invalid UTF-8 and NUL bytes.
         0 => {
             let len = rng.random_range(0usize..300);
-            (0..len).map(|_| rng.random_range(0u32..256) as u8).collect()
+            (0..len)
+                .map(|_| rng.random_range(0u32..256) as u8)
+                .collect()
         }
         // A valid command, mutated at one random byte.
         1 => {
@@ -60,7 +62,7 @@ fn arb_line(rng: &mut StdRng) -> Vec<u8> {
             let len = rng.random_range(1usize..5000);
             let mut line = b"{\"cmd\":\"".to_vec();
             let filler = if rng.random::<bool>() { b'9' } else { b'a' };
-            line.extend(std::iter::repeat(filler).take(len));
+            line.extend(std::iter::repeat_n(filler, len));
             line
         }
     }
@@ -102,7 +104,10 @@ fn pathological_lines_error_cleanly() {
     assert!(parse_request(&object_bomb).is_err());
 
     // A 1 MiB line of digits: rejected (or parsed) without panicking.
-    let overlong = format!("{{\"cmd\":\"set_theta\",\"theta\":{}}}", "9".repeat(1 << 20));
+    let overlong = format!(
+        "{{\"cmd\":\"set_theta\",\"theta\":{}}}",
+        "9".repeat(1 << 20)
+    );
     assert!(parse_request(&overlong).is_err() || parse_request(&overlong).is_ok());
 
     // Non-UTF-8 bytes survive lossy conversion into an error.
@@ -110,7 +115,15 @@ fn pathological_lines_error_cleanly() {
     assert!(parse_request(junk.trim()).is_err());
 
     // Valid JSON that is not an object, or an object with a non-string cmd.
-    for line in ["42", "\"ping\"", "null", "[]", "{\"cmd\":7}", "{\"cmd\":null}", "{}"] {
+    for line in [
+        "42",
+        "\"ping\"",
+        "null",
+        "[]",
+        "{\"cmd\":7}",
+        "{\"cmd\":null}",
+        "{}",
+    ] {
         assert!(parse_request(line).is_err(), "accepted: {line}");
     }
 }

@@ -1,0 +1,117 @@
+//! Per-iteration observation and control hooks for the solve loop.
+//!
+//! The loop reports each iteration's state to a [`SolverHooks`]
+//! implementation before taking the step, decoupling instrumentation and
+//! custom stopping rules from the solver core — the same decomposition
+//! gradient-descent frameworks use to keep callbacks out of the algorithm.
+//! A hook can passively record (see [`GradientTrace`]) or stop the solve
+//! ([`HookAction::Stop`]), which terminates with the best feasible iterate
+//! and [`crate::TerminationReason::HookStopped`] — the same anytime
+//! contract as an expired deadline.
+
+use nws_linalg::Vector;
+
+/// A snapshot of the solver state at the top of one iteration, before the
+/// search direction is taken.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationInfo<'a> {
+    /// 1-based iteration number (the paper's counting: a new iteration
+    /// starts whenever a search direction is computed).
+    pub iteration: usize,
+    /// Infinity norm of the projected gradient — the loop's convergence
+    /// measure.
+    pub projected_gradient_norm: f64,
+    /// Infinity norm of the raw gradient (the scale the convergence
+    /// tolerance is relative to).
+    pub gradient_norm: f64,
+    /// Number of variables currently free (not clamped at a bound).
+    pub free_variables: usize,
+    /// The current (feasible) iterate.
+    pub p: &'a Vector,
+}
+
+/// What the solve loop should do after a hook observed an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HookAction {
+    /// Keep iterating.
+    #[default]
+    Continue,
+    /// Stop now and return the current iterate with
+    /// [`crate::TerminationReason::HookStopped`].
+    Stop,
+}
+
+/// Observer/controller of the solve loop, called once per iteration.
+///
+/// Hooks take `&mut self` so they can accumulate state across iterations
+/// (histories, counters, convergence monitors) without interior mutability.
+pub trait SolverHooks {
+    /// Observes one iteration; returning [`HookAction::Stop`] terminates
+    /// the solve with the current iterate.
+    fn on_iteration(&mut self, info: &IterationInfo<'_>) -> HookAction {
+        let _ = info;
+        HookAction::Continue
+    }
+}
+
+/// The no-op hook used by all plain entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl SolverHooks for NoHooks {}
+
+/// A hook recording the projected-gradient norm of every iteration —
+/// the raw material of convergence plots (paper §IV-D measures iteration
+/// counts; this records the whole decay curve).
+#[derive(Debug, Clone, Default)]
+pub struct GradientTrace {
+    /// `projected_gradient_norm` per iteration, in order.
+    pub projected_norms: Vec<f64>,
+    /// `free_variables` per iteration, in order (tracks active-set churn).
+    pub free_counts: Vec<usize>,
+}
+
+impl SolverHooks for GradientTrace {
+    fn on_iteration(&mut self, info: &IterationInfo<'_>) -> HookAction {
+        self.projected_norms.push(info.projected_gradient_norm);
+        self.free_counts.push(info.free_variables);
+        HookAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hook_continues() {
+        let p = Vector::zeros(2);
+        let info = IterationInfo {
+            iteration: 1,
+            projected_gradient_norm: 0.5,
+            gradient_norm: 1.0,
+            free_variables: 2,
+            p: &p,
+        };
+        assert_eq!(NoHooks.on_iteration(&info), HookAction::Continue);
+    }
+
+    #[test]
+    fn gradient_trace_accumulates() {
+        let p = Vector::zeros(1);
+        let mut trace = GradientTrace::default();
+        for i in 1..=3 {
+            let info = IterationInfo {
+                iteration: i,
+                projected_gradient_norm: 1.0 / i as f64,
+                gradient_norm: 1.0,
+                free_variables: 1,
+                p: &p,
+            };
+            assert_eq!(trace.on_iteration(&info), HookAction::Continue);
+        }
+        assert_eq!(trace.projected_norms.len(), 3);
+        assert_eq!(trace.free_counts, vec![1, 1, 1]);
+        assert!(trace.projected_norms.windows(2).all(|w| w[1] < w[0]));
+    }
+}

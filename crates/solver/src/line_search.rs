@@ -56,8 +56,12 @@ impl NewtonLineSearch {
     ) -> Result<LineSearchOutcome> {
         assert!(t_max >= 0.0, "t_max must be ≥ 0, got {t_max}");
         // One trial-point buffer serves every φ'/φ'' evaluation of this
-        // search; `directional_derivative` lets separable objectives skip
-        // materializing a gradient vector per probe.
+        // search. Each Newton probe needs both derivatives at the same `t`,
+        // so it calls the fused `derivatives_along` — objectives with a
+        // single-pass kernel (e.g. sparse-row evaluation) produce the pair
+        // in one data sweep instead of two. The boundary check at `t_max`
+        // only needs the sign of φ', so it stays on the cheaper
+        // `directional_derivative`.
         let scratch = std::cell::RefCell::new(p.clone());
         let phi_d = |t: f64| -> Result<f64> {
             let mut x = scratch.borrow_mut();
@@ -71,20 +75,25 @@ impl NewtonLineSearch {
             }
             Ok(d)
         };
-        let phi_dd = |t: f64| -> Result<f64> {
+        let phi_dc = |t: f64| -> Result<(f64, f64)> {
             let mut x = scratch.borrow_mut();
             x.copy_from(p);
             x.axpy(t, s);
-            let c = obj.curvature_along(&x, s);
+            let (d, c) = obj.derivatives_along(&x, s);
+            if !d.is_finite() {
+                return Err(SolverError::NonFiniteObjective(format!(
+                    "φ'({t}) is not finite"
+                )));
+            }
             if !c.is_finite() {
                 return Err(SolverError::NonFiniteObjective(format!(
                     "φ''({t}) is not finite"
                 )));
             }
-            Ok(c)
+            Ok((d, c))
         };
 
-        let d0 = phi_d(0.0)?;
+        let (d0, c0) = phi_dc(0.0)?;
         if d0 <= 0.0 {
             return Ok(LineSearchOutcome::NoProgress);
         }
@@ -100,16 +109,13 @@ impl NewtonLineSearch {
         let tol = self.grad_tol * d0.max(1e-300);
         let (mut lo, mut hi) = (0.0_f64, t_max);
         // First iterate from the quadratic model at 0.
-        let mut t = {
-            let c0 = phi_dd(0.0)?;
-            if c0 < 0.0 {
-                (-d0 / c0).clamp(t_max * 1e-12, t_max * (1.0 - 1e-12))
-            } else {
-                0.5 * t_max
-            }
+        let mut t = if c0 < 0.0 {
+            (-d0 / c0).clamp(t_max * 1e-12, t_max * (1.0 - 1e-12))
+        } else {
+            0.5 * t_max
         };
         for _ in 0..self.max_iters {
-            let d = phi_d(t)?;
+            let (d, c) = phi_dc(t)?;
             if d.abs() <= tol {
                 return Ok(LineSearchOutcome::Interior(t));
             }
@@ -118,7 +124,6 @@ impl NewtonLineSearch {
             } else {
                 hi = t;
             }
-            let c = phi_dd(t)?;
             let newton = if c < 0.0 { t - d / c } else { f64::NAN };
             t = if newton.is_finite() && newton > lo && newton < hi {
                 newton

@@ -39,6 +39,31 @@ pub trait Objective {
     fn directional_derivative(&self, p: &Vector, s: &Vector) -> f64 {
         self.gradient(p).dot(s)
     }
+
+    /// Both directional derivatives along `s` at `p`:
+    /// `(∇f(p)·s, sᵀ·∇²f(p)·s)`.
+    ///
+    /// A Newton line-search probe needs exactly this pair; objectives with a
+    /// fused evaluation kernel (one sweep producing both) should override
+    /// it, halving the per-probe data traffic. The default delegates to the
+    /// two separate methods and must stay consistent with them.
+    fn derivatives_along(&self, p: &Vector, s: &Vector) -> (f64, f64) {
+        (
+            self.directional_derivative(p, s),
+            self.curvature_along(p, s),
+        )
+    }
+
+    /// Writes the gradient at `p` into `out` (resizing if needed) and
+    /// returns the objective value at `p`.
+    ///
+    /// The solve loop needs both once per iteration when it records the
+    /// objective trajectory; fused-kernel objectives should override this to
+    /// produce the pair in one sweep. The default performs two evaluations.
+    fn value_and_gradient_into(&self, p: &Vector, out: &mut Vector) -> f64 {
+        self.gradient_into(p, out);
+        self.value(p)
+    }
 }
 
 /// The feasible polytope of the placement problem (paper eqs. (3)–(5), with
@@ -243,6 +268,13 @@ mod tests {
         obj.gradient_into(&p, &mut out);
         assert_eq!(out, obj.gradient(&p));
         assert_eq!(obj.directional_derivative(&p, &s), obj.gradient(&p).dot(&s));
+        let (d, c) = obj.derivatives_along(&p, &s);
+        assert_eq!(d, obj.directional_derivative(&p, &s));
+        assert_eq!(c, obj.curvature_along(&p, &s));
+        let mut g = Vector::zeros(1);
+        let v = obj.value_and_gradient_into(&p, &mut g);
+        assert_eq!(v, obj.value(&p));
+        assert_eq!(g, obj.gradient(&p));
     }
 
     fn simple() -> BoxLinearProblem {

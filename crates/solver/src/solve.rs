@@ -1,9 +1,9 @@
 //! The gradient-projection solver loop.
 
 use crate::{
-    compute_multipliers, project_gradient, ActiveSet, BoxLinearProblem, Diagnostics,
-    LineSearchOutcome, NewtonLineSearch, Objective, Result, Solution, SolverError,
-    TerminationReason, VarState,
+    compute_multipliers, project_gradient, ActiveSet, BoxLinearProblem, Diagnostics, HookAction,
+    IterationInfo, LineSearchOutcome, NewtonLineSearch, NoHooks, Objective, Result, Solution,
+    SolverError, SolverHooks, StepSize, TerminationReason, VarState,
 };
 use nws_linalg::Vector;
 use nws_obs::Recorder;
@@ -153,9 +153,35 @@ impl Solver {
         start: Vector,
         rec: &Recorder,
     ) -> Result<Solution> {
+        let step = self.options.line_search;
+        self.maximize_with(obj, problem, start, rec, &step, &mut NoHooks)
+    }
+
+    /// The fully general entry point: [`Solver::maximize_from_observed`]
+    /// with an explicit step-size rule and per-iteration hooks.
+    ///
+    /// The solve loop itself is generic over both: `step` picks the 1-D
+    /// step along each search direction (the configured
+    /// [`NewtonLineSearch`] for every plain entry point; see
+    /// [`crate::BacktrackingStep`] for the inexact alternative) and `hooks`
+    /// observes each iteration and may stop the solve early
+    /// ([`TerminationReason::HookStopped`]). Pass [`NoHooks`] when only the
+    /// step rule matters.
+    ///
+    /// # Errors
+    /// As for [`Solver::maximize_from`].
+    pub fn maximize_with<O: Objective, S: StepSize, H: SolverHooks>(
+        &self,
+        obj: &O,
+        problem: &BoxLinearProblem,
+        start: Vector,
+        rec: &Recorder,
+        step: &S,
+        hooks: &mut H,
+    ) -> Result<Solution> {
         let sol = {
             let _solve = rec.span("solve");
-            self.run_loop(obj, problem, start, rec)?
+            self.run_loop(obj, problem, start, rec, step, hooks)?
         };
         rec.counter_add("solver_iterations_total", sol.diagnostics.iterations as u64);
         rec.counter_add(
@@ -165,12 +191,14 @@ impl Solver {
         Ok(sol)
     }
 
-    fn run_loop<O: Objective>(
+    fn run_loop<O: Objective, S: StepSize, H: SolverHooks>(
         &self,
         obj: &O,
         problem: &BoxLinearProblem,
         start: Vector,
         rec: &Recorder,
+        step: &S,
+        hooks: &mut H,
     ) -> Result<Solution> {
         let o = &self.options;
         if !problem.is_feasible(&start, 1e-9) {
@@ -213,9 +241,6 @@ impl Solver {
                 }
             }
             iterations += 1;
-            if o.record_objective {
-                trajectory.push(obj.value(&p));
-            }
             if trace {
                 let eq_err = problem.eq_normal().dot(&p) - problem.eq_rhs();
                 eprintln!(
@@ -225,7 +250,13 @@ impl Solver {
             }
             {
                 let _phase = rec.span("direction");
-                obj.gradient_into(&p, &mut g);
+                // When the trajectory is recorded, the fused kernel produces
+                // value + gradient in one data sweep instead of two.
+                if o.record_objective {
+                    trajectory.push(obj.value_and_gradient_into(&p, &mut g));
+                } else {
+                    obj.gradient_into(&p, &mut g);
+                }
             }
             if !g.is_finite() {
                 return Err(SolverError::NonFiniteObjective(format!(
@@ -239,6 +270,18 @@ impl Solver {
             last_proj_norm = d.norm_inf();
             let scale = g.norm_inf().max(1.0);
 
+            if hooks.on_iteration(&IterationInfo {
+                iteration: iterations,
+                projected_gradient_norm: last_proj_norm,
+                gradient_norm: g.norm_inf(),
+                free_variables: active.num_free(),
+                p: &p,
+            }) == HookAction::Stop
+            {
+                overrun_reason = TerminationReason::HookStopped;
+                break;
+            }
+
             let stationary = last_proj_norm <= o.grad_tol * scale;
             if stationary {
                 let _phase = rec.span("kkt_check");
@@ -250,10 +293,10 @@ impl Solver {
                     // near-stationary points — not sufficient. Verify with
                     // one exact line search along the projection: at a true
                     // constrained maximum it cannot improve the objective.
-                    if let Some(step) =
-                        self.verification_step(obj, &p, &d, scale, problem, &active)?
+                    if let Some(verified) =
+                        self.verification_step(obj, step, &p, &d, scale, problem, &active)?
                     {
-                        let (cand, hit) = step;
+                        let (cand, hit) = verified;
                         p = cand;
                         if let Some((hit_var, hit_upper)) = hit {
                             active.set(
@@ -329,7 +372,7 @@ impl Solver {
 
             let outcome = {
                 let _phase = rec.span("line_search");
-                o.line_search.maximize(obj, &p, &s, t_max)?
+                step.maximize(obj, &p, &s, t_max)?
             };
             match outcome {
                 LineSearchOutcome::Interior(t) => {
@@ -462,9 +505,11 @@ impl Solver {
     /// the objective beyond float noise — proof that `p` was a stiff valley
     /// floor rather than the constrained maximum — and `None` when no
     /// meaningful improvement exists (true convergence).
-    fn verification_step<O: Objective>(
+    #[allow(clippy::too_many_arguments)] // internal helper; the args are the solver's loop state
+    fn verification_step<O: Objective, S: StepSize>(
         &self,
         obj: &O,
+        step: &S,
         p: &Vector,
         d: &Vector,
         gradient_scale: f64,
@@ -501,7 +546,7 @@ impl Solver {
                 None
             }
         };
-        match self.options.line_search.maximize(obj, p, d, t_max)? {
+        match step.maximize(obj, p, d, t_max)? {
             LineSearchOutcome::Interior(t) => {
                 let mut cand = p.clone();
                 cand.axpy(t, d);
@@ -1014,6 +1059,99 @@ mod tests {
         let silent = Recorder::enabled();
         Solver::default().maximize(&obj, &pb).unwrap();
         assert!(silent.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn hook_stop_terminates_with_feasible_point() {
+        use crate::{HookAction, IterationInfo, SolverHooks};
+        struct StopAfter(usize);
+        impl SolverHooks for StopAfter {
+            fn on_iteration(&mut self, info: &IterationInfo<'_>) -> HookAction {
+                if info.iteration >= self.0 {
+                    HookAction::Stop
+                } else {
+                    HookAction::Continue
+                }
+            }
+        }
+        let obj = LogUtil { eps: 1e-6 };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(4, 1.0),
+            Vector::from(vec![1.0, 2.0, 3.0, 4.0]),
+            1.0,
+        )
+        .unwrap();
+        let solver = Solver::default();
+        let step = solver.options.line_search;
+        let sol = solver
+            .maximize_with(
+                &obj,
+                &pb,
+                pb.feasible_start(),
+                &Recorder::disabled(),
+                &step,
+                &mut StopAfter(2),
+            )
+            .unwrap();
+        assert_eq!(sol.reason, TerminationReason::HookStopped);
+        assert!(!sol.kkt_verified);
+        assert_eq!(sol.diagnostics.iterations, 2);
+        assert!(pb.is_feasible(&sol.p, 1e-6));
+    }
+
+    #[test]
+    fn gradient_trace_hook_records_every_iteration() {
+        let obj = LogUtil { eps: 1e-3 };
+        let pb = BoxLinearProblem::new(
+            Vector::filled(3, 10.0),
+            Vector::from(vec![1.0, 2.0, 4.0]),
+            2.0,
+        )
+        .unwrap();
+        let solver = Solver::default();
+        let step = solver.options.line_search;
+        let mut trace = crate::GradientTrace::default();
+        let sol = solver
+            .maximize_with(
+                &obj,
+                &pb,
+                pb.feasible_start(),
+                &Recorder::disabled(),
+                &step,
+                &mut trace,
+            )
+            .unwrap();
+        assert!(sol.kkt_verified);
+        assert_eq!(trace.projected_norms.len(), sol.diagnostics.iterations);
+        assert_eq!(trace.free_counts.len(), sol.diagnostics.iterations);
+        assert!(trace.projected_norms.iter().all(|n| n.is_finite()));
+    }
+
+    #[test]
+    fn backtracking_step_reaches_the_same_optimum() {
+        let obj = Quad {
+            w: vec![1.0, 4.0],
+            c: vec![1.0, 1.0],
+        };
+        let pb =
+            BoxLinearProblem::new(Vector::filled(2, 1.0), Vector::filled(2, 1.0), 1.0).unwrap();
+        let exact = Solver::default().maximize(&obj, &pb).unwrap();
+        let inexact = Solver::default()
+            .maximize_with(
+                &obj,
+                &pb,
+                pb.feasible_start(),
+                &Recorder::disabled(),
+                &crate::BacktrackingStep::default(),
+                &mut crate::NoHooks,
+            )
+            .unwrap();
+        assert!(
+            inexact.p.approx_eq(&exact.p, 1e-5),
+            "{} vs {}",
+            inexact.p,
+            exact.p
+        );
     }
 
     #[test]

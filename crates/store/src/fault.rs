@@ -112,15 +112,11 @@ impl FaultState {
 
 fn injected_err(kind: FaultKind, what: &str) -> io::Error {
     match kind {
-        FaultKind::Enospc => io::Error::new(
-            io::ErrorKind::Other,
-            format!("injected fault: no space left on device ({what})"),
-        ),
-        FaultKind::FsyncError => io::Error::new(
-            io::ErrorKind::Other,
-            format!("injected fault: fsync failed ({what})"),
-        ),
-        _ => io::Error::new(io::ErrorKind::Other, format!("injected fault: {what}")),
+        FaultKind::Enospc => {
+            io::Error::other(format!("injected fault: no space left on device ({what})"))
+        }
+        FaultKind::FsyncError => io::Error::other(format!("injected fault: fsync failed ({what})")),
+        _ => io::Error::other(format!("injected fault: {what}")),
     }
 }
 

@@ -111,6 +111,7 @@ impl Io for RealIo {
             .read(true)
             .write(true)
             .create(true)
+            .truncate(false)
             .open(path)?;
         Ok(Box::new(RealFile(file)))
     }
@@ -183,8 +184,14 @@ mod tests {
         let dir = tdir("truncate");
         io.create_dir_all(&dir).unwrap();
         let path = dir.join("t.txt");
-        io.open_rw(&path).unwrap().write_all(b"old-old-old").unwrap();
-        io.create_truncate(&path).unwrap().write_all(b"new").unwrap();
+        io.open_rw(&path)
+            .unwrap()
+            .write_all(b"old-old-old")
+            .unwrap();
+        io.create_truncate(&path)
+            .unwrap()
+            .write_all(b"new")
+            .unwrap();
         assert_eq!(io.read(&path).unwrap(), b"new");
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -71,7 +71,9 @@ impl FsyncPolicy {
             other => match other.strip_prefix("every-") {
                 Some(n) => match n.parse::<u64>() {
                     Ok(n) if n >= 1 => Ok(FsyncPolicy::EveryN(n)),
-                    _ => Err(format!("bad fsync policy '{other}': N in 'every-N' must be a positive integer")),
+                    _ => Err(format!(
+                        "bad fsync policy '{other}': N in 'every-N' must be a positive integer"
+                    )),
                 },
                 None => Err(format!(
                     "bad fsync policy '{other}' (expected 'always', 'never', or 'every-N')"

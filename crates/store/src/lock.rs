@@ -52,9 +52,13 @@ impl DirLock {
         // (created or reclaimed a lock); 16 rounds of that without a
         // settled outcome is churn worth surfacing, not spinning through.
         for _ in 0..16 {
-            match fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
                 Ok(mut file) => {
-                    write!(file, "{pid}\n")
+                    writeln!(file, "{pid}")
                         .and_then(|()| file.sync_all())
                         .map_err(|e| {
                             StoreError::io(format!("write lockfile {}", path.display()), e)
@@ -98,10 +102,7 @@ impl DirLock {
         }
         Err(StoreError::io(
             format!("acquire lockfile {}", path.display()),
-            std::io::Error::new(
-                std::io::ErrorKind::Other,
-                "lockfile kept changing hands; giving up after 16 attempts",
-            ),
+            std::io::Error::other("lockfile kept changing hands; giving up after 16 attempts"),
         ))
     }
 }
@@ -124,10 +125,7 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "nws-store-lock-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("nws-store-lock-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir

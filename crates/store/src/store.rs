@@ -156,7 +156,10 @@ impl Store {
 
         // Newest snapshot whose single framed record verifies.
         let mut snapshot = None;
-        for (seq, path) in list_numbered(&*io, dir, "snap-", ".json")?.into_iter().rev() {
+        for (seq, path) in list_numbered(&*io, dir, "snap-", ".json")?
+            .into_iter()
+            .rev()
+        {
             let bytes = io
                 .read(&path)
                 .map_err(|e| StoreError::io(format!("read snapshot {}", path.display()), e))?;
@@ -217,9 +220,9 @@ impl Store {
             Some(a) => a,
             None => (dir.join(segment_name(next_seq)), 0),
         };
-        let mut file = io.open_rw(&segment_path).map_err(|e| {
-            StoreError::io(format!("open segment {}", segment_path.display()), e)
-        })?;
+        let mut file = io
+            .open_rw(&segment_path)
+            .map_err(|e| StoreError::io(format!("open segment {}", segment_path.display()), e))?;
         file.set_len(keep_len)
             .and_then(|()| {
                 if truncated_bytes > 0 {
@@ -230,9 +233,8 @@ impl Store {
             .map_err(|e| {
                 StoreError::io(format!("truncate segment {}", segment_path.display()), e)
             })?;
-        file.seek_end().map_err(|e| {
-            StoreError::io(format!("seek segment {}", segment_path.display()), e)
-        })?;
+        file.seek_end()
+            .map_err(|e| StoreError::io(format!("seek segment {}", segment_path.display()), e))?;
         io.sync_dir(dir)
             .map_err(|e| StoreError::io(format!("sync state directory {}", dir.display()), e))?;
 
@@ -281,9 +283,9 @@ impl Store {
         }
         let seq = self.next_seq;
         let line = frame::encode_record(seq, payload);
-        self.file.write_all(line.as_bytes()).map_err(|e| {
-            StoreError::io(format!("append to {}", self.segment_path.display()), e)
-        })?;
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| StoreError::io(format!("append to {}", self.segment_path.display()), e))?;
         self.next_seq += 1;
         self.appends += 1;
         self.appended_bytes += line.len() as u64;
@@ -296,9 +298,9 @@ impl Store {
             FsyncPolicy::Never => false,
         };
         if sync_now {
-            self.file.sync_data().map_err(|e| {
-                StoreError::io(format!("fsync {}", self.segment_path.display()), e)
-            })?;
+            self.file
+                .sync_data()
+                .map_err(|e| StoreError::io(format!("fsync {}", self.segment_path.display()), e))?;
             self.unsynced = 0;
             self.fsyncs += 1;
             self.recorder.counter_add("wal_fsyncs", 1);
@@ -346,9 +348,10 @@ impl Store {
         // and already named for `next_seq`).
         let new_path = self.dir.join(segment_name(self.next_seq));
         if new_path != self.segment_path {
-            let new_file = self.io.create_truncate(&new_path).map_err(|e| {
-                StoreError::io(format!("open segment {}", new_path.display()), e)
-            })?;
+            let new_file = self
+                .io
+                .create_truncate(&new_path)
+                .map_err(|e| StoreError::io(format!("open segment {}", new_path.display()), e))?;
             let _ = self.file.sync_data();
             self.file = new_file;
             self.segment_path = new_path;
@@ -436,7 +439,14 @@ mod tests {
         let dir = tdir("replay");
         {
             let (mut store, rec) = open(&dir);
-            assert_eq!(rec, Recovery { snapshot: None, records: vec![], truncated_bytes: 0 });
+            assert_eq!(
+                rec,
+                Recovery {
+                    snapshot: None,
+                    records: vec![],
+                    truncated_bytes: 0
+                }
+            );
             assert_eq!(store.append("alpha").unwrap(), 1);
             assert_eq!(store.append("beta").unwrap(), 2);
             assert_eq!(store.append("gamma").unwrap(), 3);
@@ -527,11 +537,7 @@ mod tests {
     fn corrupt_snapshot_falls_back_to_older_one() {
         let dir = tdir("snap-fallback");
         fs::create_dir_all(&dir).unwrap();
-        fs::write(
-            dir.join(snapshot_name(5)),
-            frame::encode_record(5, "OLD"),
-        )
-        .unwrap();
+        fs::write(dir.join(snapshot_name(5)), frame::encode_record(5, "OLD")).unwrap();
         let mut newer = frame::encode_record(9, "NEW").into_bytes();
         let last = newer.len() - 2;
         newer[last] ^= 0x20; // flip a payload bit → CRC mismatch
@@ -578,8 +584,14 @@ mod tests {
     fn recorder_sees_wal_counters_and_snapshot_timing() {
         let dir = tdir("metrics");
         let recorder = Recorder::enabled();
-        let (mut store, _) =
-            Store::open(&dir, StoreOptions { fsync: FsyncPolicy::Always }, &recorder).unwrap();
+        let (mut store, _) = Store::open(
+            &dir,
+            StoreOptions {
+                fsync: FsyncPolicy::Always,
+            },
+            &recorder,
+        )
+        .unwrap();
         store.append("one").unwrap();
         store.append("two").unwrap();
         store.snapshot("S").unwrap();
@@ -601,7 +613,11 @@ mod tests {
             .find(|h| h.name == "snapshot_ms")
             .expect("snapshot_ms histogram");
         assert_eq!(hist.count, 1);
-        let gauge = snap.gauges.iter().find(|g| g.name == "wal_segments").unwrap();
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "wal_segments")
+            .unwrap();
         assert_eq!(gauge.value, 1.0);
         drop(store);
         fs::remove_dir_all(&dir).unwrap();
@@ -648,7 +664,7 @@ mod tests {
                     .unwrap_or_else(|| panic!("seed {seed}: garbage record {payload:?}"));
                 assert!(idx < 30, "seed {seed}: unknown attempt {payload:?}");
                 assert!(
-                    prev.map_or(true, |p| idx > p),
+                    prev.is_none_or(|p| idx > p),
                     "seed {seed}: out-of-order record {payload:?}"
                 );
                 prev = Some(idx);
@@ -698,7 +714,9 @@ mod tests {
         let dir = tdir("every-n");
         let (mut store, _) = Store::open(
             &dir,
-            StoreOptions { fsync: FsyncPolicy::EveryN(3) },
+            StoreOptions {
+                fsync: FsyncPolicy::EveryN(3),
+            },
             &Recorder::disabled(),
         )
         .unwrap();
@@ -710,7 +728,9 @@ mod tests {
         let dir2 = tdir("never");
         let (mut store, _) = Store::open(
             &dir2,
-            StoreOptions { fsync: FsyncPolicy::Never },
+            StoreOptions {
+                fsync: FsyncPolicy::Never,
+            },
             &Recorder::disabled(),
         )
         .unwrap();

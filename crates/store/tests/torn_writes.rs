@@ -89,8 +89,7 @@ fn snapshot_survives_wal_tail_loss() {
     // Crash after a snapshot: however much of the post-snapshot WAL is
     // torn off, recovery still starts from the snapshot.
     let dir = tdir("snap");
-    let (mut store, _) =
-        Store::open(&dir, StoreOptions::default(), &Recorder::disabled()).unwrap();
+    let (mut store, _) = Store::open(&dir, StoreOptions::default(), &Recorder::disabled()).unwrap();
     store.append("a").unwrap();
     store.snapshot("STATE@1").unwrap();
     store.append("b").unwrap();

@@ -1,173 +1,203 @@
 #!/usr/bin/env sh
-# Smoke-run of the performance surfaces: the objective-evaluation
-# micro-benchmark (small instances, few repetitions), the WAL append
-# micro-benchmark, and a kill -9 / recover round trip of the control-plane
-# daemon on GEANT recording cold-vs-warm re-solve latency plus recovery
-# latency. JSON reports land at the repo root. Used as a non-blocking CI
-# step; run eval_bench/wal_bench manually (without --quick) for publishable
-# numbers.
+# Smoke-run of the performance surfaces, split into named stages so CI can
+# gate on them independently:
+#
+#   ./scripts/bench_smoke.sh [stage ...]     stages: eval wal serve chaos
+#                                            (no args = all stages)
+#
+#   eval   objective-evaluation micro-benchmark (--quick) producing
+#          BENCH_eval.json, then scripts/check_bench.py enforcing the
+#          blocking perf gates (parallel >= serial, monotone speedup curve,
+#          obs overhead <= 1.05, solver parity, fused-kernel win) plus the
+#          committed structural baselines.
+#   wal    WAL append micro-benchmark with the fsync-policy sanity gate.
+#   serve  kill -9 / recover round trip of the control-plane daemon on GEANT
+#          (cold-vs-warm re-solve latency, recovery latency, exposition
+#          shape checks).
+#   chaos  fixed-seed store-fault replay drills.
+#
+# CI runs `eval` as the blocking perf-gates job and `wal serve chaos` as the
+# non-blocking resilience job. Run eval_bench/wal_bench manually (without
+# --quick) for publishable numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
-cargo run --release -p nws-bench --bin eval_bench -- --quick --out BENCH_eval.json
-echo "bench smoke OK: $(pwd)/BENCH_eval.json"
 
-# Observability overhead gate: with the recorder enabled, the serial
-# gradient hot path must stay within 5% of the no-op-sink baseline
-# (ratios below 1 are normal timer noise).
-ratio=$(sed -n 's/.*"overhead_ratio": \([0-9.]*\).*/\1/p' BENCH_eval.json)
-[ -n "$ratio" ] || { echo "BENCH_eval.json missing obs overhead_ratio" >&2; exit 1; }
-awk -v r="$ratio" 'BEGIN { exit !(r <= 1.05) }' || {
-    echo "obs overhead ratio $ratio exceeds the 1.05 gate" >&2; exit 1; }
-echo "obs overhead OK: ratio $ratio"
+stage_eval() {
+    cargo run --release -p nws-bench --bin eval_bench -- --quick --out BENCH_eval.json
+    echo "bench smoke OK: $(pwd)/BENCH_eval.json"
+    # Perf gates: schema, parallel-vs-serial floor, thread-monotone speedup
+    # curve, obs overhead (<= 1.05), solver parallel parity, fused-kernel
+    # win, and structural baselines. Blocking in CI.
+    python3 scripts/check_bench.py BENCH_eval.json
+}
 
-# WAL throughput smoke: append rate under the three fsync policies. Sanity
-# gate: `never` (no fsync at all) must be at least as fast as `always` (an
-# fdatasync per append); if it is not, the measurement or the store is
-# broken.
-cargo run --release -p nws-bench --bin wal_bench -- --quick --out BENCH_wal.json
-always_rate=$(sed -n 's/.*"policy": "always".*"appends_per_sec": \([0-9.]*\).*/\1/p' BENCH_wal.json)
-never_rate=$(sed -n 's/.*"policy": "never".*"appends_per_sec": \([0-9.]*\).*/\1/p' BENCH_wal.json)
-[ -n "$always_rate" ] && [ -n "$never_rate" ] \
-    || { echo "BENCH_wal.json missing per-policy appends_per_sec" >&2; exit 1; }
-awk -v n="$never_rate" -v a="$always_rate" 'BEGIN { exit !(n >= a) }' || {
-    echo "wal_bench: never ($never_rate/s) slower than always ($always_rate/s)" >&2; exit 1; }
-echo "wal bench OK: always $always_rate/s, never $never_rate/s"
+stage_wal() {
+    # WAL throughput smoke: append rate under the three fsync policies.
+    # Sanity gate: `never` (no fsync at all) must be at least as fast as
+    # `always` (an fdatasync per append); if it is not, the measurement or
+    # the store is broken.
+    cargo run --release -p nws-bench --bin wal_bench -- --quick --out BENCH_wal.json
+    always_rate=$(sed -n 's/.*"policy": "always".*"appends_per_sec": \([0-9.]*\).*/\1/p' BENCH_wal.json)
+    never_rate=$(sed -n 's/.*"policy": "never".*"appends_per_sec": \([0-9.]*\).*/\1/p' BENCH_wal.json)
+    [ -n "$always_rate" ] && [ -n "$never_rate" ] \
+        || { echo "BENCH_wal.json missing per-policy appends_per_sec" >&2; exit 1; }
+    awk -v n="$never_rate" -v a="$always_rate" 'BEGIN { exit !(n >= a) }' || {
+        echo "wal_bench: never ($never_rate/s) slower than always ($always_rate/s)" >&2; exit 1; }
+    echo "wal bench OK: always $always_rate/s, never $never_rate/s"
+}
 
-# Kill-and-recover round trip, phase A: run the release binary directly
-# (cargo run would orphan the daemon on kill -9), seed a --state-dir with a
-# prefix of the scripted session (snapshot, set_theta, update_demand — the
-# commands a later full-fixture replay can repeat without conflict), read
-# back the installed rates, then kill -9 mid-flight. The daemon journals
-# each command before acknowledging it, so everything acknowledged here
-# must survive.
-cargo build --release -p nws-cli
+stage_serve() {
+    # Kill-and-recover round trip, phase A: run the release binary directly
+    # (cargo run would orphan the daemon on kill -9), seed a --state-dir
+    # with a prefix of the scripted session (snapshot, set_theta,
+    # update_demand — the commands a later full-fixture replay can repeat
+    # without conflict), read back the installed rates, then kill -9
+    # mid-flight. The daemon journals each command before acknowledging it,
+    # so everything acknowledged here must survive.
+    cargo build --release -p nws-cli
+    STATE_DIR="$SCRATCH/state"
+    mkfifo "$SCRATCH/in"
+    target/release/nws serve --state-dir "$STATE_DIR" \
+        < "$SCRATCH/in" > "$SCRATCH/prekill.out" &
+    DAEMON_PID=$!
+    exec 3> "$SCRATCH/in"
+    head -3 fixtures/serve_session.jsonl >&3
+    printf '{"cmd":"query_rates"}\n' >&3
+    tries=0
+    while [ "$(wc -l < "$SCRATCH/prekill.out")" -lt 5 ]; do  # hello + 4 responses
+        tries=$((tries + 1))
+        [ "$tries" -le 300 ] || { echo "pre-kill daemon did not respond" >&2; exit 1; }
+        sleep 0.1
+    done
+    kill -9 "$DAEMON_PID"
+    exec 3>&-
+    wait "$DAEMON_PID" 2>/dev/null || true
+    grep -q '"ok":false' "$SCRATCH/prekill.out" && {
+        echo "pre-kill daemon rejected a scripted event:" >&2
+        grep '"ok":false' "$SCRATCH/prekill.out" >&2
+        exit 1; }
+    prekill_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/prekill.out" | tail -1)
+    [ -n "$prekill_monitors" ] || { echo "pre-kill query_rates carried no monitors" >&2; exit 1; }
+    [ -f "$STATE_DIR/LOCK" ] || { echo "killed daemon left no lockfile to reclaim" >&2; exit 1; }
+    echo "kill phase OK: daemon $DAEMON_PID killed with journal in $STATE_DIR"
+
+    # Phase B / daemon smoke: reopen the same --state-dir (reclaiming the
+    # dead daemon's lockfile), recover (snapshot-less boot: mirror solve +
+    # replay of the 3 journaled commands), and confirm via a leading
+    # query_rates that the recovered installed rates match the pre-kill
+    # response byte-for-byte. Then pipe the full scripted event sequence
+    # (demand updates, a link failure, theta changes, snapshot/rollback, a
+    # metrics query) through the same daemon. --shadow-cold runs a cold
+    # solve per event so BENCH_serve.json carries the warm-vs-cold
+    # comparison (and now the recovery latency); --metrics-out/--trace
+    # write the Prometheus-style exposition with the span tree; `set -e`
+    # makes a non-zero daemon exit fail the smoke run.
+    { printf '{"cmd":"query_rates"}\n'; cat fixtures/serve_session.jsonl; } | \
+        target/release/nws serve --shadow-cold --bench-out BENCH_serve.json \
+            --metrics-out METRICS_serve.prom --trace --state-dir "$STATE_DIR" \
+            --solve-deadline-ms 5000 > serve_session.out
+    [ -s BENCH_serve.json ] || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
+    grep -q '"bye":true' serve_session.out || { echo "daemon did not shut down cleanly" >&2; exit 1; }
+    if grep -q '"ok":false' serve_session.out; then
+        echo "daemon rejected a scripted event:" >&2
+        grep '"ok":false' serve_session.out >&2
+        exit 1
+    fi
+
+    # Recovery assertions: the hello line must report the replayed journal,
+    # the recovered rates must be identical to what the killed daemon had
+    # installed, the metrics response must carry wal_stats, and the
+    # recovery latency must land in the bench report.
+    grep -q '"recovered":{"snapshot":false,"replayed_events":3,' serve_session.out \
+        || { echo "hello line does not report recovery of the 3 journaled events" >&2; exit 1; }
+    recovered_monitors=$(grep -o '"monitors":\[[^]]*\]' serve_session.out | head -1)
+    [ "$recovered_monitors" = "$prekill_monitors" ] || {
+        echo "recovered rates differ from pre-kill rates:" >&2
+        echo "  pre-kill:  $prekill_monitors" >&2
+        echo "  recovered: $recovered_monitors" >&2
+        exit 1; }
+    grep -q '"wal_stats":{"policy":"always",' serve_session.out \
+        || { echo "metrics response lacks wal_stats" >&2; exit 1; }
+    grep -q '"recovery":{"snapshot":false,"replayed_events":3,' BENCH_serve.json \
+        || { echo "BENCH_serve.json lacks the recovery report" >&2; exit 1; }
+    grep -q '"solve_deadline":{"configured_ms":5000,"solve_ms_p99":' BENCH_serve.json \
+        || { echo "BENCH_serve.json lacks the solve-deadline section" >&2; exit 1; }
+    rm -f serve_session.out
+    echo "recovery smoke OK: 3 events replayed, rates match pre-kill byte-for-byte"
+
+    # The exposition must exist, carry the expected metric families
+    # (including the store counters), and every non-comment line must parse
+    # as `name[{labels}] value`.
+    [ -s METRICS_serve.prom ] || { echo "METRICS_serve.prom missing or empty" >&2; exit 1; }
+    grep -q '^solver_iterations_total ' METRICS_serve.prom \
+        || { echo "exposition lacks solver counters" >&2; exit 1; }
+    grep -q '^daemon_command_latency_ms_bucket{' METRICS_serve.prom \
+        || { echo "exposition lacks per-command latency histograms" >&2; exit 1; }
+    grep -q '^wal_appends ' METRICS_serve.prom \
+        || { echo "exposition lacks WAL counters" >&2; exit 1; }
+    grep -q '^recovery_replayed_events ' METRICS_serve.prom \
+        || { echo "exposition lacks the recovery counter" >&2; exit 1; }
+    grep -q '^degraded_solves ' METRICS_serve.prom \
+        || { echo "exposition lacks the degraded-solve counter" >&2; exit 1; }
+    grep -q '^daemon_overload_shed_total ' METRICS_serve.prom \
+        || { echo "exposition lacks the overload-shed counter" >&2; exit 1; }
+    grep -q '^persistence_degraded ' METRICS_serve.prom \
+        || { echo "exposition lacks the persistence-degraded gauge" >&2; exit 1; }
+    grep -q '^# span solve' METRICS_serve.prom \
+        || { echo "exposition lacks the --trace span tree" >&2; exit 1; }
+    awk '/^#/ { next }
+         { if (NF != 2 || $2 + 0 != $2) { bad = 1; print "malformed sample: " $0 > "/dev/stderr" } }
+         END { exit bad }' METRICS_serve.prom \
+        || { echo "METRICS_serve.prom failed the exposition shape check" >&2; exit 1; }
+    echo "serve smoke OK: $(pwd)/BENCH_serve.json + METRICS_serve.prom"
+}
+
+stage_chaos() {
+    # Chaos smoke: replay the scripted session against the release binary
+    # under fixed-seed store-fault schedules (--chaos-store-seed drives the
+    # store's injectable I/O layer deterministically). Contract under fault
+    # injection: the daemon must not panic, must shut down cleanly, and —
+    # because store faults may degrade persistence but never serving — the
+    # query_rates response must be byte-identical to a fault-free run.
+    # Error responses are tolerated here by design (that is the point of
+    # the drill), unlike the phase-B gate above.
+    cargo build --release -p nws-cli
+    target/release/nws serve < fixtures/serve_session.jsonl > "$SCRATCH/chaos_clean.out"
+    clean_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/chaos_clean.out" | head -1)
+    [ -n "$clean_monitors" ] || { echo "chaos baseline run carried no monitors" >&2; exit 1; }
+    for seed in 7 41 1999; do
+        CHAOS_DIR="$SCRATCH/chaos_$seed"
+        target/release/nws serve --state-dir "$CHAOS_DIR" --chaos-store-seed "$seed" \
+            --solve-deadline-ms 5000 \
+            < fixtures/serve_session.jsonl > "$SCRATCH/chaos_$seed.out" 2> "$SCRATCH/chaos_$seed.err" \
+            || { echo "chaos daemon (seed $seed) exited non-zero" >&2
+                 cat "$SCRATCH/chaos_$seed.err" >&2; exit 1; }
+        grep -qi 'panicked at' "$SCRATCH/chaos_$seed.err" && {
+            echo "chaos daemon (seed $seed) panicked:" >&2
+            cat "$SCRATCH/chaos_$seed.err" >&2; exit 1; }
+        grep -q '"bye":true' "$SCRATCH/chaos_$seed.out" \
+            || { echo "chaos daemon (seed $seed) did not shut down cleanly" >&2; exit 1; }
+        chaos_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/chaos_$seed.out" | head -1)
+        [ "$chaos_monitors" = "$clean_monitors" ] || {
+            echo "chaos run (seed $seed) served different rates than the clean run:" >&2
+            echo "  clean: $clean_monitors" >&2
+            echo "  chaos: $chaos_monitors" >&2
+            exit 1; }
+    done
+    echo "chaos smoke OK: seeds 7/41/1999 served byte-identical rates, zero panics"
+}
+
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
-STATE_DIR="$SCRATCH/state"
-mkfifo "$SCRATCH/in"
-target/release/nws serve --state-dir "$STATE_DIR" \
-    < "$SCRATCH/in" > "$SCRATCH/prekill.out" &
-DAEMON_PID=$!
-exec 3> "$SCRATCH/in"
-head -3 fixtures/serve_session.jsonl >&3
-printf '{"cmd":"query_rates"}\n' >&3
-tries=0
-while [ "$(wc -l < "$SCRATCH/prekill.out")" -lt 5 ]; do  # hello + 4 responses
-    tries=$((tries + 1))
-    [ "$tries" -le 300 ] || { echo "pre-kill daemon did not respond" >&2; exit 1; }
-    sleep 0.1
+
+stages="${*:-eval wal serve chaos}"
+for stage in $stages; do
+    case "$stage" in
+        eval)  stage_eval ;;
+        wal)   stage_wal ;;
+        serve) stage_serve ;;
+        chaos) stage_chaos ;;
+        *) echo "unknown stage '$stage' (expected: eval wal serve chaos)" >&2; exit 2 ;;
+    esac
 done
-kill -9 "$DAEMON_PID"
-exec 3>&-
-wait "$DAEMON_PID" 2>/dev/null || true
-grep -q '"ok":false' "$SCRATCH/prekill.out" && {
-    echo "pre-kill daemon rejected a scripted event:" >&2
-    grep '"ok":false' "$SCRATCH/prekill.out" >&2
-    exit 1; }
-prekill_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/prekill.out" | tail -1)
-[ -n "$prekill_monitors" ] || { echo "pre-kill query_rates carried no monitors" >&2; exit 1; }
-[ -f "$STATE_DIR/LOCK" ] || { echo "killed daemon left no lockfile to reclaim" >&2; exit 1; }
-echo "kill phase OK: daemon $DAEMON_PID killed with journal in $STATE_DIR"
-
-# Phase B / daemon smoke: reopen the same --state-dir (reclaiming the dead
-# daemon's lockfile), recover (snapshot-less boot: mirror solve + replay of
-# the 3 journaled commands), and confirm via a leading query_rates that the
-# recovered installed rates match the pre-kill response byte-for-byte.
-# Then pipe the full scripted event sequence (demand updates, a link
-# failure, theta changes, snapshot/rollback, a metrics query) through the
-# same daemon. --shadow-cold runs a cold solve per event so
-# BENCH_serve.json carries the warm-vs-cold comparison (and now the
-# recovery latency); --metrics-out/--trace write the Prometheus-style
-# exposition with the span tree; `set -e` makes a non-zero daemon exit fail
-# the smoke run.
-{ printf '{"cmd":"query_rates"}\n'; cat fixtures/serve_session.jsonl; } | \
-    target/release/nws serve --shadow-cold --bench-out BENCH_serve.json \
-        --metrics-out METRICS_serve.prom --trace --state-dir "$STATE_DIR" \
-        --solve-deadline-ms 5000 > serve_session.out
-[ -s BENCH_serve.json ] || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
-grep -q '"bye":true' serve_session.out || { echo "daemon did not shut down cleanly" >&2; exit 1; }
-if grep -q '"ok":false' serve_session.out; then
-    echo "daemon rejected a scripted event:" >&2
-    grep '"ok":false' serve_session.out >&2
-    exit 1
-fi
-
-# Recovery assertions: the hello line must report the replayed journal, the
-# recovered rates must be identical to what the killed daemon had
-# installed, the metrics response must carry wal_stats, and the recovery
-# latency must land in the bench report.
-grep -q '"recovered":{"snapshot":false,"replayed_events":3,' serve_session.out \
-    || { echo "hello line does not report recovery of the 3 journaled events" >&2; exit 1; }
-recovered_monitors=$(grep -o '"monitors":\[[^]]*\]' serve_session.out | head -1)
-[ "$recovered_monitors" = "$prekill_monitors" ] || {
-    echo "recovered rates differ from pre-kill rates:" >&2
-    echo "  pre-kill:  $prekill_monitors" >&2
-    echo "  recovered: $recovered_monitors" >&2
-    exit 1; }
-grep -q '"wal_stats":{"policy":"always",' serve_session.out \
-    || { echo "metrics response lacks wal_stats" >&2; exit 1; }
-grep -q '"recovery":{"snapshot":false,"replayed_events":3,' BENCH_serve.json \
-    || { echo "BENCH_serve.json lacks the recovery report" >&2; exit 1; }
-grep -q '"solve_deadline":{"configured_ms":5000,"solve_ms_p99":' BENCH_serve.json \
-    || { echo "BENCH_serve.json lacks the solve-deadline section" >&2; exit 1; }
-rm -f serve_session.out
-echo "recovery smoke OK: 3 events replayed, rates match pre-kill byte-for-byte"
-
-# The exposition must exist, carry the expected metric families (including
-# the store counters), and every non-comment line must parse as
-# `name[{labels}] value`.
-[ -s METRICS_serve.prom ] || { echo "METRICS_serve.prom missing or empty" >&2; exit 1; }
-grep -q '^solver_iterations_total ' METRICS_serve.prom \
-    || { echo "exposition lacks solver counters" >&2; exit 1; }
-grep -q '^daemon_command_latency_ms_bucket{' METRICS_serve.prom \
-    || { echo "exposition lacks per-command latency histograms" >&2; exit 1; }
-grep -q '^wal_appends ' METRICS_serve.prom \
-    || { echo "exposition lacks WAL counters" >&2; exit 1; }
-grep -q '^recovery_replayed_events ' METRICS_serve.prom \
-    || { echo "exposition lacks the recovery counter" >&2; exit 1; }
-grep -q '^degraded_solves ' METRICS_serve.prom \
-    || { echo "exposition lacks the degraded-solve counter" >&2; exit 1; }
-grep -q '^daemon_overload_shed_total ' METRICS_serve.prom \
-    || { echo "exposition lacks the overload-shed counter" >&2; exit 1; }
-grep -q '^persistence_degraded ' METRICS_serve.prom \
-    || { echo "exposition lacks the persistence-degraded gauge" >&2; exit 1; }
-grep -q '^# span solve' METRICS_serve.prom \
-    || { echo "exposition lacks the --trace span tree" >&2; exit 1; }
-awk '/^#/ { next }
-     { if (NF != 2 || $2 + 0 != $2) { bad = 1; print "malformed sample: " $0 > "/dev/stderr" } }
-     END { exit bad }' METRICS_serve.prom \
-    || { echo "METRICS_serve.prom failed the exposition shape check" >&2; exit 1; }
-echo "serve smoke OK: $(pwd)/BENCH_serve.json + METRICS_serve.prom"
-
-# Chaos smoke: replay the scripted session against the release binary under
-# fixed-seed store-fault schedules (--chaos-store-seed drives the store's
-# injectable I/O layer deterministically). Contract under fault injection:
-# the daemon must not panic, must shut down cleanly, and — because store
-# faults may degrade persistence but never serving — the query_rates
-# response must be byte-identical to a fault-free run. Error responses are
-# tolerated here by design (that is the point of the drill), unlike the
-# phase-B gate above.
-target/release/nws serve < fixtures/serve_session.jsonl > "$SCRATCH/chaos_clean.out"
-clean_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/chaos_clean.out" | head -1)
-[ -n "$clean_monitors" ] || { echo "chaos baseline run carried no monitors" >&2; exit 1; }
-for seed in 7 41 1999; do
-    CHAOS_DIR="$SCRATCH/chaos_$seed"
-    target/release/nws serve --state-dir "$CHAOS_DIR" --chaos-store-seed "$seed" \
-        --solve-deadline-ms 5000 \
-        < fixtures/serve_session.jsonl > "$SCRATCH/chaos_$seed.out" 2> "$SCRATCH/chaos_$seed.err" \
-        || { echo "chaos daemon (seed $seed) exited non-zero" >&2
-             cat "$SCRATCH/chaos_$seed.err" >&2; exit 1; }
-    grep -qi 'panicked at' "$SCRATCH/chaos_$seed.err" && {
-        echo "chaos daemon (seed $seed) panicked:" >&2
-        cat "$SCRATCH/chaos_$seed.err" >&2; exit 1; }
-    grep -q '"bye":true' "$SCRATCH/chaos_$seed.out" \
-        || { echo "chaos daemon (seed $seed) did not shut down cleanly" >&2; exit 1; }
-    chaos_monitors=$(grep -o '"monitors":\[[^]]*\]' "$SCRATCH/chaos_$seed.out" | head -1)
-    [ "$chaos_monitors" = "$clean_monitors" ] || {
-        echo "chaos run (seed $seed) served different rates than the clean run:" >&2
-        echo "  clean: $clean_monitors" >&2
-        echo "  chaos: $chaos_monitors" >&2
-        exit 1; }
-done
-echo "chaos smoke OK: seeds 7/41/1999 served byte-identical rates, zero panics"

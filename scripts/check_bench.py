@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Validate BENCH_eval.json and enforce the CI perf gates.
+
+Run from bench_smoke.sh and the blocking `perf-gates` CI job:
+
+    python3 scripts/check_bench.py BENCH_eval.json
+    python3 scripts/check_bench.py BENCH_eval.json --write-baselines
+
+Checks, in order:
+
+1.  Schema: the report carries every expected section and field, lists are
+    aligned with the `threads` axis, all numbers finite and positive.
+2.  Perf gates (hard, the acceptance criteria of the perf work):
+      - gradient speedup at the highest thread count on the `random*` exact
+        case must be >= SPEEDUP_FLOOR (parallel may never lose to serial
+        beyond timer noise; on a single-core host the engine auto-falls back
+        to serial, so the curve sits at ~1.0 and passes by design);
+      - the speedup curve must be monotone non-decreasing in threads within
+        MONOTONE_TOL (more workers never make it meaningfully slower);
+      - obs overhead_ratio <= OBS_RATIO_MAX;
+      - every solver case: parallel_ms <= serial_ms * SOLVER_PARITY (the
+        regression this suite exists to prevent measured 280x) and
+        objective_rel_diff <= OBJ_REL_DIFF_MAX;
+      - every fused case: fusion_gain at the serial variant >= FUSED_FLOOR
+        (the single-pass kernel may never lose to three passes).
+3.  Structural baselines (scripts/bench_baselines.json): num_ods/nnz/dim of
+    each case must match exactly — instance drift silently invalidates every
+    committed number — and timing fields are compared within a wide
+    tolerance band (quick mode on shared CI runners jitters; the band only
+    catches order-of-magnitude regressions).
+
+Exit code 0 = all gates pass. Nonzero prints every failure, not just the
+first.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+SPEEDUP_FLOOR = 0.90  # parallel vs serial gradient, highest thread count
+MONOTONE_TOL = 0.15  # max allowed dip between consecutive thread counts
+OBS_RATIO_MAX = 1.05  # recorder overhead gate (matches bench_smoke.sh)
+SOLVER_PARITY = 1.5  # parallel solve within 1.5x of serial (sub-ms solves
+# jitter ~20% on shared runners; the regression this guards against was 280x)
+OBJ_REL_DIFF_MAX = 1e-6  # parallel and serial solves agree on the objective
+FUSED_FLOOR = 0.95  # fused may never lose to separate (0.05 timer noise)
+TIMING_BAND = 8.0  # baseline timing ratio band (order-of-magnitude net)
+
+BASELINES = Path(__file__).resolve().parent / "bench_baselines.json"
+
+EVAL_FIELDS = (
+    "name",
+    "model",
+    "num_ods",
+    "nnz",
+    "dim",
+    "value_ms",
+    "gradient_ms",
+    "curvature_ms",
+    "gradient_speedup",
+)
+FUSED_FIELDS = ("name", "model", "separate_ms", "fused_ms", "fusion_gain")
+SOLVER_FIELDS = (
+    "name",
+    "num_ods",
+    "serial_ms",
+    "parallel_ms",
+    "speedup",
+    "parallel_threads",
+    "iterations",
+    "objective_rel_diff",
+)
+
+failures = []
+
+
+def fail(msg):
+    failures.append(msg)
+
+
+def finite_positive(xs):
+    return all(isinstance(x, (int, float)) and math.isfinite(x) and x > 0 for x in xs)
+
+
+def check_schema(report):
+    for key in ("bench", "quick", "available_cores", "threads", "obs",
+                "eval_cases", "fused", "solver_cases"):
+        if key not in report:
+            fail(f"schema: missing top-level key {key!r}")
+    if failures:
+        return
+    threads = report["threads"]
+    if not threads or threads != sorted(threads) or not finite_positive(threads):
+        fail(f"schema: malformed threads axis {threads!r}")
+    obs = report["obs"]
+    for key in ("disabled_ms", "enabled_ms", "overhead_ratio"):
+        if not finite_positive([obs.get(key, -1)]):
+            fail(f"schema: obs.{key} missing or non-positive")
+    for case in report["eval_cases"]:
+        for key in EVAL_FIELDS:
+            if key not in case:
+                fail(f"schema: eval case {case.get('name', '?')} missing {key!r}")
+                continue
+        for key in ("value_ms", "gradient_ms", "curvature_ms", "gradient_speedup"):
+            xs = case.get(key, [])
+            if len(xs) != len(threads):
+                fail(f"schema: {case['name']}/{case['model']}.{key} has "
+                     f"{len(xs)} entries, expected {len(threads)}")
+            elif not finite_positive(xs):
+                fail(f"schema: {case['name']}/{case['model']}.{key} not finite-positive: {xs}")
+    for case in report["fused"]:
+        for key in FUSED_FIELDS:
+            if key not in case:
+                fail(f"schema: fused case {case.get('name', '?')} missing {key!r}")
+        for key in ("separate_ms", "fused_ms", "fusion_gain"):
+            xs = case.get(key, [])
+            if len(xs) != len(threads) or not finite_positive(xs):
+                fail(f"schema: fused {case.get('name', '?')}.{key} malformed: {xs}")
+    for case in report["solver_cases"]:
+        for key in SOLVER_FIELDS:
+            if key not in case:
+                fail(f"schema: solver case {case.get('name', '?')} missing {key!r}")
+        if case.get("objective_rel_diff", 1.0) < 0:
+            fail(f"schema: solver {case.get('name', '?')} negative objective_rel_diff")
+
+
+def check_perf_gates(report):
+    threads = report["threads"]
+    # Gate 1+2: random-case exact-model gradient speedup floor + monotone curve.
+    random_exact = [c for c in report["eval_cases"]
+                    if c["name"].startswith("random") and c["model"] == "exact"]
+    if not random_exact:
+        fail("gates: no random/exact eval case to gate on")
+    for case in random_exact:
+        speedup = case["gradient_speedup"]
+        if speedup[-1] < SPEEDUP_FLOOR:
+            fail(f"gates: {case['name']} exact gradient speedup at x{threads[-1]} "
+                 f"is {speedup[-1]:.3f} < {SPEEDUP_FLOOR} — parallel lost to serial")
+        for i in range(1, len(speedup)):
+            if speedup[i] < speedup[i - 1] - MONOTONE_TOL:
+                fail(f"gates: {case['name']} exact speedup curve non-monotone at "
+                     f"x{threads[i]}: {speedup[i - 1]:.3f} -> {speedup[i]:.3f} "
+                     f"(tolerance {MONOTONE_TOL})")
+    # Gate 3: observability overhead.
+    ratio = report["obs"]["overhead_ratio"]
+    if ratio > OBS_RATIO_MAX:
+        fail(f"gates: obs overhead_ratio {ratio:.4f} > {OBS_RATIO_MAX}")
+    # Gate 4: solver parallel parity + solution agreement.
+    for case in report["solver_cases"]:
+        if case["parallel_ms"] > case["serial_ms"] * SOLVER_PARITY:
+            fail(f"gates: solver {case['name']} parallel {case['parallel_ms']:.1f} ms "
+                 f"> serial {case['serial_ms']:.1f} ms x {SOLVER_PARITY}")
+        if case["objective_rel_diff"] > OBJ_REL_DIFF_MAX:
+            fail(f"gates: solver {case['name']} objective_rel_diff "
+                 f"{case['objective_rel_diff']:.2e} > {OBJ_REL_DIFF_MAX}")
+    # Gate 5: the fused kernel must win (serial variant, steady measurement).
+    for case in report["fused"]:
+        if case["fusion_gain"][0] < FUSED_FLOOR:
+            fail(f"gates: fused {case['name']}/{case['model']} gain "
+                 f"{case['fusion_gain'][0]:.3f} < {FUSED_FLOOR} — fusion lost "
+                 f"to separate kernels")
+
+
+def structure_of(report):
+    """The baseline-worthy projection of a report: exact instance shape plus
+    banded reference timings."""
+    return {
+        "threads": report["threads"],
+        "eval_cases": [
+            {
+                "name": c["name"],
+                "model": c["model"],
+                "num_ods": c["num_ods"],
+                "nnz": c["nnz"],
+                "dim": c["dim"],
+                "gradient_ms_serial": c["gradient_ms"][0],
+            }
+            for c in report["eval_cases"]
+        ],
+        "solver_cases": [
+            {"name": c["name"], "num_ods": c["num_ods"], "serial_ms": c["serial_ms"]}
+            for c in report["solver_cases"]
+        ],
+    }
+
+
+def check_baselines(report):
+    if not BASELINES.exists():
+        fail(f"baselines: {BASELINES} missing — regenerate with --write-baselines")
+        return
+    base = json.loads(BASELINES.read_text())
+    cur = structure_of(report)
+    if base["threads"] != cur["threads"]:
+        fail(f"baselines: threads axis changed {base['threads']} -> {cur['threads']}")
+    for section in ("eval_cases", "solver_cases"):
+        by_key = {(c["name"], c.get("model")): c for c in base.get(section, [])}
+        for c in cur[section]:
+            key = (c["name"], c.get("model"))
+            ref = by_key.pop(key, None)
+            if ref is None:
+                fail(f"baselines: new {section} entry {key} — refresh baselines")
+                continue
+            for field in ("num_ods", "nnz", "dim"):
+                if field in ref and ref[field] != c[field]:
+                    fail(f"baselines: {key} {field} drifted {ref[field]} -> "
+                         f"{c[field]} — the instance changed, numbers not comparable")
+            for field in ("gradient_ms_serial", "serial_ms"):
+                if field in ref and ref[field] > 0:
+                    r = c[field] / ref[field]
+                    if r > TIMING_BAND or r < 1.0 / TIMING_BAND:
+                        fail(f"baselines: {key} {field} off by {r:.1f}x vs baseline "
+                             f"({ref[field]:.3f} -> {c[field]:.3f} ms)")
+        for key in by_key:
+            fail(f"baselines: {section} entry {key} disappeared from the report")
+
+
+def main():
+    args = sys.argv[1:]
+    write = "--write-baselines" in args
+    paths = [a for a in args if not a.startswith("--")]
+    if not paths:
+        print("usage: check_bench.py BENCH_eval.json [--write-baselines]",
+              file=sys.stderr)
+        return 2
+    report = json.loads(Path(paths[0]).read_text())
+
+    check_schema(report)
+    if not failures:
+        check_perf_gates(report)
+        if write:
+            BASELINES.write_text(json.dumps(structure_of(report), indent=2) + "\n")
+            print(f"wrote {BASELINES}")
+        else:
+            check_baselines(report)
+
+    if failures:
+        print(f"check_bench: {len(failures)} gate(s) failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"check_bench: all perf gates pass "
+          f"({len(report['eval_cases'])} eval, {len(report['fused'])} fused, "
+          f"{len(report['solver_cases'])} solver cases; "
+          f"obs ratio {report['obs']['overhead_ratio']:.4f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,7 +143,10 @@ impl Bencher {
                 }
                 let elapsed = start.elapsed();
                 if elapsed >= budget || iters >= 1 << 20 {
-                    let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                    // Sub-nanosecond bodies round to per_iter == 0 under
+                    // integer division; clamp after dividing so the budget
+                    // division below can never hit zero.
+                    let per_iter = (elapsed.as_nanos() / iters as u128).max(1);
                     self.iters_per_sample = (budget.as_nanos() / per_iter).clamp(1, 1 << 20) as u64;
                     return;
                 }
