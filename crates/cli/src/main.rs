@@ -7,6 +7,8 @@
 //! nws sweep <topology.topo> <task.nws> T..  re-solve across capacities
 //! nws plan <topo> <task.nws> <target>       minimal theta for a target
 //! nws serve [...]                           run the control-plane daemon
+//! nws replay --gen-trace day.jsonl [...]    generate a demand/failure trace
+//! nws replay --trace day.jsonl [...]        replay it under a solve budget
 //! nws topo validate <topology.topo>         parse + connectivity check
 //! nws topo stats <topology.topo>            size/degree/capacity summary
 //! nws topo export geant|abilene             print a bundled topology
@@ -26,6 +28,10 @@ use nws_core::scenarios::janet_task;
 use nws_core::taskfile::parse_task;
 use nws_core::{evaluate_accuracy, solve_placement_observed, summarize, PlacementConfig};
 use nws_obs::Recorder;
+use nws_scenario::{
+    bench_report, generate_trace, oracle_series, run_replay, run_sweep, GeneratorConfig,
+    ReplayPolicy, SweepEntry, Trace,
+};
 use nws_service::{Daemon, DaemonOptions, FaultPlan, FsyncPolicy, PersistConfig, ServiceState};
 use nws_topo::{abilene, format, geant, Topology};
 use std::process::ExitCode;
@@ -78,6 +84,7 @@ usage:
   nws sweep <topology.topo|--builtin NAME> <task.nws> <theta1> [theta2 ...]
   nws plan <topology.topo|--builtin NAME> <task.nws> <target-utility>
   nws serve [<topology.topo|--builtin NAME> <task.nws>] [serve options]
+  nws replay [<topology.topo|--builtin NAME> <task.nws>] [replay options]
   nws topo validate <topology.topo>
   nws topo stats <topology.topo|geant|abilene>
   nws topo export <geant|abilene>
@@ -121,7 +128,29 @@ on stdout — see DESIGN.md section 8 for the protocol):
   --chaos-store-seed SEED  inject a deterministic store-fault schedule
                     into the WAL/snapshot I/O path (chaos testing; the
                     daemon degrades persistence instead of crashing;
-                    requires --state-dir)";
+                    requires --state-dir)
+
+replay options (without a topology/task, replays against the paper's
+JANET-on-GEANT scenario; traces are JSON-lines files, see docs/FORMATS.md):
+  --gen-trace FILE  generate a day-long demand/failure trace and exit;
+                    shape knobs: --seed N --ticks N --period N --swing X
+                    --noise CV --flash-crowds N --link-flaps N
+                    --flap-duration N
+  --trace FILE      replay a trace tick by tick against an oracle that
+                    re-solves every tick (for replay, --trace names the
+                    input file; span tracing is unavailable)
+  --resolve-every N re-solve the placement every N ticks (default 1);
+                    link events always force a re-solve
+  --budgets A,B,..  sweep: replay once per budget in both reactive and
+                    forecast modes, print the accuracy-vs-budget curves
+                    (mutually exclusive with --resolve-every/--forecast)
+  --forecast        solve against Holt-predicted mid-window demands
+                    instead of the tick's observed demands
+  --hysteresis H    relative dead-band on monitor-rate changes: forecast
+                    solves whose rates move less than H of the installed
+                    maximum are not installed (default 0 = install all)
+  --bench-out FILE  write the accuracy results as JSON (BENCH_replay.json
+                    schema)";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let (args, config, obs) = extract_config(args)?;
@@ -130,6 +159,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("sweep") => cmd_sweep(&args[1..], &config, &obs),
         Some("plan") => cmd_plan(&args[1..], &config),
         Some("serve") => cmd_serve(&args[1..], &config, &obs),
+        Some("replay") => cmd_replay(&args[1..], &config, &obs),
         Some("topo") => cmd_topo(&args[1..]),
         Some("demo") => cmd_demo(&config, &obs),
         Some(other) => Err(usage_err(format!("unknown command '{other}'"))),
@@ -181,10 +211,15 @@ impl ObsSetup {
 /// Strips global options (`--threads N`, `--metrics-out F`, `--trace`) from
 /// anywhere in the argument list and folds them into a [`PlacementConfig`]
 /// plus an [`ObsSetup`].
+///
+/// Exception: for the `replay` command, `--trace` names the input trace
+/// file and is left in place for the replay parser (span tracing is not
+/// meaningful for a batch replay anyway).
 fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig, ObsSetup), CliError> {
     let mut rest = args.to_vec();
     let mut config = PlacementConfig::default();
     let mut obs = ObsSetup::default();
+    let trace_is_positional = rest.first().map(String::as_str) == Some("replay");
     while let Some(i) = rest.iter().position(|a| a == "--threads") {
         let n: usize = rest
             .get(i + 1)
@@ -201,9 +236,11 @@ fn extract_config(args: &[String]) -> Result<(Vec<String>, PlacementConfig, ObsS
         obs.metrics_out = Some(path.clone());
         rest.drain(i..=i + 1);
     }
-    while let Some(i) = rest.iter().position(|a| a == "--trace") {
-        obs.trace = true;
-        rest.remove(i);
+    if !trace_is_positional {
+        while let Some(i) = rest.iter().position(|a| a == "--trace") {
+            obs.trace = true;
+            rest.remove(i);
+        }
     }
     Ok((rest, config, obs))
 }
@@ -568,6 +605,261 @@ fn serve_socket(_daemon: &mut Daemon, _path: &str) -> Result<nws_service::Daemon
     Err(runtime_err("--socket is only supported on Unix platforms"))
 }
 
+/// Parsed `replay` invocation. Exactly one of `gen_out` (generate a trace
+/// and exit) or `trace_in` (replay one) must be set.
+#[derive(Debug, Default, PartialEq)]
+struct ReplaySetup {
+    gen_out: Option<String>,
+    trace_in: Option<String>,
+    resolve_every: Option<u64>,
+    budgets: Option<Vec<u64>>,
+    forecast: bool,
+    hysteresis: f64,
+    bench_out: Option<String>,
+    generator: GeneratorConfig,
+    positional: Vec<String>,
+}
+
+fn parse_replay_args(args: &[String]) -> Result<ReplaySetup, CliError> {
+    let mut setup = ReplaySetup {
+        generator: GeneratorConfig::default(),
+        ..ReplaySetup::default()
+    };
+    let mut i = 0;
+    // Small helpers so every value-taking flag reports consistent errors.
+    let want = |args: &[String], i: usize, what: &str| -> Result<String, CliError> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| usage_err(format!("{} requires {what}", args[i])))
+    };
+    fn num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, CliError> {
+        raw.parse()
+            .map_err(|_| usage_err(format!("{flag}: bad value '{raw}'")))
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gen-trace" => {
+                setup.gen_out = Some(want(args, i, "an output file")?);
+                i += 2;
+            }
+            "--trace" => {
+                setup.trace_in = Some(want(args, i, "a trace file")?);
+                i += 2;
+            }
+            "--resolve-every" => {
+                let n: u64 = num("--resolve-every", &want(args, i, "a tick count")?)?;
+                if n == 0 {
+                    return Err(usage_err("--resolve-every requires a positive integer"));
+                }
+                setup.resolve_every = Some(n);
+                i += 2;
+            }
+            "--budgets" => {
+                let raw = want(args, i, "a comma-separated list (e.g. 1,4,16)")?;
+                let budgets: Vec<u64> = raw
+                    .split(',')
+                    .map(|s| num("--budgets", s.trim()))
+                    .collect::<Result<_, _>>()?;
+                if budgets.is_empty() || budgets.contains(&0) {
+                    return Err(usage_err("--budgets requires positive tick counts"));
+                }
+                setup.budgets = Some(budgets);
+                i += 2;
+            }
+            "--forecast" => {
+                setup.forecast = true;
+                i += 1;
+            }
+            "--hysteresis" => {
+                let h: f64 = num("--hysteresis", &want(args, i, "a relative dead-band")?)?;
+                if !(0.0..1.0).contains(&h) {
+                    return Err(usage_err("--hysteresis must be in [0, 1)"));
+                }
+                setup.hysteresis = h;
+                i += 2;
+            }
+            "--bench-out" => {
+                setup.bench_out = Some(want(args, i, "a file path")?);
+                i += 2;
+            }
+            "--seed" => {
+                setup.generator.seed = num("--seed", &want(args, i, "an integer seed")?)?;
+                i += 2;
+            }
+            "--ticks" => {
+                let n: u64 = num("--ticks", &want(args, i, "a tick count")?)?;
+                if n == 0 {
+                    return Err(usage_err("--ticks requires a positive integer"));
+                }
+                setup.generator.ticks = n;
+                i += 2;
+            }
+            "--period" => {
+                let n: u64 = num("--period", &want(args, i, "a tick count")?)?;
+                if n == 0 {
+                    return Err(usage_err("--period requires a positive integer"));
+                }
+                setup.generator.period = n;
+                i += 2;
+            }
+            "--swing" => {
+                let x: f64 = num("--swing", &want(args, i, "a peak-to-trough ratio")?)?;
+                if !x.is_finite() || x < 1.0 {
+                    return Err(usage_err("--swing must be >= 1"));
+                }
+                setup.generator.diurnal_swing = x;
+                i += 2;
+            }
+            "--noise" => {
+                let cv: f64 = num("--noise", &want(args, i, "a coefficient of variation")?)?;
+                if !(0.0..10.0).contains(&cv) {
+                    return Err(usage_err("--noise must be in [0, 10)"));
+                }
+                setup.generator.noise_cv = cv;
+                i += 2;
+            }
+            "--flash-crowds" => {
+                setup.generator.flash_crowds = num("--flash-crowds", &want(args, i, "a count")?)?;
+                i += 2;
+            }
+            "--link-flaps" => {
+                setup.generator.link_flaps = num("--link-flaps", &want(args, i, "a count")?)?;
+                i += 2;
+            }
+            "--flap-duration" => {
+                let n: u64 = num("--flap-duration", &want(args, i, "a tick count")?)?;
+                if n == 0 {
+                    return Err(usage_err("--flap-duration requires a positive integer"));
+                }
+                setup.generator.flap_duration = n;
+                i += 2;
+            }
+            other if other.starts_with("--") && other != "--builtin" => {
+                return Err(usage_err(format!("unknown replay option '{other}'")));
+            }
+            _ => {
+                setup.positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    match (&setup.gen_out, &setup.trace_in) {
+        (Some(_), Some(_)) => {
+            return Err(usage_err("--gen-trace and --trace are mutually exclusive"));
+        }
+        (None, None) => {
+            return Err(usage_err(
+                "replay requires --gen-trace FILE or --trace FILE",
+            ));
+        }
+        _ => {}
+    }
+    if setup.budgets.is_some() && (setup.resolve_every.is_some() || setup.forecast) {
+        return Err(usage_err(
+            "--budgets sweeps both modes itself; drop --resolve-every/--forecast",
+        ));
+    }
+    if setup.gen_out.is_some()
+        && (setup.budgets.is_some()
+            || setup.resolve_every.is_some()
+            || setup.forecast
+            || setup.bench_out.is_some())
+    {
+        return Err(usage_err("replay options are meaningless with --gen-trace"));
+    }
+    Ok(setup)
+}
+
+fn cmd_replay(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Result<(), CliError> {
+    let setup = parse_replay_args(args)?;
+    let task = if setup.positional.is_empty() {
+        janet_task()
+    } else {
+        let (topo, used) = load_topology(&setup.positional)?;
+        let task_path = setup
+            .positional
+            .get(used)
+            .ok_or_else(|| usage_err("replay requires a task file after the topology"))?;
+        if setup.positional.len() > used + 1 {
+            return Err(usage_err(format!(
+                "unexpected argument '{}'",
+                setup.positional[used + 1]
+            )));
+        }
+        load_task(topo, task_path)?
+    };
+    let state = ServiceState::from_task(&task, *config);
+    let rec = obs.recorder();
+
+    if let Some(path) = &setup.gen_out {
+        let trace = generate_trace(&state, &setup.generator);
+        std::fs::write(path, trace.encode())
+            .map_err(|e| runtime_err(format!("cannot write '{path}': {e}")))?;
+        let events: u64 = trace.ticks.iter().map(|t| t.events.len() as u64).sum();
+        println!(
+            "trace written to {path}: {} ticks, {} ods, {} link events, seed {}",
+            trace.header.ticks,
+            trace.header.ods.len(),
+            events,
+            trace.header.seed
+        );
+        return obs.finish(&rec);
+    }
+
+    let path = setup.trace_in.as_deref().expect("validated above");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| runtime_err(format!("cannot read trace '{path}': {e}")))?;
+    let trace = Trace::parse(&text).map_err(|e| runtime_err(format!("trace '{path}': {e}")))?;
+
+    let oracle = oracle_series(&state, &trace).map_err(|e| runtime_err(format!("oracle: {e}")))?;
+    let entries = match &setup.budgets {
+        Some(budgets) => run_sweep(&state, &trace, &oracle, budgets, setup.hysteresis, &rec)
+            .map_err(|e| runtime_err(format!("replay: {e}")))?,
+        None => {
+            let n = setup.resolve_every.unwrap_or(1);
+            let mut policy = if setup.forecast {
+                ReplayPolicy::forecast(n)
+            } else {
+                ReplayPolicy::reactive(n)
+            };
+            policy.hysteresis = setup.hysteresis;
+            let t0 = std::time::Instant::now();
+            let outcome = run_replay(&state, &trace, &policy, &oracle, &rec)
+                .map_err(|e| runtime_err(format!("replay: {e}")))?;
+            vec![SweepEntry {
+                outcome,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            }]
+        }
+    };
+
+    println!("mode,resolve_every,resolves,suppressed,mean_gap,max_gap,err_p50,err_p90,err_p99,rate_churn");
+    for e in &entries {
+        let o = &e.outcome;
+        println!(
+            "{},{},{},{},{:.6e},{:.6e},{:.4},{:.4},{:.4},{:.4}",
+            o.policy.mode.name(),
+            o.policy.resolve_every,
+            o.resolves,
+            o.suppressed,
+            o.mean_gap,
+            o.max_gap,
+            o.err_p50,
+            o.err_p90,
+            o.err_p99,
+            o.rate_churn
+        );
+    }
+
+    if let Some(path) = &setup.bench_out {
+        let report = bench_report(&trace, &oracle, &entries);
+        std::fs::write(path, format!("{}\n", report.encode()))
+            .map_err(|e| runtime_err(format!("cannot write '{path}': {e}")))?;
+        eprintln!("replay: accuracy curves written to {path}");
+    }
+    obs.finish(&rec)
+}
+
 fn cmd_topo(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("validate") => {
@@ -925,6 +1217,171 @@ mod tests {
         .unwrap_err();
         assert!(is_usage(&err));
         assert!(err.to_string().contains("task file"));
+    }
+
+    #[test]
+    fn replay_args_parse() {
+        let args: Vec<String> = [
+            "--trace",
+            "day.jsonl",
+            "--resolve-every",
+            "4",
+            "--forecast",
+            "--hysteresis",
+            "0.05",
+            "--bench-out",
+            "out.json",
+        ]
+        .map(String::from)
+        .to_vec();
+        let setup = parse_replay_args(&args).unwrap();
+        assert_eq!(setup.trace_in.as_deref(), Some("day.jsonl"));
+        assert_eq!(setup.resolve_every, Some(4));
+        assert!(setup.forecast);
+        assert_eq!(setup.hysteresis, 0.05);
+        assert_eq!(setup.bench_out.as_deref(), Some("out.json"));
+
+        let args: Vec<String> = ["--trace", "day.jsonl", "--budgets", "1,4,16"]
+            .map(String::from)
+            .to_vec();
+        let setup = parse_replay_args(&args).unwrap();
+        assert_eq!(setup.budgets, Some(vec![1, 4, 16]));
+
+        let args: Vec<String> = [
+            "--gen-trace",
+            "day.jsonl",
+            "--seed",
+            "7",
+            "--ticks",
+            "12",
+            "--period",
+            "12",
+            "--swing",
+            "2.5",
+            "--noise",
+            "0.1",
+            "--flash-crowds",
+            "0",
+            "--link-flaps",
+            "0",
+        ]
+        .map(String::from)
+        .to_vec();
+        let setup = parse_replay_args(&args).unwrap();
+        assert_eq!(setup.gen_out.as_deref(), Some("day.jsonl"));
+        assert_eq!(setup.generator.seed, 7);
+        assert_eq!(setup.generator.ticks, 12);
+        assert_eq!(setup.generator.diurnal_swing, 2.5);
+        assert_eq!(setup.generator.flash_crowds, 0);
+    }
+
+    #[test]
+    fn replay_args_reject_bad_combinations() {
+        let parse = |args: &[&str]| {
+            parse_replay_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        };
+        // Neither or both of --gen-trace/--trace.
+        assert!(is_usage(&parse(&[]).unwrap_err()));
+        assert!(is_usage(
+            &parse(&["--gen-trace", "a", "--trace", "b"]).unwrap_err()
+        ));
+        // --budgets excludes the single-run flags.
+        assert!(is_usage(
+            &parse(&["--trace", "t", "--budgets", "1,4", "--forecast"]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse(&["--trace", "t", "--budgets", "1,4", "--resolve-every", "2"]).unwrap_err()
+        ));
+        // Replay knobs are meaningless when generating.
+        assert!(is_usage(
+            &parse(&["--gen-trace", "t", "--forecast"]).unwrap_err()
+        ));
+        // Bad values.
+        assert!(is_usage(&parse(&["--trace"]).unwrap_err()));
+        assert!(is_usage(
+            &parse(&["--trace", "t", "--resolve-every", "0"]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse(&["--trace", "t", "--budgets", "1,x"]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse(&["--trace", "t", "--hysteresis", "1.5"]).unwrap_err()
+        ));
+        assert!(is_usage(
+            &parse(&["--gen-trace", "t", "--swing", "0.5"]).unwrap_err()
+        ));
+        assert!(is_usage(&parse(&["--trace", "t", "--warp"]).unwrap_err()));
+    }
+
+    #[test]
+    fn replay_keeps_trace_flag_for_itself() {
+        // For every other command --trace is the span-tracing switch; for
+        // replay it names the input file and must survive extract_config.
+        let args: Vec<String> = ["replay", "--trace", "day.jsonl"]
+            .map(String::from)
+            .to_vec();
+        let (rest, _, obs) = extract_config(&args).unwrap();
+        assert_eq!(rest, args);
+        assert!(!obs.trace);
+
+        let args: Vec<String> = ["demo", "--trace"].map(String::from).to_vec();
+        let (rest, _, obs) = extract_config(&args).unwrap();
+        assert_eq!(rest, vec!["demo".to_string()]);
+        assert!(obs.trace);
+    }
+
+    #[test]
+    fn replay_generates_and_replays_a_trace() {
+        let dir = std::env::temp_dir().join("nws_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("day.jsonl").to_string_lossy().into_owned();
+        let bench_path = dir.join("replay.json").to_string_lossy().into_owned();
+        run(&[
+            "replay".into(),
+            "--gen-trace".into(),
+            trace_path.clone(),
+            "--seed".into(),
+            "7".into(),
+            "--ticks".into(),
+            "8".into(),
+            "--period".into(),
+            "8".into(),
+            "--link-flaps".into(),
+            "0".into(),
+            "--flash-crowds".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert_eq!(text.lines().count(), 9, "header + 8 ticks");
+
+        run(&[
+            "replay".into(),
+            "--trace".into(),
+            trace_path.clone(),
+            "--budgets".into(),
+            "1,4".into(),
+            "--bench-out".into(),
+            bench_path.clone(),
+        ])
+        .unwrap();
+        let report = std::fs::read_to_string(&bench_path).unwrap();
+        let json = nws_service::json::parse(&report).unwrap();
+        assert_eq!(json.get("bench").and_then(|b| b.as_str()), Some("replay"));
+        assert_eq!(json.get("curves").unwrap().as_arr().unwrap().len(), 4);
+
+        // A single forecast run with hysteresis also works end to end.
+        run(&[
+            "replay".into(),
+            "--trace".into(),
+            trace_path,
+            "--resolve-every".into(),
+            "2".into(),
+            "--forecast".into(),
+            "--hysteresis".into(),
+            "0.02".into(),
+        ])
+        .unwrap();
     }
 
     #[test]

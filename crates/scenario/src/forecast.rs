@@ -1,0 +1,220 @@
+//! Holt-style demand forecasting with a hysteresis dead-band.
+//!
+//! Each tracked OD gets one [`HoltForecaster`]: double exponential
+//! smoothing with level `ℓ` and trend `b`,
+//!
+//! ```text
+//! ℓ_t = α·y_t + (1−α)·(ℓ_{t−1} + b_{t−1})
+//! b_t = β·(ℓ_t − ℓ_{t−1}) + (1−β)·b_{t−1}
+//! ŷ_{t+h} = ℓ_t + h·b_t
+//! ```
+//!
+//! With `β = 0` this degenerates to simple exponential smoothing — the
+//! AR(1)-style "tomorrow looks like a discounted today" predictor; with
+//! `β > 0` the trend term lets the forecast lead a diurnal ramp instead of
+//! lagging it. State is clamped to a finite band so predictions stay
+//! finite and non-negative for *any* finite history (see the proptest in
+//! `tests/forecaster.rs`).
+//!
+//! [`Hysteresis`] is the churn guard on the *output* side: a re-solve
+//! whose rates barely move is not worth installing (every installation is
+//! monitor reconfiguration in the field), so scheduled solves whose
+//! maximum relative rate change stays inside the dead-band are suppressed.
+
+/// Smoothing parameters for [`HoltForecaster`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoltConfig {
+    /// Level smoothing factor `α ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Trend smoothing factor `β ∈ [0, 1]`. Zero disables the trend term.
+    pub beta: f64,
+}
+
+impl Default for HoltConfig {
+    fn default() -> Self {
+        HoltConfig {
+            alpha: 0.6,
+            beta: 0.3,
+        }
+    }
+}
+
+/// Forecast state is clamped to ±`STATE_BOUND` so `ℓ + h·b` cannot
+/// overflow to infinity even for histories near `f64::MAX`.
+const STATE_BOUND: f64 = 1e150;
+
+/// One OD's demand predictor (Holt double exponential smoothing).
+#[derive(Debug, Clone)]
+pub struct HoltForecaster {
+    cfg: HoltConfig,
+    level: f64,
+    trend: f64,
+    seen: usize,
+}
+
+impl HoltForecaster {
+    /// A forecaster with no history yet.
+    ///
+    /// # Panics
+    /// Panics if either smoothing factor is outside `[0, 1]`.
+    pub fn new(cfg: HoltConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.alpha) && (0.0..=1.0).contains(&cfg.beta),
+            "smoothing factors must lie in [0, 1]"
+        );
+        HoltForecaster {
+            cfg,
+            level: 0.0,
+            trend: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// Number of observations absorbed so far.
+    pub fn observations(&self) -> usize {
+        self.seen
+    }
+
+    /// Absorbs one observation. Non-finite or negative samples are
+    /// clamped into `[0, STATE_BOUND]` first — a hostile trace line must
+    /// not poison the predictor state.
+    pub fn observe(&mut self, y: f64) {
+        let y = if y.is_finite() {
+            y.clamp(0.0, STATE_BOUND)
+        } else {
+            0.0
+        };
+        match self.seen {
+            0 => {
+                self.level = y;
+            }
+            1 => {
+                // The first trend estimate is the first difference.
+                self.trend = y - self.level;
+                self.level = y;
+            }
+            _ => {
+                let prev_level = self.level;
+                self.level =
+                    self.cfg.alpha * y + (1.0 - self.cfg.alpha) * (prev_level + self.trend);
+                self.trend =
+                    self.cfg.beta * (self.level - prev_level) + (1.0 - self.cfg.beta) * self.trend;
+            }
+        }
+        self.level = self.level.clamp(-STATE_BOUND, STATE_BOUND);
+        self.trend = self.trend.clamp(-STATE_BOUND, STATE_BOUND);
+        self.seen += 1;
+    }
+
+    /// Predicts the demand `horizon` ticks ahead of the last observation.
+    /// Always finite and non-negative; with fewer than 2 observations it
+    /// falls back to the last level (no trend extrapolation from a single
+    /// sample).
+    pub fn predict(&self, horizon: f64) -> f64 {
+        let horizon = if horizon.is_finite() {
+            horizon.max(0.0)
+        } else {
+            0.0
+        };
+        let raw = if self.seen < 2 {
+            self.level
+        } else {
+            self.level + horizon * self.trend
+        };
+        raw.clamp(0.0, STATE_BOUND)
+    }
+}
+
+/// Dead-band policy on monitor-rate changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hysteresis {
+    /// Relative dead-band: a candidate configuration is installed only if
+    /// `max_i |p'_i − p_i| / max_i p_i` exceeds this. Zero installs every
+    /// solve.
+    pub dead_band: f64,
+}
+
+impl Hysteresis {
+    /// Whether `candidate` differs enough from `installed` to be worth
+    /// installing. Vectors must have equal length.
+    pub fn should_install(&self, installed: &[f64], candidate: &[f64]) -> bool {
+        debug_assert_eq!(installed.len(), candidate.len());
+        if self.dead_band <= 0.0 {
+            return true;
+        }
+        let scale = installed
+            .iter()
+            .fold(0.0_f64, |m, &p| m.max(p.abs()))
+            .max(f64::MIN_POSITIVE);
+        let max_delta = installed
+            .iter()
+            .zip(candidate)
+            .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()));
+        max_delta / scale > self.dead_band
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_a_linear_ramp() {
+        let mut f = HoltForecaster::new(HoltConfig::default());
+        for t in 0..50 {
+            f.observe(100.0 + 10.0 * t as f64);
+        }
+        // One step ahead of the last sample (590): the trend is learned.
+        let pred = f.predict(1.0);
+        assert!((pred - 600.0).abs() < 10.0, "predicted {pred}");
+        // The trend extrapolates with the horizon.
+        assert!(f.predict(5.0) > f.predict(1.0));
+    }
+
+    #[test]
+    fn constant_series_predicts_itself() {
+        let mut f = HoltForecaster::new(HoltConfig::default());
+        for _ in 0..20 {
+            f.observe(42.0);
+        }
+        for h in [0.0, 1.0, 10.0] {
+            assert!((f.predict(h) - 42.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn beta_zero_is_trendless() {
+        let mut f = HoltForecaster::new(HoltConfig {
+            alpha: 0.5,
+            beta: 0.0,
+        });
+        // The initial first-difference seeds the trend even with β = 0,
+        // so feed equal first samples and ramp afterwards.
+        f.observe(100.0);
+        f.observe(100.0);
+        for t in 0..20 {
+            f.observe(100.0 + 10.0 * t as f64);
+        }
+        assert_eq!(f.predict(1.0), f.predict(100.0));
+    }
+
+    #[test]
+    fn hostile_samples_are_contained() {
+        let mut f = HoltForecaster::new(HoltConfig::default());
+        for y in [f64::NAN, f64::INFINITY, -5.0, f64::MAX, 1e-300] {
+            f.observe(y);
+        }
+        let p = f.predict(f64::INFINITY);
+        assert!(p.is_finite() && p >= 0.0);
+    }
+
+    #[test]
+    fn dead_band_filters_small_moves() {
+        let h = Hysteresis { dead_band: 0.05 };
+        let installed = [0.5, 0.2, 0.0];
+        assert!(!h.should_install(&installed, &[0.51, 0.2, 0.0])); // 2% of max
+        assert!(h.should_install(&installed, &[0.6, 0.2, 0.0])); // 20% of max
+        let off = Hysteresis { dead_band: 0.0 };
+        assert!(off.should_install(&installed, &installed));
+    }
+}

@@ -1,0 +1,141 @@
+//! Dynamic-traffic scenario engine: seeded trace generation, daemon
+//! replay under a re-solve budget, oracle-scored delivered accuracy, and
+//! Holt-style demand forecasting with hysteresis.
+//!
+//! The paper's placement is only optimal for the traffic matrix it was
+//! solved against; real demand moves. This crate measures what that
+//! movement costs: a [`generate::generate_trace`] day (diurnal sinusoid,
+//! flash crowds, link flaps) is replayed tick by tick through a
+//! [`nws_service::ServiceState`] whose re-solve cadence is throttled by a
+//! [`replay::ReplayPolicy`], and every tick the *delivered* objective of
+//! the (possibly stale) installed rates is compared against an oracle
+//! that re-solves each tick ([`replay::oracle_series`]). The result is an
+//! accuracy-versus-reoptimization-budget curve, and the
+//! [`replay::Mode::Forecast`] variant shows how much of the gap a
+//! demand predictor claws back at the same budget. See `DESIGN.md` §13.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod forecast;
+pub mod generate;
+pub mod replay;
+pub mod trace;
+
+pub use forecast::{HoltConfig, HoltForecaster, Hysteresis};
+pub use generate::{flappable_fibres, generate_trace, GeneratorConfig};
+pub use replay::{
+    oracle_series, run_replay, Mode, OracleTick, ReplayOutcome, ReplayPolicy, TickScore,
+};
+pub use trace::{LinkEvent, Trace, TraceHeader, TraceTick};
+
+use nws_obs::Recorder;
+use nws_service::json::{obj, Json};
+use nws_service::{ServiceError, ServiceState};
+
+/// One row of the accuracy-vs-budget sweep.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// The replay outcome.
+    pub outcome: ReplayOutcome,
+    /// Wall time of the replay run in milliseconds (reporting only — every
+    /// accuracy number in the outcome is deterministic).
+    pub wall_ms: f64,
+}
+
+/// Replays `trace` once per `(mode, budget)` combination — reactive and
+/// forecast at every budget in `budgets` — against the shared `oracle`
+/// (from [`oracle_series`] on the same trace), and returns the rows in
+/// deterministic order (budgets as given, reactive before forecast).
+///
+/// # Errors
+/// Any spec or solver error from a replay run.
+pub fn run_sweep(
+    base: &ServiceState,
+    trace: &Trace,
+    oracle: &[OracleTick],
+    budgets: &[u64],
+    hysteresis: f64,
+    recorder: &Recorder,
+) -> Result<Vec<SweepEntry>, ServiceError> {
+    let mut entries = Vec::with_capacity(budgets.len() * 2);
+    for &n in budgets {
+        for policy in [ReplayPolicy::reactive(n), {
+            let mut p = ReplayPolicy::forecast(n);
+            p.hysteresis = hysteresis;
+            p
+        }] {
+            let t0 = std::time::Instant::now();
+            let outcome = run_replay(base, trace, &policy, oracle, recorder)?;
+            entries.push(SweepEntry {
+                outcome,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+    Ok(entries)
+}
+
+/// Assembles the `BENCH_replay.json` document from a sweep: trace
+/// provenance, oracle summary, and one curve row per `(mode, budget)`.
+pub fn bench_report(trace: &Trace, oracle: &[OracleTick], entries: &[SweepEntry]) -> Json {
+    let oracle_mean = if oracle.is_empty() {
+        0.0
+    } else {
+        oracle.iter().map(|o| o.objective).sum::<f64>() / oracle.len() as f64
+    };
+    let curves: Vec<Json> = entries
+        .iter()
+        .map(|e| {
+            let o = &e.outcome;
+            let mut pairs = vec![
+                ("mode", Json::Str(o.policy.mode.name().into())),
+                ("resolve_every", Json::UInt(o.policy.resolve_every)),
+                ("hysteresis", Json::Num(o.policy.hysteresis)),
+                ("resolves", Json::UInt(o.resolves)),
+                ("suppressed", Json::UInt(o.suppressed)),
+                ("mean_gap", Json::Num(o.mean_gap)),
+                ("max_gap", Json::Num(o.max_gap)),
+                ("final_gap", Json::Num(o.final_gap)),
+                ("err_p50", Json::Num(o.err_p50)),
+                ("err_p90", Json::Num(o.err_p90)),
+                ("err_p99", Json::Num(o.err_p99)),
+                ("rate_churn", Json::Num(o.rate_churn)),
+                ("wall_ms", Json::Num(e.wall_ms)),
+            ];
+            if let Some(mae) = o.forecast_mae {
+                pairs.push(("forecast_mae", Json::Num(mae)));
+            }
+            obj(pairs)
+        })
+        .collect();
+    obj(vec![
+        ("bench", Json::Str("replay".into())),
+        (
+            "trace",
+            obj(vec![
+                ("seed", Json::UInt(trace.header.seed)),
+                ("ticks", Json::UInt(trace.header.ticks)),
+                ("ods", Json::UInt(trace.header.ods.len() as u64)),
+                (
+                    "link_events",
+                    Json::UInt(
+                        trace
+                            .ticks
+                            .iter()
+                            .map(|t| t.events.len() as u64)
+                            .sum::<u64>(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "oracle",
+            obj(vec![
+                ("mean_objective", Json::Num(oracle_mean)),
+                ("resolves", Json::UInt(oracle.len() as u64)),
+            ]),
+        ),
+        ("curves", Json::Arr(curves)),
+    ])
+}

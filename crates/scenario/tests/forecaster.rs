@@ -1,0 +1,110 @@
+//! Forecaster safety and hysteresis behaviour: predictions stay finite
+//! and non-negative for arbitrary finite histories (the replay loop feeds
+//! them straight into the solver as demand sizes), and the dead-band
+//! suppresses monitor-rate churn on a constant-plus-noise day.
+
+use nws_core::scenarios::janet_task;
+use nws_core::PlacementConfig;
+use nws_obs::Recorder;
+use nws_scenario::{
+    generate_trace, oracle_series, run_replay, GeneratorConfig, HoltConfig, HoltForecaster,
+    ReplayPolicy,
+};
+use nws_service::ServiceState;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A hostile-but-finite sample: magnitudes from 1e-300 to 1e300, both
+/// signs, and exact zeros.
+fn arb_sample(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0u32..6) {
+        0 => 0.0,
+        1 => rng.random_range(0.0..1e6),
+        2 => -rng.random_range(0.0..1e6),
+        3 => rng.random_range(0.0..1.0) * 1e300,
+        4 => -rng.random_range(0.0..1.0) * 1e300,
+        _ => rng.random_range(0.0..1.0) * 1e-300,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For any finite history and any smoothing factors, every prediction
+    /// at any horizon is finite and non-negative.
+    #[test]
+    fn predictions_finite_and_nonnegative(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = HoltConfig {
+            alpha: rng.random_range(0.0..=1.0),
+            beta: rng.random_range(0.0..=1.0),
+        };
+        let mut f = HoltForecaster::new(cfg);
+        let len = rng.random_range(0usize..64);
+        for _ in 0..len {
+            f.observe(arb_sample(&mut rng));
+            for h in [0.0, 0.5, 1.0, 24.0, 1e9] {
+                let p = f.predict(h);
+                prop_assert!(
+                    p.is_finite() && p >= 0.0,
+                    "prediction {p} at horizon {h} after {} samples",
+                    f.observations()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hysteresis_suppresses_churn_on_constant_plus_noise() {
+    // A flat day (swing 1) with 5% noise: the optimum jitters a little
+    // every tick, so an every-tick installer keeps reconfiguring monitors
+    // for nothing. The dead-band must absorb most of that churn without
+    // giving up meaningful accuracy.
+    let base = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let cfg = GeneratorConfig {
+        ticks: 24,
+        diurnal_swing: 1.0,
+        noise_cv: 0.05,
+        flash_crowds: 0,
+        link_flaps: 0,
+        ..GeneratorConfig::default()
+    };
+    let trace = generate_trace(&base, &cfg);
+    let oracle = oracle_series(&base, &trace).unwrap();
+    let recorder = Recorder::disabled();
+
+    let nervous = run_replay(
+        &base,
+        &trace,
+        &ReplayPolicy::forecast(1),
+        &oracle,
+        &recorder,
+    )
+    .unwrap();
+    let mut damped_policy = ReplayPolicy::forecast(1);
+    damped_policy.hysteresis = 0.05;
+    let damped = run_replay(&base, &trace, &damped_policy, &oracle, &recorder).unwrap();
+
+    assert_eq!(nervous.suppressed, 0);
+    assert!(nervous.rate_churn > 0.0, "noise must move the optimum");
+    assert!(
+        damped.suppressed > 0,
+        "dead-band never engaged: churn {}",
+        damped.rate_churn
+    );
+    assert!(
+        damped.rate_churn < nervous.rate_churn * 0.5,
+        "churn {} not suppressed vs {}",
+        damped.rate_churn,
+        nervous.rate_churn
+    );
+    // The accuracy cost of standing still inside the dead-band is small.
+    assert!(
+        damped.mean_gap < nervous.mean_gap + 0.02,
+        "dead-band ruined accuracy: {} vs {}",
+        damped.mean_gap,
+        nervous.mean_gap
+    );
+}

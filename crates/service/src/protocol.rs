@@ -18,6 +18,16 @@ pub enum Request {
         /// New ground-truth size in packets per interval.
         size: f64,
     },
+    /// Replace the sizes of several tracked OD pairs in one transaction.
+    ///
+    /// The whole batch is one event: one epoch rebuild, one warm re-solve,
+    /// one WAL record. A batch with any invalid entry (unknown OD, bad
+    /// size, duplicate OD within the batch) is rejected atomically — no
+    /// partial application.
+    UpdateDemands {
+        /// `(od name, new size)` pairs; non-empty, names unique.
+        updates: Vec<(String, f64)>,
+    },
     /// Fail the fibre between two PoPs (both directions).
     FailLink {
         /// One endpoint node name.
@@ -87,6 +97,7 @@ impl Request {
     pub fn name(&self) -> &'static str {
         match self {
             Request::UpdateDemand { .. } => "update_demand",
+            Request::UpdateDemands { .. } => "update_demands",
             Request::FailLink { .. } => "fail_link",
             Request::RestoreLink { .. } => "restore_link",
             Request::AddOd { .. } => "add_od",
@@ -110,6 +121,7 @@ impl Request {
         matches!(
             self,
             Request::UpdateDemand { .. }
+                | Request::UpdateDemands { .. }
                 | Request::FailLink { .. }
                 | Request::RestoreLink { .. }
                 | Request::AddOd { .. }
@@ -135,6 +147,19 @@ impl Request {
             Request::UpdateDemand { od, size } => {
                 pairs.push(("od", Json::Str(od.clone())));
                 pairs.push(("size", Json::Num(*size)));
+            }
+            Request::UpdateDemands { updates } => {
+                pairs.push((
+                    "updates",
+                    Json::Arr(
+                        updates
+                            .iter()
+                            .map(|(od, size)| {
+                                Json::Arr(vec![Json::Str(od.clone()), Json::Num(*size)])
+                            })
+                            .collect(),
+                    ),
+                ));
             }
             Request::FailLink { a, b } | Request::RestoreLink { a, b } => {
                 pairs.push(("a", Json::Str(a.clone())));
@@ -201,6 +226,51 @@ fn size_field(v: &Json, key: &str) -> Result<f64, String> {
     Ok(size)
 }
 
+/// Upper bound on `update_demands` batch length; far above any real OD set
+/// but low enough that a hostile line cannot make the event loop chew
+/// through an unbounded batch.
+const MAX_BATCH: usize = 100_000;
+
+/// The `updates` array of a batched demand update: a non-empty list of
+/// `[od, size]` pairs. Sizes pass the same `size_field` bound as single
+/// updates; duplicate OD names are rejected here so a mixed batch never
+/// reaches the state layer half-valid.
+fn updates_field(v: &Json) -> Result<Vec<(String, f64)>, String> {
+    let arr = v
+        .get("updates")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array field 'updates'")?;
+    if arr.is_empty() {
+        return Err("'updates' must be a non-empty array".into());
+    }
+    if arr.len() > MAX_BATCH {
+        return Err(format!("'updates' batch exceeds {MAX_BATCH} entries"));
+    }
+    let mut out: Vec<(String, f64)> = Vec::with_capacity(arr.len());
+    for (i, entry) in arr.iter().enumerate() {
+        let pair = entry
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or(format!("updates[{i}] must be a 2-element [od, size] array"))?;
+        let od = pair[0]
+            .as_str()
+            .ok_or(format!("updates[{i}] OD name must be a string"))?;
+        let size = pair[1]
+            .as_f64()
+            .ok_or(format!("updates[{i}] size must be numeric"))?;
+        if !size.is_finite() || size <= 1.0 {
+            return Err(format!(
+                "updates[{i}] must be a finite mean flow size > 1 packet, got {size}"
+            ));
+        }
+        if out.iter().any(|(seen, _)| seen == od) {
+            return Err(format!("updates[{i}] duplicates OD '{od}' in the batch"));
+        }
+        out.push((od.to_string(), size));
+    }
+    Ok(out)
+}
+
 fn opt_num_field(v: &Json, key: &str, default: f64) -> Result<f64, String> {
     match v.get(key) {
         None => Ok(default),
@@ -225,6 +295,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "update_demand" => Ok(Request::UpdateDemand {
             od: str_field(&v, "od")?,
             size: size_field(&v, "size")?,
+        }),
+        "update_demands" => Ok(Request::UpdateDemands {
+            updates: updates_field(&v)?,
         }),
         "fail_link" => Ok(Request::FailLink {
             a: str_field(&v, "a")?,
@@ -291,6 +364,12 @@ mod tests {
                 },
             ),
             (
+                r#"{"cmd":"update_demands","updates":[["JANET-NL",1e6],["JANET-DE",2e6]]}"#,
+                Request::UpdateDemands {
+                    updates: vec![("JANET-NL".into(), 1e6), ("JANET-DE".into(), 2e6)],
+                },
+            ),
+            (
                 r#"{"cmd":"fail_link","a":"FR","b":"LU"}"#,
                 Request::FailLink {
                     a: "FR".into(),
@@ -346,6 +425,7 @@ mod tests {
         for line in [
             r#"{"cmd":"update_demand","od":"JANET-NL","size":10800000}"#,
             r#"{"cmd":"update_demand","od":"JANET-NL","size":12345.678}"#,
+            r#"{"cmd":"update_demands","updates":[["JANET-NL",10800000],["NL-DE",12345.678]]}"#,
             r#"{"cmd":"fail_link","a":"FR","b":"LU"}"#,
             r#"{"cmd":"restore_link","a":"FR","b":"LU"}"#,
             r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":500.25}"#,
@@ -395,6 +475,11 @@ mod tests {
         assert!(parse_request(r#"{"cmd":"set_theta","theta":1}"#)
             .unwrap()
             .is_mutating());
+        assert!(
+            parse_request(r#"{"cmd":"update_demands","updates":[["X",5]]}"#)
+                .unwrap()
+                .is_mutating()
+        );
         assert!(!parse_request(r#"{"cmd":"query_rates"}"#)
             .unwrap()
             .is_mutating());
@@ -447,5 +532,25 @@ mod tests {
             parse_request(r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":1.001}"#)
                 .is_ok()
         );
+    }
+
+    #[test]
+    fn mixed_demand_batches_rejected_atomically() {
+        // One bad entry anywhere in the batch fails the whole line at the
+        // protocol boundary — the state layer never sees a partial batch.
+        for bad in [
+            r#"{"cmd":"update_demands"}"#,
+            r#"{"cmd":"update_demands","updates":[]}"#,
+            r#"{"cmd":"update_demands","updates":"X"}"#,
+            r#"{"cmd":"update_demands","updates":[["X",5],["Y"]]}"#,
+            r#"{"cmd":"update_demands","updates":[["X",5],[7,9]]}"#,
+            r#"{"cmd":"update_demands","updates":[["X",5],["Y","big"]]}"#,
+            r#"{"cmd":"update_demands","updates":[["X",5],["Y",0.5]]}"#,
+            r#"{"cmd":"update_demands","updates":[["X",5],["Y",1e999]]}"#,
+            r#"{"cmd":"update_demands","updates":[["X",5],["X",6]]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(parse_request(r#"{"cmd":"update_demands","updates":[["X",1.001]]}"#).is_ok());
     }
 }

@@ -278,6 +278,49 @@ impl ServiceState {
         self.snapshots.len()
     }
 
+    /// The base topology's fibres as canonically ordered endpoint-name
+    /// pairs, deduplicated across directions — the universe of
+    /// `fail_link`/`restore_link` targets. Order follows link ids, so the
+    /// list is deterministic for a given topology.
+    pub fn fibres(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        for id in self.base.link_ids() {
+            let link = self.base.link(id);
+            let pair = canonical_pair(
+                self.base.node(link.src()).name(),
+                self.base.node(link.dst()).name(),
+            );
+            if !out.contains(&pair) {
+                out.push(pair);
+            }
+        }
+        out
+    }
+
+    /// Adopts `other`'s installed configuration without re-solving — the
+    /// predictive-serving primitive: solve a *forecast* copy of the state
+    /// (same base topology, demands set to predictions) and put those
+    /// rates in force on the real state. The spec of `self` is untouched.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] when `other` has nothing installed or its
+    /// base topology has a different link count.
+    pub fn install_from(&mut self, other: &ServiceState) -> Result<(), ServiceError> {
+        let inst = other
+            .installed
+            .as_ref()
+            .ok_or_else(|| ServiceError::State("source state has nothing installed".into()))?;
+        if inst.rates_base.len() != self.base.num_links() {
+            return Err(ServiceError::State(format!(
+                "installed rate vector has {} entries, base topology has {} links",
+                inst.rates_base.len(),
+                self.base.num_links()
+            )));
+        }
+        self.installed = Some(inst.clone());
+        Ok(())
+    }
+
     fn failed_link_ids(&self) -> Result<Vec<LinkId>, ServiceError> {
         let mut ids = Vec::new();
         for (a, b) in &self.failed {
@@ -296,6 +339,9 @@ impl ServiceState {
 
     /// Rebuilds the current epoch's task and the base→epoch link-id map.
     fn rebuild(&self) -> Result<(MeasurementTask, Vec<Option<LinkId>>), ServiceError> {
+        // Counted so tests (and operators) can verify that a batched event
+        // costs one epoch rebuild, not one per entry.
+        self.recorder.counter_add("state_epoch_rebuilds_total", 1);
         let failed_ids = self.failed_link_ids()?;
         let topo_now = without_links(&self.base, &failed_ids)
             .map_err(|e| ServiceError::State(format!("post-failure topology invalid: {e}")))?;
@@ -475,6 +521,59 @@ impl ServiceState {
         Ok(report)
     }
 
+    /// Applies a mutating request to the *spec only* — no re-solve, the
+    /// installed configuration (if any) stays in force until the caller
+    /// decides to [`ServiceState::resolve`]. This is the scenario
+    /// replayer's entry point: a replay tick applies its demand batch and
+    /// link events through here and then re-solves (or not) according to
+    /// its budget policy. Each request is all-or-nothing; a rejected
+    /// request leaves the spec untouched.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] when `req` is not a mutating command or the
+    /// mutation is invalid.
+    pub fn mutate_spec(&mut self, req: &Request) -> Result<(), ServiceError> {
+        self.mutate(req)
+    }
+
+    /// Validates that the current spec still builds a measurement task
+    /// (every OD routable on the survivor graph, all nodes known) without
+    /// solving. Used by the trace generator to discover which fibres can
+    /// flap without stranding a tracked OD.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] describing the first spec violation.
+    pub fn check_spec(&self) -> Result<(), ServiceError> {
+        self.rebuild().map(|_| ())
+    }
+
+    /// Evaluates the *installed* rates against the *current* spec's task:
+    /// the objective and per-OD utilities the network actually delivers
+    /// right now, which lag the optimum whenever the spec has moved since
+    /// the installing solve. Returns `(objective, per-OD utilities)` in
+    /// tracked-OD order. This is the delivered side of the replay oracle
+    /// comparison; the oracle side is a fresh [`ServiceState::resolve`] on
+    /// the same spec.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] when no configuration is installed or the
+    /// epoch's task cannot be rebuilt.
+    pub fn evaluate_installed(&self) -> Result<(f64, Vec<f64>), ServiceError> {
+        let inst = self
+            .installed
+            .as_ref()
+            .ok_or_else(|| ServiceError::State("no configuration installed yet".into()))?;
+        let (task, idmap) = self.rebuild()?;
+        let mut rates_now = vec![0.0; task.topology().num_links()];
+        for (old, new) in idmap.iter().enumerate() {
+            if let Some(new) = new {
+                rates_now[new.index()] = inst.rates_base[old];
+            }
+        }
+        let sol = evaluate_rates(&task, &rates_now);
+        Ok((sol.objective, sol.utilities))
+    }
+
     fn mutate(&mut self, req: &Request) -> Result<(), ServiceError> {
         let bad = |msg: String| Err(ServiceError::State(msg));
         match req {
@@ -489,6 +588,34 @@ impl ServiceState {
                     }
                     None => bad(format!("unknown OD '{od}'")),
                 }
+            }
+            Request::UpdateDemands { updates } => {
+                // All-or-nothing even when mutating `self` directly (the
+                // replayer's spec-only path): validate every entry before
+                // touching any size.
+                if updates.is_empty() {
+                    return bad("'updates' must be a non-empty batch".into());
+                }
+                let mut targets = Vec::with_capacity(updates.len());
+                for (od, size) in updates {
+                    if !(size.is_finite() && *size > 1.0) {
+                        return bad(format!(
+                            "size for '{od}' must exceed 1 packet/interval, got {size}"
+                        ));
+                    }
+                    let i = match self.ods.iter().position(|o| o.name == *od) {
+                        Some(i) => i,
+                        None => return bad(format!("unknown OD '{od}'")),
+                    };
+                    if targets.contains(&i) {
+                        return bad(format!("duplicate OD '{od}' in batch"));
+                    }
+                    targets.push(i);
+                }
+                for (i, (_, size)) in targets.into_iter().zip(updates) {
+                    self.ods[i].size = *size;
+                }
+                Ok(())
             }
             Request::FailLink { a, b } => {
                 let na = self.require_node(a)?;
@@ -940,6 +1067,126 @@ mod tests {
         assert_ne!(s.installed().unwrap().objective, before);
         let cold = report.cold.unwrap();
         assert!((report.objective - cold.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_demand_update_is_one_rebuild_and_one_warm_resolve() {
+        // Regression for the per-event rebuild audit: N queued
+        // `update_demand` lines cost N epoch rebuilds (one per re-solve),
+        // while one `update_demands` batch of N entries must cost exactly
+        // one. Counted through the obs recorder the daemon installs.
+        let updates: Vec<(String, f64)> = (1..=5)
+            .map(|i| {
+                (
+                    format!("JANET-{}", ["NL", "DE", "FR", "IT", "ES"][i - 1]),
+                    1e6 * i as f64,
+                )
+            })
+            .collect();
+
+        let rebuilds_during = |f: &dyn Fn(&mut ServiceState)| {
+            let recorder = Recorder::enabled();
+            let mut s = fresh();
+            s.set_recorder(recorder.clone());
+            let count = |r: &Recorder| {
+                r.snapshot()
+                    .counter("state_epoch_rebuilds_total")
+                    .unwrap_or(0)
+            };
+            let before = count(&recorder);
+            f(&mut s);
+            (count(&recorder) - before, s)
+        };
+
+        let (batched_rebuilds, s_batched) = rebuilds_during(&|s| {
+            let report = s
+                .apply_event(
+                    &Request::UpdateDemands {
+                        updates: updates.clone(),
+                    },
+                    false,
+                )
+                .unwrap();
+            assert!(report.warm_started);
+            assert!(report.kkt);
+        });
+        assert_eq!(batched_rebuilds, 1, "one batch = one epoch rebuild");
+
+        let (sequential_rebuilds, s_seq) = rebuilds_during(&|s| {
+            for (od, size) in &updates {
+                s.apply_event(
+                    &Request::UpdateDemand {
+                        od: od.clone(),
+                        size: *size,
+                    },
+                    false,
+                )
+                .unwrap();
+            }
+        });
+        assert_eq!(sequential_rebuilds, updates.len() as u64);
+
+        // Both roads end at the same spec and (near-)identical optimum.
+        assert_eq!(s_batched.ods(), s_seq.ods());
+        let (ob, os) = (
+            s_batched.installed().unwrap().objective,
+            s_seq.installed().unwrap().objective,
+        );
+        assert!((ob - os).abs() < 1e-6 * os.abs().max(1.0), "{ob} vs {os}");
+    }
+
+    #[test]
+    fn mixed_demand_batch_rejected_atomically() {
+        let mut s = fresh();
+        let size_before: Vec<f64> = s.ods().iter().map(|o| o.size).collect();
+        let obj_before = s.installed().unwrap().objective;
+        for updates in [
+            // Unknown OD after a valid entry.
+            vec![("JANET-NL".to_string(), 2e6), ("NOPE".to_string(), 2e6)],
+            // Invalid size after a valid entry.
+            vec![("JANET-NL".to_string(), 2e6), ("JANET-DE".to_string(), 0.5)],
+            // Duplicate within the batch.
+            vec![("JANET-NL".to_string(), 2e6), ("JANET-NL".to_string(), 3e6)],
+            // Empty batch.
+            vec![],
+        ] {
+            assert!(
+                s.apply_event(
+                    &Request::UpdateDemands {
+                        updates: updates.clone()
+                    },
+                    false
+                )
+                .is_err(),
+                "accepted {updates:?}"
+            );
+            let now: Vec<f64> = s.ods().iter().map(|o| o.size).collect();
+            assert_eq!(now, size_before, "partial batch applied");
+            assert_eq!(s.installed().unwrap().objective, obj_before);
+        }
+    }
+
+    #[test]
+    fn mutate_spec_defers_the_resolve() {
+        let mut s = fresh();
+        let obj = s.installed().unwrap().objective;
+        s.mutate_spec(&Request::UpdateDemands {
+            updates: vec![("JANET-NL".into(), 3e6)],
+        })
+        .unwrap();
+        // Spec moved, installed configuration untouched…
+        assert_eq!(s.ods()[0].size, 3e6);
+        assert_eq!(s.installed().unwrap().objective, obj);
+        // …and the delivered objective is now evaluated against the *new*
+        // task, so it no longer matches the stale installing solve.
+        let (delivered, utilities) = s.evaluate_installed().unwrap();
+        assert_eq!(utilities.len(), s.ods().len());
+        assert!((delivered - obj).abs() > 1e-9);
+        // An explicit resolve catches the spec up again.
+        let report = s.resolve(false).unwrap();
+        assert!(report.warm_started && report.kkt);
+        let (delivered, _) = s.evaluate_installed().unwrap();
+        assert!((delivered - report.objective).abs() < 1e-9);
     }
 
     #[test]

@@ -140,6 +140,41 @@ fn scripted_session_warm_starts_every_event() {
 }
 
 #[test]
+fn batched_demand_update_is_one_event() {
+    // One update_demands line = one transaction = one warm re-solve, and a
+    // batch with an unknown OD is refused whole without poisoning later
+    // requests.
+    let script = r#"{"cmd":"update_demands","updates":[["JANET-NL",10800000],["JANET-DE",5000000],["JANET-FR",4000000]]}
+{"cmd":"update_demands","updates":[["JANET-LU",9000],["NOPE",5000]]}
+{"cmd":"stats"}
+{"cmd":"shutdown"}
+"#;
+    let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let mut daemon = Daemon::new(state, DaemonOptions::default());
+    let mut out = Vec::new();
+    let summary = daemon
+        .run(Cursor::new(script.to_string()), &mut out)
+        .unwrap();
+    assert!(summary.clean_shutdown);
+    let lines: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| parse(l).unwrap())
+        .collect();
+    let batch = &lines[1];
+    assert_eq!(batch.get("ok").unwrap().as_bool(), Some(true));
+    let resolve = batch.get("resolve").unwrap();
+    assert_eq!(resolve.get("warm").unwrap().as_bool(), Some(true));
+    assert_eq!(resolve.get("kkt").unwrap().as_bool(), Some(true));
+    // The mixed batch is rejected atomically.
+    assert_eq!(lines[2].get("ok").unwrap().as_bool(), Some(false));
+    // Exactly two resolves ran: the hello solve and the good batch.
+    let stats = lines[3].get("stats").unwrap();
+    assert_eq!(stats.get("resolves").unwrap().as_f64(), Some(2.0));
+    assert_eq!(stats.get("errors").unwrap().as_f64(), Some(1.0));
+}
+
+#[test]
 fn rejected_events_do_not_poison_the_session() {
     let script = r#"{"cmd":"fail_link","a":"FR","b":"NOWHERE"}
 {"cmd":"set_theta","theta":-5}

@@ -2,7 +2,7 @@
 # Smoke-run of the performance surfaces, split into named stages so CI can
 # gate on them independently:
 #
-#   ./scripts/bench_smoke.sh [stage ...]     stages: eval wal serve chaos
+#   ./scripts/bench_smoke.sh [stage ...]     stages: eval replay wal serve chaos
 #                                            (no args = all stages)
 #
 #   eval   objective-evaluation micro-benchmark (--quick) producing
@@ -10,15 +10,21 @@
 #          blocking perf gates (parallel >= serial, monotone speedup curve,
 #          obs overhead <= 1.05, solver parity, fused-kernel win) plus the
 #          committed structural baselines.
+#   replay scenario-engine accuracy sweep: generate the bench trace, replay
+#          it at budgets 1/4/12 in reactive and forecast modes producing
+#          BENCH_replay.json, double-run determinism check, then
+#          scripts/check_bench.py enforcing the accuracy gates (gap monotone
+#          in budget, forecast >= reactive at equal budget, full budget
+#          tracks the oracle).
 #   wal    WAL append micro-benchmark with the fsync-policy sanity gate.
 #   serve  kill -9 / recover round trip of the control-plane daemon on GEANT
 #          (cold-vs-warm re-solve latency, recovery latency, exposition
 #          shape checks).
 #   chaos  fixed-seed store-fault replay drills.
 #
-# CI runs `eval` as the blocking perf-gates job and `wal serve chaos` as the
-# non-blocking resilience job. Run eval_bench/wal_bench manually (without
-# --quick) for publishable numbers.
+# CI runs `eval replay` as the blocking perf-gates job and `wal serve chaos`
+# as the non-blocking resilience job. Run eval_bench/wal_bench manually
+# (without --quick) for publishable numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,6 +36,31 @@ stage_eval() {
     # curve, obs overhead (<= 1.05), solver parallel parity, fused-kernel
     # win, and structural baselines. Blocking in CI.
     python3 scripts/check_bench.py BENCH_eval.json
+}
+
+stage_replay() {
+    # Scenario-engine accuracy sweep on the committed bench trace shape
+    # (48 ticks, diurnal period 48, one flash crowd, one short link flap —
+    # the configuration the replay_budget tests gate on). The replay CSV on
+    # stdout carries no wall times, so two runs of the same trace must be
+    # byte-identical: that is the determinism acceptance check.
+    cargo build --release -p nws-cli
+    TRACE="$SCRATCH/bench.trace.jsonl"
+    target/release/nws replay --gen-trace "$TRACE" \
+        --seed 4242 --flash-crowds 1 --link-flaps 1 --flap-duration 4
+    target/release/nws replay --trace "$TRACE" --budgets 1,4,12 \
+        --bench-out BENCH_replay.json > "$SCRATCH/replay1.csv"
+    target/release/nws replay --trace "$TRACE" --budgets 1,4,12 \
+        > "$SCRATCH/replay2.csv"
+    cmp "$SCRATCH/replay1.csv" "$SCRATCH/replay2.csv" || {
+        echo "replay is not deterministic for a fixed trace:" >&2
+        diff "$SCRATCH/replay1.csv" "$SCRATCH/replay2.csv" >&2 || true
+        exit 1; }
+    echo "replay smoke OK: $(pwd)/BENCH_replay.json (deterministic across runs)"
+    # Accuracy gates: oracle gap monotone as the budget shrinks, forecast
+    # mode at least on par with reactive at equal budget, per-tick
+    # re-solves track the oracle. Blocking in CI.
+    python3 scripts/check_bench.py BENCH_replay.json
 }
 
 stage_wal() {
@@ -191,13 +222,14 @@ stage_chaos() {
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 
-stages="${*:-eval wal serve chaos}"
+stages="${*:-eval replay wal serve chaos}"
 for stage in $stages; do
     case "$stage" in
-        eval)  stage_eval ;;
-        wal)   stage_wal ;;
-        serve) stage_serve ;;
-        chaos) stage_chaos ;;
-        *) echo "unknown stage '$stage' (expected: eval wal serve chaos)" >&2; exit 2 ;;
+        eval)   stage_eval ;;
+        replay) stage_replay ;;
+        wal)    stage_wal ;;
+        serve)  stage_serve ;;
+        chaos)  stage_chaos ;;
+        *) echo "unknown stage '$stage' (expected: eval replay wal serve chaos)" >&2; exit 2 ;;
     esac
 done

@@ -1,12 +1,28 @@
 #!/usr/bin/env python3
-"""Validate BENCH_eval.json and enforce the CI perf gates.
+"""Validate BENCH_eval.json / BENCH_replay.json and enforce the CI gates.
 
 Run from bench_smoke.sh and the blocking `perf-gates` CI job:
 
     python3 scripts/check_bench.py BENCH_eval.json
     python3 scripts/check_bench.py BENCH_eval.json --write-baselines
+    python3 scripts/check_bench.py BENCH_replay.json
 
-Checks, in order:
+The report's top-level "bench" field selects the rule set. For replay
+reports ("bench": "replay", from `nws replay --bench-out`):
+
+1.  Schema: trace/oracle provenance present, one curve row per
+    (mode, budget) with finite fields, both modes at every budget.
+2.  Accuracy gates (structural, tolerance-padded — every number in the
+    report is deterministic for a fixed trace seed):
+      - per mode, the mean oracle gap is monotone non-decreasing as the
+        re-solve budget shrinks (resolve_every grows): a replayer that
+        gets *better* with fewer solves means scoring is broken;
+      - at every budget, forecast mode's mean gap <= reactive's
+        * FORECAST_PARITY + GAP_PAD: predicting mid-window demand must
+        not lose to reacting at the window edge on the bench trace;
+      - re-solving every tick tracks the oracle to solver tolerance.
+
+For eval reports, checks in order:
 
 1.  Schema: the report carries every expected section and field, lists are
     aligned with the `threads` axis, all numbers finite and positive.
@@ -46,6 +62,12 @@ SOLVER_PARITY = 1.5  # parallel solve within 1.5x of serial (sub-ms solves
 OBJ_REL_DIFF_MAX = 1e-6  # parallel and serial solves agree on the objective
 FUSED_FLOOR = 0.95  # fused may never lose to separate (0.05 timer noise)
 TIMING_BAND = 8.0  # baseline timing ratio band (order-of-magnitude net)
+
+# Replay gates. Gaps are relative optimality gaps (dimensionless); the pad
+# absorbs solver-tolerance wiggle on gaps that are themselves tiny.
+GAP_PAD = 1e-4  # additive tolerance on gap comparisons
+FORECAST_PARITY = 1.05  # forecast mean gap <= reactive * this + pad
+FULL_BUDGET_GAP = 1e-6  # resolve-every-tick must track the oracle
 
 BASELINES = Path(__file__).resolve().parent / "bench_baselines.json"
 
@@ -215,15 +237,131 @@ def check_baselines(report):
             fail(f"baselines: {section} entry {key} disappeared from the report")
 
 
+CURVE_FIELDS = (
+    "mode",
+    "resolve_every",
+    "hysteresis",
+    "resolves",
+    "suppressed",
+    "mean_gap",
+    "max_gap",
+    "final_gap",
+    "err_p50",
+    "err_p90",
+    "err_p99",
+    "rate_churn",
+    "wall_ms",
+)
+
+
+def check_replay_schema(report):
+    for key in ("trace", "oracle", "curves"):
+        if key not in report:
+            fail(f"schema: missing top-level key {key!r}")
+    if failures:
+        return
+    trace = report["trace"]
+    for key in ("seed", "ticks", "ods", "link_events"):
+        if key not in trace:
+            fail(f"schema: trace.{key} missing")
+    oracle = report["oracle"]
+    if not finite_positive([oracle.get("resolves", -1)]):
+        fail("schema: oracle.resolves missing or non-positive")
+    if trace.get("ticks") != oracle.get("resolves"):
+        fail(f"schema: oracle resolved {oracle.get('resolves')} ticks of "
+             f"{trace.get('ticks')} — the oracle must re-solve every tick")
+    curves = report["curves"]
+    if not curves:
+        fail("schema: empty curves list")
+    for row in curves:
+        for key in CURVE_FIELDS:
+            if key not in row:
+                fail(f"schema: curve row missing {key!r}: {row}")
+        if row.get("mode") not in ("reactive", "forecast"):
+            fail(f"schema: unknown mode {row.get('mode')!r}")
+        for key in ("mean_gap", "max_gap", "final_gap"):
+            gap = row.get(key, float("nan"))
+            if not (isinstance(gap, (int, float)) and math.isfinite(gap)):
+                fail(f"schema: {row.get('mode')}/{row.get('resolve_every')} "
+                     f"{key} not finite: {gap}")
+            elif gap < -GAP_PAD:
+                fail(f"schema: {row.get('mode')}/{row.get('resolve_every')} "
+                     f"{key} {gap:.2e} is negative beyond tolerance — the "
+                     f"replayer beat a certified optimum")
+    # Both modes must cover the same budget axis.
+    budgets = {}
+    for row in curves:
+        budgets.setdefault(row["mode"], []).append(row["resolve_every"])
+    if set(budgets) != {"reactive", "forecast"}:
+        fail(f"schema: expected both modes, got {sorted(budgets)}")
+    elif budgets["reactive"] != budgets["forecast"]:
+        fail(f"schema: budget axes differ: reactive {budgets['reactive']} "
+             f"vs forecast {budgets['forecast']}")
+    elif len(budgets["reactive"]) < 3:
+        fail(f"schema: need >= 3 budgets for a curve, got {budgets['reactive']}")
+
+
+def check_replay_gates(report):
+    curves = report["curves"]
+    by_mode = {}
+    for row in curves:
+        by_mode.setdefault(row["mode"], []).append(row)
+    for mode, rows in by_mode.items():
+        rows.sort(key=lambda r: r["resolve_every"])
+        # Gate 1: starving the budget never helps.
+        for a, b in zip(rows, rows[1:]):
+            if a["mean_gap"] > b["mean_gap"] + GAP_PAD:
+                fail(f"gates: {mode} mean_gap not monotone in budget: "
+                     f"every-{a['resolve_every']} {a['mean_gap']:.2e} > "
+                     f"every-{b['resolve_every']} {b['mean_gap']:.2e} + pad")
+        # Gate 3: the full budget tracks the oracle.
+        if rows and rows[0]["resolve_every"] == 1 and mode == "reactive":
+            if abs(rows[0]["mean_gap"]) > FULL_BUDGET_GAP:
+                fail(f"gates: reactive every-1 mean_gap {rows[0]['mean_gap']:.2e} "
+                     f"> {FULL_BUDGET_GAP} — per-tick re-solves lost the oracle")
+    # Gate 2: forecasting never loses to reacting at equal budget.
+    reactive = {r["resolve_every"]: r for r in by_mode.get("reactive", [])}
+    for row in by_mode.get("forecast", []):
+        ref = reactive.get(row["resolve_every"])
+        if ref is None:
+            continue
+        if row["mean_gap"] > ref["mean_gap"] * FORECAST_PARITY + GAP_PAD:
+            fail(f"gates: forecast loses at every-{row['resolve_every']}: "
+                 f"{row['mean_gap']:.2e} vs reactive {ref['mean_gap']:.2e} "
+                 f"(parity {FORECAST_PARITY}, pad {GAP_PAD})")
+
+
+def run_replay_checks(report):
+    check_replay_schema(report)
+    if not failures:
+        check_replay_gates(report)
+    if failures:
+        return 1
+    budgets = sorted({row["resolve_every"] for row in report["curves"]})
+    print(f"check_bench: all replay gates pass "
+          f"({len(report['curves'])} curves over budgets {budgets}; "
+          f"trace seed {report['trace']['seed']}, "
+          f"{report['trace']['ticks']} ticks)")
+    return 0
+
+
 def main():
     args = sys.argv[1:]
     write = "--write-baselines" in args
     paths = [a for a in args if not a.startswith("--")]
     if not paths:
-        print("usage: check_bench.py BENCH_eval.json [--write-baselines]",
-              file=sys.stderr)
+        print("usage: check_bench.py BENCH_eval.json|BENCH_replay.json "
+              "[--write-baselines]", file=sys.stderr)
         return 2
     report = json.loads(Path(paths[0]).read_text())
+
+    if report.get("bench") == "replay":
+        code = run_replay_checks(report)
+        if failures:
+            print(f"check_bench: {len(failures)} gate(s) failed:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+        return code
 
     check_schema(report)
     if not failures:
