@@ -32,7 +32,9 @@ use nws_scenario::{
     bench_report, generate_trace, oracle_series, run_replay, run_sweep, GeneratorConfig,
     ReplayPolicy, SweepEntry, Trace,
 };
-use nws_service::{Daemon, DaemonOptions, FaultPlan, FsyncPolicy, PersistConfig, ServiceState};
+use nws_service::{
+    Daemon, DaemonOptions, FaultPlan, FsyncPolicy, NetOptions, PersistConfig, Server, ServiceState,
+};
 use nws_topo::{abilene, format, geant, Topology};
 use std::process::ExitCode;
 
@@ -117,7 +119,21 @@ on stdout — see DESIGN.md section 8 for the protocol):
   --solve-deadline-ms MS  wall-clock budget per re-solve: a solve that
                     exhausts it serves its best feasible iterate marked
                     degraded, escalating cold-retry then last-good
-  --socket PATH     serve one connection on a Unix socket instead of stdio
+  --tcp ADDR        serve many concurrent connections on a TCP listener
+                    (e.g. 127.0.0.1:7070; port 0 picks an ephemeral port,
+                    printed to stderr). Read-only commands are answered
+                    from a lock-free snapshot on the connection thread
+  --socket PATH     serve many concurrent connections on a Unix socket
+                    (same multi-connection machinery as --tcp; combinable)
+  --coalesce-ms MS  batch bursts of update_demand/update_demands arriving
+                    within MS into one epoch rebuild + one warm re-solve
+                    (last-writer-wins per OD; every request is still
+                    acknowledged, with a 'coalesced' batch-size field;
+                    multi-connection serving only; default 0 = off)
+  --max-conns N     concurrent-connection cap (default 1024); excess
+                    connections get one too_many_connections error line
+  --idle-timeout-ms MS  drop connections idle longer than MS (default 0 =
+                    no timeout)
   --state-dir DIR   persist state in DIR: journal state-changing commands
                     to a write-ahead log, snapshot periodically and on
                     exit, recover (snapshot + replay) on the next boot
@@ -384,6 +400,10 @@ struct ServeSetup {
     shadow_cold: bool,
     bench_out: Option<String>,
     socket: Option<String>,
+    tcp: Option<String>,
+    coalesce_ms: u64,
+    max_conns: usize,
+    idle_timeout_ms: u64,
     state_dir: Option<String>,
     fsync: Option<FsyncPolicy>,
     snapshot_every: Option<u64>,
@@ -479,6 +499,46 @@ fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
                 setup.socket = Some(path.clone());
                 i += 2;
             }
+            "--tcp" => {
+                let addr = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--tcp requires an address (e.g. 127.0.0.1:7070)"))?;
+                setup.tcp = Some(addr.clone());
+                i += 2;
+            }
+            "--coalesce-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--coalesce-ms requires milliseconds"))?
+                    .parse()
+                    .map_err(|_| usage_err("--coalesce-ms requires a non-negative integer"))?;
+                setup.coalesce_ms = ms;
+                i += 2;
+            }
+            "--max-conns" => {
+                let n: usize = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--max-conns requires a count"))?
+                    .parse()
+                    .map_err(|_| usage_err("--max-conns requires a positive integer"))?;
+                if n == 0 {
+                    return Err(usage_err("--max-conns requires a positive integer"));
+                }
+                setup.max_conns = n;
+                i += 2;
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--idle-timeout-ms requires milliseconds"))?
+                    .parse()
+                    .map_err(|_| usage_err("--idle-timeout-ms requires a positive integer"))?;
+                if ms == 0 {
+                    return Err(usage_err("--idle-timeout-ms requires a positive integer"));
+                }
+                setup.idle_timeout_ms = ms;
+                i += 2;
+            }
             "--state-dir" => {
                 let dir = args
                     .get(i + 1)
@@ -550,24 +610,47 @@ fn cmd_serve(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Resul
             trace: obs.trace,
             persist: setup.persist()?,
             solve_deadline_ms: setup.solve_deadline_ms,
+            coalesce_ms: setup.coalesce_ms,
         },
     );
 
-    let summary = match &setup.socket {
-        None => {
-            let input = std::io::BufReader::new(std::io::stdin());
-            let mut output = std::io::stdout();
-            daemon
-                .run(input, &mut output)
-                .map_err(|e| runtime_err(format!("serve: {e}")))?
+    let summary = if setup.tcp.is_some() || setup.socket.is_some() {
+        // Multi-connection serving: TCP and/or Unix listeners in front of
+        // the same event loop; read-only commands answered lock-free on
+        // the connection threads.
+        let net = NetOptions {
+            tcp: setup.tcp.clone(),
+            unix: setup.socket.clone(),
+            max_conns: setup.max_conns,
+            idle_timeout_ms: setup.idle_timeout_ms,
+        };
+        let server = Server::bind(&net).map_err(|e| runtime_err(format!("serve: {e}")))?;
+        if let Some(addr) = server.tcp_addr() {
+            eprintln!("serve: listening on tcp {addr}");
         }
-        Some(path) => serve_socket(&mut daemon, path)?,
+        if let Some(path) = &setup.socket {
+            eprintln!("serve: listening on socket {path}");
+        }
+        daemon
+            .serve(server)
+            .map_err(|e| runtime_err(format!("serve: {e}")))?
+    } else {
+        if setup.coalesce_ms > 0 {
+            return Err(usage_err("--coalesce-ms requires --tcp or --socket"));
+        }
+        let input = std::io::BufReader::new(std::io::stdin());
+        let mut output = std::io::stdout();
+        daemon
+            .run(input, &mut output)
+            .map_err(|e| runtime_err(format!("serve: {e}")))?
     };
     eprintln!(
-        "serve: {} requests, {} re-solves, {} shed, {}",
-        summary.requests,
+        "serve: {} requests ({} lock-free reads), {} re-solves, {} shed, {} connections, {}",
+        summary.requests + summary.reads_lockfree,
+        summary.reads_lockfree,
         summary.resolves,
         summary.shed,
+        summary.connections,
         if summary.clean_shutdown {
             "clean shutdown"
         } else {
@@ -575,34 +658,6 @@ fn cmd_serve(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Resul
         }
     );
     Ok(())
-}
-
-/// Serves exactly one connection on a fresh Unix socket, then removes it.
-#[cfg(unix)]
-fn serve_socket(daemon: &mut Daemon, path: &str) -> Result<nws_service::DaemonSummary, CliError> {
-    use std::os::unix::net::UnixListener;
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)
-        .map_err(|e| runtime_err(format!("cannot bind socket '{path}': {e}")))?;
-    let result = listener
-        .accept()
-        .map_err(|e| runtime_err(format!("accept on '{path}': {e}")))
-        .and_then(|(stream, _)| {
-            let reader = stream
-                .try_clone()
-                .map_err(|e| runtime_err(format!("socket clone: {e}")))?;
-            let mut output = stream;
-            daemon
-                .run(std::io::BufReader::new(reader), &mut output)
-                .map_err(|e| runtime_err(format!("serve: {e}")))
-        });
-    let _ = std::fs::remove_file(path);
-    result
-}
-
-#[cfg(not(unix))]
-fn serve_socket(_daemon: &mut Daemon, _path: &str) -> Result<nws_service::DaemonSummary, CliError> {
-    Err(runtime_err("--socket is only supported on Unix platforms"))
 }
 
 /// Parsed `replay` invocation. Exactly one of `gen_out` (generate a trace

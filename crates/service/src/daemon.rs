@@ -1,6 +1,6 @@
 //! The daemon event loop: a bounded request queue fed by a reader thread,
 //! one JSON response line per request, graceful shutdown, and an optional
-//! per-event latency report (`BENCH_serve.json` format).
+//! per-event latency report (`BENCH_recover.json` format).
 //!
 //! Transport-agnostic: [`Daemon::run`] takes any `BufRead` + `Write` pair,
 //! so the same loop serves stdin/stdout pipes, Unix-socket connections
@@ -16,14 +16,17 @@
 
 use crate::json::{obj, Json};
 use crate::metrics::Metrics;
+use crate::net::{Job, Registry, Server};
 use crate::persist::{OpenError, PersistConfig, RecoveryReport, StateStore};
 use crate::protocol::{parse_request, Request};
+use crate::read_path::{ReadHandle, ReadSnapshot, SnapshotCell};
+use crate::sli::{Kind, RateWindows};
 use crate::state::{ServiceState, SolveReport};
 use crate::ServiceError;
 use nws_obs::{Recorder, Snapshot};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -39,7 +42,7 @@ pub struct DaemonOptions {
     /// both (iteration savings + latency comparison). Doubles solve cost;
     /// meant for benchmarking and acceptance runs.
     pub shadow_cold: bool,
-    /// Write a `BENCH_serve.json`-style per-event latency report here when
+    /// Write a `BENCH_recover.json`-style per-event latency report here when
     /// the daemon exits.
     pub bench_out: Option<String>,
     /// Write a Prometheus-style text exposition of the observability
@@ -56,6 +59,14 @@ pub struct DaemonOptions {
     /// *degraded*; the daemon then escalates (cold retry, then last-good
     /// fallback) rather than blocking the event loop indefinitely.
     pub solve_deadline_ms: Option<u64>,
+    /// Batching window for demand updates in the multi-connection server
+    /// (`--coalesce-ms`): bursts of `update_demand`/`update_demands`
+    /// arriving within the window merge last-writer-wins per OD into one
+    /// epoch rebuild + one warm re-solve; every merged request is still
+    /// acknowledged individually. 0 disables coalescing. The
+    /// single-stream [`Daemon::run`] loop ignores this (strict per-line
+    /// transactional semantics).
+    pub coalesce_ms: u64,
 }
 
 /// One re-solve-triggering event, for the latency report.
@@ -72,6 +83,19 @@ struct EventRecord {
     degraded: bool,
 }
 
+/// Demand updates buffered inside the coalescing window, awaiting one
+/// merged flush (see [`Daemon::flush_coalesced`]).
+#[derive(Debug, Default)]
+struct CoalesceBuffer {
+    /// Last-writer-wins per OD, in first-seen order.
+    merged: Vec<(String, f64)>,
+    /// Every buffered request with its reply channel: each is acknowledged
+    /// individually when the batch commits.
+    replies: Vec<(Request, mpsc::Sender<Json>)>,
+    /// When the window closes (set by the first buffered request).
+    deadline: Option<Instant>,
+}
+
 /// What a completed [`Daemon::run`] reports back to the embedder.
 #[derive(Debug, Clone)]
 pub struct DaemonSummary {
@@ -83,6 +107,13 @@ pub struct DaemonSummary {
     pub shed: u64,
     /// True when the loop ended on an explicit `shutdown`, false on EOF.
     pub clean_shutdown: bool,
+    /// Read-only commands answered from the published snapshot without
+    /// enqueueing (always 0 for the single-stream [`Daemon::run`] loop,
+    /// which routes everything through the queue).
+    pub reads_lockfree: u64,
+    /// Connections accepted over the daemon's lifetime (1 for the
+    /// single-stream loop).
+    pub connections: u64,
 }
 
 /// The long-running control-plane daemon.
@@ -110,6 +141,17 @@ pub struct Daemon {
     persistence_error: Option<String>,
     /// Resolved queue capacity (fixed at `run` entry), for `health`.
     capacity: usize,
+    /// RFC-0019 rate windows behind `health`'s 1s/10s/60s SLIs; shared
+    /// with reader/connection threads.
+    sli: Arc<RateWindows>,
+    /// The atomically-swapped read snapshot (the lock-free read path).
+    cell: Arc<SnapshotCell>,
+    /// Reads answered on connection threads without enqueueing.
+    reads_lockfree: Arc<AtomicU64>,
+    /// Commit epoch: bumped on every committed state mutation (startup
+    /// solve / recovery = 1). Tags every published snapshot and every
+    /// mutating acknowledgement, so readers can pin a consistent view.
+    commit_epoch: u64,
 }
 
 impl Daemon {
@@ -123,6 +165,22 @@ impl Daemon {
     pub fn new(mut state: ServiceState, opts: DaemonOptions) -> Self {
         let recorder = Recorder::enabled();
         state.set_recorder(recorder.clone());
+        let placeholder = ReadSnapshot {
+            epoch: 0,
+            theta: state.theta(),
+            objective: None,
+            monitors: Json::Arr(Vec::new()),
+            ods: state.ods().len(),
+            persistence: "none",
+            persistence_degraded: false,
+            persistence_error: None,
+            serving_uncertified: false,
+            degraded_solves: 0,
+            last_good_fallbacks: 0,
+            stats: Metrics::default().to_json(),
+            wal_stats: Json::Null,
+            queue_capacity: 0,
+        };
         Daemon {
             state,
             opts,
@@ -138,6 +196,10 @@ impl Daemon {
             persistence_degraded: false,
             persistence_error: None,
             capacity: 0,
+            sli: Arc::new(RateWindows::new()),
+            cell: Arc::new(SnapshotCell::new(placeholder)),
+            reads_lockfree: Arc::new(AtomicU64::new(0)),
+            commit_epoch: 0,
         }
     }
 
@@ -146,31 +208,27 @@ impl Daemon {
         self.recorder.snapshot()
     }
 
-    /// Serves requests from `input` until `shutdown` or EOF, writing one
-    /// response line per request (plus a leading `hello` line carrying the
-    /// startup solve) to `output`.
-    ///
-    /// A spawned reader thread feeds a bounded queue; when the queue is
-    /// full the reader answers `overloaded` directly (the output is
-    /// mutex-shared between the two threads — whole lines only, so the
-    /// stream stays valid JSONL). The caller should close `input` after
-    /// sending `shutdown` (scripts and sockets do this naturally), since
-    /// the reader can only observe the closed queue after its next line.
+    /// Fixes the bounded-queue capacity for this serving session.
+    fn resolve_capacity(&mut self) -> usize {
+        let capacity = if self.opts.queue_capacity == 0 {
+            64
+        } else {
+            self.opts.queue_capacity
+        };
+        self.capacity = capacity;
+        capacity
+    }
+
+    /// Shared boot sequence of both event loops: solve deadline,
+    /// instrument pre-registration, durable-store recovery, and the
+    /// startup solve. Returns the `hello` line (with resolve/recovery
+    /// payloads) and leaves `commit_epoch` at 1.
     ///
     /// # Errors
-    /// I/O errors from `output`, and [`ServiceError`] if the *initial*
-    /// solve fails (an unservable scenario) or the state directory is held
-    /// by a live lock / contains an unreplayable journal. Plain store I/O
-    /// failures do *not* abort: the daemon serves on with persistence
-    /// degraded (visible in `hello`, `health`, and the metrics
-    /// exposition). Per-event solve failures are reported to the peer as
-    /// error responses, not returned; a panicking handler is caught, the
-    /// state rolled back, and an error response sent.
-    pub fn run<R, W>(&mut self, input: R, output: &mut W) -> Result<DaemonSummary, ServiceError>
-    where
-        R: BufRead + Send,
-        W: Write + Send,
-    {
+    /// [`ServiceError`] if the initial solve fails (an unservable
+    /// scenario) or the state directory is held by a live lock / contains
+    /// an unreplayable journal. Plain store I/O failures degrade instead.
+    fn startup(&mut self) -> Result<Json, ServiceError> {
         if let Some(ms) = self.opts.solve_deadline_ms {
             self.state
                 .set_solve_deadline(Some(Duration::from_millis(ms)));
@@ -181,6 +239,13 @@ impl Daemon {
         self.recorder.counter_add("degraded_solves", 0);
         self.recorder.counter_add("daemon_overload_shed_total", 0);
         self.recorder.counter_add("daemon_request_panics", 0);
+        self.recorder
+            .counter_add("daemon_reads_served_lockfree_total", 0);
+        self.recorder.counter_add("daemon_jobs_enqueued_total", 0);
+        self.recorder
+            .counter_add("daemon_coalesce_flushes_total", 0);
+        self.recorder
+            .counter_add("daemon_coalesced_updates_total", 0);
         self.recorder.gauge_set("persistence_degraded", 0.0);
 
         // Durable store first: recovery may restore an installed
@@ -209,6 +274,7 @@ impl Daemon {
         } else {
             None
         };
+        self.commit_epoch = 1;
         let mut line = obj(vec![
             ("ok", Json::Bool(true)),
             ("cmd", Json::Str("hello".into())),
@@ -222,13 +288,124 @@ impl Daemon {
         if let (Json::Obj(pairs), Some(report)) = (&mut line, &self.recovery) {
             pairs.push(("recovered".to_string(), report.to_json()));
         }
+        Ok(line)
+    }
 
-        let capacity = if self.opts.queue_capacity == 0 {
-            64
-        } else {
-            self.opts.queue_capacity
+    /// Shared teardown of both event loops: final snapshot on every clean
+    /// exit path, then the bench report and metrics exposition.
+    fn finish(&mut self) -> Result<(), ServiceError> {
+        self.metrics.shed = self.shed_count.load(Ordering::Relaxed);
+
+        // Final snapshot on *every* clean exit path (explicit `shutdown`
+        // and input EOF both land here): a clean-stop recovery then loads
+        // one snapshot and replays nothing. A failing final snapshot
+        // degrades (the WAL up to the last successful fsync still
+        // recovers) instead of turning a served session into an error.
+        if let Some(mut store) = self.store.take() {
+            match store.write_snapshot(&self.state) {
+                Ok(()) => self.store = Some(store),
+                Err(e) => self.degrade_persistence(&format!("final snapshot: {e}")),
+            }
+        }
+
+        if let Some(path) = self.opts.bench_out.clone() {
+            std::fs::write(&path, self.bench_report())
+                .map_err(|e| ServiceError::State(format!("cannot write '{path}': {e}")))?;
+        }
+        if let Some(path) = self.opts.metrics_out.clone() {
+            let text = self.recorder.snapshot().exposition(self.opts.trace);
+            std::fs::write(&path, text)
+                .map_err(|e| ServiceError::State(format!("cannot write '{path}': {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Publishes the current committed state into the snapshot cell, from
+    /// which connection threads answer the read-only commands. Called
+    /// after every handled request: the epoch only moves on commits, so
+    /// republications between commits just refresh the counter payloads.
+    fn publish_snapshot(&mut self) {
+        self.metrics.shed = self.shed_count.load(Ordering::Relaxed);
+        let monitors = match self.state.active_rates() {
+            Ok(rates) => Json::Arr(
+                rates
+                    .iter()
+                    .map(|(label, p)| {
+                        obj(vec![
+                            ("link", Json::Str(label.clone())),
+                            ("rate", Json::Num(*p)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Err(_) => Json::Arr(Vec::new()),
         };
-        self.capacity = capacity;
+        let snap = ReadSnapshot {
+            epoch: self.commit_epoch,
+            theta: self.state.theta(),
+            objective: self.state.installed().map(|i| i.objective),
+            monitors,
+            ods: self.state.ods().len(),
+            persistence: self.persistence_mode(),
+            persistence_degraded: self.persistence_degraded,
+            persistence_error: self.persistence_error.clone(),
+            serving_uncertified: self.state.installed().is_some_and(|i| !i.kkt),
+            degraded_solves: self.metrics.degraded_solves,
+            last_good_fallbacks: self.metrics.last_good_fallbacks,
+            stats: self.metrics.to_json(),
+            wal_stats: self
+                .store
+                .as_ref()
+                .map_or(Json::Null, StateStore::wal_stats_json),
+            queue_capacity: self.capacity as u64,
+        };
+        self.cell.publish(snap);
+        self.recorder
+            .counter_add("daemon_snapshot_publications_total", 1);
+    }
+
+    /// The shareable read path handed to connection threads.
+    fn read_handle(&self) -> ReadHandle {
+        ReadHandle {
+            cell: Arc::clone(&self.cell),
+            queue_depth: Arc::clone(&self.queue_depth),
+            shed_count: Arc::clone(&self.shed_count),
+            ewma_ms_bits: Arc::clone(&self.ewma_ms_bits),
+            reads_lockfree: Arc::clone(&self.reads_lockfree),
+            capacity: self.capacity,
+            recorder: self.recorder.clone(),
+            sli: Arc::clone(&self.sli),
+        }
+    }
+
+    /// Serves requests from `input` until `shutdown` or EOF, writing one
+    /// response line per request (plus a leading `hello` line carrying the
+    /// startup solve) to `output`.
+    ///
+    /// A spawned reader thread feeds a bounded queue; when the queue is
+    /// full the reader answers `overloaded` directly (the output is
+    /// mutex-shared between the two threads — whole lines only, so the
+    /// stream stays valid JSONL). The caller should close `input` after
+    /// sending `shutdown` (scripts and sockets do this naturally), since
+    /// the reader can only observe the closed queue after its next line.
+    ///
+    /// # Errors
+    /// I/O errors from `output`, and [`ServiceError`] if the *initial*
+    /// solve fails (an unservable scenario) or the state directory is held
+    /// by a live lock / contains an unreplayable journal. Plain store I/O
+    /// failures do *not* abort: the daemon serves on with persistence
+    /// degraded (visible in `hello`, `health`, and the metrics
+    /// exposition). Per-event solve failures are reported to the peer as
+    /// error responses, not returned; a panicking handler is caught, the
+    /// state rolled back, and an error response sent.
+    pub fn run<R, W>(&mut self, input: R, output: &mut W) -> Result<DaemonSummary, ServiceError>
+    where
+        R: BufRead + Send,
+        W: Write + Send,
+    {
+        let capacity = self.resolve_capacity();
+        let line = self.startup()?;
+        self.publish_snapshot();
         let (tx, rx) = mpsc::sync_channel::<Result<Request, String>>(capacity);
 
         // Shared between the consumer (normal responses) and the reader
@@ -246,6 +423,7 @@ impl Daemon {
         let shed = Arc::clone(&self.shed_count);
         let ewma_bits = Arc::clone(&self.ewma_ms_bits);
         let reader_recorder = self.recorder.clone();
+        let reader_sli = Arc::clone(&self.sli);
         let out_ref = &output;
         std::thread::scope(|scope| -> Result<(), ServiceError> {
             scope.spawn(move || {
@@ -270,6 +448,8 @@ impl Daemon {
                             reader_recorder.gauge_set("daemon_queue_depth", d as f64);
                             shed.fetch_add(1, Ordering::Relaxed);
                             reader_recorder.counter_add("daemon_overload_shed_total", 1);
+                            reader_sli.record(Kind::Request);
+                            reader_sli.record(Kind::Shed);
                             let hint = retry_after_ms(
                                 f64::from_bits(ewma_bits.load(Ordering::Relaxed)),
                                 capacity,
@@ -301,6 +481,12 @@ impl Daemon {
                     Ok(req) => req.name(),
                     Err(_) => "invalid",
                 };
+                self.sli.record(Kind::Request);
+                match &item {
+                    Ok(req) if req.is_mutating() => self.sli.record(Kind::Mutate),
+                    Ok(req) if req.is_read_only() => self.sli.record(Kind::Read),
+                    _ => {}
+                }
                 let t0 = Instant::now();
                 // Panic isolation: clone-before, catch, restore-on-unwind.
                 // A handler that panics (solver bug, hostile input past
@@ -327,16 +513,11 @@ impl Daemon {
                 let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
                 self.recorder
                     .observe_labeled("daemon_command_latency_ms", "cmd", cmd, elapsed_ms);
-                // EWMA (α = 0.2) of handling latency feeds the shedder's
-                // retry_after_ms hint. Single writer (this thread), so
-                // load/store need no compare-exchange loop.
-                let prev = f64::from_bits(self.ewma_ms_bits.load(Ordering::Relaxed));
-                let next = if prev == 0.0 {
-                    elapsed_ms
-                } else {
-                    0.8 * prev + 0.2 * elapsed_ms
-                };
-                self.ewma_ms_bits.store(next.to_bits(), Ordering::Relaxed);
+                self.update_ewma(elapsed_ms);
+                if response.get("ok").and_then(Json::as_bool) == Some(false) {
+                    self.sli.record(Kind::Error);
+                }
+                self.publish_snapshot();
                 {
                     let mut out = lock_output(out_ref);
                     writeln!(out, "{}", response.encode()).map_err(ServiceError::io)?;
@@ -349,35 +530,295 @@ impl Daemon {
             }
             Ok(())
         })?;
-        self.metrics.shed = self.shed_count.load(Ordering::Relaxed);
-
-        // Final snapshot on *every* clean exit path (explicit `shutdown`
-        // and input EOF both land here): a clean-stop recovery then loads
-        // one snapshot and replays nothing. A failing final snapshot
-        // degrades (the WAL up to the last successful fsync still
-        // recovers) instead of turning a served session into an error.
-        if let Some(mut store) = self.store.take() {
-            match store.write_snapshot(&self.state) {
-                Ok(()) => self.store = Some(store),
-                Err(e) => self.degrade_persistence(&format!("final snapshot: {e}")),
-            }
-        }
-
-        if let Some(path) = self.opts.bench_out.clone() {
-            std::fs::write(&path, self.bench_report())
-                .map_err(|e| ServiceError::State(format!("cannot write '{path}': {e}")))?;
-        }
-        if let Some(path) = self.opts.metrics_out.clone() {
-            let text = self.recorder.snapshot().exposition(self.opts.trace);
-            std::fs::write(&path, text)
-                .map_err(|e| ServiceError::State(format!("cannot write '{path}': {e}")))?;
-        }
+        self.finish()?;
         Ok(DaemonSummary {
             requests: self.metrics.requests,
             resolves: self.metrics.resolves,
             shed: self.metrics.shed,
             clean_shutdown,
+            reads_lockfree: 0,
+            connections: 1,
         })
+    }
+
+    /// Serves the multi-connection transports (`nws serve --tcp/--socket`)
+    /// until a `shutdown` request or the last listener dies.
+    ///
+    /// Per connection, a reader thread answers read-only commands straight
+    /// from the published [`ReadSnapshot`] (never enqueueing) and funnels
+    /// everything else into the bounded queue this loop drains; a writer
+    /// thread preserves per-connection FIFO response order. With a
+    /// non-zero `--coalesce-ms`, bursts of `update_demand`/`update_demands`
+    /// are merged last-writer-wins per OD into one epoch rebuild + one
+    /// warm re-solve; every merged request is still acknowledged
+    /// individually (with a `coalesced` batch-size field).
+    ///
+    /// `shutdown` from any connection drains and closes *all* connections:
+    /// the issuer gets its `bye`, accepting stops, every reader is woken,
+    /// already-queued requests are still answered, and the final durable
+    /// snapshot is written exactly once.
+    ///
+    /// # Errors
+    /// Same startup/teardown contract as [`Daemon::run`]; per-connection
+    /// socket errors only ever drop that connection.
+    pub fn serve(&mut self, server: Server) -> Result<DaemonSummary, ServiceError> {
+        self.resolve_capacity();
+        let capacity = self.capacity;
+        // The hello line becomes per-connection here (from the read path);
+        // the startup solve and recovery still happen exactly once.
+        let _ = self.startup()?;
+        self.publish_snapshot();
+        let (tx, rx) = mpsc::sync_channel::<Job>(capacity);
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Registry::new());
+        let window = Duration::from_millis(self.opts.coalesce_ms);
+        let mut clean_shutdown = false;
+        let mut depth_max = 0u64;
+        std::thread::scope(|scope| {
+            crate::net::spawn_acceptors(
+                scope,
+                server,
+                tx,
+                self.read_handle(),
+                Arc::clone(&registry),
+                Arc::clone(&shutting_down),
+            );
+            let mut buf = CoalesceBuffer::default();
+            loop {
+                // With a non-empty coalesce buffer, wait only until its
+                // deadline; otherwise park until the next job (or until
+                // every sender — acceptors and readers — has exited).
+                let job = if buf.replies.is_empty() {
+                    rx.recv().ok()
+                } else {
+                    let wait = buf.deadline.map_or(Duration::ZERO, |d| {
+                        d.saturating_duration_since(Instant::now())
+                    });
+                    match rx.recv_timeout(wait) {
+                        Ok(job) => Some(job),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            self.flush_coalesced(&mut buf);
+                            continue;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => None,
+                    }
+                };
+                let Some(Job { item, reply }) = job else {
+                    // Channel closed: every connection is gone. Flush any
+                    // buffered updates (they were already accepted).
+                    self.flush_coalesced(&mut buf);
+                    break;
+                };
+                let d = self.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                depth_max = depth_max.max(d + 1);
+                self.recorder.gauge_set("daemon_queue_depth", d as f64);
+                self.recorder
+                    .gauge_set("daemon_queue_depth_max", depth_max as f64);
+                self.recorder.counter_add("daemon_jobs_enqueued_total", 1);
+                self.sli.record(Kind::Request);
+                if let Ok(req) = &item {
+                    if req.is_mutating() {
+                        self.sli.record(Kind::Mutate);
+                    }
+                }
+                // Coalescable? Buffer it and keep receiving. (Never during
+                // shutdown drain: those must resolve before the loop ends.)
+                if !window.is_zero() && !shutting_down.load(Ordering::SeqCst) {
+                    if let Ok(
+                        req @ (Request::UpdateDemand { .. } | Request::UpdateDemands { .. }),
+                    ) = &item
+                    {
+                        let req = req.clone();
+                        self.buffer_coalesced(&mut buf, req, reply, window);
+                        continue;
+                    }
+                }
+                // Ordering barrier: a non-coalescable request observes all
+                // buffered updates as committed.
+                self.flush_coalesced(&mut buf);
+                self.seq += 1;
+                let cmd: &'static str = match &item {
+                    Ok(req) => req.name(),
+                    Err(_) => "invalid",
+                };
+                let t0 = Instant::now();
+                let backup = self.state.clone();
+                let (response, is_shutdown) =
+                    match catch_unwind(AssertUnwindSafe(|| self.handle(item))) {
+                        Ok(pair) => pair,
+                        Err(payload) => {
+                            self.state = backup;
+                            self.metrics.record_error();
+                            self.recorder.counter_add("daemon_request_panics", 1);
+                            let msg = panic_message(payload.as_ref());
+                            (
+                                self.error_response(
+                                    None,
+                                    &format!("internal panic (state rolled back): {msg}"),
+                                ),
+                                false,
+                            )
+                        }
+                    };
+                let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+                self.recorder
+                    .observe_labeled("daemon_command_latency_ms", "cmd", cmd, elapsed_ms);
+                self.update_ewma(elapsed_ms);
+                if response.get("ok").and_then(Json::as_bool) == Some(false) {
+                    self.sli.record(Kind::Error);
+                }
+                self.publish_snapshot();
+                let _ = reply.send(response);
+                if is_shutdown && !clean_shutdown {
+                    clean_shutdown = true;
+                    // Drain-and-close: stop accepting, wake every blocked
+                    // reader (EOF on their read side), keep answering what
+                    // was already queued until the last sender drops.
+                    shutting_down.store(true, Ordering::SeqCst);
+                    registry.close_read_sides();
+                }
+            }
+        });
+        self.finish()?;
+        Ok(DaemonSummary {
+            requests: self.metrics.requests,
+            resolves: self.metrics.resolves,
+            shed: self.metrics.shed,
+            clean_shutdown,
+            reads_lockfree: self.reads_lockfree.load(Ordering::Relaxed),
+            connections: registry.opened(),
+        })
+    }
+
+    /// Buffers one coalescable demand update. OD names are validated *now*
+    /// (unknown ODs answer an immediate error instead of poisoning the
+    /// batch) — sound because the OD set cannot change under the buffer:
+    /// any `add_od`/`remove_od` flushes it first.
+    fn buffer_coalesced(
+        &mut self,
+        buf: &mut CoalesceBuffer,
+        req: Request,
+        reply: mpsc::Sender<Json>,
+        window: Duration,
+    ) {
+        // Counted on entry, like every other accepted request.
+        self.metrics.record_request(req.name());
+        let updates: Vec<(String, f64)> = match &req {
+            Request::UpdateDemand { od, size } => vec![(od.clone(), *size)],
+            Request::UpdateDemands { updates } => updates.clone(),
+            _ => unreachable!("only demand updates are coalescable"),
+        };
+        let unknown = updates
+            .iter()
+            .find(|(od, _)| !self.state.ods().iter().any(|o| o.name == *od));
+        if let Some((od, _)) = unknown {
+            self.seq += 1;
+            self.metrics.record_error();
+            self.sli.record(Kind::Error);
+            let msg = format!("unknown OD '{od}'");
+            let _ = reply.send(self.error_response(Some(&req), &msg));
+            return;
+        }
+        for (od, size) in updates {
+            match buf.merged.iter_mut().find(|(o, _)| *o == od) {
+                Some((_, s)) => *s = size, // last writer wins
+                None => buf.merged.push((od, size)),
+            }
+        }
+        buf.replies.push((req, reply));
+        if buf.deadline.is_none() {
+            buf.deadline = Some(Instant::now() + window);
+        }
+    }
+
+    /// Applies the coalesce buffer as *one* `update_demands` batch — one
+    /// epoch rebuild, one warm re-solve, one journal record — and
+    /// acknowledges every merged request individually.
+    fn flush_coalesced(&mut self, buf: &mut CoalesceBuffer) {
+        if buf.replies.is_empty() {
+            return;
+        }
+        let merged = std::mem::take(&mut buf.merged);
+        let replies = std::mem::take(&mut buf.replies);
+        buf.deadline = None;
+        let batch_size = replies.len() as u64;
+        let batch = Request::UpdateDemands { updates: merged };
+        self.seq += 1;
+        self.recorder
+            .counter_add("daemon_coalesce_flushes_total", 1);
+        self.recorder
+            .counter_add("daemon_coalesced_updates_total", batch_size);
+        let t0 = Instant::now();
+        let backup = self.state.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.state.apply_event(&batch, self.opts.shadow_cold)
+        }));
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.recorder.observe_labeled(
+            "daemon_command_latency_ms",
+            "cmd",
+            "coalesced_flush",
+            elapsed_ms,
+        );
+        self.update_ewma(elapsed_ms);
+        match outcome {
+            Ok(Ok(report)) => {
+                self.journal(&batch);
+                self.note_resolve("update_demands", &report);
+                self.commit_epoch += 1;
+                let resolve = resolve_json(&report);
+                for (req, reply) in replies {
+                    let response = self.ok_response(
+                        &req,
+                        vec![
+                            ("epoch", Json::UInt(self.commit_epoch)),
+                            ("coalesced", Json::UInt(batch_size)),
+                            ("resolve", resolve.clone()),
+                        ],
+                    );
+                    let _ = reply.send(response);
+                }
+            }
+            Ok(Err(e)) => {
+                // Validated sizes can still fail the solve (e.g. an
+                // infeasible θ after the merge); the whole batch reports
+                // the same error and the state stays untouched (apply_event
+                // is transactional).
+                let msg = e.to_string();
+                for (req, reply) in replies {
+                    self.metrics.record_error();
+                    self.sli.record(Kind::Error);
+                    let _ = reply.send(self.error_response(Some(&req), &msg));
+                }
+            }
+            Err(payload) => {
+                self.state = backup;
+                self.recorder.counter_add("daemon_request_panics", 1);
+                let msg = format!(
+                    "internal panic (state rolled back): {}",
+                    panic_message(payload.as_ref())
+                );
+                for (req, reply) in replies {
+                    self.metrics.record_error();
+                    self.sli.record(Kind::Error);
+                    let _ = reply.send(self.error_response(Some(&req), &msg));
+                }
+            }
+        }
+        self.publish_snapshot();
+    }
+
+    /// Folds one handling latency into the EWMA (α = 0.2) behind the
+    /// shedder's `retry_after_ms` hint. Single writer (the event loop), so
+    /// load/store need no compare-exchange loop.
+    fn update_ewma(&self, elapsed_ms: f64) {
+        let prev = f64::from_bits(self.ewma_ms_bits.load(Ordering::Relaxed));
+        let next = if prev == 0.0 {
+            elapsed_ms
+        } else {
+            0.8 * prev + 0.2 * elapsed_ms
+        };
+        self.ewma_ms_bits.store(next.to_bits(), Ordering::Relaxed);
     }
 
     /// Current persistence mode, as reported by `hello` and `health`.
@@ -422,6 +863,7 @@ impl Daemon {
     fn note_resolve(&mut self, cmd: &'static str, report: &SolveReport) {
         if report.degraded {
             self.recorder.counter_add("degraded_solves", 1);
+            self.sli.record(Kind::DegradedSolve);
         }
         if report.fallback == Some("last_good") {
             self.recorder.counter_add("daemon_last_good_fallbacks", 1);
@@ -464,8 +906,15 @@ impl Daemon {
                     // un-applying the event.
                     self.journal(&req);
                     self.note_resolve(req.name(), &report);
+                    self.commit_epoch += 1;
                     (
-                        self.ok_response(&req, vec![("resolve", resolve_json(&report))]),
+                        self.ok_response(
+                            &req,
+                            vec![
+                                ("epoch", Json::UInt(self.commit_epoch)),
+                                ("resolve", resolve_json(&report)),
+                            ],
+                        ),
                         false,
                     )
                 }
@@ -487,8 +936,16 @@ impl Daemon {
                 } else {
                     "ok"
                 };
+                let now_s = self.sli.now_s();
+                let (level, reasons) = self.sli.classify_at(now_s);
+                self.sli.export_gauges(&self.recorder);
                 let mut payload = vec![
                     ("status", Json::Str(status.into())),
+                    ("sli", Json::Str(level.as_str().into())),
+                    (
+                        "sli_reasons",
+                        Json::Arr(reasons.iter().map(|r| Json::Str((*r).into())).collect()),
+                    ),
                     ("persistence", Json::Str(self.persistence_mode().into())),
                     ("serving_uncertified", Json::Bool(serving_uncertified)),
                     ("degraded_solves", Json::UInt(self.metrics.degraded_solves)),
@@ -502,6 +959,7 @@ impl Daemon {
                         Json::UInt(self.queue_depth.load(Ordering::Relaxed)),
                     ),
                     ("queue_capacity", Json::UInt(self.capacity as u64)),
+                    ("rates", self.sli.rates_json_at(now_s)),
                 ];
                 if let Some(why) = &self.persistence_error {
                     payload.push(("persistence_error", Json::Str(why.clone())));
@@ -570,10 +1028,14 @@ impl Daemon {
             Request::Rollback => match self.state.rollback() {
                 Ok((depth, objective)) => {
                     self.journal(&req);
+                    // A rollback swaps the installed rates: a committed
+                    // state change, so readers get a new epoch.
+                    self.commit_epoch += 1;
                     (
                         self.ok_response(
                             &req,
                             vec![
+                                ("epoch", Json::UInt(self.commit_epoch)),
                                 ("depth", Json::Num(depth as f64)),
                                 ("objective", objective.map_or(Json::Null, Json::Num)),
                             ],
@@ -638,7 +1100,7 @@ impl Daemon {
         obj(pairs)
     }
 
-    /// The `BENCH_serve.json` document: per-event latency plus warm/cold
+    /// The `BENCH_recover.json` document: per-event latency plus warm/cold
     /// totals and the solve-deadline tail.
     fn bench_report(&self) -> String {
         let events = Json::Arr(
@@ -724,7 +1186,7 @@ where
 
 /// The shedder's backoff hint: roughly one queue-drain at the observed
 /// per-request latency, clamped to [10 ms, 30 s].
-fn retry_after_ms(ewma_ms: f64, capacity: usize) -> u64 {
+pub(crate) fn retry_after_ms(ewma_ms: f64, capacity: usize) -> u64 {
     (ewma_ms * capacity as f64).clamp(10.0, 30_000.0).round() as u64
 }
 
@@ -754,7 +1216,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// ([`Json::UInt`]); histograms keep per-bucket (non-cumulative) counts in
 /// [`nws_obs::LATENCY_BUCKETS_MS`] order plus the `+Inf` slot; spans come
 /// preorder over the phase tree with their nesting depth.
-fn metrics_json(snap: &Snapshot) -> Json {
+pub(crate) fn metrics_json(snap: &Snapshot) -> Json {
     fn key(name: &str, label: Option<(&str, &str)>) -> String {
         match label {
             Some((k, v)) => format!("{name}{{{k}=\"{v}\"}}"),

@@ -24,9 +24,19 @@
 //!   always-on `nws-obs` recorder (per-command latency histograms, warm/cold
 //!   re-solve latency, queue depth, solver spans) behind the `metrics`
 //!   command and the `--metrics-out` exposition.
+//! - [`net`] — the multi-client serving layer ([`daemon::Daemon::serve`]):
+//!   TCP/Unix listeners, per-connection reader/writer threads, connection
+//!   limits, idle timeouts.
+//! - [`read_path`] — the lock-free read path: an atomically-swapped
+//!   immutable [`read_path::ReadSnapshot`] from which connection threads
+//!   answer read-only commands without touching the solve queue.
+//! - [`sli`] — RFC-0019-style SLI rate windows (1s/10s/60s request, shed,
+//!   and degraded-solve rates with OK/WARN/CRIT classification) behind the
+//!   extended `health` payload.
 //!
-//! See `DESIGN.md` §8 for the protocol grammar and the state machine, and
-//! §9 for the observability substrate.
+//! See `DESIGN.md` §8 for the protocol grammar and the state machine,
+//! §9 for the observability substrate, and §14 for the serving
+//! architecture (read path, coalescing, SLIs).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -34,14 +44,20 @@
 pub mod daemon;
 pub mod json;
 pub mod metrics;
+pub mod net;
 pub mod persist;
 pub mod protocol;
+pub mod read_path;
+pub mod sli;
 pub mod state;
 
 pub use daemon::{Daemon, DaemonOptions, DaemonSummary};
+pub use net::{NetOptions, Server};
 pub use nws_store::{FaultPlan, FsyncPolicy};
 pub use persist::{OpenError, PersistConfig, RecoveryReport, StateStore};
 pub use protocol::{parse_request, Request};
+pub use read_path::{ReadSnapshot, SnapshotCell};
+pub use sli::{RateWindows, SliLevel};
 pub use state::{ServiceState, SolveReport, SolverChaos};
 
 use nws_core::CoreError;

@@ -1,0 +1,171 @@
+//! Per-connection reader/writer thread pair.
+//!
+//! The reader parses JSON lines off the socket. Read-only commands are
+//! answered immediately from the published snapshot ([`ReadHandle`]) and
+//! handed to the writer as a resolved slot; everything else is enqueued on
+//! the daemon's bounded job queue with a per-request reply channel, handed
+//! to the writer as a *pending* slot. The writer drains slots strictly in
+//! order, blocking on pending replies — per-connection FIFO holds, while a
+//! pure-read connection never waits on another connection's solve.
+
+use crate::json::{obj, Json};
+use crate::net::{Job, NetOptions, Registry, Stream};
+use crate::read_path::ReadHandle;
+use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// How many responses a connection's writer may fall behind its reader
+/// before the reader stops pulling new lines off the socket (per-connection
+/// backpressure; keeps one fast writer-client from buffering unboundedly).
+const SLOT_BACKLOG: usize = 256;
+
+/// One response slot, queued in request order.
+enum Slot {
+    /// Answered inline (snapshot read, shed, parse error, greeting).
+    Ready(Json),
+    /// Will be answered by the event loop via this channel.
+    Pending(mpsc::Receiver<Json>),
+}
+
+/// Spawns the reader and writer threads for one accepted connection.
+pub(crate) fn spawn_connection<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    stream: Stream,
+    opts: &NetOptions,
+    jobs: mpsc::SyncSender<Job>,
+    read: ReadHandle,
+    registry: Arc<Registry>,
+) {
+    let _ = stream.set_read_timeout(opts.idle_timeout());
+    let read_half = match stream.try_clone() {
+        Ok(h) => h,
+        Err(_) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let shutdown_handle = match stream.try_clone() {
+        Ok(h) => h,
+        Err(_) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    registry.register(shutdown_handle);
+    read.recorder
+        .counter_add("daemon_connections_opened_total", 1);
+    read.recorder
+        .gauge_set("daemon_connections_active", registry.active() as f64);
+
+    let (slot_tx, slot_rx) = mpsc::sync_channel::<Slot>(SLOT_BACKLOG);
+    // Greet before the first request, like the single-stream transports.
+    let _ = slot_tx.send(Slot::Ready(read.hello()));
+    scope.spawn(move || run_writer(stream, slot_rx));
+    scope.spawn(move || {
+        run_reader(read_half, &read, &jobs, &slot_tx, &registry);
+        drop(slot_tx); // writer drains the backlog, then closes the socket
+        registry.release();
+        read.recorder
+            .gauge_set("daemon_connections_active", registry.active() as f64);
+    });
+}
+
+/// Reads lines until EOF, idle timeout, socket error, or daemon shutdown.
+fn run_reader(
+    read_half: Stream,
+    read: &ReadHandle,
+    jobs: &mpsc::SyncSender<Job>,
+    slots: &mpsc::SyncSender<Slot>,
+    _registry: &Registry,
+) {
+    let mut lines = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match lines.read_line(&mut line) {
+            Ok(0) => break, // EOF (client closed, or shutdown closed our read side)
+            Ok(_) => {}
+            // Idle timeout (SO_RCVTIMEO reports WouldBlock or TimedOut
+            // depending on platform) or any hard socket error: drop the
+            // connection. A line split across the timeout boundary is
+            // abandoned — idle clients are expected to be between lines.
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let item = crate::protocol::parse_request(trimmed);
+        if let Ok(req) = &item {
+            let t0 = Instant::now();
+            if let Some(response) = read.try_answer(req) {
+                read.recorder.observe_labeled(
+                    "daemon_command_latency_ms",
+                    "cmd",
+                    req.name(),
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+                if slots.send(Slot::Ready(response)).is_err() {
+                    break; // writer gone (socket died)
+                }
+                continue;
+            }
+        }
+        // Queue path: mirrors the single-stream reader's shed accounting —
+        // depth is incremented optimistically, rolled back on a full queue.
+        let depth = read.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        read.recorder.gauge_set("daemon_queue_depth", depth as f64);
+        let (reply_tx, reply_rx) = mpsc::channel::<Json>();
+        match jobs.try_send(Job {
+            item,
+            reply: reply_tx,
+        }) {
+            Ok(()) => {
+                if slots.send(Slot::Pending(reply_rx)).is_err() {
+                    break;
+                }
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                let depth = read.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                read.recorder.gauge_set("daemon_queue_depth", depth as f64);
+                if slots.send(Slot::Ready(read.overloaded())).is_err() {
+                    break;
+                }
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                let depth = read.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                read.recorder.gauge_set("daemon_queue_depth", depth as f64);
+                let _ = slots.send(Slot::Ready(obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str("daemon is shutting down".into())),
+                ])));
+                break;
+            }
+        }
+    }
+}
+
+/// Writes responses in request order; blocks on pending event-loop replies.
+fn run_writer(mut stream: Stream, slots: mpsc::Receiver<Slot>) {
+    for slot in slots {
+        let response = match slot {
+            Slot::Ready(json) => json,
+            Slot::Pending(reply) => reply.recv().unwrap_or_else(|_| {
+                obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str("daemon exited before answering".into())),
+                ])
+            }),
+        };
+        if writeln!(stream, "{}", response.encode())
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            break; // peer gone; reader will notice via the closed slot channel
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}

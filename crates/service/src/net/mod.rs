@@ -1,0 +1,399 @@
+//! Multi-client serving transports: a TCP and/or Unix-socket listener in
+//! front of the daemon's event loop ([`crate::Daemon::serve`]).
+//!
+//! Architecture (DESIGN.md §14): one acceptor thread per listener, two
+//! threads per connection (reader + writer, see [`conn`]). Connection
+//! readers answer read-only commands directly from the published
+//! [`crate::read_path::ReadSnapshot`] and funnel everything else into the
+//! bounded job queue the event loop drains; the writer preserves strict
+//! per-connection FIFO response order via a slot channel, so a pure-read
+//! connection never waits on a solve while a mixed connection only waits
+//! behind its *own* mutations.
+//!
+//! Shutdown: the event loop sets the shared flag and closes every
+//! registered connection's read side ([`Registry::close_read_sides`]);
+//! acceptors stop, readers see EOF and drop their queue senders, the loop
+//! drains what was already queued (every accepted request still gets its
+//! answer), writers flush and close. The final durable snapshot is then
+//! written exactly once by the loop's shared teardown.
+//!
+//! Accept loops poll non-blockingly (5 ms naps) instead of parking in
+//! `accept`: with `#![forbid(unsafe_code)]` there is no portable way to
+//! interrupt a blocked accept, and a bounded poll keeps shutdown prompt
+//! without busy-spinning.
+
+use crate::ServiceError;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+pub(crate) mod conn;
+
+/// How long an acceptor naps between non-blocking accept polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Serving-transport tunables (`nws serve --tcp/--socket/...`).
+#[derive(Debug, Clone, Default)]
+pub struct NetOptions {
+    /// TCP listen address (`--tcp`), e.g. `127.0.0.1:7070`. Port 0 binds
+    /// an ephemeral port; [`Server::tcp_addr`] reports the actual one.
+    pub tcp: Option<String>,
+    /// Unix-socket path (`--socket`). A stale socket file is replaced.
+    pub unix: Option<String>,
+    /// Maximum concurrent connections (`--max-conns`); 0 means the
+    /// default (1024). Excess connections get one
+    /// `too_many_connections` error line and are closed immediately.
+    pub max_conns: usize,
+    /// Per-connection idle timeout in ms (`--idle-timeout-ms`); a
+    /// connection idle past it is closed. 0 disables the timeout.
+    pub idle_timeout_ms: u64,
+}
+
+impl NetOptions {
+    /// Resolved connection cap.
+    pub(crate) fn max_conns(&self) -> u64 {
+        if self.max_conns == 0 {
+            1024
+        } else {
+            self.max_conns as u64
+        }
+    }
+
+    /// Resolved idle timeout.
+    pub(crate) fn idle_timeout(&self) -> Option<Duration> {
+        (self.idle_timeout_ms > 0).then(|| Duration::from_millis(self.idle_timeout_ms))
+    }
+}
+
+/// One accepted connection's stream, over either transport.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-socket connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    pub(crate) fn shutdown(&self, how: Shutdown) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(how),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.shutdown(how),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener; the Unix variant owns its socket file and removes it
+/// when the acceptor drops the listener.
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // One response line per request: Nagle + delayed ACK would
+                // add ~40 ms to every round trip, so flush eagerly.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Bound-but-not-yet-serving listeners. Bind first, read
+/// [`Server::tcp_addr`] (ephemeral ports), then hand the server to
+/// [`crate::Daemon::serve`].
+#[derive(Debug)]
+pub struct Server {
+    listeners: Vec<Listener>,
+    tcp_addr: Option<SocketAddr>,
+    opts: NetOptions,
+}
+
+impl Server {
+    /// Binds every configured listener.
+    ///
+    /// # Errors
+    /// [`ServiceError::State`] when no transport is configured, an
+    /// address cannot be bound, or the platform lacks Unix sockets.
+    pub fn bind(opts: &NetOptions) -> Result<Server, ServiceError> {
+        let mut listeners = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &opts.tcp {
+            let listener = TcpListener::bind(addr)
+                .map_err(|e| ServiceError::State(format!("cannot bind tcp '{addr}': {e}")))?;
+            tcp_addr = Some(
+                listener
+                    .local_addr()
+                    .map_err(|e| ServiceError::State(format!("tcp local_addr: {e}")))?,
+            );
+            listeners.push(Listener::Tcp(listener));
+        }
+        if let Some(path) = &opts.unix {
+            listeners.push(Self::bind_unix(path)?);
+        }
+        if listeners.is_empty() {
+            return Err(ServiceError::State(
+                "no serving transport: configure --tcp and/or --socket".into(),
+            ));
+        }
+        Ok(Server {
+            listeners,
+            tcp_addr,
+            opts: opts.clone(),
+        })
+    }
+
+    #[cfg(unix)]
+    fn bind_unix(path: &str) -> Result<Listener, ServiceError> {
+        // Replace a stale socket file (a previous daemon that died without
+        // cleanup); a *live* daemon would still be serving on it, but the
+        // state-dir lockfile is the real single-instance guard.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)
+            .map_err(|e| ServiceError::State(format!("cannot bind socket '{path}': {e}")))?;
+        Ok(Listener::Unix(listener, PathBuf::from(path)))
+    }
+
+    #[cfg(not(unix))]
+    fn bind_unix(path: &str) -> Result<Listener, ServiceError> {
+        Err(ServiceError::State(format!(
+            "unix sockets are not supported on this platform ('{path}')"
+        )))
+    }
+
+    /// The bound TCP address, when a TCP listener is configured — the way
+    /// to learn the real port after binding `:0`.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The transport options this server was bound with.
+    pub fn options(&self) -> &NetOptions {
+        &self.opts
+    }
+}
+
+/// One queued request from a connection: the parsed item plus the
+/// per-request reply channel its writer blocks on (in FIFO order).
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub item: Result<crate::protocol::Request, String>,
+    pub reply: mpsc::Sender<crate::json::Json>,
+}
+
+/// Live-connection registry: counts for the connection cap and gauges,
+/// plus a read-side handle per connection so shutdown can wake every
+/// blocked reader.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    streams: Mutex<Vec<Stream>>,
+    active: AtomicU64,
+    opened: AtomicU64,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers an accepted connection (a cloned handle for shutdown).
+    fn register(&self, handle: Stream) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        let mut streams = match self.streams.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        streams.push(handle);
+    }
+
+    /// Marks one connection's reader as finished.
+    fn release(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn active(&self) -> u64 {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub(crate) fn opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Shuts down the read side of every registered connection: blocked
+    /// readers observe EOF, stop enqueueing, and drop their queue
+    /// senders, which lets the event loop drain to completion. Write
+    /// sides stay open so in-flight responses (including the `bye`) still
+    /// reach their peers.
+    pub(crate) fn close_read_sides(&self) {
+        let streams = match self.streams.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        for s in streams.iter() {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// Spawns one acceptor thread per bound listener inside `scope`. Each
+/// accepted connection gets its own reader/writer thread pair (also in
+/// `scope`); `jobs` is dropped with the last acceptor/reader, which is
+/// what ends the event loop's drain after shutdown.
+pub(crate) fn spawn_acceptors<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    server: Server,
+    jobs: mpsc::SyncSender<Job>,
+    read: crate::read_path::ReadHandle,
+    registry: Arc<Registry>,
+    shutting_down: Arc<AtomicBool>,
+) {
+    let Server {
+        listeners, opts, ..
+    } = server;
+    for listener in listeners {
+        let jobs = jobs.clone();
+        let read = read.clone();
+        let registry = Arc::clone(&registry);
+        let shutting_down = Arc::clone(&shutting_down);
+        let opts = opts.clone();
+        scope.spawn(move || {
+            accept_loop(scope, listener, &opts, jobs, read, registry, shutting_down);
+        });
+    }
+}
+
+fn accept_loop<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    listener: Listener,
+    opts: &NetOptions,
+    jobs: mpsc::SyncSender<Job>,
+    read: crate::read_path::ReadHandle,
+    registry: Arc<Registry>,
+    shutting_down: Arc<AtomicBool>,
+) {
+    if listener.set_nonblocking().is_err() {
+        return;
+    }
+    let max_conns = opts.max_conns();
+    while !shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(mut stream) => {
+                if shutting_down.load(Ordering::SeqCst) {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    break;
+                }
+                if registry.active() >= max_conns {
+                    // One explicit error line, then the door: silently
+                    // dropping would look like a network fault to the
+                    // peer and provoke blind retries.
+                    read.recorder
+                        .counter_add("daemon_connections_rejected_total", 1);
+                    let line = crate::json::obj(vec![
+                        ("ok", crate::json::Json::Bool(false)),
+                        (
+                            "error",
+                            crate::json::Json::Str("too_many_connections".into()),
+                        ),
+                    ]);
+                    let _ = writeln!(stream, "{}", line.encode());
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+                conn::spawn_connection(
+                    scope,
+                    stream,
+                    opts,
+                    jobs.clone(),
+                    read.clone(),
+                    Arc::clone(&registry),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake):
+                // back off briefly and keep listening.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}

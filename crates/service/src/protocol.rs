@@ -137,6 +137,21 @@ impl Request {
         self.is_mutating() || matches!(self, Request::Snapshot | Request::Rollback)
     }
 
+    /// Whether the request is answerable from the published read snapshot
+    /// (the lock-free read path): no state change, no expensive rebuild.
+    /// `query_accuracy` is deliberately excluded — read-only but costly
+    /// (Monte-Carlo runs), so it stays on the bounded queue.
+    pub fn is_read_only(&self) -> bool {
+        matches!(
+            self,
+            Request::QueryRates
+                | Request::Stats
+                | Request::Health
+                | Request::Metrics
+                | Request::Ping
+        )
+    }
+
     /// Re-encodes the request as its wire JSON object — the inverse of
     /// [`parse_request`] up to field order. This is what the write-ahead
     /// log stores, so replaying a journal goes through the same protocol

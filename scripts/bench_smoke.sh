@@ -2,7 +2,8 @@
 # Smoke-run of the performance surfaces, split into named stages so CI can
 # gate on them independently:
 #
-#   ./scripts/bench_smoke.sh [stage ...]     stages: eval replay wal serve chaos
+#   ./scripts/bench_smoke.sh [stage ...]     stages: eval replay serve-load
+#                                            wal serve chaos
 #                                            (no args = all stages)
 #
 #   eval   objective-evaluation micro-benchmark (--quick) producing
@@ -16,15 +17,21 @@
 #          scripts/check_bench.py enforcing the accuracy gates (gap monotone
 #          in budget, forecast >= reactive at equal budget, full budget
 #          tracks the oracle).
+#   serve-load  concurrent TCP serving benchmark (--quick: fixed reader/
+#          writer mix on loopback) producing BENCH_serve.json, then
+#          scripts/check_bench.py enforcing the serving gates (zero
+#          protocol errors, lock-free reads, coalescing, read p99 and
+#          throughput vs the committed structural baselines).
 #   wal    WAL append micro-benchmark with the fsync-policy sanity gate.
 #   serve  kill -9 / recover round trip of the control-plane daemon on GEANT
 #          (cold-vs-warm re-solve latency, recovery latency, exposition
-#          shape checks).
+#          shape checks) producing BENCH_recover.json.
 #   chaos  fixed-seed store-fault replay drills.
 #
-# CI runs `eval replay` as the blocking perf-gates job and `wal serve chaos`
-# as the non-blocking resilience job. Run eval_bench/wal_bench manually
-# (without --quick) for publishable numbers.
+# CI runs `eval replay serve-load` as the blocking perf-gates job and
+# `wal serve chaos` as the non-blocking resilience job. Run
+# eval_bench/wal_bench/serve_load manually (without --quick) for
+# publishable numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -61,6 +68,18 @@ stage_replay() {
     # mode at least on par with reactive at equal budget, per-tick
     # re-solves track the oracle. Blocking in CI.
     python3 scripts/check_bench.py BENCH_replay.json
+}
+
+stage_serve_load() {
+    # Concurrent serving benchmark: a fixed reader/writer connection mix
+    # against an in-process daemon on loopback TCP (read-heavy: 32 readers,
+    # 4 writers in quick mode). The serving gates are blocking in CI: zero
+    # protocol errors, every read answered lock-free from the published
+    # snapshot, coalescing holding one rebuild per flush, and read
+    # p99/throughput within the structural-baseline band.
+    cargo run --release -p nws-bench --bin serve_load -- --quick --out BENCH_serve.json
+    python3 scripts/check_bench.py BENCH_serve.json
+    echo "serve-load smoke OK: $(pwd)/BENCH_serve.json"
 }
 
 stage_wal() {
@@ -120,15 +139,15 @@ stage_serve() {
     # response byte-for-byte. Then pipe the full scripted event sequence
     # (demand updates, a link failure, theta changes, snapshot/rollback, a
     # metrics query) through the same daemon. --shadow-cold runs a cold
-    # solve per event so BENCH_serve.json carries the warm-vs-cold
+    # solve per event so BENCH_recover.json carries the warm-vs-cold
     # comparison (and now the recovery latency); --metrics-out/--trace
     # write the Prometheus-style exposition with the span tree; `set -e`
     # makes a non-zero daemon exit fail the smoke run.
     { printf '{"cmd":"query_rates"}\n'; cat fixtures/serve_session.jsonl; } | \
-        target/release/nws serve --shadow-cold --bench-out BENCH_serve.json \
+        target/release/nws serve --shadow-cold --bench-out BENCH_recover.json \
             --metrics-out METRICS_serve.prom --trace --state-dir "$STATE_DIR" \
             --solve-deadline-ms 5000 > serve_session.out
-    [ -s BENCH_serve.json ] || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
+    [ -s BENCH_recover.json ] || { echo "BENCH_recover.json missing or empty" >&2; exit 1; }
     grep -q '"bye":true' serve_session.out || { echo "daemon did not shut down cleanly" >&2; exit 1; }
     if grep -q '"ok":false' serve_session.out; then
         echo "daemon rejected a scripted event:" >&2
@@ -150,10 +169,10 @@ stage_serve() {
         exit 1; }
     grep -q '"wal_stats":{"policy":"always",' serve_session.out \
         || { echo "metrics response lacks wal_stats" >&2; exit 1; }
-    grep -q '"recovery":{"snapshot":false,"replayed_events":3,' BENCH_serve.json \
-        || { echo "BENCH_serve.json lacks the recovery report" >&2; exit 1; }
-    grep -q '"solve_deadline":{"configured_ms":5000,"solve_ms_p99":' BENCH_serve.json \
-        || { echo "BENCH_serve.json lacks the solve-deadline section" >&2; exit 1; }
+    grep -q '"recovery":{"snapshot":false,"replayed_events":3,' BENCH_recover.json \
+        || { echo "BENCH_recover.json lacks the recovery report" >&2; exit 1; }
+    grep -q '"solve_deadline":{"configured_ms":5000,"solve_ms_p99":' BENCH_recover.json \
+        || { echo "BENCH_recover.json lacks the solve-deadline section" >&2; exit 1; }
     rm -f serve_session.out
     echo "recovery smoke OK: 3 events replayed, rates match pre-kill byte-for-byte"
 
@@ -181,7 +200,7 @@ stage_serve() {
          { if (NF != 2 || $2 + 0 != $2) { bad = 1; print "malformed sample: " $0 > "/dev/stderr" } }
          END { exit bad }' METRICS_serve.prom \
         || { echo "METRICS_serve.prom failed the exposition shape check" >&2; exit 1; }
-    echo "serve smoke OK: $(pwd)/BENCH_serve.json + METRICS_serve.prom"
+    echo "serve smoke OK: $(pwd)/BENCH_recover.json + METRICS_serve.prom"
 }
 
 stage_chaos() {
@@ -222,14 +241,15 @@ stage_chaos() {
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 
-stages="${*:-eval replay wal serve chaos}"
+stages="${*:-eval replay serve-load wal serve chaos}"
 for stage in $stages; do
     case "$stage" in
-        eval)   stage_eval ;;
-        replay) stage_replay ;;
-        wal)    stage_wal ;;
-        serve)  stage_serve ;;
-        chaos)  stage_chaos ;;
-        *) echo "unknown stage '$stage' (expected: eval replay wal serve chaos)" >&2; exit 2 ;;
+        eval)       stage_eval ;;
+        replay)     stage_replay ;;
+        serve-load) stage_serve_load ;;
+        wal)        stage_wal ;;
+        serve)      stage_serve ;;
+        chaos)      stage_chaos ;;
+        *) echo "unknown stage '$stage' (expected: eval replay serve-load wal serve chaos)" >&2; exit 2 ;;
     esac
 done

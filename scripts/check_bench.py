@@ -1,14 +1,32 @@
 #!/usr/bin/env python3
-"""Validate BENCH_eval.json / BENCH_replay.json and enforce the CI gates.
+"""Validate BENCH_eval.json / BENCH_replay.json / BENCH_serve.json and
+enforce the CI gates.
 
 Run from bench_smoke.sh and the blocking `perf-gates` CI job:
 
     python3 scripts/check_bench.py BENCH_eval.json
     python3 scripts/check_bench.py BENCH_eval.json --write-baselines
     python3 scripts/check_bench.py BENCH_replay.json
+    python3 scripts/check_bench.py BENCH_serve.json
 
-The report's top-level "bench" field selects the rule set. For replay
-reports ("bench": "replay", from `nws replay --bench-out`):
+The report's top-level "bench" field selects the rule set. For serve-load
+reports ("bench": "serve_load", from the serve_load bench binary):
+
+1.  Schema: config axes, read/mutate latency sections, the lock-free and
+    coalescing counters, and the daemon summary all present and finite.
+2.  Serving gates (hard):
+      - zero protocol errors and zero read/mutate errors, clean shutdown;
+      - reads are answered lock-free: reads_served_lockfree >= the measured
+        read count, and jobs_enqueued stays within the mutate stream
+        (read load must not touch the solve queue);
+      - coalescing holds: epoch rebuilds track coalesce flushes, never the
+        raw update count.
+3.  Structural baselines: the connection mix (readers/writers/duration/
+    burst) must match scripts/bench_baselines.json exactly; read p99 must
+    stay within TIMING_BAND of the baseline and read throughput must not
+    fall more than TIMING_BAND below it.
+
+For replay reports ("bench": "replay", from `nws replay --bench-out`):
 
 1.  Schema: trace/oracle provenance present, one curve row per
     (mode, budget) with finite fields, both modes at every budget.
@@ -345,13 +363,152 @@ def run_replay_checks(report):
     return 0
 
 
+SERVE_SIDE_FIELDS = ("count", "errors", "throughput_per_sec",
+                     "p50_ms", "p95_ms", "p99_ms")
+SERVE_COUNTERS = ("reads_served_lockfree", "jobs_enqueued",
+                  "coalesce_flushes", "coalesced_updates", "epoch_rebuilds")
+# Slack on jobs_enqueued beyond the measured mutate count: the control
+# connection's shutdown is queued, and a shed burst may land partially.
+ENQUEUE_SLACK = 16
+
+
+def check_serve_schema(report):
+    for key in ("bench", "quick", "config", "wall_s", "read", "mutate",
+                "protocol_errors", "shed", "max_coalesced", "counters",
+                "daemon"):
+        if key not in report:
+            fail(f"schema: missing top-level key {key!r}")
+    if failures:
+        return
+    for key in ("readers", "writers", "duration_ms", "coalesce_ms",
+                "burst", "seed"):
+        if key not in report["config"]:
+            fail(f"schema: config.{key} missing")
+    for side in ("read", "mutate"):
+        section = report[side]
+        for key in SERVE_SIDE_FIELDS:
+            v = section.get(key)
+            if not (isinstance(v, (int, float)) and math.isfinite(v) and v >= 0):
+                fail(f"schema: {side}.{key} missing or not finite: {v!r}")
+        if section.get("count", 0) <= 0:
+            fail(f"schema: {side}.count is zero — the load never ran")
+    for key in SERVE_COUNTERS:
+        if key not in report["counters"]:
+            fail(f"schema: counters.{key} missing")
+    if "clean_shutdown" not in report["daemon"]:
+        fail("schema: daemon.clean_shutdown missing")
+
+
+def check_serve_gates(report):
+    read, mutate = report["read"], report["mutate"]
+    counters = report["counters"]
+    # Gate 1: a clean protocol under concurrency.
+    if report["protocol_errors"] != 0:
+        fail(f"gates: {report['protocol_errors']} protocol error(s) under load")
+    for side in ("read", "mutate"):
+        if report[side]["errors"] != 0:
+            fail(f"gates: {report[side]['errors']} {side} error(s) under load")
+    if not report["daemon"].get("clean_shutdown"):
+        fail("gates: daemon did not shut down cleanly")
+    # Gate 2: reads bypass the queue. Every measured read must have been
+    # served from the published snapshot, and the enqueue counter must
+    # track the mutate stream only (plus the control shutdown).
+    if counters["reads_served_lockfree"] < read["count"]:
+        fail(f"gates: reads_served_lockfree {counters['reads_served_lockfree']} "
+             f"< measured reads {read['count']} — reads hit the queue")
+    if counters["jobs_enqueued"] > mutate["count"] + report["shed"] + ENQUEUE_SLACK:
+        fail(f"gates: jobs_enqueued {counters['jobs_enqueued']} exceeds the "
+             f"mutate stream {mutate['count']} + shed {report['shed']} + "
+             f"{ENQUEUE_SLACK} — read load is leaking into the solve queue")
+    # Gate 3: coalescing holds — one rebuild per flush (plus the startup
+    # solve), never one per raw update.
+    if counters["epoch_rebuilds"] > counters["coalesce_flushes"] + 2:
+        fail(f"gates: epoch_rebuilds {counters['epoch_rebuilds']} > "
+             f"coalesce_flushes {counters['coalesce_flushes']} + 2 — "
+             f"coalesced updates are rebuilding individually")
+    if counters["coalesced_updates"] < counters["coalesce_flushes"]:
+        fail(f"gates: coalesced_updates {counters['coalesced_updates']} < "
+             f"coalesce_flushes {counters['coalesce_flushes']}")
+
+
+def serve_structure_of(report):
+    """The baseline-worthy projection of a serve-load report: the exact
+    connection mix plus banded reference timings."""
+    return {
+        "readers": report["config"]["readers"],
+        "writers": report["config"]["writers"],
+        "duration_ms": report["config"]["duration_ms"],
+        "burst": report["config"]["burst"],
+        "read_p99_ms": report["read"]["p99_ms"],
+        "read_throughput_per_sec": report["read"]["throughput_per_sec"],
+    }
+
+
+def check_serve_baselines(report):
+    if not BASELINES.exists():
+        fail(f"baselines: {BASELINES} missing — regenerate with --write-baselines")
+        return
+    ref = json.loads(BASELINES.read_text()).get("serve_load")
+    if ref is None:
+        fail("baselines: no 'serve_load' section — regenerate with "
+             "--write-baselines")
+        return
+    cur = serve_structure_of(report)
+    for field in ("readers", "writers", "duration_ms", "burst"):
+        if ref.get(field) != cur[field]:
+            fail(f"baselines: serve_load {field} drifted {ref.get(field)} -> "
+                 f"{cur[field]} — the load mix changed, numbers not comparable")
+    if ref.get("read_p99_ms", 0) > 0:
+        r = cur["read_p99_ms"] / ref["read_p99_ms"]
+        if r > TIMING_BAND:
+            fail(f"baselines: read p99 regressed {r:.1f}x vs baseline "
+                 f"({ref['read_p99_ms']:.3f} -> {cur['read_p99_ms']:.3f} ms)")
+    if ref.get("read_throughput_per_sec", 0) > 0:
+        r = cur["read_throughput_per_sec"] / ref["read_throughput_per_sec"]
+        if r < 1.0 / TIMING_BAND:
+            fail(f"baselines: read throughput collapsed to {r:.2f}x of baseline "
+                 f"({ref['read_throughput_per_sec']:.0f} -> "
+                 f"{cur['read_throughput_per_sec']:.0f}/s)")
+
+
+def merge_baselines(key, value):
+    """Rewrite one section of the baselines file, preserving the others."""
+    base = json.loads(BASELINES.read_text()) if BASELINES.exists() else {}
+    if key is None:
+        base.update(value)
+    else:
+        base[key] = value
+    BASELINES.write_text(json.dumps(base, indent=2) + "\n")
+    print(f"wrote {BASELINES}")
+
+
+def run_serve_checks(report, write):
+    check_serve_schema(report)
+    if not failures:
+        check_serve_gates(report)
+        if write:
+            merge_baselines("serve_load", serve_structure_of(report))
+        else:
+            check_serve_baselines(report)
+    if failures:
+        return 1
+    print(f"check_bench: all serve-load gates pass "
+          f"({report['read']['count']} reads @ "
+          f"{report['read']['throughput_per_sec']:.0f}/s "
+          f"p99 {report['read']['p99_ms']:.2f} ms, "
+          f"{report['mutate']['count']} mutates, "
+          f"{report['counters']['coalesce_flushes']} flushes for "
+          f"{report['counters']['coalesced_updates']} updates)")
+    return 0
+
+
 def main():
     args = sys.argv[1:]
     write = "--write-baselines" in args
     paths = [a for a in args if not a.startswith("--")]
     if not paths:
-        print("usage: check_bench.py BENCH_eval.json|BENCH_replay.json "
-              "[--write-baselines]", file=sys.stderr)
+        print("usage: check_bench.py BENCH_eval.json|BENCH_replay.json|"
+              "BENCH_serve.json [--write-baselines]", file=sys.stderr)
         return 2
     report = json.loads(Path(paths[0]).read_text())
 
@@ -363,12 +520,19 @@ def main():
                 print(f"  - {f}", file=sys.stderr)
         return code
 
+    if report.get("bench") == "serve_load":
+        code = run_serve_checks(report, write)
+        if failures:
+            print(f"check_bench: {len(failures)} gate(s) failed:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+        return code
+
     check_schema(report)
     if not failures:
         check_perf_gates(report)
         if write:
-            BASELINES.write_text(json.dumps(structure_of(report), indent=2) + "\n")
-            print(f"wrote {BASELINES}")
+            merge_baselines(None, structure_of(report))
         else:
             check_baselines(report)
 
