@@ -761,6 +761,7 @@ impl Daemon {
             elapsed_ms,
         );
         self.update_ewma(elapsed_ms);
+        let mut acks: Vec<(mpsc::Sender<Json>, Json)> = Vec::with_capacity(replies.len());
         match outcome {
             Ok(Ok(report)) => {
                 self.journal(&batch);
@@ -776,7 +777,7 @@ impl Daemon {
                             ("resolve", resolve.clone()),
                         ],
                     );
-                    let _ = reply.send(response);
+                    acks.push((reply, response));
                 }
             }
             Ok(Err(e)) => {
@@ -788,7 +789,7 @@ impl Daemon {
                 for (req, reply) in replies {
                     self.metrics.record_error();
                     self.sli.record(Kind::Error);
-                    let _ = reply.send(self.error_response(Some(&req), &msg));
+                    acks.push((reply, self.error_response(Some(&req), &msg)));
                 }
             }
             Err(payload) => {
@@ -801,11 +802,18 @@ impl Daemon {
                 for (req, reply) in replies {
                     self.metrics.record_error();
                     self.sli.record(Kind::Error);
-                    let _ = reply.send(self.error_response(Some(&req), &msg));
+                    acks.push((reply, self.error_response(Some(&req), &msg)));
                 }
             }
         }
+        // Publish BEFORE acking, matching the publish-then-reply order of
+        // the non-coalesced path: a client that receives its ack (carrying
+        // commit epoch K) and immediately issues a lock-free read must
+        // observe epoch >= K, never K-1.
         self.publish_snapshot();
+        for (reply, response) in acks {
+            let _ = reply.send(response);
+        }
     }
 
     /// Folds one handling latency into the EWMA (α = 0.2) behind the

@@ -30,6 +30,28 @@ enum Slot {
     Pending(mpsc::Receiver<Json>),
 }
 
+/// The connection's registry slot, held (via `Arc`) by BOTH threads of
+/// the pair: the last one out — usually the writer, which may still be
+/// draining replies after the reader saw EOF — frees the slot. This way
+/// the connection cap bounds live sockets/threads (not just live
+/// readers), the active gauge never undercounts, and the registered
+/// shutdown handle's fd is closed the moment the connection is truly
+/// gone.
+struct SlotGuard {
+    registry: Arc<Registry>,
+    read: ReadHandle,
+    id: u64,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.registry.release(self.id);
+        self.read
+            .recorder
+            .gauge_set("daemon_connections_active", self.registry.active() as f64);
+    }
+}
+
 /// Spawns the reader and writer threads for one accepted connection.
 pub(crate) fn spawn_connection<'scope>(
     scope: &'scope std::thread::Scope<'scope, '_>,
@@ -54,22 +76,29 @@ pub(crate) fn spawn_connection<'scope>(
             return;
         }
     };
-    registry.register(shutdown_handle);
+    let id = registry.register(shutdown_handle);
     read.recorder
         .counter_add("daemon_connections_opened_total", 1);
     read.recorder
         .gauge_set("daemon_connections_active", registry.active() as f64);
+    let guard = Arc::new(SlotGuard {
+        registry,
+        read: read.clone(),
+        id,
+    });
 
     let (slot_tx, slot_rx) = mpsc::sync_channel::<Slot>(SLOT_BACKLOG);
     // Greet before the first request, like the single-stream transports.
     let _ = slot_tx.send(Slot::Ready(read.hello()));
-    scope.spawn(move || run_writer(stream, slot_rx));
+    let writer_guard = Arc::clone(&guard);
     scope.spawn(move || {
-        run_reader(read_half, &read, &jobs, &slot_tx, &registry);
+        run_writer(stream, slot_rx);
+        drop(writer_guard);
+    });
+    scope.spawn(move || {
+        run_reader(read_half, &read, &jobs, &slot_tx);
         drop(slot_tx); // writer drains the backlog, then closes the socket
-        registry.release();
-        read.recorder
-            .gauge_set("daemon_connections_active", registry.active() as f64);
+        drop(guard);
     });
 }
 
@@ -79,7 +108,6 @@ fn run_reader(
     read: &ReadHandle,
     jobs: &mpsc::SyncSender<Job>,
     slots: &mpsc::SyncSender<Slot>,
-    _registry: &Registry,
 ) {
     let mut lines = BufReader::new(read_half);
     let mut line = String::new();

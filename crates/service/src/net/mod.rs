@@ -23,6 +23,7 @@
 //! without busy-spinning.
 
 use crate::ServiceError;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -36,6 +37,12 @@ pub(crate) mod conn;
 
 /// How long an acceptor naps between non-blocking accept polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How many consecutive hard accept failures between stderr log lines
+/// (~5 s of solid failure at the poll cadence): a permanently broken
+/// listener or fd exhaustion must not degrade into an invisible retry
+/// loop while the daemon looks healthy.
+const ACCEPT_ERROR_LOG_EVERY: u64 = 1000;
 
 /// Serving-transport tunables (`nws serve --tcp/--socket/...`).
 #[derive(Debug, Clone, Default)]
@@ -259,12 +266,16 @@ pub(crate) struct Job {
 
 /// Live-connection registry: counts for the connection cap and gauges,
 /// plus a read-side handle per connection so shutdown can wake every
-/// blocked reader.
+/// blocked reader. Handles are keyed by a connection id so
+/// [`Registry::release`] can drop the duplicated stream (and close its
+/// fd) as soon as the connection's last thread exits — a long-running
+/// daemon must not accumulate one dead fd per connection ever served.
 #[derive(Debug, Default)]
 pub(crate) struct Registry {
-    streams: Mutex<Vec<Stream>>,
+    streams: Mutex<HashMap<u64, Stream>>,
     active: AtomicU64,
     opened: AtomicU64,
+    next_id: AtomicU64,
 }
 
 impl Registry {
@@ -272,20 +283,29 @@ impl Registry {
         Registry::default()
     }
 
-    /// Registers an accepted connection (a cloned handle for shutdown).
-    fn register(&self, handle: Stream) {
-        self.active.fetch_add(1, Ordering::SeqCst);
-        self.opened.fetch_add(1, Ordering::Relaxed);
-        let mut streams = match self.streams.lock() {
+    fn streams(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Stream>> {
+        match self.streams.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
-        };
-        streams.push(handle);
+        }
     }
 
-    /// Marks one connection's reader as finished.
-    fn release(&self) {
-        self.active.fetch_sub(1, Ordering::SeqCst);
+    /// Registers an accepted connection (a cloned handle for shutdown);
+    /// returns the id to pass to [`Registry::release`].
+    fn register(&self, handle: Stream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::SeqCst);
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        self.streams().insert(id, handle);
+        id
+    }
+
+    /// Frees one connection's slot: removes (and thereby closes) its
+    /// registered handle and decrements the live count. Idempotent.
+    fn release(&self, id: u64) {
+        if self.streams().remove(&id).is_some() {
+            self.active.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 
     pub(crate) fn active(&self) -> u64 {
@@ -297,17 +317,13 @@ impl Registry {
         self.opened.load(Ordering::Relaxed)
     }
 
-    /// Shuts down the read side of every registered connection: blocked
-    /// readers observe EOF, stop enqueueing, and drop their queue
+    /// Shuts down the read side of every live registered connection:
+    /// blocked readers observe EOF, stop enqueueing, and drop their queue
     /// senders, which lets the event loop drain to completion. Write
     /// sides stay open so in-flight responses (including the `bye`) still
     /// reach their peers.
     pub(crate) fn close_read_sides(&self) {
-        let streams = match self.streams.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        for s in streams.iter() {
+        for s in self.streams().values() {
             let _ = s.shutdown(Shutdown::Read);
         }
     }
@@ -353,9 +369,11 @@ fn accept_loop<'scope>(
         return;
     }
     let max_conns = opts.max_conns();
+    let mut accept_errors: u64 = 0;
     while !shutting_down.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok(mut stream) => {
+                accept_errors = 0;
                 if shutting_down.load(Ordering::SeqCst) {
                     let _ = stream.shutdown(Shutdown::Both);
                     break;
@@ -389,11 +407,67 @@ fn accept_loop<'scope>(
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
             }
-            Err(_) => {
-                // Transient accept failure (EMFILE, aborted handshake):
-                // back off briefly and keep listening.
+            Err(e) => {
+                // Hard accept failure (EMFILE, aborted handshake, broken
+                // listener): back off briefly and keep listening, but
+                // count it and log sustained failure — a listener that
+                // accepts nothing must not look healthy.
+                read.recorder.counter_add("daemon_accept_errors_total", 1);
+                accept_errors = accept_errors.saturating_add(1);
+                if accept_errors % ACCEPT_ERROR_LOG_EVERY == 0 {
+                    eprintln!(
+                        "nws serve: accept has failed {accept_errors} times \
+                         since the last accepted connection (latest: {e}); retrying"
+                    );
+                }
                 std::thread::sleep(ACCEPT_POLL);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_pair() -> (Stream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (Stream::Tcp(server), client)
+    }
+
+    /// A released slot removes (and thereby drops/closes) the registered
+    /// stream instead of leaking one duplicated fd per connection served;
+    /// release is idempotent so a double-release cannot underflow the cap.
+    #[test]
+    fn registry_release_removes_and_closes_the_entry() {
+        let registry = Registry::new();
+        let (a, mut client_a) = tcp_pair();
+        let (b, _client_b) = tcp_pair();
+        let id_a = registry.register(a);
+        let id_b = registry.register(b);
+        assert_eq!(registry.active(), 2);
+        assert_eq!(registry.opened(), 2);
+        assert_eq!(registry.streams().len(), 2);
+
+        registry.release(id_a);
+        assert_eq!(registry.active(), 1);
+        assert_eq!(registry.streams().len(), 1, "released entry must be dropped");
+        // The registry held the only server-side handle here, so dropping
+        // it closes the socket: the peer observes EOF.
+        client_a
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut buf = [0u8; 1];
+        assert_eq!(client_a.read(&mut buf).expect("read"), 0, "fd closed");
+
+        registry.release(id_a); // idempotent
+        assert_eq!(registry.active(), 1);
+        registry.release(id_b);
+        assert_eq!(registry.active(), 0);
+        assert!(registry.streams().is_empty());
+        assert_eq!(registry.opened(), 2, "lifetime count is unaffected");
     }
 }
