@@ -1,0 +1,207 @@
+//! Chaos-net drill for CI: seeded socket-fault schedules driving the
+//! resilient `nws-client` through a fixed mutation workload against an
+//! in-process daemon, reporting only *semantic* invariants.
+//!
+//! Everything in the report is deterministic for a fixed seed list —
+//! which invariant held, the solve/epoch counts, and a digest of the
+//! final served state — and everything timing-dependent (reconnect
+//! counts, retry counts, wall times) is deliberately left out: TCP
+//! packet boundaries shift the read-op → protocol-event mapping between
+//! runs, so those counters vary even under an identical fault schedule.
+//! That is what lets `bench_smoke.sh` run the drill twice and `cmp` the
+//! two reports byte-for-byte as its determinism gate.
+//!
+//! Per schedule the drill asserts the resilient-session contract:
+//! no panics, no torn response lines, every mutation applied exactly
+//! once (solve count equal to the fault-free baseline), a clean daemon
+//! shutdown, and a final `query_rates` response byte-identical to the
+//! fault-free baseline.
+//!
+//! Flags: `--quick` (12 seeds instead of 48), `--seeds N`,
+//! `--out PATH` (default `BENCH_chaos_net.json`).
+
+use nws_client::{Client, ClientConfig};
+use nws_core::scenarios::janet_task;
+use nws_core::PlacementConfig;
+use nws_service::json::{obj, Json};
+use nws_service::{
+    Daemon, DaemonOptions, DaemonSummary, NetFaultPlan, NetOptions, Request, Server, ServiceState,
+};
+use std::net::SocketAddr;
+
+/// Mutations per workload (each followed by a read).
+const MUTATIONS: usize = 6;
+
+fn boot(chaos: Option<NetFaultPlan>) -> (SocketAddr, std::thread::JoinHandle<DaemonSummary>) {
+    let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let mut daemon = Daemon::new(state, DaemonOptions::default());
+    let server = Server::bind(&NetOptions {
+        tcp: Some("127.0.0.1:0".to_string()),
+        chaos,
+        ..NetOptions::default()
+    })
+    .expect("bind loopback");
+    let addr = server.tcp_addr().expect("tcp addr");
+    let handle = std::thread::spawn(move || daemon.serve(server).expect("serve"));
+    (addr, handle)
+}
+
+/// What one run yields: the final read, the torn-line count, and the
+/// daemon summary.
+struct RunOutcome {
+    final_read: String,
+    torn_lines: u64,
+    summary: DaemonSummary,
+}
+
+/// Runs the fixed workload against one daemon (chaotic or not).
+fn run_workload(chaos: Option<NetFaultPlan>, seed: u64) -> RunOutcome {
+    let (addr, daemon) = boot(chaos);
+    let mut cfg = ClientConfig::new(addr.to_string());
+    cfg.request_timeout_ms = 2_000;
+    cfg.backoff_base_ms = 2;
+    cfg.backoff_max_ms = 20;
+    cfg.max_attempts = 16;
+    cfg.jitter_seed = seed;
+    cfg.client_id = format!("drill-{seed}");
+    let mut client = Client::new(cfg);
+    for i in 0..MUTATIONS {
+        let od = if i % 2 == 0 { "JANET-NL" } else { "JANET-DE" };
+        let ack = client
+            .request(&Request::UpdateDemand {
+                od: od.into(),
+                size: 2.0e6 + i as f64 * 1.0e6,
+            })
+            .unwrap_or_else(|e| panic!("seed {seed}: mutation {i} exhausted: {e}"));
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+        let read = client
+            .request(&Request::QueryRates)
+            .unwrap_or_else(|e| panic!("seed {seed}: read {i} exhausted: {e}"));
+        assert_eq!(read.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    let final_read = client
+        .request(&Request::QueryRates)
+        .unwrap_or_else(|e| panic!("seed {seed}: final read exhausted: {e}"));
+    // `Ok(None)` from shutdown means "sent, ack lost" — under chaos the
+    // line itself may have died in a reset, so re-issue until the serve
+    // loop has observably exited.
+    for round in 0.. {
+        let sent = client.shutdown();
+        for _ in 0..100 {
+            if daemon.is_finished() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        if daemon.is_finished() {
+            break;
+        }
+        if let Err(e) = sent {
+            panic!("seed {seed}: shutdown exhausted: {e}");
+        }
+        assert!(round < 20, "seed {seed}: daemon never acted on shutdown");
+    }
+    RunOutcome {
+        final_read: final_read.encode(),
+        torn_lines: client.stats().torn_lines,
+        summary: daemon.join().expect("daemon thread"),
+    }
+}
+
+/// FNV-1a over the final read encoding: a compact, stable digest for the
+/// report (the full rates vector would bloat every schedule row).
+fn digest(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_chaos_net.json".to_string());
+    let seeds: u64 = flag_value(&args, "--seeds")
+        .map(|v| v.parse().expect("--seeds: positive integer"))
+        .unwrap_or(if quick { 12 } else { 48 });
+
+    println!("== chaos_net: {seeds} seeded fault schedules, {MUTATIONS} mutations each ==");
+    let baseline = run_workload(None, u64::MAX);
+    assert_eq!(baseline.torn_lines, 0, "fault-free baseline tore a line");
+    assert!(baseline.summary.clean_shutdown);
+    let baseline_digest = digest(&baseline.final_read);
+    println!(
+        "baseline: {} resolves, final-state digest {baseline_digest}",
+        baseline.summary.resolves
+    );
+
+    let mut rows = Vec::new();
+    let mut failures: u64 = 0;
+    for seed in 0..seeds {
+        let outcome = run_workload(Some(NetFaultPlan::new(seed)), seed);
+        let exactly_once = outcome.summary.resolves == baseline.summary.resolves;
+        let matches_baseline = outcome.final_read == baseline.final_read;
+        let ok = exactly_once
+            && matches_baseline
+            && outcome.torn_lines == 0
+            && outcome.summary.clean_shutdown;
+        if !ok {
+            failures += 1;
+            println!(
+                "seed {seed}: FAIL (exactly_once={exactly_once} \
+                 matches_baseline={matches_baseline} torn={} clean={})",
+                outcome.torn_lines, outcome.summary.clean_shutdown
+            );
+        }
+        rows.push(obj(vec![
+            ("seed", Json::UInt(seed)),
+            ("resolves", Json::UInt(outcome.summary.resolves)),
+            ("torn_lines", Json::UInt(outcome.torn_lines)),
+            ("clean_shutdown", Json::Bool(outcome.summary.clean_shutdown)),
+            ("exactly_once", Json::Bool(exactly_once)),
+            ("matches_baseline", Json::Bool(matches_baseline)),
+            ("final_digest", Json::Str(digest(&outcome.final_read))),
+        ]));
+    }
+
+    let report = obj(vec![
+        ("bench", Json::Str("chaos_net".into())),
+        ("quick", Json::Bool(quick)),
+        (
+            "config",
+            obj(vec![
+                ("seeds", Json::UInt(seeds)),
+                ("mutations", Json::UInt(MUTATIONS as u64)),
+                ("fault_rate_per_256", Json::UInt(48)),
+                ("max_faults_per_conn", Json::UInt(6)),
+            ]),
+        ),
+        (
+            "baseline",
+            obj(vec![
+                ("resolves", Json::UInt(baseline.summary.resolves)),
+                ("final_digest", Json::Str(baseline_digest)),
+            ]),
+        ),
+        ("schedules", Json::Arr(rows)),
+        ("failures", Json::UInt(failures)),
+    ]);
+    let mut text = report.encode();
+    text.push('\n');
+    std::fs::write(&out_path, text).expect("write JSON report");
+    println!(
+        "{} of {seeds} schedules converged to the fault-free state; wrote {out_path}",
+        seeds - failures
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -13,10 +13,15 @@
 //! rebuild, then issues `shutdown` (which also exercises the
 //! drain-all-connections path under load).
 //!
+//! The bench runs with the serving-layer timeouts *enabled* (idle reaping
+//! and slow-client write timeouts), so the scraped eviction/idle-timeout
+//! counters double as a gate: healthy clients under load must never trip
+//! the slow-client protection.
+//!
 //! Emits machine-readable JSON (default `BENCH_serve.json`) gated by
 //! `scripts/check_bench.py`. Flags: `--quick` (CI smoke mode), `--out PATH`,
 //! `--readers N`, `--writers N`, `--duration-ms MS`, `--coalesce-ms MS`,
-//! `--seed N`.
+//! `--idle-timeout-ms MS`, `--write-timeout-ms MS`, `--seed N`.
 
 use nws_bench::{banner, footer};
 use nws_core::scenarios::janet_task;
@@ -241,6 +246,14 @@ fn main() {
     let coalesce_ms: u64 = flag_value(&args, "--coalesce-ms")
         .map(|v| v.parse().expect("--coalesce-ms: integer"))
         .unwrap_or(5);
+    // Timeouts are on by default so the bench certifies that the
+    // slow-client protection never fires against healthy load.
+    let idle_timeout_ms: u64 = flag_value(&args, "--idle-timeout-ms")
+        .map(|v| v.parse().expect("--idle-timeout-ms: integer"))
+        .unwrap_or(10_000);
+    let write_timeout_ms: u64 = flag_value(&args, "--write-timeout-ms")
+        .map(|v| v.parse().expect("--write-timeout-ms: integer"))
+        .unwrap_or(5_000);
     let seed: u64 = flag_value(&args, "--seed")
         .map(|v| v.parse().expect("--seed: integer"))
         .unwrap_or(42);
@@ -251,7 +264,8 @@ fn main() {
     );
     println!(
         "readers={readers} writers={writers} duration={duration_ms}ms \
-         coalesce={coalesce_ms}ms seed={seed}"
+         coalesce={coalesce_ms}ms idle-timeout={idle_timeout_ms}ms \
+         write-timeout={write_timeout_ms}ms seed={seed}"
     );
 
     let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
@@ -266,6 +280,8 @@ fn main() {
     );
     let server = Server::bind(&NetOptions {
         tcp: Some("127.0.0.1:0".to_string()),
+        idle_timeout_ms,
+        write_timeout_ms,
         ..NetOptions::default()
     })
     .expect("bind loopback listener");
@@ -318,6 +334,9 @@ fn main() {
     let coalesce_flushes = counter(&metrics, "daemon_coalesce_flushes_total");
     let coalesced_updates = counter(&metrics, "daemon_coalesced_updates_total");
     let epoch_rebuilds = counter(&metrics, "state_epoch_rebuilds_total");
+    let slow_evictions = counter(&metrics, "daemon_slow_client_evictions_total");
+    let idle_timeouts = counter(&metrics, "daemon_conn_idle_timeouts_total");
+    let conn_io_errors = counter(&metrics, "daemon_conn_io_errors_total");
 
     let read_count = stats.read_latencies_ms.len();
     let mutate_count = stats.mutate_latencies_ms.len();
@@ -331,6 +350,8 @@ fn main() {
                 ("writers", Json::UInt(writers as u64)),
                 ("duration_ms", Json::UInt(duration_ms)),
                 ("coalesce_ms", Json::UInt(coalesce_ms)),
+                ("idle_timeout_ms", Json::UInt(idle_timeout_ms)),
+                ("write_timeout_ms", Json::UInt(write_timeout_ms)),
                 ("burst", Json::UInt(BURST as u64)),
                 ("seed", Json::UInt(seed)),
             ]),
@@ -355,6 +376,9 @@ fn main() {
                 ("coalesce_flushes", Json::UInt(coalesce_flushes)),
                 ("coalesced_updates", Json::UInt(coalesced_updates)),
                 ("epoch_rebuilds", Json::UInt(epoch_rebuilds)),
+                ("slow_client_evictions", Json::UInt(slow_evictions)),
+                ("conn_idle_timeouts", Json::UInt(idle_timeouts)),
+                ("conn_io_errors", Json::UInt(conn_io_errors)),
             ]),
         ),
         (
@@ -385,6 +409,10 @@ fn main() {
     println!(
         "protocol errors: {}, read errors: {}, mutate errors: {}, shed: {}",
         stats.protocol_errors, stats.read_errors, stats.mutate_errors, stats.shed
+    );
+    println!(
+        "slow-client evictions: {slow_evictions}, idle timeouts: {idle_timeouts}, \
+         conn io errors: {conn_io_errors}"
     );
 
     let mut text = report.encode();

@@ -33,7 +33,8 @@ use nws_scenario::{
     ReplayPolicy, SweepEntry, Trace,
 };
 use nws_service::{
-    Daemon, DaemonOptions, FaultPlan, FsyncPolicy, NetOptions, PersistConfig, Server, ServiceState,
+    Daemon, DaemonOptions, FaultPlan, FsyncPolicy, NetFaultPlan, NetOptions, PersistConfig, Server,
+    ServiceState,
 };
 use nws_topo::{abilene, format, geant, Topology};
 use std::process::ExitCode;
@@ -134,6 +135,11 @@ on stdout — see DESIGN.md section 8 for the protocol):
                     connections get one too_many_connections error line
   --idle-timeout-ms MS  drop connections idle longer than MS (default 0 =
                     no timeout)
+  --write-timeout-ms MS  evict a connection whose response write stalls
+                    longer than MS (slow-client protection; default 30000)
+  --chaos-net-seed S  inject a deterministic socket-fault schedule (short
+                    reads/writes, delays, resets, accept failures) seeded
+                    by S on every accepted connection (testing only)
   --state-dir DIR   persist state in DIR: journal state-changing commands
                     to a write-ahead log, snapshot periodically and on
                     exit, recover (snapshot + replay) on the next boot
@@ -404,6 +410,8 @@ struct ServeSetup {
     coalesce_ms: u64,
     max_conns: usize,
     idle_timeout_ms: u64,
+    write_timeout_ms: u64,
+    chaos_net_seed: Option<u64>,
     state_dir: Option<String>,
     fsync: Option<FsyncPolicy>,
     snapshot_every: Option<u64>,
@@ -539,6 +547,27 @@ fn parse_serve_args(args: &[String]) -> Result<ServeSetup, CliError> {
                 setup.idle_timeout_ms = ms;
                 i += 2;
             }
+            "--write-timeout-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--write-timeout-ms requires milliseconds"))?
+                    .parse()
+                    .map_err(|_| usage_err("--write-timeout-ms requires a positive integer"))?;
+                if ms == 0 {
+                    return Err(usage_err("--write-timeout-ms requires a positive integer"));
+                }
+                setup.write_timeout_ms = ms;
+                i += 2;
+            }
+            "--chaos-net-seed" => {
+                let seed: u64 = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage_err("--chaos-net-seed requires a seed"))?
+                    .parse()
+                    .map_err(|_| usage_err("--chaos-net-seed requires an integer seed"))?;
+                setup.chaos_net_seed = Some(seed);
+                i += 2;
+            }
             "--state-dir" => {
                 let dir = args
                     .get(i + 1)
@@ -623,6 +652,8 @@ fn cmd_serve(args: &[String], config: &PlacementConfig, obs: &ObsSetup) -> Resul
             unix: setup.socket.clone(),
             max_conns: setup.max_conns,
             idle_timeout_ms: setup.idle_timeout_ms,
+            write_timeout_ms: setup.write_timeout_ms,
+            chaos: setup.chaos_net_seed.map(NetFaultPlan::new),
         };
         let server = Server::bind(&net).map_err(|e| runtime_err(format!("serve: {e}")))?;
         if let Some(addr) = server.tcp_addr() {

@@ -18,17 +18,24 @@ use crate::json::{obj, Json};
 use crate::metrics::Metrics;
 use crate::net::{Job, Registry, Server};
 use crate::persist::{OpenError, PersistConfig, RecoveryReport, StateStore};
-use crate::protocol::{parse_request, Request};
+use crate::protocol::{parse_incoming, Incoming, Request};
 use crate::read_path::{ReadHandle, ReadSnapshot, SnapshotCell};
 use crate::sli::{Kind, RateWindows};
 use crate::state::{ServiceState, SolveReport};
 use crate::ServiceError;
 use nws_obs::{Recorder, Snapshot};
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Entries the idempotency dedup window retains (FIFO by first commit).
+/// Sized for the realistic in-flight window — a client retries the *one*
+/// mutation it never got acked, not a thousand — while bounding daemon
+/// memory against hostile key churn.
+const DEDUP_WINDOW: usize = 1024;
 
 /// Daemon tunables.
 #[derive(Debug, Clone, Default)]
@@ -91,9 +98,45 @@ struct CoalesceBuffer {
     merged: Vec<(String, f64)>,
     /// Every buffered request with its reply channel: each is acknowledged
     /// individually when the batch commits.
-    replies: Vec<(Request, mpsc::Sender<Json>)>,
+    replies: Vec<(Incoming, mpsc::Sender<Json>)>,
     /// When the window closes (set by the first buffered request).
     deadline: Option<Instant>,
+}
+
+/// The bounded idempotency-dedup window behind exactly-once mutations
+/// (DESIGN.md §15): `request_id` → the original acknowledgement, evicted
+/// FIFO past [`DEDUP_WINDOW`] entries. A duplicate delivery of a
+/// committed mutation replays the stored ack *verbatim* instead of
+/// re-applying — `None` marks an id recovered from the WAL (the original
+/// ack died with the previous process), for which a synthesized
+/// `duplicate` ack is answered instead.
+#[derive(Debug, Default)]
+struct DedupWindow {
+    acks: HashMap<String, Option<Json>>,
+    order: VecDeque<String>,
+}
+
+impl DedupWindow {
+    /// `Some(cached)` when `id` was already committed: `Some(Some(ack))`
+    /// replays the original ack, `Some(None)` means committed before a
+    /// crash (ack lost with the process).
+    fn lookup(&self, id: &str) -> Option<&Option<Json>> {
+        self.acks.get(id)
+    }
+
+    /// Remembers a committed id (and its ack, when still known). FIFO
+    /// eviction past the cap; re-remembering an id refreshes the ack but
+    /// not its eviction position.
+    fn remember(&mut self, id: &str, ack: Option<Json>) {
+        if self.acks.insert(id.to_string(), ack).is_none() {
+            self.order.push_back(id.to_string());
+            while self.order.len() > DEDUP_WINDOW {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.acks.remove(&evicted);
+                }
+            }
+        }
+    }
 }
 
 /// What a completed [`Daemon::run`] reports back to the embedder.
@@ -152,6 +195,9 @@ pub struct Daemon {
     /// solve / recovery = 1). Tags every published snapshot and every
     /// mutating acknowledgement, so readers can pin a consistent view.
     commit_epoch: u64,
+    /// Idempotency-key window: duplicate deliveries of a committed
+    /// mutation replay its original ack instead of re-applying.
+    dedup: DedupWindow,
 }
 
 impl Daemon {
@@ -200,6 +246,7 @@ impl Daemon {
             cell: Arc::new(SnapshotCell::new(placeholder)),
             reads_lockfree: Arc::new(AtomicU64::new(0)),
             commit_epoch: 0,
+            dedup: DedupWindow::default(),
         }
     }
 
@@ -246,6 +293,13 @@ impl Daemon {
             .counter_add("daemon_coalesce_flushes_total", 0);
         self.recorder
             .counter_add("daemon_coalesced_updates_total", 0);
+        self.recorder
+            .counter_add("daemon_slow_client_evictions_total", 0);
+        self.recorder
+            .counter_add("daemon_conn_idle_timeouts_total", 0);
+        self.recorder.counter_add("daemon_conn_io_errors_total", 0);
+        self.recorder.counter_add("daemon_line_too_long_total", 0);
+        self.recorder.counter_add("daemon_dedup_hits_total", 0);
         self.recorder.gauge_set("persistence_degraded", 0.0);
 
         // Durable store first: recovery may restore an installed
@@ -256,6 +310,13 @@ impl Daemon {
             if let Some(cfg) = self.opts.persist.clone() {
                 match StateStore::open(&cfg, &mut self.state, &self.recorder) {
                     Ok((store, report)) => {
+                        // Seed the dedup window with every request_id the
+                        // journal replayed: a client retrying a mutation
+                        // whose ack died with the previous process must
+                        // get a duplicate ack, not a second application.
+                        for id in &report.replayed_request_ids {
+                            self.dedup.remember(id, None);
+                        }
                         self.store = Some(store);
                         self.recovery = Some(report);
                     }
@@ -406,7 +467,7 @@ impl Daemon {
         let capacity = self.resolve_capacity();
         let line = self.startup()?;
         self.publish_snapshot();
-        let (tx, rx) = mpsc::sync_channel::<Result<Request, String>>(capacity);
+        let (tx, rx) = mpsc::sync_channel::<Result<Incoming, String>>(capacity);
 
         // Shared between the consumer (normal responses) and the reader
         // (shed responses). Each holds the lock for exactly one whole
@@ -438,7 +499,7 @@ impl Daemon {
                     // counter can never underflow.
                     let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
                     reader_recorder.gauge_set("daemon_queue_depth", d as f64);
-                    match tx.try_send(parse_request(trimmed)) {
+                    match tx.try_send(parse_incoming(trimmed)) {
                         Ok(()) => {}
                         Err(mpsc::TrySendError::Full(_)) => {
                             // Shed: answer immediately so the peer can
@@ -478,13 +539,13 @@ impl Daemon {
                 self.recorder.gauge_set("daemon_queue_depth", d as f64);
                 self.seq += 1;
                 let cmd: &'static str = match &item {
-                    Ok(req) => req.name(),
+                    Ok(inc) => inc.req.name(),
                     Err(_) => "invalid",
                 };
                 self.sli.record(Kind::Request);
                 match &item {
-                    Ok(req) if req.is_mutating() => self.sli.record(Kind::Mutate),
-                    Ok(req) if req.is_read_only() => self.sli.record(Kind::Read),
+                    Ok(inc) if inc.req.is_mutating() => self.sli.record(Kind::Mutate),
+                    Ok(inc) if inc.req.is_read_only() => self.sli.record(Kind::Read),
                     _ => {}
                 }
                 let t0 = Instant::now();
@@ -616,21 +677,23 @@ impl Daemon {
                     .gauge_set("daemon_queue_depth_max", depth_max as f64);
                 self.recorder.counter_add("daemon_jobs_enqueued_total", 1);
                 self.sli.record(Kind::Request);
-                if let Ok(req) = &item {
-                    if req.is_mutating() {
+                if let Ok(inc) = &item {
+                    if inc.req.is_mutating() {
                         self.sli.record(Kind::Mutate);
                     }
                 }
                 // Coalescable? Buffer it and keep receiving. (Never during
                 // shutdown drain: those must resolve before the loop ends.)
                 if !window.is_zero() && !shutting_down.load(Ordering::SeqCst) {
-                    if let Ok(
-                        req @ (Request::UpdateDemand { .. } | Request::UpdateDemands { .. }),
-                    ) = &item
-                    {
-                        let req = req.clone();
-                        self.buffer_coalesced(&mut buf, req, reply, window);
-                        continue;
+                    if let Ok(inc) = &item {
+                        if matches!(
+                            inc.req,
+                            Request::UpdateDemand { .. } | Request::UpdateDemands { .. }
+                        ) {
+                            let inc = inc.clone();
+                            self.buffer_coalesced(&mut buf, inc, reply, window);
+                            continue;
+                        }
                     }
                 }
                 // Ordering barrier: a non-coalescable request observes all
@@ -638,7 +701,7 @@ impl Daemon {
                 self.flush_coalesced(&mut buf);
                 self.seq += 1;
                 let cmd: &'static str = match &item {
-                    Ok(req) => req.name(),
+                    Ok(inc) => inc.req.name(),
                     Err(_) => "invalid",
                 };
                 let t0 = Instant::now();
@@ -697,13 +760,19 @@ impl Daemon {
     fn buffer_coalesced(
         &mut self,
         buf: &mut CoalesceBuffer,
-        req: Request,
+        inc: Incoming,
         reply: mpsc::Sender<Json>,
         window: Duration,
     ) {
         // Counted on entry, like every other accepted request.
-        self.metrics.record_request(req.name());
-        let updates: Vec<(String, f64)> = match &req {
+        self.metrics.record_request(inc.req.name());
+        // Exactly-once: a duplicate of an already-committed mutation
+        // replays its remembered ack instead of re-entering the batch.
+        if let Some(ack) = self.replay_duplicate(&inc) {
+            let _ = reply.send(ack);
+            return;
+        }
+        let updates: Vec<(String, f64)> = match &inc.req {
             Request::UpdateDemand { od, size } => vec![(od.clone(), *size)],
             Request::UpdateDemands { updates } => updates.clone(),
             _ => unreachable!("only demand updates are coalescable"),
@@ -716,7 +785,11 @@ impl Daemon {
             self.metrics.record_error();
             self.sli.record(Kind::Error);
             let msg = format!("unknown OD '{od}'");
-            let _ = reply.send(self.error_response(Some(&req), &msg));
+            let response = with_request_id(
+                self.error_response(Some(&inc.req), &msg),
+                inc.request_id.as_deref(),
+            );
+            let _ = reply.send(response);
             return;
         }
         for (od, size) in updates {
@@ -725,7 +798,7 @@ impl Daemon {
                 None => buf.merged.push((od, size)),
             }
         }
-        buf.replies.push((req, reply));
+        buf.replies.push((inc, reply));
         if buf.deadline.is_none() {
             buf.deadline = Some(Instant::now() + window);
         }
@@ -764,19 +837,32 @@ impl Daemon {
         let mut acks: Vec<(mpsc::Sender<Json>, Json)> = Vec::with_capacity(replies.len());
         match outcome {
             Ok(Ok(report)) => {
-                self.journal(&batch);
+                // The batch's journal record carries every merged
+                // request_id, so a crash between journal and ack still
+                // recovers the ids into the dedup window.
+                let ids: Vec<&str> = replies
+                    .iter()
+                    .filter_map(|(inc, _)| inc.dedup_key())
+                    .collect();
+                self.journal(&batch, &ids);
                 self.note_resolve("update_demands", &report);
                 self.commit_epoch += 1;
                 let resolve = resolve_json(&report);
-                for (req, reply) in replies {
-                    let response = self.ok_response(
-                        &req,
-                        vec![
-                            ("epoch", Json::UInt(self.commit_epoch)),
-                            ("coalesced", Json::UInt(batch_size)),
-                            ("resolve", resolve.clone()),
-                        ],
+                for (inc, reply) in replies {
+                    let response = with_request_id(
+                        self.ok_response(
+                            &inc.req,
+                            vec![
+                                ("epoch", Json::UInt(self.commit_epoch)),
+                                ("coalesced", Json::UInt(batch_size)),
+                                ("resolve", resolve.clone()),
+                            ],
+                        ),
+                        inc.request_id.as_deref(),
                     );
+                    if let Some(key) = inc.dedup_key() {
+                        self.dedup.remember(key, Some(response.clone()));
+                    }
                     acks.push((reply, response));
                 }
             }
@@ -784,12 +870,17 @@ impl Daemon {
                 // Validated sizes can still fail the solve (e.g. an
                 // infeasible θ after the merge); the whole batch reports
                 // the same error and the state stays untouched (apply_event
-                // is transactional).
+                // is transactional). Errors never enter the dedup window —
+                // the client may retry them for real.
                 let msg = e.to_string();
-                for (req, reply) in replies {
+                for (inc, reply) in replies {
                     self.metrics.record_error();
                     self.sli.record(Kind::Error);
-                    acks.push((reply, self.error_response(Some(&req), &msg)));
+                    let response = with_request_id(
+                        self.error_response(Some(&inc.req), &msg),
+                        inc.request_id.as_deref(),
+                    );
+                    acks.push((reply, response));
                 }
             }
             Err(payload) => {
@@ -799,10 +890,14 @@ impl Daemon {
                     "internal panic (state rolled back): {}",
                     panic_message(payload.as_ref())
                 );
-                for (req, reply) in replies {
+                for (inc, reply) in replies {
                     self.metrics.record_error();
                     self.sli.record(Kind::Error);
-                    acks.push((reply, self.error_response(Some(&req), &msg)));
+                    let response = with_request_id(
+                        self.error_response(Some(&inc.req), &msg),
+                        inc.request_id.as_deref(),
+                    );
+                    acks.push((reply, response));
                 }
             }
         }
@@ -858,9 +953,13 @@ impl Daemon {
     /// persistence (non-durable serving) rather than failing the request:
     /// the state change *has already been applied and will be served*, so
     /// answering an error would be a lie in the other direction.
-    fn journal(&mut self, req: &Request) {
+    ///
+    /// `request_ids` (the idempotency keys of the client requests this
+    /// record commits) ride along in the WAL record so crash recovery can
+    /// re-seed the dedup window — exactly-once survives a daemon restart.
+    fn journal(&mut self, req: &Request, request_ids: &[&str]) {
         if let Some(store) = &mut self.store {
-            if let Err(e) = store.record_applied(req, &self.state) {
+            if let Err(e) = store.record_applied(req, &self.state, request_ids) {
                 self.degrade_persistence(&format!("journal '{}': {e}", req.name()));
             }
         }
@@ -891,18 +990,68 @@ impl Daemon {
     }
 
     /// Processes one queue item; returns the response and whether to stop.
-    fn handle(&mut self, item: Result<Request, String>) -> (Json, bool) {
+    ///
+    /// Exactly-once envelope handling happens here: a duplicate
+    /// `request_id` short-circuits to its remembered ack (the state
+    /// machine is not touched again), every response to an id-carrying
+    /// request echoes the id back, and committed state-changing acks are
+    /// remembered for future replays.
+    fn handle(&mut self, item: Result<Incoming, String>) -> (Json, bool) {
         // Fold reader-side sheds in so `stats`/`health` are current.
         self.metrics.shed = self.shed_count.load(Ordering::Relaxed);
-        let req = match item {
-            Ok(req) => req,
+        let inc = match item {
+            Ok(inc) => inc,
             Err(msg) => {
                 self.metrics.record_request("invalid");
                 self.metrics.record_error();
                 return (self.error_response(None, &msg), false);
             }
         };
-        self.metrics.record_request(req.name());
+        self.metrics.record_request(inc.req.name());
+        if let Some(ack) = self.replay_duplicate(&inc) {
+            return (ack, false);
+        }
+        let key = inc.dedup_key().map(str::to_string);
+        let Incoming { req, request_id } = inc;
+        let ids: Vec<&str> = key.as_deref().into_iter().collect();
+        let (response, stop) = self.dispatch(req, &ids);
+        let response = with_request_id(response, request_id.as_deref());
+        // Only *successful, state-changing* acks enter the window: an
+        // error leaves no state behind, so the client may retry it for
+        // real and must not get a stale failure replayed.
+        if let Some(key) = key {
+            if response_ok(&response) {
+                self.dedup.remember(&key, Some(response.clone()));
+            }
+        }
+        (response, stop)
+    }
+
+    /// Exactly-once replay: a `request_id` the dedup window already holds
+    /// is answered with its original ack byte-for-byte. When the id was
+    /// recovered from the WAL (the original ack died with the previous
+    /// process), a synthesized ack marked `"duplicate": true` stands in —
+    /// either way the mutation is applied exactly once.
+    fn replay_duplicate(&mut self, inc: &Incoming) -> Option<Json> {
+        let id = inc.dedup_key()?;
+        let cached = self.dedup.lookup(id)?.clone();
+        self.recorder.counter_add("daemon_dedup_hits_total", 1);
+        Some(match cached {
+            Some(ack) => ack,
+            None => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("seq", Json::Num(self.seq as f64)),
+                ("cmd", Json::Str(inc.req.name().into())),
+                ("duplicate", Json::Bool(true)),
+                ("epoch", Json::UInt(self.commit_epoch)),
+                ("request_id", Json::Str(id.into())),
+            ]),
+        })
+    }
+
+    /// Dispatches one parsed request to the state machine; `ids` are the
+    /// idempotency keys to journal alongside a committed state change.
+    fn dispatch(&mut self, req: Request, ids: &[&str]) -> (Json, bool) {
         if req.is_mutating() {
             let outcome = self.state.apply_event(&req, self.opts.shadow_cold);
             return match outcome {
@@ -912,7 +1061,7 @@ impl Daemon {
                     // while `health` reports persistence "durable" — a
                     // journal failure flips that to "degraded" instead of
                     // un-applying the event.
-                    self.journal(&req);
+                    self.journal(&req, ids);
                     self.note_resolve(req.name(), &report);
                     self.commit_epoch += 1;
                     (
@@ -1027,7 +1176,7 @@ impl Daemon {
             },
             Request::Snapshot => {
                 let depth = self.state.snapshot();
-                self.journal(&req);
+                self.journal(&req, ids);
                 (
                     self.ok_response(&req, vec![("depth", Json::Num(depth as f64))]),
                     false,
@@ -1035,7 +1184,7 @@ impl Daemon {
             }
             Request::Rollback => match self.state.rollback() {
                 Ok((depth, objective)) => {
-                    self.journal(&req);
+                    self.journal(&req, ids);
                     // A rollback swaps the installed rates: a committed
                     // state change, so readers get a new epoch.
                     self.commit_epoch += 1;
@@ -1207,6 +1356,22 @@ fn percentile(values: &[f64], q: f64) -> Option<f64> {
     sorted.sort_by(f64::total_cmp);
     let rank = (q * sorted.len() as f64).ceil() as usize;
     Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// Echoes the client's `request_id` back on a response object (no-op when
+/// the request carried none). The id is appended *before* the ack enters
+/// the dedup window, so a replayed ack is byte-identical to the original.
+fn with_request_id(mut response: Json, request_id: Option<&str>) -> Json {
+    if let (Json::Obj(pairs), Some(id)) = (&mut response, request_id) {
+        pairs.push(("request_id".to_string(), Json::Str(id.to_string())));
+    }
+    response
+}
+
+/// Whether a response object acknowledges success (`"ok": true`).
+fn response_ok(response: &Json) -> bool {
+    matches!(response, Json::Obj(pairs)
+        if pairs.iter().any(|(k, v)| k == "ok" && matches!(v, Json::Bool(true))))
 }
 
 /// Best-effort text of a caught panic payload (`&str` / `String` cover

@@ -52,10 +52,11 @@ pub mod sli;
 pub mod state;
 
 pub use daemon::{Daemon, DaemonOptions, DaemonSummary};
+pub use net::fault::{NetFaultKind, NetFaultPlan};
 pub use net::{NetOptions, Server};
 pub use nws_store::{FaultPlan, FsyncPolicy};
 pub use persist::{OpenError, PersistConfig, RecoveryReport, StateStore};
-pub use protocol::{parse_request, Request};
+pub use protocol::{parse_incoming, parse_request, Incoming, Request};
 pub use read_path::{ReadSnapshot, SnapshotCell};
 pub use sli::{RateWindows, SliLevel};
 pub use state::{ServiceState, SolveReport, SolverChaos};

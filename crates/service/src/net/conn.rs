@@ -7,11 +7,18 @@
 //! to the writer as a *pending* slot. The writer drains slots strictly in
 //! order, blocking on pending replies — per-connection FIFO holds, while a
 //! pure-read connection never waits on another connection's solve.
+//!
+//! Hostile-peer bounds (DESIGN.md §15): request lines are capped at
+//! [`MAX_LINE_BYTES`] (a client streaming bytes with no `\n` gets a typed
+//! error and the door), and response writes run under `SO_SNDTIMEO` — a
+//! peer that stops reading long enough to stall one write is *evicted*
+//! (`daemon_slow_client_evictions_total`), freeing the thread pair, the
+//! fd, and the `--max-conns` slot.
 
 use crate::json::{obj, Json};
 use crate::net::{Job, NetOptions, Registry, Stream};
 use crate::read_path::ReadHandle;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::Shutdown;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
@@ -21,6 +28,13 @@ use std::time::Instant;
 /// before the reader stops pulling new lines off the socket (per-connection
 /// backpressure; keeps one fast writer-client from buffering unboundedly).
 const SLOT_BACKLOG: usize = 256;
+
+/// Hard cap on one request line. Far above any real command (the largest
+/// legal `update_demands` batch encodes well under this), but a client
+/// streaming bytes with no `\n` must not grow the line buffer without
+/// bound: past the cap it gets a typed `line too long` error and the
+/// connection is closed.
+pub(crate) const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// One response slot, queued in request order.
 enum Slot {
@@ -62,6 +76,9 @@ pub(crate) fn spawn_connection<'scope>(
     registry: Arc<Registry>,
 ) {
     let _ = stream.set_read_timeout(opts.idle_timeout());
+    // Slow-client protection: one response write may stall at most this
+    // long before the writer gives up and evicts the connection.
+    let _ = stream.set_write_timeout(Some(opts.write_timeout()));
     let read_half = match stream.try_clone() {
         Ok(h) => h,
         Err(_) => {
@@ -91,8 +108,9 @@ pub(crate) fn spawn_connection<'scope>(
     // Greet before the first request, like the single-stream transports.
     let _ = slot_tx.send(Slot::Ready(read.hello()));
     let writer_guard = Arc::clone(&guard);
+    let writer_recorder = read.recorder.clone();
     scope.spawn(move || {
-        run_writer(stream, slot_rx);
+        run_writer(stream, slot_rx, &writer_recorder);
         drop(writer_guard);
     });
     scope.spawn(move || {
@@ -102,7 +120,67 @@ pub(crate) fn spawn_connection<'scope>(
     });
 }
 
-/// Reads lines until EOF, idle timeout, socket error, or daemon shutdown.
+/// Why the bounded line reader stopped producing a line.
+enum LineOutcome {
+    /// A complete line (possibly empty) is in the buffer.
+    Line,
+    /// Clean EOF before any byte of a next line.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`] before its `\n`.
+    TooLong,
+    /// A socket error (idle timeout or hard fault).
+    Err(std::io::Error),
+}
+
+/// Reads one `\n`-terminated line into `line` (without the terminator),
+/// never buffering more than [`MAX_LINE_BYTES`] of it. Non-UTF-8 bytes
+/// are replaced lossily — the JSON parser rejects the garbage with a
+/// proper error response instead of the connection dying silently.
+fn read_bounded_line(lines: &mut BufReader<Stream>, line: &mut String) -> LineOutcome {
+    line.clear();
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        let buf = match lines.fill_buf() {
+            // Clean EOF — or a torn final fragment (peer died mid-line),
+            // which is the same thing: no complete request to answer.
+            Ok([]) => return LineOutcome::Eof,
+            Ok(buf) => buf,
+            Err(e) => return LineOutcome::Err(e),
+        };
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&buf[..nl], true),
+            None => (buf, false),
+        };
+        if raw.len() + chunk.len() > MAX_LINE_BYTES {
+            // Consume what we inspected so the error answer isn't followed
+            // by re-reading the same bytes; the connection closes anyway.
+            let used = chunk.len() + usize::from(done);
+            lines.consume(used);
+            return LineOutcome::TooLong;
+        }
+        raw.extend_from_slice(chunk);
+        let used = chunk.len() + usize::from(done);
+        lines.consume(used);
+        if done {
+            line.push_str(&String::from_utf8_lossy(&raw));
+            return LineOutcome::Line;
+        }
+    }
+}
+
+/// Appends the echoed `request_id` to a response assembled outside the
+/// event loop (the daemon echoes it itself for queued requests).
+fn echo_request_id(mut response: Json, request_id: Option<&str>) -> Json {
+    if let (Json::Obj(pairs), Some(id)) = (&mut response, request_id) {
+        pairs.push(("request_id".to_string(), Json::Str(id.to_string())));
+    }
+    response
+}
+
+/// Reads lines until EOF, idle timeout, socket error, line-cap breach, or
+/// daemon shutdown. Idle timeouts and hard socket errors are counted
+/// separately (`daemon_conn_idle_timeouts_total` vs
+/// `daemon_conn_io_errors_total`) so operators can tell churn from faults.
 fn run_reader(
     read_half: Stream,
     read: &ReadHandle,
@@ -112,36 +190,55 @@ fn run_reader(
     let mut lines = BufReader::new(read_half);
     let mut line = String::new();
     loop {
-        line.clear();
-        match lines.read_line(&mut line) {
-            Ok(0) => break, // EOF (client closed, or shutdown closed our read side)
-            Ok(_) => {}
+        match read_bounded_line(&mut lines, &mut line) {
+            LineOutcome::Line => {}
+            // EOF: client closed, or shutdown closed our read side.
+            LineOutcome::Eof => break,
+            LineOutcome::TooLong => {
+                read.recorder.counter_add("daemon_line_too_long_total", 1);
+                let _ = slots.send(Slot::Ready(obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str("line too long".into())),
+                    ("max_line_bytes", Json::UInt(MAX_LINE_BYTES as u64)),
+                ])));
+                break;
+            }
             // Idle timeout (SO_RCVTIMEO reports WouldBlock or TimedOut
             // depending on platform) or any hard socket error: drop the
             // connection. A line split across the timeout boundary is
             // abandoned — idle clients are expected to be between lines.
-            Err(_) => break,
+            LineOutcome::Err(e) => {
+                let counter = if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                    "daemon_conn_idle_timeouts_total"
+                } else {
+                    "daemon_conn_io_errors_total"
+                };
+                read.recorder.counter_add(counter, 1);
+                break;
+            }
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        let item = crate::protocol::parse_request(trimmed);
-        if let Ok(req) = &item {
+        let item = crate::protocol::parse_incoming(trimmed);
+        if let Ok(inc) = &item {
             let t0 = Instant::now();
-            if let Some(response) = read.try_answer(req) {
+            if let Some(response) = read.try_answer(&inc.req) {
                 read.recorder.observe_labeled(
                     "daemon_command_latency_ms",
                     "cmd",
-                    req.name(),
+                    inc.req.name(),
                     t0.elapsed().as_secs_f64() * 1e3,
                 );
+                let response = echo_request_id(response, inc.request_id.as_deref());
                 if slots.send(Slot::Ready(response)).is_err() {
-                    break; // writer gone (socket died)
+                    break; // writer gone (socket died or evicted)
                 }
                 continue;
             }
         }
+        let request_id = item.as_ref().ok().and_then(|inc| inc.request_id.clone());
         // Queue path: mirrors the single-stream reader's shed accounting —
         // depth is incremented optimistically, rolled back on a full queue.
         let depth = read.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -159,25 +256,34 @@ fn run_reader(
             Err(mpsc::TrySendError::Full(_)) => {
                 let depth = read.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
                 read.recorder.gauge_set("daemon_queue_depth", depth as f64);
-                if slots.send(Slot::Ready(read.overloaded())).is_err() {
+                let response = echo_request_id(read.overloaded(), request_id.as_deref());
+                if slots.send(Slot::Ready(response)).is_err() {
                     break;
                 }
             }
             Err(mpsc::TrySendError::Disconnected(_)) => {
                 let depth = read.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
                 read.recorder.gauge_set("daemon_queue_depth", depth as f64);
-                let _ = slots.send(Slot::Ready(obj(vec![
-                    ("ok", Json::Bool(false)),
-                    ("error", Json::Str("daemon is shutting down".into())),
-                ])));
+                let _ = slots.send(Slot::Ready(echo_request_id(
+                    obj(vec![
+                        ("ok", Json::Bool(false)),
+                        ("error", Json::Str("daemon is shutting down".into())),
+                    ]),
+                    request_id.as_deref(),
+                )));
                 break;
             }
         }
     }
 }
 
-/// Writes responses in request order; blocks on pending event-loop replies.
-fn run_writer(mut stream: Stream, slots: mpsc::Receiver<Slot>) {
+/// Writes responses in request order; blocks on pending event-loop
+/// replies. A write that stalls past the stream's `SO_SNDTIMEO` is a
+/// slow-client eviction: the connection is torn down (both directions, so
+/// the reader also wakes), the slot channel collapses, and the `SlotGuard`
+/// frees the `--max-conns` slot — one stalled reader can never pin the
+/// pair forever.
+fn run_writer(mut stream: Stream, slots: mpsc::Receiver<Slot>, recorder: &nws_obs::Recorder) {
     for slot in slots {
         let response = match slot {
             Slot::Ready(json) => json,
@@ -188,11 +294,11 @@ fn run_writer(mut stream: Stream, slots: mpsc::Receiver<Slot>) {
                 ])
             }),
         };
-        if writeln!(stream, "{}", response.encode())
-            .and_then(|()| stream.flush())
-            .is_err()
-        {
-            break; // peer gone; reader will notice via the closed slot channel
+        if let Err(e) = writeln!(stream, "{}", response.encode()).and_then(|()| stream.flush()) {
+            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                recorder.counter_add("daemon_slow_client_evictions_total", 1);
+            }
+            break; // peer gone or evicted; reader notices via the closed slot channel
         }
     }
     let _ = stream.shutdown(Shutdown::Both);

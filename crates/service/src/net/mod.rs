@@ -34,9 +34,19 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 pub(crate) mod conn;
+pub mod fault;
+
+use fault::{NetFaultKind, NetFaultPlan, NetFaultState};
 
 /// How long an acceptor naps between non-blocking accept polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Default write timeout (`SO_SNDTIMEO`) on accepted streams, applied
+/// when [`NetOptions::write_timeout_ms`] is 0: long enough that no
+/// healthy client on any sane network ever trips it, short enough that a
+/// stalled reader cannot pin a writer thread, its fd, and a `--max-conns`
+/// slot forever (DESIGN.md §15).
+const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// How many consecutive hard accept failures between stderr log lines
 /// (~5 s of solid failure at the poll cadence): a permanently broken
@@ -59,6 +69,16 @@ pub struct NetOptions {
     /// Per-connection idle timeout in ms (`--idle-timeout-ms`); a
     /// connection idle past it is closed. 0 disables the timeout.
     pub idle_timeout_ms: u64,
+    /// Per-connection write timeout in ms (`--write-timeout-ms`), the
+    /// `SO_SNDTIMEO` behind slow-client eviction: a peer that stops
+    /// reading long enough for one response write to stall past this is
+    /// evicted (`daemon_slow_client_evictions_total`). 0 means the 30 s
+    /// default — the protection is always on.
+    pub write_timeout_ms: u64,
+    /// Deterministic socket-fault schedule (chaos harness only; `None`
+    /// in production). Every accepted connection gets its own seeded
+    /// sub-schedule; see [`fault::NetFaultPlan`].
+    pub chaos: Option<NetFaultPlan>,
 }
 
 impl NetOptions {
@@ -75,11 +95,20 @@ impl NetOptions {
     pub(crate) fn idle_timeout(&self) -> Option<Duration> {
         (self.idle_timeout_ms > 0).then(|| Duration::from_millis(self.idle_timeout_ms))
     }
+
+    /// Resolved write timeout (never disabled; see `write_timeout_ms`).
+    pub(crate) fn write_timeout(&self) -> Duration {
+        if self.write_timeout_ms == 0 {
+            DEFAULT_WRITE_TIMEOUT
+        } else {
+            Duration::from_millis(self.write_timeout_ms)
+        }
+    }
 }
 
-/// One accepted connection's stream, over either transport.
+/// The raw transport of one accepted connection.
 #[derive(Debug)]
-pub(crate) enum Stream {
+enum Transport {
     /// A TCP connection.
     Tcp(TcpStream),
     /// A Unix-socket connection.
@@ -87,56 +116,136 @@ pub(crate) enum Stream {
     Unix(UnixStream),
 }
 
-impl Stream {
-    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+impl Transport {
+    fn try_clone(&self) -> std::io::Result<Transport> {
         match self {
-            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Transport::Tcp(s) => s.try_clone().map(Transport::Tcp),
             #[cfg(unix)]
-            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Transport::Unix(s) => s.try_clone().map(Transport::Unix),
+        }
+    }
+}
+
+/// One accepted connection's stream, over either transport, optionally
+/// behind a deterministic fault schedule (chaos harness). Cloned halves
+/// of one connection share the schedule position, so the whole
+/// connection sees a single coherent fault sequence.
+#[derive(Debug)]
+pub(crate) struct Stream {
+    inner: Transport,
+    chaos: Option<Arc<NetFaultState>>,
+}
+
+impl Stream {
+    fn tcp(s: TcpStream) -> Stream {
+        Stream {
+            inner: Transport::Tcp(s),
+            chaos: None,
         }
     }
 
+    #[cfg(unix)]
+    fn unix(s: UnixStream) -> Stream {
+        Stream {
+            inner: Transport::Unix(s),
+            chaos: None,
+        }
+    }
+
+    /// Puts this connection behind one seeded fault schedule.
+    fn with_chaos(mut self, state: Arc<NetFaultState>) -> Stream {
+        self.chaos = Some(state);
+        self
+    }
+
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(Stream {
+            inner: self.inner.try_clone()?,
+            chaos: self.chaos.as_ref().map(Arc::clone),
+        })
+    }
+
     pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
-        match self {
-            Stream::Tcp(s) => s.set_read_timeout(dur),
+        match &self.inner {
+            Transport::Tcp(s) => s.set_read_timeout(dur),
             #[cfg(unix)]
-            Stream::Unix(s) => s.set_read_timeout(dur),
+            Transport::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// `SO_SNDTIMEO`: a blocked response write past `dur` fails with a
+    /// timeout instead of pinning the writer thread forever.
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match &self.inner {
+            Transport::Tcp(s) => s.set_write_timeout(dur),
+            #[cfg(unix)]
+            Transport::Unix(s) => s.set_write_timeout(dur),
         }
     }
 
     pub(crate) fn shutdown(&self, how: Shutdown) -> std::io::Result<()> {
-        match self {
-            Stream::Tcp(s) => s.shutdown(how),
+        match &self.inner {
+            Transport::Tcp(s) => s.shutdown(how),
             #[cfg(unix)]
-            Stream::Unix(s) => s.shutdown(how),
+            Transport::Unix(s) => s.shutdown(how),
         }
     }
 }
 
 impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Tcp(s) => s.read(buf),
+        let mut len = buf.len();
+        if let Some(chaos) = &self.chaos {
+            match chaos.next_read_fault() {
+                Some(NetFaultKind::Reset) => return Err(fault::reset_err("read")),
+                Some(NetFaultKind::Delay) => std::thread::sleep(chaos.delay()),
+                // A short read hands back at most a quarter of the asked
+                // bytes (at least 1): the resume loops above must cope
+                // with arbitrarily fragmented arrivals.
+                Some(NetFaultKind::ShortRead | NetFaultKind::ShortWrite) => {
+                    len = (buf.len() / 4).max(1).min(buf.len());
+                }
+                None => {}
+            }
+        }
+        let buf = &mut buf[..len];
+        match &mut self.inner {
+            Transport::Tcp(s) => s.read(buf),
             #[cfg(unix)]
-            Stream::Unix(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
         }
     }
 }
 
 impl Write for Stream {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Tcp(s) => s.write(buf),
+        let mut len = buf.len();
+        if let Some(chaos) = &self.chaos {
+            match chaos.next_write_fault() {
+                Some(NetFaultKind::Reset) => return Err(fault::reset_err("write")),
+                Some(NetFaultKind::Delay) => std::thread::sleep(chaos.delay()),
+                // A partial write lands a real prefix on the wire and
+                // reports the short count — `write_all` callers resume,
+                // exactly like a full kernel send buffer.
+                Some(NetFaultKind::ShortWrite | NetFaultKind::ShortRead) => {
+                    len = (buf.len() / 2).max(1).min(buf.len());
+                }
+                None => {}
+            }
+        }
+        let buf = &buf[..len];
+        match &mut self.inner {
+            Transport::Tcp(s) => s.write(buf),
             #[cfg(unix)]
-            Stream::Unix(s) => s.write(buf),
+            Transport::Unix(s) => s.write(buf),
         }
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            Stream::Tcp(s) => s.flush(),
+        match &mut self.inner {
+            Transport::Tcp(s) => s.flush(),
             #[cfg(unix)]
-            Stream::Unix(s) => s.flush(),
+            Transport::Unix(s) => s.flush(),
         }
     }
 }
@@ -165,10 +274,10 @@ impl Listener {
                 // One response line per request: Nagle + delayed ACK would
                 // add ~40 ms to every round trip, so flush eagerly.
                 let _ = s.set_nodelay(true);
-                Stream::Tcp(s)
+                Stream::tcp(s)
             }),
             #[cfg(unix)]
-            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::unix(s)),
         }
     }
 }
@@ -260,7 +369,7 @@ impl Server {
 /// per-request reply channel its writer blocks on (in FIFO order).
 #[derive(Debug)]
 pub(crate) struct Job {
-    pub item: Result<crate::protocol::Request, String>,
+    pub item: Result<crate::protocol::Incoming, String>,
     pub reply: mpsc::Sender<crate::json::Json>,
 }
 
@@ -370,6 +479,12 @@ fn accept_loop<'scope>(
     }
     let max_conns = opts.max_conns();
     let mut accept_errors: u64 = 0;
+    // Chaos wiring (None in production): the accept lane has its own
+    // schedule; each accepted connection derives one from its listener-
+    // local accept index, so per-connection fault sequences don't depend
+    // on neighbours.
+    let accept_chaos = opts.chaos.as_ref().map(NetFaultPlan::accept_state);
+    let mut accepted: u64 = 0;
     while !shutting_down.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok(mut stream) => {
@@ -378,6 +493,21 @@ fn accept_loop<'scope>(
                     let _ = stream.shutdown(Shutdown::Both);
                     break;
                 }
+                if let Some(chaos) = &accept_chaos {
+                    if chaos.next_accept_fault() {
+                        // Accept-time failure: the handshake dies before
+                        // the daemon greets — the peer sees a reset and
+                        // must reconnect.
+                        read.recorder
+                            .counter_add("daemon_chaos_accept_faults_total", 1);
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                }
+                if let Some(plan) = &opts.chaos {
+                    stream = stream.with_chaos(Arc::new(plan.conn_state(accepted)));
+                }
+                accepted += 1;
                 if registry.active() >= max_conns {
                     // One explicit error line, then the door: silently
                     // dropping would look like a network fault to the
@@ -435,7 +565,7 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         let client = TcpStream::connect(addr).expect("connect");
         let (server, _) = listener.accept().expect("accept");
-        (Stream::Tcp(server), client)
+        (Stream::tcp(server), client)
     }
 
     /// A released slot removes (and thereby drops/closes) the registered
@@ -454,7 +584,11 @@ mod tests {
 
         registry.release(id_a);
         assert_eq!(registry.active(), 1);
-        assert_eq!(registry.streams().len(), 1, "released entry must be dropped");
+        assert_eq!(
+            registry.streams().len(),
+            1,
+            "released entry must be dropped"
+        );
         // The registry held the only server-side handle here, so dropping
         // it closes the socket: the peer observes EOF.
         client_a

@@ -16,7 +16,7 @@
 //! the same configuration it did originally.
 
 use crate::json::{obj, parse, Json};
-use crate::protocol::{parse_request, Request};
+use crate::protocol::{parse_command, Request};
 use crate::state::ServiceState;
 use crate::ServiceError;
 use nws_obs::Recorder;
@@ -108,6 +108,11 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// Wall time of the whole recovery (including replay solves), ms.
     pub wall_ms: f64,
+    /// Idempotency keys (`request_id`) carried by the replayed records,
+    /// in replay order. The daemon re-seeds its dedup window from these,
+    /// so a client retrying a mutation across a daemon crash still gets
+    /// a duplicate ack instead of a second application.
+    pub replayed_request_ids: Vec<String>,
 }
 
 impl RecoveryReport {
@@ -118,6 +123,10 @@ impl RecoveryReport {
             ("replayed_events", Json::UInt(self.replayed_events)),
             ("truncated_bytes", Json::UInt(self.truncated_bytes)),
             ("wall_ms", Json::Num(self.wall_ms)),
+            (
+                "replayed_request_ids",
+                Json::UInt(self.replayed_request_ids.len() as u64),
+            ),
         ])
     }
 }
@@ -170,6 +179,7 @@ impl StateStore {
             state.restore_persisted(&doc).map_err(OpenError::Fatal)?;
         }
         let mut replayed = 0u64;
+        let mut replayed_request_ids: Vec<String> = Vec::new();
         if !recovery.records.is_empty() {
             if state.installed().is_none() {
                 // The original process ran its startup solve before the
@@ -178,7 +188,12 @@ impl StateStore {
                 state.resolve(false).map_err(OpenError::Fatal)?;
             }
             for (seq, payload) in &recovery.records {
-                let req = parse_request(payload).map_err(|e| {
+                let doc = parse(payload).map_err(|e| {
+                    OpenError::Fatal(ServiceError::State(format!(
+                        "WAL record {seq} unparseable: {e}"
+                    )))
+                })?;
+                let req = parse_command(&doc).map_err(|e| {
                     OpenError::Fatal(ServiceError::State(format!(
                         "WAL record {seq} unparseable: {e}"
                     )))
@@ -189,6 +204,7 @@ impl StateStore {
                         req.name()
                     )))
                 })?;
+                collect_request_ids(&doc, &mut replayed_request_ids);
                 replayed += 1;
             }
         }
@@ -198,6 +214,7 @@ impl StateStore {
             replayed_events: replayed,
             truncated_bytes: recovery.truncated_bytes,
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            replayed_request_ids,
         };
         Ok((
             StateStore {
@@ -215,15 +232,30 @@ impl StateStore {
     ///
     /// # Errors
     /// I/O failures from the store.
+    /// `request_ids` are the idempotency keys of the client request(s)
+    /// this record commits (several for a coalesced batch); they ride in
+    /// the record as a `request_ids` array so recovery can re-seed the
+    /// daemon's dedup window.
     pub fn record_applied(
         &mut self,
         req: &Request,
         state: &ServiceState,
+        request_ids: &[&str],
     ) -> Result<(), ServiceError> {
         debug_assert!(req.is_state_changing(), "journal only state changes");
-        self.store
-            .append(&req.to_json().encode())
-            .map_err(store_err)?;
+        let mut payload = req.to_json();
+        if let (Json::Obj(pairs), false) = (&mut payload, request_ids.is_empty()) {
+            pairs.push((
+                "request_ids".to_string(),
+                Json::Arr(
+                    request_ids
+                        .iter()
+                        .map(|id| Json::Str((*id).to_string()))
+                        .collect(),
+                ),
+            ));
+        }
+        self.store.append(&payload.encode()).map_err(store_err)?;
         self.since_snapshot += 1;
         if self.since_snapshot >= self.snapshot_every {
             self.write_snapshot(state)?;
@@ -257,6 +289,19 @@ impl StateStore {
             ("last_seq", Json::UInt(s.last_seq)),
             ("truncated_bytes", Json::UInt(s.truncated_bytes)),
         ])
+    }
+}
+
+/// Collects the `request_ids` array (if any) of one journaled record.
+/// Malformed entries are skipped rather than fatal: ids only gate
+/// duplicate *acks*; the state change itself already replayed.
+fn collect_request_ids(doc: &Json, out: &mut Vec<String>) {
+    if let Some(Json::Arr(ids)) = doc.get("request_ids") {
+        for id in ids {
+            if let Json::Str(id) = id {
+                out.push(id.clone());
+            }
+        }
     }
 }
 

@@ -214,6 +214,66 @@ impl Request {
     }
 }
 
+/// Upper bound on a client-supplied `request_id`, in bytes. Generous for
+/// any sane key scheme (`<client>-<counter>` is ~25 bytes) while keeping a
+/// hostile line from parking kilobytes per entry in the dedup window.
+pub const MAX_REQUEST_ID_BYTES: usize = 128;
+
+/// One decoded request line *with its envelope*: the command itself plus
+/// the optional client-generated `request_id` idempotency key (see
+/// FORMATS.md). The daemon dedups state-changing requests on the key and
+/// replays the original acknowledgement for duplicates, which is what
+/// makes client retries across reconnects exactly-once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incoming {
+    /// The decoded command.
+    pub req: Request,
+    /// Client-generated idempotency key, echoed on the response.
+    pub request_id: Option<String>,
+}
+
+impl Incoming {
+    /// Wraps a request with no idempotency key (internal traffic, tests).
+    pub fn bare(req: Request) -> Self {
+        Incoming {
+            req,
+            request_id: None,
+        }
+    }
+
+    /// The dedup key, present only when this request both carries a
+    /// `request_id` *and* changes state — reads are naturally idempotent,
+    /// so deduping them would only burn window entries.
+    pub fn dedup_key(&self) -> Option<&str> {
+        if self.req.is_state_changing() {
+            self.request_id.as_deref()
+        } else {
+            None
+        }
+    }
+}
+
+/// Validates the optional `request_id` envelope field: when present it
+/// must be a non-empty string of at most [`MAX_REQUEST_ID_BYTES`] bytes.
+fn request_id_field(v: &Json) -> Result<Option<String>, String> {
+    match v.get("request_id") {
+        None => Ok(None),
+        Some(Json::Str(id)) => {
+            if id.is_empty() {
+                return Err("'request_id' must be a non-empty string".into());
+            }
+            if id.len() > MAX_REQUEST_ID_BYTES {
+                return Err(format!(
+                    "'request_id' exceeds {MAX_REQUEST_ID_BYTES} bytes (got {})",
+                    id.len()
+                ));
+            }
+            Ok(Some(id.clone()))
+        }
+        Some(_) => Err("'request_id' must be a string".into()),
+    }
+}
+
 fn str_field(v: &Json, key: &str) -> Result<String, String> {
     v.get(key)
         .and_then(Json::as_str)
@@ -295,44 +355,62 @@ fn opt_num_field(v: &Json, key: &str, default: f64) -> Result<f64, String> {
     }
 }
 
-/// Parses one request line.
+/// Parses one request line, dropping the envelope. Prefer
+/// [`parse_incoming`] anywhere the `request_id` idempotency key matters
+/// (the daemon's transports and WAL replay); this stays as the
+/// command-only view for embedders and tests.
 ///
 /// # Errors
 /// A human-readable message for JSON syntax errors, missing/ill-typed
 /// fields, or unknown commands.
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_incoming(line).map(|inc| inc.req)
+}
+
+/// Parses one request line *with* its envelope (`request_id`).
+///
+/// # Errors
+/// Same grammar errors as [`parse_request`], plus an invalid
+/// `request_id` field (non-string, empty, or oversized).
+pub fn parse_incoming(line: &str) -> Result<Incoming, String> {
     let v = parse(line)?;
     if !matches!(v, Json::Obj(_)) {
         return Err("request must be a JSON object".into());
     }
-    let cmd = str_field(&v, "cmd")?;
+    let request_id = request_id_field(&v)?;
+    let req = parse_command(&v)?;
+    Ok(Incoming { req, request_id })
+}
+
+pub(crate) fn parse_command(v: &Json) -> Result<Request, String> {
+    let cmd = str_field(v, "cmd")?;
     match cmd.as_str() {
         "update_demand" => Ok(Request::UpdateDemand {
-            od: str_field(&v, "od")?,
-            size: size_field(&v, "size")?,
+            od: str_field(v, "od")?,
+            size: size_field(v, "size")?,
         }),
         "update_demands" => Ok(Request::UpdateDemands {
-            updates: updates_field(&v)?,
+            updates: updates_field(v)?,
         }),
         "fail_link" => Ok(Request::FailLink {
-            a: str_field(&v, "a")?,
-            b: str_field(&v, "b")?,
+            a: str_field(v, "a")?,
+            b: str_field(v, "b")?,
         }),
         "restore_link" => Ok(Request::RestoreLink {
-            a: str_field(&v, "a")?,
-            b: str_field(&v, "b")?,
+            a: str_field(v, "a")?,
+            b: str_field(v, "b")?,
         }),
         "add_od" => Ok(Request::AddOd {
-            name: str_field(&v, "name")?,
-            src: str_field(&v, "src")?,
-            dst: str_field(&v, "dst")?,
-            size: size_field(&v, "size")?,
+            name: str_field(v, "name")?,
+            src: str_field(v, "src")?,
+            dst: str_field(v, "dst")?,
+            size: size_field(v, "size")?,
         }),
         "remove_od" => Ok(Request::RemoveOd {
-            name: str_field(&v, "name")?,
+            name: str_field(v, "name")?,
         }),
         "set_theta" => {
-            let theta = num_field(&v, "theta")?;
+            let theta = num_field(v, "theta")?;
             if !theta.is_finite() || theta <= 0.0 {
                 return Err(format!("'theta' must be a finite budget > 0, got {theta}"));
             }
@@ -340,8 +418,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "query_rates" => Ok(Request::QueryRates),
         "query_accuracy" => {
-            let runs = opt_num_field(&v, "runs", 20.0)?;
-            let seed = opt_num_field(&v, "seed", 1.0)?;
+            let runs = opt_num_field(v, "runs", 20.0)?;
+            let seed = opt_num_field(v, "seed", 1.0)?;
             if runs < 1.0 || runs.fract() != 0.0 || runs > 1e6 {
                 return Err("'runs' must be a positive integer ≤ 1e6".into());
             }
@@ -547,6 +625,42 @@ mod tests {
             parse_request(r#"{"cmd":"add_od","name":"X","src":"UK","dst":"DE","size":1.001}"#)
                 .is_ok()
         );
+    }
+
+    #[test]
+    fn request_id_envelope_parses_and_validates() {
+        let inc =
+            parse_incoming(r#"{"cmd":"set_theta","theta":80000,"request_id":"c1-7"}"#).unwrap();
+        assert_eq!(inc.req, Request::SetTheta { theta: 80_000.0 });
+        assert_eq!(inc.request_id.as_deref(), Some("c1-7"));
+        assert_eq!(inc.dedup_key(), Some("c1-7"));
+
+        // Reads carry the id (echoed for correlation) but never dedup.
+        let read = parse_incoming(r#"{"cmd":"query_rates","request_id":"c1-8"}"#).unwrap();
+        assert_eq!(read.request_id.as_deref(), Some("c1-8"));
+        assert_eq!(read.dedup_key(), None);
+
+        // Absent id: plain request, no dedup.
+        let bare = parse_incoming(r#"{"cmd":"snapshot"}"#).unwrap();
+        assert_eq!(bare.request_id, None);
+        assert_eq!(bare.dedup_key(), None);
+
+        // parse_request tolerates (and drops) the envelope, so WAL records
+        // carrying ids replay through the same boundary.
+        let req = parse_request(r#"{"cmd":"rollback","request_id":"x"}"#).unwrap();
+        assert_eq!(req, Request::Rollback);
+
+        let long = "x".repeat(MAX_REQUEST_ID_BYTES + 1);
+        for bad in [
+            r#"{"cmd":"ping","request_id":""}"#.to_string(),
+            r#"{"cmd":"ping","request_id":7}"#.to_string(),
+            format!(r#"{{"cmd":"ping","request_id":"{long}"}}"#),
+        ] {
+            assert!(parse_incoming(&bad).is_err(), "accepted {bad:?}");
+        }
+        // The cap itself is accepted.
+        let max = "x".repeat(MAX_REQUEST_ID_BYTES);
+        assert!(parse_incoming(&format!(r#"{{"cmd":"ping","request_id":"{max}"}}"#)).is_ok());
     }
 
     #[test]

@@ -555,3 +555,240 @@ fn idle_timeout_drops_stale_connections() {
     let summary = daemon.join().expect("daemon thread");
     assert!(summary.clean_shutdown);
 }
+
+/// Half-open client, variant 1: the peer shuts down its *write* side while
+/// a mutation's Pending reply is still in flight. The daemon must answer
+/// on the intact read half, then tear the pair down on the EOF and release
+/// the slot — `serve` returns (no leaked connection threads) and the
+/// freed slot is reusable.
+#[test]
+fn half_open_write_shutdown_with_pending_reply() {
+    let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let mut daemon = Daemon::new(state, DaemonOptions::default());
+    let server = Server::bind(&NetOptions {
+        tcp: Some("127.0.0.1:0".to_string()),
+        max_conns: 2, // tight cap: a leaked slot would block the control conn
+        ..NetOptions::default()
+    })
+    .expect("bind");
+    let addr = server.tcp_addr().expect("addr");
+    let daemon = std::thread::spawn(move || daemon.serve(server).expect("serve"));
+
+    let mut half_open = Client::connect(addr);
+    // Enqueue a mutation (Pending reply), then close only our write side.
+    half_open.send("{\"cmd\":\"update_demand\",\"od\":\"JANET-NL\",\"size\":3000000}");
+    half_open
+        .writer
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half close");
+    // The answer still arrives on the read half.
+    let ack = half_open
+        .read_response()
+        .expect("pending reply survives half-close");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    // After the reply the daemon sees our EOF and closes its side too.
+    assert!(
+        half_open.read_response().is_none(),
+        "clean close after drain"
+    );
+
+    // The slot was released: with max_conns=2 a fresh pair still fits.
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    assert_eq!(
+        b.round_trip("{\"cmd\":\"ping\"}")
+            .get("pong")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    drop(b);
+    a.round_trip("{\"cmd\":\"shutdown\"}");
+    let summary = daemon.join().expect("daemon joins: no thread leak");
+    assert!(summary.clean_shutdown);
+    assert_eq!(summary.connections, 3);
+}
+
+/// Half-open client, variant 2: a shutdown from another connection races
+/// writer threads that are mid-`write_all` to peers who stopped reading.
+/// The bounded write timeout turns those stalls into evictions, so the
+/// drain always terminates and `serve` returns.
+#[test]
+fn shutdown_races_stalled_writers_and_terminates() {
+    let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let mut daemon = Daemon::new(state, DaemonOptions::default());
+    let server = Server::bind(&NetOptions {
+        tcp: Some("127.0.0.1:0".to_string()),
+        write_timeout_ms: 300,
+        ..NetOptions::default()
+    })
+    .expect("bind");
+    let addr = server.tcp_addr().expect("addr");
+    let daemon = std::thread::spawn(move || daemon.serve(server).expect("serve"));
+
+    // Two peers pipeline reads and never read responses, wedging the
+    // daemon's writers against full socket buffers.
+    let stalled: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connect");
+            s.set_write_timeout(Some(Duration::from_millis(100)))
+                .unwrap();
+            let mut w = s.try_clone().unwrap();
+            // Write until our own send buffer jams (daemon stopped reading)
+            // or a generous line budget runs out.
+            for _ in 0..200_000 {
+                if w.write_all(b"{\"cmd\":\"query_rates\"}\n").is_err() {
+                    break;
+                }
+            }
+            s // keep the socket open, still not reading
+        })
+        .collect();
+
+    let mut issuer = Client::connect(addr);
+    let bye = issuer.round_trip("{\"cmd\":\"shutdown\"}");
+    assert_eq!(bye.get("bye").and_then(Json::as_bool), Some(true));
+    // The stalled writers must not pin the drain: serve returns promptly.
+    let summary = daemon
+        .join()
+        .expect("serve returned despite stalled writers");
+    assert!(summary.clean_shutdown);
+    drop(stalled);
+}
+
+/// Live slow-client eviction: a peer floods pipelined reads and never
+/// drains its responses. Once one response write stalls past
+/// `--write-timeout-ms`, the daemon evicts the connection (counter
+/// `daemon_slow_client_evictions_total`), while other connections keep
+/// being served unaffected.
+#[test]
+fn slow_client_is_evicted_and_counted() {
+    let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let mut daemon = Daemon::new(state, DaemonOptions::default());
+    let server = Server::bind(&NetOptions {
+        tcp: Some("127.0.0.1:0".to_string()),
+        write_timeout_ms: 250,
+        ..NetOptions::default()
+    })
+    .expect("bind");
+    let addr = server.tcp_addr().expect("addr");
+    let daemon = std::thread::spawn(move || daemon.serve(server).expect("serve"));
+
+    // The slow client: pipelines query_rates forever, reads nothing.
+    let slow = TcpStream::connect(addr).expect("connect");
+    slow.set_write_timeout(Some(Duration::from_millis(100)))
+        .expect("write timeout");
+    let mut slow_writer = slow.try_clone().expect("clone");
+    let flood = std::thread::spawn(move || {
+        for _ in 0..500_000 {
+            if slow_writer
+                .write_all(b"{\"cmd\":\"query_rates\"}\n")
+                .is_err()
+            {
+                break; // our own buffer jammed: the pipeline is saturated
+            }
+        }
+    });
+
+    // A healthy control connection polls metrics for the eviction.
+    let mut control = Client::connect(addr);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut evictions = 0;
+    while std::time::Instant::now() < deadline {
+        let metrics = control.round_trip("{\"cmd\":\"metrics\"}");
+        evictions = counter(&metrics, "daemon_slow_client_evictions_total");
+        if evictions >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(evictions >= 1, "slow client was never evicted");
+    flood.join().expect("flood thread");
+    drop(slow);
+
+    // The healthy connection is unaffected by its neighbour's eviction.
+    let response = control.round_trip("{\"cmd\":\"query_rates\"}");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    control.round_trip("{\"cmd\":\"shutdown\"}");
+    let summary = daemon.join().expect("daemon thread");
+    assert!(summary.clean_shutdown);
+}
+
+/// Request lines are capped: a client streaming a multi-MiB line gets a
+/// typed `line too long` error (counted) and the connection is closed —
+/// the daemon's buffer never grows unboundedly.
+#[test]
+fn oversized_request_line_is_rejected_and_closed() {
+    let (addr, daemon) = boot_tcp(DaemonOptions::default());
+    let mut hog = Client::connect(addr);
+    // 2 MiB of prefix with no newline: past the 1 MiB cap mid-stream.
+    let chunk = vec![b'a'; 64 * 1024];
+    for _ in 0..32 {
+        if hog.writer.write_all(&chunk).is_err() {
+            break; // daemon may already have torn the connection down
+        }
+    }
+    let _ = hog.writer.flush();
+    let response = hog.read_response().expect("typed error before close");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        response.get("error").and_then(|e| e.as_str()),
+        Some("line too long")
+    );
+    assert!(
+        response
+            .get("max_line_bytes")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1 << 20
+    );
+    assert!(
+        hog.read_response().is_none(),
+        "connection closed after the error"
+    );
+
+    let mut control = Client::connect(addr);
+    let metrics = control.round_trip("{\"cmd\":\"metrics\"}");
+    assert_eq!(counter(&metrics, "daemon_line_too_long_total"), 1);
+    control.round_trip("{\"cmd\":\"shutdown\"}");
+    daemon.join().expect("daemon thread");
+}
+
+/// Idle-timeout drops and hard socket errors are counted separately:
+/// reaping an idle connection bumps `daemon_conn_idle_timeouts_total`
+/// and leaves `daemon_conn_io_errors_total` untouched.
+#[test]
+fn idle_timeouts_and_io_errors_are_distinguished() {
+    let state = ServiceState::from_task(&janet_task(), PlacementConfig::default());
+    let mut daemon = Daemon::new(state, DaemonOptions::default());
+    let server = Server::bind(&NetOptions {
+        tcp: Some("127.0.0.1:0".to_string()),
+        idle_timeout_ms: 150,
+        ..NetOptions::default()
+    })
+    .expect("bind");
+    let addr = server.tcp_addr().expect("addr");
+    let daemon = std::thread::spawn(move || daemon.serve(server).expect("serve"));
+
+    let mut idle = Client::connect(addr);
+    let mut busy = Client::connect(addr);
+    // Keep one connection busy past the other's idle deadline.
+    for _ in 0..8 {
+        busy.round_trip("{\"cmd\":\"ping\"}");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    assert!(idle.read_response().is_none(), "idle connection reaped");
+    let metrics = busy.round_trip("{\"cmd\":\"metrics\"}");
+    assert_eq!(
+        counter(&metrics, "daemon_conn_idle_timeouts_total"),
+        1,
+        "the reaped connection counts as an idle timeout"
+    );
+    assert_eq!(
+        counter(&metrics, "daemon_conn_io_errors_total"),
+        0,
+        "an idle reap is not a socket error"
+    );
+    busy.round_trip("{\"cmd\":\"shutdown\"}");
+    let summary = daemon.join().expect("daemon thread");
+    assert!(summary.clean_shutdown);
+}

@@ -154,7 +154,7 @@ fn crash_injection_matches_reference_replay_at_every_boundary() {
     for cmd in COMMANDS {
         let req = parse_request(cmd).unwrap();
         apply(&mut live, &req);
-        store.record_applied(&req, &live).unwrap();
+        store.record_applied(&req, &live, &[]).unwrap();
     }
     drop(store); // crash: no exit snapshot
     let segment = wal_segment(&dir);
@@ -233,7 +233,7 @@ fn snapshot_rotation_recovery_equals_full_replay() {
     for cmd in COMMANDS {
         let req = parse_request(cmd).unwrap();
         apply(&mut live, &req);
-        store.record_applied(&req, &live).unwrap();
+        store.record_applied(&req, &live, &[]).unwrap();
     }
     drop(store); // crash
     let names: Vec<String> = {

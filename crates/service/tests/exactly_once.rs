@@ -1,0 +1,234 @@
+//! Exactly-once mutation semantics: the daemon's `request_id` dedup
+//! window must turn *redelivery* (the client retrying after a lost ack)
+//! into *replay* — one state change, byte-identical acknowledgements —
+//! both within one process and across a crash + WAL recovery.
+
+use std::fs;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+
+use nws_core::scenarios::janet_task;
+use nws_core::PlacementConfig;
+use nws_obs::Recorder;
+use nws_service::json::{parse, Json};
+use nws_service::{
+    Daemon, DaemonOptions, DaemonSummary, FsyncPolicy, PersistConfig, Request, ServiceState,
+    StateStore,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn fresh_state() -> ServiceState {
+    ServiceState::from_task(&janet_task(), PlacementConfig::default())
+}
+
+fn tdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nws-dedup-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn persist_cfg(dir: &Path) -> PersistConfig {
+    PersistConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 32,
+        fault: None,
+    }
+}
+
+/// Runs `script` through the single-stream loop; returns the response
+/// lines (index 0 = hello) and the daemon summary.
+fn run_script(script: &str, persist: Option<PersistConfig>) -> (Vec<Json>, DaemonSummary) {
+    let mut daemon = Daemon::new(
+        fresh_state(),
+        DaemonOptions {
+            persist,
+            ..DaemonOptions::default()
+        },
+    );
+    let mut out = Vec::new();
+    let summary = daemon
+        .run(Cursor::new(script.to_string()), &mut out)
+        .expect("run");
+    let lines = String::from_utf8(out)
+        .expect("utf8")
+        .lines()
+        .map(|l| parse(l).expect("valid JSON response line"))
+        .collect();
+    (lines, summary)
+}
+
+fn counter(metrics: &Json, name: &str) -> u64 {
+    metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: delivering the same `request_id` N extra times (with
+    /// reads interleaved at random) yields exactly one state change per
+    /// unique id — `resolves` counts startup + unique mutations only —
+    /// and every redelivery is answered with the byte-identical ack.
+    #[test]
+    fn duplicate_delivery_is_one_state_change_and_identical_acks(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_mut = rng.random_range(1usize..5);
+        // (line, id it carries) in delivery order.
+        let mut deliveries: Vec<(String, Option<String>)> = Vec::new();
+        let mut dup_total = 0u64;
+        for i in 0..n_mut {
+            let size: f64 = rng.random_range(1.0e6..2.0e7);
+            let id = format!("k{seed:016x}-{i}");
+            let line = format!(
+                "{{\"cmd\":\"update_demand\",\"od\":\"JANET-NL\",\"size\":{size:.0},\"request_id\":\"{id}\"}}"
+            );
+            deliveries.push((line.clone(), Some(id.clone())));
+            for _ in 0..rng.random_range(1usize..3) {
+                if rng.random::<bool>() {
+                    deliveries.push(("{\"cmd\":\"query_rates\"}".to_string(), None));
+                }
+                deliveries.push((line.clone(), Some(id.clone())));
+                dup_total += 1;
+            }
+        }
+        deliveries.push(("{\"cmd\":\"metrics\"}".to_string(), None));
+        deliveries.push(("{\"cmd\":\"shutdown\"}".to_string(), None));
+        let script: String = deliveries
+            .iter()
+            .map(|(line, _)| format!("{line}\n"))
+            .collect();
+        let (lines, summary) = run_script(&script, None);
+
+        // Response i+1 answers delivery i (line 0 is hello).
+        let mut ack_by_id: HashMap<&str, String> = HashMap::new();
+        for (i, (_, id)) in deliveries.iter().enumerate() {
+            let response = &lines[i + 1];
+            prop_assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "delivery {} rejected: {}", i, response.encode()
+            );
+            let Some(id) = id else { continue };
+            prop_assert_eq!(
+                response.get("request_id").and_then(|v| v.as_str()),
+                Some(id.as_str()),
+                "response must echo the idempotency key"
+            );
+            let encoded = response.encode();
+            match ack_by_id.get(id.as_str()) {
+                None => {
+                    ack_by_id.insert(id, encoded);
+                }
+                Some(original) => prop_assert_eq!(
+                    original,
+                    &encoded,
+                    "redelivery of {} must replay the identical ack", id
+                ),
+            }
+        }
+        // One startup solve + one solve per *unique* mutation: duplicates
+        // never touched the state machine.
+        prop_assert_eq!(summary.resolves, (1 + n_mut) as u64);
+        let metrics = &lines[deliveries.len() - 1];
+        prop_assert_eq!(
+            counter(metrics, "daemon_dedup_hits_total"),
+            dup_total,
+            "every duplicate delivery is a dedup hit"
+        );
+    }
+}
+
+/// The dedup window survives a crash: ids journaled with their WAL
+/// records are recovered, and a post-restart redelivery gets a
+/// `"duplicate": true` ack instead of a second application.
+#[test]
+fn dedup_survives_crash_recovery() {
+    let dir = tdir("crash");
+    let key = "crash-key-1";
+    // Phase 1: a live process journals one keyed mutation, then dies
+    // without the clean-exit snapshot.
+    {
+        let mut live = fresh_state();
+        let (mut store, report) =
+            StateStore::open(&persist_cfg(&dir), &mut live, &Recorder::disabled()).unwrap();
+        assert!(report.replayed_request_ids.is_empty());
+        live.resolve(false).unwrap(); // the daemon's startup solve
+        let req = Request::UpdateDemand {
+            od: "JANET-NL".into(),
+            size: 5.0e6,
+        };
+        live.apply_event(&req, false).unwrap();
+        store.record_applied(&req, &live, &[key]).unwrap();
+        drop(store); // crash: no exit snapshot
+    }
+    // Recovery alone reports the journaled id.
+    {
+        let mut state = fresh_state();
+        let (_store, report) =
+            StateStore::open(&persist_cfg(&dir), &mut state, &Recorder::disabled()).unwrap();
+        assert_eq!(report.replayed_request_ids, vec![key.to_string()]);
+    }
+    // Phase 2: a restarted daemon seeds its window from recovery. The
+    // retried mutation (same key, even a *different* size — the client
+    // retransmitting a mutated buffer must still not double-apply) gets a
+    // duplicate ack; a genuinely new key still works.
+    let script = format!(
+        "{{\"cmd\":\"update_demand\",\"od\":\"JANET-NL\",\"size\":9000000,\"request_id\":\"{key}\"}}\n\
+         {{\"cmd\":\"update_demand\",\"od\":\"JANET-DE\",\"size\":7000000,\"request_id\":\"fresh-1\"}}\n\
+         {{\"cmd\":\"shutdown\"}}\n"
+    );
+    let (lines, _) = run_script(&script, Some(persist_cfg(&dir)));
+    let replayed = &lines[1];
+    assert_eq!(replayed.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        replayed.get("duplicate").and_then(Json::as_bool),
+        Some(true),
+        "recovered id must answer a duplicate ack, got {}",
+        replayed.encode()
+    );
+    assert_eq!(
+        replayed.get("request_id").and_then(|v| v.as_str()),
+        Some(key)
+    );
+    let fresh = &lines[2];
+    assert_eq!(fresh.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(
+        fresh.get("duplicate").is_none(),
+        "a new id is not a duplicate"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Error responses are not remembered: a mutation that *fails* may be
+/// retried with the same id and succeed once the obstacle is gone.
+#[test]
+fn failed_mutations_are_not_deduped() {
+    // An unknown OD fails; adding the OD then retrying the same id must
+    // genuinely apply (not replay the old error).
+    let script = "{\"cmd\":\"update_demand\",\"od\":\"NOPE\",\"size\":1000000,\"request_id\":\"r1\"}\n\
+                  {\"cmd\":\"add_od\",\"name\":\"NOPE\",\"src\":\"UK\",\"dst\":\"DE\",\"size\":1000000,\"request_id\":\"r2\"}\n\
+                  {\"cmd\":\"update_demand\",\"od\":\"NOPE\",\"size\":2000000,\"request_id\":\"r1\"}\n\
+                  {\"cmd\":\"shutdown\"}\n";
+    let (lines, _) = run_script(script, None);
+    assert_eq!(lines[1].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(lines[2].get("ok").and_then(Json::as_bool), Some(true));
+    let retried = &lines[3];
+    assert_eq!(
+        retried.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "retry after a semantic error must really run: {}",
+        retried.encode()
+    );
+    assert!(
+        retried.get("error").is_none(),
+        "the old error must not be replayed"
+    );
+}

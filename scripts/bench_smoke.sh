@@ -3,7 +3,7 @@
 # gate on them independently:
 #
 #   ./scripts/bench_smoke.sh [stage ...]     stages: eval replay serve-load
-#                                            wal serve chaos
+#                                            wal serve chaos chaos-net
 #                                            (no args = all stages)
 #
 #   eval   objective-evaluation micro-benchmark (--quick) producing
@@ -27,9 +27,17 @@
 #          (cold-vs-warm re-solve latency, recovery latency, exposition
 #          shape checks) producing BENCH_recover.json.
 #   chaos  fixed-seed store-fault replay drills.
+#   chaos-net  fixed-seed socket-fault drills: the chaos_net bench binary
+#          drives the resilient nws-client through seeded NetFaultPlan
+#          schedules (resets, short reads/writes, delays, accept failures)
+#          producing BENCH_chaos_net.json; the drill runs twice and the two
+#          reports must cmp byte-identical (the report carries only
+#          deterministic semantic invariants), then scripts/check_bench.py
+#          enforces the convergence gates (exactly-once mutations, zero
+#          torn lines, final state identical to the fault-free baseline).
 #
 # CI runs `eval replay serve-load` as the blocking perf-gates job and
-# `wal serve chaos` as the non-blocking resilience job. Run
+# `wal serve chaos chaos-net` as the non-blocking resilience job. Run
 # eval_bench/wal_bench/serve_load manually (without --quick) for
 # publishable numbers.
 set -eu
@@ -238,10 +246,29 @@ stage_chaos() {
     echo "chaos smoke OK: seeds 7/41/1999 served byte-identical rates, zero panics"
 }
 
+stage_chaos_net() {
+    # Network chaos drill: seeded socket-fault schedules against the
+    # resilient client. The report carries only deterministic semantic
+    # invariants (no wall times, no retry counts), so two runs with the
+    # same fixed seeds must produce byte-identical reports — that cmp is
+    # the determinism acceptance gate for the whole fault-injection layer.
+    cargo build --release -p nws-bench --bin chaos_net
+    target/release/chaos_net --quick --out BENCH_chaos_net.json
+    target/release/chaos_net --quick --out "$SCRATCH/chaos_net2.json"
+    cmp BENCH_chaos_net.json "$SCRATCH/chaos_net2.json" || {
+        echo "chaos_net report is not deterministic across runs:" >&2
+        diff BENCH_chaos_net.json "$SCRATCH/chaos_net2.json" >&2 || true
+        exit 1; }
+    # Convergence gates: every schedule exactly-once, zero torn lines,
+    # clean shutdown, final state identical to the fault-free baseline.
+    python3 scripts/check_bench.py BENCH_chaos_net.json
+    echo "chaos-net smoke OK: $(pwd)/BENCH_chaos_net.json (deterministic across runs)"
+}
+
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 
-stages="${*:-eval replay serve-load wal serve chaos}"
+stages="${*:-eval replay serve-load wal serve chaos chaos-net}"
 for stage in $stages; do
     case "$stage" in
         eval)       stage_eval ;;
@@ -250,6 +277,7 @@ for stage in $stages; do
         wal)        stage_wal ;;
         serve)      stage_serve ;;
         chaos)      stage_chaos ;;
-        *) echo "unknown stage '$stage' (expected: eval replay serve-load wal serve chaos)" >&2; exit 2 ;;
+        chaos-net)  stage_chaos_net ;;
+        *) echo "unknown stage '$stage' (expected: eval replay serve-load wal serve chaos chaos-net)" >&2; exit 2 ;;
     esac
 done

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Validate BENCH_eval.json / BENCH_replay.json / BENCH_serve.json and
-enforce the CI gates.
+"""Validate BENCH_eval.json / BENCH_replay.json / BENCH_serve.json /
+BENCH_chaos_net.json and enforce the CI gates.
 
 Run from bench_smoke.sh and the blocking `perf-gates` CI job:
 
@@ -8,14 +8,25 @@ Run from bench_smoke.sh and the blocking `perf-gates` CI job:
     python3 scripts/check_bench.py BENCH_eval.json --write-baselines
     python3 scripts/check_bench.py BENCH_replay.json
     python3 scripts/check_bench.py BENCH_serve.json
+    python3 scripts/check_bench.py BENCH_chaos_net.json
 
-The report's top-level "bench" field selects the rule set. For serve-load
-reports ("bench": "serve_load", from the serve_load bench binary):
+The report's top-level "bench" field selects the rule set. For chaos-net
+reports ("bench": "chaos_net", from the chaos_net drill binary), every
+seeded socket-fault schedule must have converged to the fault-free
+baseline: exactly-once mutations, zero torn response lines, clean
+shutdown, and a byte-identical final-state digest (see check_chaos_net).
 
-1.  Schema: config axes, read/mutate latency sections, the lock-free and
-    coalescing counters, and the daemon summary all present and finite.
+For serve-load reports ("bench": "serve_load", from the serve_load bench
+binary):
+
+1.  Schema: config axes (including the enabled idle/write timeouts),
+    read/mutate latency sections, the lock-free, coalescing, and
+    slow-client-protection counters, and the daemon summary all present
+    and finite.
 2.  Serving gates (hard):
       - zero protocol errors and zero read/mutate errors, clean shutdown;
+      - with the serving timeouts enabled, zero slow-client evictions,
+        zero idle reaps, zero hard connection I/O errors;
       - reads are answered lock-free: reads_served_lockfree >= the measured
         read count, and jobs_enqueued stays within the mutate stream
         (read load must not touch the solve queue);
@@ -366,7 +377,9 @@ def run_replay_checks(report):
 SERVE_SIDE_FIELDS = ("count", "errors", "throughput_per_sec",
                      "p50_ms", "p95_ms", "p99_ms")
 SERVE_COUNTERS = ("reads_served_lockfree", "jobs_enqueued",
-                  "coalesce_flushes", "coalesced_updates", "epoch_rebuilds")
+                  "coalesce_flushes", "coalesced_updates", "epoch_rebuilds",
+                  "slow_client_evictions", "conn_idle_timeouts",
+                  "conn_io_errors")
 # Slack on jobs_enqueued beyond the measured mutate count: the control
 # connection's shutdown is queued, and a shed burst may land partially.
 ENQUEUE_SLACK = 16
@@ -381,9 +394,12 @@ def check_serve_schema(report):
     if failures:
         return
     for key in ("readers", "writers", "duration_ms", "coalesce_ms",
-                "burst", "seed"):
+                "idle_timeout_ms", "write_timeout_ms", "burst", "seed"):
         if key not in report["config"]:
             fail(f"schema: config.{key} missing")
+    if report["config"].get("idle_timeout_ms", 0) <= 0:
+        fail("schema: the bench must run with the idle timeout enabled "
+             "(config.idle_timeout_ms > 0) so the timeout gates mean something")
     for side in ("read", "mutate"):
         section = report[side]
         for key in SERVE_SIDE_FIELDS:
@@ -410,6 +426,15 @@ def check_serve_gates(report):
             fail(f"gates: {report[side]['errors']} {side} error(s) under load")
     if not report["daemon"].get("clean_shutdown"):
         fail("gates: daemon did not shut down cleanly")
+    # Gate 1b: with the serving timeouts *enabled*, none of the slow-client
+    # protections may fire against healthy load — an eviction or idle reap
+    # here means the daemon is punishing well-behaved peers, and a hard
+    # socket error means a connection died outside the protocol.
+    for key in ("slow_client_evictions", "conn_idle_timeouts",
+                "conn_io_errors"):
+        if counters.get(key, 0) != 0:
+            fail(f"gates: {counters[key]} {key} with healthy clients and "
+                 f"timeouts enabled")
     # Gate 2: reads bypass the queue. Every measured read must have been
     # served from the published snapshot, and the enqueue counter must
     # track the mutate stream only (plus the control shutdown).
@@ -502,6 +527,63 @@ def run_serve_checks(report, write):
     return 0
 
 
+CHAOS_ROW_FIELDS = ("seed", "resolves", "torn_lines", "clean_shutdown",
+                    "exactly_once", "matches_baseline", "final_digest")
+CHAOS_MIN_SEEDS = 8
+
+
+def check_chaos_net(report):
+    """Gates for BENCH_chaos_net.json (the chaos_net drill binary): every
+    seeded fault schedule must have converged to the fault-free baseline —
+    exactly-once mutations, zero torn lines, clean shutdown, identical
+    final-state digest. The report carries only deterministic fields, so
+    bench_smoke.sh separately cmp's two runs byte-for-byte."""
+    for key in ("bench", "quick", "config", "baseline", "schedules",
+                "failures"):
+        if key not in report:
+            fail(f"schema: missing top-level key {key!r}")
+    if failures:
+        return
+    rows = report["schedules"]
+    if len(rows) < CHAOS_MIN_SEEDS:
+        fail(f"schema: only {len(rows)} schedules; need >= {CHAOS_MIN_SEEDS}")
+    if report["config"].get("seeds") != len(rows):
+        fail(f"schema: config.seeds {report['config'].get('seeds')} != "
+             f"{len(rows)} schedule rows")
+    base_digest = report["baseline"].get("final_digest")
+    if not base_digest:
+        fail("schema: baseline.final_digest missing")
+    if report["failures"] != 0:
+        fail(f"gates: {report['failures']} schedule(s) self-reported failure")
+    for row in rows:
+        for key in CHAOS_ROW_FIELDS:
+            if key not in row:
+                fail(f"schema: schedule row missing {key!r}: {row}")
+        seed = row.get("seed", "?")
+        if row.get("torn_lines", 1) != 0:
+            fail(f"gates: seed {seed} saw {row['torn_lines']} torn line(s)")
+        if not row.get("clean_shutdown"):
+            fail(f"gates: seed {seed} did not shut the daemon down cleanly")
+        if not row.get("exactly_once"):
+            fail(f"gates: seed {seed} lost or double-applied a mutation "
+                 f"({row.get('resolves')} resolves vs baseline "
+                 f"{report['baseline'].get('resolves')})")
+        if not row.get("matches_baseline") or row.get("final_digest") != base_digest:
+            fail(f"gates: seed {seed} final state diverged from the "
+                 f"fault-free baseline ({row.get('final_digest')} vs "
+                 f"{base_digest})")
+
+
+def run_chaos_checks(report):
+    check_chaos_net(report)
+    if failures:
+        return 1
+    print(f"check_bench: all chaos-net gates pass "
+          f"({len(report['schedules'])} fault schedules converged to "
+          f"digest {report['baseline']['final_digest']})")
+    return 0
+
+
 def main():
     args = sys.argv[1:]
     write = "--write-baselines" in args
@@ -514,6 +596,14 @@ def main():
 
     if report.get("bench") == "replay":
         code = run_replay_checks(report)
+        if failures:
+            print(f"check_bench: {len(failures)} gate(s) failed:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+        return code
+
+    if report.get("bench") == "chaos_net":
+        code = run_chaos_checks(report)
         if failures:
             print(f"check_bench: {len(failures)} gate(s) failed:", file=sys.stderr)
             for f in failures:
